@@ -1,0 +1,144 @@
+//! Byzantine strategies against the Ben-Or baseline.
+
+use core::fmt;
+
+use benor::{BenOrConfig, BenOrMsg, BenOrProcess};
+use simnet::{Ctx, Envelope, Process, Value};
+
+/// The balancing adversary pointed at Ben-Or: it follows the protocol's
+/// round/exchange timing (by running a real [`BenOrProcess`] inside), but
+/// every outgoing report or proposal leaves with its value **negated** —
+/// always feeding the minority side, maximizing the chance that no value
+/// reaches the proposal or decision thresholds and forcing correct
+/// processes back onto their coins round after round.
+///
+/// Used by experiment E7's fault-tolerant comparison: Ben-Or tolerates this
+/// only for `t < n/5`, while the Figure 2 protocol shrugs it off at
+/// `k < n/3`.
+pub struct ContrarianBenOr {
+    inner: BenOrProcess,
+}
+
+impl ContrarianBenOr {
+    /// Creates a balancing attacker for a Ben-Or system.
+    #[must_use]
+    pub fn new(config: BenOrConfig) -> Self {
+        ContrarianBenOr {
+            inner: BenOrProcess::new(config, Value::One),
+        }
+    }
+}
+
+impl fmt::Debug for ContrarianBenOr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContrarianBenOr").finish_non_exhaustive()
+    }
+}
+
+fn flip_values(msg: &mut BenOrMsg) {
+    if let Some(v) = msg.value {
+        msg.value = Some(!v);
+    }
+}
+
+impl Process for ContrarianBenOr {
+    type Msg = BenOrMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BenOrMsg>) {
+        let mut intercepted: Vec<(simnet::ProcessId, BenOrMsg)> = Vec::new();
+        {
+            let mut inner_ctx =
+                Ctx::new(ctx.me(), ctx.n(), ctx.step(), &mut intercepted, ctx.rng());
+            self.inner.on_start(&mut inner_ctx);
+        }
+        for (to, mut msg) in intercepted {
+            flip_values(&mut msg);
+            ctx.send(to, msg);
+        }
+    }
+
+    fn on_receive(&mut self, env: Envelope<BenOrMsg>, ctx: &mut Ctx<'_, BenOrMsg>) {
+        let mut intercepted: Vec<(simnet::ProcessId, BenOrMsg)> = Vec::new();
+        {
+            let mut inner_ctx =
+                Ctx::new(ctx.me(), ctx.n(), ctx.step(), &mut intercepted, ctx.rng());
+            self.inner.on_receive(env, &mut inner_ctx);
+        }
+        for (to, mut msg) in intercepted {
+            flip_values(&mut msg);
+            ctx.send(to, msg);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+
+    fn phase(&self) -> u64 {
+        self.inner.round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Role, Sim};
+
+    #[test]
+    fn benor_byzantine_survives_contrarian_within_bound() {
+        // n = 6, t = 1 < n/5: the Byzantine variant must still agree and
+        // terminate against one balancing attacker.
+        let config = BenOrConfig::byzantine(6, 1).unwrap();
+        for seed in 0..10 {
+            let mut b = Sim::builder();
+            for i in 0..5 {
+                b.process(
+                    Box::new(BenOrProcess::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            b.process(Box::new(ContrarianBenOr::new(config)), Role::Faulty);
+            let r = b.seed(seed).step_limit(16_000_000).build().run();
+            assert!(r.agreement(), "seed {seed}");
+            assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+        }
+    }
+
+    #[test]
+    fn contrarian_slows_benor_relative_to_honest() {
+        use simnet::run_trials_seq;
+        let n = 6;
+        let t = 1;
+        let run_with = |attacker: bool| {
+            run_trials_seq(60, 0xBE0, move |seed| {
+                let config = BenOrConfig::byzantine(n, t).unwrap();
+                let mut b = Sim::builder();
+                for i in 0..n - 1 {
+                    b.process(
+                        Box::new(BenOrProcess::new(config, Value::from(i % 2 == 0))),
+                        Role::Correct,
+                    );
+                }
+                if attacker {
+                    b.process(Box::new(ContrarianBenOr::new(config)), Role::Faulty);
+                } else {
+                    b.process(
+                        Box::new(BenOrProcess::new(config, Value::One)),
+                        Role::Correct,
+                    );
+                }
+                b.seed(seed).step_limit(16_000_000);
+                b.build()
+            })
+        };
+        let honest = run_with(false);
+        let attacked = run_with(true);
+        assert!(attacked.all_safe());
+        assert!(
+            attacked.phases.mean + 0.5 >= honest.phases.mean,
+            "attacker should not speed Ben-Or up: {} vs {}",
+            attacked.phases.mean,
+            honest.phases.mean
+        );
+    }
+}

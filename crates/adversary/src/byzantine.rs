@@ -1,0 +1,445 @@
+//! Byzantine strategies against the Bracha-Toueg protocols.
+//!
+//! §4's performance analysis assumes the malicious processes "do their worst
+//! to slow convergence, i.e., they try to enable more divergent views of the
+//! system" — concretely, "they will try to balance the number of 1 and 0
+//! messages in the system". The *contrarian* strategies implement that
+//! balancing adversary; the *two-faced* and *equivocating* strategies attack
+//! consistency instead, telling different halves of the system different
+//! stories (which the Figure 2 echo quorums are designed to defeat); the
+//! *random* strategy is calibration noise.
+
+use core::fmt;
+
+use bt_core::{Config, Malicious, MaliciousKind, MaliciousMsg, Phase, SimpleMsg};
+use simnet::{Ctx, Envelope, Process, ProcessId, Value};
+
+use std::collections::BTreeMap;
+
+/// Runs `f` on the inner process with an intercepted outbox, then lets
+/// `tamper` rewrite each outgoing `(recipient, message)` pair before it is
+/// really sent.
+fn run_tampered<P: Process>(
+    inner: &mut P,
+    ctx: &mut Ctx<'_, P::Msg>,
+    f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
+    mut tamper: impl FnMut(ProcessId, &mut P::Msg),
+) {
+    let mut intercepted: Vec<(ProcessId, P::Msg)> = Vec::new();
+    {
+        let mut inner_ctx = Ctx::new(ctx.me(), ctx.n(), ctx.step(), &mut intercepted, ctx.rng());
+        f(inner, &mut inner_ctx);
+    }
+    for (to, mut msg) in intercepted {
+        tamper(to, &mut msg);
+        ctx.send(to, msg);
+    }
+}
+
+/// The §4.1/§4.2 **balancing adversary** against the simple variant: it
+/// follows the protocol's timing exactly, but each phase broadcasts the
+/// *minority* value of its view (ties broken towards 1, the opposite of the
+/// correct tie-break), pushing the system back towards the balanced state
+/// the Markov analysis identifies as slowest.
+#[derive(Debug)]
+pub struct ContrarianSimple {
+    config: Config,
+    value: Value,
+    phase: u64,
+    message_count: [usize; 2],
+    deferred: BTreeMap<u64, Vec<SimpleMsg>>,
+}
+
+impl ContrarianSimple {
+    /// Creates a balancing adversary for the simple variant.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        ContrarianSimple {
+            config,
+            value: Value::One,
+            phase: 0,
+            message_count: [0; 2],
+            deferred: BTreeMap::new(),
+        }
+    }
+
+    fn end_phase(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
+        // Anti-majority: feed the losing side.
+        self.value = !Value::majority_of(self.message_count);
+        self.phase += 1;
+        self.message_count = [0; 2];
+        ctx.broadcast(SimpleMsg {
+            phase: self.phase,
+            value: self.value,
+        });
+    }
+}
+
+impl Process for ContrarianSimple {
+    type Msg = SimpleMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
+        ctx.broadcast(SimpleMsg {
+            phase: 0,
+            value: self.value,
+        });
+    }
+
+    fn on_receive(&mut self, env: Envelope<SimpleMsg>, ctx: &mut Ctx<'_, SimpleMsg>) {
+        let msg = env.msg;
+        if msg.phase < self.phase {
+            return;
+        }
+        if msg.phase > self.phase {
+            self.deferred.entry(msg.phase).or_default().push(msg);
+            return;
+        }
+        self.message_count[msg.value.index()] += 1;
+        if self.message_count[0] + self.message_count[1] >= self.config.quota() {
+            self.end_phase(ctx);
+            while let Some(batch) = self.deferred.remove(&self.phase) {
+                let mut ended = false;
+                for m in batch {
+                    self.message_count[m.value.index()] += 1;
+                    if self.message_count[0] + self.message_count[1] >= self.config.quota() {
+                        self.end_phase(ctx);
+                        ended = true;
+                        break;
+                    }
+                }
+                if !ended {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+
+    fn phase(&self) -> u64 {
+        self.phase
+    }
+}
+
+/// The balancing adversary against the Figure 2 protocol: it runs a real
+/// [`Malicious`] instance for timing and echo behaviour, but every *initial*
+/// message about itself leaves with the value **negated** — it always
+/// reports the minority side of what it accepted.
+pub struct ContrarianMalicious {
+    inner: Malicious,
+}
+
+impl ContrarianMalicious {
+    /// Creates a balancing adversary for the malicious protocol.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        ContrarianMalicious {
+            inner: Malicious::new(config, Value::One),
+        }
+    }
+}
+
+impl fmt::Debug for ContrarianMalicious {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContrarianMalicious")
+            .finish_non_exhaustive()
+    }
+}
+
+impl Process for ContrarianMalicious {
+    type Msg = MaliciousMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        let me = ctx.me();
+        run_tampered(
+            &mut self.inner,
+            ctx,
+            |p, c| p.on_start(c),
+            |_to, msg| {
+                if msg.kind == MaliciousKind::Initial && msg.subject == me {
+                    msg.value = !msg.value;
+                }
+            },
+        );
+    }
+
+    fn on_receive(&mut self, env: Envelope<MaliciousMsg>, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        let me = ctx.me();
+        run_tampered(
+            &mut self.inner,
+            ctx,
+            |p, c| p.on_receive(env, c),
+            |_to, msg| {
+                if msg.kind == MaliciousKind::Initial && msg.subject == me {
+                    msg.value = !msg.value;
+                }
+            },
+        );
+    }
+
+    fn decision(&self) -> Option<Value> {
+        None // a liar's d_p is meaningless
+    }
+
+    fn phase(&self) -> u64 {
+        self.inner.phase()
+    }
+}
+
+/// An equivocating attacker on the **initial** stage: each phase it tells
+/// even-indexed processes its value is `v` and odd-indexed processes `!v`.
+/// The echo quorum of Figure 2 forces at most one of the two stories to be
+/// accepted per phase — this strategy is the one the consistency proof of
+/// Theorem 4 defends against most directly.
+pub struct TwoFacedMalicious {
+    inner: Malicious,
+}
+
+impl TwoFacedMalicious {
+    /// Creates a two-faced attacker for the malicious protocol.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        TwoFacedMalicious {
+            inner: Malicious::new(config, Value::Zero),
+        }
+    }
+}
+
+impl fmt::Debug for TwoFacedMalicious {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TwoFacedMalicious").finish_non_exhaustive()
+    }
+}
+
+fn two_face(me: ProcessId) -> impl FnMut(ProcessId, &mut MaliciousMsg) {
+    move |to, msg| {
+        if msg.kind == MaliciousKind::Initial && msg.subject == me && to.index() % 2 == 1 {
+            msg.value = !msg.value;
+        }
+    }
+}
+
+impl Process for TwoFacedMalicious {
+    type Msg = MaliciousMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        let me = ctx.me();
+        run_tampered(&mut self.inner, ctx, |p, c| p.on_start(c), two_face(me));
+    }
+
+    fn on_receive(&mut self, env: Envelope<MaliciousMsg>, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        let me = ctx.me();
+        run_tampered(
+            &mut self.inner,
+            ctx,
+            |p, c| p.on_receive(env, c),
+            two_face(me),
+        );
+    }
+
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+
+    fn phase(&self) -> u64 {
+        self.inner.phase()
+    }
+}
+
+/// An equivocating attacker on the **echo** stage: it relays every initial
+/// it hears, but flips the echoed value for odd-indexed recipients. This
+/// attacks other processes' message acceptance rather than its own state
+/// announcement; the per-sender echo dedup plus the `(n+k)/2` quorum keep it
+/// from splitting any acceptance.
+pub struct EquivocatingEchoer {
+    inner: Malicious,
+}
+
+impl EquivocatingEchoer {
+    /// Creates an echo-equivocating attacker for the malicious protocol.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        EquivocatingEchoer {
+            inner: Malicious::new(config, Value::Zero),
+        }
+    }
+}
+
+impl fmt::Debug for EquivocatingEchoer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EquivocatingEchoer").finish_non_exhaustive()
+    }
+}
+
+fn echo_flip(to: ProcessId, msg: &mut MaliciousMsg) {
+    if msg.kind == MaliciousKind::Echo && to.index() % 2 == 1 {
+        msg.value = !msg.value;
+    }
+}
+
+impl Process for EquivocatingEchoer {
+    type Msg = MaliciousMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        run_tampered(&mut self.inner, ctx, |p, c| p.on_start(c), echo_flip);
+    }
+
+    fn on_receive(&mut self, env: Envelope<MaliciousMsg>, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        run_tampered(&mut self.inner, ctx, |p, c| p.on_receive(env, c), echo_flip);
+    }
+
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+
+    fn phase(&self) -> u64 {
+        self.inner.phase()
+    }
+}
+
+/// Pure noise: every delivery triggers a burst of random (but
+/// authenticity-respecting) initials and echoes for the phase of the
+/// message just seen. Useful as a fuzzing adversary: it explores message
+/// patterns the structured attackers never produce.
+#[derive(Debug)]
+pub struct RandomMalicious {
+    config: Config,
+    burst: usize,
+}
+
+impl RandomMalicious {
+    /// Creates a noise attacker sending `burst` random messages per
+    /// delivery.
+    #[must_use]
+    pub fn new(config: Config, burst: usize) -> Self {
+        RandomMalicious { config, burst }
+    }
+}
+
+impl Process for RandomMalicious {
+    type Msg = MaliciousMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        let me = ctx.me();
+        // Announce a random value so correct processes are not starved of
+        // our initial (silence is a *different* strategy).
+        let v = Value::from(ctx.rng().coin());
+        ctx.broadcast(MaliciousMsg::initial(me, v, 0));
+    }
+
+    fn on_receive(&mut self, env: Envelope<MaliciousMsg>, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        let Phase::At(t) = env.msg.phase else {
+            return;
+        };
+        let n = self.config.n();
+        let me = ctx.me();
+        for _ in 0..self.burst {
+            let to = ProcessId::new(ctx.rng().index(n));
+            let subject = ProcessId::new(ctx.rng().index(n));
+            let value = Value::from(ctx.rng().coin());
+            let msg = if ctx.rng().coin() {
+                // Initials must name ourselves or be dropped as forgeries;
+                // send a (possibly phase-confused) initial about ourselves.
+                MaliciousMsg::initial(me, value, t + u64::from(ctx.rng().coin()))
+            } else {
+                MaliciousMsg::echo(subject, value, t)
+            };
+            ctx.send(to, msg);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+
+    fn phase(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Role, Sim};
+
+    fn attack_run(
+        n: usize,
+        k: usize,
+        seed: u64,
+        make: impl Fn(Config) -> Box<dyn Process<Msg = MaliciousMsg>>,
+    ) -> simnet::RunReport {
+        let config = Config::malicious(n, k).unwrap();
+        let mut b = Sim::builder();
+        for i in 0..n - k {
+            b.process(
+                Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                Role::Correct,
+            );
+        }
+        for _ in 0..k {
+            b.process(make(config), Role::Faulty);
+        }
+        b.seed(seed).step_limit(6_000_000).build().run()
+    }
+
+    #[test]
+    fn contrarian_malicious_cannot_break_agreement() {
+        for seed in 0..15 {
+            let r = attack_run(7, 2, seed, |c| Box::new(ContrarianMalicious::new(c)));
+            assert!(r.agreement(), "seed {seed}");
+            assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+        }
+    }
+
+    #[test]
+    fn two_faced_cannot_break_agreement() {
+        for seed in 0..15 {
+            let r = attack_run(7, 2, seed, |c| Box::new(TwoFacedMalicious::new(c)));
+            assert!(r.agreement(), "seed {seed}");
+            assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+        }
+    }
+
+    #[test]
+    fn equivocating_echoer_cannot_break_agreement() {
+        for seed in 0..15 {
+            let r = attack_run(7, 2, seed, |c| Box::new(EquivocatingEchoer::new(c)));
+            assert!(r.agreement(), "seed {seed}");
+            assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+        }
+    }
+
+    #[test]
+    fn random_noise_cannot_break_agreement() {
+        for seed in 0..10 {
+            let r = attack_run(4, 1, seed, |c| Box::new(RandomMalicious::new(c, 5)));
+            assert!(r.agreement(), "seed {seed}");
+            assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+        }
+    }
+
+    #[test]
+    fn contrarian_simple_slows_but_does_not_break_failstop_faults() {
+        use bt_core::Simple;
+        let config = Config::malicious(7, 2).unwrap();
+        for seed in 0..10 {
+            let mut b = Sim::builder();
+            // NOTE: the simple variant only claims fail-stop resilience; a
+            // balancing (non-equivocating) adversary is within that model's
+            // spirit as a "slow but valid-looking" participant.
+            for i in 0..5 {
+                b.process(
+                    Box::new(Simple::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            for _ in 0..2 {
+                b.process(Box::new(ContrarianSimple::new(config)), Role::Faulty);
+            }
+            let r = b.seed(seed).step_limit(6_000_000).build().run();
+            assert!(r.agreement(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Crash wrappers: fail-stop behaviour composed onto any correct process.
+
+use core::fmt;
+
+use simnet::{Ctx, Envelope, Process, Value};
+
+/// When a [`Crashing`] wrapper kills its inner process.
+///
+/// The paper's fail-stop processes "may simply die, i.e., stop participating
+/// in the protocol", with no warning and — crucially — possibly part-way
+/// through sending a round of messages. [`CrashPlan::AfterSends`] expresses
+/// exactly that: the process's lifetime is measured in messages sent, so a
+/// broadcast can be cut mid-flight and different recipients see different
+/// final behaviour from the same dead process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPlan {
+    /// Die immediately after the `limit`-th message leaves (a `limit` that
+    /// falls inside a broadcast splits it — the canonical nasty crash).
+    AfterSends(u64),
+    /// Die upon *entering* the given protocol phase: the phase's broadcast
+    /// is never sent.
+    AtPhase(u64),
+    /// Die at the first atomic step at or after the given global step.
+    AtStep(u64),
+}
+
+/// Wraps a correct process and crashes it according to a [`CrashPlan`].
+///
+/// Composability is the point: the protocol implementations contain no fault
+/// code at all; any `Process` becomes a fail-stop process by wrapping. The
+/// wrapper intercepts the inner process's outbox so that `AfterSends` can
+/// truncate a broadcast mid-flight.
+///
+/// # Examples
+///
+/// ```
+/// use adversary::{CrashPlan, Crashing};
+/// use bt_core::{Config, FailStop};
+/// use simnet::{Role, Sim, Value};
+///
+/// let config = Config::fail_stop(5, 2)?;
+/// let mut b = Sim::builder();
+/// for i in 0..3 {
+///     b.process(Box::new(FailStop::new(config, Value::One)), Role::Correct);
+/// }
+/// // Two processes crash: one mid-initial-broadcast, one entering phase 1.
+/// b.process(
+///     Box::new(Crashing::new(
+///         FailStop::new(config, Value::Zero),
+///         CrashPlan::AfterSends(2),
+///     )),
+///     Role::Faulty,
+/// );
+/// b.process(
+///     Box::new(Crashing::new(
+///         FailStop::new(config, Value::Zero),
+///         CrashPlan::AtPhase(1),
+///     )),
+///     Role::Faulty,
+/// );
+/// let report = b.seed(11).build().run();
+/// assert!(report.agreement());
+/// assert!(report.all_correct_decided());
+/// # Ok::<(), bt_core::ConfigError>(())
+/// ```
+pub struct Crashing<P: Process> {
+    inner: P,
+    plan: CrashPlan,
+    sent: u64,
+    dead: bool,
+}
+
+impl<P: Process> Crashing<P> {
+    /// Wraps `inner` with a crash plan.
+    pub fn new(inner: P, plan: CrashPlan) -> Self {
+        Crashing {
+            inner,
+            plan,
+            sent: 0,
+            dead: false,
+        }
+    }
+
+    /// Whether the crash has happened yet.
+    #[must_use]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Read access to the wrapped process (e.g. to inspect its state in
+    /// tests).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// How many messages may still leave before the `AfterSends` budget is
+    /// exhausted (`u64::MAX` for the other plans).
+    fn send_budget(&self) -> u64 {
+        match self.plan {
+            CrashPlan::AfterSends(limit) => limit.saturating_sub(self.sent),
+            _ => u64::MAX,
+        }
+    }
+
+    /// Runs `f` against the inner process with an intercepted outbox, then
+    /// forwards at most the send budget and updates death state.
+    fn step_inner(
+        &mut self,
+        ctx: &mut Ctx<'_, P::Msg>,
+        f: impl FnOnce(&mut P, &mut Ctx<'_, P::Msg>),
+    ) {
+        let mut intercepted: Vec<(simnet::ProcessId, P::Msg)> = Vec::new();
+        {
+            let mut inner_ctx = Ctx::new(ctx.me(), ctx.n(), ctx.step(), &mut intercepted, {
+                // Reuse the run's RNG so wrapped randomized protocols stay
+                // deterministic per seed.
+                ctx.rng()
+            });
+            f(&mut self.inner, &mut inner_ctx);
+        }
+        let budget = self.send_budget();
+        let total = intercepted.len() as u64;
+        for (to, msg) in intercepted.into_iter().take(budget as usize) {
+            ctx.send(to, msg);
+        }
+        if total > budget {
+            self.sent += budget;
+            self.dead = true; // died mid-broadcast
+            return;
+        }
+        self.sent += total;
+        if let CrashPlan::AfterSends(limit) = self.plan {
+            if self.sent >= limit {
+                self.dead = true;
+            }
+        }
+        if let CrashPlan::AtPhase(t) = self.plan {
+            if self.inner.phase() >= t {
+                self.dead = true;
+            }
+        }
+    }
+
+    fn check_step_trigger(&mut self, step: u64) {
+        if let CrashPlan::AtStep(s) = self.plan {
+            if step >= s {
+                self.dead = true;
+            }
+        }
+    }
+}
+
+impl<P: Process> fmt::Debug for Crashing<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Crashing")
+            .field("plan", &self.plan)
+            .field("sent", &self.sent)
+            .field("dead", &self.dead)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<P: Process> Process for Crashing<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, P::Msg>) {
+        self.check_step_trigger(ctx.step());
+        if self.dead {
+            return;
+        }
+        self.step_inner(ctx, |p, c| p.on_start(c));
+    }
+
+    fn on_receive(&mut self, env: Envelope<P::Msg>, ctx: &mut Ctx<'_, P::Msg>) {
+        self.check_step_trigger(ctx.step());
+        if self.dead {
+            return;
+        }
+        self.step_inner(ctx, |p, c| p.on_receive(env, c));
+        // AtPhase triggers as soon as the inner process *enters* the phase:
+        // the phase's broadcast was already produced inside this step, so
+        // suppressing future steps (not this one's sends) models a crash at
+        // the phase boundary. Use AfterSends for intra-broadcast deaths.
+    }
+
+    fn decision(&self) -> Option<Value> {
+        // A dead process never "decides" as far as the run is concerned —
+        // its d_p is unobservable. Before death, report the inner state.
+        if self.dead {
+            None
+        } else {
+            self.inner.decision()
+        }
+    }
+
+    fn phase(&self) -> u64 {
+        self.inner.phase()
+    }
+
+    fn halted(&self) -> bool {
+        self.dead || self.inner.halted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_core::{Config, FailStop, FailStopMsg};
+    use simnet::{ProcessId, Role, Sim, SimRng};
+
+    #[test]
+    fn after_sends_truncates_broadcast() {
+        let config = Config::fail_stop(5, 2).unwrap();
+        let mut p = Crashing::new(FailStop::new(config, Value::One), CrashPlan::AfterSends(3));
+        let mut outbox: Vec<(ProcessId, FailStopMsg)> = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 5, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        // The phase-0 broadcast is 5 messages; only 3 escape.
+        assert_eq!(outbox.len(), 3);
+        assert!(p.is_dead());
+        assert!(p.halted());
+
+        // Further deliveries are inert.
+        let env = Envelope::new(
+            ProcessId::new(1),
+            FailStopMsg {
+                phase: 0,
+                value: Value::One,
+                cardinality: 1,
+            },
+        );
+        let mut ctx = Ctx::new(ProcessId::new(0), 5, 1, &mut outbox, &mut rng);
+        p.on_receive(env, &mut ctx);
+        assert_eq!(outbox.len(), 3);
+    }
+
+    #[test]
+    fn at_phase_allows_earlier_phases() {
+        let config = Config::fail_stop(3, 1).unwrap();
+        let mut p = Crashing::new(FailStop::new(config, Value::One), CrashPlan::AtPhase(1));
+        let mut outbox: Vec<(ProcessId, FailStopMsg)> = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 3, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        assert!(!p.is_dead(), "phase 0 proceeds normally");
+        assert_eq!(outbox.len(), 3);
+
+        // Completing phase 0 moves the inner process to phase 1 → death.
+        let mut ctx = Ctx::new(ProcessId::new(0), 3, 1, &mut outbox, &mut rng);
+        for s in 0..2 {
+            p.on_receive(
+                Envelope::new(
+                    ProcessId::new(s),
+                    FailStopMsg {
+                        phase: 0,
+                        value: Value::One,
+                        cardinality: 1,
+                    },
+                ),
+                &mut ctx,
+            );
+        }
+        assert!(p.is_dead());
+        assert_eq!(p.phase(), 1);
+    }
+
+    #[test]
+    fn at_step_kills_before_acting() {
+        let config = Config::fail_stop(3, 1).unwrap();
+        let mut p = Crashing::new(FailStop::new(config, Value::One), CrashPlan::AtStep(0));
+        let mut outbox: Vec<(ProcessId, FailStopMsg)> = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 3, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        assert!(p.is_dead());
+        assert!(outbox.is_empty(), "died before its first step");
+    }
+
+    #[test]
+    fn dead_processes_report_no_decision() {
+        let config = Config::fail_stop(3, 1).unwrap();
+        let p = Crashing::new(FailStop::new(config, Value::One), CrashPlan::AtStep(0));
+        assert_eq!(p.decision(), None);
+    }
+
+    #[test]
+    fn consensus_survives_maximal_crashes() {
+        // n = 7, k = 3 = ⌊(n−1)/2⌋ crashes with assorted plans.
+        let config = Config::fail_stop(7, 3).unwrap();
+        let plans = [
+            CrashPlan::AfterSends(4),
+            CrashPlan::AtPhase(1),
+            CrashPlan::AfterSends(10),
+        ];
+        for seed in 0..15 {
+            let mut b = Sim::builder();
+            for i in 0..4 {
+                b.process(
+                    Box::new(FailStop::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            for (i, plan) in plans.iter().enumerate() {
+                b.process(
+                    Box::new(Crashing::new(
+                        FailStop::new(config, Value::from(i % 2 == 1)),
+                        *plan,
+                    )),
+                    Role::Faulty,
+                );
+            }
+            let report = b.seed(seed).step_limit(4_000_000).build().run();
+            assert!(report.agreement(), "seed {seed}");
+            assert!(
+                report.all_correct_decided(),
+                "seed {seed}: {:?}",
+                report.status
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # adversary — fault models for the consensus experiments
+//!
+//! The paper proves its protocols correct against two adversaries, and this
+//! crate makes both executable:
+//!
+//! * **Fail-stop** (§2): processes may die at any point, without warning,
+//!   possibly in the middle of a broadcast. [`Crashing`] wraps any correct
+//!   [`Process`] and kills it according to a [`CrashPlan`] — after a fixed
+//!   number of sent messages (mid-broadcast crashes included), upon entering
+//!   a phase, or at a global step. [`Silent`] is the degenerate case: dead
+//!   from the start.
+//!
+//! * **Malicious** (§3): processes may send "false and contradictory
+//!   messages, even according to some malevolent plan". The strategies here
+//!   are the plans the paper's analysis worries about — above all the
+//!   **balancing** adversary of §4.2, which "tries to balance the number of
+//!   1 and 0 messages in the system" to keep correct processes away from
+//!   the decision thresholds ([`ContrarianSimple`], [`ContrarianMalicious`]),
+//!   plus equivocators that tell each half of the system a different story
+//!   ([`TwoFacedMalicious`], [`EquivocatingEchoer`]) and pure noise
+//!   ([`RandomMalicious`]).
+//!
+//! The simulator stamps true sender identities on envelopes (the §3.1
+//! authenticity assumption), so none of these strategies can impersonate
+//! another process — they can only lie in payloads, exactly as the model
+//! allows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benor_attack;
+mod byzantine;
+mod crash;
+mod silent;
+
+pub use benor_attack::ContrarianBenOr;
+pub use byzantine::{
+    ContrarianMalicious, ContrarianSimple, EquivocatingEchoer, RandomMalicious, TwoFacedMalicious,
+};
+pub use crash::{CrashPlan, Crashing};
+pub use silent::Silent;

@@ -1,0 +1,99 @@
+//! The silent process: dead on arrival.
+
+use core::fmt;
+use core::marker::PhantomData;
+
+use simnet::{Ctx, Envelope, Process, Value};
+
+/// A process that never sends, never decides, and reports itself halted —
+/// equivalently, a process that died before its first atomic step.
+///
+/// This is both the simplest fail-stop behaviour (§2) and a legal malicious
+/// behaviour (§3: "the malicious processes can behave just like fail-stop
+/// processes and die", the observation behind Lemma 3). It is also the
+/// fault model of the §5 initially-dead discussion.
+///
+/// # Examples
+///
+/// ```
+/// use adversary::Silent;
+/// use bt_core::MaliciousMsg;
+/// use simnet::Process;
+///
+/// let dead: Silent<MaliciousMsg> = Silent::new();
+/// assert!(dead.halted());
+/// assert_eq!(dead.decision(), None);
+/// ```
+pub struct Silent<M> {
+    _marker: PhantomData<fn() -> M>,
+}
+
+impl<M> Silent<M> {
+    /// Creates a silent process.
+    #[must_use]
+    pub fn new() -> Self {
+        Silent {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<M> Default for Silent<M> {
+    fn default() -> Self {
+        Silent::new()
+    }
+}
+
+impl<M> fmt::Debug for Silent<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Silent")
+    }
+}
+
+impl<M> Process for Silent<M> {
+    type Msg = M;
+
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    fn on_receive(&mut self, _env: Envelope<M>, _ctx: &mut Ctx<'_, M>) {}
+
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+
+    fn phase(&self) -> u64 {
+        0
+    }
+
+    fn halted(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_core::{Config, Malicious, MaliciousMsg};
+    use simnet::{Role, Sim};
+
+    #[test]
+    fn consensus_succeeds_around_silent_byzantine() {
+        // n = 7, k = 2: two dead-on-arrival "malicious" processes.
+        let config = Config::malicious(7, 2).unwrap();
+        for seed in 0..10 {
+            let mut b = Sim::builder();
+            for i in 0..5 {
+                b.process(
+                    Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            for _ in 0..2 {
+                b.process(Box::new(Silent::<MaliciousMsg>::new()), Role::Faulty);
+            }
+            let report = b.seed(seed).step_limit(4_000_000).build().run();
+            assert!(report.agreement(), "seed {seed}");
+            assert!(report.all_correct_decided(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! E10 — the §5 footnote protocol: initially-dead faults under the
+//! intermediate interpretation of bivalence.
+//!
+//! With every process correct, both decision values must be reachable
+//! (bivalence); with one or more initially-dead processes, the decision is
+//! pinned to 0. The sweep measures the probability of each outcome and the
+//! cost in steps.
+
+use adversary::Silent;
+use bt_core::{DeadMsg, InitiallyDead};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{run_trials, Role, Sim, Value};
+
+fn system(n: usize, dead: usize, ones: usize, seed: u64) -> Sim<DeadMsg> {
+    let mut b = Sim::builder();
+    for i in 0..n - dead {
+        b.process(
+            Box::new(InitiallyDead::new(n, Value::from(i < ones))),
+            Role::Correct,
+        );
+    }
+    for _ in 0..dead {
+        b.process(Box::new(Silent::<DeadMsg>::new()), Role::Faulty);
+    }
+    b.seed(seed).step_limit(1_000_000);
+    b.build()
+}
+
+fn sweep() {
+    let n = 6;
+    println!("\nE10: §5 initially-dead protocol, n = {n}, majority-1 live inputs (300 trials)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "dead", "decided", "P[1]", "P[0]", "mean steps"
+    );
+    for dead in 0..=2usize {
+        let ones = n - dead; // every live process votes 1
+        let stats = run_trials(300, 0xE10, |seed| system(n, dead, ones, seed));
+        assert_eq!(stats.disagreements, 0);
+        assert_eq!(stats.decided, stats.trials, "within quorum tolerance");
+        if dead > 0 {
+            assert_eq!(
+                stats.one_rate(),
+                0.0,
+                "intermediate bivalence: any fault pins the decision to 0"
+            );
+        } else {
+            assert!(
+                stats.one_rate() > 0.0,
+                "all-correct majority-1 runs must sometimes decide 1"
+            );
+        }
+        println!(
+            "{dead:>6} {:>11}% {:>11.1}% {:>11.1}% {:>12.0}",
+            100 * stats.decided / stats.trials,
+            stats.one_rate() * 100.0,
+            (1.0 - stats.one_rate()) * 100.0,
+            stats.steps.mean,
+        );
+    }
+    println!("dead = 0 splits between outcomes (bivalent); dead ≥ 1 is always 0.");
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e10_initially_dead_n6_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            system(6, 1, 5, seed).run()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

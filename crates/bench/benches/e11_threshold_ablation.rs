@@ -1,0 +1,81 @@
+//! E11 — ablation: why the Figure 1 thresholds are what they are.
+//!
+//! The witness bar (`cardinality > n/2`) buys the no-two-witness-values
+//! invariant; the decision bar (`> k` witnesses) buys decision
+//! propagation. Weakening either trades safety for speed. The sweep
+//! measures agreement rate and phases-to-decision as each bar is lowered.
+
+use bt_core::ablation::{AblatedFailStop, ThresholdRule};
+use bt_core::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{run_trials, Role, Sim, Value};
+
+fn trial(config: Config, rule: ThresholdRule, trials: usize) -> simnet::TrialStats {
+    run_trials(trials, 0xE11, move |seed| {
+        let mut b = Sim::builder();
+        for i in 0..config.n() {
+            b.process(
+                Box::new(AblatedFailStop::new(config, rule, Value::from(i % 2 == 0))),
+                Role::Correct,
+            );
+        }
+        b.seed(seed).step_limit(2_000_000);
+        b.build()
+    })
+}
+
+fn sweep() {
+    let config = Config::fail_stop(8, 3).unwrap();
+    let paper = ThresholdRule::paper(config);
+    println!("\nE11: Figure 1 threshold ablation (n=8, k=3, split inputs, 400 trials)");
+    println!(
+        "{:>12} {:>10} {:>12} {:>12} {:>14}",
+        "witness_at", "decide_at", "agree %", "decide %", "mean phases"
+    );
+    for witness_slack in [0usize, 1, 2, 3, 4] {
+        for decide_slack in [0usize, 2] {
+            let rule = ThresholdRule::weakened(config, witness_slack, decide_slack);
+            let stats = trial(config, rule, 400);
+            println!(
+                "{:>12} {:>10} {:>12.1} {:>12.1} {:>14.2}",
+                rule.witness_at,
+                rule.decide_at,
+                100.0 * (stats.trials - stats.disagreements) as f64 / stats.trials as f64,
+                100.0 * stats.decided as f64 / stats.trials as f64,
+                stats.phases.mean,
+            );
+            if rule == paper {
+                assert_eq!(stats.disagreements, 0, "the paper's rule must be safe");
+            }
+        }
+    }
+    println!("lower bars decide faster — and start disagreeing. The paper's bars are tight.");
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let config = Config::fail_stop(8, 3).unwrap();
+    let paper = ThresholdRule::paper(config);
+    c.bench_function("e11_ablated_paper_rule_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut builder = Sim::builder();
+            for i in 0..8 {
+                builder.process(
+                    Box::new(AblatedFailStop::new(config, paper, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            builder.seed(seed).step_limit(2_000_000);
+            builder.build().run()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E12 — ablation of the §2.3 fairness assumption: how convergence speed
+//! depends on the scheduler.
+//!
+//! The convergence theorems assume every candidate view has probability
+//! ≥ ε (the fair scheduler). Safety never depends on this, but speed does:
+//! adversarial delaying/partitioning and skewed process speeds stretch the
+//! run, while deterministic round-robin (which *violates* the probabilistic
+//! assumption) happens to be fastest on all-correct systems. This sweep
+//! quantifies the spread.
+
+use bt_core::{Config, Malicious, MaliciousMsg};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::scheduler::{
+    DelayingScheduler, DeliveryOrder, FairScheduler, PartitionScheduler, RoundRobinScheduler,
+    Scheduler,
+};
+use simnet::{run_trials_seq, ProcessId, Role, Sim, Value};
+
+fn make_scheduler(which: &str, n: usize) -> Box<dyn Scheduler<MaliciousMsg>> {
+    match which {
+        "fair-random" => Box::new(FairScheduler::new()),
+        "fair-fifo" => Box::new(FairScheduler::new().delivery_order(DeliveryOrder::Fifo)),
+        "fair-lifo" => Box::new(FairScheduler::new().delivery_order(DeliveryOrder::Lifo)),
+        "round-robin" => Box::new(RoundRobinScheduler::new()),
+        "delay-two" => Box::new(DelayingScheduler::new(
+            n,
+            &[ProcessId::new(0), ProcessId::new(1)],
+        )),
+        "partition" => {
+            let left: Vec<ProcessId> = ProcessId::all(n).take(n / 2).collect();
+            Box::new(PartitionScheduler::new(n, &left, 40, 3))
+        }
+        "skewed-speeds" => {
+            let weights: Vec<f64> = (0..n).map(|i| 10f64.powi((i % 4) as i32)).collect();
+            Box::new(FairScheduler::new().with_weights(weights))
+        }
+        other => unreachable!("unknown scheduler {other}"),
+    }
+}
+
+fn sweep() {
+    let n = 9;
+    let k = 2;
+    let config = Config::malicious(n, k).unwrap();
+    let schedulers = [
+        "fair-random",
+        "fair-fifo",
+        "fair-lifo",
+        "round-robin",
+        "delay-two",
+        "partition",
+        "skewed-speeds",
+    ];
+    println!("\nE12: scheduler ablation (n={n}, all correct, split inputs, 150 trials)");
+    println!(
+        "{:<16} {:>8} {:>8} {:>14} {:>12}",
+        "scheduler", "agree", "decide", "mean phases", "mean steps"
+    );
+    for which in schedulers {
+        let stats = run_trials_seq(150, 0xE12, |seed| {
+            let mut b = Sim::builder();
+            for i in 0..n {
+                b.process(
+                    Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            b.scheduler(make_scheduler(which, n));
+            b.seed(seed).step_limit(16_000_000);
+            b.build()
+        });
+        assert_eq!(
+            stats.disagreements, 0,
+            "{which}: safety must not depend on scheduling"
+        );
+        println!(
+            "{which:<16} {:>7}% {:>7}% {:>14.2} {:>12.0}",
+            100 * (stats.trials - stats.disagreements) / stats.trials,
+            100 * stats.decided / stats.trials,
+            stats.phases.mean,
+            stats.steps.mean,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    for which in ["fair-random", "round-robin", "delay-two"] {
+        let config = Config::malicious(9, 2).unwrap();
+        c.bench_function(&format!("e12_{which}_run"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut builder = Sim::builder();
+                for i in 0..9 {
+                    builder.process(
+                        Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                        Role::Correct,
+                    );
+                }
+                builder.scheduler(make_scheduler(which, 9));
+                builder.seed(seed).step_limit(16_000_000);
+                builder.build().run()
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E1 — Theorem 2: the Figure 1 fail-stop protocol reaches agreement for
+//! every `k ≤ ⌊(n−1)/2⌋` across crash schedules.
+//!
+//! Prints the resilience sweep (agreement/termination rates and mean
+//! phases per `(n, k)`), then times a representative configuration.
+
+use bench::{alternating_inputs, failstop_system};
+use bt_core::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::run_trials;
+
+fn sweep() {
+    println!("\nE1: fail-stop resilience sweep (200 trials/point, max crashes)");
+    println!(
+        "{:>4} {:>4} {:>10} {:>10} {:>12} {:>12}",
+        "n", "k", "agree", "decide", "mean phases", "mean msgs"
+    );
+    for n in [3usize, 5, 7, 9, 11, 15, 21] {
+        for k in [0, (n - 1) / 4, (n - 1) / 2] {
+            let config = Config::fail_stop(n, k).expect("within bound");
+            let inputs = alternating_inputs(n);
+            let stats = run_trials(200, 0xE1, |seed| failstop_system(config, &inputs, k, seed));
+            assert_eq!(stats.disagreements, 0, "Theorem 2 violated at n={n} k={k}");
+            println!(
+                "{n:>4} {k:>4} {:>9}% {:>9}% {:>12.2} {:>12.0}",
+                100 * (stats.trials - stats.disagreements) / stats.trials,
+                100 * stats.decided / stats.trials,
+                stats.phases.mean,
+                stats.messages.mean,
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    let config = Config::fail_stop(7, 3).unwrap();
+    let inputs = alternating_inputs(7);
+    c.bench_function("e1_failstop_n7_k3_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            failstop_system(config, &inputs, 3, seed).run()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! E2 — Theorem 4: the Figure 2 malicious protocol reaches agreement for
+//! every `k ≤ ⌊(n−1)/3⌋` against active Byzantine strategies.
+
+use adversary::{ContrarianMalicious, EquivocatingEchoer, Silent, TwoFacedMalicious};
+use bt_core::{Config, Malicious, MaliciousMsg};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{run_trials, Process, Role, Sim, Value};
+
+type Attacker = fn(Config) -> Box<dyn Process<Msg = MaliciousMsg>>;
+
+fn attack_trials(n: usize, k: usize, make: Attacker, trials: usize) -> simnet::TrialStats {
+    let config = Config::malicious(n, k).expect("within bound");
+    run_trials(trials, 0xE2, move |seed| {
+        let mut b = Sim::builder();
+        for i in 0..n - k {
+            b.process(
+                Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                Role::Correct,
+            );
+        }
+        for _ in 0..k {
+            b.process(make(config), Role::Faulty);
+        }
+        b.seed(seed).step_limit(16_000_000);
+        b.build()
+    })
+}
+
+fn sweep() {
+    let strategies: [(&str, Attacker); 4] = [
+        ("silent", |_c| Box::new(Silent::<MaliciousMsg>::new())),
+        ("contrarian", |c| Box::new(ContrarianMalicious::new(c))),
+        ("two-faced", |c| Box::new(TwoFacedMalicious::new(c))),
+        ("equiv-echo", |c| Box::new(EquivocatingEchoer::new(c))),
+    ];
+    println!("\nE2: malicious resilience sweep (100 trials/point, max k)");
+    println!(
+        "{:>4} {:>4} {:<12} {:>10} {:>10} {:>12}",
+        "n", "k", "strategy", "agree", "decide", "mean phases"
+    );
+    for n in [4usize, 7, 10, 13] {
+        let k = (n - 1) / 3;
+        for (name, make) in strategies {
+            let stats = attack_trials(n, k, make, 100);
+            assert_eq!(
+                stats.disagreements, 0,
+                "Theorem 4 violated: n={n} k={k} vs {name}"
+            );
+            println!(
+                "{n:>4} {k:>4} {:<12} {:>9}% {:>9}% {:>12.2}",
+                name,
+                100 * (stats.trials - stats.disagreements) / stats.trials,
+                100 * stats.decided / stats.trials,
+                stats.phases.mean,
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e2_malicious_n7_k2_contrarian_run", |b| {
+        let config = Config::malicious(7, 2).unwrap();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut builder = Sim::builder();
+            for i in 0..5 {
+                builder.process(
+                    Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            for _ in 0..2 {
+                builder.process(Box::new(ContrarianMalicious::new(config)), Role::Faulty);
+            }
+            builder.seed(seed).step_limit(16_000_000);
+            builder.build().run()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

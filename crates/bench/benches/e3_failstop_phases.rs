@@ -1,0 +1,60 @@
+//! E3 — §4.1 / eq. (13): expected phases of the simple majority variant
+//! from a balanced start are **< 7, independent of n**.
+//!
+//! Three estimates side by side: the exact Markov-chain absorption time,
+//! the paper's collapsed-chain closed form (eq. 13), and Monte-Carlo
+//! simulation of the actual protocol under the fair scheduler.
+
+use bench::{simple_system, split_inputs};
+use bt_core::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use markov::{collapsed, FailStopChain};
+use simnet::run_trials;
+
+fn sweep() {
+    println!("\nE3: §4.1 fail-stop expected phases, k = n/3, balanced inputs");
+    println!(
+        "{:>4} {:>14} {:>14} {:>16} {:>8}",
+        "n", "exact chain", "eq.(13) bound", "simulated (400x)", "< 7 ?"
+    );
+    for n in [12usize, 18, 24, 30] {
+        let chain = FailStopChain::paper(n);
+        let exact = chain.expected_phases_balanced();
+        let bound = collapsed::headline_bound(n);
+        // Simulate at the protocol's maximal decidable k = ⌊(n−1)/3⌋ (at
+        // the analysis's idealized k = n/3 the decide threshold equals the
+        // quota and no process can decide — see EXPERIMENTS.md).
+        let config = Config::unchecked(n, (n - 1) / 3);
+        let inputs = split_inputs(n, n / 2);
+        let stats = run_trials(400, 0xE3, |seed| simple_system(config, &inputs, 0, seed));
+        assert!(bound < 7.0, "eq. (13) must stay below 7");
+        println!(
+            "{n:>4} {exact:>14.3} {bound:>14.3} {:>16.3} {:>8}",
+            stats.phases.mean,
+            if stats.phases.mean < 7.0 { "yes" } else { "NO" },
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e3_simple_n18_balanced_run", |b| {
+        let config = Config::unchecked(18, 5);
+        let inputs = split_inputs(18, 9);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            simple_system(config, &inputs, 0, seed).run()
+        });
+    });
+    c.bench_function("e3_exact_chain_n30", |b| {
+        b.iter(|| FailStopChain::paper(30).expected_phases_balanced());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

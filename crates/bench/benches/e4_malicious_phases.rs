@@ -1,0 +1,56 @@
+//! E4 — §4.2: against the balancing adversary, the malicious protocol's
+//! expected phases are bounded by `1/(2Φ(l))` for `k = l√n/2` — and hence
+//! **constant for k = o(√n)**.
+
+use bench::{malicious_system, split_inputs};
+use bt_core::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use markov::MaliciousChain;
+use simnet::run_trials;
+
+fn sweep() {
+    println!("\nE4: §4.2 malicious expected phases vs balancing adversary");
+    println!(
+        "{:>4} {:>4} {:>7} {:>14} {:>14} {:>16}",
+        "n", "k", "l", "exact chain", "1/(2Φ(l))", "simulated (150x)"
+    );
+    for &(n, k) in &[(16usize, 1usize), (25, 2), (36, 3), (49, 3)] {
+        let chain = MaliciousChain::new(n, k);
+        let exact = chain.expected_phases_balanced();
+        let l = chain.l_parameter();
+        let bound = MaliciousChain::paper_bound(l);
+
+        let config = Config::malicious(n, k).expect("k ≤ n/5 ≤ (n−1)/3 here");
+        let inputs = split_inputs(n, n / 2);
+        let stats = run_trials(150, 0xE4, |seed| malicious_system(config, &inputs, k, seed));
+        assert_eq!(stats.disagreements, 0);
+        println!(
+            "{n:>4} {k:>4} {l:>7.3} {exact:>14.3} {bound:>14.3} {:>16.3}",
+            stats.phases.mean
+        );
+    }
+    println!("k = o(√n) ⇒ l → 0 ⇒ bound → 1: constant expected phases.");
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e4_malicious_n16_k1_balancing_run", |b| {
+        let config = Config::malicious(16, 1).unwrap();
+        let inputs = split_inputs(16, 8);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            malicious_system(config, &inputs, 1, seed).run()
+        });
+    });
+    c.bench_function("e4_exact_chain_n49_k3", |b| {
+        b.iter(|| MaliciousChain::new(49, 3).expected_phases_balanced());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E5 — Theorems 1 and 3: what happens at and beyond the resilience
+//! bounds.
+//!
+//! Within the bound, everything holds (E1/E2 cover that densely). At
+//! `k > ⌊(n−1)/2⌋` the Figure 1 protocol provably cannot decide (witness
+//! threshold exceeds quota) — verified here by exhaustive exploration.
+//! And when the *actual* number of Byzantine processes exceeds the `k` the
+//! thresholds were tuned for, consistency/termination break — found here
+//! by seed search.
+
+use adversary::TwoFacedMalicious;
+use bt_core::{Config, Malicious};
+use criterion::{criterion_group, criterion_main, Criterion};
+use modelcheck::demos;
+use simnet::{Role, Sim, Value};
+
+fn demonstrate() {
+    println!("\nE5: lower-bound demonstrations");
+
+    // Lemma 2: bivalent initial configuration (exhaustive).
+    let config = Config::fail_stop(3, 1).unwrap();
+    let bivalent = demos::find_bivalent_initial(config, 1);
+    println!("  Lemma 2, n=3 k=1: bivalent initial inputs = {bivalent:?}");
+    assert!(bivalent.is_some());
+
+    // Theorem 1: beyond the bound, no decision is reachable (exhaustive).
+    let stuck = demos::failstop_beyond_bound_never_decides(2, 1);
+    println!("  Thm 1, n=2 k=1 (> bound 0): no schedule decides = {stuck}");
+    assert!(stuck);
+
+    // Theorem 3 flip side: protocol tuned for k=1 faces 2 attackers.
+    let tuned = Config::malicious(4, 1).unwrap();
+    let mut first_violation = None;
+    for seed in 0..3_000u64 {
+        let mut b = Sim::builder();
+        for i in 0..2 {
+            b.process(
+                Box::new(Malicious::new(tuned, Value::from(i == 0))),
+                Role::Correct,
+            );
+        }
+        for _ in 0..2 {
+            b.process(Box::new(TwoFacedMalicious::new(tuned)), Role::Faulty);
+        }
+        let r = b.seed(seed).step_limit(150_000).build().run();
+        if !r.agreement() {
+            first_violation = Some((seed, "agreement"));
+            break;
+        }
+        if !r.all_correct_decided() {
+            first_violation = Some((seed, "termination"));
+            break;
+        }
+    }
+    println!("  Thm 3, n=4 tuned k=1, 2 attackers: violation = {first_violation:?}");
+    assert!(
+        first_violation.is_some(),
+        "guarantees must break beyond the bound"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    demonstrate();
+    c.bench_function("e5_exhaustive_bivalence_n3", |b| {
+        let config = Config::fail_stop(3, 1).unwrap();
+        b.iter(|| demos::failstop_valence(config, &[Value::One, Value::Zero, Value::One], 1));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

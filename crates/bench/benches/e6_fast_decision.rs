@@ -1,0 +1,87 @@
+//! E6 — the fast-decision claims at the ends of §2.3 and §3.3:
+//!
+//! * fail-stop: if more than `(n+k)/2` processes share an input, every
+//!   correct process decides that value "in just three phases";
+//! * malicious: if more than `(n+k)/2` *correct* processes share an input,
+//!   every process decides it "in just two phases";
+//! * in both cases the decision approximates the majority of the inputs.
+
+use bench::{failstop_system, malicious_system, split_inputs};
+use bt_core::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{run_trials, Value};
+
+fn sweep() {
+    let n = 9;
+
+    println!("\nE6a: fail-stop supermajority fast path (n=9, k=4, 300 trials)");
+    let k = 4;
+    let config = Config::fail_stop(n, k).unwrap();
+    // (n+k)/2 = 6.5 ⇒ at least 7 ones forces value 1.
+    for ones in [7usize, 8, 9] {
+        let inputs = split_inputs(n, ones);
+        let stats = run_trials(300, 0xE6, |seed| failstop_system(config, &inputs, 0, seed));
+        assert_eq!(stats.one_rate(), 1.0, "supermajority input must win");
+        println!(
+            "  ones={ones}: decided 1 in {:.0}% trials, phases p50={} max={}",
+            stats.one_rate() * 100.0,
+            stats.phases.p50,
+            stats.phases.max
+        );
+        assert!(stats.phases.max <= 3.0, "three-phase claim");
+    }
+
+    println!("\nE6b: malicious supermajority fast path (n=9, k=2, 300 trials)");
+    let k = 2;
+    let config = Config::malicious(n, k).unwrap();
+    // (n+k)/2 = 5.5 ⇒ at least 6 correct ones forces value 1.
+    for ones in [6usize, 7] {
+        let inputs = split_inputs(n, ones);
+        let stats = run_trials(300, 0xE6, |seed| malicious_system(config, &inputs, 0, seed));
+        assert_eq!(stats.one_rate(), 1.0, "supermajority input must win");
+        println!(
+            "  ones={ones}: decided 1 in {:.0}% trials, phases p50={} max={}",
+            stats.one_rate() * 100.0,
+            stats.phases.p50,
+            stats.phases.max
+        );
+        assert!(stats.phases.max <= 2.0, "two-phase claim");
+    }
+
+    println!("\nE6c: decision ≈ majority of inputs (n=9, fail-stop k=2, 300 trials)");
+    println!("  {:>6} {:>18}", "ones", "P[decide 1]");
+    for ones in 0..=n {
+        let config = Config::fail_stop(n, 2).unwrap();
+        let inputs = split_inputs(n, ones);
+        let stats = run_trials(300, 0xE6C, |seed| failstop_system(config, &inputs, 0, seed));
+        println!("  {ones:>6} {:>17.1}%", stats.one_rate() * 100.0);
+        // Unanimity is exactly the bivalence/validity corner:
+        if ones == 0 {
+            assert_eq!(stats.one_rate(), 0.0);
+        }
+        if ones == n {
+            assert_eq!(stats.one_rate(), 1.0);
+        }
+    }
+    let _ = Value::Zero;
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e6_failstop_supermajority_run", |b| {
+        let config = Config::fail_stop(9, 4).unwrap();
+        let inputs = split_inputs(9, 8);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            failstop_system(config, &inputs, 0, seed).run()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

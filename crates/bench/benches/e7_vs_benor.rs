@@ -1,0 +1,80 @@
+//! E7 — the §6 comparison: Bracha-Toueg vs Ben-Or.
+//!
+//! Same substrate, same fair scheduler, same 50/50 input split. The paper:
+//! Ben-Or's protocols "have an exponential expected termination time in the
+//! fail-stop case, and, in the malicious case, they can overcome up to n/5
+//! malicious processes" (vs n/3 here). Expect the Ben-Or column to grow
+//! with n while Bracha-Toueg stays flat.
+
+use benor::{build_correct_system as benor_system, BenOrConfig};
+use bt_core::{simple::build_correct_system as bt_system, Config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{run_trials, Sim, Value};
+
+fn split(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::from(i % 2 == 0)).collect()
+}
+
+fn sweep() {
+    println!("\nE7: phases/rounds to decide, 50/50 inputs, no faults (200 trials)");
+    println!(
+        "{:>4} {:>22} {:>22}",
+        "n", "Bracha-Toueg (§4.1)", "Ben-Or (fail-stop)"
+    );
+    for n in [4usize, 6, 8, 10, 12] {
+        let bt_cfg = Config::malicious(n, (n - 1) / 3).unwrap();
+        let bt = run_trials(200, 0xE7, |seed| {
+            let mut b = Sim::builder();
+            bt_system(&mut b, bt_cfg, &split(n));
+            b.seed(seed).step_limit(8_000_000);
+            b.build()
+        });
+
+        let bo_cfg = BenOrConfig::fail_stop(n, (n - 1) / 2).unwrap();
+        let bo = run_trials(200, 0xE7, |seed| {
+            let mut b = Sim::builder();
+            benor_system(&mut b, bo_cfg, &split(n));
+            b.seed(seed).step_limit(8_000_000);
+            b.build()
+        });
+
+        println!(
+            "{n:>4} {:>15.2} ± {:<4.1} {:>15.2} ± {:<4.1}",
+            bt.phases.mean, bt.phases.stddev, bo.phases.mean, bo.phases.stddev
+        );
+    }
+    println!("resilience: Bracha-Toueg tolerates n/3 malicious, Ben-Or only n/5.");
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e7_bt_simple_n8_run", |b| {
+        let cfg = Config::malicious(8, 2).unwrap();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut builder = Sim::builder();
+            bt_system(&mut builder, cfg, &split(8));
+            builder.seed(seed).step_limit(8_000_000);
+            builder.build().run()
+        });
+    });
+    c.bench_function("e7_benor_n8_run", |b| {
+        let cfg = BenOrConfig::fail_stop(8, 3).unwrap();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut builder = Sim::builder();
+            benor_system(&mut builder, cfg, &split(8));
+            builder.seed(seed).step_limit(8_000_000);
+            builder.build().run()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

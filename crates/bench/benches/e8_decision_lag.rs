@@ -1,0 +1,80 @@
+//! E8 — the §3.3 note: "if k < n/5, once a correct process decides, all
+//! the other processes also decide within one phase."
+//!
+//! Measured as the *decision lag*: the difference between the last and
+//! first correct decision phases within a run, compared across the
+//! `k < n/5` and `n/5 ≤ k ≤ (n−1)/3` regimes.
+
+use adversary::ContrarianMalicious;
+use bt_core::{Config, Malicious};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{Role, Sim, SimRng, Value};
+
+/// Runs one configuration and returns (max−min) decision phase over
+/// correct processes, if all decided.
+fn decision_lag(n: usize, k: usize, seed: u64) -> Option<u64> {
+    let config = Config::malicious(n, k).expect("within bound");
+    let mut b = Sim::builder();
+    for i in 0..n - k {
+        b.process(
+            Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+            Role::Correct,
+        );
+    }
+    for _ in 0..k {
+        b.process(Box::new(ContrarianMalicious::new(config)), Role::Faulty);
+    }
+    let r = b.seed(seed).step_limit(6_000_000).build().run();
+    if !r.all_correct_decided() {
+        return None;
+    }
+    let phases: Vec<u64> = r.correct().filter_map(|i| r.decision_phases[i]).collect();
+    Some(phases.iter().max().unwrap() - phases.iter().min().unwrap())
+}
+
+fn sweep() {
+    println!("\nE8: decision lag (last − first correct decision phase), 60 trials");
+    println!(
+        "{:>4} {:>4} {:>10} {:>10} {:>12} {:>12}",
+        "n", "k", "k < n/5?", "mean lag", "max lag", "lag ≤ 1 %"
+    );
+    let mut rng = SimRng::seed(0xE8);
+    for &(n, k) in &[(11usize, 2usize), (16, 3), (13, 4)] {
+        let mut lags = Vec::new();
+        for i in 0..60 {
+            let seed = rng.fork(i).initial_seed();
+            if let Some(lag) = decision_lag(n, k, seed) {
+                lags.push(lag);
+            }
+        }
+        let small_k = 5 * k < n;
+        let mean = lags.iter().sum::<u64>() as f64 / lags.len() as f64;
+        let max = *lags.iter().max().unwrap();
+        let within = lags.iter().filter(|&&l| l <= 1).count() * 100 / lags.len();
+        println!(
+            "{n:>4} {k:>4} {:>10} {mean:>10.2} {max:>12} {within:>11}%",
+            if small_k { "yes" } else { "no" }
+        );
+        if small_k {
+            assert_eq!(within, 100, "k < n/5 must give lag ≤ 1 (n={n}, k={k})");
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e8_lag_n11_k2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            decision_lag(11, 2, seed)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E9 — message complexity, visible in the structure of Figures 1 and 2:
+//! the fail-stop protocol sends `n` messages per process per phase
+//! (Θ(n²)/phase), while the malicious protocol's echo stage amplifies every
+//! initial into `n` echoes (Θ(n³)/phase).
+
+use bench::{failstop_system, malicious_system_silent, split_inputs};
+use bt_core::Config;
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::run_trials;
+
+fn sweep() {
+    println!("\nE9: messages per run and per phase·n² (100 trials, balanced inputs)");
+    println!(
+        "{:>4} | {:>12} {:>14} | {:>12} {:>14}",
+        "n", "FS msgs", "FS msgs/ph/n²", "MAL msgs", "MAL msgs/ph/n²"
+    );
+    for n in [4usize, 7, 10, 13, 16] {
+        let kf = (n - 1) / 2;
+        let fs_cfg = Config::fail_stop(n, kf).unwrap();
+        let inputs = split_inputs(n, n / 2);
+        let fs = run_trials(100, 0xE9, |seed| failstop_system(fs_cfg, &inputs, 0, seed));
+
+        let km = (n - 1) / 3;
+        let mal_cfg = Config::malicious(n, km).unwrap();
+        let mal = run_trials(100, 0xE9, |seed| {
+            malicious_system_silent(mal_cfg, &inputs, 0, seed)
+        });
+
+        let n2 = (n * n) as f64;
+        let fs_norm = fs.messages.mean / ((fs.phases.mean + 1.0) * n2);
+        let mal_norm = mal.messages.mean / ((mal.phases.mean + 1.0) * n2);
+        println!(
+            "{n:>4} | {:>12.0} {:>14.2} | {:>12.0} {:>14.2}",
+            fs.messages.mean, fs_norm, mal.messages.mean, mal_norm
+        );
+    }
+    println!("FS column stays O(1) per phase·n²; MAL column grows ~n (the echo factor).");
+}
+
+fn bench(c: &mut Criterion) {
+    sweep();
+    c.bench_function("e9_failstop_n13_message_accounting", |b| {
+        let cfg = Config::fail_stop(13, 6).unwrap();
+        let inputs = split_inputs(13, 6);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            failstop_system(cfg, &inputs, 0, seed).run().metrics
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! `experiments` — plot-ready CSV export of the headline sweeps.
+//!
+//! The Criterion benches (`cargo bench`) print every experiment's table and
+//! time representative runs; this binary re-runs the data-producing sweeps
+//! only and writes tidy CSV files for external plotting.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments -- results/
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use bench::{alternating_inputs, failstop_system, malicious_system, simple_system, split_inputs};
+use bt_core::Config;
+use markov::{collapsed, FailStopChain, MaliciousChain};
+use simnet::run_trials;
+
+fn write_csv(dir: &PathBuf, name: &str, header: &str, rows: &[String]) {
+    let mut out = String::new();
+    let _ = writeln!(out, "{header}");
+    for r in rows {
+        let _ = writeln!(out, "{r}");
+    }
+    let path = dir.join(name);
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// E1: agreement/termination/phases across (n, k) for the fail-stop
+/// protocol at maximal crash load.
+fn e1(dir: &PathBuf, trials: usize) {
+    let mut rows = Vec::new();
+    for n in [3usize, 5, 7, 9, 11, 15, 21] {
+        for k in [0, (n - 1) / 4, (n - 1) / 2] {
+            let config = Config::fail_stop(n, k).expect("within bound");
+            let inputs = alternating_inputs(n);
+            let s = run_trials(trials, 0xE1, |seed| failstop_system(config, &inputs, k, seed));
+            assert_eq!(s.disagreements, 0);
+            rows.push(format!(
+                "{n},{k},{},{},{:.4},{:.1}",
+                s.trials - s.disagreements,
+                s.decided,
+                s.phases.mean,
+                s.messages.mean
+            ));
+        }
+    }
+    write_csv(dir, "e1_failstop.csv", "n,k,agreed,decided,mean_phases,mean_msgs", &rows);
+}
+
+/// E3: analytic vs simulated expected phases for the §4.1 chain.
+fn e3(dir: &PathBuf, trials: usize) {
+    let mut rows = Vec::new();
+    for n in [12usize, 18, 24, 30] {
+        let chain = FailStopChain::paper(n);
+        let exact = chain.expected_phases_balanced();
+        let bound = collapsed::headline_bound(n);
+        // Decidable k (see EXPERIMENTS.md): the analysis idealizes n/3.
+        let config = Config::unchecked(n, (n - 1) / 3);
+        let inputs = split_inputs(n, n / 2);
+        let s = run_trials(trials, 0xE3, |seed| simple_system(config, &inputs, 0, seed));
+        rows.push(format!("{n},{exact:.4},{bound:.4},{:.4}", s.phases.mean));
+    }
+    write_csv(dir, "e3_phases.csv", "n,exact_chain,eq13_bound,simulated", &rows);
+}
+
+/// E4: §4.2 malicious chain vs balancing-adversary simulation.
+fn e4(dir: &PathBuf, trials: usize) {
+    let mut rows = Vec::new();
+    for &(n, k) in &[(16usize, 1usize), (25, 2), (36, 3), (49, 3)] {
+        let chain = MaliciousChain::new(n, k);
+        let l = chain.l_parameter();
+        let config = Config::malicious(n, k).expect("k ≤ n/5 here");
+        let inputs = split_inputs(n, n / 2);
+        let s = run_trials(trials, 0xE4, |seed| malicious_system(config, &inputs, k, seed));
+        assert_eq!(s.disagreements, 0);
+        rows.push(format!(
+            "{n},{k},{l:.4},{:.4},{:.4},{:.4}",
+            chain.expected_phases_balanced(),
+            MaliciousChain::paper_bound(l),
+            s.phases.mean
+        ));
+    }
+    write_csv(
+        dir,
+        "e4_malicious_phases.csv",
+        "n,k,l,exact_chain,paper_bound,simulated",
+        &rows,
+    );
+}
+
+/// E6c: P[decide 1] as a function of the number of 1-inputs — simulated
+/// (the §4.1 simple variant, which is exactly what the chain models) and
+/// analytic (the chain's absorption-probability curve).
+fn e6c(dir: &PathBuf, trials: usize) {
+    let n = 9;
+    let config = Config::unchecked(n, 2);
+    let chain = FailStopChain::new(n, 2);
+    let mut rows = Vec::new();
+    for ones in 0..=n {
+        let inputs = split_inputs(n, ones);
+        let s = run_trials(trials, 0xE6C, |seed| simple_system(config, &inputs, 0, seed));
+        rows.push(format!(
+            "{ones},{:.4},{:.4}",
+            s.one_rate(),
+            chain.probability_decides_one(ones)
+        ));
+    }
+    write_csv(
+        dir,
+        "e6c_majority_approx.csv",
+        "ones,simulated_p_one,chain_p_one",
+        &rows,
+    );
+}
+
+/// E7: Bracha-Toueg vs Ben-Or rounds on split inputs.
+fn e7(dir: &PathBuf, trials: usize) {
+    use benor::{build_correct_system as benor_sys, BenOrConfig};
+    use bt_core::simple::build_correct_system as bt_sys;
+    use simnet::Sim;
+
+    let mut rows = Vec::new();
+    for n in [4usize, 6, 8, 10, 12] {
+        let inputs = split_inputs(n, n / 2);
+        let bt_cfg = Config::malicious(n, (n - 1) / 3).expect("bound");
+        let bt = run_trials(trials, 0xE7, |seed| {
+            let mut b = Sim::builder();
+            bt_sys(&mut b, bt_cfg, &inputs);
+            b.seed(seed).step_limit(8_000_000);
+            b.build()
+        });
+        let bo_cfg = BenOrConfig::fail_stop(n, (n - 1) / 2).expect("bound");
+        let bo = run_trials(trials, 0xE7, |seed| {
+            let mut b = Sim::builder();
+            benor_sys(&mut b, bo_cfg, &inputs);
+            b.seed(seed).step_limit(8_000_000);
+            b.build()
+        });
+        rows.push(format!(
+            "{n},{:.4},{:.4},{:.4},{:.4}",
+            bt.phases.mean, bt.phases.stddev, bo.phases.mean, bo.phases.stddev
+        ));
+    }
+    write_csv(
+        dir,
+        "e7_vs_benor.csv",
+        "n,bt_mean,bt_std,benor_mean,benor_std",
+        &rows,
+    );
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    std::fs::create_dir_all(&dir).expect("creating output directory");
+    let trials = std::env::var("TRIALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+    println!("running sweeps with {trials} trials per point → {}", dir.display());
+    e1(&dir, trials);
+    e3(&dir, trials);
+    e4(&dir, trials);
+    e6c(&dir, trials);
+    e7(&dir, trials);
+    println!("done.");
+}

@@ -1,0 +1,162 @@
+//! # bench — shared helpers for the experiment harness
+//!
+//! The `benches/` directory of this crate holds one Criterion bench per
+//! experiment (E1–E10 in `DESIGN.md`/`EXPERIMENTS.md`). This library holds
+//! the system-assembly helpers they share, so each bench file reads like
+//! the experiment it implements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use adversary::{ContrarianMalicious, CrashPlan, Crashing, Silent};
+use bt_core::{Config, FailStop, FailStopMsg, Malicious, MaliciousMsg, Simple, SimpleMsg};
+use simnet::{Role, Sim, Value};
+
+/// Alternating 0/1 inputs for `count` processes.
+#[must_use]
+pub fn alternating_inputs(count: usize) -> Vec<Value> {
+    (0..count).map(|i| Value::from(i % 2 == 0)).collect()
+}
+
+/// Inputs with exactly `ones` ones followed by zeros.
+#[must_use]
+pub fn split_inputs(count: usize, ones: usize) -> Vec<Value> {
+    assert!(ones <= count);
+    (0..count).map(|i| Value::from(i < ones)).collect()
+}
+
+/// A fail-stop system: `n − crashes` correct processes plus `crashes`
+/// processes that crash mid-run with staggered plans.
+#[must_use]
+pub fn failstop_system(
+    config: Config,
+    inputs: &[Value],
+    crashes: usize,
+    seed: u64,
+) -> Sim<FailStopMsg> {
+    assert_eq!(inputs.len(), config.n());
+    assert!(crashes <= config.k());
+    let mut b = Sim::builder();
+    let n = config.n();
+    for (i, &input) in inputs.iter().enumerate().take(n - crashes) {
+        let _ = i;
+        b.process(Box::new(FailStop::new(config, input)), Role::Correct);
+    }
+    for (j, &input) in inputs.iter().enumerate().skip(n - crashes) {
+        // Stagger crash plans: mid-broadcast, phase-boundary, late.
+        let plan = match j % 3 {
+            0 => CrashPlan::AfterSends(n as u64 / 2),
+            1 => CrashPlan::AtPhase(1),
+            _ => CrashPlan::AfterSends(3 * n as u64),
+        };
+        b.process(
+            Box::new(Crashing::new(FailStop::new(config, input), plan)),
+            Role::Faulty,
+        );
+    }
+    b.seed(seed).step_limit(4_000_000);
+    b.build()
+}
+
+/// A malicious-protocol system: `n − byz` correct processes plus `byz`
+/// balancing attackers (the §4.2 worst case).
+#[must_use]
+pub fn malicious_system(
+    config: Config,
+    inputs: &[Value],
+    byz: usize,
+    seed: u64,
+) -> Sim<MaliciousMsg> {
+    assert_eq!(inputs.len(), config.n());
+    assert!(byz <= config.k());
+    let mut b = Sim::builder();
+    for &input in inputs.iter().take(config.n() - byz) {
+        b.process(Box::new(Malicious::new(config, input)), Role::Correct);
+    }
+    for _ in 0..byz {
+        b.process(Box::new(ContrarianMalicious::new(config)), Role::Faulty);
+    }
+    b.seed(seed).step_limit(8_000_000);
+    b.build()
+}
+
+/// A malicious-protocol system with silent (dead-on-arrival) faults.
+#[must_use]
+pub fn malicious_system_silent(
+    config: Config,
+    inputs: &[Value],
+    dead: usize,
+    seed: u64,
+) -> Sim<MaliciousMsg> {
+    assert_eq!(inputs.len(), config.n());
+    let mut b = Sim::builder();
+    for &input in inputs.iter().take(config.n() - dead) {
+        b.process(Box::new(Malicious::new(config, input)), Role::Correct);
+    }
+    for _ in 0..dead {
+        b.process(Box::new(Silent::<MaliciousMsg>::new()), Role::Faulty);
+    }
+    b.seed(seed).step_limit(8_000_000);
+    b.build()
+}
+
+/// A §4.1 simple-variant system with `crashes` staggered crash faults.
+#[must_use]
+pub fn simple_system(
+    config: Config,
+    inputs: &[Value],
+    crashes: usize,
+    seed: u64,
+) -> Sim<SimpleMsg> {
+    assert_eq!(inputs.len(), config.n());
+    let mut b = Sim::builder();
+    let n = config.n();
+    for &input in inputs.iter().take(n - crashes) {
+        b.process(Box::new(Simple::new(config, input)), Role::Correct);
+    }
+    for (j, &input) in inputs.iter().enumerate().skip(n - crashes) {
+        let plan = match j % 2 {
+            0 => CrashPlan::AfterSends(n as u64 + n as u64 / 2),
+            _ => CrashPlan::AtPhase(2),
+        };
+        b.process(
+            Box::new(Crashing::new(Simple::new(config, input), plan)),
+            Role::Faulty,
+        );
+    }
+    b.seed(seed).step_limit(4_000_000);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_helpers() {
+        assert_eq!(
+            split_inputs(4, 1),
+            vec![Value::One, Value::Zero, Value::Zero, Value::Zero]
+        );
+        let alt = alternating_inputs(4);
+        assert_eq!(alt[0], Value::One);
+        assert_eq!(alt[1], Value::Zero);
+    }
+
+    #[test]
+    fn systems_run_and_agree() {
+        let fs = Config::fail_stop(5, 2).unwrap();
+        let r = failstop_system(fs, &alternating_inputs(5), 2, 3).run();
+        assert!(r.agreement());
+
+        let mal = Config::malicious(7, 2).unwrap();
+        let r = malicious_system(mal, &alternating_inputs(7), 2, 3).run();
+        assert!(r.agreement());
+
+        let r = malicious_system_silent(mal, &alternating_inputs(7), 2, 3).run();
+        assert!(r.agreement());
+
+        let r = simple_system(mal, &alternating_inputs(7), 2, 3).run();
+        assert!(r.agreement());
+    }
+}

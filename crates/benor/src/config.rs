@@ -1,0 +1,209 @@
+//! Configuration for the Ben-Or protocols.
+
+use core::fmt;
+
+/// Which fault model a Ben-Or instance is configured for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultModel {
+    /// Crash faults; requires `n > 2t`.
+    FailStop,
+    /// Malicious faults; requires `n > 5t` (Ben-Or's bound — weaker than
+    /// Bracha-Toueg's `n > 3t`, which is the point of the comparison).
+    Byzantine,
+}
+
+/// Error returned when `(n, t)` violates the variant's resilience bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenOrConfigError {
+    n: usize,
+    t: usize,
+    model: FaultModel,
+}
+
+impl fmt::Display for BenOrConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bound = match self.model {
+            FaultModel::FailStop => "n > 2t",
+            FaultModel::Byzantine => "n > 5t",
+        };
+        write!(
+            f,
+            "t = {} faults with n = {} violates Ben-Or's {:?} bound {}",
+            self.t, self.n, self.model, bound
+        )
+    }
+}
+
+impl std::error::Error for BenOrConfigError {}
+
+/// A validated `(n, t)` pair for one of the Ben-Or variants, carrying the
+/// thresholds each step of the protocol compares against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BenOrConfig {
+    n: usize,
+    t: usize,
+    model: FaultModel,
+}
+
+impl BenOrConfig {
+    /// Creates a fail-stop configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenOrConfigError`] unless `n > 2t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn fail_stop(n: usize, t: usize) -> Result<Self, BenOrConfigError> {
+        assert!(n > 0, "a system needs at least one process");
+        if n <= 2 * t {
+            return Err(BenOrConfigError {
+                n,
+                t,
+                model: FaultModel::FailStop,
+            });
+        }
+        Ok(BenOrConfig {
+            n,
+            t,
+            model: FaultModel::FailStop,
+        })
+    }
+
+    /// Creates a Byzantine configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenOrConfigError`] unless `n > 5t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn byzantine(n: usize, t: usize) -> Result<Self, BenOrConfigError> {
+        assert!(n > 0, "a system needs at least one process");
+        if n <= 5 * t {
+            return Err(BenOrConfigError {
+                n,
+                t,
+                model: FaultModel::Byzantine,
+            });
+        }
+        Ok(BenOrConfig {
+            n,
+            t,
+            model: FaultModel::Byzantine,
+        })
+    }
+
+    /// The number of processes.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The tolerated number of faults.
+    #[must_use]
+    pub const fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The fault model this configuration targets.
+    #[must_use]
+    pub const fn model(&self) -> FaultModel {
+        self.model
+    }
+
+    /// Messages collected per exchange: `n − t`.
+    #[must_use]
+    pub const fn quota(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Whether `count` same-value reports justify a proposal:
+    /// `> n/2` (fail-stop) or `> (n+t)/2` (Byzantine).
+    #[must_use]
+    pub const fn proposes(&self, count: usize) -> bool {
+        match self.model {
+            FaultModel::FailStop => 2 * count > self.n,
+            FaultModel::Byzantine => 2 * count > self.n + self.t,
+        }
+    }
+
+    /// Whether `count` same-value proposals force a decision:
+    /// `≥ t+1` (fail-stop) or `≥ 2t+1` (Byzantine).
+    #[must_use]
+    pub const fn decides(&self, count: usize) -> bool {
+        match self.model {
+            FaultModel::FailStop => count > self.t,
+            FaultModel::Byzantine => count > 2 * self.t,
+        }
+    }
+
+    /// Whether `count` same-value proposals are enough to *adopt* the value
+    /// instead of flipping a coin: `≥ 1` (fail-stop) or `≥ t+1` (Byzantine —
+    /// at least one correct proposer).
+    #[must_use]
+    pub const fn adopts(&self, count: usize) -> bool {
+        match self.model {
+            FaultModel::FailStop => count >= 1,
+            FaultModel::Byzantine => count > self.t,
+        }
+    }
+}
+
+impl fmt::Display for BenOrConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ben-or {:?} (n={}, t={})", self.model, self.n, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_stop_bound() {
+        assert!(BenOrConfig::fail_stop(5, 2).is_ok());
+        assert!(BenOrConfig::fail_stop(4, 2).is_err());
+        assert!(BenOrConfig::fail_stop(1, 0).is_ok());
+    }
+
+    #[test]
+    fn byzantine_bound() {
+        assert!(BenOrConfig::byzantine(6, 1).is_ok());
+        assert!(BenOrConfig::byzantine(5, 1).is_err());
+        assert!(BenOrConfig::byzantine(11, 2).is_ok());
+        assert!(BenOrConfig::byzantine(10, 2).is_err());
+    }
+
+    #[test]
+    fn fail_stop_thresholds() {
+        let c = BenOrConfig::fail_stop(7, 3).unwrap();
+        assert_eq!(c.quota(), 4);
+        assert!(!c.proposes(3)); // 6 > 7 is false
+        assert!(c.proposes(4));
+        assert!(!c.decides(3));
+        assert!(c.decides(4)); // t+1 = 4
+        assert!(c.adopts(1));
+        assert!(!c.adopts(0));
+    }
+
+    #[test]
+    fn byzantine_thresholds() {
+        let c = BenOrConfig::byzantine(11, 2).unwrap();
+        assert_eq!(c.quota(), 9);
+        assert!(!c.proposes(6)); // 12 > 13 false
+        assert!(c.proposes(7));
+        assert!(!c.decides(4));
+        assert!(c.decides(5)); // 2t+1 = 5
+        assert!(!c.adopts(2));
+        assert!(c.adopts(3)); // t+1 = 3
+    }
+
+    #[test]
+    fn error_mentions_bound() {
+        let e = BenOrConfig::byzantine(5, 1).unwrap_err();
+        assert!(e.to_string().contains("5t"));
+    }
+}

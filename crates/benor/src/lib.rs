@@ -1,0 +1,58 @@
+//! # benor — Ben-Or's randomized consensus (the §6 baseline)
+//!
+//! Bracha & Toueg close by comparing their protocols with Ben-Or's
+//! contemporaneous randomized consensus \[BenO83\]: *"The protocols are
+//! similar to those given in this paper, but randomization is incorporated
+//! in the protocol itself. They have an exponential expected termination
+//! time in the fail-stop case, and, in the malicious case, they can
+//! overcome up to n/5 malicious processes."*
+//!
+//! This crate implements both Ben-Or variants on the same [`simnet`]
+//! substrate so experiment E7 can race them against the Bracha-Toueg
+//! protocols:
+//!
+//! * [`BenOrFailStop`] — tolerates `t < n/2` crash faults;
+//! * [`BenOrByzantine`] — tolerates `t < n/5` malicious faults.
+//!
+//! Each round has two exchanges. **Report**: broadcast `(R, r, x)` and
+//! collect `n−t`; if a strict majority (fail-stop) or `> (n+t)/2`
+//! (Byzantine) carry the same `v`, propose it. **Propose**: broadcast
+//! `(P, r, v)` or `(P, r, ⊥)` and collect `n−t`; decide `v` on `t+1`
+//! (fail-stop) / `2t+1` (Byzantine) proposals for `v`, adopt `v` on
+//! `1` / `t+1`, otherwise **flip a fair coin**. The coin is the crucial
+//! contrast with Bracha-Toueg: randomness lives in the protocol, not in the
+//! message system, and with divided inputs the expected number of rounds
+//! grows exponentially in the number of processes that must land the same
+//! coin face.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use benor::{BenOrConfig, BenOrFailStop};
+//! use simnet::{Role, Sim, Value};
+//!
+//! let config = BenOrConfig::fail_stop(5, 2)?;
+//! let mut b = Sim::builder();
+//! for i in 0..5 {
+//!     b.process(
+//!         Box::new(BenOrFailStop::new(config, Value::from(i % 2 == 0))),
+//!         Role::Correct,
+//!     );
+//! }
+//! let report = b.seed(9).build().run();
+//! assert!(report.agreement());
+//! assert!(report.all_correct_decided());
+//! # Ok::<(), benor::BenOrConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod message;
+mod process;
+
+pub use config::{BenOrConfig, BenOrConfigError, FaultModel};
+pub use message::{BenOrMsg, Exchange};
+pub use process::{build_correct_system, BenOrByzantine, BenOrFailStop, BenOrProcess};

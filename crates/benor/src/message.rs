@@ -1,0 +1,67 @@
+//! Wire messages of the Ben-Or protocol.
+
+use simnet::Value;
+
+/// Which of the two per-round exchanges a message belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Exchange {
+    /// First exchange: every process reports its current value.
+    Report,
+    /// Second exchange: processes propose a value they saw a quorum report,
+    /// or abstain (`value: None`, the paper's `?`).
+    Propose,
+}
+
+/// A Ben-Or message: `(exchange, round, value)`.
+///
+/// `value` is always `Some` in reports; in proposals `None` encodes the
+/// abstention mark `?` sent when no reported value reached the proposal
+/// threshold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BenOrMsg {
+    /// Which exchange of the round.
+    pub exchange: Exchange,
+    /// The round number.
+    pub round: u64,
+    /// The carried value; `None` is a proposal abstention.
+    pub value: Option<Value>,
+}
+
+impl BenOrMsg {
+    /// A report of `value` in `round`.
+    #[must_use]
+    pub fn report(round: u64, value: Value) -> Self {
+        BenOrMsg {
+            exchange: Exchange::Report,
+            round,
+            value: Some(value),
+        }
+    }
+
+    /// A proposal of `value` in `round` (`None` = abstain).
+    #[must_use]
+    pub fn propose(round: u64, value: Option<Value>) -> Self {
+        BenOrMsg {
+            exchange: Exchange::Propose,
+            round,
+            value,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let r = BenOrMsg::report(3, Value::One);
+        assert_eq!(r.exchange, Exchange::Report);
+        assert_eq!(r.round, 3);
+        assert_eq!(r.value, Some(Value::One));
+
+        let p = BenOrMsg::propose(4, None);
+        assert_eq!(p.exchange, Exchange::Propose);
+        assert_eq!(p.value, None);
+    }
+}

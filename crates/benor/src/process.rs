@@ -1,0 +1,406 @@
+//! The Ben-Or process state machine.
+
+use std::collections::{BTreeMap, HashSet};
+
+use simnet::{Ctx, Envelope, Process, ProcessId, Value};
+
+use crate::{BenOrConfig, BenOrMsg, Exchange};
+
+/// Ben-Or's protocol configured for crash faults (`n > 2t`). Alias of
+/// [`BenOrProcess`]; construct it with a [`BenOrConfig::fail_stop`] config.
+pub type BenOrFailStop = BenOrProcess;
+
+/// Ben-Or's protocol configured for malicious faults (`n > 5t`). Alias of
+/// [`BenOrProcess`]; construct it with a [`BenOrConfig::byzantine`] config.
+pub type BenOrByzantine = BenOrProcess;
+
+/// One process of Ben-Or's randomized consensus protocol.
+///
+/// The state machine is round-based with two exchanges per round; the
+/// thresholds (and hence the fault model) come from the [`BenOrConfig`].
+/// After deciding, the process keeps participating — like the Figure 2
+/// protocol, Ben-Or processes never block anyone by leaving, and the engine
+/// stops the run once every correct process has decided.
+///
+/// # Examples
+///
+/// ```
+/// use benor::{BenOrConfig, BenOrProcess};
+/// use simnet::{Role, Sim, Value};
+///
+/// let config = BenOrConfig::byzantine(6, 1)?;
+/// let mut b = Sim::builder();
+/// for _ in 0..6 {
+///     b.process(Box::new(BenOrProcess::new(config, Value::One)), Role::Correct);
+/// }
+/// let report = b.seed(4).build().run();
+/// assert_eq!(report.decided_value(), Some(Value::One));
+/// # Ok::<(), benor::BenOrConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct BenOrProcess {
+    config: BenOrConfig,
+    value: Value,
+    round: u64,
+    exchange: Exchange,
+    /// Same-value report counts for the current exchange.
+    report_count: [usize; 2],
+    reports_total: usize,
+    /// Proposal counts: per value, plus abstentions.
+    propose_count: [usize; 2],
+    proposes_total: usize,
+    /// Senders already counted in the current exchange (duplicates and
+    /// Byzantine double-sends are ignored).
+    seen: HashSet<usize>,
+    /// Future-slot messages: slot = round * 2 + exchange index.
+    deferred: BTreeMap<u64, Vec<(ProcessId, BenOrMsg)>>,
+    decision: Option<Value>,
+    decided_round: Option<u64>,
+}
+
+fn slot_of(round: u64, exchange: Exchange) -> u64 {
+    round * 2
+        + match exchange {
+            Exchange::Report => 0,
+            Exchange::Propose => 1,
+        }
+}
+
+impl BenOrProcess {
+    /// Creates a process with the given initial value.
+    #[must_use]
+    pub fn new(config: BenOrConfig, input: Value) -> Self {
+        BenOrProcess {
+            config,
+            value: input,
+            round: 0,
+            exchange: Exchange::Report,
+            report_count: [0; 2],
+            reports_total: 0,
+            propose_count: [0; 2],
+            proposes_total: 0,
+            seen: HashSet::new(),
+            deferred: BTreeMap::new(),
+            decision: None,
+            decided_round: None,
+        }
+    }
+
+    /// The process's current working value.
+    #[must_use]
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// The configuration this process runs under.
+    #[must_use]
+    pub fn config(&self) -> BenOrConfig {
+        self.config
+    }
+
+    /// The round this process is currently in.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    fn current_slot(&self) -> u64 {
+        slot_of(self.round, self.exchange)
+    }
+
+    /// Counts one current-slot message; returns `true` if the exchange's
+    /// quota was reached.
+    fn count(&mut self, sender: ProcessId, msg: BenOrMsg) -> bool {
+        if !self.seen.insert(sender.index()) {
+            return false;
+        }
+        match self.exchange {
+            Exchange::Report => {
+                // A report must carry a value; a Byzantine ⊥-report counts
+                // toward the quota but toward neither value.
+                if let Some(v) = msg.value {
+                    self.report_count[v.index()] += 1;
+                }
+                self.reports_total += 1;
+                self.reports_total >= self.config.quota()
+            }
+            Exchange::Propose => {
+                if let Some(v) = msg.value {
+                    self.propose_count[v.index()] += 1;
+                }
+                self.proposes_total += 1;
+                self.proposes_total >= self.config.quota()
+            }
+        }
+    }
+
+    /// Finishes the current exchange and starts the next one.
+    fn finish_exchange(&mut self, ctx: &mut Ctx<'_, BenOrMsg>) {
+        match self.exchange {
+            Exchange::Report => {
+                let proposal = Value::BOTH
+                    .into_iter()
+                    .find(|v| self.config.proposes(self.report_count[v.index()]));
+                self.exchange = Exchange::Propose;
+                self.seen.clear();
+                self.propose_count = [0; 2];
+                self.proposes_total = 0;
+                ctx.broadcast(BenOrMsg::propose(self.round, proposal));
+            }
+            Exchange::Propose => {
+                // Pick the value with the larger proposal count (they cannot
+                // tie above the adoption threshold when both sides would
+                // need a correct proposer, but Byzantine noise can create
+                // small counts for both; majority wins, ties to zero).
+                let best = Value::majority_of(self.propose_count);
+                let best_count = self.propose_count[best.index()];
+                if self.config.decides(best_count) && self.decision.is_none() {
+                    self.decision = Some(best);
+                    self.decided_round = Some(self.round);
+                }
+                if self.config.adopts(best_count) {
+                    self.value = best;
+                } else if let Some(v) = self.decision {
+                    // A decided process keeps reporting its decision rather
+                    // than flipping coins against itself.
+                    self.value = v;
+                } else {
+                    self.value = Value::from(ctx.rng().coin());
+                }
+                self.round += 1;
+                self.exchange = Exchange::Report;
+                self.seen.clear();
+                self.report_count = [0; 2];
+                self.reports_total = 0;
+                ctx.broadcast(BenOrMsg::report(self.round, self.value));
+            }
+        }
+    }
+
+    fn drain_deferred(&mut self, ctx: &mut Ctx<'_, BenOrMsg>) {
+        loop {
+            let slot = self.current_slot();
+            let Some(batch) = self.deferred.remove(&slot) else {
+                return;
+            };
+            let mut ended = false;
+            for (sender, msg) in batch {
+                if self.count(sender, msg) {
+                    self.finish_exchange(ctx);
+                    ended = true;
+                    break;
+                }
+            }
+            if !ended {
+                return;
+            }
+        }
+    }
+}
+
+impl Process for BenOrProcess {
+    type Msg = BenOrMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, BenOrMsg>) {
+        ctx.broadcast(BenOrMsg::report(0, self.value));
+    }
+
+    fn on_receive(&mut self, env: Envelope<BenOrMsg>, ctx: &mut Ctx<'_, BenOrMsg>) {
+        let slot = slot_of(env.msg.round, env.msg.exchange);
+        let current = self.current_slot();
+        if slot < current {
+            return; // stale
+        }
+        if slot > current {
+            self.deferred
+                .entry(slot)
+                .or_default()
+                .push((env.from, env.msg));
+            return;
+        }
+        if self.count(env.from, env.msg) {
+            self.finish_exchange(ctx);
+            self.drain_deferred(ctx);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+
+    /// Ben-Or's "phase" is its round.
+    fn phase(&self) -> u64 {
+        self.round
+    }
+
+    fn decision_phase(&self) -> Option<u64> {
+        self.decided_round
+    }
+}
+
+/// Builds a full system of correct Ben-Or processes with the given inputs.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != config.n()`.
+pub fn build_correct_system(
+    builder: &mut simnet::SimBuilder<BenOrMsg>,
+    config: BenOrConfig,
+    inputs: &[Value],
+) {
+    assert_eq!(inputs.len(), config.n(), "one input per process");
+    for &input in inputs {
+        builder.process(
+            Box::new(BenOrProcess::new(config, input)),
+            simnet::Role::Correct,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::Sim;
+
+    fn run(config: BenOrConfig, inputs: &[Value], seed: u64) -> simnet::RunReport {
+        let mut b = Sim::builder();
+        build_correct_system(&mut b, config, inputs);
+        b.seed(seed).step_limit(8_000_000).build().run()
+    }
+
+    #[test]
+    fn unanimous_decides_in_round_zero() {
+        let config = BenOrConfig::fail_stop(5, 2).unwrap();
+        let report = run(config, &[Value::One; 5], 3);
+        assert_eq!(report.decided_value(), Some(Value::One));
+        assert_eq!(report.phases_to_decision(), Some(0));
+    }
+
+    #[test]
+    fn validity_for_unanimous_zero() {
+        let config = BenOrConfig::fail_stop(4, 1).unwrap();
+        for seed in 0..10 {
+            let report = run(config, &[Value::Zero; 4], seed);
+            assert_eq!(report.decided_value(), Some(Value::Zero), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn divided_inputs_agree_across_seeds() {
+        let config = BenOrConfig::fail_stop(5, 2).unwrap();
+        let inputs = [
+            Value::Zero,
+            Value::One,
+            Value::Zero,
+            Value::One,
+            Value::Zero,
+        ];
+        for seed in 0..20 {
+            let report = run(config, &inputs, seed);
+            assert!(report.agreement(), "seed {seed} broke agreement");
+            assert!(report.all_correct_decided(), "seed {seed} stalled");
+        }
+    }
+
+    #[test]
+    fn byzantine_variant_agrees_all_honest() {
+        let config = BenOrConfig::byzantine(6, 1).unwrap();
+        let inputs = [
+            Value::Zero,
+            Value::One,
+            Value::One,
+            Value::Zero,
+            Value::One,
+            Value::Zero,
+        ];
+        for seed in 0..15 {
+            let report = run(config, &inputs, seed);
+            assert!(report.agreement(), "seed {seed}");
+            assert!(report.all_correct_decided(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicate_messages_from_same_sender_count_once() {
+        let config = BenOrConfig::fail_stop(3, 1).unwrap();
+        let mut p = BenOrProcess::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = simnet::SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 3, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        let msg = BenOrMsg::report(0, Value::One);
+        p.on_receive(Envelope::new(ProcessId::new(1), msg), &mut ctx);
+        p.on_receive(Envelope::new(ProcessId::new(1), msg), &mut ctx);
+        assert_eq!(p.reports_total, 1, "duplicate ignored");
+        assert_eq!(p.round(), 0);
+    }
+
+    #[test]
+    fn report_then_propose_sequencing() {
+        let config = BenOrConfig::fail_stop(3, 1).unwrap();
+        let mut p = BenOrProcess::new(config, Value::One);
+        let mut outbox = Vec::new();
+        let mut rng = simnet::SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 3, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        assert_eq!(p.exchange, Exchange::Report);
+
+        // Two same-value reports (quota 2) → propose One (2 > 3/2).
+        for s in 0..2 {
+            p.on_receive(
+                Envelope::new(ProcessId::new(s), BenOrMsg::report(0, Value::One)),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.exchange, Exchange::Propose);
+
+        // Two proposals for One: count 2 ≥ t+1 = 2 → decide.
+        for s in 0..2 {
+            p.on_receive(
+                Envelope::new(ProcessId::new(s), BenOrMsg::propose(0, Some(Value::One))),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.decision(), Some(Value::One));
+        assert_eq!(p.decision_phase(), Some(0));
+        assert_eq!(p.round(), 1, "keeps participating in round 1");
+    }
+
+    #[test]
+    fn abstentions_count_toward_quota_but_no_value() {
+        let config = BenOrConfig::fail_stop(3, 1).unwrap();
+        let mut p = BenOrProcess::new(config, Value::One);
+        let mut outbox = Vec::new();
+        let mut rng = simnet::SimRng::seed(7);
+        {
+            let mut ctx = Ctx::new(ProcessId::new(0), 3, 0, &mut outbox, &mut rng);
+            p.on_start(&mut ctx);
+
+            for (s, v) in [(0, Value::Zero), (1, Value::One)] {
+                p.on_receive(
+                    Envelope::new(ProcessId::new(s), BenOrMsg::report(0, v)),
+                    &mut ctx,
+                );
+            }
+        }
+        assert_eq!(p.exchange, Exchange::Propose);
+        // Split reports → our own proposal was an abstention.
+        let own_proposal = outbox
+            .iter()
+            .find(|(_, m)| m.exchange == Exchange::Propose)
+            .unwrap();
+        assert_eq!(own_proposal.1.value, None);
+
+        // Two abstentions reach the quota with no adoptable value → coin.
+        let mut ctx = Ctx::new(ProcessId::new(0), 3, 1, &mut outbox, &mut rng);
+        for s in 0..2 {
+            p.on_receive(
+                Envelope::new(ProcessId::new(s), BenOrMsg::propose(0, None)),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.round(), 1);
+        assert_eq!(p.decision(), None);
+    }
+}

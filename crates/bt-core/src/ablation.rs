@@ -1,0 +1,310 @@
+//! Ablation instruments: the Figure 1 protocol with *adjustable*
+//! thresholds, used to demonstrate **why** the paper's thresholds are what
+//! they are.
+//!
+//! Figure 1 rests on two numbers: a message is a *witness* only above
+//! cardinality `n/2`, and a process decides only above `k` witnesses. The
+//! consistency proof uses both: majorities intersect (no phase has
+//! witnesses for both values), and `> k` witnesses guarantee a witness
+//! survives into every other correct process's view. [`ThresholdRule`]
+//! lets experiments lower either threshold and watch consistency break —
+//! the ablation study behind experiment E5/E11.
+//!
+//! This type is an experiment instrument, not part of the verified
+//! protocol surface: [`FailStop`](crate::FailStop) is the faithful
+//! implementation.
+
+use std::collections::BTreeMap;
+
+use simnet::{Ctx, Envelope, Process, Value};
+
+use crate::{Config, FailStopMsg};
+
+/// Adjustable thresholds for [`AblatedFailStop`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThresholdRule {
+    /// A message is a witness if `cardinality ≥ witness_at` (the paper:
+    /// `⌊n/2⌋ + 1`).
+    pub witness_at: usize,
+    /// Decide once `witness_count ≥ decide_at` (the paper: `k + 1`).
+    pub decide_at: usize,
+}
+
+impl ThresholdRule {
+    /// The paper's thresholds for this configuration.
+    #[must_use]
+    pub fn paper(config: Config) -> Self {
+        ThresholdRule {
+            witness_at: config.n() / 2 + 1,
+            decide_at: config.k() + 1,
+        }
+    }
+
+    /// The paper's thresholds weakened: witness bar lowered by
+    /// `witness_slack`, decision bar lowered by `decide_slack` (floored at
+    /// 1).
+    #[must_use]
+    pub fn weakened(config: Config, witness_slack: usize, decide_slack: usize) -> Self {
+        let paper = Self::paper(config);
+        ThresholdRule {
+            witness_at: paper.witness_at.saturating_sub(witness_slack).max(1),
+            decide_at: paper.decide_at.saturating_sub(decide_slack).max(1),
+        }
+    }
+}
+
+/// Figure 1 with its two thresholds exposed as parameters.
+///
+/// With [`ThresholdRule::paper`] this behaves exactly like
+/// [`FailStop`](crate::FailStop); with weakened rules it decides faster —
+/// and, beyond the proof's requirements, wrongly.
+///
+/// # Examples
+///
+/// ```
+/// use bt_core::ablation::{AblatedFailStop, ThresholdRule};
+/// use bt_core::Config;
+/// use simnet::{Role, Sim, Value};
+///
+/// let config = Config::fail_stop(5, 2)?;
+/// let rule = ThresholdRule::paper(config);
+/// let mut b = Sim::builder();
+/// for i in 0..5 {
+///     b.process(
+///         Box::new(AblatedFailStop::new(config, rule, Value::from(i % 2 == 0))),
+///         Role::Correct,
+///     );
+/// }
+/// let report = b.seed(3).build().run();
+/// assert!(report.agreement());
+/// # Ok::<(), bt_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AblatedFailStop {
+    config: Config,
+    rule: ThresholdRule,
+    value: Value,
+    cardinality: usize,
+    phase: u64,
+    message_count: [usize; 2],
+    witness_count: [usize; 2],
+    deferred: BTreeMap<u64, Vec<FailStopMsg>>,
+    decision: Option<Value>,
+    halted: bool,
+}
+
+impl AblatedFailStop {
+    /// Creates a process with the given thresholds and initial value.
+    #[must_use]
+    pub fn new(config: Config, rule: ThresholdRule, input: Value) -> Self {
+        AblatedFailStop {
+            config,
+            rule,
+            value: input,
+            cardinality: 1,
+            phase: 0,
+            message_count: [0; 2],
+            witness_count: [0; 2],
+            deferred: BTreeMap::new(),
+            decision: None,
+            halted: false,
+        }
+    }
+
+    /// The thresholds in force.
+    #[must_use]
+    pub fn rule(&self) -> ThresholdRule {
+        self.rule
+    }
+
+    fn count_message(&mut self, msg: FailStopMsg, ctx: &mut Ctx<'_, FailStopMsg>) -> bool {
+        self.message_count[msg.value.index()] += 1;
+        if msg.cardinality >= self.rule.witness_at {
+            self.witness_count[msg.value.index()] += 1;
+        }
+        if self.message_count[0] + self.message_count[1] < self.config.quota() {
+            return false;
+        }
+        self.end_phase(ctx);
+        true
+    }
+
+    fn end_phase(&mut self, ctx: &mut Ctx<'_, FailStopMsg>) {
+        // With weakened witness rules BOTH counts can be positive — the
+        // invariant the paper's threshold buys. Resolve by majority of
+        // witnesses then of messages (a best effort that cannot save
+        // consistency, as the ablation benches show).
+        if self.witness_count[0] > 0 || self.witness_count[1] > 0 {
+            self.value = if self.witness_count[1] > self.witness_count[0] {
+                Value::One
+            } else if self.witness_count[0] > self.witness_count[1] {
+                Value::Zero
+            } else {
+                Value::majority_of(self.message_count)
+            };
+        } else {
+            self.value = Value::majority_of(self.message_count);
+        }
+        self.cardinality = self.message_count[self.value.index()];
+        self.phase += 1;
+
+        for v in Value::BOTH {
+            if self.witness_count[v.index()] >= self.rule.decide_at {
+                // Beyond-paper configurations can produce enough witnesses
+                // for the non-adopted value; decide the witnessed one.
+                self.decision = Some(v);
+                ctx.broadcast(FailStopMsg {
+                    phase: self.phase,
+                    value: v,
+                    cardinality: self.config.quota(),
+                });
+                ctx.broadcast(FailStopMsg {
+                    phase: self.phase + 1,
+                    value: v,
+                    cardinality: self.config.quota(),
+                });
+                self.halted = true;
+                self.deferred.clear();
+                return;
+            }
+        }
+
+        self.message_count = [0; 2];
+        self.witness_count = [0; 2];
+        ctx.broadcast(FailStopMsg {
+            phase: self.phase,
+            value: self.value,
+            cardinality: self.cardinality,
+        });
+    }
+
+    fn drain_deferred(&mut self, ctx: &mut Ctx<'_, FailStopMsg>) {
+        while !self.halted {
+            let Some(mut batch) = self.deferred.remove(&self.phase) else {
+                return;
+            };
+            let mut ended = false;
+            while let Some(msg) = batch.pop() {
+                if self.count_message(msg, ctx) {
+                    ended = true;
+                    break;
+                }
+            }
+            if !ended {
+                return;
+            }
+        }
+    }
+}
+
+impl Process for AblatedFailStop {
+    type Msg = FailStopMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, FailStopMsg>) {
+        ctx.broadcast(FailStopMsg {
+            phase: 0,
+            value: self.value,
+            cardinality: self.cardinality,
+        });
+    }
+
+    fn on_receive(&mut self, env: Envelope<FailStopMsg>, ctx: &mut Ctx<'_, FailStopMsg>) {
+        if self.halted {
+            return;
+        }
+        let msg = env.msg;
+        if msg.phase < self.phase {
+            return;
+        }
+        if msg.phase > self.phase {
+            self.deferred.entry(msg.phase).or_default().push(msg);
+            return;
+        }
+        if self.count_message(msg, ctx) {
+            self.drain_deferred(ctx);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+
+    fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Role, Sim};
+
+    fn run(rule: ThresholdRule, config: Config, seed: u64) -> simnet::RunReport {
+        let mut b = Sim::builder();
+        for i in 0..config.n() {
+            b.process(
+                Box::new(AblatedFailStop::new(config, rule, Value::from(i % 2 == 0))),
+                Role::Correct,
+            );
+        }
+        b.seed(seed).step_limit(2_000_000).build().run()
+    }
+
+    #[test]
+    fn paper_rule_behaves_like_failstop() {
+        let config = Config::fail_stop(7, 3).unwrap();
+        let rule = ThresholdRule::paper(config);
+        for seed in 0..20 {
+            let r = run(rule, config, seed);
+            assert!(r.agreement(), "seed {seed}");
+            assert!(r.all_correct_decided(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn paper_rule_matches_config_predicates() {
+        let config = Config::fail_stop(9, 4).unwrap();
+        let rule = ThresholdRule::paper(config);
+        // rule.witness_at − 1 is NOT a witness; rule.witness_at is.
+        assert!(!config.is_witness(rule.witness_at - 1));
+        assert!(config.is_witness(rule.witness_at));
+        assert!(!config.enough_witnesses(rule.decide_at - 1));
+        assert!(config.enough_witnesses(rule.decide_at));
+    }
+
+    #[test]
+    fn weakened_witness_rule_eventually_breaks_agreement() {
+        // Drop the witness bar to 1: any message certifies its value, so
+        // split inputs can produce "witnessed" both ways and fast, wrong
+        // decisions. Some seed must disagree.
+        let config = Config::fail_stop(6, 2).unwrap();
+        let rule = ThresholdRule {
+            witness_at: 1,
+            decide_at: config.k() + 1,
+        };
+        let mut broke = false;
+        for seed in 0..400 {
+            let r = run(rule, config, seed);
+            if !r.agreement() {
+                broke = true;
+                break;
+            }
+        }
+        assert!(
+            broke,
+            "witness_at = 1 should violate agreement on some seed"
+        );
+    }
+
+    #[test]
+    fn weakened_constructor_clamps() {
+        let config = Config::fail_stop(5, 2).unwrap();
+        let rule = ThresholdRule::weakened(config, 100, 100);
+        assert_eq!(rule.witness_at, 1);
+        assert_eq!(rule.decide_at, 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The initial/echo **authenticated broadcast** primitive of §3.3, as a
+//! standalone reusable component.
+//!
+//! Figure 2 transmits state "in the following manner": the sender
+//! broadcasts an *initial* message; every receiver *echoes* it to everyone;
+//! a message is **accepted** only once more than `(n+k)/2` distinct
+//! processes have echoed the same value for the same `(subject, tag)`.
+//! This is the historical ancestor of Bracha's reliable broadcast (1987)
+//! and of the echo stages in modern BFT protocols — so it deserves its own
+//! type with its own guarantees, independent of the consensus loop built
+//! on top:
+//!
+//! * **No splitting** (the Theorem 4 acceptance claim): two correct
+//!   processes never accept *different* values from the same subject for
+//!   the same tag, because two `> (n+k)/2` echo quorums intersect in more
+//!   than `k` processes — at least one correct, and a correct process
+//!   echoes at most one value per `(subject, tag)`.
+//! * **Delivery**: if the subject is correct and `n − k` correct processes
+//!   participate, everyone eventually accepts its value (`n − k > (n+k)/2`
+//!   when `3k < n`).
+//!
+//! [`EchoTracker`] implements the receiver side as a pure state machine so
+//! it can be embedded in any protocol (the `Malicious` consensus process
+//! keeps its own inlined copy for phase-lifecycle reasons; the unit tests
+//! here cross-check the two).
+
+use std::collections::{HashMap, HashSet};
+
+use simnet::{ProcessId, Value};
+
+use crate::Config;
+
+/// What [`EchoTracker::record_echo`] concluded about one incoming echo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EchoOutcome {
+    /// Counted; no acceptance yet.
+    Counted,
+    /// This echo completed a quorum: the subject's message is accepted
+    /// with the carried value.
+    Accepted(Value),
+    /// Ignored: this sender already echoed for this subject (duplicate or
+    /// equivocation), or the subject was already accepted.
+    Ignored,
+}
+
+/// Receiver-side bookkeeping of the initial/echo broadcast for one *tag*
+/// (in Figure 2 the tag is the phase; any protocol-level epoch works).
+///
+/// # Examples
+///
+/// ```
+/// use bt_core::broadcast::{EchoOutcome, EchoTracker};
+/// use bt_core::Config;
+/// use simnet::{ProcessId, Value};
+///
+/// let config = Config::malicious(4, 1)?; // accept needs > 2.5 ⇒ 3 echoes
+/// let mut tracker = EchoTracker::new(config);
+/// let subject = ProcessId::new(3);
+/// for sender in 0..2 {
+///     let out = tracker.record_echo(ProcessId::new(sender), subject, Value::One);
+///     assert_eq!(out, EchoOutcome::Counted);
+/// }
+/// let out = tracker.record_echo(ProcessId::new(2), subject, Value::One);
+/// assert_eq!(out, EchoOutcome::Accepted(Value::One));
+/// assert_eq!(tracker.accepted(subject), Some(Value::One));
+/// # Ok::<(), bt_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct EchoTracker {
+    config: Config,
+    /// `(sender, subject)` pairs already counted — first echo wins.
+    seen: HashSet<(usize, usize)>,
+    /// `echo_count[(subject, value)]`.
+    counts: HashMap<(usize, usize), usize>,
+    /// Accepted value per subject.
+    accepted: HashMap<usize, Value>,
+}
+
+impl EchoTracker {
+    /// Creates a tracker for one tag under `config`'s quorum rule.
+    #[must_use]
+    pub fn new(config: Config) -> Self {
+        EchoTracker {
+            config,
+            seen: HashSet::new(),
+            counts: HashMap::new(),
+            accepted: HashMap::new(),
+        }
+    }
+
+    /// Records one echo by `sender` claiming `subject` announced `value`.
+    pub fn record_echo(
+        &mut self,
+        sender: ProcessId,
+        subject: ProcessId,
+        value: Value,
+    ) -> EchoOutcome {
+        if self.accepted.contains_key(&subject.index()) {
+            return EchoOutcome::Ignored;
+        }
+        if !self.seen.insert((sender.index(), subject.index())) {
+            return EchoOutcome::Ignored;
+        }
+        let count = self
+            .counts
+            .entry((subject.index(), value.index()))
+            .or_insert(0);
+        *count += 1;
+        if self.config.accepts(*count) {
+            self.accepted.insert(subject.index(), value);
+            EchoOutcome::Accepted(value)
+        } else {
+            EchoOutcome::Counted
+        }
+    }
+
+    /// The value accepted from `subject`, if any.
+    #[must_use]
+    pub fn accepted(&self, subject: ProcessId) -> Option<Value> {
+        self.accepted.get(&subject.index()).copied()
+    }
+
+    /// Number of subjects accepted so far.
+    #[must_use]
+    pub fn accepted_count(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Echoes counted so far for `(subject, value)`.
+    #[must_use]
+    pub fn echo_count(&self, subject: ProcessId, value: Value) -> usize {
+        self.counts
+            .get(&(subject.index(), value.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn quorum_size_is_config_accepts_threshold() {
+        // n = 10, k = 3: accept needs > 6.5 ⇒ 7 echoes.
+        let config = Config::malicious(10, 3).unwrap();
+        let mut t = EchoTracker::new(config);
+        for s in 0..6 {
+            assert_eq!(
+                t.record_echo(pid(s), pid(9), Value::Zero),
+                EchoOutcome::Counted
+            );
+        }
+        assert_eq!(
+            t.record_echo(pid(6), pid(9), Value::Zero),
+            EchoOutcome::Accepted(Value::Zero)
+        );
+    }
+
+    #[test]
+    fn no_splitting_is_arithmetically_impossible() {
+        // Even if every process echoes (one per sender), the two values
+        // cannot both reach a quorum: quorums are > (n+k)/2 and there are
+        // only n senders.
+        let config = Config::malicious(7, 2).unwrap();
+        let mut t = EchoTracker::new(config);
+        // 4 echo Zero, 3 echo One for the same subject.
+        for s in 0..4 {
+            t.record_echo(pid(s), pid(0), Value::Zero);
+        }
+        for s in 4..7 {
+            t.record_echo(pid(s), pid(0), Value::One);
+        }
+        // Accept needs > 4.5 ⇒ 5: neither side got there, nothing split.
+        assert_eq!(t.accepted(pid(0)), None);
+        assert_eq!(t.echo_count(pid(0), Value::Zero), 4);
+        assert_eq!(t.echo_count(pid(0), Value::One), 3);
+    }
+
+    #[test]
+    fn equivocating_sender_counts_once() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut t = EchoTracker::new(config);
+        assert_eq!(
+            t.record_echo(pid(1), pid(0), Value::Zero),
+            EchoOutcome::Counted
+        );
+        assert_eq!(
+            t.record_echo(pid(1), pid(0), Value::One),
+            EchoOutcome::Ignored
+        );
+        assert_eq!(t.echo_count(pid(0), Value::One), 0);
+    }
+
+    #[test]
+    fn acceptance_is_sticky_and_unique() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut t = EchoTracker::new(config);
+        for s in 0..3 {
+            t.record_echo(pid(s), pid(2), Value::One);
+        }
+        assert_eq!(t.accepted(pid(2)), Some(Value::One));
+        // A fourth echo (even for the other value) changes nothing.
+        assert_eq!(
+            t.record_echo(pid(3), pid(2), Value::Zero),
+            EchoOutcome::Ignored
+        );
+        assert_eq!(t.accepted(pid(2)), Some(Value::One));
+        assert_eq!(t.accepted_count(), 1);
+    }
+
+    #[test]
+    fn subjects_are_independent() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut t = EchoTracker::new(config);
+        for s in 0..3 {
+            t.record_echo(pid(s), pid(0), Value::One);
+            t.record_echo(pid(s), pid(1), Value::Zero);
+        }
+        assert_eq!(t.accepted(pid(0)), Some(Value::One));
+        assert_eq!(t.accepted(pid(1)), Some(Value::Zero));
+        assert_eq!(t.accepted_count(), 2);
+    }
+}

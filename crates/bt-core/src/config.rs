@@ -1,0 +1,270 @@
+//! Protocol configuration: system size `n`, resilience `k`, and the
+//! thresholds derived from them.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a configuration violates a protocol's resilience
+/// bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    n: usize,
+    k: usize,
+    bound: usize,
+    model: &'static str,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k = {} exceeds the {} resilience bound {} for n = {}",
+            self.k, self.model, self.bound, self.n
+        )
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A validated `(n, k)` pair for one of the paper's protocols.
+///
+/// The constructors enforce the tight bounds the paper proves:
+///
+/// * [`Config::fail_stop`] requires `k ≤ ⌊(n−1)/2⌋` (Theorems 1 and 2);
+/// * [`Config::malicious`] requires `k ≤ ⌊(n−1)/3⌋` (Theorems 3 and 4).
+///
+/// [`Config::unchecked`] skips validation — used by the lower-bound
+/// experiments (E5) to run the protocols *beyond* their proven bounds and
+/// watch them lose consistency or deadlock.
+///
+/// # Examples
+///
+/// ```
+/// use bt_core::Config;
+///
+/// let c = Config::malicious(10, 3)?;
+/// assert_eq!(c.quota(), 7); // waits for n − k messages
+/// assert!(Config::malicious(10, 4).is_err());
+/// # Ok::<(), bt_core::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    n: usize,
+    k: usize,
+}
+
+impl Config {
+    /// Creates a configuration for the fail-stop protocol (Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `k > ⌊(n−1)/2⌋` — by Theorem 1, no
+    /// protocol can do better.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn fail_stop(n: usize, k: usize) -> Result<Self, ConfigError> {
+        assert!(n > 0, "a system needs at least one process");
+        let bound = (n - 1) / 2;
+        if k > bound {
+            return Err(ConfigError {
+                n,
+                k,
+                bound,
+                model: "fail-stop",
+            });
+        }
+        Ok(Config { n, k })
+    }
+
+    /// Creates a configuration for the malicious protocol (Figure 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `k > ⌊(n−1)/3⌋` — by Theorem 3, no
+    /// protocol can do better.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn malicious(n: usize, k: usize) -> Result<Self, ConfigError> {
+        assert!(n > 0, "a system needs at least one process");
+        let bound = (n - 1) / 3;
+        if k > bound {
+            return Err(ConfigError {
+                n,
+                k,
+                bound,
+                model: "malicious",
+            });
+        }
+        Ok(Config { n, k })
+    }
+
+    /// Creates a configuration without validating any resilience bound.
+    ///
+    /// Exists so the lower-bound experiments can deliberately exceed the
+    /// bounds; everywhere else prefer the checked constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k >= n`.
+    #[must_use]
+    pub fn unchecked(n: usize, k: usize) -> Self {
+        assert!(n > 0, "a system needs at least one process");
+        assert!(k < n, "at least one process must be able to be correct");
+        Config { n, k }
+    }
+
+    /// The number of processes `n`.
+    #[must_use]
+    pub const fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The resilience `k`: the maximum number of faulty processes tolerated.
+    #[must_use]
+    pub const fn k(&self) -> usize {
+        self.k
+    }
+
+    /// How many messages a process waits for in each phase: `n − k`.
+    #[must_use]
+    pub const fn quota(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Whether `cardinality` makes a message a *witness* (Figure 1):
+    /// strictly more than `n/2`.
+    #[must_use]
+    pub const fn is_witness(&self, cardinality: usize) -> bool {
+        2 * cardinality > self.n
+    }
+
+    /// Whether `witness_count` suffices to decide in Figure 1: strictly more
+    /// than `k` witnesses.
+    #[must_use]
+    pub const fn enough_witnesses(&self, witness_count: usize) -> bool {
+        witness_count > self.k
+    }
+
+    /// Whether `echo_count` suffices to accept a message in Figure 2:
+    /// strictly more than `(n+k)/2` echoes.
+    #[must_use]
+    pub const fn accepts(&self, echo_count: usize) -> bool {
+        2 * echo_count > self.n + self.k
+    }
+
+    /// Whether `message_count` suffices to decide in Figure 2 (and in the
+    /// §4.1 simple variant): strictly more than `(n+k)/2` accepted messages
+    /// with the same value.
+    #[must_use]
+    pub const fn decides(&self, message_count: usize) -> bool {
+        2 * message_count > self.n + self.k
+    }
+
+    /// The largest `k` the fail-stop protocol supports for this `n`.
+    #[must_use]
+    pub const fn max_fail_stop_k(n: usize) -> usize {
+        (n - 1) / 2
+    }
+
+    /// The largest `k` the malicious protocol supports for this `n`.
+    #[must_use]
+    pub const fn max_malicious_k(n: usize) -> usize {
+        (n - 1) / 3
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(n={}, k={})", self.n, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fail_stop_bound_is_tight() {
+        for n in 1..40 {
+            let bound = (n - 1) / 2;
+            assert!(Config::fail_stop(n, bound).is_ok());
+            assert!(Config::fail_stop(n, bound + 1).is_err());
+        }
+    }
+
+    #[test]
+    fn malicious_bound_is_tight() {
+        for n in 1..40 {
+            let bound = (n - 1) / 3;
+            assert!(Config::malicious(n, bound).is_ok());
+            assert!(Config::malicious(n, bound + 1).is_err());
+        }
+    }
+
+    #[test]
+    fn known_bounds() {
+        // n=4 tolerates 1 malicious fault; n=3 tolerates none.
+        assert!(Config::malicious(4, 1).is_ok());
+        assert!(Config::malicious(3, 1).is_err());
+        // n=3 tolerates 1 crash; n=2 tolerates none.
+        assert!(Config::fail_stop(3, 1).is_ok());
+        assert!(Config::fail_stop(2, 1).is_err());
+    }
+
+    #[test]
+    fn quota_and_thresholds() {
+        let c = Config::malicious(10, 3).unwrap();
+        assert_eq!(c.quota(), 7);
+        // witness: cardinality > 5
+        assert!(!c.is_witness(5));
+        assert!(c.is_witness(6));
+        // accept: echoes > 6.5, i.e. >= 7
+        assert!(!c.accepts(6));
+        assert!(c.accepts(7));
+        // decide: > 6.5 accepted same-value messages
+        assert!(!c.decides(6));
+        assert!(c.decides(7));
+    }
+
+    #[test]
+    fn witness_threshold_odd_even() {
+        let odd = Config::fail_stop(7, 3).unwrap();
+        assert!(!odd.is_witness(3)); // 6 > 7 false
+        assert!(odd.is_witness(4)); // 8 > 7
+        let even = Config::fail_stop(8, 3).unwrap();
+        assert!(!even.is_witness(4)); // 8 > 8 false
+        assert!(even.is_witness(5));
+    }
+
+    #[test]
+    fn error_display_names_model() {
+        let e = Config::malicious(4, 2).unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("malicious"));
+        assert!(s.contains("k = 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process must be able to be correct")]
+    fn unchecked_rejects_all_faulty() {
+        let _ = Config::unchecked(3, 3);
+    }
+
+    #[test]
+    fn unchecked_allows_beyond_bound() {
+        let c = Config::unchecked(4, 2);
+        assert_eq!(c.quota(), 2);
+    }
+
+    #[test]
+    fn k_zero_is_valid() {
+        let c = Config::fail_stop(1, 0).unwrap();
+        assert_eq!(c.quota(), 1);
+        assert!(c.enough_witnesses(1));
+    }
+}

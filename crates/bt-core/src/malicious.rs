@@ -1,0 +1,633 @@
+//! The Figure 2 protocol: `⌊(n−1)/3⌋`-resilient consensus for malicious
+//! (Byzantine) faults.
+//!
+//! State is exchanged through an **initial/echo** broadcast: a process
+//! announces `(initial, p, v, t)` to everyone; every process relays what it
+//! heard as `(echo, p, v, t)`; and a message from `p` is *accepted* only
+//! once more than `(n+k)/2` distinct processes have echoed the same value
+//! for `p`. Two quorums of that size intersect in more than `k` processes —
+//! hence in at least one correct process, which never echoes two different
+//! values for the same `(p, t)` — so no two correct processes can accept
+//! different values from the same process in the same phase, no matter what
+//! the malicious processes do.
+//!
+//! Each phase, a process accepts messages from `n−k` processes, adopts the
+//! majority value of the accepted set, and decides `i` on accepting more
+//! than `(n+k)/2` messages with value `i`. As written in the paper the loop
+//! never exits ("for notational convenience only"); the described exit
+//! procedure — broadcasting wildcard-phase `(initial, p, i, *)` and
+//! `(echo, q, i, *)` messages that participate in every later phase — is
+//! implemented as [`Termination::WildcardExit`].
+//!
+//! # Sender authenticity
+//!
+//! Per §3.1 the message system lets receivers verify sender identity. The
+//! simulator stamps true origins on envelopes, and this implementation
+//! drops `initial` messages whose claimed subject differs from the envelope
+//! sender — the model's defence against impersonation.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use simnet::{Ctx, Envelope, Process, ProcessId, Value};
+
+use crate::{Config, MaliciousKind, MaliciousMsg, Phase};
+
+/// What a process does after deciding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Termination {
+    /// Keep following the protocol forever, exactly as Figure 2 is written.
+    /// Runs still finish because the engine stops once every correct
+    /// process has decided.
+    #[default]
+    Continue,
+    /// Perform the paper's exit procedure: broadcast `(initial, p, i, *)`
+    /// and `(echo, q, i, *)` for every `q`, then leave the protocol. The
+    /// wildcard messages act in every subsequent phase of every receiver.
+    ///
+    /// **Model caveat (faithful to the paper's sketch):** a wildcard echo is
+    /// a distinct message under Figure 2's `(type, from, phaseno)` dedup, so
+    /// a sender can contribute both a concrete echo and a wildcard echo to
+    /// the same acceptance count. For *honest* exits this is exactly the
+    /// intended "same effect as continued participation"; a malicious
+    /// process abusing wildcards, however, gets up to twice the per-sender
+    /// influence the `(n+k)/2` quorum arithmetic assumes. The paper
+    /// introduces the procedure "for notational convenience only" and does
+    /// not analyse it adversarially; under active Byzantine attack prefer
+    /// the default [`Termination::Continue`], which needs no wildcards.
+    WildcardExit,
+}
+
+/// One process of the Figure 2 malicious-resilient consensus protocol.
+///
+/// # Examples
+///
+/// Four processes tolerate one Byzantine fault (`k = 1 = ⌊(4−1)/3⌋`); here
+/// all four are honest and must agree:
+///
+/// ```
+/// use bt_core::{Config, Malicious};
+/// use simnet::{Role, Sim, Value};
+///
+/// let config = Config::malicious(4, 1)?;
+/// let mut b = Sim::builder();
+/// for i in 0..4 {
+///     let input = Value::from(i % 2 == 0);
+///     b.process(Box::new(Malicious::new(config, input)), Role::Correct);
+/// }
+/// let report = b.seed(5).build().run();
+/// assert!(report.agreement());
+/// assert!(report.all_correct_decided());
+/// # Ok::<(), bt_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Malicious {
+    config: Config,
+    value: Value,
+    phase: u64,
+    decision: Option<Value>,
+    decided_phase: Option<u64>,
+    halted: bool,
+    termination: Termination,
+
+    /// `(subject, phase)` pairs whose initial this process has already
+    /// echoed — the Figure 2 first-message filter for initials.
+    echoed: HashSet<(usize, u64)>,
+    /// `(sender, subject, is_wildcard)` triples already counted this phase —
+    /// the Figure 2 first-message filter for echoes. One *concrete* echo per
+    /// sender per subject per phase, whatever its value, so an equivocating
+    /// sender contributes at most one count. A sender's wildcard (`*`) echo
+    /// is a distinct message in the paper's dedup (its `phaseno` differs
+    /// from every concrete phase), so it counts in its own right — without
+    /// this, a laggard that counted a decider's *pre-decision* echo could
+    /// never benefit from its post-decision wildcard and would strand.
+    echo_seen: HashSet<(usize, usize, bool)>,
+    /// `echo_count[subject][value]` for the current phase.
+    echo_count: Vec<[usize; 2]>,
+    /// Value accepted from each subject this phase, once the echo count
+    /// crosses the `(n+k)/2` threshold.
+    accepted: Vec<Option<Value>>,
+    /// Accepted-message counts per value for the current phase.
+    message_count: [usize; 2],
+
+    /// Future-phase echoes, replayed on arrival in their phase.
+    deferred: BTreeMap<u64, Vec<(ProcessId, MaliciousMsg)>>,
+    /// Wildcard `(echo, subject, v, *)` contributions, by `(sender, subject)`.
+    sticky_echo: HashMap<(usize, usize), Value>,
+    /// Wildcard `(initial, subject, v, *)` announcements, by subject.
+    sticky_init: HashMap<usize, Value>,
+}
+
+impl Malicious {
+    /// Creates a process with the given initial value (`i_p`) and the
+    /// default [`Termination::Continue`].
+    #[must_use]
+    pub fn new(config: Config, input: Value) -> Self {
+        Malicious::with_termination(config, input, Termination::default())
+    }
+
+    /// Creates a process with an explicit post-decision behaviour.
+    #[must_use]
+    pub fn with_termination(config: Config, input: Value, termination: Termination) -> Self {
+        let n = config.n();
+        Malicious {
+            config,
+            value: input,
+            phase: 0,
+            decision: None,
+            decided_phase: None,
+            halted: false,
+            termination,
+            echoed: HashSet::new(),
+            echo_seen: HashSet::new(),
+            echo_count: vec![[0; 2]; n],
+            accepted: vec![None; n],
+            message_count: [0; 2],
+            deferred: BTreeMap::new(),
+            sticky_echo: HashMap::new(),
+            sticky_init: HashMap::new(),
+        }
+    }
+
+    /// The process's current value.
+    #[must_use]
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// The configuration this process runs under.
+    #[must_use]
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Counts one echo (`wildcard` = it came from the `*`-phase exit
+    /// procedure); returns `true` when the phase quota is reached.
+    fn tally_echo(
+        &mut self,
+        sender: ProcessId,
+        subject: ProcessId,
+        value: Value,
+        wildcard: bool,
+    ) -> bool {
+        if !self
+            .echo_seen
+            .insert((sender.index(), subject.index(), wildcard))
+        {
+            return false; // duplicate (or equivocation) from this sender
+        }
+        let count = &mut self.echo_count[subject.index()][value.index()];
+        *count += 1;
+        let count = *count;
+        if self.accepted[subject.index()].is_none() && self.config.accepts(count) {
+            self.accepted[subject.index()] = Some(value);
+            self.message_count[value.index()] += 1;
+            if self.message_count[0] + self.message_count[1] >= self.config.quota() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Ends phases until one is left incomplete (or the process exits).
+    fn advance(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        loop {
+            // End-of-phase block of Figure 2: adopt the majority of the
+            // accepted values, then check the decision threshold.
+            self.value = Value::majority_of(self.message_count);
+            let decided_now = Value::BOTH
+                .into_iter()
+                .find(|v| self.config.decides(self.message_count[v.index()]));
+            if let Some(v) = decided_now {
+                debug_assert_eq!(v, self.value, "the decided value is the majority value");
+                if self.decision.is_none() {
+                    self.decision = Some(v);
+                    self.decided_phase = Some(self.phase);
+                }
+                if self.termination == Termination::WildcardExit {
+                    self.exit_broadcast(ctx, v);
+                    return;
+                }
+            }
+
+            // Start the next phase.
+            self.phase += 1;
+            self.echo_seen.clear();
+            self.echo_count = vec![[0; 2]; self.config.n()];
+            self.accepted = vec![None; self.config.n()];
+            self.message_count = [0; 2];
+            ctx.broadcast(MaliciousMsg::initial(ctx.me(), self.value, self.phase));
+
+            if !self.replay_for_current_phase(ctx) {
+                return;
+            }
+        }
+    }
+
+    /// Applies wildcard contributions and deferred echoes to the (new)
+    /// current phase; returns `true` if they complete it outright.
+    fn replay_for_current_phase(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) -> bool {
+        // Wildcard initials: echo once per phase, like a fresh initial.
+        let inits: Vec<(usize, Value)> = self.sticky_init.iter().map(|(s, v)| (*s, *v)).collect();
+        for (subject, v) in inits {
+            if self.echoed.insert((subject, self.phase)) {
+                ctx.broadcast(MaliciousMsg::echo(ProcessId::new(subject), v, self.phase));
+            }
+        }
+        // Wildcard echoes count in every phase.
+        let echoes: Vec<(usize, usize, Value)> = self
+            .sticky_echo
+            .iter()
+            .map(|((s, q), v)| (*s, *q, *v))
+            .collect();
+        for (s, q, v) in echoes {
+            if self.tally_echo(ProcessId::new(s), ProcessId::new(q), v, true) {
+                return true;
+            }
+        }
+        // Deferred concrete echoes for this phase.
+        if let Some(batch) = self.deferred.remove(&self.phase) {
+            for (sender, msg) in batch {
+                debug_assert_eq!(msg.kind, MaliciousKind::Echo);
+                if self.tally_echo(sender, msg.subject, msg.value, false) {
+                    return true; // rest of the batch is now stale
+                }
+            }
+        }
+        false
+    }
+
+    /// The paper's exit procedure (§3.3): wildcard messages with the same
+    /// effect as continued participation, then leave the protocol.
+    fn exit_broadcast(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>, v: Value) {
+        ctx.broadcast(MaliciousMsg {
+            kind: MaliciousKind::Initial,
+            subject: ctx.me(),
+            value: v,
+            phase: Phase::Any,
+        });
+        for q in ProcessId::all(self.config.n()) {
+            ctx.broadcast(MaliciousMsg {
+                kind: MaliciousKind::Echo,
+                subject: q,
+                value: v,
+                phase: Phase::Any,
+            });
+        }
+        self.halted = true;
+        self.deferred.clear();
+    }
+}
+
+impl Process for Malicious {
+    type Msg = MaliciousMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        ctx.broadcast(MaliciousMsg::initial(ctx.me(), self.value, 0));
+    }
+
+    fn on_receive(&mut self, env: Envelope<MaliciousMsg>, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        if self.halted {
+            return;
+        }
+        let sender = env.from;
+        let msg = env.msg;
+        match (msg.kind, msg.phase) {
+            (MaliciousKind::Initial, Phase::At(t)) => {
+                if msg.subject != sender {
+                    return; // forged initial: authenticity check (§3.1)
+                }
+                // Echo the first initial per (subject, phase),
+                // unconditionally on our own phase.
+                if self.echoed.insert((msg.subject.index(), t)) {
+                    ctx.broadcast(MaliciousMsg::echo(msg.subject, msg.value, t));
+                }
+            }
+            (MaliciousKind::Initial, Phase::Any) => {
+                if msg.subject != sender {
+                    return;
+                }
+                // Record first; applies to this and every later phase.
+                self.sticky_init
+                    .entry(msg.subject.index())
+                    .or_insert(msg.value);
+                let v = self.sticky_init[&msg.subject.index()];
+                if self.echoed.insert((msg.subject.index(), self.phase)) {
+                    ctx.broadcast(MaliciousMsg::echo(msg.subject, v, self.phase));
+                }
+            }
+            (MaliciousKind::Echo, Phase::At(t)) => {
+                if t < self.phase {
+                    return; // stale
+                }
+                if t > self.phase {
+                    self.deferred.entry(t).or_default().push((sender, msg));
+                    return;
+                }
+                if self.tally_echo(sender, msg.subject, msg.value, false) {
+                    self.advance(ctx);
+                }
+            }
+            (MaliciousKind::Echo, Phase::Any) => {
+                let key = (sender.index(), msg.subject.index());
+                let v = *self.sticky_echo.entry(key).or_insert(msg.value);
+                if self.tally_echo(sender, msg.subject, v, true) {
+                    self.advance(ctx);
+                }
+            }
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+
+    fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    fn decision_phase(&self) -> Option<u64> {
+        self.decided_phase
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+}
+
+/// Convenience: a boxed [`Malicious`] process.
+#[must_use]
+pub fn malicious_process(config: Config, input: Value) -> Box<dyn Process<Msg = MaliciousMsg>> {
+    Box::new(Malicious::new(config, input))
+}
+
+/// Builds a full system of `n` correct malicious-protocol processes with the
+/// given inputs.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != config.n()`.
+pub fn build_correct_system(
+    builder: &mut simnet::SimBuilder<MaliciousMsg>,
+    config: Config,
+    inputs: &[Value],
+) {
+    assert_eq!(inputs.len(), config.n(), "one input per process");
+    for &input in inputs {
+        builder.process(malicious_process(config, input), simnet::Role::Correct);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Role, RunStatus, Sim, SimRng};
+
+    fn run_inputs(n: usize, k: usize, inputs: &[Value], seed: u64) -> simnet::RunReport {
+        let config = Config::malicious(n, k).unwrap();
+        let mut b = Sim::builder();
+        build_correct_system(&mut b, config, inputs);
+        b.seed(seed).step_limit(4_000_000).build().run()
+    }
+
+    #[test]
+    fn unanimous_decides_that_value_fast() {
+        let inputs = vec![Value::One; 4];
+        let report = run_inputs(4, 1, &inputs, 2);
+        assert_eq!(report.status, RunStatus::Stopped);
+        assert_eq!(report.decided_value(), Some(Value::One));
+        // Paper: unanimous inputs decide "within two phases".
+        assert!(report.phases_to_decision().unwrap() <= 2);
+    }
+
+    #[test]
+    fn mixed_inputs_agree_across_seeds() {
+        let inputs = [
+            Value::Zero,
+            Value::One,
+            Value::Zero,
+            Value::One,
+            Value::One,
+            Value::Zero,
+            Value::One,
+        ];
+        for seed in 0..20 {
+            let report = run_inputs(7, 2, &inputs, seed);
+            assert!(report.agreement(), "seed {seed} broke agreement");
+            assert!(
+                report.all_correct_decided(),
+                "seed {seed} did not terminate: {:?}",
+                report.status
+            );
+        }
+    }
+
+    #[test]
+    fn supermajority_decides_that_value() {
+        // More than (n+k)/2 = (7+2)/2 = 4.5 ⇒ at least 5 of 7 share input 0.
+        let inputs = [
+            Value::Zero,
+            Value::Zero,
+            Value::Zero,
+            Value::Zero,
+            Value::Zero,
+            Value::One,
+            Value::One,
+        ];
+        for seed in 0..10 {
+            let report = run_inputs(7, 2, &inputs, seed);
+            assert_eq!(report.decided_value(), Some(Value::Zero), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn forged_initials_are_dropped() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        outbox.clear();
+
+        // p1 claims an initial "from p2": must be ignored, no echo.
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(1),
+                MaliciousMsg::initial(ProcessId::new(2), Value::One, 0),
+            ),
+            &mut ctx,
+        );
+        assert!(outbox.is_empty(), "forged initial must not be echoed");
+    }
+
+    #[test]
+    fn initial_is_echoed_once_per_subject_phase() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        outbox.clear();
+
+        let init = MaliciousMsg::initial(ProcessId::new(1), Value::One, 0);
+        {
+            let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+            p.on_receive(Envelope::new(ProcessId::new(1), init), &mut ctx);
+        }
+        assert_eq!(outbox.len(), 4, "one echo to each of the 4 processes");
+
+        // A repeat (even with a different value — equivocation) is ignored.
+        let equivocated = MaliciousMsg::initial(ProcessId::new(1), Value::Zero, 0);
+        {
+            let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+            p.on_receive(Envelope::new(ProcessId::new(1), equivocated), &mut ctx);
+        }
+        assert_eq!(
+            outbox.len(),
+            4,
+            "second initial for same (subject, phase) dropped"
+        );
+    }
+
+    #[test]
+    fn equivocating_echoes_count_once() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        let subject = ProcessId::new(2);
+        // Sender p1 echoes 0 then 1 for the same subject: only the first counts.
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(1),
+                MaliciousMsg::echo(subject, Value::Zero, 0),
+            ),
+            &mut ctx,
+        );
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(1),
+                MaliciousMsg::echo(subject, Value::One, 0),
+            ),
+            &mut ctx,
+        );
+        assert_eq!(p.echo_count[subject.index()], [1, 0]);
+    }
+
+    #[test]
+    fn acceptance_needs_quorum() {
+        // n=4, k=1: accept needs echoes > 2.5, i.e. 3 distinct echoers.
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        let subject = ProcessId::new(3);
+        for s in 0..2 {
+            p.on_receive(
+                Envelope::new(
+                    ProcessId::new(s),
+                    MaliciousMsg::echo(subject, Value::One, 0),
+                ),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.accepted[3], None, "2 echoes are not enough");
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(2),
+                MaliciousMsg::echo(subject, Value::One, 0),
+            ),
+            &mut ctx,
+        );
+        assert_eq!(p.accepted[3], Some(Value::One));
+        assert_eq!(p.message_count, [0, 1]);
+    }
+
+    #[test]
+    fn wildcard_exit_releases_laggards() {
+        // All four processes use WildcardExit; runs must still complete and
+        // agree even though deciders leave the protocol.
+        let config = Config::malicious(4, 1).unwrap();
+        for seed in 0..20 {
+            let mut b = Sim::builder();
+            for i in 0..4 {
+                b.process(
+                    Box::new(Malicious::with_termination(
+                        config,
+                        Value::from(i % 2 == 0),
+                        Termination::WildcardExit,
+                    )),
+                    Role::Correct,
+                );
+            }
+            let report = b.seed(seed).step_limit(4_000_000).build().run();
+            assert!(report.agreement(), "seed {seed} broke agreement");
+            assert!(
+                report.all_correct_decided(),
+                "seed {seed} did not complete: {:?}",
+                report.status
+            );
+        }
+    }
+
+    #[test]
+    fn wildcard_echo_counts_despite_earlier_concrete_echo() {
+        // Regression (found by the laggard integration test, seed 8): a
+        // laggard that already counted a decider's *pre-decision* concrete
+        // echo — possibly with the stale value — must still be able to
+        // count that decider's post-decision wildcard echo in the same
+        // phase. The wildcard is a distinct message under Figure 2's
+        // (type, from, phaseno) dedup, so it gets its own count; without
+        // that the laggard's phase can become permanently incompletable
+        // once the deciders halt.
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        let subject = ProcessId::new(2);
+        // p1's concrete echo claims subject 2 said Zero…
+        p.on_receive(
+            Envelope::new(ProcessId::new(1), MaliciousMsg::echo(subject, Value::Zero, 0)),
+            &mut ctx,
+        );
+        assert_eq!(p.echo_count[subject.index()], [1, 0]);
+        // …then p1 decides One and its wildcard arrives: it must count.
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(1),
+                MaliciousMsg {
+                    kind: MaliciousKind::Echo,
+                    subject,
+                    value: Value::One,
+                    phase: Phase::Any,
+                },
+            ),
+            &mut ctx,
+        );
+        assert_eq!(
+            p.echo_count[subject.index()],
+            [1, 1],
+            "the wildcard echo is a distinct message and must be counted"
+        );
+    }
+
+    #[test]
+    fn termination_continue_keeps_participating_after_decision() {
+        let config = Config::malicious(4, 1).unwrap();
+        let p = Malicious::new(config, Value::One);
+        assert!(!p.halted());
+        assert_eq!(p.value(), Value::One);
+        assert_eq!(p.config().n(), 4);
+    }
+}

@@ -1,0 +1,166 @@
+//! Wire messages of the three Bracha-Toueg protocols.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+use simnet::{ProcessId, Value};
+
+/// A phase stamp: either a concrete phase number or the paper's `*`
+/// wildcard.
+///
+/// The wildcard appears only in the Figure 2 termination procedure: a
+/// process that has decided `i` broadcasts `(initial, p, i, *)` and
+/// `(echo, q, i, *)` messages which "whenever a process receives them, it
+/// sends them back to itself" — i.e. they participate in *every* later
+/// phase. Receivers implement that by recording them as sticky
+/// contributions rather than physically re-sending to self (same effect,
+/// no infinite message loop; see `DESIGN.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// A concrete phase number.
+    At(u64),
+    /// The `*` wildcard: matches every phase, forever.
+    Any,
+}
+
+impl Phase {
+    /// Whether this stamp matches concrete phase `t`.
+    #[must_use]
+    pub fn matches(self, t: u64) -> bool {
+        match self {
+            Phase::At(p) => p == t,
+            Phase::Any => true,
+        }
+    }
+
+    /// Whether this stamp is strictly in the future of concrete phase `t`
+    /// (wildcards never are: they match the present).
+    #[must_use]
+    pub fn is_after(self, t: u64) -> bool {
+        match self {
+            Phase::At(p) => p > t,
+            Phase::Any => false,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::At(p) => write!(f, "{p}"),
+            Phase::Any => write!(f, "*"),
+        }
+    }
+}
+
+/// A Figure 1 (fail-stop protocol) message: `(phaseno, value, cardinality)`.
+///
+/// `cardinality` is the size of the message set that gave the sender its
+/// current value; a message whose cardinality exceeds `n/2` is a *witness*
+/// for its value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FailStopMsg {
+    /// The sender's phase when it sent this message.
+    pub phase: u64,
+    /// The sender's current value.
+    pub value: Value,
+    /// The size of the message set backing `value`.
+    pub cardinality: usize,
+}
+
+/// The two message types of the Figure 2 (malicious protocol) broadcast
+/// primitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MaliciousKind {
+    /// A first-hand state announcement.
+    Initial,
+    /// A relay of someone's announcement: "I saw `subject` claim `value`".
+    Echo,
+}
+
+/// A Figure 2 (malicious protocol) message:
+/// `(type, from, value, phaseno)` in the paper's notation. The paper's
+/// `from` field — the process the message is *about* — is called `subject`
+/// here to avoid confusion with the authenticated envelope sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MaliciousMsg {
+    /// Initial or echo.
+    pub kind: MaliciousKind,
+    /// The process this message is about (for initials, a correct sender
+    /// sets this to itself; the receiver checks it against the envelope).
+    pub subject: ProcessId,
+    /// The claimed value.
+    pub value: Value,
+    /// The phase stamp, possibly the `*` wildcard.
+    pub phase: Phase,
+}
+
+impl MaliciousMsg {
+    /// A first-hand announcement by `subject` of `value` in phase `t`.
+    #[must_use]
+    pub fn initial(subject: ProcessId, value: Value, t: u64) -> Self {
+        MaliciousMsg {
+            kind: MaliciousKind::Initial,
+            subject,
+            value,
+            phase: Phase::At(t),
+        }
+    }
+
+    /// An echo of `subject`'s claimed `value` in phase `t`.
+    #[must_use]
+    pub fn echo(subject: ProcessId, value: Value, t: u64) -> Self {
+        MaliciousMsg {
+            kind: MaliciousKind::Echo,
+            subject,
+            value,
+            phase: Phase::At(t),
+        }
+    }
+}
+
+/// A §4.1 simple-variant message: just `(phaseno, value)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimpleMsg {
+    /// The sender's phase when it sent this message.
+    pub phase: u64,
+    /// The sender's current value.
+    pub value: Value,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_matching() {
+        assert!(Phase::At(3).matches(3));
+        assert!(!Phase::At(3).matches(4));
+        assert!(Phase::Any.matches(0));
+        assert!(Phase::Any.matches(u64::MAX));
+    }
+
+    #[test]
+    fn phase_ordering() {
+        assert!(Phase::At(5).is_after(4));
+        assert!(!Phase::At(4).is_after(4));
+        assert!(!Phase::Any.is_after(0), "wildcards are never deferred");
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::At(7).to_string(), "7");
+        assert_eq!(Phase::Any.to_string(), "*");
+    }
+
+    #[test]
+    fn malicious_constructors() {
+        let p = ProcessId::new(2);
+        let i = MaliciousMsg::initial(p, Value::One, 4);
+        assert_eq!(i.kind, MaliciousKind::Initial);
+        assert_eq!(i.phase, Phase::At(4));
+        let e = MaliciousMsg::echo(p, Value::Zero, 9);
+        assert_eq!(e.kind, MaliciousKind::Echo);
+        assert_eq!(e.subject, p);
+    }
+}

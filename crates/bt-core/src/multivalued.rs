@@ -1,0 +1,293 @@
+//! Extension: multi-valued consensus by bitwise reduction to the binary
+//! Figure 2 protocol.
+//!
+//! The paper treats binary consensus (`i_p ∈ {0, 1}`); agreeing on richer
+//! values is the natural follow-on. The classical reduction runs one binary
+//! instance per bit, all in parallel over tagged messages:
+//!
+//! * **Agreement** is inherited bit by bit: all correct processes assemble
+//!   the same bit vector.
+//! * **Unanimity validity** is inherited: if every correct process starts
+//!   with the same `w`-bit value, every bit instance is unanimous and the
+//!   decision is exactly that value.
+//! * With *divergent* inputs, the decided value may mix bits from
+//!   different inputs (and so may equal nobody's input) — the standard
+//!   caveat of the bitwise reduction, left as-is because the paper's
+//!   validity notion (bivalence) does not require more.
+//!
+//! Resilience is the Figure 2 bound, `k ≤ ⌊(n−1)/3⌋`, since each bit runs
+//! that protocol verbatim.
+
+use std::sync::{Arc, Mutex};
+
+use simnet::{Ctx, Envelope, Process, Value};
+
+use crate::{Config, Malicious, MaliciousMsg};
+
+/// A bit-tagged Figure 2 message: `(bit index, inner message)`.
+pub type MultiMsg = (u8, MaliciousMsg);
+
+/// Shared slot for observing multi-valued decisions from outside the
+/// engine (the engine's [`RunReport`](simnet::RunReport) only carries the
+/// binary facade).
+pub type WordObserver = Arc<Mutex<Vec<Option<u64>>>>;
+
+/// Creates an observer with one slot per process.
+#[must_use]
+pub fn word_observer(n: usize) -> WordObserver {
+    Arc::new(Mutex::new(vec![None; n]))
+}
+
+/// Multi-valued Byzantine consensus on `width`-bit unsigned values, by
+/// parallel bitwise reduction to [`Malicious`].
+///
+/// # Examples
+///
+/// ```
+/// use bt_core::{Config, MultiValued};
+/// use simnet::{Role, Sim};
+///
+/// let config = Config::malicious(4, 1)?;
+/// let mut b = Sim::builder();
+/// for _ in 0..4 {
+///     // Everyone proposes 0xCAFE: unanimity must decide exactly 0xCAFE.
+///     b.process(Box::new(MultiValued::new(config, 16, 0xCAFE)), Role::Correct);
+/// }
+/// let report = b.seed(7).step_limit(16_000_000).build().run();
+/// assert!(report.agreement());
+/// let winner = report.decisions[0].expect("decided");
+/// # let _ = winner;
+/// # Ok::<(), bt_core::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct MultiValued {
+    bits: Vec<Malicious>,
+    decided_word: Option<u64>,
+    decided_phase: Option<u64>,
+    observer: Option<(WordObserver, usize)>,
+}
+
+impl MultiValued {
+    /// Creates a process proposing the low `width` bits of `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(config: Config, width: u8, input: u64) -> Self {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        let bits = (0..width)
+            .map(|b| Malicious::new(config, Value::from(input >> b & 1 == 1)))
+            .collect();
+        MultiValued {
+            bits,
+            decided_word: None,
+            decided_phase: None,
+            observer: None,
+        }
+    }
+
+    /// Attaches a [`WordObserver`]; on decision, slot `slot` receives the
+    /// decided word (how tests and applications read the multi-valued
+    /// result out of a finished run).
+    #[must_use]
+    pub fn with_observer(mut self, observer: WordObserver, slot: usize) -> Self {
+        self.observer = Some((observer, slot));
+        self
+    }
+
+    /// The number of parallel bit instances.
+    #[must_use]
+    pub fn width(&self) -> u8 {
+        self.bits.len() as u8
+    }
+
+    /// The decided multi-valued result, once every bit instance decided.
+    #[must_use]
+    pub fn decided_word(&self) -> Option<u64> {
+        self.decided_word
+    }
+
+    fn check_all_decided(&mut self) {
+        if self.decided_word.is_some() {
+            return;
+        }
+        let mut word = 0u64;
+        for (b, inst) in self.bits.iter().enumerate() {
+            match inst.decision() {
+                Some(Value::One) => word |= 1 << b,
+                Some(Value::Zero) => {}
+                None => return,
+            }
+        }
+        self.decided_word = Some(word);
+        self.decided_phase = self.bits.iter().filter_map(Process::decision_phase).max();
+        if let Some((observer, slot)) = &self.observer {
+            observer.lock().expect("observer lock")[*slot] = Some(word);
+        }
+    }
+
+    /// Runs `f` on bit instance `b` with a bit-tagging context wrapper.
+    fn with_instance(
+        &mut self,
+        b: u8,
+        ctx: &mut Ctx<'_, MultiMsg>,
+        f: impl FnOnce(&mut Malicious, &mut Ctx<'_, MaliciousMsg>),
+    ) {
+        let mut inner_out: Vec<(simnet::ProcessId, MaliciousMsg)> = Vec::new();
+        {
+            let mut inner_ctx = Ctx::new(ctx.me(), ctx.n(), ctx.step(), &mut inner_out, ctx.rng());
+            f(&mut self.bits[b as usize], &mut inner_ctx);
+        }
+        for (to, msg) in inner_out {
+            ctx.send(to, (b, msg));
+        }
+    }
+}
+
+impl Process for MultiValued {
+    type Msg = MultiMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MultiMsg>) {
+        for b in 0..self.width() {
+            self.with_instance(b, ctx, |inst, c| inst.on_start(c));
+        }
+        self.check_all_decided();
+    }
+
+    fn on_receive(&mut self, env: Envelope<MultiMsg>, ctx: &mut Ctx<'_, MultiMsg>) {
+        let (b, inner) = env.msg;
+        if b >= self.width() {
+            return; // nonsense tag from a malicious sender
+        }
+        let from = env.from;
+        self.with_instance(b, ctx, |inst, c| {
+            inst.on_receive(Envelope::new(from, inner), c);
+        });
+        self.check_all_decided();
+    }
+
+    /// Binary-decision view required by [`Process`]: the **parity** of the
+    /// decided word. Use [`MultiValued::decided_word`] for the real result.
+    fn decision(&self) -> Option<Value> {
+        self.decided_word
+            .map(|w| Value::from(w.count_ones() % 2 == 1))
+    }
+
+    fn phase(&self) -> u64 {
+        self.bits.iter().map(Process::phase).max().unwrap_or(0)
+    }
+
+    fn decision_phase(&self) -> Option<u64> {
+        self.decided_phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Role, Sim};
+
+    /// Runs n multi-valued processes; returns their decided words (read
+    /// through a [`WordObserver`]).
+    fn run(n: usize, k: usize, width: u8, inputs: &[u64], seed: u64) -> Vec<Option<u64>> {
+        let config = Config::malicious(n, k).unwrap();
+        let observer = word_observer(n);
+        let mut b = Sim::builder();
+        for (slot, &input) in inputs.iter().enumerate() {
+            b.process(
+                Box::new(
+                    MultiValued::new(config, width, input)
+                        .with_observer(Arc::clone(&observer), slot),
+                ),
+                Role::Correct,
+            );
+        }
+        let report = b.seed(seed).step_limit(32_000_000).build().run();
+        assert!(report.all_correct_decided(), "{:?}", report.status);
+        assert!(report.agreement());
+        let words = observer.lock().unwrap().clone();
+        words
+    }
+
+    #[test]
+    fn unanimous_word_is_decided_verbatim() {
+        // Direct state-machine test: feed a 3-process system by hand via
+        // the engine and inspect decided_word through a scripted run.
+        let config = Config::malicious(4, 1).unwrap();
+        let input = 0b1011_0010u64;
+        let mut b = Sim::builder();
+        for _ in 0..4 {
+            b.process(Box::new(MultiValued::new(config, 8, input)), Role::Correct);
+        }
+        let report = b.seed(3).step_limit(32_000_000).build().run();
+        assert!(report.all_correct_decided());
+        // Unanimity ⇒ every bit instance decides its unanimous input bit ⇒
+        // parity of decision equals parity of the input word.
+        let expected_parity = Value::from(input.count_ones() % 2 == 1);
+        for i in 0..4 {
+            assert_eq!(report.decisions[i], Some(expected_parity));
+        }
+    }
+
+    #[test]
+    fn divergent_words_still_agree() {
+        let inputs = [0xDEAD, 0xBEEF, 0x1234, 0xABCD, 0x0F0F, 0xF0F0, 0x5555];
+        for seed in 0..5 {
+            let words = run(7, 2, 16, &inputs, seed);
+            let first = words[0].expect("decided");
+            assert!(
+                words.iter().all(|w| *w == Some(first)),
+                "seed {seed}: {words:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unanimous_words_decide_verbatim_via_observer() {
+        for &input in &[0u64, 0xFFFF, 0b1010_1010, 0xCAFE] {
+            let words = run(4, 1, 16, &[input; 4], 11);
+            assert!(
+                words.iter().all(|w| *w == Some(input & 0xFFFF)),
+                "input {input:#x}: {words:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_bounds_enforced() {
+        let config = Config::malicious(4, 1).unwrap();
+        let p = MultiValued::new(config, 64, u64::MAX);
+        assert_eq!(p.width(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1..=64")]
+    fn zero_width_rejected() {
+        let config = Config::malicious(4, 1).unwrap();
+        let _ = MultiValued::new(config, 0, 0);
+    }
+
+    #[test]
+    fn nonsense_bit_tags_are_dropped() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = MultiValued::new(config, 4, 0b1010);
+        let mut outbox = Vec::new();
+        let mut rng = simnet::SimRng::seed(0);
+        {
+            let mut ctx = Ctx::new(simnet::ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+            p.on_start(&mut ctx);
+        }
+        let before = outbox.len();
+        // Tag 9 exceeds width 4: ignored without panic or sends.
+        let bogus = (
+            9u8,
+            MaliciousMsg::initial(simnet::ProcessId::new(1), Value::One, 0),
+        );
+        {
+            let mut ctx = Ctx::new(simnet::ProcessId::new(0), 4, 1, &mut outbox, &mut rng);
+            p.on_receive(Envelope::new(simnet::ProcessId::new(1), bogus), &mut ctx);
+        }
+        assert_eq!(outbox.len(), before);
+    }
+}

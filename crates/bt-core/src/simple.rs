@@ -1,0 +1,330 @@
+//! The §4.1 simple majority variant: the protocol the paper's Markov-chain
+//! analysis actually models.
+//!
+//! "In each phase processes send each other their value, and wait for `n−k`
+//! messages. Processes change their values to the majority of the received
+//! message values, and decide a value when receiving more than `(n+k)/2`
+//! messages with that value."
+//!
+//! It is Figure 2 stripped of the echo stage, so it withstands fail-stop
+//! (not Byzantine) faults at the `⌊(n−1)/3⌋` resilience the paper analyses.
+//! Consistency follows from the same quorum-intersection argument as
+//! Theorem 4: a decision on `> (n+k)/2` same-value messages forces a
+//! majority of every other process's `n−k`-view. Its execution is exactly
+//! the Markov chain of §4.1 (state = number of processes with value 1),
+//! which `crates/markov` reproduces analytically; experiment E3 checks the
+//! two against each other and against the paper's "< 7 expected phases"
+//! bound.
+
+use std::collections::BTreeMap;
+
+use simnet::{Ctx, Envelope, Process, Value};
+
+use crate::{Config, SimpleMsg};
+
+/// One process of the §4.1 simple-majority variant.
+///
+/// # Examples
+///
+/// ```
+/// use bt_core::{Config, Simple};
+/// use simnet::{Role, Sim, Value};
+///
+/// let config = Config::malicious(6, 1)?; // §4.1 uses the ⌊(n−1)/3⌋ bound
+/// let mut b = Sim::builder();
+/// for i in 0..6 {
+///     b.process(
+///         Box::new(Simple::new(config, Value::from(i % 2 == 0))),
+///         Role::Correct,
+///     );
+/// }
+/// let report = b.seed(3).build().run();
+/// assert!(report.agreement());
+/// # Ok::<(), bt_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Simple {
+    config: Config,
+    value: Value,
+    phase: u64,
+    message_count: [usize; 2],
+    deferred: BTreeMap<u64, Vec<SimpleMsg>>,
+    decision: Option<Value>,
+    decided_phase: Option<u64>,
+}
+
+impl Simple {
+    /// Creates a process with the given initial value.
+    #[must_use]
+    pub fn new(config: Config, input: Value) -> Self {
+        Simple {
+            config,
+            value: input,
+            phase: 0,
+            message_count: [0; 2],
+            deferred: BTreeMap::new(),
+            decision: None,
+            decided_phase: None,
+        }
+    }
+
+    /// The process's current value.
+    #[must_use]
+    pub fn value(&self) -> Value {
+        self.value
+    }
+
+    /// The configuration this process runs under.
+    #[must_use]
+    pub fn config(&self) -> Config {
+        self.config
+    }
+
+    /// Counts one current-phase message; returns `true` if the phase ended.
+    fn count(&mut self, msg: SimpleMsg) -> bool {
+        debug_assert_eq!(msg.phase, self.phase);
+        self.message_count[msg.value.index()] += 1;
+        self.message_count[0] + self.message_count[1] >= self.config.quota()
+    }
+
+    fn end_phase(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
+        self.value = Value::majority_of(self.message_count);
+        if self.decision.is_none() {
+            for v in Value::BOTH {
+                if self.config.decides(self.message_count[v.index()]) {
+                    self.decision = Some(v);
+                    self.decided_phase = Some(self.phase);
+                }
+            }
+        }
+        self.phase += 1;
+        self.message_count = [0; 2];
+        ctx.broadcast(SimpleMsg {
+            phase: self.phase,
+            value: self.value,
+        });
+    }
+
+    fn drain_deferred(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
+        loop {
+            let Some(mut batch) = self.deferred.remove(&self.phase) else {
+                return;
+            };
+            let mut ended = false;
+            while let Some(msg) = batch.pop() {
+                if self.count(msg) {
+                    self.end_phase(ctx);
+                    ended = true;
+                    break;
+                }
+            }
+            if !ended {
+                return;
+            }
+        }
+    }
+}
+
+impl Process for Simple {
+    type Msg = SimpleMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
+        ctx.broadcast(SimpleMsg {
+            phase: 0,
+            value: self.value,
+        });
+    }
+
+    fn on_receive(&mut self, env: Envelope<SimpleMsg>, ctx: &mut Ctx<'_, SimpleMsg>) {
+        let msg = env.msg;
+        if msg.phase < self.phase {
+            return;
+        }
+        if msg.phase > self.phase {
+            self.deferred.entry(msg.phase).or_default().push(msg);
+            return;
+        }
+        if self.count(msg) {
+            self.end_phase(ctx);
+            self.drain_deferred(ctx);
+        }
+    }
+
+    fn decision(&self) -> Option<Value> {
+        self.decision
+    }
+
+    fn phase(&self) -> u64 {
+        self.phase
+    }
+
+    fn decision_phase(&self) -> Option<u64> {
+        self.decided_phase
+    }
+}
+
+/// Convenience: a boxed [`Simple`] process.
+#[must_use]
+pub fn simple_process(config: Config, input: Value) -> Box<dyn Process<Msg = SimpleMsg>> {
+    Box::new(Simple::new(config, input))
+}
+
+/// Builds a full system of `n` correct simple-variant processes.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != config.n()`.
+pub fn build_correct_system(
+    builder: &mut simnet::SimBuilder<SimpleMsg>,
+    config: Config,
+    inputs: &[Value],
+) {
+    assert_eq!(inputs.len(), config.n(), "one input per process");
+    for &input in inputs {
+        builder.process(simple_process(config, input), simnet::Role::Correct);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{ProcessId, Sim, SimRng};
+
+    fn run_inputs(n: usize, k: usize, inputs: &[Value], seed: u64) -> simnet::RunReport {
+        let config = Config::malicious(n, k).unwrap();
+        let mut b = Sim::builder();
+        build_correct_system(&mut b, config, inputs);
+        b.seed(seed).step_limit(4_000_000).build().run()
+    }
+
+    #[test]
+    fn unanimous_decides_immediately() {
+        let inputs = vec![Value::One; 4];
+        let report = run_inputs(4, 1, &inputs, 1);
+        assert_eq!(report.decided_value(), Some(Value::One));
+        // All n−k=3 collected messages carry 1 and 3 > (4+1)/2: phase-0
+        // decision.
+        assert_eq!(report.phases_to_decision(), Some(0));
+    }
+
+    #[test]
+    fn mixed_inputs_agree_and_terminate() {
+        let inputs = [
+            Value::Zero,
+            Value::One,
+            Value::Zero,
+            Value::One,
+            Value::One,
+            Value::Zero,
+        ];
+        for seed in 0..25 {
+            let report = run_inputs(6, 1, &inputs, seed);
+            assert!(report.agreement(), "seed {seed} broke agreement");
+            assert!(report.all_correct_decided(), "seed {seed} stalled");
+        }
+    }
+
+    #[test]
+    fn majority_update_and_tie_break() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Simple::new(config, Value::One);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        // Quota 3: values 0, 0, 1 → majority 0, no decision (2 ≤ 2.5).
+        for (s, v) in [(0, Value::Zero), (1, Value::Zero), (2, Value::One)] {
+            p.on_receive(
+                Envelope::new(ProcessId::new(s), SimpleMsg { phase: 0, value: v }),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.phase(), 1);
+        assert_eq!(p.value(), Value::Zero);
+        assert_eq!(p.decision(), None);
+    }
+
+    #[test]
+    fn decision_sticks_once_made() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Simple::new(config, Value::One);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        // Phase 0: three 1s → decide 1 ((n+k)/2 = 2.5 < 3).
+        for s in 0..3 {
+            p.on_receive(
+                Envelope::new(
+                    ProcessId::new(s),
+                    SimpleMsg {
+                        phase: 0,
+                        value: Value::One,
+                    },
+                ),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.decision(), Some(Value::One));
+
+        // Keep participating (Figure 2 loops forever); even an
+        // all-zeros later phase cannot change d_p.
+        for s in 0..3 {
+            p.on_receive(
+                Envelope::new(
+                    ProcessId::new(s),
+                    SimpleMsg {
+                        phase: 1,
+                        value: Value::Zero,
+                    },
+                ),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.decision(), Some(Value::One), "decisions are irrevocable");
+        assert_eq!(p.value(), Value::Zero, "the working value may still move");
+    }
+
+    #[test]
+    fn deferred_messages_complete_later_phases() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Simple::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        // Deliver all of phase 1 before phase 0 completes.
+        for s in 0..3 {
+            p.on_receive(
+                Envelope::new(
+                    ProcessId::new(s),
+                    SimpleMsg {
+                        phase: 1,
+                        value: Value::One,
+                    },
+                ),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.phase(), 0);
+        // Now complete phase 0; the deferred batch should immediately
+        // complete phase 1 too.
+        for s in 0..3 {
+            p.on_receive(
+                Envelope::new(
+                    ProcessId::new(s),
+                    SimpleMsg {
+                        phase: 0,
+                        value: Value::One,
+                    },
+                ),
+                &mut ctx,
+            );
+        }
+        assert_eq!(p.phase(), 2);
+        assert_eq!(p.decision(), Some(Value::One));
+    }
+}

@@ -1,0 +1,174 @@
+//! Fuzzing the protocol state machines: arbitrary (including nonsensical
+//! and adversarial) message sequences must never panic a correct process,
+//! never bypass sender authentication, and never flip a decision.
+//!
+//! This is the defensive counterpart of the malicious model: whatever
+//! arrives in the buffer, a correct process's externally visible guarantees
+//! (`d_p` irrevocable, phase monotone) hold.
+
+use proptest::prelude::*;
+
+use bt_core::DeadMsg;
+use bt_core::{
+    Config, FailStop, FailStopMsg, InitiallyDead, Malicious, MaliciousKind, MaliciousMsg, Phase,
+    Simple, SimpleMsg, Termination,
+};
+use simnet::{Ctx, Envelope, Process, ProcessId, SimRng, Value};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    any::<bool>().prop_map(Value::from)
+}
+
+fn failstop_msg() -> impl Strategy<Value = FailStopMsg> {
+    (0u64..6, value_strategy(), 0usize..12).prop_map(|(phase, value, cardinality)| FailStopMsg {
+        phase,
+        value,
+        cardinality,
+    })
+}
+
+fn malicious_msg(n: usize) -> impl Strategy<Value = MaliciousMsg> {
+    (
+        any::<bool>(),
+        0..n,
+        value_strategy(),
+        prop_oneof![(0u64..6).prop_map(Phase::At), Just(Phase::Any)],
+    )
+        .prop_map(|(is_echo, subject, value, phase)| MaliciousMsg {
+            kind: if is_echo {
+                MaliciousKind::Echo
+            } else {
+                MaliciousKind::Initial
+            },
+            subject: ProcessId::new(subject),
+            value,
+            phase,
+        })
+}
+
+fn simple_msg() -> impl Strategy<Value = SimpleMsg> {
+    (0u64..6, value_strategy()).prop_map(|(phase, value)| SimpleMsg { phase, value })
+}
+
+fn dead_msg(n: usize) -> impl Strategy<Value = DeadMsg> {
+    prop_oneof![
+        value_strategy().prop_map(|value| DeadMsg::Stage1 { value }),
+        (value_strategy(), proptest::collection::vec(0..n, 0..=n)).prop_map(|(value, anc)| {
+            DeadMsg::Stage2 {
+                value,
+                ancestors: anc.into_iter().map(ProcessId::new).collect(),
+            }
+        }),
+    ]
+}
+
+/// Drives a process through an arbitrary delivery sequence, checking the
+/// universal invariants after every step.
+fn drive<P: Process>(
+    mut p: P,
+    n: usize,
+    deliveries: Vec<(usize, P::Msg)>,
+) -> Result<(), TestCaseError>
+where
+    P::Msg: Clone,
+{
+    let me = ProcessId::new(0);
+    let mut outbox = Vec::new();
+    let mut rng = SimRng::seed(1);
+    {
+        let mut ctx = Ctx::new(me, n, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+    }
+    let mut decided: Option<Value> = None;
+    let mut last_phase = p.phase();
+    for (step, (sender, msg)) in deliveries.into_iter().enumerate() {
+        outbox.clear();
+        let mut ctx = Ctx::new(me, n, step as u64 + 1, &mut outbox, &mut rng);
+        p.on_receive(Envelope::new(ProcessId::new(sender % n), msg), &mut ctx);
+        // d_p is irrevocable.
+        if let Some(v) = decided {
+            prop_assert_eq!(p.decision(), Some(v), "decision changed!");
+        } else {
+            decided = p.decision();
+        }
+        // phaseno never decreases.
+        prop_assert!(p.phase() >= last_phase, "phase went backwards");
+        last_phase = p.phase();
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn failstop_survives_arbitrary_messages(
+        input in value_strategy(),
+        deliveries in proptest::collection::vec((0usize..5, failstop_msg()), 0..120),
+    ) {
+        let config = Config::fail_stop(5, 2).unwrap();
+        drive(FailStop::new(config, input), 5, deliveries)?;
+    }
+
+    #[test]
+    fn malicious_survives_arbitrary_messages(
+        input in value_strategy(),
+        wildcard_exit in any::<bool>(),
+        deliveries in proptest::collection::vec((0usize..7, malicious_msg(7)), 0..150),
+    ) {
+        let config = Config::malicious(7, 2).unwrap();
+        let termination = if wildcard_exit {
+            Termination::WildcardExit
+        } else {
+            Termination::Continue
+        };
+        drive(
+            Malicious::with_termination(config, input, termination),
+            7,
+            deliveries,
+        )?;
+    }
+
+    #[test]
+    fn simple_survives_arbitrary_messages(
+        input in value_strategy(),
+        deliveries in proptest::collection::vec((0usize..7, simple_msg()), 0..150),
+    ) {
+        let config = Config::malicious(7, 2).unwrap();
+        drive(Simple::new(config, input), 7, deliveries)?;
+    }
+
+    #[test]
+    fn initially_dead_survives_arbitrary_messages(
+        input in value_strategy(),
+        deliveries in proptest::collection::vec((0usize..5, dead_msg(5)), 0..120),
+    ) {
+        drive(InitiallyDead::new(5, input), 5, deliveries)?;
+    }
+
+    /// Forged initials (claimed subject ≠ envelope sender) must produce NO
+    /// echo, whatever else is going on.
+    #[test]
+    fn forged_initials_never_echoed(
+        input in value_strategy(),
+        forged_subject in 1usize..7,
+        sender in 2usize..7,
+        t in 0u64..4,
+        v in value_strategy(),
+    ) {
+        prop_assume!(forged_subject != sender);
+        let config = Config::malicious(7, 2).unwrap();
+        let mut p = Malicious::new(config, input);
+        let mut outbox: Vec<(ProcessId, MaliciousMsg)> = Vec::new();
+        let mut rng = SimRng::seed(0);
+        {
+            let mut ctx = Ctx::new(ProcessId::new(0), 7, 0, &mut outbox, &mut rng);
+            p.on_start(&mut ctx);
+        }
+        outbox.clear();
+        let forged = MaliciousMsg::initial(ProcessId::new(forged_subject), v, t);
+        let mut ctx = Ctx::new(ProcessId::new(0), 7, 1, &mut outbox, &mut rng);
+        p.on_receive(Envelope::new(ProcessId::new(sender), forged), &mut ctx);
+        prop_assert!(outbox.is_empty(), "forged initial was echoed: {outbox:?}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Generic absorbing Markov chains and the fundamental-matrix method.
+
+use core::fmt;
+
+use crate::Matrix;
+
+/// An absorbing Markov chain: a stochastic transition matrix plus a set of
+/// absorbing states.
+///
+/// Expected absorption times come from the fundamental matrix
+/// `N = (I − Q)⁻¹` where `Q` is the transition matrix restricted to
+/// transient states: the expected number of steps from transient state `i`
+/// is the `i`-th row sum of `N` — the method §4 cites from \[Isaa76\].
+pub struct AbsorbingChain {
+    p: Matrix,
+    absorbing: Vec<bool>,
+}
+
+impl AbsorbingChain {
+    /// Creates a chain, validating stochasticity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not square, `absorbing.len()` mismatches, any row
+    /// does not sum to 1 (±1e-9), or no state is absorbing.
+    #[must_use]
+    pub fn new(p: Matrix, absorbing: Vec<bool>) -> Self {
+        assert_eq!(p.rows(), p.cols(), "transition matrix must be square");
+        assert_eq!(p.rows(), absorbing.len(), "absorbing mask length mismatch");
+        assert!(
+            absorbing.iter().any(|a| *a),
+            "an absorbing chain needs at least one absorbing state"
+        );
+        for i in 0..p.rows() {
+            let sum = p.row_sum(i);
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "row {i} sums to {sum}, not 1 — not a stochastic matrix"
+            );
+            for j in 0..p.cols() {
+                assert!(
+                    (-1e-12..=1.0 + 1e-9).contains(&p[(i, j)]),
+                    "entry ({i}, {j}) = {} is not a probability",
+                    p[(i, j)]
+                );
+            }
+        }
+        AbsorbingChain { p, absorbing }
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn states(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// Whether `state` is absorbing.
+    #[must_use]
+    pub fn is_absorbing(&self, state: usize) -> bool {
+        self.absorbing[state]
+    }
+
+    /// The full transition matrix.
+    #[must_use]
+    pub fn transition_matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// One-step probability of landing in the absorbing set from `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn one_step_absorption(&self, state: usize) -> f64 {
+        (0..self.states())
+            .filter(|j| self.absorbing[*j])
+            .map(|j| self.p[(state, j)])
+            .sum()
+    }
+
+    /// Absorption probabilities: `result[i][a]` is the probability that the
+    /// chain started in state `i` is eventually absorbed in absorbing state
+    /// `a` (columns indexed by position within the absorbing set, in state
+    /// order). Computed as `B = N·R` with `R` the transient→absorbing block
+    /// — the second standard use of the fundamental matrix. Rows for
+    /// absorbing states are unit vectors. `None` if `I − Q` is singular.
+    #[must_use]
+    pub fn absorption_probabilities(&self) -> Option<Vec<Vec<f64>>> {
+        let transient: Vec<usize> = (0..self.states()).filter(|s| !self.absorbing[*s]).collect();
+        let absorbing: Vec<usize> = (0..self.states()).filter(|s| self.absorbing[*s]).collect();
+        let mut result = vec![vec![0.0; absorbing.len()]; self.states()];
+        for (col, &a) in absorbing.iter().enumerate() {
+            result[a][col] = 1.0;
+        }
+        if transient.is_empty() {
+            return Some(result);
+        }
+        let m = transient.len();
+        let mut q = Matrix::zeros(m, m);
+        let mut r = Matrix::zeros(m, absorbing.len());
+        for (row, &i) in transient.iter().enumerate() {
+            for (col, &j) in transient.iter().enumerate() {
+                q[(row, col)] = self.p[(i, j)];
+            }
+            for (col, &a) in absorbing.iter().enumerate() {
+                r[(row, col)] = self.p[(i, a)];
+            }
+        }
+        let n = Matrix::identity(m).sub(&q).inverse()?;
+        let b = n.mul(&r);
+        for (row, &i) in transient.iter().enumerate() {
+            for col in 0..absorbing.len() {
+                result[i][col] = b[(row, col)];
+            }
+        }
+        Some(result)
+    }
+
+    /// The indices of the absorbing states, in state order (the column
+    /// order of [`AbsorbingChain::absorption_probabilities`]).
+    #[must_use]
+    pub fn absorbing_states(&self) -> Vec<usize> {
+        (0..self.states()).filter(|s| self.absorbing[*s]).collect()
+    }
+
+    /// Expected number of steps to absorption from every state (0 for
+    /// absorbing states), via the fundamental matrix. `None` if `I − Q` is
+    /// singular (some transient state cannot reach the absorbing set).
+    #[must_use]
+    pub fn expected_absorption_times(&self) -> Option<Vec<f64>> {
+        let transient: Vec<usize> = (0..self.states()).filter(|s| !self.absorbing[*s]).collect();
+        if transient.is_empty() {
+            return Some(vec![0.0; self.states()]);
+        }
+        let m = transient.len();
+        let mut q = Matrix::zeros(m, m);
+        for (a, &i) in transient.iter().enumerate() {
+            for (b, &j) in transient.iter().enumerate() {
+                q[(a, b)] = self.p[(i, j)];
+            }
+        }
+        let n = Matrix::identity(m).sub(&q).inverse()?;
+        let mut times = vec![0.0; self.states()];
+        for (a, &i) in transient.iter().enumerate() {
+            times[i] = n.row_sum(a);
+        }
+        Some(times)
+    }
+}
+
+impl fmt::Debug for AbsorbingChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AbsorbingChain")
+            .field("states", &self.states())
+            .field(
+                "absorbing",
+                &(0..self.states())
+                    .filter(|s| self.absorbing[*s])
+                    .collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gambler's ruin on {0,1,2,3} with absorbing ends and fair coin:
+    /// E[T | start=1] = 1·(3−1) = 2, E[T | start=2] = 2·(3−2) = 2.
+    #[test]
+    fn gamblers_ruin_expected_times() {
+        let p = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.5, 0.0],
+            &[0.0, 0.5, 0.0, 0.5],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let chain = AbsorbingChain::new(p, vec![true, false, false, true]);
+        let t = chain.expected_absorption_times().unwrap();
+        assert_eq!(t[0], 0.0);
+        assert!((t[1] - 2.0).abs() < 1e-10);
+        assert!((t[2] - 2.0).abs() < 1e-10);
+        assert_eq!(t[3], 0.0);
+    }
+
+    #[test]
+    fn one_step_absorption_probability() {
+        let p = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.3, 0.5, 0.2], &[0.0, 0.0, 1.0]]);
+        let chain = AbsorbingChain::new(p, vec![true, false, true]);
+        assert!((chain.one_step_absorption(1) - 0.5).abs() < 1e-12);
+        assert_eq!(chain.one_step_absorption(0), 1.0);
+    }
+
+    #[test]
+    fn geometric_absorption() {
+        // Single transient state that falls in with prob 0.25 per step:
+        // expected time 4.
+        let p = Matrix::from_rows(&[&[0.75, 0.25], &[0.0, 1.0]]);
+        let chain = AbsorbingChain::new(p, vec![false, true]);
+        let t = chain.expected_absorption_times().unwrap();
+        assert!((t[0] - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a stochastic matrix")]
+    fn rejects_non_stochastic_rows() {
+        let p = Matrix::from_rows(&[&[0.5, 0.4], &[0.0, 1.0]]);
+        let _ = AbsorbingChain::new(p, vec![false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one absorbing state")]
+    fn rejects_no_absorbing() {
+        let p = Matrix::from_rows(&[&[0.5, 0.5], &[0.5, 0.5]]);
+        let _ = AbsorbingChain::new(p, vec![false, false]);
+    }
+
+    #[test]
+    fn gamblers_ruin_absorption_probabilities() {
+        // Fair gambler's ruin on {0,1,2,3}: from state i, P[absorb at 3] =
+        // i/3.
+        let p = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.5, 0.0],
+            &[0.0, 0.5, 0.0, 0.5],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let chain = AbsorbingChain::new(p, vec![true, false, false, true]);
+        assert_eq!(chain.absorbing_states(), vec![0, 3]);
+        let b = chain.absorption_probabilities().unwrap();
+        // Columns: [state 0, state 3].
+        assert!((b[1][1] - 1.0 / 3.0).abs() < 1e-10);
+        assert!((b[2][1] - 2.0 / 3.0).abs() < 1e-10);
+        assert!((b[1][0] + b[1][1] - 1.0).abs() < 1e-10, "rows sum to 1");
+        assert_eq!(b[0], vec![1.0, 0.0], "absorbing rows are unit vectors");
+        assert_eq!(b[3], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn all_absorbing_is_trivial() {
+        let p = Matrix::identity(3);
+        let chain = AbsorbingChain::new(p, vec![true, true, true]);
+        assert_eq!(
+            chain.expected_absorption_times().unwrap(),
+            vec![0.0, 0.0, 0.0]
+        );
+    }
+}

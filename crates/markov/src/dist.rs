@@ -1,0 +1,308 @@
+//! Probability distributions used by the §4 analysis: binomial (transition
+//! rows), hypergeometric (the view-sampling probability `w_i`), the normal
+//! upper tail `Φ` (eq. 2), and the Chebyshev bound (eq. 6).
+
+/// Natural log of `n!` via the ln-gamma function (Lanczos approximation),
+/// exact for the table of small factorials.
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    // Exact table keeps the common small cases bit-precise.
+    const TABLE: [f64; 21] = [
+        1.0,
+        1.0,
+        2.0,
+        6.0,
+        24.0,
+        120.0,
+        720.0,
+        5040.0,
+        40320.0,
+        362880.0,
+        3628800.0,
+        39916800.0,
+        479001600.0,
+        6227020800.0,
+        87178291200.0,
+        1307674368000.0,
+        20922789888000.0,
+        355687428096000.0,
+        6402373705728000.0,
+        121645100408832000.0,
+        2432902008176640000.0,
+    ];
+    if n < 21 {
+        TABLE[n as usize].ln()
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`; absolute error below
+/// `1e-13` over the range used here.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    debug_assert!(x > 0.0, "ln_gamma domain is x > 0");
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)`, with the convention that out-of-range `k` gives `−∞`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Binomial pmf: `P[X = j]` for `X ~ Bin(n, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn binomial_pmf(n: u64, p: f64, j: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    if j > n {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if j == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if j == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Hypergeometric pmf: the probability of drawing exactly `k` special items
+/// in a sample of `r` from a population of `n` containing `b` specials —
+/// the distribution of `X_(n,b,r)` in §4.1.
+///
+/// # Panics
+///
+/// Panics if `b > n` or `r > n`.
+#[must_use]
+pub fn hypergeometric_pmf(n: u64, b: u64, r: u64, k: u64) -> f64 {
+    assert!(b <= n, "specials cannot exceed population");
+    assert!(r <= n, "sample cannot exceed population");
+    if k > b || k > r || r - k > n - b {
+        return 0.0;
+    }
+    (ln_choose(b, k) + ln_choose(n - b, r - k) - ln_choose(n, r)).exp()
+}
+
+/// Upper tail `P[X > threshold]` of the hypergeometric — the form the `w_i`
+/// of §4.1 takes: the probability that a view of `r` messages contains a
+/// strict majority of 1-values.
+#[must_use]
+pub fn hypergeometric_tail_gt(n: u64, b: u64, r: u64, threshold: u64) -> f64 {
+    let hi = b.min(r);
+    if threshold >= hi {
+        return 0.0;
+    }
+    let tail: f64 = ((threshold + 1)..=hi)
+        .map(|k| hypergeometric_pmf(n, b, r, k))
+        .sum();
+    tail.clamp(0.0, 1.0) // summed pmfs can overshoot 1 by a few ulps
+}
+
+/// Mean of the hypergeometric, `rb/n` (paper's eq. 4).
+#[must_use]
+pub fn hypergeometric_mean(n: u64, b: u64, r: u64) -> f64 {
+    r as f64 * b as f64 / n as f64
+}
+
+/// Variance of the hypergeometric, `rb(n−b)(n−r) / (n²(n−1))` (eq. 5).
+#[must_use]
+pub fn hypergeometric_variance(n: u64, b: u64, r: u64) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let (nf, bf, rf) = (n as f64, b as f64, r as f64);
+    rf * bf * (nf - bf) * (nf - rf) / (nf * nf * (nf - 1.0))
+}
+
+/// The paper's `Φ(x)`: the **upper tail** of the standard normal,
+/// `Φ(x) = (1/√2π) ∫ₓ^∞ e^{−t²/2} dt` (eq. 2; note the paper's `1/2π` is a
+/// typo for `1/√2π` — with `1/2π`, `Φ(0)` would be `1/(2π) · √(π/2) ≈ 0.2`,
+/// while the analysis repeatedly uses `Φ(0) = 1/2`).
+#[must_use]
+pub fn phi_upper(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, via the Numerical-Recipes rational
+/// Chebyshev fit (relative error < 1.2e−7 everywhere — far below the
+/// model's own approximation error).
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Chebyshev's inequality bound (eq. 6): `P[|X − E X| > t] ≤ Var X / t²`.
+///
+/// # Panics
+///
+/// Panics if `t <= 0`.
+#[must_use]
+pub fn chebyshev_bound(variance: f64, t: f64) -> f64 {
+    assert!(t > 0.0, "deviation must be positive");
+    (variance / (t * t)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials_exact_small() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert!((ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(20) - 2_432_902_008_176_640_000f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..30u64 {
+            let via_gamma = ln_gamma(n as f64 + 1.0);
+            let direct = ln_factorial(n);
+            assert!(
+                (via_gamma - direct).abs() < 1e-9,
+                "n={n}: {via_gamma} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn choose_small_cases() {
+        assert!((ln_choose(5, 2).exp() - 10.0).abs() < 1e-9);
+        assert!((ln_choose(10, 5).exp() - 252.0).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.5), (40, 0.9)] {
+            let total: f64 = (0..=n).map(|j| binomial_pmf(n, p, j)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p}: {total}");
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate() {
+        assert_eq!(binomial_pmf(5, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(5, 0.0, 1), 0.0);
+        assert_eq!(binomial_pmf(5, 1.0, 5), 1.0);
+        assert_eq!(binomial_pmf(5, 0.5, 6), 0.0);
+    }
+
+    #[test]
+    fn hypergeometric_sums_to_one() {
+        let (n, b, r) = (20u64, 8u64, 7u64);
+        let total: f64 = (0..=r).map(|k| hypergeometric_pmf(n, b, r, k)).sum();
+        assert!((total - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hypergeometric_known_value() {
+        // P[draw 2 specials of 2 in sample 2 from population 4 with 2] =
+        // C(2,2)C(2,0)/C(4,2) = 1/6.
+        assert!((hypergeometric_pmf(4, 2, 2, 2) - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypergeometric_moments_match_formulas() {
+        let (n, b, r) = (30u64, 12u64, 10u64);
+        let mean: f64 = (0..=r)
+            .map(|k| k as f64 * hypergeometric_pmf(n, b, r, k))
+            .sum();
+        assert!((mean - hypergeometric_mean(n, b, r)).abs() < 1e-9);
+        let var: f64 = (0..=r)
+            .map(|k| (k as f64 - mean).powi(2) * hypergeometric_pmf(n, b, r, k))
+            .sum();
+        assert!((var - hypergeometric_variance(n, b, r)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_gt_complements_pmf() {
+        let (n, b, r) = (15u64, 6u64, 5u64);
+        for thr in 0..=5u64 {
+            let tail = hypergeometric_tail_gt(n, b, r, thr);
+            let direct: f64 = ((thr + 1)..=r)
+                .map(|k| hypergeometric_pmf(n, b, r, k))
+                .sum();
+            assert!((tail - direct).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn phi_upper_known_points() {
+        assert!((phi_upper(0.0) - 0.5).abs() < 1e-7);
+        // Standard normal: P[X > 1.96] ≈ 0.0249979.
+        assert!((phi_upper(1.96) - 0.024_997_9).abs() < 1e-5);
+        assert!((phi_upper(-1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!(phi_upper(8.0) < 1e-14);
+    }
+
+    #[test]
+    fn erfc_symmetry() {
+        for &x in &[0.1, 0.5, 1.3, 2.7] {
+            assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn chebyshev_caps_at_one() {
+        assert_eq!(chebyshev_bound(100.0, 1.0), 1.0);
+        assert!((chebyshev_bound(1.0, 2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_eq7_chebyshev_instance() {
+        // §4.1: with l² = 1.5, w_{n/2 − l√n/2 − 1} < 1/(2l²) = 1/3 (eq. 7).
+        // Chebyshev with t = l√n/2 and Var ≈ n/8 · (something ≤ 1) gives the
+        // 1/(2l²) form; check the generic inequality shape.
+        let l2 = 1.5f64;
+        assert!((chebyshev_bound(1.0 / 8.0, l2.sqrt() / 2.0) - 1.0 / (2.0 * l2)).abs() < 1e-12);
+    }
+}

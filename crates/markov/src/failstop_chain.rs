@@ -1,0 +1,318 @@
+//! The §4.1 Markov chain: the simple-majority variant under fail-stop
+//! faults.
+//!
+//! The system is in state `i` when `i` processes hold value 1. Each phase
+//! every process receives a uniformly random view of `n−k` of the `n`
+//! messages (the paper's simplifying assumption), so it flips to 1 with the
+//! hypergeometric-majority probability
+//!
+//! ```text
+//! w_i = P[ X(n, i, n−k) > (n−k)/2 ]        (ties adopt 0)
+//! ```
+//!
+//! and — taking the processes' views as independent, as the paper does —
+//! the next state is `Binomial(n, w_i)`, giving eq. (1):
+//! `P_{i,j} = C(n,j) · w_i^j · (1 − w_i)^{n−j}`.
+
+use crate::{binomial_pmf, hypergeometric_tail_gt, AbsorbingChain, Matrix};
+
+/// The §4.1 chain for given `(n, k)`.
+#[derive(Debug)]
+pub struct FailStopChain {
+    n: usize,
+    k: usize,
+    chain: AbsorbingChain,
+}
+
+impl FailStopChain {
+    /// The paper's instance: `k = n/3`, absorbing states `[0, n/3−1]` and
+    /// `[2n/3+1, n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of 3.
+    #[must_use]
+    pub fn paper(n: usize) -> Self {
+        assert!(
+            n > 0 && n.is_multiple_of(3),
+            "the paper's instance needs 3 | n"
+        );
+        let k = n / 3;
+        let lo = n / 3; // absorbing: i < lo
+        let hi = 2 * n / 3; // absorbing: i > hi
+        Self::with_absorbing(n, k, lo, hi)
+    }
+
+    /// A generalized instance: absorbing exactly where the view majority is
+    /// deterministic (`w_i = 0` or `w_i = 1`), i.e. `i ≤ (n−k)/2 − (k+1)`…
+    /// more precisely where no view can reach a 1-majority (`i` small) or
+    /// must (`i` large).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(k < n, "need at least one correct process");
+        // w_i = 0 iff even the all-ones view cannot reach a majority:
+        // min(i, n−k) ≤ (n−k)/2 ⇒ i ≤ (n−k)/2.
+        // w_i = 1 iff even the all-zeros view fails: (n − i) ≤ (n−k)/2.
+        let quota = n - k;
+        let lo = quota / 2 + 1; // absorbing: i < lo
+        let hi = n - (quota / 2 + 1); // absorbing: i > hi
+        Self::with_absorbing(n, k, lo, hi)
+    }
+
+    /// Fully explicit construction: absorbing states are `i < lo` and
+    /// `i > hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`. The regions may overlap (making every state
+    /// absorbing — as happens for `k = 0`, where every view's majority is
+    /// deterministic).
+    #[must_use]
+    pub fn with_absorbing(n: usize, k: usize, lo: usize, hi: usize) -> Self {
+        assert!(k < n, "need at least one correct process");
+        let states = n + 1;
+        let mut p = Matrix::zeros(states, states);
+        let mut absorbing = vec![false; states];
+        for i in 0..states {
+            if i < lo || i > hi {
+                absorbing[i] = true;
+                p[(i, i)] = 1.0;
+                continue;
+            }
+            let w = Self::w_value(n, k, i);
+            for j in 0..states {
+                p[(i, j)] = binomial_pmf(n as u64, w, j as u64);
+            }
+        }
+        FailStopChain {
+            n,
+            k,
+            chain: AbsorbingChain::new(p, absorbing),
+        }
+    }
+
+    /// `w_i`: the probability that a uniformly random view of `n−k` of the
+    /// `n` values (of which `i` are 1) contains a strict 1-majority.
+    #[must_use]
+    pub fn w_value(n: usize, k: usize, i: usize) -> f64 {
+        let quota = (n - k) as u64;
+        hypergeometric_tail_gt(n as u64, i as u64, quota, quota / 2)
+    }
+
+    /// The number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The assumed number of faulty processes.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying chain.
+    #[must_use]
+    pub fn chain(&self) -> &AbsorbingChain {
+        &self.chain
+    }
+
+    /// Expected phases to absorption from state `i` (0 for absorbing
+    /// states).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transient part cannot reach absorption (degenerate
+    /// parameters).
+    #[must_use]
+    pub fn expected_phases_from(&self, i: usize) -> f64 {
+        self.chain
+            .expected_absorption_times()
+            .expect("the §4.1 chain always reaches absorption")[i]
+    }
+
+    /// Expected phases from the hardest, balanced start `i = ⌊n/2⌋`.
+    #[must_use]
+    pub fn expected_phases_balanced(&self) -> f64 {
+        self.expected_phases_from(self.n / 2)
+    }
+
+    /// The probability that the system started with `i` ones is absorbed on
+    /// the **high** side (the all-ones decision region) — the analytic
+    /// version of the paper's "the consensus value is … likely to be equal
+    /// to the majority of the initial input values". The complementary mass
+    /// is absorbed low.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > n` or the chain is degenerate.
+    #[must_use]
+    pub fn probability_decides_one(&self, i: usize) -> f64 {
+        assert!(i <= self.n, "state out of range");
+        let absorbing = self.chain.absorbing_states();
+        let probs = self
+            .chain
+            .absorption_probabilities()
+            .expect("the §4.1 chain always reaches absorption");
+        // High-side absorbing states are the ones above the transient band.
+        absorbing
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a > self.n / 2)
+            .map(|(col, _)| probs[i][col])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn w_is_monotone_in_i() {
+        let (n, k) = (30, 10);
+        let mut prev = -1.0;
+        for i in 0..=n {
+            let w = FailStopChain::w_value(n, k, i);
+            assert!(w >= prev - 1e-12, "w must be nondecreasing");
+            assert!((0.0..=1.0).contains(&w));
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn w_symmetry() {
+        // Swapping ones and zeros: w_i(majority of 1s) vs views of 0s.
+        // With an odd quota there are no ties, so w_i + w'_{n−i} = 1 where
+        // w' is the 0-majority probability = 1 − w by symmetry of the
+        // hypergeometric: w_i = 1 − w_{n−i}.
+        let (n, k) = (20, 5); // quota 15, odd
+        for i in 0..=n {
+            let a = FailStopChain::w_value(n, k, i);
+            let b = FailStopChain::w_value(n, k, n - i);
+            assert!((a + b - 1.0).abs() < 1e-9, "i={i}: {a} + {b}");
+        }
+    }
+
+    #[test]
+    fn w_extremes() {
+        let (n, k) = (12, 4);
+        assert_eq!(FailStopChain::w_value(n, k, 0), 0.0);
+        assert_eq!(FailStopChain::w_value(n, k, n), 1.0);
+        // i ≤ quota/2 ⇒ 0 (cannot out-vote within the view).
+        assert_eq!(FailStopChain::w_value(n, k, 4), 0.0); // quota 8, need >4
+        assert!(FailStopChain::w_value(n, k, 5) > 0.0);
+    }
+
+    #[test]
+    fn paper_chain_shape() {
+        let c = FailStopChain::paper(12);
+        assert_eq!(c.chain().states(), 13);
+        // Absorbing: 0..=3 and 9..=12.
+        for i in 0..=3 {
+            assert!(c.chain().is_absorbing(i), "{i}");
+        }
+        for i in 4..=8 {
+            assert!(!c.chain().is_absorbing(i), "{i}");
+        }
+        for i in 9..=12 {
+            assert!(c.chain().is_absorbing(i), "{i}");
+        }
+    }
+
+    #[test]
+    fn expected_phases_balanced_is_small() {
+        // The headline claim (eq. 13): < 7 expected phases, independent of n.
+        for n in [12usize, 18, 24, 30, 36] {
+            let c = FailStopChain::paper(n);
+            let e = c.expected_phases_balanced();
+            assert!(
+                e > 0.0 && e < 7.0,
+                "n={n}: expected phases {e} out of the paper's range"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_phases_decrease_towards_absorbing() {
+        let c = FailStopChain::paper(18);
+        // Paper: E_{n/2} ≥ E_{n/2+1} ≥ … ≥ E_{2n/3+1} = 0.
+        let balanced = c.expected_phases_from(9);
+        let off = c.expected_phases_from(11);
+        let edge = c.expected_phases_from(12);
+        assert!(balanced >= off - 1e-9);
+        assert!(off >= edge - 1e-9);
+        assert_eq!(c.expected_phases_from(13), 0.0);
+    }
+
+    #[test]
+    fn generalized_constructor_boundaries() {
+        // n = 10, k = 2: quota 8, absorbing where a view majority is forced:
+        // i ≤ 4 (can't out-vote) and i ≥ 6 (can't be out-voted).
+        let c = FailStopChain::new(10, 2);
+        assert!(c.chain().is_absorbing(4));
+        assert!(!c.chain().is_absorbing(5));
+        assert!(c.chain().is_absorbing(6));
+        assert!(c.expected_phases_from(5) > 0.0);
+    }
+
+    #[test]
+    fn zero_faults_makes_every_state_absorbing() {
+        // k = 0: every view is the full vote, so every majority is
+        // deterministic and the chain resolves in the current phase.
+        let c = FailStopChain::new(10, 0);
+        for i in 0..=10 {
+            assert!(c.chain().is_absorbing(i), "{i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3 | n")]
+    fn paper_requires_divisibility() {
+        let _ = FailStopChain::paper(10);
+    }
+
+    #[test]
+    fn decision_split_is_monotone_and_symmetric() {
+        let c = FailStopChain::paper(18);
+        let mut prev = 0.0;
+        for i in 0..=18 {
+            let p = c.probability_decides_one(i);
+            assert!((0.0..=1.0 + 1e-9).contains(&p), "i={i}: {p}");
+            assert!(p >= prev - 1e-9, "monotone in initial ones");
+            prev = p;
+        }
+        // Extremes are certain.
+        assert!(c.probability_decides_one(0) < 1e-12);
+        assert!((c.probability_decides_one(18) - 1.0).abs() < 1e-12);
+        // The protocol breaks view ties towards 0 (`majority_of`), and the
+        // paper chain's quota 2n/3 = 12 is even, so ties exist: the split
+        // from a balanced start leans towards 0 rather than being exactly
+        // even.
+        // The bias compounds: w < 1/2 at balance drags the mean below
+        // balance, where w is smaller still — so the 1-side probability
+        // from an exactly balanced start is tiny (≈ 2% at n = 18).
+        let balanced = c.probability_decides_one(9);
+        assert!(
+            balanced < 0.5 && balanced > 0.0,
+            "tie-to-zero bias expected, got {balanced}"
+        );
+    }
+
+    #[test]
+    fn decision_split_symmetric_with_odd_quota() {
+        // With an odd quota there are no ties, so the split is exactly
+        // symmetric: P[1 | i] = 1 − P[1 | n − i].
+        let c = FailStopChain::new(20, 5); // quota 15, odd
+        for i in 0..=20 {
+            let a = c.probability_decides_one(i);
+            let b = c.probability_decides_one(20 - i);
+            assert!((a + b - 1.0).abs() < 1e-8, "i={i}: {a} + {b}");
+        }
+        assert!((c.probability_decides_one(10) - 0.5).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,59 @@
+//! # markov — the §4 performance analysis, reproduced analytically
+//!
+//! Section 4 of Bracha & Toueg bounds the expected number of phases of the
+//! consensus protocols by modelling them as absorbing Markov chains. This
+//! crate rebuilds the whole pipeline from scratch:
+//!
+//! * [`Matrix`] — dense linear algebra (Gauss-Jordan inversion) for the
+//!   fundamental-matrix method `N = (I − Q)⁻¹` of \[Isaa76\];
+//! * distributions ([`binomial_pmf`], [`hypergeometric_pmf`], …) —
+//!   eqs. 1 and 3–5, the normal upper tail [`phi_upper`] (eq. 2) and
+//!   Chebyshev's inequality (eq. 6);
+//! * [`FailStopChain`] — the §4.1 chain: state = number of processes with
+//!   value 1, hypergeometric view-majority probability `w_i`, binomial
+//!   transition rows;
+//! * [`collapsed`] — the 5-state partition `A/B/C/D/E`, the collapsed
+//!   matrix `R` (eq. 11), and the closed-form bound (eq. 13) — **fewer than
+//!   7 expected phases** at the paper's `l² = 1.5`;
+//! * [`MaliciousChain`] — the §4.2 chain against the balancing adversary,
+//!   with the `1/(2Φ(l))` bound: **constant expected phases for
+//!   `k = o(√n)`**.
+//!
+//! Experiments E3 and E4 cross-check these analytic numbers against
+//! Monte-Carlo simulation of the actual protocols.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use markov::{collapsed, FailStopChain};
+//!
+//! // The exact chain for n = 30, k = n/3: expected phases from a 15/15
+//! // split, versus the paper's closed-form bound.
+//! let chain = FailStopChain::paper(30);
+//! let exact = chain.expected_phases_balanced();
+//! let bound = collapsed::headline_bound(30);
+//! assert!(exact < bound);
+//! assert!(bound < 7.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chain;
+pub mod collapsed;
+mod dist;
+mod failstop_chain;
+mod linalg;
+mod malicious_chain;
+mod simulate;
+
+pub use chain::AbsorbingChain;
+pub use dist::{
+    binomial_pmf, chebyshev_bound, erfc, hypergeometric_mean, hypergeometric_pmf,
+    hypergeometric_tail_gt, hypergeometric_variance, ln_choose, ln_factorial, ln_gamma, phi_upper,
+};
+pub use failstop_chain::FailStopChain;
+pub use linalg::Matrix;
+pub use malicious_chain::MaliciousChain;
+pub use simulate::ChainSampler;

@@ -1,0 +1,325 @@
+//! Minimal dense linear algebra: exactly what the fundamental-matrix
+//! computation needs, built from scratch (no external numerics crates).
+
+use core::fmt;
+use core::ops::{Index, IndexMut};
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use markov::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let inv = m.inverse().expect("nonsingular");
+/// let id = m.mul(&inv);
+/// assert!((id[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!(id[(0, 1)].abs() < 1e-12);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or ragged.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        let mut m = Matrix::zeros(rows.len(), cols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "ragged row {i}");
+            for (j, v) in row.iter().enumerate() {
+                m[(i, j)] = *v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn mul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise difference `self − other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[must_use]
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "dimension mismatch in sub"
+        );
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+        out
+    }
+
+    /// The sum of row `i` — for a fundamental matrix `N`, the expected
+    /// absorption time from transient state `i` ([Isaa76], as cited in §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row_sum(&self, i: usize) -> f64 {
+        assert!(i < self.rows, "row out of range");
+        (0..self.cols).map(|j| self[(i, j)]).sum()
+    }
+
+    /// The inverse via Gauss-Jordan elimination with partial pivoting, or
+    /// `None` if the matrix is singular (pivot below `1e-12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    #[must_use]
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below row.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .abs()
+                        .partial_cmp(&a[(r2, col)].abs())
+                        .expect("matrix entries must not be NaN")
+                })
+                .expect("column range is non-empty");
+            if a[(pivot_row, col)].abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+            }
+            let pivot = a[(col, col)];
+            for j in 0..n {
+                a[(col, j)] /= pivot;
+                inv[(col, j)] /= pivot;
+            }
+            for row in 0..n {
+                if row == col {
+                    continue;
+                }
+                let factor = a[(row, col)];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let acj = a[(col, j)];
+                    let icj = inv[(col, j)];
+                    a[(row, j)] -= factor * acj;
+                    inv[(row, j)] -= factor * icj;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Solves `self · x = b` for `x` (via the inverse; matrices here are
+    /// tiny). `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    #[must_use]
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let inv = self.inverse()?;
+        Some(
+            (0..inv.rows)
+                .map(|i| (0..inv.cols).map(|j| inv[(i, j)] * b[j]).sum())
+                .collect(),
+        )
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.cols {
+            self.data.swap(r1 * self.cols + j, r2 * self.cols + j);
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index out of range");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}×{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>10.6} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_inverts_to_itself() {
+        let i = Matrix::identity(4);
+        assert_eq!(i.inverse().unwrap(), i);
+    }
+
+    #[test]
+    fn known_inverse() {
+        let m = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]);
+        let inv = m.inverse().unwrap();
+        // inverse = 1/10 * [6, -7; -2, 4]
+        assert!((inv[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((inv[(0, 1)] + 0.7).abs() < 1e-12);
+        assert!((inv[(1, 0)] + 0.2).abs() < 1e-12);
+        assert!((inv[(1, 1)] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn mul_against_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.mul(&b);
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn solve_linear_system() {
+        // x + y = 3; x − y = 1 → x = 2, y = 1.
+        let m = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+        let x = m.solve(&[3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_sum_sums() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.row_sum(0), 6.0);
+        assert_eq!(m.row_sum(1), 15.0);
+    }
+
+    #[test]
+    fn sub_subtracts() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_rows(&[&[0.5, 0.25], &[0.0, 0.5]]);
+        let c = a.sub(&b);
+        assert_eq!(c[(0, 0)], 0.5);
+        assert_eq!(c[(0, 1)], -0.25);
+    }
+
+    #[test]
+    fn inverse_round_trip_random_like() {
+        let m = Matrix::from_rows(&[&[2.0, 1.0, 0.5], &[0.3, 3.0, 0.7], &[0.1, 0.2, 4.0]]);
+        let inv = m.inverse().unwrap();
+        let id = m.mul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((id[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The §4.2 Markov chain: the Figure 2 protocol against the balancing
+//! adversary.
+//!
+//! States count the **correct** processes holding value 1, `0 ≤ i ≤ n−k`.
+//! The `k` malicious processes send, to everyone, whatever best balances
+//! the 1/0 split — so from the adversary's point of view a deviation of
+//! `±d` among the correct processes looks like a deviation of
+//! `±max(d−k, 0)` among all `n` messages. The paper writes this as eq. (1):
+//!
+//! ```text
+//! M_{(n−k)/2 ± i, j} = P_{n/2 ± (i−k), j}   for i ≥ k
+//! M_{(n−k)/2 ± i, j} = P_{n/2, j}           for i < k
+//! ```
+//!
+//! with `P` the §4.1 transition rows. The absorbing states are
+//! `[0, (n−3k)/2 − 1]` and `[(n+k)/2 + 1, n−k]`; eq. (2) bounds the
+//! probability of absorbing out of the balanced state by `2Φ(l)` for
+//! `k = l√n/2`, so the expected number of phases is at most `1/(2Φ(l))` —
+//! **constant for `k = o(√n)`**.
+
+use crate::{binomial_pmf, phi_upper, AbsorbingChain, FailStopChain, Matrix};
+
+/// The §4.2 chain for given `(n, k)`.
+#[derive(Debug)]
+pub struct MaliciousChain {
+    n: usize,
+    k: usize,
+    chain: AbsorbingChain,
+}
+
+impl MaliciousChain {
+    /// Builds the chain. For faithful alignment with the paper's formulas,
+    /// `n` and `n − k` should be even; odd values are handled by integer
+    /// truncation of the midpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `5k > n` (the section restricts to `k ≤ n/5`) or `n == 0`.
+    #[must_use]
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n > 0, "a system needs processes");
+        assert!(5 * k <= n, "§4.2 analyses k ≤ n/5");
+        let correct = n - k;
+        let states = correct + 1;
+        let mid_all = n / 2;
+        let mid_correct = correct / 2;
+
+        // Absorbing regions per the paper: decide-0 below (n−3k)/2, decide-1
+        // above (n+k)/2 (indices among correct processes).
+        let lo = (n.saturating_sub(3 * k)) / 2; // absorbing: i < lo
+        let hi = (n + k) / 2; // absorbing: i > hi
+
+        let mut p = Matrix::zeros(states, states);
+        let mut absorbing = vec![false; states];
+        for i in 0..states {
+            if i < lo || i > hi {
+                absorbing[i] = true;
+                p[(i, i)] = 1.0;
+                continue;
+            }
+            // Balancing: deviation among correct values, clipped by k.
+            let dev = i as i64 - mid_correct as i64;
+            let clipped = if dev.unsigned_abs() as usize <= k {
+                0
+            } else if dev > 0 {
+                dev - k as i64
+            } else {
+                dev + k as i64
+            };
+            let effective = (mid_all as i64 + clipped).clamp(0, n as i64) as usize;
+            let w = FailStopChain::w_value(n, k, effective);
+            for j in 0..states {
+                p[(i, j)] = binomial_pmf(correct as u64, w, j as u64);
+            }
+        }
+        MaliciousChain {
+            n,
+            k,
+            chain: AbsorbingChain::new(p, absorbing),
+        }
+    }
+
+    /// The number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The number of malicious processes.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying chain.
+    #[must_use]
+    pub fn chain(&self) -> &AbsorbingChain {
+        &self.chain
+    }
+
+    /// Expected phases to absorption from the balanced state `(n−k)/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain cannot reach absorption.
+    #[must_use]
+    pub fn expected_phases_balanced(&self) -> f64 {
+        let times = self
+            .chain
+            .expected_absorption_times()
+            .expect("the §4.2 chain always reaches absorption");
+        times[(self.n - self.k) / 2]
+    }
+
+    /// One-step absorption probability from the balanced state — the
+    /// quantity eq. (2) approximates by `2Φ(l)`.
+    #[must_use]
+    pub fn balanced_absorption_probability(&self) -> f64 {
+        self.chain.one_step_absorption((self.n - self.k) / 2)
+    }
+
+    /// The `l` for which `k = l√n/2`.
+    #[must_use]
+    pub fn l_parameter(&self) -> f64 {
+        2.0 * self.k as f64 / (self.n as f64).sqrt()
+    }
+
+    /// The paper's bound on the expected number of phases from the balanced
+    /// state: `1 / (2Φ(l))` (from eq. (2) and the geometric argument).
+    #[must_use]
+    pub fn paper_bound(l: f64) -> f64 {
+        1.0 / (2.0 * phi_upper(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_fast() {
+        let c = MaliciousChain::new(20, 0);
+        // With no balancing noise the balanced state still has w = 1/2 but
+        // absorption regions are wide: expect a handful of phases.
+        let e = c.expected_phases_balanced();
+        assert!(e > 0.0 && e < 10.0, "{e}");
+    }
+
+    #[test]
+    fn absorbing_regions_match_paper() {
+        // n = 20, k = 4: correct = 16; absorbing below (20−12)/2 = 4 and
+        // above (20+4)/2 = 12.
+        let c = MaliciousChain::new(20, 4);
+        assert!(c.chain().is_absorbing(3));
+        assert!(!c.chain().is_absorbing(4));
+        assert!(!c.chain().is_absorbing(12));
+        assert!(c.chain().is_absorbing(13));
+    }
+
+    #[test]
+    fn balancing_flattens_the_middle() {
+        // Within ±k of the balanced state, the adversary holds w at 1/2:
+        // those rows must be identical.
+        let c = MaliciousChain::new(20, 4);
+        let p = c.chain().transition_matrix();
+        let mid = 8; // (n−k)/2 = 8
+        for i in [mid - 3, mid - 1, mid + 2] {
+            for j in 0..=16 {
+                assert!(
+                    (p[(i, j)] - p[(mid, j)]).abs() < 1e-12,
+                    "row {i} must equal balanced row"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expected_phases_bounded_by_paper_formula() {
+        // For k = l√n/2 the expected time from balance is ≤ 1/(2Φ(l))
+        // (the paper's geometric bound; the exact chain should respect it
+        // within the normal-approximation slack).
+        for &(n, k) in &[(36usize, 3usize), (64, 4), (100, 5)] {
+            let c = MaliciousChain::new(n, k);
+            let e = c.expected_phases_balanced();
+            let l = c.l_parameter();
+            let bound = MaliciousChain::paper_bound(l);
+            assert!(
+                e <= bound * 1.5 + 1.0,
+                "n={n} k={k}: exact {e} vs paper bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_k_gives_constant_phases() {
+        // k = o(√n): expected phases stay bounded as n grows.
+        let mut last = 0.0;
+        for &n in &[40usize, 80, 160, 320] {
+            let c = MaliciousChain::new(n, 2);
+            last = c.expected_phases_balanced();
+            assert!(last < 8.0, "n={n}: {last}");
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn paper_bound_decreases_in_l() {
+        assert!(MaliciousChain::paper_bound(0.5) < MaliciousChain::paper_bound(1.0));
+        // Φ(0) = 1/2 ⇒ bound = 1.
+        assert!((MaliciousChain::paper_bound(0.0) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≤ n/5")]
+    fn rejects_large_k() {
+        let _ = MaliciousChain::new(20, 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Monte-Carlo sampling of the chains: an independent check on the
+//! fundamental-matrix arithmetic.
+//!
+//! The analytic absorption times go through matrix inversion; sampling the
+//! same chains directly catches any disagreement between the two routes
+//! (and gives distributions, not just means).
+
+use core::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::AbsorbingChain;
+
+/// Samples trajectories of an [`AbsorbingChain`].
+pub struct ChainSampler<'a> {
+    chain: &'a AbsorbingChain,
+}
+
+impl<'a> ChainSampler<'a> {
+    /// Creates a sampler over `chain`.
+    #[must_use]
+    pub fn new(chain: &'a AbsorbingChain) -> Self {
+        ChainSampler { chain }
+    }
+
+    /// Samples one trajectory from `start`; returns `(steps, final_state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range or a row is numerically degenerate.
+    pub fn trajectory(&self, start: usize, rng: &mut SmallRng) -> (u64, usize) {
+        assert!(start < self.chain.states(), "start state out of range");
+        let p = self.chain.transition_matrix();
+        let mut state = start;
+        let mut steps = 0u64;
+        while !self.chain.is_absorbing(state) {
+            let mut x: f64 = rng.gen();
+            let mut next = self.chain.states() - 1;
+            for j in 0..self.chain.states() {
+                x -= p[(state, j)];
+                if x <= 0.0 {
+                    next = j;
+                    break;
+                }
+            }
+            state = next;
+            steps += 1;
+        }
+        (steps, state)
+    }
+
+    /// Mean steps to absorption from `start` over `trials` trajectories.
+    #[must_use]
+    pub fn mean_steps(&self, start: usize, trials: usize, seed: u64) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let total: u64 = (0..trials)
+            .map(|_| self.trajectory(start, &mut rng).0)
+            .sum();
+        total as f64 / trials as f64
+    }
+
+    /// Empirical probability of being absorbed in a state `> threshold`.
+    #[must_use]
+    pub fn absorb_high_rate(
+        &self,
+        start: usize,
+        threshold: usize,
+        trials: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let high = (0..trials)
+            .filter(|_| self.trajectory(start, &mut rng).1 > threshold)
+            .count();
+        high as f64 / trials as f64
+    }
+}
+
+impl fmt::Debug for ChainSampler<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChainSampler")
+            .field("states", &self.chain.states())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FailStopChain, Matrix};
+
+    #[test]
+    fn sampled_ruin_matches_analytic() {
+        let p = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0, 0.0],
+            &[0.5, 0.0, 0.5, 0.0],
+            &[0.0, 0.5, 0.0, 0.5],
+            &[0.0, 0.0, 0.0, 1.0],
+        ]);
+        let chain = AbsorbingChain::new(p, vec![true, false, false, true]);
+        let sampler = ChainSampler::new(&chain);
+        let mean = sampler.mean_steps(1, 40_000, 7);
+        assert!((mean - 2.0).abs() < 0.1, "sampled {mean}, analytic 2.0");
+        let high = sampler.absorb_high_rate(1, 2, 40_000, 7);
+        assert!(
+            (high - 1.0 / 3.0).abs() < 0.02,
+            "sampled {high}, analytic 1/3"
+        );
+    }
+
+    #[test]
+    fn sampled_failstop_chain_matches_fundamental_matrix() {
+        let chain = FailStopChain::paper(12);
+        let analytic = chain.expected_phases_balanced();
+        let sampler = ChainSampler::new(chain.chain());
+        let sampled = sampler.mean_steps(6, 30_000, 99);
+        assert!(
+            (sampled - analytic).abs() < analytic * 0.1 + 0.1,
+            "sampled {sampled} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn trajectories_from_absorbing_states_are_trivial() {
+        let chain = FailStopChain::paper(12);
+        let sampler = ChainSampler::new(chain.chain());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let (steps, state) = sampler.trajectory(0, &mut rng);
+        assert_eq!(steps, 0);
+        assert_eq!(state, 0);
+    }
+}

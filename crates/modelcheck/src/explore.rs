@@ -1,0 +1,384 @@
+//! Exhaustive exploration of every legal schedule of a small world.
+
+use core::fmt;
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use simnet::{Process, Value};
+
+use crate::world::World;
+
+/// A terminal outcome observed along some schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Outcome {
+    /// Every non-crashed process decided this common value.
+    Decided(Value),
+    /// Two non-crashed processes decided different values — a consistency
+    /// violation.
+    Disagreement,
+    /// No action was available and some non-crashed process had not
+    /// decided — a deadlock.
+    Deadlock,
+}
+
+/// What an exhaustive exploration found.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct Exploration {
+    /// Distinct terminal outcomes over all explored schedules.
+    pub outcomes: BTreeSet<Outcome>,
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Whether the search hit its state or depth cap before exhausting the
+    /// schedule space (outcomes are then a lower bound).
+    pub truncated: bool,
+}
+
+impl Exploration {
+    /// The decision-reachability classification of the *initial*
+    /// configuration, in the paper's §2.2 terminology.
+    #[must_use]
+    pub fn valence(&self) -> Valence {
+        let zero = self.outcomes.contains(&Outcome::Decided(Value::Zero));
+        let one = self.outcomes.contains(&Outcome::Decided(Value::One));
+        match (zero, one) {
+            (true, true) => Valence::Bivalent,
+            (true, false) => Valence::ZeroValent,
+            (false, true) => Valence::OneValent,
+            (false, false) => Valence::NoDecision,
+        }
+    }
+
+    /// Whether any schedule produced a disagreement or deadlock.
+    #[must_use]
+    pub fn safe(&self) -> bool {
+        !self.outcomes.contains(&Outcome::Disagreement)
+            && !self.outcomes.contains(&Outcome::Deadlock)
+    }
+}
+
+/// The paper's valence classification of a configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Valence {
+    /// Only `F⁰` configurations are reachable.
+    ZeroValent,
+    /// Only `F¹` configurations are reachable.
+    OneValent,
+    /// Both decision values are reachable (Lemma 2's object of interest).
+    Bivalent,
+    /// No decision is reachable at all (how the Figure 1 protocol degrades
+    /// when `k` exceeds `⌊(n−1)/2⌋`: witnesses become impossible and the
+    /// system stays safe but never decides).
+    NoDecision,
+}
+
+/// When an exploration may stop before exhausting the schedule space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EarlyStop {
+    /// Run to exhaustion (or the caps). Required to *prove* univalence.
+    #[default]
+    Never,
+    /// Stop as soon as both decision values have been observed — enough to
+    /// certify bivalence, the common query of Lemma 2.
+    OnBivalence,
+    /// Stop at the first decision of any value — enough to certify
+    /// reachability of *some* decision.
+    OnAnyDecision,
+}
+
+/// Exhaustive breadth-first explorer with a visited-set and safety caps.
+#[derive(Clone, Debug)]
+pub struct Explorer {
+    /// Stop after visiting this many distinct configurations.
+    pub max_states: usize,
+    /// Do not expand configurations deeper than this many actions.
+    pub max_depth: usize,
+    /// Optional sound early exit.
+    pub early_stop: EarlyStop,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_states: 60_000,
+            max_depth: 120,
+            early_stop: EarlyStop::Never,
+        }
+    }
+}
+
+impl Explorer {
+    /// Creates an explorer with explicit caps and no early exit.
+    #[must_use]
+    pub fn new(max_states: usize, max_depth: usize) -> Self {
+        Explorer {
+            max_states,
+            max_depth,
+            early_stop: EarlyStop::Never,
+        }
+    }
+
+    /// Sets the early-exit policy.
+    #[must_use]
+    pub fn early_stop(mut self, early: EarlyStop) -> Self {
+        self.early_stop = early;
+        self
+    }
+
+    fn should_stop(&self, outcomes: &BTreeSet<Outcome>) -> bool {
+        match self.early_stop {
+            EarlyStop::Never => false,
+            EarlyStop::OnBivalence => {
+                outcomes.contains(&Outcome::Decided(Value::Zero))
+                    && outcomes.contains(&Outcome::Decided(Value::One))
+            }
+            EarlyStop::OnAnyDecision => outcomes.iter().any(|o| matches!(o, Outcome::Decided(_))),
+        }
+    }
+
+    /// Explores every schedule from `world` (up to the caps and early-exit
+    /// policy), collecting terminal outcomes.
+    pub fn explore<P>(&self, world: World<P>) -> Exploration
+    where
+        P: Process + Clone + fmt::Debug,
+        P::Msg: Clone + fmt::Debug + Ord,
+    {
+        let mut outcomes = BTreeSet::new();
+        let mut visited: HashSet<String> = HashSet::new();
+        let mut frontier = VecDeque::new();
+        let mut truncated = false;
+
+        visited.insert(world.fingerprint());
+        frontier.push_back(world);
+
+        while let Some(w) = frontier.pop_front() {
+            if w.disagreement() {
+                outcomes.insert(Outcome::Disagreement);
+                continue;
+            }
+            if w.all_correct_decided() {
+                // All non-crashed decided and they agree (checked above);
+                // record the common value.
+                if let Some(v) = w.decisions().into_iter().flatten().next() {
+                    outcomes.insert(Outcome::Decided(v));
+                }
+                if self.should_stop(&outcomes) {
+                    truncated = true;
+                    break;
+                }
+                continue;
+            }
+            let actions = w.actions();
+            if actions.is_empty() {
+                outcomes.insert(Outcome::Deadlock);
+                continue;
+            }
+            if w.depth() >= self.max_depth {
+                truncated = true;
+                continue;
+            }
+            for action in actions {
+                if visited.len() >= self.max_states {
+                    truncated = true;
+                    break;
+                }
+                let next = w.apply(action);
+                if visited.insert(next.fingerprint()) {
+                    frontier.push_back(next);
+                }
+            }
+        }
+
+        Exploration {
+            outcomes,
+            states: visited.len(),
+            truncated,
+        }
+    }
+
+    /// Breadth-first search for a schedule whose terminal configuration
+    /// satisfies `goal`; returns the witnessing action sequence. The
+    /// result can be replayed exactly through
+    /// [`simnet::scheduler::ScriptedScheduler`] (delivery actions map to
+    /// selections) or through [`World::apply`].
+    ///
+    /// Searches the same space as [`Explorer::explore`] under the same
+    /// caps; `None` means no goal configuration was found within them.
+    pub fn find_schedule<P>(
+        &self,
+        start: World<P>,
+        mut goal: impl FnMut(&World<P>) -> bool,
+    ) -> Option<Vec<crate::Action>>
+    where
+        P: Process + Clone + fmt::Debug,
+        P::Msg: Clone + fmt::Debug + Ord,
+    {
+        // Nodes own their world plus a back-pointer (parent index, action).
+        let mut nodes: Vec<(World<P>, Option<(usize, crate::Action)>)> = Vec::new();
+        let mut visited: HashSet<String> = HashSet::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        visited.insert(start.fingerprint());
+        nodes.push((start, None));
+        queue.push_back(0);
+
+        while let Some(idx) = queue.pop_front() {
+            if goal(&nodes[idx].0) {
+                // Reconstruct the action path.
+                let mut path = Vec::new();
+                let mut cur = idx;
+                while let Some((parent, action)) = nodes[cur].1 {
+                    path.push(action);
+                    cur = parent;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if nodes[idx].0.depth() >= self.max_depth || visited.len() >= self.max_states {
+                continue;
+            }
+            if nodes[idx].0.all_correct_decided() {
+                continue; // terminal for our purposes
+            }
+            for action in nodes[idx].0.actions() {
+                let next = nodes[idx].0.apply(action);
+                if visited.insert(next.fingerprint()) {
+                    nodes.push((next, Some((idx, action))));
+                    queue.push_back(nodes.len() - 1);
+                }
+            }
+        }
+        None
+    }
+
+    /// Samples `walks` uniformly random schedules (including random crash
+    /// actions) of at most `max_depth` steps each, collecting the terminal
+    /// outcomes reached.
+    ///
+    /// Every walk is a genuine schedule, so any outcome returned is a
+    /// *witness* — sampling soundly certifies reachability (e.g.
+    /// bivalence) even where breadth-first exhaustion is hopeless; it just
+    /// cannot certify *un*reachability.
+    pub fn sample_outcomes<P>(&self, start: &World<P>, walks: usize, seed: u64) -> BTreeSet<Outcome>
+    where
+        P: Process + Clone + fmt::Debug,
+        P::Msg: Clone + fmt::Debug + Ord,
+    {
+        let mut outcomes = BTreeSet::new();
+        let mut rng = simnet::SimRng::seed(seed);
+        for _ in 0..walks {
+            let mut w = start.clone();
+            for _ in 0..self.max_depth {
+                if w.disagreement() {
+                    outcomes.insert(Outcome::Disagreement);
+                    break;
+                }
+                if w.all_correct_decided() {
+                    if let Some(v) = w.decisions().into_iter().flatten().next() {
+                        outcomes.insert(Outcome::Decided(v));
+                    }
+                    break;
+                }
+                let actions = w.actions();
+                if actions.is_empty() {
+                    outcomes.insert(Outcome::Deadlock);
+                    break;
+                }
+                w = w.apply(actions[rng.index(actions.len())]);
+            }
+            if self.should_stop(&outcomes) {
+                break;
+            }
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bt_core::{Config, Simple};
+
+    fn simple_world(n: usize, k: usize, inputs: &[Value], crashes: usize) -> World<Simple> {
+        let config = Config::unchecked(n, k);
+        World::start(
+            inputs.iter().map(|&v| Simple::new(config, v)).collect(),
+            crashes,
+        )
+    }
+
+    #[test]
+    fn unanimous_is_univalent() {
+        let e = Explorer::default().explore(simple_world(3, 0, &[Value::One; 3], 0));
+        assert!(!e.truncated, "3 processes, no crashes: must exhaust");
+        assert_eq!(e.valence(), Valence::OneValent);
+        assert!(e.safe());
+    }
+
+    #[test]
+    fn unanimous_zero_is_zero_valent() {
+        let e = Explorer::default().explore(simple_world(3, 0, &[Value::Zero; 3], 0));
+        assert_eq!(e.valence(), Valence::ZeroValent);
+    }
+
+    #[test]
+    fn crashes_can_deadlock_waiting_quota() {
+        // n = 2, k = 0 (quota 2) but the adversary may crash one process.
+        // With mixed inputs no phase-0 decision is possible (it needs two
+        // equal values), so the survivor reaches phase 1 and then waits for
+        // a quota its dead peer can never fill.
+        let e = Explorer::default().explore(simple_world(2, 0, &[Value::One, Value::Zero], 1));
+        assert!(e.outcomes.contains(&Outcome::Deadlock), "{:?}", e.outcomes);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = Explorer::default().explore(simple_world(3, 0, &[Value::One; 3], 0));
+        let b = Explorer::default().explore(simple_world(3, 0, &[Value::One; 3], 0));
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn find_schedule_reaches_a_decision_and_replays() {
+        use crate::Action;
+        let start = simple_world(3, 0, &[Value::One; 3], 0);
+        let schedule = Explorer::default()
+            .find_schedule(start.clone(), |w| w.all_correct_decided())
+            .expect("a decision is reachable");
+        assert!(!schedule.is_empty());
+        // Replaying the schedule step by step reproduces the decision.
+        let mut w = start;
+        for action in &schedule {
+            w = w.apply(*action);
+        }
+        assert!(w.all_correct_decided());
+        assert!(
+            schedule.iter().all(|a| matches!(a, Action::Deliver { .. })),
+            "no crashes needed"
+        );
+    }
+
+    #[test]
+    fn find_schedule_returns_none_for_unreachable_goal() {
+        let start = simple_world(2, 0, &[Value::One; 2], 0);
+        let schedule = Explorer::new(5_000, 30).find_schedule(start, |w| w.disagreement());
+        assert!(schedule.is_none(), "the protocol never disagrees");
+    }
+
+    #[test]
+    fn sampled_walks_find_both_outcomes_for_mixed_inputs() {
+        let start = simple_world(3, 0, &[Value::One, Value::One, Value::Zero], 1);
+        let outcomes = Explorer::default().sample_outcomes(&start, 500, 0xABC);
+        assert!(
+            outcomes.iter().any(|o| matches!(o, Outcome::Decided(_))),
+            "{outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn caps_mark_truncation() {
+        let explorer = Explorer::new(10, 2);
+        let e = explorer.explore(simple_world(3, 1, &[Value::One; 3], 1));
+        assert!(e.truncated);
+    }
+}

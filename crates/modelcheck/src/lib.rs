@@ -1,0 +1,51 @@
+//! # modelcheck — the lower-bound arguments, made executable
+//!
+//! §2.2 and §3.2 of Bracha & Toueg argue impossibility through
+//! *configurations*, *schedules* and *valence*: a configuration is bivalent
+//! if both decision values are reachable, and the lower bounds (Theorem 1:
+//! no `⌊n/2⌋`-resilient fail-stop protocol; Theorem 3: no `⌊n/3⌋`-resilient
+//! malicious protocol) follow from chasing bivalence through schedules.
+//!
+//! This crate implements those notions concretely for tiny systems:
+//!
+//! * [`World`] — a cloneable configuration (process states + buffers) with
+//!   the adversary's two moves, message delivery and crash;
+//! * [`Explorer`] — exhaustive breadth-first search over every schedule,
+//!   with canonical-state dedup, reporting every reachable terminal
+//!   [`Outcome`];
+//! * [`Valence`] — the §2.2 classification (0-valent / 1-valent / bivalent,
+//!   plus the degenerate "no decision reachable");
+//! * [`demos`] — Lemma 2's bivalent initial configuration found by scan,
+//!   and the Theorem 1 degradation: beyond `⌊(n−1)/2⌋` the Figure 1
+//!   protocol *provably never decides* (its witness threshold exceeds its
+//!   quota), the only safe way to fail.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bt_core::Config;
+//! use modelcheck::{demos, Valence};
+//! use simnet::Value;
+//!
+//! // Lemma 2: some initial configuration of a 1-resilient 3-process
+//! // system is bivalent.
+//! let config = Config::fail_stop(3, 1)?;
+//! let bivalent = demos::find_bivalent_initial(config, 1);
+//! assert!(bivalent.is_some());
+//!
+//! // Unanimity, by contrast, pins the decision.
+//! let v = demos::failstop_valence(config, &[Value::One; 3], 1);
+//! assert_eq!(v, Valence::OneValent);
+//! # Ok::<(), bt_core::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod demos;
+mod explore;
+mod world;
+
+pub use explore::{EarlyStop, Exploration, Explorer, Outcome, Valence};
+pub use world::{Action, World};

@@ -1,0 +1,148 @@
+//! Per-process message buffers.
+
+use core::fmt;
+
+use crate::Envelope;
+
+/// The message buffer the message system maintains for one process: messages
+/// sent to it but not yet received (§2.1).
+///
+/// `receive` in the paper removes *some* message nondeterministically; here
+/// the [scheduler](crate::scheduler) resolves the nondeterminism by picking
+/// an index, and [`Buffer::take`] removes it. Arrival order is preserved so
+/// FIFO schedulers can model orderly channels, while random schedulers index
+/// freely.
+pub struct Buffer<M> {
+    items: Vec<Envelope<M>>,
+    /// Total number of envelopes ever enqueued, for metrics.
+    enqueued: u64,
+}
+
+impl<M> Buffer<M> {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Buffer {
+            items: Vec::new(),
+            enqueued: 0,
+        }
+    }
+
+    /// Number of messages currently awaiting delivery.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no deliverable messages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total number of envelopes ever placed in this buffer.
+    #[must_use]
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Places an envelope at the back of the buffer (the paper's
+    /// instantaneous `send`).
+    pub fn push(&mut self, env: Envelope<M>) {
+        self.enqueued += 1;
+        self.items.push(env);
+    }
+
+    /// Removes and returns the envelope at `index`, preserving the relative
+    /// order of the rest (so index 0 is always the oldest message).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn take(&mut self, index: usize) -> Envelope<M> {
+        self.items.remove(index)
+    }
+
+    /// A view of the pending envelopes, oldest first. Schedulers use this to
+    /// pick a delivery index; they must not rely on payload contents of
+    /// Byzantine senders.
+    #[must_use]
+    pub fn pending(&self) -> &[Envelope<M>] {
+        &self.items
+    }
+
+    /// Drops all pending messages (used when a process halts: deliveries to
+    /// it can never affect the run again).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<M> Default for Buffer<M> {
+    fn default() -> Self {
+        Buffer::new()
+    }
+}
+
+impl<M: fmt::Debug> fmt::Debug for Buffer<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Buffer")
+            .field("pending", &self.items)
+            .field("enqueued", &self.enqueued)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    fn env(from: usize, m: u32) -> Envelope<u32> {
+        Envelope::new(ProcessId::new(from), m)
+    }
+
+    #[test]
+    fn push_take_preserves_order() {
+        let mut b = Buffer::new();
+        b.push(env(0, 10));
+        b.push(env(1, 11));
+        b.push(env(2, 12));
+        assert_eq!(b.len(), 3);
+
+        let middle = b.take(1);
+        assert_eq!(middle.msg, 11);
+        assert_eq!(b.pending()[0].msg, 10);
+        assert_eq!(b.pending()[1].msg, 12);
+    }
+
+    #[test]
+    fn counts_total_enqueued_across_takes() {
+        let mut b = Buffer::new();
+        for i in 0..5 {
+            b.push(env(0, i));
+        }
+        while !b.is_empty() {
+            b.take(0);
+        }
+        assert_eq!(b.total_enqueued(), 5);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut b = Buffer::new();
+        b.push(env(0, 1));
+        b.push(env(0, 2));
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.total_enqueued(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn take_out_of_bounds_panics() {
+        let mut b: Buffer<u32> = Buffer::new();
+        b.take(0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Process identifiers.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a process in a system of `n` fully interconnected processes.
+///
+/// Identifiers are dense indices `0..n`, which lets per-process state live in
+/// plain vectors. The paper's model (§3.1) assumes the message system lets a
+/// receiver verify the identity of the sender of each message; the simulator
+/// enforces this by stamping the true `ProcessId` on every
+/// [`Envelope`](crate::Envelope) — a malicious process can lie in the payload
+/// but never about who it is.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates a process identifier from its dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the dense index of this process, in `0..n`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over all process identifiers of an `n`-process system.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use simnet::ProcessId;
+    ///
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids.len(), 3);
+    /// assert_eq!(ids[2].index(), 2);
+    /// ```
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + ExactSizeIterator {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId(index)
+    }
+}
+
+impl From<ProcessId> for usize {
+    fn from(id: ProcessId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..10 {
+            assert_eq!(ProcessId::new(i).index(), i);
+            assert_eq!(usize::from(ProcessId::from(i)), i);
+        }
+    }
+
+    #[test]
+    fn all_yields_dense_range() {
+        let ids: Vec<_> = ProcessId::all(5).collect();
+        assert_eq!(ids.len(), 5);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_and_debug_are_compact() {
+        let p = ProcessId::new(7);
+        assert_eq!(format!("{p}"), "p7");
+        assert_eq!(format!("{p:?}"), "p7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProcessId::new(1) < ProcessId::new(2));
+        assert_eq!(ProcessId::new(4), ProcessId::new(4));
+    }
+}

@@ -1,0 +1,65 @@
+//! Run metrics: message and step accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by the engine over one run.
+///
+/// Experiment E9 (message complexity) reads these: the Figure 1 fail-stop
+/// protocol sends Θ(n²) messages per phase while the Figure 2 malicious
+/// protocol's echo stage amplifies that to Θ(n³) per phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Messages placed into buffers (including those later dropped).
+    pub messages_sent: u64,
+    /// Messages delivered to a process step.
+    pub messages_delivered: u64,
+    /// Messages addressed to halted processes (dropped on send) plus
+    /// messages discarded from a buffer when its owner halted.
+    pub messages_dropped: u64,
+    /// Per-process count of messages sent.
+    pub sent_by: Vec<u64>,
+    /// Per-process count of atomic steps taken.
+    pub steps_by: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for an `n`-process system.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            messages_sent: 0,
+            messages_delivered: 0,
+            messages_dropped: 0,
+            sent_by: vec![0; n],
+            steps_by: vec![0; n],
+        }
+    }
+
+    /// Messages still undelivered at the end of the run.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.messages_sent - self.messages_delivered - self.messages_dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let m = Metrics::new(3);
+        assert_eq!(m.messages_sent, 0);
+        assert_eq!(m.sent_by, vec![0, 0, 0]);
+        assert_eq!(m.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_balances() {
+        let mut m = Metrics::new(1);
+        m.messages_sent = 10;
+        m.messages_delivered = 6;
+        m.messages_dropped = 1;
+        assert_eq!(m.in_flight(), 3);
+    }
+}

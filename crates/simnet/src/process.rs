@@ -1,0 +1,195 @@
+//! The process abstraction: protocol state machines driven by the engine.
+
+use core::fmt;
+
+use crate::{Envelope, ProcessId, SimRng, Value};
+
+/// A protocol running at one process, expressed as an event-driven state
+/// machine.
+///
+/// # Correspondence with the paper's model
+///
+/// In the paper (§2.1) an *atomic step* lets a process try to receive one
+/// message (possibly getting the null value φ), perform a local computation,
+/// and send a finite set of messages. The protocols in the paper only make
+/// progress when a message actually arrives — after the initial broadcast,
+/// every send is triggered by a receipt. The engine therefore drives a
+/// process through:
+///
+/// * one [`Process::on_start`] call (the first atomic step, in which the
+///   paper's protocols broadcast their initial state), then
+/// * one [`Process::on_receive`] call per delivered message.
+///
+/// Steps in which `receive` returns φ leave the protocol state unchanged, so
+/// the simulator does not spend scheduler turns on them; the arbitrary delays
+/// φ models are expressed by the scheduler's freedom to reorder deliveries
+/// indefinitely. See `DESIGN.md` for the equivalence argument.
+///
+/// # Object safety
+///
+/// The trait is object-safe for a fixed message type: the engine stores
+/// processes as `Box<dyn Process<Msg = M>>`, so a single simulation can mix
+/// correct processes, crash-wrapped processes and Byzantine strategies.
+pub trait Process: fmt::Debug {
+    /// The protocol's wire message type.
+    type Msg;
+
+    /// The first atomic step, before any delivery. The paper's protocols use
+    /// it to broadcast their phase-0 state.
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// One atomic step triggered by the delivery of `env`.
+    fn on_receive(&mut self, env: Envelope<Self::Msg>, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// The decision value, once the process has irrevocably decided
+    /// (`d_p` in the paper). Must never change after first returning `Some`.
+    fn decision(&self) -> Option<Value>;
+
+    /// The protocol phase this process is currently in (`phaseno`). Used for
+    /// metrics and by crash schedules that kill a process upon entering a
+    /// given phase. Protocols without phases may return 0.
+    fn phase(&self) -> u64;
+
+    /// The phase in which the process decided, in the paper's sense
+    /// ("decides in phase `t` if it sets `d_p` while `phaseno = t`").
+    ///
+    /// The default reports [`Process::phase`] at the time the engine first
+    /// observes the decision — correct for protocols that decide between
+    /// phases, off by the in-step increment for protocols whose decision and
+    /// phase advance happen in the same atomic step; the latter should
+    /// override this.
+    fn decision_phase(&self) -> Option<u64> {
+        self.decision().map(|_| self.phase())
+    }
+
+    /// Whether the process has left the protocol and will never send again.
+    /// A halted process is never scheduled and deliveries to it are dropped.
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+/// The engine-provided context for one atomic step: identity, system size,
+/// the outbox, and the deterministic random stream.
+///
+/// All sends performed during a step are placed instantaneously in the
+/// recipients' buffers when the step commits, matching the paper's
+/// `send(p, m)` primitive.
+pub struct Ctx<'a, M> {
+    me: ProcessId,
+    n: usize,
+    step: u64,
+    outbox: &'a mut Vec<(ProcessId, M)>,
+    rng: &'a mut SimRng,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Creates a step context. Called by the engine; exposed so protocol
+    /// crates can unit-test their state machines without a full simulation.
+    pub fn new(
+        me: ProcessId,
+        n: usize,
+        step: u64,
+        outbox: &'a mut Vec<(ProcessId, M)>,
+        rng: &'a mut SimRng,
+    ) -> Self {
+        Ctx {
+            me,
+            n,
+            step,
+            outbox,
+            rng,
+        }
+    }
+
+    /// The identity of the process taking this step.
+    #[must_use]
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// The total number of processes `n` in the system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The global atomic-step counter at the time of this step.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Sends `msg` to `to` (placed in `to`'s buffer when the step commits).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every process, *including* the sender itself
+    /// — the paper's `for all q, 1 ≤ q ≤ n, send(q, …)` loop.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for q in ProcessId::all(self.n) {
+            self.outbox.push((q, msg.clone()));
+        }
+    }
+
+    /// Sends `make(q)` to every process `q`; for messages that depend on the
+    /// recipient (used by equivocating Byzantine strategies).
+    pub fn broadcast_with(&mut self, mut make: impl FnMut(ProcessId) -> M) {
+        for q in ProcessId::all(self.n) {
+            self.outbox.push((q, make(q)));
+        }
+    }
+
+    /// The deterministic random stream for this run. Randomized protocols
+    /// (Ben-Or's coin flips) and randomized Byzantine strategies draw from
+    /// here so whole runs stay reproducible from a single seed.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+impl<M> fmt::Debug for Ctx<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("me", &self.me)
+            .field("n", &self.n)
+            .field("step", &self.step)
+            .field("outbox_len", &self.outbox.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_broadcast_fill_outbox() {
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(1), 4, 9, &mut outbox, &mut rng);
+        assert_eq!(ctx.me(), ProcessId::new(1));
+        assert_eq!(ctx.n(), 4);
+        assert_eq!(ctx.step(), 9);
+
+        ctx.send(ProcessId::new(0), 10u8);
+        ctx.broadcast(7u8);
+        ctx.broadcast_with(|q| q.index() as u8);
+
+        assert_eq!(outbox.len(), 1 + 4 + 4);
+        assert_eq!(outbox[0], (ProcessId::new(0), 10));
+        // broadcast includes self
+        assert!(outbox[1..5]
+            .iter()
+            .enumerate()
+            .all(|(i, (to, m))| to.index() == i && *m == 7));
+        assert!(outbox[5..]
+            .iter()
+            .enumerate()
+            .all(|(i, (to, m))| to.index() == i && *m as usize == i));
+    }
+}

@@ -1,0 +1,338 @@
+//! Monte-Carlo trial runner: estimate convergence statistics over many seeds.
+//!
+//! The paper's convergence property is probabilistic ("terminates with
+//! probability 1, finite expected time"), so reproducing §4's performance
+//! numbers means sampling: run the same configuration under many independent
+//! scheduler streams and aggregate phases-to-decision, steps, messages and
+//! property violations. Trials run in parallel with `crossbeam` scoped
+//! threads; each trial's seed is derived deterministically from the base
+//! seed, so any individual failure can be replayed from its reported seed.
+
+use core::fmt;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::{RunReport, RunStatus, Sim, SimRng, Value};
+
+/// Aggregated results of a batch of trials.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct TrialStats {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Trials in which every correct process decided.
+    pub decided: usize,
+    /// Trials in which two correct processes decided differently
+    /// (consistency violations — must be zero within the resilience bound).
+    pub disagreements: usize,
+    /// Trials that ended quiescent without full decision (deadlocks).
+    pub deadlocks: usize,
+    /// Trials that hit the step limit before full decision.
+    pub timeouts: usize,
+    /// Per-decided-trial phases to decision (max over correct processes).
+    pub phases: Summary,
+    /// Per-decided-trial steps to decision.
+    pub steps: Summary,
+    /// Per-trial messages sent.
+    pub messages: Summary,
+    /// How often the common decision was `1` (over decided trials).
+    pub ones_decided: usize,
+    /// Seeds of trials that violated a property, for replay.
+    pub violation_seeds: Vec<u64>,
+}
+
+impl TrialStats {
+    /// Fraction of trials in which every correct process decided.
+    #[must_use]
+    pub fn termination_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.decided as f64 / self.trials as f64
+    }
+
+    /// Fraction of decided trials whose common decision was `1`.
+    #[must_use]
+    pub fn one_rate(&self) -> f64 {
+        if self.decided == 0 {
+            return 0.0;
+        }
+        self.ones_decided as f64 / self.decided as f64
+    }
+
+    /// Whether any trial violated agreement or deadlocked.
+    #[must_use]
+    pub fn all_safe(&self) -> bool {
+        self.disagreements == 0 && self.deadlocks == 0
+    }
+}
+
+/// Summary statistics of a sample.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Sample mean (0 if empty).
+    pub mean: f64,
+    /// Sample standard deviation (0 if fewer than 2 points).
+    pub stddev: f64,
+    /// Minimum (0 if empty).
+    pub min: f64,
+    /// Maximum (0 if empty).
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl Summary {
+    /// Summarises a sample. The input need not be sorted.
+    #[must_use]
+    pub fn of(mut values: Vec<f64>) -> Self {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let pct = |q: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * q).round() as usize;
+            values[idx]
+        };
+        Summary {
+            count,
+            mean,
+            stddev: var.sqrt(),
+            min: values[0],
+            max: values[count - 1],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.2} ± {:.2} (min {:.1}, p50 {:.1}, p95 {:.1}, max {:.1}, n={})",
+            self.mean, self.stddev, self.min, self.p50, self.p95, self.max, self.count
+        )
+    }
+}
+
+/// Runs `trials` independent simulations in parallel and aggregates them.
+///
+/// `factory(seed)` must build a fully configured [`Sim`] for that seed; the
+/// seeds are derived deterministically from `base_seed`. The factory runs on
+/// worker threads, so it must be `Sync` (typically it captures only
+/// configuration values).
+///
+/// # Examples
+///
+/// ```
+/// # use simnet::{runner, Ctx, Envelope, Process, Role, Sim, Value};
+/// # #[derive(Debug)]
+/// # struct Yes;
+/// # impl Process for Yes {
+/// #     type Msg = ();
+/// #     fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) { ctx.broadcast(()); }
+/// #     fn on_receive(&mut self, _e: Envelope<()>, _c: &mut Ctx<'_, ()>) {}
+/// #     fn decision(&self) -> Option<Value> { Some(Value::One) }
+/// #     fn phase(&self) -> u64 { 0 }
+/// # }
+/// let stats = runner::run_trials(8, 42, |seed| {
+///     let mut b = Sim::builder();
+///     b.process(Box::new(Yes), Role::Correct).seed(seed);
+///     b.build()
+/// });
+/// assert_eq!(stats.trials, 8);
+/// assert_eq!(stats.termination_rate(), 1.0);
+/// ```
+pub fn run_trials<M, F>(trials: usize, base_seed: u64, factory: F) -> TrialStats
+where
+    M: 'static,
+    F: Fn(u64) -> Sim<M> + Sync,
+{
+    let mut seed_gen = SimRng::seed(base_seed);
+    let seeds: Vec<u64> = (0..trials)
+        .map(|i| seed_gen.fork(i as u64).initial_seed())
+        .collect();
+
+    let reports: Mutex<Vec<(u64, RunReport)>> = Mutex::new(Vec::with_capacity(trials));
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let chunk = trials.div_ceil(workers).max(1);
+
+    crossbeam::thread::scope(|scope| {
+        for ids in seeds.chunks(chunk) {
+            let reports = &reports;
+            let factory = &factory;
+            scope.spawn(move |_| {
+                let mut local = Vec::with_capacity(ids.len());
+                for &seed in ids {
+                    let report = factory(seed).run();
+                    local.push((seed, report));
+                }
+                reports.lock().extend(local);
+            });
+        }
+    })
+    .expect("trial worker panicked");
+
+    let reports = reports.into_inner();
+    aggregate(&reports)
+}
+
+/// Runs `trials` sequentially on the current thread. Useful where the
+/// factory cannot be `Sync`, and in tests that want full determinism of
+/// aggregation order.
+pub fn run_trials_seq<M, F>(trials: usize, base_seed: u64, mut factory: F) -> TrialStats
+where
+    M: 'static,
+    F: FnMut(u64) -> Sim<M>,
+{
+    let mut seed_gen = SimRng::seed(base_seed);
+    let mut reports = Vec::with_capacity(trials);
+    for i in 0..trials {
+        let seed = seed_gen.fork(i as u64).initial_seed();
+        reports.push((seed, factory(seed).run()));
+    }
+    aggregate(&reports)
+}
+
+fn aggregate(reports: &[(u64, RunReport)]) -> TrialStats {
+    let mut decided = 0;
+    let mut disagreements = 0;
+    let mut deadlocks = 0;
+    let mut timeouts = 0;
+    let mut ones_decided = 0;
+    let mut phases = Vec::new();
+    let mut steps = Vec::new();
+    let mut messages = Vec::new();
+    let mut violation_seeds = Vec::new();
+
+    for (seed, r) in reports {
+        messages.push(r.metrics.messages_sent as f64);
+        if !r.agreement() {
+            disagreements += 1;
+            violation_seeds.push(*seed);
+        }
+        if r.all_correct_decided() {
+            decided += 1;
+            if r.decided_value() == Some(Value::One) {
+                ones_decided += 1;
+            }
+            if let Some(p) = r.phases_to_decision() {
+                phases.push(p as f64);
+            }
+            if let Some(s) = r.steps_to_decision() {
+                steps.push(s as f64);
+            }
+        } else {
+            match r.status {
+                RunStatus::Quiescent => {
+                    deadlocks += 1;
+                    violation_seeds.push(*seed);
+                }
+                RunStatus::StepLimitReached => timeouts += 1,
+                RunStatus::Stopped => {}
+            }
+        }
+    }
+
+    TrialStats {
+        trials: reports.len(),
+        decided,
+        disagreements,
+        deadlocks,
+        timeouts,
+        phases: Summary::of(phases),
+        steps: Summary::of(steps),
+        messages: Summary::of(messages),
+        ones_decided,
+        violation_seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ctx, Envelope, Process, Role};
+
+    /// Decides 1 immediately.
+    #[derive(Debug)]
+    struct Instant;
+
+    impl Process for Instant {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.broadcast(());
+        }
+        fn on_receive(&mut self, _e: Envelope<()>, _c: &mut Ctx<'_, ()>) {}
+        fn decision(&self) -> Option<Value> {
+            Some(Value::One)
+        }
+        fn phase(&self) -> u64 {
+            1
+        }
+    }
+
+    fn sim(seed: u64) -> Sim<()> {
+        let mut b = Sim::builder();
+        b.process(Box::new(Instant), Role::Correct)
+            .process(Box::new(Instant), Role::Correct)
+            .seed(seed);
+        b.build()
+    }
+
+    #[test]
+    fn summary_statistics_are_correct() {
+        let s = Summary::of(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // stddev of 1..4 with Bessel correction: sqrt(5/3)
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zeroed() {
+        let s = Summary::of(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let a = run_trials(16, 7, sim);
+        let b = run_trials_seq(16, 7, sim);
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.decided, b.decided);
+        assert_eq!(a.phases.mean, b.phases.mean);
+        assert_eq!(a.messages.mean, b.messages.mean);
+    }
+
+    #[test]
+    fn stats_fields_consistent() {
+        let stats = run_trials_seq(10, 1, sim);
+        assert_eq!(stats.trials, 10);
+        assert_eq!(stats.decided, 10);
+        assert_eq!(stats.termination_rate(), 1.0);
+        assert_eq!(stats.one_rate(), 1.0);
+        assert!(stats.all_safe());
+        assert!(stats.violation_seeds.is_empty());
+        assert_eq!(stats.phases.mean, 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! An adversarial scheduler that starves selected senders.
+
+use core::fmt;
+
+use crate::{ProcessId, SimRng};
+
+use super::{FairScheduler, Scheduler, Selection, SystemView};
+
+/// Adversarial scheduler that delays every message *from* a chosen set of
+/// senders for as long as anything else is deliverable.
+///
+/// This models the strongest delay pattern a reliable asynchronous network
+/// allows: messages from the victims are postponed indefinitely while other
+/// traffic flows, and are only let through when the system would otherwise
+/// be stuck (which keeps the message system reliable, as the model requires).
+/// The paper's protocols must stay safe under *any* such scheduler; only
+/// convergence is allowed to degrade. Deadlock-freedom (Thm 2/4) is exactly
+/// the property that the "only let through when stuck" fallback keeps runs
+/// finishing: a protocol waiting on `n−k` messages can always proceed on
+/// traffic from the non-delayed majority.
+pub struct DelayingScheduler {
+    delayed_from: Vec<bool>,
+    inner: FairScheduler,
+    n: usize,
+}
+
+impl DelayingScheduler {
+    /// Creates a scheduler that starves messages sent by `victims` in an
+    /// `n`-process system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any victim index is `>= n`.
+    #[must_use]
+    pub fn new(n: usize, victims: &[ProcessId]) -> Self {
+        let mut delayed_from = vec![false; n];
+        for v in victims {
+            assert!(v.index() < n, "victim {v} out of range for n={n}");
+            delayed_from[v.index()] = true;
+        }
+        DelayingScheduler {
+            delayed_from,
+            inner: FairScheduler::new(),
+            n,
+        }
+    }
+
+    /// Whether messages from `pid` are being delayed.
+    #[must_use]
+    pub fn is_delayed(&self, pid: ProcessId) -> bool {
+        self.delayed_from[pid.index()]
+    }
+}
+
+impl fmt::Debug for DelayingScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let victims: Vec<usize> = (0..self.n).filter(|&i| self.delayed_from[i]).collect();
+        f.debug_struct("DelayingScheduler")
+            .field("delayed_from", &victims)
+            .finish()
+    }
+}
+
+impl<M> Scheduler<M> for DelayingScheduler {
+    fn select(&mut self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<Selection> {
+        // Gather deliveries whose sender is NOT delayed.
+        let mut fresh: Vec<Selection> = Vec::new();
+        for to in view.deliverable() {
+            for (index, env) in view.pending(to).iter().enumerate() {
+                if !self.delayed_from[env.from.index()] {
+                    fresh.push(Selection { to, index });
+                }
+            }
+        }
+        if !fresh.is_empty() {
+            return Some(fresh[rng.index(fresh.len())]);
+        }
+        // Nothing undelayed is deliverable: fall back to fair delivery so the
+        // network stays reliable (messages are delayed, never lost).
+        self.inner.select(view, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Buffer, Envelope};
+
+    fn buffers_with_senders(senders: &[&[usize]]) -> Vec<Buffer<u32>> {
+        senders
+            .iter()
+            .map(|list| {
+                let mut b = Buffer::new();
+                for (i, &s) in list.iter().enumerate() {
+                    b.push(Envelope::new(ProcessId::new(s), i as u32));
+                }
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefers_undelayed_senders() {
+        // p0's buffer holds one message from p1 (delayed) and one from p2.
+        let buffers = buffers_with_senders(&[&[1, 2]]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = DelayingScheduler::new(3, &[ProcessId::new(1)]);
+        let mut rng = SimRng::seed(0);
+        for _ in 0..20 {
+            let sel = s.select(&view, &mut rng).unwrap();
+            assert_eq!(sel.index, 1, "must pick the message from p2");
+        }
+    }
+
+    #[test]
+    fn falls_back_when_only_delayed_remain() {
+        let buffers = buffers_with_senders(&[&[1, 1]]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = DelayingScheduler::new(2, &[ProcessId::new(1)]);
+        let mut rng = SimRng::seed(0);
+        let sel = s.select(&view, &mut rng).unwrap();
+        assert_eq!(sel.to.index(), 0, "reliability: delayed mail still flows");
+    }
+
+    #[test]
+    fn none_when_quiescent() {
+        let buffers = buffers_with_senders(&[&[], &[]]);
+        let runnable = [true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = DelayingScheduler::new(2, &[]);
+        let mut rng = SimRng::seed(0);
+        assert_eq!(Scheduler::<u32>::select(&mut s, &view, &mut rng), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_victim() {
+        let _ = DelayingScheduler::new(2, &[ProcessId::new(5)]);
+    }
+
+    #[test]
+    fn reports_delayed_set() {
+        let s = DelayingScheduler::new(3, &[ProcessId::new(2)]);
+        assert!(s.is_delayed(ProcessId::new(2)));
+        assert!(!s.is_delayed(ProcessId::new(0)));
+    }
+}

@@ -1,0 +1,207 @@
+//! The probabilistically fair scheduler of §2.3.
+
+use core::fmt;
+
+use crate::{ProcessId, SimRng};
+
+use super::{Scheduler, Selection, SystemView};
+
+/// How the [`FairScheduler`] picks a message once it has picked a receiver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DeliveryOrder {
+    /// Uniformly random among pending messages — the fully asynchronous
+    /// model, and the default.
+    #[default]
+    Random,
+    /// Oldest first, modelling FIFO channels. Still fair across processes.
+    Fifo,
+    /// Newest first. An unusual but legal resolution of the model's
+    /// nondeterminism; useful for shaking out ordering assumptions.
+    Lifo,
+}
+
+/// The scheduler that realises the paper's probabilistic assumption: every
+/// pending message of every runnable process has positive probability of
+/// being delivered next, so in any phase every candidate view of `n−k`
+/// messages has probability ≥ ε of being the one a process sees (§2.3).
+///
+/// Receiver choice can be weighted per process via
+/// [`FairScheduler::with_weights`], modelling heterogeneous process speeds
+/// while preserving fairness (all weights must be positive).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::scheduler::{DeliveryOrder, FairScheduler};
+///
+/// let sched = FairScheduler::new();
+/// let fifo = FairScheduler::new().delivery_order(DeliveryOrder::Fifo);
+/// # let _ = (sched, fifo);
+/// ```
+#[derive(Clone)]
+pub struct FairScheduler {
+    order: DeliveryOrder,
+    weights: Option<Vec<f64>>,
+}
+
+impl FairScheduler {
+    /// Creates the default fair scheduler: uniform receiver, uniform message.
+    #[must_use]
+    pub fn new() -> Self {
+        FairScheduler {
+            order: DeliveryOrder::Random,
+            weights: None,
+        }
+    }
+
+    /// Sets how the message is chosen once the receiver is fixed.
+    #[must_use]
+    pub fn delivery_order(mut self, order: DeliveryOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Weights receiver choice by `weights[p]` (relative process speeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is not strictly positive and finite — a zero
+    /// weight would starve a process forever and violate fairness.
+    #[must_use]
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "all scheduler weights must be positive and finite"
+        );
+        self.weights = Some(weights);
+        self
+    }
+
+    fn pick_receiver<M>(&self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<ProcessId> {
+        let candidates: Vec<ProcessId> = view.deliverable().collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match &self.weights {
+            None => Some(candidates[rng.index(candidates.len())]),
+            Some(w) => {
+                let total: f64 = candidates.iter().map(|p| w[p.index()]).sum();
+                // Inverse-CDF sampling over the candidate weights.
+                let mut x = (rng.next_u64() as f64 / u64::MAX as f64) * total;
+                for p in &candidates {
+                    x -= w[p.index()];
+                    if x <= 0.0 {
+                        return Some(*p);
+                    }
+                }
+                Some(*candidates.last().expect("candidates is non-empty"))
+            }
+        }
+    }
+}
+
+impl Default for FairScheduler {
+    fn default() -> Self {
+        FairScheduler::new()
+    }
+}
+
+impl fmt::Debug for FairScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FairScheduler")
+            .field("order", &self.order)
+            .field("weighted", &self.weights.is_some())
+            .finish()
+    }
+}
+
+impl<M> Scheduler<M> for FairScheduler {
+    fn select(&mut self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<Selection> {
+        let to = self.pick_receiver(view, rng)?;
+        let len = view.pending(to).len();
+        let index = match self.order {
+            DeliveryOrder::Random => rng.index(len),
+            DeliveryOrder::Fifo => 0,
+            DeliveryOrder::Lifo => len - 1,
+        };
+        Some(Selection { to, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::make_buffers;
+
+    #[test]
+    fn returns_none_when_nothing_deliverable() {
+        let buffers = make_buffers(&[0, 0]);
+        let runnable = [true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = FairScheduler::new();
+        let mut rng = SimRng::seed(1);
+        assert_eq!(Scheduler::<u32>::select(&mut s, &view, &mut rng), None);
+    }
+
+    #[test]
+    fn skips_non_runnable_processes() {
+        let buffers = make_buffers(&[3, 3]);
+        let runnable = [false, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = FairScheduler::new();
+        let mut rng = SimRng::seed(2);
+        for _ in 0..50 {
+            let sel = s.select(&view, &mut rng).unwrap();
+            assert_eq!(sel.to.index(), 1);
+            assert!(sel.index < 3);
+        }
+    }
+
+    #[test]
+    fn every_pending_message_is_eventually_chosen() {
+        let buffers = make_buffers(&[4]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = FairScheduler::new();
+        let mut rng = SimRng::seed(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let sel = s.select(&view, &mut rng).unwrap();
+            seen[sel.index] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "fairness: all indices reachable");
+    }
+
+    #[test]
+    fn fifo_and_lifo_pick_ends() {
+        let buffers = make_buffers(&[5]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut rng = SimRng::seed(4);
+
+        let mut fifo = FairScheduler::new().delivery_order(DeliveryOrder::Fifo);
+        assert_eq!(fifo.select(&view, &mut rng).unwrap().index, 0);
+
+        let mut lifo = FairScheduler::new().delivery_order(DeliveryOrder::Lifo);
+        assert_eq!(lifo.select(&view, &mut rng).unwrap().index, 4);
+    }
+
+    #[test]
+    fn weighted_choice_biases_towards_heavy_process() {
+        let buffers = make_buffers(&[1, 1]);
+        let runnable = [true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = FairScheduler::new().with_weights(vec![1.0, 9.0]);
+        let mut rng = SimRng::seed(5);
+        let heavy = (0..2000)
+            .filter(|_| s.select(&view, &mut rng).unwrap().to.index() == 1)
+            .count();
+        assert!((1600..=2000).contains(&heavy), "got {heavy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn zero_weight_rejected() {
+        let _ = FairScheduler::new().with_weights(vec![1.0, 0.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Schedulers: resolution of the message system's nondeterminism.
+//!
+//! In the paper's model the `receive` primitive removes *some* message from
+//! the buffer nondeterministically (or returns φ), modelling arbitrarily long
+//! transmission delays. A [`Scheduler`] resolves that nondeterminism: each
+//! simulation tick it picks which process receives which pending message.
+//!
+//! The paper's convergence proofs rest on one probabilistic assumption
+//! (§2.3): *in any phase, every possible view of `n−k` messages has some
+//! fixed probability ε > 0 of being the one a process sees.* The
+//! [`FairScheduler`] satisfies it (every pending message has positive
+//! probability of being delivered next, hence every view has positive
+//! probability). The adversarial schedulers ([`DelayingScheduler`],
+//! [`PartitionScheduler`]) deliberately violate uniformity while preserving
+//! reliability, to stress the safety properties — which the paper proves
+//! without any probabilistic assumption.
+
+mod delaying;
+mod fair;
+mod partition;
+mod round_robin;
+mod scripted;
+
+pub use delaying::DelayingScheduler;
+pub use fair::{DeliveryOrder, FairScheduler};
+pub use partition::PartitionScheduler;
+pub use round_robin::RoundRobinScheduler;
+pub use scripted::ScriptedScheduler;
+
+use core::fmt;
+
+use crate::{Buffer, Envelope, ProcessId, SimRng};
+
+/// A read-only view of the system the scheduler may base its choice on:
+/// which processes can still take steps, and what is pending in each buffer.
+pub struct SystemView<'a, M> {
+    buffers: &'a [Buffer<M>],
+    runnable: &'a [bool],
+    step: u64,
+}
+
+impl<'a, M> SystemView<'a, M> {
+    /// Creates a view. Called by the engine; public so schedulers can be
+    /// unit-tested in isolation.
+    pub fn new(buffers: &'a [Buffer<M>], runnable: &'a [bool], step: u64) -> Self {
+        assert_eq!(
+            buffers.len(),
+            runnable.len(),
+            "buffers and runnable mask must have the same length"
+        );
+        SystemView {
+            buffers,
+            runnable,
+            step,
+        }
+    }
+
+    /// Number of processes in the system.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The global atomic-step counter.
+    #[must_use]
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Whether `pid` is still participating (alive and not halted).
+    #[must_use]
+    pub fn is_runnable(&self, pid: ProcessId) -> bool {
+        self.runnable[pid.index()]
+    }
+
+    /// The pending messages of `pid`, oldest first.
+    #[must_use]
+    pub fn pending(&self, pid: ProcessId) -> &[Envelope<M>] {
+        self.buffers[pid.index()].pending()
+    }
+
+    /// Processes that are runnable and have at least one pending message —
+    /// the candidates for the next delivery.
+    pub fn deliverable(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        ProcessId::all(self.n())
+            .filter(move |p| self.is_runnable(*p) && !self.buffers[p.index()].is_empty())
+    }
+
+    /// Total number of pending messages across runnable processes.
+    #[must_use]
+    pub fn total_deliverable(&self) -> usize {
+        self.deliverable()
+            .map(|p| self.buffers[p.index()].len())
+            .sum()
+    }
+}
+
+impl<M> fmt::Debug for SystemView<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemView")
+            .field("n", &self.n())
+            .field("step", &self.step)
+            .field("total_deliverable", &self.total_deliverable())
+            .finish()
+    }
+}
+
+/// One resolved delivery: give process `to` the pending message at `index`
+/// in its buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// The receiving process.
+    pub to: ProcessId,
+    /// Index into `view.pending(to)`.
+    pub index: usize,
+}
+
+/// Strategy resolving which pending message is delivered next.
+///
+/// Returning `None` means no delivery is possible (every runnable process has
+/// an empty buffer); the engine then declares the run quiescent. A scheduler
+/// must only select runnable processes and in-bounds indices.
+pub trait Scheduler<M>: fmt::Debug {
+    /// Picks the next delivery, or `None` if nothing is deliverable.
+    fn select(&mut self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<Selection>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Builds buffers where process `i` holds `counts[i]` dummy messages
+    /// (all from p0), plus a runnable mask.
+    pub(crate) fn make_buffers(counts: &[usize]) -> Vec<Buffer<u32>> {
+        counts
+            .iter()
+            .map(|&c| {
+                let mut b = Buffer::new();
+                for m in 0..c {
+                    b.push(Envelope::new(ProcessId::new(0), m as u32));
+                }
+                b
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_util::make_buffers;
+    use super::*;
+
+    #[test]
+    fn view_reports_deliverable_processes() {
+        let buffers = make_buffers(&[2, 0, 1, 3]);
+        let runnable = [true, true, false, true];
+        let view = SystemView::new(&buffers, &runnable, 5);
+        let d: Vec<_> = view.deliverable().map(ProcessId::index).collect();
+        assert_eq!(d, vec![0, 3], "p1 empty, p2 not runnable");
+        assert_eq!(view.total_deliverable(), 5);
+        assert_eq!(view.step(), 5);
+        assert_eq!(view.n(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn view_rejects_mismatched_lengths() {
+        let buffers = make_buffers(&[1]);
+        let runnable = [true, false];
+        let _ = SystemView::new(&buffers, &runnable, 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! An adversarial scheduler that intermittently partitions the system.
+
+use core::fmt;
+
+use crate::{ProcessId, SimRng};
+
+use super::{FairScheduler, Scheduler, Selection, SystemView};
+
+/// Scheduler that alternates between *partitioned* epochs — in which only
+/// messages whose sender and receiver are on the same side of a cut are
+/// delivered — and periodic *healed* epochs in which all traffic flows.
+///
+/// The healed epochs keep the message system reliable (every message is
+/// eventually delivered), so this is a legal — if hostile — resolution of the
+/// paper's asynchrony. It is the schedule family behind Lemma 1's intuition:
+/// a subset `S` of `n−k` correct processes must be able to carry the protocol
+/// to a decision entirely on its own, because the complement may be silent
+/// (dead or merely partitioned away) for arbitrarily long.
+pub struct PartitionScheduler {
+    side: Vec<bool>,
+    epoch_len: u64,
+    heal_every: u64,
+    inner: FairScheduler,
+}
+
+impl PartitionScheduler {
+    /// Creates a partition scheduler. Processes in `left` form one side of
+    /// the cut; everyone else forms the other. Epochs last `epoch_len`
+    /// deliveries; every `heal_every`-th epoch is healed (all traffic flows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len == 0`, `heal_every == 0`, or a member of `left`
+    /// is out of range.
+    #[must_use]
+    pub fn new(n: usize, left: &[ProcessId], epoch_len: u64, heal_every: u64) -> Self {
+        assert!(epoch_len > 0, "epoch_len must be positive");
+        assert!(heal_every > 0, "heal_every must be positive");
+        let mut side = vec![false; n];
+        for p in left {
+            assert!(p.index() < n, "process {p} out of range for n={n}");
+            side[p.index()] = true;
+        }
+        PartitionScheduler {
+            side,
+            epoch_len,
+            heal_every,
+            inner: FairScheduler::new(),
+        }
+    }
+
+    /// Whether the epoch containing global step `step` is healed.
+    #[must_use]
+    pub fn is_healed_at(&self, step: u64) -> bool {
+        (step / self.epoch_len) % self.heal_every == self.heal_every - 1
+    }
+
+    fn same_side(&self, a: ProcessId, b: ProcessId) -> bool {
+        self.side[a.index()] == self.side[b.index()]
+    }
+}
+
+impl fmt::Debug for PartitionScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let left: Vec<usize> = (0..self.side.len()).filter(|&i| self.side[i]).collect();
+        f.debug_struct("PartitionScheduler")
+            .field("left", &left)
+            .field("epoch_len", &self.epoch_len)
+            .field("heal_every", &self.heal_every)
+            .finish()
+    }
+}
+
+impl<M> Scheduler<M> for PartitionScheduler {
+    fn select(&mut self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<Selection> {
+        if !self.is_healed_at(view.step()) {
+            let mut intra: Vec<Selection> = Vec::new();
+            for to in view.deliverable() {
+                for (index, env) in view.pending(to).iter().enumerate() {
+                    if self.same_side(env.from, to) {
+                        intra.push(Selection { to, index });
+                    }
+                }
+            }
+            if !intra.is_empty() {
+                return Some(intra[rng.index(intra.len())]);
+            }
+            // No intra-partition traffic left this epoch: rather than stall
+            // (which would just burn steps), fall through to fair delivery.
+        }
+        self.inner.select(view, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Buffer, Envelope};
+
+    fn view_fixture() -> (Vec<Buffer<u32>>, [bool; 4]) {
+        // p0's buffer: a message from p1 (same side) and one from p2 (other).
+        let mut b0 = Buffer::new();
+        b0.push(Envelope::new(ProcessId::new(1), 10));
+        b0.push(Envelope::new(ProcessId::new(2), 20));
+        let buffers = vec![b0, Buffer::new(), Buffer::new(), Buffer::new()];
+        (buffers, [true, true, true, true])
+    }
+
+    fn left() -> Vec<ProcessId> {
+        vec![ProcessId::new(0), ProcessId::new(1)]
+    }
+
+    #[test]
+    fn partitioned_epoch_delivers_intra_side_only() {
+        let (buffers, runnable) = view_fixture();
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = PartitionScheduler::new(4, &left(), 100, 10);
+        assert!(!s.is_healed_at(0));
+        let mut rng = SimRng::seed(0);
+        for _ in 0..20 {
+            let sel = s.select(&view, &mut rng).unwrap();
+            assert_eq!(sel.index, 0, "only the p1→p0 message is intra-side");
+        }
+    }
+
+    #[test]
+    fn healed_epoch_delivers_everything() {
+        let (buffers, runnable) = view_fixture();
+        // step 900..=999 is epoch 9, and heal_every=10 heals epoch 9.
+        let view = SystemView::new(&buffers, &runnable, 950);
+        let mut s = PartitionScheduler::new(4, &left(), 100, 10);
+        assert!(s.is_healed_at(950));
+        let mut rng = SimRng::seed(1);
+        let mut saw_cross = false;
+        for _ in 0..50 {
+            if s.select(&view, &mut rng).unwrap().index == 1 {
+                saw_cross = true;
+            }
+        }
+        assert!(saw_cross, "healed epoch must deliver cross-partition mail");
+    }
+
+    #[test]
+    fn falls_back_when_no_intra_traffic() {
+        // Only a cross-partition message pending during a partitioned epoch.
+        let mut b0 = Buffer::new();
+        b0.push(Envelope::new(ProcessId::new(2), 20u32));
+        let buffers = vec![b0, Buffer::new(), Buffer::new(), Buffer::new()];
+        let runnable = [true, true, true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = PartitionScheduler::new(4, &left(), 100, 10);
+        let mut rng = SimRng::seed(2);
+        assert!(s.select(&view, &mut rng).is_some(), "must not stall");
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch_len must be positive")]
+    fn rejects_zero_epoch() {
+        let _ = PartitionScheduler::new(2, &[], 0, 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic round-robin scheduling.
+
+use crate::{ProcessId, SimRng};
+
+use super::{Scheduler, Selection, SystemView};
+
+/// Fully deterministic scheduler: cycles through processes in index order and
+/// delivers each one's oldest pending message.
+///
+/// Round-robin is a *legal* resolution of the model's nondeterminism but does
+/// **not** satisfy the §2.3 probabilistic assumption (only one view per phase
+/// has nonzero probability), so the convergence theorems do not apply under
+/// it — only safety does. It is nonetheless the fastest way to drive a run
+/// to completion when all processes are correct, and its determinism makes
+/// golden-trace tests possible.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobinScheduler {
+    cursor: usize,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler starting at process 0.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinScheduler { cursor: 0 }
+    }
+}
+
+impl<M> Scheduler<M> for RoundRobinScheduler {
+    fn select(&mut self, view: &SystemView<'_, M>, _rng: &mut SimRng) -> Option<Selection> {
+        let n = view.n();
+        for offset in 0..n {
+            let idx = (self.cursor + offset) % n;
+            let pid = ProcessId::new(idx);
+            if view.is_runnable(pid) && !view.pending(pid).is_empty() {
+                self.cursor = (idx + 1) % n;
+                return Some(Selection { to: pid, index: 0 });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::make_buffers;
+
+    #[test]
+    fn cycles_through_processes() {
+        let buffers = make_buffers(&[2, 2, 2]);
+        let runnable = [true, true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = RoundRobinScheduler::new();
+        let mut rng = SimRng::seed(0);
+        let order: Vec<usize> = (0..6)
+            .map(|_| s.select(&view, &mut rng).unwrap().to.index())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_empty_and_halted() {
+        let buffers = make_buffers(&[0, 2, 2]);
+        let runnable = [true, true, false];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = RoundRobinScheduler::new();
+        let mut rng = SimRng::seed(0);
+        for _ in 0..4 {
+            assert_eq!(s.select(&view, &mut rng).unwrap().to.index(), 1);
+        }
+    }
+
+    #[test]
+    fn none_when_quiescent() {
+        let buffers = make_buffers(&[0, 0]);
+        let runnable = [true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = RoundRobinScheduler::new();
+        let mut rng = SimRng::seed(0);
+        assert_eq!(Scheduler::<u32>::select(&mut s, &view, &mut rng), None);
+    }
+
+    #[test]
+    fn always_delivers_oldest() {
+        let buffers = make_buffers(&[3]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = RoundRobinScheduler::new();
+        let mut rng = SimRng::seed(0);
+        assert_eq!(s.select(&view, &mut rng).unwrap().index, 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! A scheduler that plays back an explicit schedule.
+
+use core::fmt;
+
+use crate::SimRng;
+
+use super::{FairScheduler, Scheduler, Selection, SystemView};
+
+/// Replays a fixed list of [`Selection`]s, then (optionally) falls back to
+/// fair scheduling.
+///
+/// This is the bridge between the paper's *schedule* formalism (§2.1: "a
+/// sequence of atomic steps is called a schedule") and the simulator:
+/// specific interleavings — e.g. one exhibited by the model checker, or a
+/// regression case for a past bug — can be pinned down exactly.
+///
+/// Scripted steps whose target has no deliverable message at that index are
+/// skipped (with a counter, so tests can assert the script stayed valid).
+pub struct ScriptedScheduler {
+    script: Vec<Selection>,
+    cursor: usize,
+    skipped: usize,
+    fallback: Option<FairScheduler>,
+}
+
+impl ScriptedScheduler {
+    /// Plays `script`, then falls back to fair scheduling.
+    #[must_use]
+    pub fn with_fallback(script: Vec<Selection>) -> Self {
+        ScriptedScheduler {
+            script,
+            cursor: 0,
+            skipped: 0,
+            fallback: Some(FairScheduler::new()),
+        }
+    }
+
+    /// Plays `script`, then stops the run (quiescence) even if messages
+    /// remain — the adversary simply refuses to deliver further, which the
+    /// asynchronous model permits at any finite point.
+    #[must_use]
+    pub fn exact(script: Vec<Selection>) -> Self {
+        ScriptedScheduler {
+            script,
+            cursor: 0,
+            skipped: 0,
+            fallback: None,
+        }
+    }
+
+    /// How many scripted steps were invalid when their turn came.
+    #[must_use]
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Whether the whole script has been consumed.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.script.len()
+    }
+}
+
+impl fmt::Debug for ScriptedScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScriptedScheduler")
+            .field("len", &self.script.len())
+            .field("cursor", &self.cursor)
+            .field("skipped", &self.skipped)
+            .field("has_fallback", &self.fallback.is_some())
+            .finish()
+    }
+}
+
+impl<M> Scheduler<M> for ScriptedScheduler {
+    fn select(&mut self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<Selection> {
+        while self.cursor < self.script.len() {
+            let sel = self.script[self.cursor];
+            self.cursor += 1;
+            let valid = sel.to.index() < view.n()
+                && view.is_runnable(sel.to)
+                && sel.index < view.pending(sel.to).len();
+            if valid {
+                return Some(sel);
+            }
+            self.skipped += 1;
+        }
+        match &mut self.fallback {
+            Some(fair) => fair.select(view, rng),
+            None => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::make_buffers;
+    use crate::ProcessId;
+
+    fn sel(to: usize, index: usize) -> Selection {
+        Selection {
+            to: ProcessId::new(to),
+            index,
+        }
+    }
+
+    #[test]
+    fn plays_script_in_order() {
+        let buffers = make_buffers(&[2, 2]);
+        let runnable = [true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = ScriptedScheduler::exact(vec![sel(1, 1), sel(0, 0)]);
+        let mut rng = SimRng::seed(0);
+        assert_eq!(s.select(&view, &mut rng), Some(sel(1, 1)));
+        assert_eq!(s.select(&view, &mut rng), Some(sel(0, 0)));
+        assert!(s.finished());
+        assert_eq!(Scheduler::<u32>::select(&mut s, &view, &mut rng), None);
+    }
+
+    #[test]
+    fn invalid_steps_are_skipped_and_counted() {
+        let buffers = make_buffers(&[1, 0]);
+        let runnable = [true, false];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = ScriptedScheduler::exact(vec![
+            sel(1, 0), // not runnable
+            sel(0, 5), // out of range
+            sel(0, 0), // valid
+        ]);
+        let mut rng = SimRng::seed(0);
+        assert_eq!(s.select(&view, &mut rng), Some(sel(0, 0)));
+        assert_eq!(s.skipped(), 2);
+    }
+
+    #[test]
+    fn fallback_takes_over_after_script() {
+        let buffers = make_buffers(&[3]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let mut s = ScriptedScheduler::with_fallback(vec![sel(0, 2)]);
+        let mut rng = SimRng::seed(0);
+        assert_eq!(s.select(&view, &mut rng), Some(sel(0, 2)));
+        // Script done; fair fallback keeps delivering.
+        assert!(s.select(&view, &mut rng).is_some());
+    }
+}

@@ -1,0 +1,226 @@
+//! Execution traces: a compact record of what a run did.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ProcessId, Value};
+
+/// One observable event in a run. Payloads are deliberately not recorded —
+/// traces stay message-type-agnostic and cheap; protocol-level debugging can
+/// re-run the (deterministic) simulation with instrumentation instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A process took its initial atomic step.
+    Start {
+        /// The process taking the step.
+        pid: ProcessId,
+    },
+    /// A message was delivered (the receiver took an atomic step on it).
+    Deliver {
+        /// Global step counter at delivery.
+        step: u64,
+        /// The receiver.
+        to: ProcessId,
+        /// The authenticated sender.
+        from: ProcessId,
+    },
+    /// A message was placed in a buffer.
+    Send {
+        /// Global step counter at send.
+        step: u64,
+        /// The sender.
+        from: ProcessId,
+        /// The recipient.
+        to: ProcessId,
+    },
+    /// A process irrevocably decided.
+    Decide {
+        /// Global step counter at decision.
+        step: u64,
+        /// The deciding process.
+        pid: ProcessId,
+        /// The decision value.
+        value: Value,
+    },
+    /// A process halted (left the protocol, or crashed).
+    Halt {
+        /// Global step counter at halt.
+        step: u64,
+        /// The halting process.
+        pid: ProcessId,
+    },
+}
+
+/// A bounded event log. Recording stops silently once `capacity` events have
+/// been collected; [`Trace::truncated`] reports whether that happened.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace that records at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (or counts it as dropped when full).
+    pub fn record(&mut self, event: Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Whether events were dropped because the capacity was reached.
+    #[must_use]
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Number of events that could not be recorded.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Convenience: the decisions in decision order.
+    pub fn decisions(&self) -> impl Iterator<Item = (ProcessId, Value)> + '_ {
+        self.events.iter().filter_map(|e| match e {
+            Event::Decide { pid, value, .. } => Some((*pid, *value)),
+            _ => None,
+        })
+    }
+
+    /// Renders the trace as one human-readable line per event — the format
+    /// you paste into a bug report next to the seed that produced it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use simnet::{Event, ProcessId, Trace, Value};
+    ///
+    /// let mut t = Trace::with_capacity(8);
+    /// t.record(Event::Start { pid: ProcessId::new(0) });
+    /// t.record(Event::Decide { step: 3, pid: ProcessId::new(0), value: Value::One });
+    /// let text = t.render();
+    /// assert!(text.contains("p0 starts"));
+    /// assert!(text.contains("decides 1"));
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.events {
+            match e {
+                Event::Start { pid } => {
+                    let _ = writeln!(out, "[    0] {pid} starts");
+                }
+                Event::Send { step, from, to } => {
+                    let _ = writeln!(out, "[{step:>5}] {from} sends to {to}");
+                }
+                Event::Deliver { step, to, from } => {
+                    let _ = writeln!(out, "[{step:>5}] {to} receives from {from}");
+                }
+                Event::Decide { step, pid, value } => {
+                    let _ = writeln!(out, "[{step:>5}] {pid} decides {value}");
+                }
+                Event::Halt { step, pid } => {
+                    let _ = writeln!(out, "[{step:>5}] {pid} halts");
+                }
+            }
+        }
+        if self.dropped > 0 {
+            let _ = writeln!(out, "… plus {} unrecorded events", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = Trace::with_capacity(2);
+        t.record(Event::Start {
+            pid: ProcessId::new(0),
+        });
+        t.record(Event::Start {
+            pid: ProcessId::new(1),
+        });
+        t.record(Event::Start {
+            pid: ProcessId::new(2),
+        });
+        assert_eq!(t.events().len(), 2);
+        assert!(t.truncated());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn render_covers_every_event_kind_and_truncation() {
+        let mut t = Trace::with_capacity(5);
+        t.record(Event::Start {
+            pid: ProcessId::new(0),
+        });
+        t.record(Event::Send {
+            step: 1,
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+        });
+        t.record(Event::Deliver {
+            step: 2,
+            to: ProcessId::new(1),
+            from: ProcessId::new(0),
+        });
+        t.record(Event::Decide {
+            step: 3,
+            pid: ProcessId::new(1),
+            value: Value::Zero,
+        });
+        t.record(Event::Halt {
+            step: 4,
+            pid: ProcessId::new(1),
+        });
+        t.record(Event::Start {
+            pid: ProcessId::new(2),
+        }); // dropped
+        let text = t.render();
+        for needle in ["starts", "sends", "receives", "decides 0", "halts", "unrecorded"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn decisions_iterator_filters() {
+        let mut t = Trace::with_capacity(10);
+        t.record(Event::Start {
+            pid: ProcessId::new(0),
+        });
+        t.record(Event::Decide {
+            step: 5,
+            pid: ProcessId::new(1),
+            value: Value::One,
+        });
+        t.record(Event::Halt {
+            step: 6,
+            pid: ProcessId::new(1),
+        });
+        let d: Vec<_> = t.decisions().collect();
+        assert_eq!(d, vec![(ProcessId::new(1), Value::One)]);
+    }
+}

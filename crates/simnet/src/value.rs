@@ -1,0 +1,154 @@
+//! The binary consensus value domain.
+
+use core::fmt;
+use core::ops::Not;
+
+use serde::{Deserialize, Serialize};
+
+/// A binary consensus value, `0` or `1`.
+///
+/// The paper's protocols decide values in `{0, 1}`; every protocol in this
+/// workspace uses this domain. A dedicated enum (rather than `bool`) keeps
+/// call sites self-describing ([C-CUSTOM-TYPE]) and gives a natural pair of
+/// array indices via [`Value::index`] for the per-value counters the
+/// protocols keep (`message_count`, `witness_count`, ...).
+///
+/// # Examples
+///
+/// ```
+/// use simnet::Value;
+///
+/// let mut counts = [0usize; 2];
+/// counts[Value::One.index()] += 1;
+/// assert_eq!(counts, [0, 1]);
+/// assert_eq!(!Value::One, Value::Zero);
+/// ```
+///
+/// [C-CUSTOM-TYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// The value `0`.
+    Zero,
+    /// The value `1`.
+    One,
+}
+
+impl Value {
+    /// Both values, in numeric order. Handy for iterating per-value counters.
+    pub const BOTH: [Value; 2] = [Value::Zero, Value::One];
+
+    /// Returns `0` for [`Value::Zero`] and `1` for [`Value::One`], for use as
+    /// an index into two-element counter arrays.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Value::Zero => 0,
+            Value::One => 1,
+        }
+    }
+
+    /// Converts an index (`0` or `1`) back into a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        match index {
+            0 => Value::Zero,
+            1 => Value::One,
+            other => panic!("binary value index must be 0 or 1, got {other}"),
+        }
+    }
+
+    /// Returns the value held by the majority of a `[zero_count, one_count]`
+    /// pair, breaking the tie in favour of `0` exactly as the paper's
+    /// protocols do (`if message_count(1) > message_count(0) then 1 else 0`).
+    #[must_use]
+    pub fn majority_of(counts: [usize; 2]) -> Self {
+        if counts[1] > counts[0] {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+}
+
+impl Not for Value {
+    type Output = Value;
+
+    fn not(self) -> Value {
+        match self {
+            Value::Zero => Value::One,
+            Value::One => Value::Zero,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        if b {
+            Value::One
+        } else {
+            Value::Zero
+        }
+    }
+}
+
+impl From<Value> for bool {
+    fn from(v: Value) -> bool {
+        v == Value::One
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.index())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for v in Value::BOTH {
+            assert_eq!(Value::from_index(v.index()), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binary value index")]
+    fn from_index_rejects_out_of_range() {
+        let _ = Value::from_index(2);
+    }
+
+    #[test]
+    fn not_flips() {
+        assert_eq!(!Value::Zero, Value::One);
+        assert_eq!(!Value::One, Value::Zero);
+    }
+
+    #[test]
+    fn bool_conversions() {
+        assert_eq!(Value::from(true), Value::One);
+        assert_eq!(Value::from(false), Value::Zero);
+        assert!(bool::from(Value::One));
+        assert!(!bool::from(Value::Zero));
+    }
+
+    #[test]
+    fn majority_breaks_ties_towards_zero() {
+        assert_eq!(Value::majority_of([3, 3]), Value::Zero);
+        assert_eq!(Value::majority_of([2, 3]), Value::One);
+        assert_eq!(Value::majority_of([3, 2]), Value::Zero);
+        assert_eq!(Value::majority_of([0, 0]), Value::Zero);
+    }
+}

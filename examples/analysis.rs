@@ -1,0 +1,73 @@
+//! The §4 performance analysis, regenerated: exact Markov-chain absorption
+//! times, the paper's collapsed-chain bound (eq. 13), and the §4.2
+//! balancing-adversary bound — side by side with Monte-Carlo simulation of
+//! the actual protocol.
+//!
+//! ```sh
+//! cargo run --release --example analysis
+//! ```
+
+use resilient_consensus::bt_core::{Config, Simple};
+use resilient_consensus::markov::{collapsed, FailStopChain, MaliciousChain};
+use resilient_consensus::simnet::{run_trials, Role, Sim, Value};
+
+fn simulate_simple_phases(n: usize, k: usize, trials: usize) -> f64 {
+    // Callers pass a decidable k ≤ ⌊(n−1)/3⌋; at the analysis's idealized
+    // k = n/3 the decide threshold equals the quota and nothing decides.
+    let config = Config::unchecked(n, k);
+    let stats = run_trials(trials, 0xA11A, |seed| {
+        let mut b = Sim::builder();
+        for i in 0..n {
+            // Balanced start: the chain's slowest state.
+            b.process(
+                Box::new(Simple::new(config, Value::from(i % 2 == 0))),
+                Role::Correct,
+            );
+        }
+        b.seed(seed).step_limit(8_000_000);
+        b.build()
+    });
+    stats.phases.mean
+}
+
+fn main() {
+    println!("§4.1 — fail-stop case, k = n/3, balanced start");
+    println!(
+        "{:>6} {:>16} {:>16} {:>18}",
+        "n", "exact chain E", "eq.(13) bound", "simulated (500x)"
+    );
+    for n in [12usize, 18, 24, 30] {
+        let chain = FailStopChain::paper(n);
+        let exact = chain.expected_phases_balanced();
+        let bound = collapsed::headline_bound(n);
+        let sim = simulate_simple_phases(n, (n - 1) / 3, 500);
+        println!("{n:>6} {exact:>16.3} {bound:>16.3} {sim:>18.3}");
+    }
+    println!("paper's claim: expected phases < 7, independent of n\n");
+
+    println!("§4.2 — malicious case, k = l√n/2 balancing adversary");
+    println!(
+        "{:>6} {:>4} {:>8} {:>16} {:>16}",
+        "n", "k", "l", "exact chain E", "1/(2Φ(l)) bound"
+    );
+    for &(n, k) in &[(36usize, 3usize), (64, 4), (100, 5), (144, 6)] {
+        let chain = MaliciousChain::new(n, k);
+        let exact = chain.expected_phases_balanced();
+        let l = chain.l_parameter();
+        let bound = MaliciousChain::paper_bound(l);
+        println!("{n:>6} {k:>4} {l:>8.3} {exact:>16.3} {bound:>16.3}");
+    }
+    println!("paper's claim: constant expected phases for k = o(√n)\n");
+
+    println!("view-majority probability w_i (n = 30, k = 10):");
+    print!("  i:   ");
+    for i in (10..=20).step_by(2) {
+        print!("{i:>8}");
+    }
+    println!();
+    print!("  w_i: ");
+    for i in (10..=20).step_by(2) {
+        print!("{:>8.4}", FailStopChain::w_value(30, 10, i));
+    }
+    println!();
+}

@@ -1,0 +1,83 @@
+//! The Byzantine gauntlet: the Figure 2 protocol versus every attacker in
+//! the `adversary` crate, at maximum tolerated strength.
+//!
+//! Ten processes tolerate ⌊(10−1)/3⌋ = 3 malicious faults. For each named
+//! strategy we run 25 seeded trials with 3 attackers and check that the
+//! seven honest processes always agree and always terminate — and record
+//! how much each strategy manages to slow the protocol down.
+//!
+//! ```sh
+//! cargo run --release --example byzantine_gauntlet
+//! ```
+
+use resilient_consensus::adversary::{
+    ContrarianMalicious, EquivocatingEchoer, RandomMalicious, Silent, TwoFacedMalicious,
+};
+use resilient_consensus::bt_core::{Config, Malicious, MaliciousMsg};
+use resilient_consensus::simnet::{run_trials_seq, Process, Role, Sim, Value};
+
+type Attacker = fn(Config) -> Box<dyn Process<Msg = MaliciousMsg>>;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10;
+    let k = 3;
+    let config = Config::malicious(n, k)?;
+
+    let strategies: Vec<(&str, Attacker)> = vec![
+        ("silent (dead on arrival)", |_c| {
+            Box::new(Silent::<MaliciousMsg>::new())
+        }),
+        ("contrarian (balancing, §4.2)", |c| {
+            Box::new(ContrarianMalicious::new(c))
+        }),
+        ("two-faced initials", |c| {
+            Box::new(TwoFacedMalicious::new(c))
+        }),
+        ("equivocating echoes", |c| {
+            Box::new(EquivocatingEchoer::new(c))
+        }),
+        // Burst 2 keeps the noise *subcritical*: with ~k/n of deliveries
+        // hitting attackers, burst × k/n < 1 keeps the message population
+        // bounded so runs terminate. (Supercritical noise floods buffers
+        // without breaking agreement — it only stalls the clock.)
+        ("random noise ×2", |c| Box::new(RandomMalicious::new(c, 2))),
+    ];
+
+    println!("n = {n}, k = {k}, honest inputs split 4/3, 25 trials each\n");
+    println!(
+        "{:<32} {:>9} {:>12} {:>14}",
+        "strategy", "agreed", "mean phases", "mean messages"
+    );
+
+    for (name, make) in strategies {
+        let stats = run_trials_seq(25, 0xB12A_C4A0, |seed| {
+            let mut b = Sim::builder();
+            for i in 0..n - k {
+                b.process(
+                    Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            for _ in 0..k {
+                b.process(make(config), Role::Faulty);
+            }
+            b.seed(seed).step_limit(8_000_000);
+            b.build()
+        });
+
+        assert!(
+            stats.all_safe(),
+            "{name}: agreement or liveness violated! seeds {:?}",
+            stats.violation_seeds
+        );
+        assert_eq!(stats.decided, stats.trials, "{name}: some trial hung");
+
+        println!(
+            "{:<32} {:>6}/25 {:>12.2} {:>14.0}",
+            name, stats.decided, stats.phases.mean, stats.messages.mean
+        );
+    }
+
+    println!("\nTheorem 4 held against every strategy at full strength k = ⌊(n−1)/3⌋.");
+    Ok(())
+}

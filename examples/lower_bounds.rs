@@ -1,0 +1,70 @@
+//! The lower bounds, demonstrated: Lemma 2's bivalent initial
+//! configuration found by exhaustive search, Theorem 1's degradation beyond
+//! ⌊(n−1)/2⌋, and consistency loss when the *actual* fault count exceeds
+//! the `k` a run was configured for.
+//!
+//! ```sh
+//! cargo run --release --example lower_bounds
+//! ```
+
+use resilient_consensus::adversary::TwoFacedMalicious;
+use resilient_consensus::bt_core::{Config, Malicious};
+use resilient_consensus::modelcheck::demos;
+use resilient_consensus::simnet::{Role, Sim, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // — Lemma 2: a bivalent initial configuration exists. —
+    let config = Config::fail_stop(3, 1)?;
+    let bivalent = demos::find_bivalent_initial(config, 1)
+        .expect("Lemma 2 guarantees a bivalent initial configuration");
+    println!("Lemma 2  (n=3, k=1): bivalent initial inputs found: {bivalent:?}");
+
+    // — Theorem 1: beyond ⌊(n−1)/2⌋ the protocol cannot decide. —
+    // With n = 2, k = 1 the witness threshold (cardinality > n/2 = 1)
+    // exceeds the phase quota (n−k = 1): exhaustive exploration confirms no
+    // schedule reaches any decision. Safety survives; liveness cannot.
+    let never = demos::failstop_beyond_bound_never_decides(2, 1);
+    println!("Theorem 1 (n=2, k=1): no decision reachable under any schedule: {never}");
+    assert!(never);
+
+    // — Theorem 3's flip side: run the malicious protocol tuned for k = 1
+    // faults, but subject it to 2 actual attackers. The echo quorum
+    // (n+k)/2 no longer intersects correctly and consistency or liveness
+    // must eventually give. We search seeds for a violation. —
+    let n = 4;
+    let tuned_for = Config::malicious(n, 1)?; // legal config…
+    let mut broken_seed = None;
+    for seed in 0..5_000u64 {
+        let mut b = Sim::builder();
+        for i in 0..2 {
+            b.process(
+                Box::new(Malicious::new(tuned_for, Value::from(i == 0))),
+                Role::Correct,
+            );
+        }
+        for _ in 0..2 {
+            // …but two two-faced attackers instead of one.
+            b.process(Box::new(TwoFacedMalicious::new(tuned_for)), Role::Faulty);
+        }
+        let report = b.seed(seed).step_limit(200_000).build().run();
+        if !report.agreement() {
+            broken_seed = Some((seed, "agreement"));
+            break;
+        }
+        if !report.all_correct_decided() {
+            broken_seed = Some((seed, "termination"));
+            break;
+        }
+    }
+    match broken_seed {
+        Some((seed, what)) => println!(
+            "Theorem 3 (n=4 tuned for k=1, 2 actual attackers): {what} violated at seed {seed}"
+        ),
+        None => println!("Theorem 3 probe: no violation in 5000 seeds (try more seeds/attackers)"),
+    }
+    assert!(
+        broken_seed.is_some(),
+        "exceeding the configured fault bound must eventually break a guarantee"
+    );
+    Ok(())
+}

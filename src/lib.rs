@@ -1,0 +1,25 @@
+//! # resilient-consensus — facade crate
+//!
+//! One-stop re-export of the reproduction of Bracha & Toueg, *Resilient
+//! Consensus Protocols* (PODC 1983). See the individual crates for depth:
+//!
+//! * [`simnet`] — the asynchronous message-passing simulator;
+//! * [`bt_core`] — the paper's protocols (Figures 1 and 2, §4.1 variant,
+//!   §5 footnote protocol);
+//! * [`adversary`] — crash schedules and Byzantine strategies;
+//! * [`benor`] — Ben-Or's randomized consensus, the §6 baseline;
+//! * [`markov`] — the §4 Markov-chain performance analysis;
+//! * [`modelcheck`] — executable lower-bound demonstrations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use adversary;
+pub use benor;
+pub use bt_core;
+pub use markov;
+pub use modelcheck;
+pub use simnet;
+
+pub use bt_core::{Config, FailStop, InitiallyDead, Malicious, Simple};
+pub use simnet::{Role, RunReport, Sim, Value};

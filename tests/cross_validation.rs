@@ -1,0 +1,147 @@
+//! Cross-validation: the analytic §4 Markov model against Monte-Carlo
+//! simulation of the actual protocol, and the two analytic routes (exact
+//! chain vs collapsed bound) against each other.
+//!
+//! The paper's model makes simplifying assumptions (independent views,
+//! synchronized phases), so we check *shape*, not digit-for-digit equality:
+//! simulated expected phases must be finite, small, and below the paper's
+//! bound; the exact chain must also respect the bound.
+
+use resilient_consensus::bt_core::{Config, Simple};
+use resilient_consensus::markov::{collapsed, FailStopChain, MaliciousChain};
+use resilient_consensus::simnet::{run_trials, Role, Sim, Value};
+
+fn simulate_simple(n: usize, k: usize, trials: usize) -> simnet::TrialStats {
+    let config = Config::unchecked(n, k);
+    run_trials(trials, 0xCAFE, |seed| {
+        let mut b = Sim::builder();
+        for i in 0..n {
+            b.process(
+                Box::new(Simple::new(config, Value::from(i % 2 == 0))),
+                Role::Correct,
+            );
+        }
+        b.seed(seed).step_limit(8_000_000);
+        b.build()
+    })
+}
+
+#[test]
+fn simulation_respects_eq13_bound() {
+    // Balanced inputs. The paper's analysis idealizes k = n/3, but at that
+    // exact k the protocol's decide threshold (> (n+k)/2) equals its quota
+    // (n−k) and no process can ever decide — the protocol itself requires
+    // k ≤ ⌊(n−1)/3⌋. Simulate at the protocol's maximal decidable k and
+    // compare against the idealized bound.
+    for n in [12usize, 18] {
+        let stats = simulate_simple(n, (n - 1) / 3, 150);
+        assert_eq!(stats.disagreements, 0);
+        assert_eq!(stats.decided, stats.trials, "n={n}: trials must decide");
+        let bound = collapsed::headline_bound(n);
+        assert!(
+            stats.phases.mean < bound,
+            "n={n}: simulated {} ≥ bound {bound}",
+            stats.phases.mean
+        );
+    }
+}
+
+#[test]
+fn exact_chain_and_simulation_agree_in_shape() {
+    // The exact chain models one synchronized phase per step; the
+    // event-driven simulation overlaps phases, so allow a generous factor —
+    // but the two must be within the same small ballpark, and both ≪ the
+    // worst case.
+    for n in [12usize, 18] {
+        let chain = FailStopChain::paper(n);
+        let analytic = chain.expected_phases_balanced();
+        let stats = simulate_simple(n, (n - 1) / 3, 150);
+        let simulated = stats.phases.mean;
+        assert!(
+            simulated < analytic * 3.0 + 3.0,
+            "n={n}: simulated {simulated} far above analytic {analytic}"
+        );
+        assert!(
+            analytic < simulated * 3.0 + 3.0,
+            "n={n}: analytic {analytic} far above simulated {simulated}"
+        );
+    }
+}
+
+#[test]
+fn exact_chain_below_collapsed_bound() {
+    // The collapse only ever slows the chain (stochastic dominance), so the
+    // exact absorption time must be ≤ the collapsed bound.
+    for n in [12usize, 18, 24, 30, 36] {
+        let exact = FailStopChain::paper(n).expected_phases_balanced();
+        let bound = collapsed::eq13_bound(n, collapsed::paper_l());
+        assert!(
+            exact <= bound,
+            "n={n}: exact {exact} exceeds collapsed bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn malicious_chain_bound_shape() {
+    // §4.2: the balanced-state one-step absorption probability should be
+    // in the vicinity of 2Φ(l), and expected phases below ~1/(2Φ(l)) with
+    // slack for the normal approximation.
+    for &(n, k) in &[(64usize, 4usize), (100, 5)] {
+        let chain = MaliciousChain::new(n, k);
+        let p = chain.balanced_absorption_probability();
+        let l = chain.l_parameter();
+        let approx = 2.0 * resilient_consensus::markov::phi_upper(l);
+        assert!(
+            p > approx / 4.0 && p < approx * 4.0,
+            "n={n} k={k}: one-step absorption {p} vs 2Φ(l) = {approx}"
+        );
+        let e = chain.expected_phases_balanced();
+        let bound = MaliciousChain::paper_bound(l);
+        assert!(
+            e < bound * 2.0 + 1.0,
+            "n={n} k={k}: expected {e} vs bound {bound}"
+        );
+    }
+}
+
+#[test]
+fn balancing_adversary_slows_convergence_in_simulation() {
+    // The §4.2 premise: balancing attackers are worse than silent ones.
+    use resilient_consensus::adversary::{ContrarianMalicious, Silent};
+    use resilient_consensus::bt_core::{Malicious, MaliciousMsg};
+
+    let n = 10;
+    let k = 3;
+    let config = Config::malicious(n, k).unwrap();
+    let run_with = |balancing: bool| {
+        run_trials(80, 0xBA1A, move |seed| {
+            let mut b = Sim::builder();
+            for i in 0..n - k {
+                b.process(
+                    Box::new(Malicious::new(config, Value::from(i % 2 == 0))),
+                    Role::Correct,
+                );
+            }
+            for _ in 0..k {
+                if balancing {
+                    b.process(Box::new(ContrarianMalicious::new(config)), Role::Faulty);
+                } else {
+                    b.process(Box::new(Silent::<MaliciousMsg>::new()), Role::Faulty);
+                }
+            }
+            b.seed(seed).step_limit(16_000_000);
+            b.build()
+        })
+    };
+    let silent = run_with(false);
+    let balancing = run_with(true);
+    assert_eq!(silent.disagreements, 0);
+    assert_eq!(balancing.disagreements, 0);
+    assert!(
+        balancing.phases.mean >= silent.phases.mean,
+        "balancing ({}) should be at least as slow as silent ({})",
+        balancing.phases.mean,
+        silent.phases.mean
+    );
+}

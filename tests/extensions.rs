@@ -1,0 +1,159 @@
+//! Integration tests for the extensions: the §5 initially-dead protocol
+//! under hostile scheduling, and multi-valued consensus under Byzantine
+//! noise.
+
+use std::sync::Arc;
+
+use resilient_consensus::adversary::Silent;
+use resilient_consensus::bt_core::multivalued::{word_observer, MultiMsg, MultiValued};
+use resilient_consensus::bt_core::{Config, DeadMsg, InitiallyDead, MaliciousMsg};
+use resilient_consensus::simnet::scheduler::{DeliveryOrder, FairScheduler, PartitionScheduler};
+use resilient_consensus::simnet::{
+    Ctx, Envelope, Process, ProcessId, Role, Sim, Value,
+};
+
+#[test]
+fn initially_dead_survives_partitioned_scheduling() {
+    // The §5 protocol's G⁺ construction is pure message-counting; it must
+    // deliver the fixed-0 guarantee under a partitioning scheduler too.
+    let n = 6;
+    for seed in 0..10 {
+        let mut b = Sim::builder();
+        for _ in 0..n - 1 {
+            b.process(Box::new(InitiallyDead::new(n, Value::One)), Role::Correct);
+        }
+        b.process(Box::new(Silent::<DeadMsg>::new()), Role::Faulty);
+        let left: Vec<ProcessId> = ProcessId::all(n).take(n / 2).collect();
+        b.scheduler(Box::new(PartitionScheduler::new(n, &left, 30, 3)));
+        let r = b.seed(seed).step_limit(1_000_000).build().run();
+        assert!(r.agreement(), "seed {seed}");
+        assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+        assert_eq!(
+            r.decided_value(),
+            Some(Value::Zero),
+            "seed {seed}: a dead process pins the decision to 0"
+        );
+    }
+}
+
+#[test]
+fn initially_dead_lifo_delivery() {
+    let n = 5;
+    for seed in 0..10 {
+        let mut b = Sim::builder();
+        for i in 0..n {
+            b.process(
+                Box::new(InitiallyDead::new(n, Value::from(i % 2 == 0))),
+                Role::Correct,
+            );
+        }
+        b.scheduler(Box::new(
+            FairScheduler::new().delivery_order(DeliveryOrder::Lifo),
+        ));
+        let r = b.seed(seed).step_limit(1_000_000).build().run();
+        assert!(r.agreement(), "seed {seed}");
+        assert!(r.all_correct_decided(), "seed {seed}");
+    }
+}
+
+/// A Byzantine process for the multi-valued protocol: sprays random
+/// bit-tagged garbage (including out-of-range tags and forged subjects).
+#[derive(Debug)]
+struct MultiNoise {
+    n: usize,
+    width: u8,
+}
+
+impl Process for MultiNoise {
+    type Msg = MultiMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, MultiMsg>) {
+        let me = ctx.me();
+        ctx.broadcast((0, MaliciousMsg::initial(me, Value::One, 0)));
+    }
+
+    fn on_receive(&mut self, env: Envelope<MultiMsg>, ctx: &mut Ctx<'_, MultiMsg>) {
+        let me = ctx.me();
+        let (bit, inner) = env.msg;
+        let bt_core::Phase::At(t) = inner.phase else {
+            return;
+        };
+        for _ in 0..3 {
+            let n = self.n;
+            let to = ProcessId::new(ctx.rng().index(n));
+            let tag = (ctx.rng().index(self.width as usize + 2)) as u8; // may exceed width
+            let value = Value::from(ctx.rng().coin());
+            let subject = ProcessId::new(ctx.rng().index(n));
+            let msg = if ctx.rng().coin() {
+                MaliciousMsg::initial(me, value, t)
+            } else {
+                MaliciousMsg::echo(subject, value, t)
+            };
+            ctx.send(to, (tag, msg));
+        }
+        let _ = bit;
+    }
+
+    fn decision(&self) -> Option<Value> {
+        None
+    }
+
+    fn phase(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn multivalued_agrees_under_byzantine_noise() {
+    let n = 7;
+    let k = 2;
+    let config = Config::malicious(n, k).unwrap();
+    let inputs = [0xAAAAu64, 0x5555, 0xFF00, 0x00FF, 0x1234];
+    for seed in 0..5 {
+        let observer = word_observer(n);
+        let mut b = Sim::builder();
+        for (slot, &input) in inputs.iter().enumerate() {
+            b.process(
+                Box::new(
+                    MultiValued::new(config, 8, input).with_observer(Arc::clone(&observer), slot),
+                ),
+                Role::Correct,
+            );
+        }
+        for _ in 0..k {
+            b.process(Box::new(MultiNoise { n, width: 8 }), Role::Faulty);
+        }
+        let r = b.seed(seed).step_limit(64_000_000).build().run();
+        assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+        let words = observer.lock().unwrap().clone();
+        let first = words[0].expect("decided");
+        assert!(
+            words[..inputs.len()].iter().all(|w| *w == Some(first)),
+            "seed {seed}: words diverged {words:?}"
+        );
+    }
+}
+
+#[test]
+fn multivalued_unanimity_under_silent_faults() {
+    let n = 4;
+    let config = Config::malicious(n, 1).unwrap();
+    let observer = word_observer(n);
+    let mut b = Sim::builder();
+    for slot in 0..3 {
+        b.process(
+            Box::new(
+                MultiValued::new(config, 12, 0xABC).with_observer(Arc::clone(&observer), slot),
+            ),
+            Role::Correct,
+        );
+    }
+    b.process(Box::new(Silent::<MultiMsg>::new()), Role::Faulty);
+    let r = b.seed(77).step_limit(64_000_000).build().run();
+    assert!(r.all_correct_decided(), "{:?}", r.status);
+    let words = observer.lock().unwrap().clone();
+    assert!(
+        words[..3].iter().all(|w| *w == Some(0xABC)),
+        "unanimity must decide the common word: {words:?}"
+    );
+}

@@ -1,0 +1,199 @@
+//! Property-based tests: the consensus properties and the analytic
+//! machinery must hold over randomly drawn configurations, inputs, seeds
+//! and fault placements — not just the hand-picked cases.
+
+use proptest::prelude::*;
+
+use resilient_consensus::adversary::{ContrarianMalicious, CrashPlan, Crashing};
+use resilient_consensus::bt_core::{Config, FailStop, Malicious, Simple};
+use resilient_consensus::markov::{
+    binomial_pmf, hypergeometric_pmf, hypergeometric_tail_gt, phi_upper, FailStopChain,
+    MaliciousChain, Matrix,
+};
+use resilient_consensus::simnet::{Role, Sim, Summary, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Figure 1 with random inputs, seeds, and up to k mid-run crashes:
+    /// consistency and convergence always hold.
+    #[test]
+    fn failstop_consensus_properties(
+        n in 3usize..10,
+        seed in any::<u64>(),
+        crash_sends in 0u64..40,
+        inputs_bits in any::<u32>(),
+    ) {
+        let k = (n - 1) / 2;
+        let config = Config::fail_stop(n, k).unwrap();
+        let mut b = Sim::builder();
+        for i in 0..n - k {
+            let input = Value::from(inputs_bits >> i & 1 == 1);
+            b.process(Box::new(FailStop::new(config, input)), Role::Correct);
+        }
+        for j in 0..k {
+            let input = Value::from(inputs_bits >> (n - k + j) & 1 == 1);
+            b.process(
+                Box::new(Crashing::new(
+                    FailStop::new(config, input),
+                    CrashPlan::AfterSends(crash_sends + j as u64),
+                )),
+                Role::Faulty,
+            );
+        }
+        let r = b.seed(seed).step_limit(4_000_000).build().run();
+        prop_assert!(r.agreement(), "consistency violated");
+        prop_assert!(r.all_correct_decided(), "convergence violated: {:?}", r.status);
+    }
+
+    /// Figure 2 with random inputs and balancing attackers at full k.
+    #[test]
+    fn malicious_consensus_properties(
+        n in 4usize..11,
+        seed in any::<u64>(),
+        inputs_bits in any::<u32>(),
+    ) {
+        let k = (n - 1) / 3;
+        let config = Config::malicious(n, k).unwrap();
+        let mut b = Sim::builder();
+        for i in 0..n - k {
+            let input = Value::from(inputs_bits >> i & 1 == 1);
+            b.process(Box::new(Malicious::new(config, input)), Role::Correct);
+        }
+        for _ in 0..k {
+            b.process(Box::new(ContrarianMalicious::new(config)), Role::Faulty);
+        }
+        let r = b.seed(seed).step_limit(16_000_000).build().run();
+        prop_assert!(r.agreement(), "consistency violated");
+        prop_assert!(r.all_correct_decided(), "convergence violated: {:?}", r.status);
+    }
+
+    /// Validity: unanimous inputs always decide that input, whatever the
+    /// protocol, n, and seed.
+    #[test]
+    fn unanimity_decides_the_input(
+        n in 2usize..9,
+        seed in any::<u64>(),
+        one in any::<bool>(),
+    ) {
+        let v = Value::from(one);
+        let k = (n - 1) / 3;
+        let config = Config::malicious(n, k).unwrap();
+        let mut b = Sim::builder();
+        for _ in 0..n {
+            b.process(Box::new(Simple::new(config, v)), Role::Correct);
+        }
+        let r = b.seed(seed).step_limit(4_000_000).build().run();
+        prop_assert_eq!(r.decided_value(), Some(v));
+    }
+
+    /// Determinism: the same seed replays the same run, bit for bit.
+    #[test]
+    fn runs_are_deterministic(n in 3usize..8, seed in any::<u64>(), bits in any::<u16>()) {
+        let run = |seed: u64| {
+            let config = Config::malicious(n, (n - 1) / 3).unwrap();
+            let mut b = Sim::builder();
+            for i in 0..n {
+                b.process(
+                    Box::new(Malicious::new(config, Value::from(bits >> i & 1 == 1))),
+                    Role::Correct,
+                );
+            }
+            b.seed(seed).step_limit(8_000_000).build().run()
+        };
+        let a = run(seed);
+        let b2 = run(seed);
+        prop_assert_eq!(a.decisions, b2.decisions);
+        prop_assert_eq!(a.steps, b2.steps);
+        prop_assert_eq!(a.metrics.messages_sent, b2.metrics.messages_sent);
+    }
+
+    /// The transition rows of both §4 chains are stochastic for arbitrary
+    /// parameters.
+    #[test]
+    fn chain_rows_are_stochastic(n in 6usize..40, kf in 0usize..10) {
+        let k = kf.min((n - 1) / 2);
+        let c = FailStopChain::new(n, k);
+        let p = c.chain().transition_matrix();
+        for i in 0..p.rows() {
+            let sum = p.row_sum(i);
+            prop_assert!((sum - 1.0).abs() < 1e-8, "row {i} sums to {sum}");
+        }
+
+        let km = kf.min(n / 5);
+        let m = MaliciousChain::new(n, km);
+        let p = m.chain().transition_matrix();
+        for i in 0..p.rows() {
+            let sum = p.row_sum(i);
+            prop_assert!((sum - 1.0).abs() < 1e-8, "malicious row {i} sums to {sum}");
+        }
+    }
+
+    /// Hypergeometric and binomial pmfs are probability distributions.
+    #[test]
+    fn pmfs_normalize(n in 1u64..60, b in 0u64..60, r in 0u64..60, pp in 0.0f64..1.0) {
+        let b = b.min(n);
+        let r = r.min(n);
+        let total: f64 = (0..=r).map(|k| hypergeometric_pmf(n, b, r, k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "hypergeometric sums to {total}");
+
+        let total: f64 = (0..=n).map(|j| binomial_pmf(n, pp, j)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8, "binomial sums to {total}");
+    }
+
+    /// Tails are monotone in the threshold and bounded by [0, 1].
+    #[test]
+    fn tails_monotone(n in 2u64..50, b in 0u64..50, r in 1u64..50) {
+        let b = b.min(n);
+        let r = r.min(n);
+        let mut prev = 1.0;
+        for thr in 0..=r {
+            let t = hypergeometric_tail_gt(n, b, r, thr);
+            prop_assert!((0.0..=1.0).contains(&t));
+            prop_assert!(t <= prev + 1e-12);
+            prev = t;
+        }
+    }
+
+    /// Φ is a decreasing function with the right fixed point.
+    #[test]
+    fn phi_upper_is_decreasing(x in -4.0f64..4.0, dx in 0.001f64..2.0) {
+        prop_assert!(phi_upper(x + dx) <= phi_upper(x) + 1e-12);
+        prop_assert!((phi_upper(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    /// Matrix inversion round-trips on random diagonally dominant matrices.
+    #[test]
+    fn matrix_inverse_round_trip(vals in proptest::collection::vec(-1.0f64..1.0, 9)) {
+        let mut m = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m[(i, j)] = vals[i * 3 + j];
+            }
+            m[(i, i)] += 4.0; // diagonal dominance ⇒ nonsingular
+        }
+        let inv = m.inverse().expect("diagonally dominant");
+        let id = m.mul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((id[(i, j)] - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Summary statistics are order-invariant and within-range.
+    #[test]
+    fn summary_properties(mut xs in proptest::collection::vec(0.0f64..1e6, 1..80)) {
+        let s1 = Summary::of(xs.clone());
+        xs.reverse();
+        let s2 = Summary::of(xs.clone());
+        prop_assert_eq!(s1.count, s2.count);
+        prop_assert!((s1.mean - s2.mean).abs() < 1e-6);
+        prop_assert_eq!(s1.p50, s2.p50);
+        prop_assert!(s1.min <= s1.p50 && s1.p50 <= s1.p95 && s1.p95 <= s1.max);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(s1.mean >= lo - 1e-9 && s1.mean <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,123 @@
+//! Schedules as first-class objects: extract a witness schedule with the
+//! model checker, and pin adversarial interleavings with the scripted
+//! scheduler.
+
+use resilient_consensus::bt_core::{Config, Simple};
+use resilient_consensus::modelcheck::{Action, EarlyStop, Explorer, Outcome, World};
+use resilient_consensus::simnet::Value;
+
+#[test]
+fn witness_schedule_found_and_unreachable_goal_rejected() {
+    // With k = 0 thresholds the quota is n: every view is the full input
+    // multiset, so the outcome is schedule-independent — inputs (1, 0, 1)
+    // decide 1 on every crash-free schedule. `find_schedule` must produce
+    // a replayable witness for 1 and prove 0 unreachable.
+    let config = Config::unchecked(3, 0);
+    let make = || {
+        World::start(
+            vec![
+                Simple::new(config, Value::One),
+                Simple::new(config, Value::Zero),
+                Simple::new(config, Value::One),
+            ],
+            1,
+        )
+    };
+    let explorer = Explorer::new(120_000, 60);
+
+    let schedule = explorer
+        .find_schedule(make(), |w| {
+            w.all_correct_decided()
+                && w.decisions().into_iter().flatten().next() == Some(Value::One)
+        })
+        .expect("the majority value must have a witness schedule");
+    let mut w = make();
+    for action in &schedule {
+        w = w.apply(*action);
+    }
+    assert!(w.all_correct_decided());
+    assert_eq!(w.decisions().into_iter().flatten().next(), Some(Value::One));
+    // (The shortest witness may crash the 0-holder first — its initial
+    // broadcast is already in flight, so the survivors still fill their
+    // quota. Both crash-free and crashing witnesses are legal schedules.)
+
+    // 0 is unreachable: deciding it would need a 0-majority view, but
+    // every complete view is the full (1, 0, 1) multiset.
+    let zero = explorer.find_schedule(make(), |w| {
+        w.all_correct_decided()
+            && w.decisions().into_iter().flatten().next() == Some(Value::Zero)
+    });
+    assert!(zero.is_none(), "0 must be unreachable from (1,0,1) at k=0");
+
+    // Deadlock needs a configuration that does not decide in phase 0:
+    // two processes with split inputs tie (no decision), and a crash then
+    // starves the survivor's phase-1 quota forever.
+    let make2 = || {
+        World::start(
+            vec![
+                Simple::new(Config::unchecked(2, 0), Value::One),
+                Simple::new(Config::unchecked(2, 0), Value::Zero),
+            ],
+            1,
+        )
+    };
+    let deadlock = explorer
+        .find_schedule(make2(), |w| {
+            !w.all_correct_decided() && w.actions().is_empty()
+        })
+        .expect("one crash must enable a deadlock");
+    assert!(deadlock.iter().any(|a| matches!(a, Action::Crash { .. })));
+    let mut w = make2();
+    for action in &deadlock {
+        w = w.apply(*action);
+    }
+    assert!(w.actions().is_empty() && !w.all_correct_decided());
+}
+
+#[test]
+fn sampled_and_exhaustive_outcomes_are_consistent() {
+    // Every outcome the random walker reports must also be reachable by
+    // (and found within the caps of) the exhaustive search — on a world
+    // small enough to exhaust.
+    let config = Config::unchecked(2, 0);
+    let world = World::start(
+        vec![
+            Simple::new(config, Value::One),
+            Simple::new(config, Value::Zero),
+        ],
+        1,
+    );
+    let explorer = Explorer::new(200_000, 60);
+    let sampled = explorer.sample_outcomes(&world, 300, 7);
+    let exhaustive = explorer.explore(world);
+    assert!(!exhaustive.truncated, "this world must be exhaustible");
+    for o in &sampled {
+        assert!(
+            exhaustive.outcomes.contains(o),
+            "sampler found {o:?} the exhaustive search missed"
+        );
+    }
+    // And the exhaustive search must see the deadlock the crash enables.
+    assert!(exhaustive.outcomes.contains(&Outcome::Deadlock));
+}
+
+#[test]
+fn early_stop_modes_are_sound() {
+    let config = Config::unchecked(3, 0);
+    let world = World::start(
+        vec![
+            Simple::new(config, Value::One),
+            Simple::new(config, Value::One),
+            Simple::new(config, Value::Zero),
+        ],
+        0,
+    );
+    let any = Explorer::new(200_000, 60)
+        .early_stop(EarlyStop::OnAnyDecision)
+        .explore(world);
+    assert!(
+        any.outcomes.iter().any(|o| matches!(o, Outcome::Decided(_))),
+        "early stop on any decision still reports one: {:?}",
+        any.outcomes
+    );
+}

@@ -1,0 +1,156 @@
+//! The Figure 2 termination procedure (wildcard exit) and hostile
+//! scheduling, end to end.
+
+use resilient_consensus::adversary::{ContrarianMalicious, Silent};
+use resilient_consensus::bt_core::{Config, Malicious, MaliciousMsg, Termination};
+use resilient_consensus::simnet::scheduler::{DeliveryOrder, FairScheduler};
+use resilient_consensus::simnet::{ProcessId, Role, Sim, StopWhen, Value};
+
+fn mixed_inputs(count: usize) -> impl Iterator<Item = Value> {
+    (0..count).map(|i| Value::from(i % 2 == 0))
+}
+
+#[test]
+fn wildcard_exit_and_continue_agree_on_the_same_seeds() {
+    // The paper argues the exit procedure "has the same effect as the
+    // actual participation of p in the protocol". The runs are not
+    // step-identical (different messages flow), but both modes must satisfy
+    // the consensus properties on every seed, including with attackers.
+    let n = 7;
+    let k = 2;
+    let config = Config::malicious(n, k).unwrap();
+    for termination in [Termination::Continue, Termination::WildcardExit] {
+        for seed in 0..30 {
+            let mut b = Sim::builder();
+            for input in mixed_inputs(n - k) {
+                b.process(
+                    Box::new(Malicious::with_termination(config, input, termination)),
+                    Role::Correct,
+                );
+            }
+            for _ in 0..k {
+                b.process(Box::new(ContrarianMalicious::new(config)), Role::Faulty);
+            }
+            let r = b.seed(seed).step_limit(16_000_000).build().run();
+            assert!(r.agreement(), "{termination:?} seed {seed}");
+            assert!(
+                r.all_correct_decided(),
+                "{termination:?} seed {seed}: {:?}",
+                r.status
+            );
+        }
+    }
+}
+
+#[test]
+fn wildcard_exit_releases_a_laggard_after_deciders_left() {
+    // Force one process to lag (all its incoming mail delayed by LIFO
+    // delivery and heavy weighting toward others), with WildcardExit so the
+    // deciders genuinely leave the protocol. The wildcard messages must
+    // still carry the laggard to a decision.
+    let n = 4;
+    let config = Config::malicious(n, 1).unwrap();
+    for seed in 0..20 {
+        let mut b = Sim::builder();
+        for input in mixed_inputs(n) {
+            b.process(
+                Box::new(Malicious::with_termination(
+                    config,
+                    input,
+                    Termination::WildcardExit,
+                )),
+                Role::Correct,
+            );
+        }
+        // p0 runs at 1/1000 the speed of the others.
+        let mut weights = vec![1000.0; n];
+        weights[0] = 1.0;
+        b.scheduler(Box::new(
+            FairScheduler::new()
+                .delivery_order(DeliveryOrder::Random)
+                .with_weights(weights),
+        ));
+        let r = b.seed(seed).step_limit(16_000_000).build().run();
+        assert!(r.agreement(), "seed {seed}");
+        assert!(
+            r.all_correct_decided(),
+            "seed {seed}: laggard stranded ({:?})",
+            r.status
+        );
+    }
+}
+
+#[test]
+fn post_decision_traffic_is_finite_with_wildcard_exit() {
+    // With WildcardExit every correct process halts after deciding, so a
+    // run driven to quiescence (not stopped at first decision) terminates
+    // with finite message count.
+    let n = 4;
+    let config = Config::malicious(n, 1).unwrap();
+    let mut b = Sim::builder();
+    for input in mixed_inputs(n) {
+        b.process(
+            Box::new(Malicious::with_termination(
+                config,
+                input,
+                Termination::WildcardExit,
+            )),
+            Role::Correct,
+        );
+    }
+    let r = b
+        .seed(5)
+        .stop_when(StopWhen::AllCorrectHalted)
+        .step_limit(1_000_000)
+        .build()
+        .run();
+    assert!(r.all_correct_decided());
+    assert!(
+        r.steps < 1_000_000,
+        "wildcard exit must quiesce, not run to the step limit"
+    );
+}
+
+#[test]
+fn lifo_delivery_still_converges() {
+    // DeliveryOrder::Lifo is a legal resolution of the nondeterminism:
+    // newest mail first. The protocols' phase bookkeeping (deferral of
+    // future phases, discard of stale ones) must cope.
+    let n = 7;
+    let k = 2;
+    let config = Config::malicious(n, k).unwrap();
+    for seed in 0..10 {
+        let mut b = Sim::builder();
+        for input in mixed_inputs(n - k) {
+            b.process(Box::new(Malicious::new(config, input)), Role::Correct);
+        }
+        for _ in 0..k {
+            b.process(Box::new(Silent::<MaliciousMsg>::new()), Role::Faulty);
+        }
+        b.scheduler(Box::new(
+            FairScheduler::new().delivery_order(DeliveryOrder::Lifo),
+        ));
+        let r = b.seed(seed).step_limit(16_000_000).build().run();
+        assert!(r.agreement(), "seed {seed}");
+        assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+    }
+}
+
+#[test]
+fn weighted_fair_scheduler_preserves_liveness_under_extreme_skew() {
+    let n = 5;
+    let config = Config::fail_stop(n, 2).unwrap();
+    use resilient_consensus::bt_core::FailStop;
+    for seed in 0..10 {
+        let mut b = Sim::builder();
+        for input in mixed_inputs(n) {
+            b.process(Box::new(FailStop::new(config, input)), Role::Correct);
+        }
+        let weights = vec![1.0, 10.0, 100.0, 1000.0, 10000.0];
+        b.scheduler(Box::new(FairScheduler::new().with_weights(weights)));
+        let r = b.seed(seed).step_limit(4_000_000).build().run();
+        assert!(r.agreement(), "seed {seed}");
+        assert!(r.all_correct_decided(), "seed {seed}: {:?}", r.status);
+    }
+    let _ = ProcessId::new(0);
+}
