@@ -9,14 +9,14 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use bench::{alternating_inputs, failstop_system, malicious_system, simple_system, split_inputs};
 use bt_core::Config;
 use markov::{collapsed, FailStopChain, MaliciousChain};
 use simnet::run_trials;
 
-fn write_csv(dir: &PathBuf, name: &str, header: &str, rows: &[String]) {
+fn write_csv(dir: &Path, name: &str, header: &str, rows: &[String]) {
     let mut out = String::new();
     let _ = writeln!(out, "{header}");
     for r in rows {
@@ -29,13 +29,15 @@ fn write_csv(dir: &PathBuf, name: &str, header: &str, rows: &[String]) {
 
 /// E1: agreement/termination/phases across (n, k) for the fail-stop
 /// protocol at maximal crash load.
-fn e1(dir: &PathBuf, trials: usize) {
+fn e1(dir: &Path, trials: usize) {
     let mut rows = Vec::new();
     for n in [3usize, 5, 7, 9, 11, 15, 21] {
         for k in [0, (n - 1) / 4, (n - 1) / 2] {
             let config = Config::fail_stop(n, k).expect("within bound");
             let inputs = alternating_inputs(n);
-            let s = run_trials(trials, 0xE1, |seed| failstop_system(config, &inputs, k, seed));
+            let s = run_trials(trials, 0xE1, |seed| {
+                failstop_system(config, &inputs, k, seed)
+            });
             assert_eq!(s.disagreements, 0);
             rows.push(format!(
                 "{n},{k},{},{},{:.4},{:.1}",
@@ -46,11 +48,16 @@ fn e1(dir: &PathBuf, trials: usize) {
             ));
         }
     }
-    write_csv(dir, "e1_failstop.csv", "n,k,agreed,decided,mean_phases,mean_msgs", &rows);
+    write_csv(
+        dir,
+        "e1_failstop.csv",
+        "n,k,agreed,decided,mean_phases,mean_msgs",
+        &rows,
+    );
 }
 
 /// E3: analytic vs simulated expected phases for the §4.1 chain.
-fn e3(dir: &PathBuf, trials: usize) {
+fn e3(dir: &Path, trials: usize) {
     let mut rows = Vec::new();
     for n in [12usize, 18, 24, 30] {
         let chain = FailStopChain::paper(n);
@@ -62,18 +69,25 @@ fn e3(dir: &PathBuf, trials: usize) {
         let s = run_trials(trials, 0xE3, |seed| simple_system(config, &inputs, 0, seed));
         rows.push(format!("{n},{exact:.4},{bound:.4},{:.4}", s.phases.mean));
     }
-    write_csv(dir, "e3_phases.csv", "n,exact_chain,eq13_bound,simulated", &rows);
+    write_csv(
+        dir,
+        "e3_phases.csv",
+        "n,exact_chain,eq13_bound,simulated",
+        &rows,
+    );
 }
 
 /// E4: §4.2 malicious chain vs balancing-adversary simulation.
-fn e4(dir: &PathBuf, trials: usize) {
+fn e4(dir: &Path, trials: usize) {
     let mut rows = Vec::new();
     for &(n, k) in &[(16usize, 1usize), (25, 2), (36, 3), (49, 3)] {
         let chain = MaliciousChain::new(n, k);
         let l = chain.l_parameter();
         let config = Config::malicious(n, k).expect("k ≤ n/5 here");
         let inputs = split_inputs(n, n / 2);
-        let s = run_trials(trials, 0xE4, |seed| malicious_system(config, &inputs, k, seed));
+        let s = run_trials(trials, 0xE4, |seed| {
+            malicious_system(config, &inputs, k, seed)
+        });
         assert_eq!(s.disagreements, 0);
         rows.push(format!(
             "{n},{k},{l:.4},{:.4},{:.4},{:.4}",
@@ -93,14 +107,16 @@ fn e4(dir: &PathBuf, trials: usize) {
 /// E6c: P[decide 1] as a function of the number of 1-inputs — simulated
 /// (the §4.1 simple variant, which is exactly what the chain models) and
 /// analytic (the chain's absorption-probability curve).
-fn e6c(dir: &PathBuf, trials: usize) {
+fn e6c(dir: &Path, trials: usize) {
     let n = 9;
     let config = Config::unchecked(n, 2);
     let chain = FailStopChain::new(n, 2);
     let mut rows = Vec::new();
     for ones in 0..=n {
         let inputs = split_inputs(n, ones);
-        let s = run_trials(trials, 0xE6C, |seed| simple_system(config, &inputs, 0, seed));
+        let s = run_trials(trials, 0xE6C, |seed| {
+            simple_system(config, &inputs, 0, seed)
+        });
         rows.push(format!(
             "{ones},{:.4},{:.4}",
             s.one_rate(),
@@ -116,7 +132,7 @@ fn e6c(dir: &PathBuf, trials: usize) {
 }
 
 /// E7: Bracha-Toueg vs Ben-Or rounds on split inputs.
-fn e7(dir: &PathBuf, trials: usize) {
+fn e7(dir: &Path, trials: usize) {
     use benor::{build_correct_system as benor_sys, BenOrConfig};
     use bt_core::simple::build_correct_system as bt_sys;
     use simnet::Sim;
@@ -160,7 +176,10 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
-    println!("running sweeps with {trials} trials per point → {}", dir.display());
+    println!(
+        "running sweeps with {trials} trials per point → {}",
+        dir.display()
+    );
     e1(&dir, trials);
     e3(&dir, trials);
     e4(&dir, trials);

@@ -1,0 +1,179 @@
+//! Emits `BENCH_phases.json`: per-configuration phase-count distributions
+//! for the phase-bound experiments —
+//!
+//! * **E3** (§4.1): phases-to-decision of the simple majority variant from a
+//!   balanced start (the "< 7 expected phases" bound);
+//! * **E4** (§4.2): phases-to-decision of the malicious protocol against the
+//!   balancing adversary;
+//! * **E8** (§3.3): decision lag in phases (last − first correct decision)
+//!   for `k < n/5` versus `n/5 ≤ k ≤ (n−1)/3`.
+//!
+//! Each entry carries the full histogram (value → run count) plus the usual
+//! summary statistics, all derived deterministically from fixed base seeds.
+//!
+//! Usage: `cargo run -p bench --release --bin phases [OUTPUT.json]`
+//! (default output: `BENCH_phases.json` in the current directory).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use bench::{malicious_system, simple_system, split_inputs};
+use bt_core::Config;
+use obs::json::Json;
+use simnet::{run_trials_observed, RunReport, Summary};
+
+/// One configuration's sampled distribution.
+struct Distribution {
+    n: usize,
+    k: usize,
+    trials: usize,
+    samples: Vec<f64>,
+    histogram: BTreeMap<u64, u64>,
+}
+
+impl Distribution {
+    fn collect<M: 'static>(
+        n: usize,
+        k: usize,
+        trials: usize,
+        base_seed: u64,
+        factory: impl FnMut(u64) -> simnet::Sim<M>,
+        mut metric: impl FnMut(&RunReport) -> Option<u64>,
+    ) -> Self {
+        let mut samples = Vec::new();
+        let mut histogram = BTreeMap::new();
+        run_trials_observed(trials, base_seed, factory, |_, report| {
+            if let Some(value) = metric(report) {
+                samples.push(value as f64);
+                *histogram.entry(value).or_insert(0) += 1;
+            }
+        });
+        Distribution {
+            n,
+            k,
+            trials,
+            samples,
+            histogram,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let summary = Summary::of(self.samples.clone());
+        Json::Obj(vec![
+            ("n".into(), Json::num(self.n as u64)),
+            ("k".into(), Json::num(self.k as u64)),
+            ("trials".into(), Json::num(self.trials as u64)),
+            ("decided".into(), Json::num(self.samples.len() as u64)),
+            (
+                "summary".into(),
+                Json::Obj(vec![
+                    ("mean".into(), Json::Num(summary.mean)),
+                    ("p50".into(), Json::Num(summary.p50)),
+                    ("p95".into(), Json::Num(summary.p95)),
+                    ("max".into(), Json::Num(summary.max)),
+                ]),
+            ),
+            (
+                "histogram".into(),
+                Json::Obj(
+                    self.histogram
+                        .iter()
+                        .map(|(value, count)| (value.to_string(), Json::num(*count)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Decision lag in phases: last − first correct decision phase.
+fn lag_phases(report: &RunReport) -> Option<u64> {
+    if !report.all_correct_decided() {
+        return None;
+    }
+    let phases: Vec<u64> = report
+        .correct()
+        .filter_map(|i| report.decision_phases[i])
+        .collect();
+    Some(phases.iter().max()? - phases.iter().min()?)
+}
+
+fn main() -> ExitCode {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_phases.json".to_string());
+
+    // E3: §4.1 simple variant, balanced inputs, maximal decidable k.
+    let mut e3 = Vec::new();
+    for n in [12usize, 18] {
+        let k = (n - 1) / 3;
+        let config = Config::unchecked(n, k);
+        let inputs = split_inputs(n, n / 2);
+        eprintln!("phases: E3 n={n} k={k}…");
+        e3.push(
+            Distribution::collect(
+                n,
+                k,
+                200,
+                0xE3,
+                |seed| simple_system(config, &inputs, 0, seed),
+                RunReport::phases_to_decision,
+            )
+            .to_json(),
+        );
+    }
+
+    // E4: malicious protocol vs the balancing adversary.
+    let mut e4 = Vec::new();
+    for (n, k) in [(16usize, 1usize), (25, 2)] {
+        let config = Config::malicious(n, k).expect("within the (n-1)/3 bound");
+        let inputs = split_inputs(n, n / 2);
+        eprintln!("phases: E4 n={n} k={k}…");
+        e4.push(
+            Distribution::collect(
+                n,
+                k,
+                100,
+                0xE4,
+                |seed| malicious_system(config, &inputs, k, seed),
+                RunReport::phases_to_decision,
+            )
+            .to_json(),
+        );
+    }
+
+    // E8: decision lag across the k < n/5 boundary.
+    let mut e8 = Vec::new();
+    for (n, k) in [(16usize, 1usize), (16, 5)] {
+        let config = Config::malicious(n, k).expect("within the (n-1)/3 bound");
+        let inputs = split_inputs(n, n / 2);
+        eprintln!("phases: E8 n={n} k={k}…");
+        e8.push(
+            Distribution::collect(
+                n,
+                k,
+                100,
+                0xE8,
+                |seed| malicious_system(config, &inputs, k, seed),
+                lag_phases,
+            )
+            .to_json(),
+        );
+    }
+
+    let doc = Json::Obj(vec![
+        ("e3_simple_phases".into(), Json::Arr(e3)),
+        ("e4_malicious_phases".into(), Json::Arr(e4)),
+        ("e8_decision_lag".into(), Json::Arr(e8)),
+    ]);
+    match std::fs::write(&output, doc.render() + "\n") {
+        Ok(()) => {
+            eprintln!("phases: wrote {output}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("phases: cannot write {output}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use simnet::{Ctx, Envelope, Process, ProcessId, Value};
+use simnet::{Ctx, Envelope, Process, ProcessId, ProtocolEvent, Value};
 
 use crate::{BenOrConfig, BenOrMsg, Exchange};
 
@@ -157,7 +157,12 @@ impl BenOrProcess {
                 if self.config.decides(best_count) && self.decision.is_none() {
                     self.decision = Some(best);
                     self.decided_round = Some(self.round);
+                    ctx.emit(ProtocolEvent::Decided {
+                        phase: self.round,
+                        value: best,
+                    });
                 }
+                let previous = self.value;
                 if self.config.adopts(best_count) {
                     self.value = best;
                 } else if let Some(v) = self.decision {
@@ -166,8 +171,20 @@ impl BenOrProcess {
                     self.value = v;
                 } else {
                     self.value = Value::from(ctx.rng().coin());
+                    ctx.emit(ProtocolEvent::CoinFlipped {
+                        phase: self.round,
+                        value: self.value,
+                    });
+                }
+                if self.value != previous {
+                    ctx.emit(ProtocolEvent::ValueFlipped {
+                        phase: self.round,
+                        from: previous,
+                        to: self.value,
+                    });
                 }
                 self.round += 1;
+                ctx.emit(ProtocolEvent::PhaseEntered { phase: self.round });
                 self.exchange = Exchange::Report;
                 self.seen.clear();
                 self.report_count = [0; 2];

@@ -26,7 +26,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use simnet::{ProcessId, Value};
+use simnet::{Ctx, ProcessId, ProtocolEvent, Value};
 
 use crate::Config;
 
@@ -112,6 +112,31 @@ impl EchoTracker {
         } else {
             EchoOutcome::Counted
         }
+    }
+
+    /// Like [`EchoTracker::record_echo`], but additionally emits an
+    /// [`ProtocolEvent::EchoAccepted`] through `ctx` when this echo
+    /// completes a quorum. `tag` is the protocol-level epoch the tracker is
+    /// scoped to (the phase, in Figure 2's usage); it becomes the event's
+    /// `phase` field.
+    pub fn record_echo_observed<M>(
+        &mut self,
+        sender: ProcessId,
+        subject: ProcessId,
+        value: Value,
+        tag: u64,
+        ctx: &mut Ctx<'_, M>,
+    ) -> EchoOutcome {
+        let outcome = self.record_echo(sender, subject, value);
+        if let EchoOutcome::Accepted(v) = outcome {
+            ctx.emit(ProtocolEvent::EchoAccepted {
+                phase: tag,
+                subject,
+                value: v,
+                echoes: self.echo_count(subject, v),
+            });
+        }
+        outcome
     }
 
     /// The value accepted from `subject`, if any.
@@ -211,6 +236,29 @@ mod tests {
         );
         assert_eq!(t.accepted(pid(2)), Some(Value::One));
         assert_eq!(t.accepted_count(), 1);
+    }
+
+    #[test]
+    fn observed_recording_emits_the_acceptance() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut t = EchoTracker::new(config);
+        let mut outbox: Vec<(ProcessId, ())> = Vec::new();
+        let mut rng = simnet::SimRng::seed(0);
+        let mut ctx = Ctx::new(pid(0), 4, 0, &mut outbox, &mut rng).with_obs(true);
+        for s in 0..2 {
+            t.record_echo_observed(pid(s), pid(2), Value::One, 7, &mut ctx);
+        }
+        assert!(ctx.take_events().is_empty(), "no acceptance yet");
+        t.record_echo_observed(pid(2), pid(2), Value::One, 7, &mut ctx);
+        assert_eq!(
+            ctx.take_events(),
+            vec![ProtocolEvent::EchoAccepted {
+                phase: 7,
+                subject: pid(2),
+                value: Value::One,
+                echoes: 3,
+            }]
+        );
     }
 
     #[test]

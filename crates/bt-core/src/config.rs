@@ -3,8 +3,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Error returned when a configuration violates a protocol's resilience
 /// bound.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,7 +46,7 @@ impl std::error::Error for ConfigError {}
 /// assert!(Config::malicious(10, 4).is_err());
 /// # Ok::<(), bt_core::ConfigError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Config {
     n: usize,
     k: usize,

@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{Ctx, Envelope, Process, Value};
+use simnet::{Ctx, Envelope, Process, ProtocolEvent, Value};
 
 use crate::{Config, FailStopMsg};
 
@@ -93,6 +93,11 @@ impl FailStop {
         self.message_count[msg.value.index()] += 1;
         if self.config.is_witness(msg.cardinality) {
             self.witness_count[msg.value.index()] += 1;
+            ctx.emit(ProtocolEvent::WitnessReached {
+                phase: self.phase,
+                value: msg.value,
+                cardinality: msg.cardinality,
+            });
         }
         if self.message_count[0] + self.message_count[1] < self.config.quota() {
             return false;
@@ -110,6 +115,7 @@ impl FailStop {
         // model; should out-of-model (Byzantine) traffic produce both
         // anyway, the larger witness set wins — a deterministic total
         // extension of Figure 1's "there is i" selection.
+        let previous = self.value;
         if self.witness_count[0] > 0 || self.witness_count[1] > 0 {
             self.value = if self.witness_count[0] == self.witness_count[1] {
                 Value::majority_of(self.message_count)
@@ -119,8 +125,16 @@ impl FailStop {
         } else {
             self.value = Value::majority_of(self.message_count);
         }
+        if self.value != previous {
+            ctx.emit(ProtocolEvent::ValueFlipped {
+                phase: self.phase,
+                from: previous,
+                to: self.value,
+            });
+        }
         self.cardinality = self.message_count[self.value.index()];
         self.phase += 1;
+        ctx.emit(ProtocolEvent::PhaseEntered { phase: self.phase });
 
         // Loop guard of Figure 1: exit once either witness count exceeds k.
         // Check the adopted value first so that out-of-model double-witness
@@ -148,6 +162,10 @@ impl FailStop {
         // coherent even under out-of-model traffic.
         self.value = v;
         self.decision = Some(v);
+        ctx.emit(ProtocolEvent::Decided {
+            phase: self.phase,
+            value: v,
+        });
         // The exit broadcasts: cardinality n−k > n/2 makes both witnesses,
         // releasing everyone who would otherwise wait on this process in the
         // next two phases.
@@ -163,6 +181,7 @@ impl FailStop {
         });
         self.halted = true;
         self.deferred.clear();
+        ctx.emit(ProtocolEvent::Halted { phase: self.phase });
     }
 
     /// Replays buffered messages that have become current. Completing a

@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use simnet::{Ctx, Envelope, Process, ProcessId, Value};
+use simnet::{Ctx, Envelope, Process, ProcessId, ProtocolEvent, Value};
 
 use crate::{Config, MaliciousKind, MaliciousMsg, Phase};
 
@@ -168,6 +168,7 @@ impl Malicious {
         subject: ProcessId,
         value: Value,
         wildcard: bool,
+        ctx: &mut Ctx<'_, MaliciousMsg>,
     ) -> bool {
         if !self
             .echo_seen
@@ -181,6 +182,12 @@ impl Malicious {
         if self.accepted[subject.index()].is_none() && self.config.accepts(count) {
             self.accepted[subject.index()] = Some(value);
             self.message_count[value.index()] += 1;
+            ctx.emit(ProtocolEvent::EchoAccepted {
+                phase: self.phase,
+                subject,
+                value,
+                echoes: count,
+            });
             if self.message_count[0] + self.message_count[1] >= self.config.quota() {
                 return true;
             }
@@ -193,7 +200,15 @@ impl Malicious {
         loop {
             // End-of-phase block of Figure 2: adopt the majority of the
             // accepted values, then check the decision threshold.
+            let previous = self.value;
             self.value = Value::majority_of(self.message_count);
+            if self.value != previous {
+                ctx.emit(ProtocolEvent::ValueFlipped {
+                    phase: self.phase,
+                    from: previous,
+                    to: self.value,
+                });
+            }
             let decided_now = Value::BOTH
                 .into_iter()
                 .find(|v| self.config.decides(self.message_count[v.index()]));
@@ -202,6 +217,10 @@ impl Malicious {
                 if self.decision.is_none() {
                     self.decision = Some(v);
                     self.decided_phase = Some(self.phase);
+                    ctx.emit(ProtocolEvent::Decided {
+                        phase: self.phase,
+                        value: v,
+                    });
                 }
                 if self.termination == Termination::WildcardExit {
                     self.exit_broadcast(ctx, v);
@@ -211,6 +230,7 @@ impl Malicious {
 
             // Start the next phase.
             self.phase += 1;
+            ctx.emit(ProtocolEvent::PhaseEntered { phase: self.phase });
             self.echo_seen.clear();
             self.echo_count = vec![[0; 2]; self.config.n()];
             self.accepted = vec![None; self.config.n()];
@@ -240,7 +260,7 @@ impl Malicious {
             .map(|((s, q), v)| (*s, *q, *v))
             .collect();
         for (s, q, v) in echoes {
-            if self.tally_echo(ProcessId::new(s), ProcessId::new(q), v, true) {
+            if self.tally_echo(ProcessId::new(s), ProcessId::new(q), v, true, ctx) {
                 return true;
             }
         }
@@ -248,7 +268,7 @@ impl Malicious {
         if let Some(batch) = self.deferred.remove(&self.phase) {
             for (sender, msg) in batch {
                 debug_assert_eq!(msg.kind, MaliciousKind::Echo);
-                if self.tally_echo(sender, msg.subject, msg.value, false) {
+                if self.tally_echo(sender, msg.subject, msg.value, false, ctx) {
                     return true; // rest of the batch is now stale
                 }
             }
@@ -275,6 +295,7 @@ impl Malicious {
         }
         self.halted = true;
         self.deferred.clear();
+        ctx.emit(ProtocolEvent::Halted { phase: self.phase });
     }
 }
 
@@ -323,14 +344,14 @@ impl Process for Malicious {
                     self.deferred.entry(t).or_default().push((sender, msg));
                     return;
                 }
-                if self.tally_echo(sender, msg.subject, msg.value, false) {
+                if self.tally_echo(sender, msg.subject, msg.value, false, ctx) {
                     self.advance(ctx);
                 }
             }
             (MaliciousKind::Echo, Phase::Any) => {
                 let key = (sender.index(), msg.subject.index());
                 let v = *self.sticky_echo.entry(key).or_insert(msg.value);
-                if self.tally_echo(sender, msg.subject, v, true) {
+                if self.tally_echo(sender, msg.subject, v, true, ctx) {
                     self.advance(ctx);
                 }
             }
@@ -598,7 +619,10 @@ mod tests {
         let subject = ProcessId::new(2);
         // p1's concrete echo claims subject 2 said Zero…
         p.on_receive(
-            Envelope::new(ProcessId::new(1), MaliciousMsg::echo(subject, Value::Zero, 0)),
+            Envelope::new(
+                ProcessId::new(1),
+                MaliciousMsg::echo(subject, Value::Zero, 0),
+            ),
             &mut ctx,
         );
         assert_eq!(p.echo_count[subject.index()], [1, 0]);

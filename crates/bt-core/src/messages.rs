@@ -2,7 +2,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
 use simnet::{ProcessId, Value};
 
 /// A phase stamp: either a concrete phase number or the paper's `*`
@@ -15,7 +14,7 @@ use simnet::{ProcessId, Value};
 /// phase. Receivers implement that by recording them as sticky
 /// contributions rather than physically re-sending to self (same effect,
 /// no infinite message loop; see `DESIGN.md`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Phase {
     /// A concrete phase number.
     At(u64),
@@ -58,7 +57,7 @@ impl fmt::Display for Phase {
 /// `cardinality` is the size of the message set that gave the sender its
 /// current value; a message whose cardinality exceeds `n/2` is a *witness*
 /// for its value.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FailStopMsg {
     /// The sender's phase when it sent this message.
     pub phase: u64,
@@ -70,7 +69,7 @@ pub struct FailStopMsg {
 
 /// The two message types of the Figure 2 (malicious protocol) broadcast
 /// primitive.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum MaliciousKind {
     /// A first-hand state announcement.
     Initial,
@@ -82,7 +81,7 @@ pub enum MaliciousKind {
 /// `(type, from, value, phaseno)` in the paper's notation. The paper's
 /// `from` field — the process the message is *about* — is called `subject`
 /// here to avoid confusion with the authenticated envelope sender.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MaliciousMsg {
     /// Initial or echo.
     pub kind: MaliciousKind,
@@ -120,7 +119,7 @@ impl MaliciousMsg {
 }
 
 /// A §4.1 simple-variant message: just `(phaseno, value)`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimpleMsg {
     /// The sender's phase when it sent this message.
     pub phase: u64,

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{Ctx, Envelope, Process, Value};
+use simnet::{Ctx, Envelope, Process, ProtocolEvent, Value};
 
 use crate::{Config, SimpleMsg};
 
@@ -88,16 +88,29 @@ impl Simple {
     }
 
     fn end_phase(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
+        let previous = self.value;
         self.value = Value::majority_of(self.message_count);
+        if self.value != previous {
+            ctx.emit(ProtocolEvent::ValueFlipped {
+                phase: self.phase,
+                from: previous,
+                to: self.value,
+            });
+        }
         if self.decision.is_none() {
             for v in Value::BOTH {
                 if self.config.decides(self.message_count[v.index()]) {
                     self.decision = Some(v);
                     self.decided_phase = Some(self.phase);
+                    ctx.emit(ProtocolEvent::Decided {
+                        phase: self.phase,
+                        value: v,
+                    });
                 }
             }
         }
         self.phase += 1;
+        ctx.emit(ProtocolEvent::PhaseEntered { phase: self.phase });
         self.message_count = [0; 2];
         ctx.broadcast(SimpleMsg {
             phase: self.phase,

@@ -1,0 +1,148 @@
+//! # criterion — offline stand-in for the criterion benchmark harness
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This crate provides the exact surface the
+//! workspace's benches use — `Criterion::default().sample_size(n)`,
+//! `bench_function`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!` — timing with [`std::time::Instant`] and printing a
+//! plain-text summary (min / mean / max per sample) to stdout.
+//!
+//! There is no statistical regression analysis, warm-up tuning, or HTML
+//! report; benches here are smoke-level timers whose numbers are still
+//! comparable run-over-run on the same machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as the real crate provides.
+pub use std::hint::black_box;
+
+/// The benchmark driver: collects samples and prints a summary line.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: calls `f` once per sample and reports the
+    /// distribution of per-iteration times.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        // One untimed pass to warm caches and lazy statics.
+        let mut warmup = Bencher::default();
+        f(&mut warmup);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher::default();
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "bench {id:<44} samples {:>3}  min {:>12?}  mean {:>12?}  max {:>12?}",
+            samples.len(),
+            min,
+            mean,
+            max
+        );
+        self
+    }
+}
+
+/// Times the closure passed to [`Bencher::iter`] for one sample.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once, timing it; the routine under test returns a value so
+    /// the optimizer cannot discard the work (it is also black-boxed).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        black_box(out);
+    }
+}
+
+/// Declares a benchmark group function, mirroring the real macro's two
+/// accepted shapes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = trivial
+    }
+
+    #[test]
+    fn group_runs_and_times() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_accumulates_time() {
+        let mut b = Bencher::default();
+        b.iter(|| std::thread::sleep(std::time::Duration::from_millis(1)));
+        assert!(b.elapsed >= std::time::Duration::from_millis(1));
+    }
+}

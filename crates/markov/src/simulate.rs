@@ -7,8 +7,7 @@
 
 use core::fmt;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use prng::Prng;
 
 use crate::AbsorbingChain;
 
@@ -29,13 +28,13 @@ impl<'a> ChainSampler<'a> {
     /// # Panics
     ///
     /// Panics if `start` is out of range or a row is numerically degenerate.
-    pub fn trajectory(&self, start: usize, rng: &mut SmallRng) -> (u64, usize) {
+    pub fn trajectory(&self, start: usize, rng: &mut Prng) -> (u64, usize) {
         assert!(start < self.chain.states(), "start state out of range");
         let p = self.chain.transition_matrix();
         let mut state = start;
         let mut steps = 0u64;
         while !self.chain.is_absorbing(state) {
-            let mut x: f64 = rng.gen();
+            let mut x: f64 = rng.f64();
             let mut next = self.chain.states() - 1;
             for j in 0..self.chain.states() {
                 x -= p[(state, j)];
@@ -53,7 +52,7 @@ impl<'a> ChainSampler<'a> {
     /// Mean steps to absorption from `start` over `trials` trajectories.
     #[must_use]
     pub fn mean_steps(&self, start: usize, trials: usize, seed: u64) -> f64 {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let total: u64 = (0..trials)
             .map(|_| self.trajectory(start, &mut rng).0)
             .sum();
@@ -69,7 +68,7 @@ impl<'a> ChainSampler<'a> {
         trials: usize,
         seed: u64,
     ) -> f64 {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         let high = (0..trials)
             .filter(|_| self.trajectory(start, &mut rng).1 > threshold)
             .count();
@@ -125,7 +124,7 @@ mod tests {
     fn trajectories_from_absorbing_states_are_trivial() {
         let chain = FailStopChain::paper(12);
         let sampler = ChainSampler::new(chain.chain());
-        let mut rng = SmallRng::seed_from_u64(0);
+        let mut rng = Prng::seed_from_u64(0);
         let (steps, state) = sampler.trajectory(0, &mut rng);
         assert_eq!(steps, 0);
         assert_eq!(state, 0);

@@ -213,7 +213,8 @@ impl Explorer {
         P::Msg: Clone + fmt::Debug + Ord,
     {
         // Nodes own their world plus a back-pointer (parent index, action).
-        let mut nodes: Vec<(World<P>, Option<(usize, crate::Action)>)> = Vec::new();
+        type Node<P> = (World<P>, Option<(usize, crate::Action)>);
+        let mut nodes: Vec<Node<P>> = Vec::new();
         let mut visited: HashSet<String> = HashSet::new();
         let mut queue: VecDeque<usize> = VecDeque::new();
 

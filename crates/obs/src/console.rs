@@ -1,0 +1,145 @@
+//! Human-readable run narration.
+//!
+//! [`ConsoleReporter`] turns the event stream into the same one-line-per-
+//! event narration as `Trace::render`, but streamed through the subscriber
+//! hook — unbounded by a trace capacity, optionally echoed to stdout as the
+//! run executes. Tests use the buffered form and assert on its text.
+
+use simnet::{Event, ProtocolEvent, RunReport, RunStatus, Subscriber};
+
+/// A [`Subscriber`] that narrates a run in human-readable lines.
+#[derive(Debug, Default)]
+pub struct ConsoleReporter {
+    lines: Vec<String>,
+    echo: bool,
+}
+
+impl ConsoleReporter {
+    /// A reporter that only buffers (read it back with
+    /// [`ConsoleReporter::text`]).
+    #[must_use]
+    pub fn new() -> Self {
+        ConsoleReporter::default()
+    }
+
+    /// A reporter that also prints each line to stdout as it happens.
+    #[must_use]
+    pub fn echoing() -> Self {
+        ConsoleReporter {
+            lines: Vec::new(),
+            echo: true,
+        }
+    }
+
+    /// The narration so far, newline-terminated.
+    #[must_use]
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    fn emit(&mut self, line: String) {
+        if self.echo {
+            println!("{line}");
+        }
+        self.lines.push(line);
+    }
+}
+
+fn narrate_protocol(e: &ProtocolEvent) -> String {
+    match e {
+        ProtocolEvent::PhaseEntered { phase } => format!("enters phase {phase}"),
+        ProtocolEvent::WitnessReached {
+            phase,
+            value,
+            cardinality,
+        } => format!("sees witness for {value} (cardinality {cardinality}) in phase {phase}"),
+        ProtocolEvent::EchoAccepted {
+            phase,
+            subject,
+            value,
+            echoes,
+        } => format!("accepts {subject}'s {value} ({echoes} echoes) in phase {phase}"),
+        ProtocolEvent::ValueFlipped { phase, from, to } => {
+            format!("flips {from} → {to} in phase {phase}")
+        }
+        ProtocolEvent::CoinFlipped { phase, value } => {
+            format!("flips coin → {value} in phase {phase}")
+        }
+        ProtocolEvent::Decided { phase, value } => format!("decides {value} in phase {phase}"),
+        ProtocolEvent::Halted { phase } => format!("leaves the protocol in phase {phase}"),
+    }
+}
+
+impl Subscriber for ConsoleReporter {
+    fn on_run_start(&mut self, n: usize, seed: u64) {
+        self.emit(format!("=== run: n={n} seed={seed} ==="));
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        let line = match *event {
+            Event::Start { pid } => format!("[    0] {pid} starts"),
+            Event::Send { step, from, to } => format!("[{step:>5}] {from} sends to {to}"),
+            Event::Deliver { step, to, from } => {
+                format!("[{step:>5}] {to} receives from {from}")
+            }
+            Event::Decide { step, pid, value } => format!("[{step:>5}] {pid} decides {value}"),
+            Event::Halt { step, pid } => format!("[{step:>5}] {pid} halts"),
+            Event::Protocol { step, pid, event } => {
+                format!("[{step:>5}] {pid} {}", narrate_protocol(&event))
+            }
+        };
+        self.emit(line);
+    }
+
+    fn on_run_end(&mut self, report: &RunReport) {
+        let status = match report.status {
+            RunStatus::Stopped => "stopped",
+            RunStatus::Quiescent => "quiescent",
+            RunStatus::StepLimitReached => "step limit reached",
+        };
+        let decision = report
+            .decided_value()
+            .map_or_else(|| "none".to_string(), |v| v.to_string());
+        self.emit(format!(
+            "=== {status} after {} steps; decision: {decision}; phases to decision: {} ===",
+            report.steps,
+            report
+                .phases_to_decision()
+                .map_or_else(|| "n/a".to_string(), |p| p.to_string()),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use simnet::{ProcessId, Value};
+
+    use super::*;
+
+    #[test]
+    fn narration_covers_engine_and_protocol_events() {
+        let mut c = ConsoleReporter::new();
+        c.on_run_start(3, 42);
+        c.on_event(&Event::Start {
+            pid: ProcessId::new(0),
+        });
+        c.on_event(&Event::Protocol {
+            step: 2,
+            pid: ProcessId::new(0),
+            event: ProtocolEvent::WitnessReached {
+                phase: 1,
+                value: Value::One,
+                cardinality: 2,
+            },
+        });
+        let text = c.text();
+        for needle in ["n=3 seed=42", "p0 starts", "witness for 1"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline trace analysis: turn a parsed JSONL trace back into a per-phase
+//! timeline and a cross-run summary table. This is the engine behind the
+//! `btreport` binary.
+
+use simnet::{Event, ProcessId, ProtocolEvent, Summary};
+
+use crate::aggregate::PhaseStat;
+use crate::jsonl::TraceLine;
+
+/// Per-phase row of one run's timeline.
+#[derive(Clone, Copy, Debug, Default)]
+struct PhaseRow {
+    /// First (step, pid) at which any process entered the phase.
+    first_entry: Option<(u64, ProcessId)>,
+    stat: PhaseStat,
+}
+
+/// State folded over one run's events.
+#[derive(Debug, Default)]
+struct RunState {
+    header: Option<(usize, u64)>,
+    current_phase: Vec<u64>,
+    rows: Vec<PhaseRow>,
+    decide_phases: Vec<u64>,
+}
+
+impl RunState {
+    fn row(&mut self, phase: u64) -> &mut PhaseRow {
+        let idx = phase as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize_with(idx + 1, PhaseRow::default);
+        }
+        &mut self.rows[idx]
+    }
+
+    fn phase_of(&mut self, pid: ProcessId) -> u64 {
+        self.current_phase.get(pid.index()).copied().unwrap_or(0)
+    }
+
+    fn fold(&mut self, event: &Event) {
+        match *event {
+            Event::Send { from, .. } => {
+                let phase = self.phase_of(from);
+                self.row(phase).stat.messages_sent += 1;
+            }
+            Event::Deliver { to, .. } => {
+                let phase = self.phase_of(to);
+                self.row(phase).stat.deliveries += 1;
+            }
+            Event::Protocol { step, pid, event } => match event {
+                ProtocolEvent::PhaseEntered { phase } => {
+                    if pid.index() >= self.current_phase.len() {
+                        self.current_phase.resize(pid.index() + 1, 0);
+                    }
+                    self.current_phase[pid.index()] = phase;
+                    let row = self.row(phase);
+                    row.stat.entries += 1;
+                    if row.first_entry.is_none() {
+                        row.first_entry = Some((step, pid));
+                    }
+                }
+                ProtocolEvent::WitnessReached { phase, .. } => {
+                    self.row(phase).stat.witnesses += 1;
+                }
+                ProtocolEvent::EchoAccepted { phase, .. } => {
+                    self.row(phase).stat.echo_accepts += 1;
+                }
+                ProtocolEvent::ValueFlipped { phase, .. } => {
+                    self.row(phase).stat.value_flips += 1;
+                }
+                ProtocolEvent::CoinFlipped { phase, .. } => {
+                    self.row(phase).stat.coin_flips += 1;
+                }
+                ProtocolEvent::Decided { phase, .. } => {
+                    self.row(phase).stat.decisions += 1;
+                    self.decide_phases.push(phase);
+                }
+                ProtocolEvent::Halted { .. } => {}
+            },
+            Event::Start { .. } | Event::Decide { .. } | Event::Halt { .. } => {}
+        }
+    }
+
+    fn render(&self, out: &mut String, index: usize, footer: Option<&TraceLine>) {
+        use std::fmt::Write as _;
+        match self.header {
+            Some((n, seed)) => {
+                let _ = writeln!(out, "run {index}: n={n} seed={seed}");
+            }
+            None => {
+                let _ = writeln!(out, "run {index}: (no run_start header)");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  {:>5} {:>12} {:>8} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:>9}",
+            "phase",
+            "first entry",
+            "entries",
+            "sent",
+            "delivered",
+            "witnesses",
+            "accepts",
+            "flips",
+            "coins",
+            "decisions"
+        );
+        for (phase, row) in self.rows.iter().enumerate() {
+            let first = row
+                .first_entry
+                .map_or_else(|| "-".to_string(), |(step, pid)| format!("{pid}@{step}"));
+            let s = row.stat;
+            let _ = writeln!(
+                out,
+                "  {:>5} {:>12} {:>8} {:>6} {:>9} {:>9} {:>7} {:>6} {:>6} {:>9}",
+                phase,
+                first,
+                s.entries,
+                s.messages_sent,
+                s.deliveries,
+                s.witnesses,
+                s.echo_accepts,
+                s.value_flips,
+                s.coin_flips,
+                s.decisions
+            );
+        }
+        if let Some(TraceLine::RunEnd {
+            status,
+            steps,
+            decided,
+            max_phase,
+        }) = footer
+        {
+            let _ = writeln!(
+                out,
+                "  {status} after {steps} steps; decided: {decided}; max phase: {max_phase}"
+            );
+        }
+    }
+
+    /// Phases-to-decision for this run: the largest phase in which any
+    /// `decided` protocol event fired (`None` if nothing decided).
+    fn phases_to_decision(&self) -> Option<u64> {
+        self.decide_phases.iter().copied().max()
+    }
+}
+
+/// Renders a full report — per-run timelines plus a cross-run summary — from
+/// a parsed trace.
+#[must_use]
+pub fn render_report(lines: &[TraceLine]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut runs: Vec<(RunState, Option<TraceLine>)> = Vec::new();
+    let mut current: Option<RunState> = None;
+
+    for line in lines {
+        match line {
+            TraceLine::RunStart { n, seed } => {
+                if let Some(open) = current.take() {
+                    runs.push((open, None));
+                }
+                let mut state = RunState {
+                    header: Some((*n, *seed)),
+                    ..RunState::default()
+                };
+                state.current_phase.resize(*n, 0);
+                current = Some(state);
+            }
+            TraceLine::Event(event) => {
+                current.get_or_insert_with(RunState::default).fold(event);
+            }
+            TraceLine::RunEnd { .. } => {
+                let open = current.take().unwrap_or_default();
+                runs.push((open, Some(line.clone())));
+            }
+        }
+    }
+    if let Some(open) = current.take() {
+        runs.push((open, None));
+    }
+
+    let mut decided_phases = Vec::new();
+    for (index, (state, footer)) in runs.iter().enumerate() {
+        state.render(&mut out, index, footer.as_ref());
+        if let Some(p) = state.phases_to_decision() {
+            decided_phases.push(p as f64);
+        }
+    }
+    let _ = writeln!(out, "runs: {}", runs.len());
+    if !decided_phases.is_empty() {
+        let _ = writeln!(out, "phases to decision: {}", Summary::of(decided_phases));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use simnet::Value;
+
+    use super::*;
+
+    #[test]
+    fn report_shows_timeline_and_summary() {
+        let p = ProcessId::new;
+        let lines = vec![
+            TraceLine::RunStart { n: 2, seed: 7 },
+            TraceLine::Event(Event::Start { pid: p(0) }),
+            TraceLine::Event(Event::Send {
+                step: 0,
+                from: p(0),
+                to: p(1),
+            }),
+            TraceLine::Event(Event::Protocol {
+                step: 1,
+                pid: p(1),
+                event: ProtocolEvent::PhaseEntered { phase: 1 },
+            }),
+            TraceLine::Event(Event::Protocol {
+                step: 2,
+                pid: p(1),
+                event: ProtocolEvent::Decided {
+                    phase: 1,
+                    value: Value::One,
+                },
+            }),
+            TraceLine::RunEnd {
+                status: "stopped".into(),
+                steps: 2,
+                decided: true,
+                max_phase: 1,
+            },
+        ];
+        let text = render_report(&lines);
+        for needle in [
+            "run 0: n=2 seed=7",
+            "p1@1",
+            "stopped after 2 steps",
+            "runs: 1",
+            "phases to decision",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn headerless_events_still_report() {
+        let lines = vec![TraceLine::Event(Event::Start {
+            pid: ProcessId::new(0),
+        })];
+        let text = render_report(&lines);
+        assert!(text.contains("no run_start header"), "{text}");
+    }
+}

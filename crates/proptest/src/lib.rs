@@ -1,0 +1,513 @@
+//! # proptest — offline stand-in for the `proptest` crate
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This crate reimplements exactly the surface the
+//! workspace's property tests use — `proptest!`, strategies (ranges,
+//! `any`, tuples, `prop_map`, `prop_oneof!`, `Just`, `collection::vec`),
+//! the assertion macros, `ProptestConfig`, and `TestCaseError` — on top of
+//! the workspace [`prng`] generator, so the test files compile unchanged.
+//!
+//! Differences from the real crate (acceptable for this workspace):
+//!
+//! - **No shrinking.** A failing case reports the case number and message;
+//!   cases are deterministic per test name, so failures reproduce exactly.
+//! - **No failure persistence** (no `proptest-regressions` files).
+//! - Case generation is a plain uniform draw per strategy, seeded by a
+//!   hash of the test name — every `cargo test` run replays the same
+//!   cases, which suits a repository whose whole premise is determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+#[doc(hidden)]
+pub use prng::Prng as __Prng;
+
+/// Hashes a test name to a stable 64-bit seed (FNV-1a), so each property
+/// test draws a distinct but reproducible case stream.
+#[doc(hidden)]
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+    /// A `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection (skipped case) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "case rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// A recipe for drawing random values of one type.
+///
+/// Unlike the real crate there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn draw(&self, rng: &mut __Prng) -> Self::Value;
+
+    /// Maps drawn values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn draw(&self, rng: &mut __Prng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u64 - self.start as u64;
+                self.start + rng.below_u64(span) as $t
+            }
+        }
+    )+};
+}
+
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn draw(&self, rng: &mut __Prng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+/// Values of `T` drawn uniformly from its whole domain. See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy over the whole domain of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Types that can be drawn uniformly by [`any`].
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut __Prng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn draw(&self, rng: &mut __Prng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut __Prng) -> bool {
+        rng.coin()
+    }
+}
+
+macro_rules! uint_arbitrary {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut __Prng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+uint_arbitrary!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut __Prng) -> f64 {
+        rng.f64()
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn draw(&self, _rng: &mut __Prng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: fmt::Debug, F> fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Map")
+            .field("inner", &self.inner)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn draw(&self, rng: &mut __Prng) -> O {
+        (self.f)(self.inner.draw(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn draw(&self, rng: &mut __Prng) -> Self::Value {
+                ($(self.$idx.draw(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// A uniform choice between boxed strategies; built by [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.options.len())
+            .finish()
+    }
+}
+
+impl<V> Union<V> {
+    /// A union over the given non-empty set of strategies.
+    #[must_use]
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn draw(&self, rng: &mut __Prng) -> V {
+        let i = rng.index(self.options.len());
+        self.options[i].draw(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{__Prng, Strategy};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for `Vec`s of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn draw(&self, rng: &mut __Prng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.index(span);
+            (0..len).map(|_| self.element.draw(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests. Each function body runs against
+/// `config.cases` drawn inputs; `prop_assume!` rejections are retried.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::__Prng::seed_from_u64($crate::seed_for(stringify!($name)));
+                let mut passed: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(20).max(1000);
+                while passed < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest {}: too many rejected cases ({passed} accepted of {} wanted)",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    $(let $pat = $crate::Strategy::draw(&($strat), &mut rng);)*
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed on case {attempts}: {msg}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not
+/// panicking) so the harness can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test; both sides are shown on
+/// failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            l,
+            r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+),
+            l,
+            r,
+        );
+    }};
+}
+
+/// Rejects the current case when the precondition does not hold; the
+/// harness draws a fresh case instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($strat)),+];
+        $crate::Union::new(options)
+    }};
+}
+
+/// The conventional glob-import module: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::__Prng::seed_from_u64(3);
+        for _ in 0..500 {
+            let v = Strategy::draw(&(5usize..9), &mut rng);
+            assert!((5..9).contains(&v));
+            let f = Strategy::draw(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_spec() {
+        let mut rng = crate::__Prng::seed_from_u64(4);
+        for _ in 0..200 {
+            let v = Strategy::draw(&crate::collection::vec(0usize..3, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let w = Strategy::draw(&crate::collection::vec(Just(1u8), 4), &mut rng);
+            assert_eq!(w, vec![1, 1, 1, 1]);
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let mut rng = crate::__Prng::seed_from_u64(5);
+        let strat = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[Strategy::draw(&strat, &mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    // The macro surface itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn harness_draws_and_asserts(x in 0u64..100, mut v in crate::collection::vec(0u32..7, 0..=4)) {
+            v.sort_unstable();
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len(), "tautology with message {}", x);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0usize..4, b in 0usize..4) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+}

@@ -77,6 +77,7 @@ mod rng;
 pub mod runner;
 pub mod scheduler;
 mod sim;
+mod subscriber;
 mod trace;
 mod value;
 
@@ -86,8 +87,9 @@ pub use id::ProcessId;
 pub use metrics::Metrics;
 pub use process::{Ctx, Process};
 pub use rng::SimRng;
-pub use runner::{run_trials, run_trials_seq, Summary, TrialStats};
+pub use runner::{run_trials, run_trials_observed, run_trials_seq, Summary, TrialStats};
 pub use scheduler::{Scheduler, Selection, SystemView};
 pub use sim::{Role, RunReport, RunStatus, Sim, SimBuilder, StopWhen};
-pub use trace::{Event, Trace};
+pub use subscriber::{SharedSubscriber, Subscriber};
+pub use trace::{Event, ProtocolEvent, Trace};
 pub use value::Value;

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::{Envelope, ProcessId, SimRng, Value};
+use crate::{Envelope, ProcessId, ProtocolEvent, SimRng, Value};
 
 /// A protocol running at one process, expressed as an event-driven state
 /// machine.
@@ -81,11 +81,17 @@ pub struct Ctx<'a, M> {
     step: u64,
     outbox: &'a mut Vec<(ProcessId, M)>,
     rng: &'a mut SimRng,
+    obs: bool,
+    events: Vec<ProtocolEvent>,
 }
 
 impl<'a, M> Ctx<'a, M> {
     /// Creates a step context. Called by the engine; exposed so protocol
     /// crates can unit-test their state machines without a full simulation.
+    ///
+    /// Observability starts disabled: [`Ctx::emit`] is a no-op until
+    /// [`Ctx::with_obs`] enables it (the engine does so only when a trace
+    /// or subscriber is attached, keeping unobserved runs free of cost).
     pub fn new(
         me: ProcessId,
         n: usize,
@@ -99,7 +105,30 @@ impl<'a, M> Ctx<'a, M> {
             step,
             outbox,
             rng,
+            obs: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enables or disables collection of [`Ctx::emit`]ted events.
+    #[must_use]
+    pub fn with_obs(mut self, enabled: bool) -> Self {
+        self.obs = enabled;
+        self
+    }
+
+    /// Records a structured protocol event for this step. Dropped silently
+    /// unless observability was enabled via [`Ctx::with_obs`]; the engine
+    /// drains the buffer with [`Ctx::take_events`] after the step commits.
+    pub fn emit(&mut self, event: ProtocolEvent) {
+        if self.obs {
+            self.events.push(event);
+        }
+    }
+
+    /// Drains the events emitted during this step, in emission order.
+    pub fn take_events(&mut self) -> Vec<ProtocolEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// The identity of the process taking this step.
@@ -159,6 +188,7 @@ impl<M> fmt::Debug for Ctx<'_, M> {
             .field("n", &self.n)
             .field("step", &self.step)
             .field("outbox_len", &self.outbox.len())
+            .field("obs", &self.obs)
             .finish()
     }
 }
@@ -191,5 +221,27 @@ mod tests {
             .iter()
             .enumerate()
             .all(|(i, (to, m))| to.index() == i && *m as usize == i));
+    }
+
+    #[test]
+    fn emit_is_dropped_unless_obs_enabled() {
+        let mut outbox: Vec<(ProcessId, u8)> = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 2, 1, &mut outbox, &mut rng);
+        ctx.emit(ProtocolEvent::PhaseEntered { phase: 1 });
+        assert!(ctx.take_events().is_empty(), "disabled by default");
+
+        let mut ctx = Ctx::new(ProcessId::new(0), 2, 1, &mut outbox, &mut rng).with_obs(true);
+        ctx.emit(ProtocolEvent::PhaseEntered { phase: 1 });
+        ctx.emit(ProtocolEvent::Halted { phase: 1 });
+        let events = ctx.take_events();
+        assert_eq!(
+            events,
+            vec![
+                ProtocolEvent::PhaseEntered { phase: 1 },
+                ProtocolEvent::Halted { phase: 1 },
+            ]
+        );
+        assert!(ctx.take_events().is_empty(), "drained");
     }
 }

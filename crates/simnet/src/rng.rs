@@ -2,8 +2,7 @@
 
 use core::fmt;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use prng::Prng;
 
 /// The simulator's random-number generator.
 ///
@@ -23,7 +22,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
 pub struct SimRng {
-    inner: SmallRng,
+    inner: Prng,
     seed: u64,
 }
 
@@ -33,7 +32,7 @@ impl SimRng {
     #[must_use]
     pub fn seed(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            inner: Prng::seed_from_u64(seed),
             seed,
         }
     }
@@ -56,7 +55,7 @@ impl SimRng {
     /// Panics if `bound == 0`.
     pub fn index(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "cannot draw an index from an empty range");
-        self.inner.gen_range(0..bound)
+        self.inner.index(bound)
     }
 
     /// Returns `true` with probability `p`.
@@ -66,12 +65,12 @@ impl SimRng {
     /// Panics if `p` is not within `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
-        self.inner.gen_bool(p)
+        self.inner.chance(p)
     }
 
     /// Flips a fair coin, as Ben-Or's protocol does in its random step.
     pub fn coin(&mut self) -> bool {
-        self.inner.gen_bool(0.5)
+        self.inner.coin()
     }
 
     /// Derives an independent child generator; used by the Monte-Carlo runner

@@ -4,19 +4,17 @@
 //! probability 1, finite expected time"), so reproducing §4's performance
 //! numbers means sampling: run the same configuration under many independent
 //! scheduler streams and aggregate phases-to-decision, steps, messages and
-//! property violations. Trials run in parallel with `crossbeam` scoped
-//! threads; each trial's seed is derived deterministically from the base
-//! seed, so any individual failure can be replayed from its reported seed.
+//! property violations. Trials run in parallel with `std::thread::scope`;
+//! each trial's seed is derived deterministically from the base seed, so
+//! any individual failure can be replayed from its reported seed.
 
 use core::fmt;
-
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use crate::{RunReport, RunStatus, Sim, SimRng, Value};
 
 /// Aggregated results of a batch of trials.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct TrialStats {
     /// Number of trials run.
@@ -69,7 +67,7 @@ impl TrialStats {
 }
 
 /// Summary statistics of a sample.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 #[non_exhaustive]
 pub struct Summary {
     /// Sample size.
@@ -174,39 +172,65 @@ where
     let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
     let chunk = trials.div_ceil(workers).max(1);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for ids in seeds.chunks(chunk) {
             let reports = &reports;
             let factory = &factory;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local = Vec::with_capacity(ids.len());
                 for &seed in ids {
                     let report = factory(seed).run();
                     local.push((seed, report));
                 }
-                reports.lock().extend(local);
+                reports
+                    .lock()
+                    .expect("a trial worker panicked while reporting")
+                    .extend(local);
             });
         }
-    })
-    .expect("trial worker panicked");
+    });
 
-    let reports = reports.into_inner();
+    let reports = reports
+        .into_inner()
+        .expect("a trial worker panicked while reporting");
     aggregate(&reports)
 }
 
 /// Runs `trials` sequentially on the current thread. Useful where the
 /// factory cannot be `Sync`, and in tests that want full determinism of
 /// aggregation order.
-pub fn run_trials_seq<M, F>(trials: usize, base_seed: u64, mut factory: F) -> TrialStats
+pub fn run_trials_seq<M, F>(trials: usize, base_seed: u64, factory: F) -> TrialStats
 where
     M: 'static,
     F: FnMut(u64) -> Sim<M>,
+{
+    run_trials_observed(trials, base_seed, factory, |_, _| {})
+}
+
+/// Runs `trials` sequentially, invoking `observe(seed, &report)` after each
+/// trial, in trial order — the hook telemetry sinks (phase aggregators,
+/// JSONL writers) attach through when they need every run of a sweep, not
+/// just the aggregate. Sequential on purpose: the observation order is
+/// deterministic, so a deterministic sink produces identical output for
+/// identical `(trials, base_seed, factory)`.
+pub fn run_trials_observed<M, F, O>(
+    trials: usize,
+    base_seed: u64,
+    mut factory: F,
+    mut observe: O,
+) -> TrialStats
+where
+    M: 'static,
+    F: FnMut(u64) -> Sim<M>,
+    O: FnMut(u64, &RunReport),
 {
     let mut seed_gen = SimRng::seed(base_seed);
     let mut reports = Vec::with_capacity(trials);
     for i in 0..trials {
         let seed = seed_gen.fork(i as u64).initial_seed();
-        reports.push((seed, factory(seed).run()));
+        let report = factory(seed).run();
+        observe(seed, &report);
+        reports.push((seed, report));
     }
     aggregate(&reports)
 }
@@ -322,6 +346,21 @@ mod tests {
         assert_eq!(a.decided, b.decided);
         assert_eq!(a.phases.mean, b.phases.mean);
         assert_eq!(a.messages.mean, b.messages.mean);
+    }
+
+    #[test]
+    fn observed_runner_sees_every_trial_in_order() {
+        let mut seen: Vec<u64> = Vec::new();
+        let stats = run_trials_observed(8, 7, sim, |seed, report| {
+            assert!(report.all_correct_decided());
+            seen.push(seed);
+        });
+        assert_eq!(seen.len(), 8);
+        // Observation order matches the deterministic seed derivation.
+        let mut seed_gen = SimRng::seed(7);
+        let expected: Vec<u64> = (0..8).map(|i| seed_gen.fork(i).initial_seed()).collect();
+        assert_eq!(seen, expected);
+        assert_eq!(stats.trials, 8);
     }
 
     #[test]

@@ -2,10 +2,11 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::scheduler::{FairScheduler, Scheduler, SystemView};
-use crate::{Buffer, Ctx, Envelope, Event, Metrics, Process, ProcessId, SimRng, Trace, Value};
+use crate::{
+    Buffer, Ctx, Envelope, Event, Metrics, Process, ProcessId, SharedSubscriber, SimRng, Trace,
+    Value,
+};
 
 /// Whether a process is counted as correct when checking consensus
 /// properties.
@@ -14,7 +15,7 @@ use crate::{Buffer, Ctx, Envelope, Event, Metrics, Process, ProcessId, SimRng, T
 /// correct protocol instance are both just [`Process`] implementations. The
 /// role tag tells the engine (and the invariant checks in
 /// [`RunReport`]) which processes the consensus properties quantify over.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Role {
     /// A process that follows the protocol; agreement/validity/termination
     /// are asserted over these.
@@ -24,7 +25,7 @@ pub enum Role {
 }
 
 /// Why a run ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunStatus {
     /// Every correct process decided (the configured stop condition held).
     Stopped,
@@ -97,6 +98,7 @@ pub struct SimBuilder<M> {
     step_limit: u64,
     stop_when: StopWhen,
     trace_capacity: usize,
+    subscriber: Option<SharedSubscriber>,
 }
 
 impl<M: 'static> SimBuilder<M> {
@@ -108,6 +110,7 @@ impl<M: 'static> SimBuilder<M> {
             step_limit: 1_000_000,
             stop_when: StopWhen::default(),
             trace_capacity: 0,
+            subscriber: None,
         }
     }
 
@@ -170,6 +173,16 @@ impl<M: 'static> SimBuilder<M> {
         self
     }
 
+    /// Attaches a [`Subscriber`](crate::Subscriber) that will receive every
+    /// run event (engine and protocol level), unbounded by the trace
+    /// capacity. `None` by default; an unobserved run pays only an
+    /// `Option` check per event site. Callers keep their own clone of the
+    /// `Arc` to read the sink back after [`Sim::run`] consumes the `Sim`.
+    pub fn subscriber(&mut self, subscriber: SharedSubscriber) -> &mut Self {
+        self.subscriber = Some(subscriber);
+        self
+    }
+
     /// Builds the simulation.
     ///
     /// # Panics
@@ -195,6 +208,7 @@ impl<M: 'static> SimBuilder<M> {
             } else {
                 None
             },
+            subscriber: self.subscriber.take(),
             metrics: Metrics::new(n),
             decision_steps: vec![None; n],
             decision_phases: vec![None; n],
@@ -217,6 +231,7 @@ pub struct Sim<M> {
     step_limit: u64,
     stop_when: StopWhen,
     trace: Option<Trace>,
+    subscriber: Option<SharedSubscriber>,
     metrics: Metrics,
     decision_steps: Vec<Option<u64>>,
     decision_phases: Vec<Option<u64>>,
@@ -237,21 +252,38 @@ impl<M: 'static> Sim<M> {
         self.procs.len()
     }
 
+    /// Records an event in the bounded trace and forwards it to the
+    /// subscriber, when either is attached.
+    fn publish(&mut self, event: Event) {
+        if let Some(t) = &mut self.trace {
+            t.record(event);
+        }
+        if let Some(s) = &self.subscriber {
+            s.lock().expect("subscriber lock poisoned").on_event(&event);
+        }
+    }
+
+    /// Whether protocol-level emission should be collected at all.
+    fn observed(&self) -> bool {
+        self.trace.is_some() || self.subscriber.is_some()
+    }
+
     fn deliver_outbox(&mut self, from: ProcessId, outbox: &mut Vec<(ProcessId, M)>) {
+        // Sends are attributed to the sender's phase when the step commits.
+        let phase = self.procs[from.index()].phase();
         for (to, msg) in outbox.drain(..) {
-            self.metrics.messages_sent += 1;
-            self.metrics.sent_by[from.index()] += 1;
-            if let Some(t) = &mut self.trace {
-                t.record(Event::Send {
-                    step: self.step,
-                    from,
-                    to,
-                });
-            }
+            self.metrics.record_send(from.index(), phase);
+            self.publish(Event::Send {
+                step: self.step,
+                from,
+                to,
+            });
             if self.procs[to.index()].halted() {
                 self.metrics.messages_dropped += 1;
             } else {
                 self.buffers[to.index()].push(Envelope::new(from, msg));
+                let occupancy = self.buffers[to.index()].len();
+                self.metrics.observe_occupancy(occupancy);
             }
         }
     }
@@ -263,13 +295,11 @@ impl<M: 'static> Sim<M> {
             if let Some(v) = self.procs[i].decision() {
                 self.decision_steps[i] = Some(self.step);
                 self.decision_phases[i] = self.procs[i].decision_phase();
-                if let Some(t) = &mut self.trace {
-                    t.record(Event::Decide {
-                        step: self.step,
-                        pid,
-                        value: v,
-                    });
-                }
+                self.publish(Event::Decide {
+                    step: self.step,
+                    pid,
+                    value: v,
+                });
             }
         }
         if self.procs[i].halted() && !self.halt_recorded[i] {
@@ -277,12 +307,10 @@ impl<M: 'static> Sim<M> {
             let dropped = self.buffers[i].len() as u64;
             self.metrics.messages_dropped += dropped;
             self.buffers[i].clear();
-            if let Some(t) = &mut self.trace {
-                t.record(Event::Halt {
-                    step: self.step,
-                    pid,
-                });
-            }
+            self.publish(Event::Halt {
+                step: self.step,
+                pid,
+            });
         }
     }
 
@@ -305,19 +333,34 @@ impl<M: 'static> Sim<M> {
     /// Runs the simulation to completion and reports what happened.
     pub fn run(mut self) -> RunReport {
         let n = self.n();
+        let observed = self.observed();
         let mut outbox: Vec<(ProcessId, M)> = Vec::new();
+
+        if let Some(s) = &self.subscriber {
+            let seed = self.rng.initial_seed();
+            s.lock()
+                .expect("subscriber lock poisoned")
+                .on_run_start(n, seed);
+        }
 
         // Initial atomic steps, in index order.
         for pid in ProcessId::all(n) {
             if self.procs[pid.index()].halted() {
                 continue;
             }
-            if let Some(t) = &mut self.trace {
-                t.record(Event::Start { pid });
-            }
-            let mut ctx = Ctx::new(pid, n, self.step, &mut outbox, &mut self.rng);
+            self.publish(Event::Start { pid });
+            let mut ctx =
+                Ctx::new(pid, n, self.step, &mut outbox, &mut self.rng).with_obs(observed);
             self.procs[pid.index()].on_start(&mut ctx);
+            let emitted = ctx.take_events();
             self.metrics.steps_by[pid.index()] += 1;
+            for event in emitted {
+                self.publish(Event::Protocol {
+                    step: self.step,
+                    pid,
+                    event,
+                });
+            }
             self.deliver_outbox(pid, &mut outbox);
             self.observe(pid);
         }
@@ -343,20 +386,28 @@ impl<M: 'static> Sim<M> {
             self.step += 1;
             self.metrics.messages_delivered += 1;
             self.metrics.steps_by[sel.to.index()] += 1;
-            if let Some(t) = &mut self.trace {
-                t.record(Event::Deliver {
+            self.publish(Event::Deliver {
+                step: self.step,
+                to: sel.to,
+                from: env.from,
+            });
+            let mut ctx =
+                Ctx::new(sel.to, n, self.step, &mut outbox, &mut self.rng).with_obs(observed);
+            self.procs[sel.to.index()].on_receive(env, &mut ctx);
+            let emitted = ctx.take_events();
+            for event in emitted {
+                self.publish(Event::Protocol {
                     step: self.step,
-                    to: sel.to,
-                    from: env.from,
+                    pid: sel.to,
+                    event,
                 });
             }
-            let mut ctx = Ctx::new(sel.to, n, self.step, &mut outbox, &mut self.rng);
-            self.procs[sel.to.index()].on_receive(env, &mut ctx);
             self.deliver_outbox(sel.to, &mut outbox);
             self.observe(sel.to);
         };
 
-        RunReport {
+        let subscriber = self.subscriber.take();
+        let report = RunReport {
             status,
             decisions: self.procs.iter().map(|p| p.decision()).collect(),
             roles: self.roles,
@@ -366,7 +417,13 @@ impl<M: 'static> Sim<M> {
             max_phase: self.procs.iter().map(|p| p.phase()).max().unwrap_or(0),
             metrics: self.metrics,
             trace: self.trace,
+        };
+        if let Some(s) = &subscriber {
+            s.lock()
+                .expect("subscriber lock poisoned")
+                .on_run_end(&report);
         }
+        report
     }
 }
 
@@ -381,7 +438,7 @@ impl<M> fmt::Debug for Sim<M> {
 }
 
 /// Everything observable about a finished run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct RunReport {
     /// Why the run ended.

@@ -1,13 +1,79 @@
 //! Execution traces: a compact record of what a run did.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ProcessId, Value};
 
-/// One observable event in a run. Payloads are deliberately not recorded —
-/// traces stay message-type-agnostic and cheap; protocol-level debugging can
-/// re-run the (deterministic) simulation with instrumentation instead.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+/// A structured protocol-level event, emitted by a protocol through
+/// [`Ctx::emit`](crate::Ctx::emit) and surfaced as [`Event::Protocol`].
+///
+/// Engine events ([`Event::Send`], [`Event::Deliver`], …) describe what the
+/// *message system* did; `ProtocolEvent`s describe what the *protocol state
+/// machine* did with it — the phase transitions, witness counts and echo
+/// tallies that §4 of the paper reasons about. Emission is free when
+/// observability is off (the engine leaves the context's event buffer
+/// disabled unless a trace or subscriber is attached).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolEvent {
+    /// The process advanced to `phase` (`phaseno ← phase`).
+    PhaseEntered {
+        /// The phase just entered.
+        phase: u64,
+    },
+    /// A value reached witness cardinality at this process (fail-stop
+    /// protocol: a message carried `cardinality > n/2`).
+    WitnessReached {
+        /// The phase in which the witness was observed.
+        phase: u64,
+        /// The witnessed value.
+        value: Value,
+        /// The cardinality that made it a witness.
+        cardinality: usize,
+    },
+    /// An initial/echo broadcast instance was accepted (malicious protocol:
+    /// more than `(n + k)/2` echoes for one `(subject, value, phase)`).
+    EchoAccepted {
+        /// The phase of the accepted broadcast.
+        phase: u64,
+        /// The process whose initial message was echoed.
+        subject: ProcessId,
+        /// The accepted value.
+        value: Value,
+        /// Distinct echoes counted at acceptance.
+        echoes: usize,
+    },
+    /// The process's current estimate changed between phases.
+    ValueFlipped {
+        /// The phase in which the flip happened.
+        phase: u64,
+        /// The previous estimate.
+        from: Value,
+        /// The new estimate.
+        to: Value,
+    },
+    /// A randomized protocol drew its local coin (Ben-Or's random step).
+    CoinFlipped {
+        /// The phase (round) of the flip.
+        phase: u64,
+        /// The value the coin chose.
+        value: Value,
+    },
+    /// The process irrevocably set `d_p` while in `phase`.
+    Decided {
+        /// The paper's decision phase (`phaseno` when `d_p` was set).
+        phase: u64,
+        /// The decision value.
+        value: Value,
+    },
+    /// The process left the protocol (post-decision exit broadcast done).
+    Halted {
+        /// The phase at halt.
+        phase: u64,
+    },
+}
+
+/// One observable event in a run. Message payloads are deliberately not
+/// recorded — traces stay message-type-agnostic and cheap; protocol-level
+/// state is carried by the structured [`Event::Protocol`] variant instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Event {
     /// A process took its initial atomic step.
     Start {
@@ -48,11 +114,20 @@ pub enum Event {
         /// The halting process.
         pid: ProcessId,
     },
+    /// A protocol-level event emitted by the process taking the step.
+    Protocol {
+        /// Global step counter when the event was emitted.
+        step: u64,
+        /// The emitting process.
+        pid: ProcessId,
+        /// The structured protocol event.
+        event: ProtocolEvent,
+    },
 }
 
 /// A bounded event log. Recording stops silently once `capacity` events have
 /// been collected; [`Trace::truncated`] reports whether that happened.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     events: Vec<Event>,
     capacity: usize,
@@ -141,12 +216,40 @@ impl Trace {
                 Event::Halt { step, pid } => {
                     let _ = writeln!(out, "[{step:>5}] {pid} halts");
                 }
+                Event::Protocol { step, pid, event } => {
+                    let _ = writeln!(out, "[{step:>5}] {pid} {}", render_protocol(event));
+                }
             }
         }
         if self.dropped > 0 {
             let _ = writeln!(out, "… plus {} unrecorded events", self.dropped);
         }
         out
+    }
+}
+
+fn render_protocol(e: &ProtocolEvent) -> String {
+    match e {
+        ProtocolEvent::PhaseEntered { phase } => format!("enters phase {phase}"),
+        ProtocolEvent::WitnessReached {
+            phase,
+            value,
+            cardinality,
+        } => format!("sees witness for {value} (cardinality {cardinality}) in phase {phase}"),
+        ProtocolEvent::EchoAccepted {
+            phase,
+            subject,
+            value,
+            echoes,
+        } => format!("accepts {subject}'s {value} ({echoes} echoes) in phase {phase}"),
+        ProtocolEvent::ValueFlipped { phase, from, to } => {
+            format!("flips {from} → {to} in phase {phase}")
+        }
+        ProtocolEvent::CoinFlipped { phase, value } => {
+            format!("flips coin → {value} in phase {phase}")
+        }
+        ProtocolEvent::Decided { phase, value } => format!("decides {value} in phase {phase}"),
+        ProtocolEvent::Halted { phase } => format!("leaves the protocol in phase {phase}"),
     }
 }
 
@@ -200,7 +303,45 @@ mod tests {
             pid: ProcessId::new(2),
         }); // dropped
         let text = t.render();
-        for needle in ["starts", "sends", "receives", "decides 0", "halts", "unrecorded"] {
+        for needle in [
+            "starts",
+            "sends",
+            "receives",
+            "decides 0",
+            "halts",
+            "unrecorded",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn protocol_events_render() {
+        let mut t = Trace::with_capacity(10);
+        t.record(Event::Protocol {
+            step: 2,
+            pid: ProcessId::new(1),
+            event: ProtocolEvent::PhaseEntered { phase: 3 },
+        });
+        t.record(Event::Protocol {
+            step: 4,
+            pid: ProcessId::new(0),
+            event: ProtocolEvent::WitnessReached {
+                phase: 3,
+                value: Value::One,
+                cardinality: 4,
+            },
+        });
+        t.record(Event::Protocol {
+            step: 5,
+            pid: ProcessId::new(0),
+            event: ProtocolEvent::Decided {
+                phase: 3,
+                value: Value::One,
+            },
+        });
+        let text = t.render();
+        for needle in ["enters phase 3", "witness for 1", "decides 1 in phase 3"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

@@ -3,8 +3,6 @@
 use core::fmt;
 use core::ops::Not;
 
-use serde::{Deserialize, Serialize};
-
 /// A binary consensus value, `0` or `1`.
 ///
 /// The paper's protocols decide values in `{0, 1}`; every protocol in this
@@ -25,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// ```
 ///
 /// [C-CUSTOM-TYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// The value `0`.
     Zero,

@@ -1,9 +1,7 @@
 //! Engine stop conditions and scripted scheduling, end to end.
 
 use simnet::scheduler::ScriptedScheduler;
-use simnet::{
-    Ctx, Envelope, Process, ProcessId, Role, RunStatus, Selection, Sim, StopWhen, Value,
-};
+use simnet::{Ctx, Envelope, Process, ProcessId, Role, RunStatus, Selection, Sim, StopWhen, Value};
 
 /// Decides after `threshold` deliveries, halts `lag` deliveries later.
 #[derive(Debug)]

@@ -1,0 +1,47 @@
+//! `btreport` — render a JSONL run trace as a per-phase timeline plus a
+//! cross-run summary.
+//!
+//! Usage:
+//!
+//! ```text
+//! btreport TRACE.jsonl
+//! ```
+//!
+//! The trace is the output of `obs::JsonlSink` (one JSON object per line,
+//! runs bracketed by `run_start`/`run_end` records). The report shows, per
+//! run, each phase's first entry, message counts, witness/acceptance tallies
+//! and decisions, then summarises phases-to-decision across all runs.
+
+use std::process::ExitCode;
+
+use obs::{parse_trace, render_report};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: btreport TRACE.jsonl");
+        return ExitCode::FAILURE;
+    };
+    if args.next().is_some() {
+        eprintln!("usage: btreport TRACE.jsonl (exactly one trace file)");
+        return ExitCode::FAILURE;
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("btreport: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parse_trace(&text) {
+        Ok(lines) => {
+            print!("{}", render_report(&lines));
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("btreport: {path} is not a valid trace: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,13 +13,18 @@
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+use obs::JsonlSink;
 
 use resilient_consensus::adversary::{
     ContrarianMalicious, CrashPlan, Crashing, EquivocatingEchoer, RandomMalicious, Silent,
     TwoFacedMalicious,
 };
 use resilient_consensus::benor::{BenOrConfig, BenOrProcess};
-use resilient_consensus::bt_core::{Config, FailStop, InitiallyDead, Malicious, Simple, Termination};
+use resilient_consensus::bt_core::{
+    Config, FailStop, InitiallyDead, Malicious, Simple, Termination,
+};
 use resilient_consensus::simnet::scheduler::{
     DelayingScheduler, DeliveryOrder, FairScheduler, PartitionScheduler, RoundRobinScheduler,
     Scheduler,
@@ -36,6 +41,7 @@ struct Options {
     termination: String,
     seed: u64,
     trace: bool,
+    jsonl: Option<String>,
 }
 
 impl Options {
@@ -49,6 +55,7 @@ impl Options {
             termination: "continue".into(),
             seed: 1,
             trace: false,
+            jsonl: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -64,9 +71,12 @@ impl Options {
                 "--scheduler" => opts.scheduler = value("--scheduler")?,
                 "--termination" => opts.termination = value("--termination")?,
                 "--seed" => {
-                    opts.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                    opts.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
                 }
                 "--trace" => opts.trace = true,
+                "--jsonl" => opts.jsonl = Some(value("--jsonl")?),
                 "--help" | "-h" => return Err(USAGE.into()),
                 other => return Err(format!("unknown flag {other}\n{USAGE}")),
             }
@@ -76,7 +86,7 @@ impl Options {
 }
 
 const USAGE: &str = "usage: consensus-explorer [--protocol failstop|malicious|simple|benor|dead]
-                          [--n N] [--k K] [--seed S] [--trace]
+                          [--n N] [--k K] [--seed S] [--trace] [--jsonl FILE]
                           [--attacker silent|contrarian|twofaced|equivocator|noise|crash]
                           [--scheduler fair|lifo|rr|delay|partition]
                           [--termination continue|wildcard]   (malicious only)";
@@ -99,7 +109,7 @@ fn inputs(count: usize) -> impl Iterator<Item = Value> {
     (0..count).map(|i| Value::from(i % 2 == 0))
 }
 
-fn run_malicious(o: &Options) -> Result<RunReport, String> {
+fn run_malicious(o: &Options, sink: Option<&Arc<Mutex<JsonlSink>>>) -> Result<RunReport, String> {
     let config = Config::malicious(o.n, o.k).map_err(|e| e.to_string())?;
     let termination = match o.termination.as_str() {
         "continue" => Termination::Continue,
@@ -130,10 +140,13 @@ fn run_malicious(o: &Options) -> Result<RunReport, String> {
     if o.trace {
         b.trace_capacity(100_000);
     }
+    if let Some(s) = sink {
+        b.subscriber(s.clone());
+    }
     Ok(b.build().run())
 }
 
-fn run_failstop(o: &Options) -> Result<RunReport, String> {
+fn run_failstop(o: &Options, sink: Option<&Arc<Mutex<JsonlSink>>>) -> Result<RunReport, String> {
     let config = Config::fail_stop(o.n, o.k).map_err(|e| e.to_string())?;
     let mut b = Sim::builder();
     for input in inputs(o.n - o.k) {
@@ -161,10 +174,13 @@ fn run_failstop(o: &Options) -> Result<RunReport, String> {
     if o.trace {
         b.trace_capacity(100_000);
     }
+    if let Some(s) = sink {
+        b.subscriber(s.clone());
+    }
     Ok(b.build().run())
 }
 
-fn run_simple(o: &Options) -> Result<RunReport, String> {
+fn run_simple(o: &Options, sink: Option<&Arc<Mutex<JsonlSink>>>) -> Result<RunReport, String> {
     let config = Config::malicious(o.n, o.k).map_err(|e| e.to_string())?;
     let mut b = Sim::builder();
     for input in inputs(o.n) {
@@ -175,10 +191,13 @@ fn run_simple(o: &Options) -> Result<RunReport, String> {
     if o.trace {
         b.trace_capacity(100_000);
     }
+    if let Some(s) = sink {
+        b.subscriber(s.clone());
+    }
     Ok(b.build().run())
 }
 
-fn run_benor(o: &Options) -> Result<RunReport, String> {
+fn run_benor(o: &Options, sink: Option<&Arc<Mutex<JsonlSink>>>) -> Result<RunReport, String> {
     let config = BenOrConfig::fail_stop(o.n, o.k).map_err(|e| e.to_string())?;
     let mut b = Sim::builder();
     for input in inputs(o.n) {
@@ -189,10 +208,13 @@ fn run_benor(o: &Options) -> Result<RunReport, String> {
     if o.trace {
         b.trace_capacity(100_000);
     }
+    if let Some(s) = sink {
+        b.subscriber(s.clone());
+    }
     Ok(b.build().run())
 }
 
-fn run_dead(o: &Options) -> Result<RunReport, String> {
+fn run_dead(o: &Options, sink: Option<&Arc<Mutex<JsonlSink>>>) -> Result<RunReport, String> {
     let mut b = Sim::builder();
     for input in inputs(o.n - o.k) {
         b.process(Box::new(InitiallyDead::new(o.n, input)), Role::Correct);
@@ -204,6 +226,9 @@ fn run_dead(o: &Options) -> Result<RunReport, String> {
     b.seed(o.seed).step_limit(2_000_000);
     if o.trace {
         b.trace_capacity(100_000);
+    }
+    if let Some(s) = sink {
+        b.subscriber(s.clone());
     }
     Ok(b.build().run())
 }
@@ -217,12 +242,16 @@ fn main() -> ExitCode {
         }
     };
 
+    let sink = opts
+        .jsonl
+        .as_ref()
+        .map(|_| Arc::new(Mutex::new(JsonlSink::new())));
     let report = match opts.protocol.as_str() {
-        "malicious" => run_malicious(&opts),
-        "failstop" => run_failstop(&opts),
-        "simple" => run_simple(&opts),
-        "benor" => run_benor(&opts),
-        "dead" => run_dead(&opts),
+        "malicious" => run_malicious(&opts, sink.as_ref()),
+        "failstop" => run_failstop(&opts, sink.as_ref()),
+        "simple" => run_simple(&opts, sink.as_ref()),
+        "benor" => run_benor(&opts, sink.as_ref()),
+        "dead" => run_dead(&opts, sink.as_ref()),
         other => Err(format!("unknown protocol {other}\n{USAGE}")),
     };
     let report = match report {
@@ -232,6 +261,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let (Some(path), Some(sink)) = (&opts.jsonl, &sink) {
+        let sink = sink.lock().expect("jsonl sink poisoned");
+        if let Err(err) = sink.write_to_file(path) {
+            eprintln!("cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote JSONL trace to {path} (replay with: btreport {path})");
+    }
 
     // Write through a fallible handle so a closed pipe (e.g. `| head`)
     // ends the program quietly instead of panicking.

@@ -9,7 +9,9 @@
 //! * [`adversary`] — crash schedules and Byzantine strategies;
 //! * [`benor`] — Ben-Or's randomized consensus, the §6 baseline;
 //! * [`markov`] — the §4 Markov-chain performance analysis;
-//! * [`modelcheck`] — executable lower-bound demonstrations.
+//! * [`modelcheck`] — executable lower-bound demonstrations;
+//! * [`obs`] — observability sinks (per-phase telemetry, JSONL traces,
+//!   console narration) for the simulator's subscriber hook.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@ pub use benor;
 pub use bt_core;
 pub use markov;
 pub use modelcheck;
+pub use obs;
 pub use simnet;
 
 pub use bt_core::{Config, FailStop, InitiallyDead, Malicious, Simple};

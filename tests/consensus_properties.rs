@@ -12,10 +12,11 @@ use resilient_consensus::simnet::scheduler::{
 };
 use resilient_consensus::simnet::{ProcessId, Role, RunReport, Sim, Value};
 
+/// A named scheduler constructor, rebuilt fresh for every run.
+type SchedulerFactory<M> = Box<dyn Fn() -> Box<dyn Scheduler<M>>>;
+
 /// Named scheduler factories, rebuilt fresh for every run.
-fn scheduler_factories<M: 'static>(
-    n: usize,
-) -> Vec<(&'static str, Box<dyn Fn() -> Box<dyn Scheduler<M>>>)> {
+fn scheduler_factories<M: 'static>(n: usize) -> Vec<(&'static str, SchedulerFactory<M>)> {
     let half: Vec<ProcessId> = ProcessId::all(n).take(n / 2).collect();
     vec![
         ("fair", Box::new(|| Box::new(FairScheduler::new()) as _)),

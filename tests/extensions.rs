@@ -8,9 +8,7 @@ use resilient_consensus::adversary::Silent;
 use resilient_consensus::bt_core::multivalued::{word_observer, MultiMsg, MultiValued};
 use resilient_consensus::bt_core::{Config, DeadMsg, InitiallyDead, MaliciousMsg};
 use resilient_consensus::simnet::scheduler::{DeliveryOrder, FairScheduler, PartitionScheduler};
-use resilient_consensus::simnet::{
-    Ctx, Envelope, Process, ProcessId, Role, Sim, Value,
-};
+use resilient_consensus::simnet::{Ctx, Envelope, Process, ProcessId, Role, Sim, Value};
 
 #[test]
 fn initially_dead_survives_partitioned_scheduling() {

@@ -1,0 +1,164 @@
+//! Integration tests for the observability layer: subscriber wiring, JSONL
+//! round-tripping, aggregator determinism, and the §4.1 phase bound measured
+//! through the telemetry path.
+
+use std::sync::{Arc, Mutex};
+
+use obs::{parse_trace, render_report, JsonlSink, PhaseAggregator, TraceLine};
+use resilient_consensus::bt_core::{self, Config};
+use resilient_consensus::simnet::{run_trials_observed, Sim, Subscriber};
+use resilient_consensus::Value;
+
+fn alternating(n: usize) -> Vec<Value> {
+    (0..n).map(|i| Value::from(i % 2 == 0)).collect()
+}
+
+/// A fail-stop system with a JSONL sink attached; returns the sink handle.
+fn failstop_with_sink(seed: u64) -> (Arc<Mutex<JsonlSink>>, simnet::RunReport) {
+    let config = Config::fail_stop(5, 2).unwrap();
+    let sink = Arc::new(Mutex::new(JsonlSink::new()));
+    let mut b = Sim::builder();
+    bt_core::failstop::build_correct_system(&mut b, config, &alternating(5));
+    b.seed(seed).subscriber(sink.clone());
+    let report = b.build().run();
+    (sink, report)
+}
+
+#[test]
+fn jsonl_trace_round_trips_and_replays_through_btreport() {
+    let (sink, report) = failstop_with_sink(11);
+    assert!(report.all_correct_decided());
+
+    let text = sink.lock().unwrap().contents();
+    let lines = parse_trace(&text).expect("sink output must parse");
+    assert!(matches!(lines[0], TraceLine::RunStart { n: 5, .. }));
+    assert!(matches!(lines.last(), Some(TraceLine::RunEnd { .. })));
+
+    // Re-encoding every event line reproduces the original text exactly:
+    // the codec is the identity on traces.
+    let mut rebuilt = JsonlSink::new();
+    for line in &lines {
+        match line {
+            TraceLine::RunStart { n, seed } => rebuilt.on_run_start(*n, *seed),
+            TraceLine::Event(event) => rebuilt.on_event(event),
+            TraceLine::RunEnd { .. } => rebuilt.on_run_end(&report),
+        }
+    }
+    assert_eq!(rebuilt.contents(), text);
+
+    // And the btreport renderer accepts the parsed trace.
+    let rendered = render_report(&lines);
+    assert!(rendered.contains("run 0: n=5"), "{rendered}");
+    assert!(rendered.contains("phases to decision"), "{rendered}");
+}
+
+#[test]
+fn identical_seeds_produce_identical_traces_and_aggregates() {
+    let (sink_a, _) = failstop_with_sink(42);
+    let (sink_b, _) = failstop_with_sink(42);
+    assert_eq!(
+        sink_a.lock().unwrap().contents(),
+        sink_b.lock().unwrap().contents(),
+        "the JSONL sink must be deterministic for a fixed seed"
+    );
+
+    let run_aggregated = || {
+        let config = Config::malicious(7, 2).unwrap();
+        let agg = Arc::new(Mutex::new(PhaseAggregator::new()));
+        run_trials_observed(
+            10,
+            7,
+            |seed| {
+                let mut b = Sim::builder();
+                bt_core::malicious::build_correct_system(&mut b, config, &alternating(7));
+                b.seed(seed).subscriber(agg.clone());
+                b.build()
+            },
+            |_, _| {},
+        );
+        let agg = agg.lock().unwrap();
+        (agg.phases().to_vec(), agg.render())
+    };
+    let (phases_a, render_a) = run_aggregated();
+    let (phases_b, render_b) = run_aggregated();
+    assert_eq!(phases_a, phases_b, "aggregation must replay identically");
+    assert_eq!(render_a, render_b);
+}
+
+#[test]
+fn aggregator_counts_match_engine_metrics() {
+    let config = Config::fail_stop(5, 2).unwrap();
+    let agg = Arc::new(Mutex::new(PhaseAggregator::new()));
+    let mut b = Sim::builder();
+    bt_core::failstop::build_correct_system(&mut b, config, &alternating(5));
+    b.seed(3).subscriber(agg.clone());
+    let report = b.build().run();
+
+    let agg = agg.lock().unwrap();
+    let total_sent: u64 = agg.phases().iter().map(|p| p.messages_sent).sum();
+    let total_delivered: u64 = agg.phases().iter().map(|p| p.deliveries).sum();
+    assert_eq!(total_sent, report.metrics.messages_sent);
+    assert_eq!(total_delivered, report.metrics.messages_delivered);
+    assert_eq!(agg.runs(), 1);
+    assert_eq!(agg.decided_runs(), 1);
+    // Every correct decision shows up as a protocol-level decision event.
+    let decisions: u64 = agg.phases().iter().map(|p| p.decisions).sum();
+    assert_eq!(decisions as usize, report.correct().count());
+}
+
+/// §4.1 (E3): the simple majority variant's mean phases-to-decision from a
+/// balanced start stays under the paper's "< 7 expected phases" bound,
+/// measured through the telemetry path over 200 seeded runs.
+#[test]
+fn simple_variant_mean_phases_stay_below_seven() {
+    let n = 12;
+    let config = Config::unchecked(n, (n - 1) / 3);
+    let inputs: Vec<Value> = (0..n).map(|i| Value::from(i < n / 2)).collect();
+    let agg = Arc::new(Mutex::new(PhaseAggregator::new()));
+    let stats = run_trials_observed(
+        200,
+        0xE3,
+        |seed| {
+            let mut b = Sim::builder();
+            bt_core::simple::build_correct_system(&mut b, config, &inputs);
+            b.seed(seed).step_limit(4_000_000).subscriber(agg.clone());
+            b.build()
+        },
+        |_, _| {},
+    );
+    assert_eq!(stats.trials, 200);
+    assert_eq!(stats.decided, 200, "every balanced run must decide");
+
+    let agg = agg.lock().unwrap();
+    assert_eq!(agg.runs(), 200);
+    let histogram = agg.phases_histogram();
+    assert_eq!(histogram.count, 200);
+    assert!(
+        histogram.mean < 7.0,
+        "mean phases-to-decision {} violates the §4.1 bound",
+        histogram.mean
+    );
+    // The aggregator and the runner compute the same distribution.
+    assert!((histogram.mean - stats.phases.mean).abs() < 1e-12);
+}
+
+#[test]
+fn unobserved_runs_still_report_identically() {
+    // Attaching a subscriber must not perturb the simulation itself: the
+    // observed and unobserved runs of one seed agree on every outcome.
+    let run = |observe: bool| {
+        let config = Config::fail_stop(5, 2).unwrap();
+        let mut b = Sim::builder();
+        bt_core::failstop::build_correct_system(&mut b, config, &alternating(5));
+        b.seed(23);
+        if observe {
+            b.subscriber(Arc::new(Mutex::new(PhaseAggregator::new())));
+        }
+        b.build().run()
+    };
+    let plain = run(false);
+    let observed = run(true);
+    assert_eq!(plain.decisions, observed.decisions);
+    assert_eq!(plain.steps, observed.steps);
+    assert_eq!(plain.metrics.messages_sent, observed.metrics.messages_sent);
+}

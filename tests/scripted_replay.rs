@@ -44,8 +44,7 @@ fn witness_schedule_found_and_unreachable_goal_rejected() {
     // 0 is unreachable: deciding it would need a 0-majority view, but
     // every complete view is the full (1, 0, 1) multiset.
     let zero = explorer.find_schedule(make(), |w| {
-        w.all_correct_decided()
-            && w.decisions().into_iter().flatten().next() == Some(Value::Zero)
+        w.all_correct_decided() && w.decisions().into_iter().flatten().next() == Some(Value::Zero)
     });
     assert!(zero.is_none(), "0 must be unreachable from (1,0,1) at k=0");
 
@@ -116,7 +115,9 @@ fn early_stop_modes_are_sound() {
         .early_stop(EarlyStop::OnAnyDecision)
         .explore(world);
     assert!(
-        any.outcomes.iter().any(|o| matches!(o, Outcome::Decided(_))),
+        any.outcomes
+            .iter()
+            .any(|o| matches!(o, Outcome::Decided(_))),
         "early stop on any decision still reports one: {:?}",
         any.outcomes
     );
