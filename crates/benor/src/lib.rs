@@ -52,6 +52,7 @@
 mod config;
 mod message;
 mod process;
+mod wire;
 
 pub use config::{BenOrConfig, BenOrConfigError, FaultModel};
 pub use message::{BenOrMsg, Exchange};

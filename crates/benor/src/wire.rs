@@ -1,0 +1,83 @@
+//! [`Wire`] codecs for the Ben-Or messages, mirroring the conventions of
+//! `bt_core`'s codecs: discriminant byte for enums, fields in declaration
+//! order, varint integers (see [`simnet::wire`]).
+
+use simnet::{Wire, WireError, WireReader};
+
+use crate::{BenOrMsg, Exchange};
+
+impl Wire for Exchange {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Exchange::Report => 0,
+            Exchange::Propose => 1,
+        });
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(Exchange::Report),
+            1 => Ok(Exchange::Propose),
+            _ => Err(WireError::Invalid {
+                what: "exchange",
+                offset,
+            }),
+        }
+    }
+}
+
+impl Wire for BenOrMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.exchange.encode(out);
+        self.round.encode(out);
+        self.value.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(BenOrMsg {
+            exchange: Wire::decode(r)?,
+            round: Wire::decode(r)?,
+            value: Wire::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use simnet::Value;
+
+    use super::*;
+
+    #[test]
+    fn round_trips_including_abstention_and_boundary_rounds() {
+        for msg in [
+            BenOrMsg::report(0, Value::Zero),
+            BenOrMsg::report(u64::MAX, Value::One),
+            BenOrMsg::propose(1, None),
+            BenOrMsg::propose(u64::MAX, Some(Value::Zero)),
+        ] {
+            let bytes = msg.to_bytes();
+            assert_eq!(BenOrMsg::from_bytes(&bytes), Ok(msg), "encoding: {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn bad_exchange_rejected() {
+        assert!(matches!(
+            Exchange::from_bytes(&[7]),
+            Err(WireError::Invalid {
+                what: "exchange",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let full = BenOrMsg::propose(300, Some(Value::One)).to_bytes();
+        for cut in 0..full.len() {
+            assert!(BenOrMsg::from_bytes(&full[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! [`Wire`] codecs for every Bracha-Toueg protocol message.
+//!
+//! Each implementation writes the struct's fields in declaration order and
+//! encodes enums as one discriminant byte — the conventions documented in
+//! [`simnet::wire`]. `MultiMsg` needs no impl of its own: it is the tuple
+//! `(u8, MaliciousMsg)`, covered by the generic pair codec.
+//!
+//! Decoding never trusts the peer: out-of-range discriminants and
+//! truncated payloads surface as [`WireError`]s, which the socket runtime
+//! treats exactly as the simulator treats a Byzantine payload — the bytes
+//! are adversary-controlled, the envelope sender is not.
+
+use simnet::{Wire, WireError, WireReader};
+
+use crate::initially_dead::DeadMsg;
+use crate::{FailStopMsg, MaliciousKind, MaliciousMsg, Phase, SimpleMsg};
+
+impl Wire for FailStopMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.phase.encode(out);
+        self.value.encode(out);
+        self.cardinality.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(FailStopMsg {
+            phase: Wire::decode(r)?,
+            value: Wire::decode(r)?,
+            cardinality: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for SimpleMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.phase.encode(out);
+        self.value.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SimpleMsg {
+            phase: Wire::decode(r)?,
+            value: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for Phase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Phase::At(t) => {
+                out.push(0);
+                t.encode(out);
+            }
+            Phase::Any => out.push(1),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(Phase::At(Wire::decode(r)?)),
+            1 => Ok(Phase::Any),
+            _ => Err(WireError::Invalid {
+                what: "phase stamp",
+                offset,
+            }),
+        }
+    }
+}
+
+impl Wire for MaliciousKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            MaliciousKind::Initial => 0,
+            MaliciousKind::Echo => 1,
+        });
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(MaliciousKind::Initial),
+            1 => Ok(MaliciousKind::Echo),
+            _ => Err(WireError::Invalid {
+                what: "malicious message kind",
+                offset,
+            }),
+        }
+    }
+}
+
+impl Wire for MaliciousMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.subject.encode(out);
+        self.value.encode(out);
+        self.phase.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(MaliciousMsg {
+            kind: Wire::decode(r)?,
+            subject: Wire::decode(r)?,
+            value: Wire::decode(r)?,
+            phase: Wire::decode(r)?,
+        })
+    }
+}
+
+impl Wire for DeadMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DeadMsg::Stage1 { value } => {
+                out.push(0);
+                value.encode(out);
+            }
+            DeadMsg::Stage2 { value, ancestors } => {
+                out.push(1);
+                value.encode(out);
+                ancestors.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(DeadMsg::Stage1 {
+                value: Wire::decode(r)?,
+            }),
+            1 => Ok(DeadMsg::Stage2 {
+                value: Wire::decode(r)?,
+                ancestors: Wire::decode(r)?,
+            }),
+            _ => Err(WireError::Invalid {
+                what: "initially-dead stage",
+                offset,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use core::fmt;
+
+    use simnet::{ProcessId, Value};
+
+    use super::*;
+    use crate::MultiMsg;
+
+    fn round_trip<T: Wire + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes), Ok(v), "encoding: {bytes:?}");
+    }
+
+    #[test]
+    fn failstop_round_trips_including_boundaries() {
+        round_trip(FailStopMsg {
+            phase: 0,
+            value: Value::Zero,
+            cardinality: 0,
+        });
+        round_trip(FailStopMsg {
+            phase: u64::MAX,
+            value: Value::One,
+            cardinality: usize::MAX,
+        });
+    }
+
+    #[test]
+    fn simple_round_trips() {
+        round_trip(SimpleMsg {
+            phase: 128,
+            value: Value::One,
+        });
+    }
+
+    #[test]
+    fn phase_wildcard_round_trips() {
+        round_trip(Phase::Any);
+        round_trip(Phase::At(0));
+        round_trip(Phase::At(u64::MAX));
+    }
+
+    #[test]
+    fn malicious_round_trips() {
+        for kind in [MaliciousKind::Initial, MaliciousKind::Echo] {
+            round_trip(MaliciousMsg {
+                kind,
+                subject: ProcessId::new(6),
+                value: Value::Zero,
+                phase: Phase::Any,
+            });
+        }
+    }
+
+    #[test]
+    fn multi_msg_round_trips_via_pair_codec() {
+        let m: MultiMsg = (
+            255,
+            MaliciousMsg::initial(ProcessId::new(3), Value::One, 17),
+        );
+        round_trip(m);
+    }
+
+    #[test]
+    fn dead_msg_round_trips_max_arity() {
+        round_trip(DeadMsg::Stage1 { value: Value::One });
+        round_trip(DeadMsg::Stage2 {
+            value: Value::Zero,
+            ancestors: ProcessId::all(64).collect(),
+        });
+        round_trip(DeadMsg::Stage2 {
+            value: Value::One,
+            ancestors: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        assert!(matches!(
+            Phase::from_bytes(&[9]),
+            Err(WireError::Invalid {
+                what: "phase stamp",
+                ..
+            })
+        ));
+        assert!(matches!(
+            MaliciousKind::from_bytes(&[2]),
+            Err(WireError::Invalid { .. })
+        ));
+        assert!(matches!(
+            DeadMsg::from_bytes(&[4, 0]),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let full = MaliciousMsg::echo(ProcessId::new(2), Value::One, 9).to_bytes();
+        for cut in 0..full.len() {
+            assert!(
+                MaliciousMsg::from_bytes(&full[..cut]).is_err(),
+                "prefix of length {cut} must not decode"
+            );
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! `btnode` — boot one networked consensus node from the command line.
+//!
+//! Usage:
+//!
+//! ```text
+//! btnode --id I --n N --k K --proto failstop|simple|malicious|benor \
+//!        --input 0|1 --listen HOST:PORT --peer HOST:PORT [--peer ...] \
+//!        [--seed S] [--timeout SECS] [--jsonl PATH]
+//! ```
+//!
+//! `--peer` must appear exactly `N` times, in process-id order; entry `I`
+//! is this node's own address (nodes never dial themselves, so it is only
+//! positional). Start all `N` nodes in any order — dials retry with
+//! backoff until the whole cluster is up, so there is no required boot
+//! sequence. The process exits 0 once this node decides, printing the
+//! decision, or 1 on timeout.
+//!
+//! With `--jsonl` the node writes its own perspective of the run (its
+//! events only — each node sees its own trace) as `obs`-format JSONL
+//! consumable by `btreport`.
+
+use std::net::{SocketAddr, TcpListener};
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use benor::{BenOrConfig, BenOrProcess};
+use bt_core::{Config, FailStop, Malicious, Simple};
+use netstack::{spawn, FaultPlan, NodeConfig, NodeHandle};
+use obs::JsonlSink;
+use simnet::{
+    Metrics, Process, ProcessId, Role, RunReport, RunStatus, SharedSubscriber, Subscriber, Value,
+    Wire,
+};
+
+const USAGE: &str = "usage: btnode --id I --n N --k K \
+--proto failstop|simple|malicious|benor --input 0|1 \
+--listen HOST:PORT --peer HOST:PORT [--peer ...] \
+[--seed S] [--timeout SECS] [--jsonl PATH]";
+
+struct Args {
+    id: usize,
+    n: usize,
+    k: usize,
+    proto: String,
+    input: Value,
+    listen: SocketAddr,
+    peers: Vec<SocketAddr>,
+    seed: u64,
+    timeout: Duration,
+    jsonl: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut id = None;
+    let mut n = None;
+    let mut k = None;
+    let mut proto = None;
+    let mut input = None;
+    let mut listen = None;
+    let mut peers = Vec::new();
+    let mut seed = 0u64;
+    let mut timeout = Duration::from_secs(60);
+    let mut jsonl = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--id" => id = Some(parse(&value("--id")?, "--id")?),
+            "--n" => n = Some(parse(&value("--n")?, "--n")?),
+            "--k" => k = Some(parse(&value("--k")?, "--k")?),
+            "--proto" => proto = Some(value("--proto")?),
+            "--input" => {
+                input = Some(match value("--input")?.as_str() {
+                    "0" => Value::Zero,
+                    "1" => Value::One,
+                    other => return Err(format!("--input must be 0 or 1, got {other}")),
+                });
+            }
+            "--listen" => listen = Some(parse_addr(&value("--listen")?)?),
+            "--peer" => peers.push(parse_addr(&value("--peer")?)?),
+            "--seed" => seed = parse(&value("--seed")?, "--seed")?,
+            "--timeout" => {
+                timeout = Duration::from_secs(parse(&value("--timeout")?, "--timeout")?);
+            }
+            "--jsonl" => jsonl = Some(value("--jsonl")?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+
+    let args = Args {
+        id: id.ok_or("--id is required")?,
+        n: n.ok_or("--n is required")?,
+        k: k.ok_or("--k is required")?,
+        proto: proto.ok_or("--proto is required")?,
+        input: input.ok_or("--input is required")?,
+        listen: listen.ok_or("--listen is required")?,
+        peers,
+        seed,
+        timeout,
+        jsonl,
+    };
+    if args.peers.len() != args.n {
+        return Err(format!(
+            "--peer must appear exactly n={} times (got {}), in process-id order",
+            args.n,
+            args.peers.len()
+        ));
+    }
+    if args.id >= args.n {
+        return Err(format!("--id {} is outside 0..{}", args.id, args.n));
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: cannot parse {s:?} as a number"))
+}
+
+fn parse_addr(s: &str) -> Result<SocketAddr, String> {
+    s.parse()
+        .map_err(|_| format!("cannot parse {s:?} as HOST:PORT"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("btnode: {err}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let listener = match TcpListener::bind(args.listen) {
+        Ok(l) => l,
+        Err(err) => {
+            eprintln!("btnode: cannot bind {}: {err}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sink = Arc::new(Mutex::new(JsonlSink::new()));
+    let subscriber: Option<SharedSubscriber> = if args.jsonl.is_some() {
+        sink.lock()
+            .expect("sink lock")
+            .on_run_start(args.n, args.seed);
+        Some(sink.clone() as SharedSubscriber)
+    } else {
+        None
+    };
+
+    let booted = match args.proto.as_str() {
+        "failstop" => {
+            let config = match Config::fail_stop(args.n, args.k) {
+                Ok(c) => c,
+                Err(e) => return config_error(e),
+            };
+            boot(
+                &args,
+                listener,
+                subscriber,
+                Box::new(FailStop::new(config, args.input)),
+            )
+        }
+        "simple" => {
+            let config = match Config::fail_stop(args.n, args.k) {
+                Ok(c) => c,
+                Err(e) => return config_error(e),
+            };
+            boot(
+                &args,
+                listener,
+                subscriber,
+                Box::new(Simple::new(config, args.input)),
+            )
+        }
+        "malicious" => {
+            let config = match Config::malicious(args.n, args.k) {
+                Ok(c) => c,
+                Err(e) => return config_error(e),
+            };
+            boot(
+                &args,
+                listener,
+                subscriber,
+                Box::new(Malicious::new(config, args.input)),
+            )
+        }
+        "benor" => {
+            let config = match BenOrConfig::fail_stop(args.n, args.k) {
+                Ok(c) => c,
+                Err(e) => return config_error(e),
+            };
+            boot(
+                &args,
+                listener,
+                subscriber,
+                Box::new(BenOrProcess::new(config, args.input)),
+            )
+        }
+        other => {
+            eprintln!("btnode: unknown protocol {other:?}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut node = match booted {
+        Ok(node) => node,
+        Err(err) => {
+            eprintln!("btnode: cannot boot node: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Wait for this node's decision (or the deadline).
+    let deadline = Instant::now() + args.timeout;
+    let decided = loop {
+        let status = node.status();
+        if let Some(value) = status.decision {
+            println!(
+                "p{} decided {:?} in phase {} after {} steps",
+                args.id,
+                value,
+                status.decision_phase.unwrap_or(0),
+                status.steps,
+            );
+            break true;
+        }
+        if Instant::now() >= deadline {
+            eprintln!("btnode: p{} undecided after {:?}", args.id, args.timeout);
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // Post-decision grace: let exit broadcasts drain so peers can finish.
+    if decided {
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    node.shutdown();
+
+    if let Some(path) = &args.jsonl {
+        let report = single_node_report(&args, &node, decided);
+        let mut sink = sink.lock().expect("sink lock");
+        sink.on_run_end(&report);
+        if let Err(err) = sink.write_to_file(path) {
+            eprintln!("btnode: cannot write {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if decided {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn config_error(e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("btnode: {e}");
+    ExitCode::FAILURE
+}
+
+fn boot<M: Wire + Send + 'static>(
+    args: &Args,
+    listener: TcpListener,
+    subscriber: Option<SharedSubscriber>,
+    process: Box<dyn Process<Msg = M> + Send>,
+) -> std::io::Result<NodeHandle> {
+    let cfg = NodeConfig {
+        id: ProcessId::new(args.id),
+        n: args.n,
+        seed: args.seed.wrapping_add(args.id as u64),
+        fault: FaultPlan::reliable(),
+    };
+    spawn(cfg, listener, args.peers.clone(), process, subscriber)
+}
+
+/// This node's perspective of the run: its own row is filled in, the other
+/// processes' rows are unknown (`None`) — one btnode cannot observe its
+/// peers' decisions, only its own.
+fn single_node_report(args: &Args, node: &NodeHandle, decided: bool) -> RunReport {
+    let status = node.status();
+    let mut decisions = vec![None; args.n];
+    let mut decision_steps = vec![None; args.n];
+    let mut decision_phases = vec![None; args.n];
+    decisions[args.id] = status.decision;
+    decision_steps[args.id] = status.decision_step;
+    decision_phases[args.id] = status.decision_phase;
+    let mut metrics = Metrics::new(args.n);
+    metrics.messages_sent = node.messages_sent();
+    metrics.messages_delivered = node.messages_delivered();
+    metrics.messages_dropped = node.messages_dropped();
+    metrics.sent_by[args.id] = node.messages_sent();
+    metrics.steps_by[args.id] = status.steps;
+    RunReport::synthesize(
+        if decided {
+            RunStatus::Stopped
+        } else {
+            RunStatus::StepLimitReached
+        },
+        decisions,
+        vec![Role::Correct; args.n],
+        status.steps,
+        decision_steps,
+        decision_phases,
+        status.phase,
+        metrics,
+    )
+}

@@ -1,0 +1,260 @@
+//! Link fault injection: the simnet adversarial schedulers, translated to
+//! wall-clock time.
+//!
+//! In the simulator, the adversary is the *scheduler*: `DelayingScheduler`
+//! starves chosen links, `PartitionScheduler` splits the system in two,
+//! and the fair scheduler's randomness realises §2.3's probabilistic
+//! assumption. Over sockets there is no scheduler to replace, so the same
+//! adversities are injected where a real network would produce them — on
+//! the sender's outbound path, per link:
+//!
+//! * **delay** — each message draws a uniform extra latency, the
+//!   wall-clock analogue of the fair scheduler's reordering freedom
+//!   (messages on *different* links overtake each other; a single link
+//!   stays FIFO, which the paper's model permits);
+//! * **partition** — messages crossing the cut are held back until the
+//!   partition heals, the analogue of `PartitionScheduler`'s deferral.
+//!   A healing partition only *delays* traffic, so the §2.1 reliable
+//!   channel assumption still holds and consensus must still terminate;
+//! * **drop** — true message loss. This one has no simnet counterpart
+//!   because the paper's model forbids it; it exists to demonstrate,
+//!   on stress runs, that the protocols' liveness (not safety) is what
+//!   breaks when reliability is violated.
+//!
+//! All randomness comes from one seeded [`prng::Prng`], so a given plan +
+//! seed injects the same fault pattern per message index on every run
+//! (arrival timing still depends on the OS scheduler — networked runs are
+//! reproducible in *pattern*, not in interleaving).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use prng::Prng;
+use simnet::ProcessId;
+
+/// Declarative description of the faults to inject on outbound links.
+///
+/// The default plan is a perfectly reliable network: no delay, no drops,
+/// no partition.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    delay: Option<(Duration, Duration)>,
+    drop_per_mille: u16,
+    partition: Option<Partition>,
+}
+
+/// A two-sided network partition that heals after a fixed duration.
+#[derive(Clone, Debug)]
+struct Partition {
+    /// Membership of side A (everything else is side B).
+    side_a: Vec<bool>,
+    /// How long after node start the cut lasts.
+    heal_after: Duration,
+}
+
+impl FaultPlan {
+    /// A perfectly reliable network (the default).
+    #[must_use]
+    pub fn reliable() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a uniform per-message delay in `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    #[must_use]
+    pub fn with_delay(mut self, min: Duration, max: Duration) -> Self {
+        assert!(min <= max, "delay range must be ordered");
+        self.delay = Some((min, max));
+        self
+    }
+
+    /// Drops each message independently with probability
+    /// `per_mille / 1000`. Violates the paper's reliable-channel
+    /// assumption — use only to study what loss does to liveness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`.
+    #[must_use]
+    pub fn with_drop(mut self, per_mille: u16) -> Self {
+        assert!(per_mille <= 1000, "probability is at most 1000‰");
+        self.drop_per_mille = per_mille;
+        self
+    }
+
+    /// Partitions `side_a` (indices into the system) from the rest for
+    /// `heal_after`, measured from injector creation. Cross-cut messages
+    /// are delayed until healing, not lost.
+    #[must_use]
+    pub fn with_partition(mut self, n: usize, side_a: &[usize], heal_after: Duration) -> Self {
+        let mut members = vec![false; n];
+        for &i in side_a {
+            members[i] = true;
+        }
+        self.partition = Some(Partition {
+            side_a: members,
+            heal_after,
+        });
+        self
+    }
+
+    /// Whether this plan can lose messages (and therefore void the
+    /// reliable-channel guarantee consensus termination rests on).
+    #[must_use]
+    pub fn is_lossy(&self) -> bool {
+        self.drop_per_mille > 0
+    }
+}
+
+/// What the injector decided for one message on one link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkAction {
+    /// Send immediately.
+    Deliver,
+    /// Hold the message back for the given duration, then send.
+    DelayBy(Duration),
+    /// Lose the message.
+    Drop,
+}
+
+/// Applies a [`FaultPlan`] to a node's outbound messages.
+///
+/// One injector lives in each node; its clock starts when the node boots,
+/// which is what partition healing is measured against.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Mutex<Prng>,
+    epoch: Instant,
+}
+
+impl FaultInjector {
+    /// Creates an injector whose random stream is derived from `seed`.
+    #[must_use]
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        FaultInjector {
+            plan,
+            rng: Mutex::new(Prng::seed_from_u64(seed)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Decides the fate of one message from `from` to `to`.
+    pub fn action(&self, from: ProcessId, to: ProcessId) -> LinkAction {
+        let mut rng = self.rng.lock().expect("fault rng poisoned");
+        if self.plan.drop_per_mille > 0 && rng.below_u64(1000) < u64::from(self.plan.drop_per_mille)
+        {
+            return LinkAction::Drop;
+        }
+        let mut delay = Duration::ZERO;
+        if let Some((min, max)) = self.plan.delay {
+            let span = max.saturating_sub(min);
+            let extra = if span.is_zero() {
+                Duration::ZERO
+            } else {
+                let nanos = u64::try_from(span.as_nanos()).unwrap_or(u64::MAX);
+                Duration::from_nanos(rng.below_u64(nanos.saturating_add(1)))
+            };
+            delay = min + extra;
+        }
+        if let Some(partition) = &self.plan.partition {
+            let cut = partition.side_a.get(from.index()).copied().unwrap_or(false)
+                != partition.side_a.get(to.index()).copied().unwrap_or(false);
+            if cut {
+                let elapsed = self.epoch.elapsed();
+                if elapsed < partition.heal_after {
+                    delay = delay.max(partition.heal_after - elapsed);
+                }
+            }
+        }
+        if delay.is_zero() {
+            LinkAction::Deliver
+        } else {
+            LinkAction::DelayBy(delay)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_plan_always_delivers() {
+        let inj = FaultInjector::new(FaultPlan::reliable(), 1);
+        for i in 0..50 {
+            assert_eq!(
+                inj.action(ProcessId::new(i % 4), ProcessId::new((i + 1) % 4)),
+                LinkAction::Deliver
+            );
+        }
+    }
+
+    #[test]
+    fn full_drop_loses_everything() {
+        let inj = FaultInjector::new(FaultPlan::reliable().with_drop(1000), 1);
+        for _ in 0..20 {
+            assert_eq!(
+                inj.action(ProcessId::new(0), ProcessId::new(1)),
+                LinkAction::Drop
+            );
+        }
+    }
+
+    #[test]
+    fn delay_stays_in_range() {
+        let min = Duration::from_millis(2);
+        let max = Duration::from_millis(9);
+        let inj = FaultInjector::new(FaultPlan::reliable().with_delay(min, max), 7);
+        for _ in 0..100 {
+            match inj.action(ProcessId::new(0), ProcessId::new(1)) {
+                LinkAction::DelayBy(d) => assert!(d >= min && d <= max, "{d:?}"),
+                other => panic!("expected a delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn partition_delays_cross_cut_only_until_heal() {
+        let plan = FaultPlan::reliable().with_partition(4, &[0, 1], Duration::from_millis(40));
+        let inj = FaultInjector::new(plan, 3);
+        // Cross-cut: delayed by (roughly) the remaining partition time.
+        match inj.action(ProcessId::new(0), ProcessId::new(2)) {
+            LinkAction::DelayBy(d) => assert!(d <= Duration::from_millis(40)),
+            other => panic!("expected cross-cut delay, got {other:?}"),
+        }
+        // Same side: unaffected.
+        assert_eq!(
+            inj.action(ProcessId::new(0), ProcessId::new(1)),
+            LinkAction::Deliver
+        );
+        std::thread::sleep(Duration::from_millis(50));
+        // Healed: cross-cut flows again.
+        assert_eq!(
+            inj.action(ProcessId::new(0), ProcessId::new(2)),
+            LinkAction::Deliver
+        );
+    }
+
+    #[test]
+    fn same_plan_and_seed_repeat_the_same_pattern() {
+        let plan = FaultPlan::reliable().with_drop(500);
+        let a = FaultInjector::new(plan.clone(), 42);
+        let b = FaultInjector::new(plan, 42);
+        for _ in 0..64 {
+            assert_eq!(
+                a.action(ProcessId::new(0), ProcessId::new(1)),
+                b.action(ProcessId::new(0), ProcessId::new(1))
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_detection() {
+        assert!(!FaultPlan::reliable().is_lossy());
+        assert!(FaultPlan::reliable().with_drop(1).is_lossy());
+    }
+}

@@ -1,0 +1,52 @@
+//! A threaded TCP runtime that runs the paper's protocols over real
+//! sockets.
+//!
+//! The simulator (`simnet`) executes [`Process`](simnet::Process) state
+//! machines under a discrete-event scheduler; this crate executes the
+//! *same* state machines — unchanged, by the same trait — as `n`
+//! multi-threaded nodes exchanging length-prefixed
+//! [`Wire`](simnet::Wire)-encoded frames over `std::net` TCP. The mapping
+//! from the paper's model (and the simulator's realisation of it) to
+//! sockets is:
+//!
+//! | paper §2.1 model            | simnet                    | netstack |
+//! |-----------------------------|---------------------------|----------|
+//! | reliable channel            | buffer, never loses       | reconnect + retransmit + seq-dedup ([`conn`], [`frame`]) |
+//! | arbitrary finite delay      | scheduler's choice        | OS scheduling + injected delay ([`fault`]) |
+//! | authenticated sender (§3.1) | envelope `from` field     | per-connection `Hello` handshake ([`frame`]) |
+//! | atomic step                 | engine calls `on_receive` | single-threaded event loop per node ([`node`]) |
+//! | adversarial scheduler       | `DelayingScheduler` etc.  | [`FaultPlan`] delay/partition/drop knobs |
+//!
+//! Module map:
+//!
+//! * [`frame`] — length-prefixed framing and the connection protocol;
+//! * [`conn`] (private) — per-peer sender threads with reconnect/backoff;
+//! * [`fault`] — seeded link-fault injection (delay, drop, partition);
+//! * [`node`] — one node: sockets, event loop, status, obs publishing;
+//! * [`cluster`] — the loopback harness: `Cluster::spawn(n, k, proto)`,
+//!   inject inputs/faults, `await_verdict`.
+//!
+//! The `btnode` binary boots a single node from the command line so a
+//! cluster can also be assembled by hand across terminals (or machines).
+//!
+//! Networked runs publish the same [`Event`](simnet::Event) stream to the
+//! same [`Subscriber`](simnet::Subscriber) sinks as simulated runs, so
+//! JSONL traces and `btreport` work on both. One honest caveat: event
+//! order across *nodes* reflects real concurrency, so unlike the
+//! simulator a networked trace is reproducible in content but not in
+//! interleaving.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cluster;
+mod conn;
+pub mod fault;
+pub mod frame;
+pub mod node;
+
+pub use cluster::{sockets_available, Cluster, ClusterOptions, CrashPlan, NodeFault, Proto};
+pub use fault::{FaultInjector, FaultPlan, LinkAction};
+pub use frame::{read_frame, write_frame, Frame, MAX_FRAME_LEN};
+pub use node::{spawn, NetCounters, NodeConfig, NodeHandle, NodeStatus};

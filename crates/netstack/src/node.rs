@@ -1,0 +1,539 @@
+//! One networked consensus node: a [`Process`] state machine, its event
+//! loop, and its socket plumbing.
+//!
+//! A node runs the *same* state machine the simulator runs — the type is
+//! `Box<dyn Process<Msg = M> + Send>`, unchanged — but the engine around
+//! it is threads and sockets instead of a discrete-event loop:
+//!
+//! ```text
+//!            ┌────────────────────────────── node ─────────────────────────────┐
+//!  peers ──▶ │ acceptor ─▶ readers ─▶ inbound queue ─▶ event loop ─▶ Process  │
+//!            │                (seq dedup)                  │   ▲               │
+//!            │                                          outbox  rng (seeded)   │
+//!            │                                             │                   │
+//!            │            fault injector ─▶ per-peer sender threads ──────────▶│ ──▶ peers
+//!            └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The event loop is the only thread that touches the process, so the
+//! state machine needs no locking and keeps the simulator's atomic-step
+//! semantics: one delivery, one computation, a finite set of sends that
+//! leave before the next delivery is consumed. Self-addressed sends (the
+//! paper's broadcasts include the sender) short-circuit through the
+//! inbound queue — a node's channel to itself is memory, not a socket,
+//! and is trivially reliable.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use simnet::{Ctx, Envelope, Event, Process, ProcessId, SharedSubscriber, SimRng, Wire};
+
+use crate::conn::{spawn_sender, LinkStats, OutFrame};
+use crate::fault::{FaultInjector, FaultPlan, LinkAction};
+use crate::frame::{read_frame, Frame};
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Static description of one node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This node's identity (also its index into `peers`).
+    pub id: ProcessId,
+    /// System size.
+    pub n: usize,
+    /// Seed for this node's deterministic random stream (randomized
+    /// protocols draw coins from it, exactly as in the simulator).
+    pub seed: u64,
+    /// Faults to inject on this node's outbound links.
+    pub fault: FaultPlan,
+}
+
+/// A live snapshot of a node's protocol state, updated by the event loop
+/// after every atomic step.
+#[derive(Clone, Debug, Default)]
+pub struct NodeStatus {
+    /// The decision `d_p`, once set (irrevocable).
+    pub decision: Option<simnet::Value>,
+    /// The phase in which the decision was made.
+    pub decision_phase: Option<u64>,
+    /// The node-local atomic step at which the decision was made.
+    pub decision_step: Option<u64>,
+    /// Current `phaseno`.
+    pub phase: u64,
+    /// Node-local atomic steps taken (start + deliveries).
+    pub steps: u64,
+    /// Whether the process has left the protocol.
+    pub halted: bool,
+}
+
+/// Message-level counters for one node.
+#[derive(Debug, Default)]
+pub struct NetCounters {
+    /// Messages the protocol asked to send (including to self).
+    pub sent: AtomicU64,
+    /// Messages delivered to the process.
+    pub delivered: AtomicU64,
+    /// Messages the fault injector dropped on purpose.
+    pub injected_drops: AtomicU64,
+    /// Messages discarded because this process had halted.
+    pub dropped_at_halted: AtomicU64,
+}
+
+/// A handle to a spawned node: status snapshots plus shutdown.
+#[derive(Debug)]
+pub struct NodeHandle {
+    id: ProcessId,
+    status: Arc<Mutex<NodeStatus>>,
+    counters: Arc<NetCounters>,
+    link_stats: Vec<Arc<LinkStats>>,
+    shutdown: Arc<AtomicBool>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NodeHandle {
+    /// This node's identity.
+    #[must_use]
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// A snapshot of the node's protocol state.
+    #[must_use]
+    pub fn status(&self) -> NodeStatus {
+        self.status.lock().expect("status lock poisoned").clone()
+    }
+
+    /// The node's decision, if it has made one.
+    #[must_use]
+    pub fn decision(&self) -> Option<simnet::Value> {
+        self.status().decision
+    }
+
+    /// Total messages this node's protocol sent (including self-sends).
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.counters.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total messages delivered to this node's protocol.
+    #[must_use]
+    pub fn messages_delivered(&self) -> u64 {
+        self.counters.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Messages lost to fault injection plus messages addressed to this
+    /// node after it halted.
+    #[must_use]
+    pub fn messages_dropped(&self) -> u64 {
+        self.counters.injected_drops.load(Ordering::Relaxed)
+            + self.counters.dropped_at_halted.load(Ordering::Relaxed)
+    }
+
+    /// Times any outbound link of this node had to redial.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.link_stats
+            .iter()
+            .map(|s| s.reconnects.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Asks every thread to stop, unblocks them, and joins them. Safe to
+    /// call more than once.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock reader threads stuck in read_exact.
+        for s in self
+            .streams
+            .lock()
+            .expect("stream registry poisoned")
+            .iter()
+        {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NodeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Boots a node: takes ownership of its (already bound) listener, dials
+/// its peers lazily, runs `process` on the event loop, and streams events
+/// to `subscriber` if one is attached.
+///
+/// Binding the listener *before* spawning (and passing it in) is the
+/// loopback-cluster handshake discipline: all addresses exist before any
+/// node dials, so a dial failure is transient, never fatal.
+///
+/// # Errors
+///
+/// Propagates listener configuration failures; later socket errors are
+/// handled by reconnection, not surfaced here.
+pub fn spawn<M>(
+    cfg: NodeConfig,
+    listener: TcpListener,
+    peers: Vec<SocketAddr>,
+    process: Box<dyn Process<Msg = M> + Send>,
+    subscriber: Option<SharedSubscriber>,
+) -> io::Result<NodeHandle>
+where
+    M: Wire + Send + 'static,
+{
+    assert_eq!(peers.len(), cfg.n, "one address per process");
+    assert!(cfg.id.index() < cfg.n, "node id within the system");
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let status = Arc::new(Mutex::new(NodeStatus::default()));
+    let counters = Arc::new(NetCounters::default());
+    let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut threads = Vec::new();
+
+    // Inbound: readers push decoded envelopes, the event loop pops them.
+    let (inbound_tx, inbound_rx) = mpsc::channel::<(ProcessId, M)>();
+
+    // Receiver-side exactly-once: next expected sequence number per peer.
+    let next_seq: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; cfg.n]));
+
+    // Outbound: one sender thread per remote peer.
+    let mut peer_txs: Vec<Option<mpsc::Sender<OutFrame>>> = Vec::with_capacity(cfg.n);
+    let mut link_stats = Vec::new();
+    for (i, addr) in peers.iter().enumerate() {
+        if i == cfg.id.index() {
+            peer_txs.push(None);
+            continue;
+        }
+        let (tx, stats, handle) = spawn_sender(cfg.id, *addr, Arc::clone(&shutdown));
+        peer_txs.push(Some(tx));
+        link_stats.push(stats);
+        threads.push(handle);
+    }
+
+    // Acceptor: non-blocking accept loop so shutdown can interrupt it.
+    listener.set_nonblocking(true)?;
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let streams = Arc::clone(&streams);
+        let inbound_tx = inbound_tx.clone();
+        let next_seq = Arc::clone(&next_seq);
+        let n = cfg.n;
+        let me = cfg.id;
+        let handle = thread::Builder::new()
+            .name(format!("netstack-accept-p{}", me.index()))
+            .spawn(move || {
+                let mut reader_threads = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nodelay(true);
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            if let Ok(clone) = stream.try_clone() {
+                                streams
+                                    .lock()
+                                    .expect("stream registry poisoned")
+                                    .push(clone);
+                            }
+                            let tx = inbound_tx.clone();
+                            let seqs = Arc::clone(&next_seq);
+                            let flag = Arc::clone(&shutdown);
+                            if let Ok(h) = thread::Builder::new()
+                                .name(format!("netstack-read-p{}", me.index()))
+                                .spawn(move || reader_loop(stream, n, &tx, &seqs, &flag))
+                            {
+                                reader_threads.push(h);
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                for h in reader_threads {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawning the acceptor thread");
+        threads.push(handle);
+    }
+
+    // The event loop: owns the process.
+    let id = cfg.id;
+    {
+        let shutdown = Arc::clone(&shutdown);
+        let status = Arc::clone(&status);
+        let counters = Arc::clone(&counters);
+        let injector = FaultInjector::new(cfg.fault.clone(), cfg.seed ^ 0x6e65_7473); // distinct stream from the protocol's
+        let handle = thread::Builder::new()
+            .name(format!("netstack-loop-p{}", cfg.id.index()))
+            .spawn(move || {
+                event_loop(
+                    &cfg,
+                    process,
+                    &inbound_rx,
+                    inbound_tx,
+                    peer_txs,
+                    &injector,
+                    &status,
+                    &counters,
+                    subscriber,
+                    &shutdown,
+                );
+            })
+            .expect("spawning the event loop thread");
+        threads.push(handle);
+    }
+
+    Ok(NodeHandle {
+        id,
+        status,
+        counters,
+        link_stats,
+        shutdown,
+        streams,
+        threads,
+    })
+}
+
+/// Reads frames off one inbound connection until EOF, error, or shutdown.
+fn reader_loop<M: Wire>(
+    mut stream: TcpStream,
+    n: usize,
+    inbound_tx: &mpsc::Sender<(ProcessId, M)>,
+    next_seq: &Mutex<Vec<u64>>,
+    shutdown: &AtomicBool,
+) {
+    // Handshake: the first frame must identify the peer.
+    let from = match read_frame(&mut stream) {
+        Ok(Frame::Hello { from }) if from.index() < n => from,
+        _ => return, // not a peer speaking our protocol
+    };
+    while !shutdown.load(Ordering::Relaxed) {
+        match read_frame(&mut stream) {
+            Ok(Frame::Msg { seq, payload }) => {
+                {
+                    let mut seqs = next_seq.lock().expect("seq table poisoned");
+                    if seq < seqs[from.index()] {
+                        continue; // retransmitted duplicate
+                    }
+                    seqs[from.index()] = seq + 1;
+                }
+                let Ok(msg) = M::from_bytes(&payload) else {
+                    continue; // Byzantine bytes: drop the payload, keep the link
+                };
+                if inbound_tx.send((from, msg)).is_err() {
+                    return; // event loop gone
+                }
+            }
+            Ok(Frame::Hello { .. }) => continue, // redundant hello: ignore
+            Err(_) => return,                    // EOF, reset, or malformed framing
+        }
+    }
+}
+
+/// Runs the process: one `on_start`, then one `on_receive` per delivery.
+#[allow(clippy::too_many_arguments)] // internal plumbing, never public API
+fn event_loop<M: Wire + Send + 'static>(
+    cfg: &NodeConfig,
+    mut process: Box<dyn Process<Msg = M> + Send>,
+    inbound_rx: &mpsc::Receiver<(ProcessId, M)>,
+    self_tx: mpsc::Sender<(ProcessId, M)>,
+    peer_txs: Vec<Option<mpsc::Sender<OutFrame>>>,
+    injector: &FaultInjector,
+    status: &Mutex<NodeStatus>,
+    counters: &NetCounters,
+    subscriber: Option<SharedSubscriber>,
+    shutdown: &AtomicBool,
+) {
+    let me = cfg.id;
+    let n = cfg.n;
+    let mut rng = SimRng::seed(cfg.seed);
+    let mut step: u64 = 0;
+    let mut out_seq: Vec<u64> = vec![0; n];
+    let mut outbox: Vec<(ProcessId, M)> = Vec::new();
+    let observed = subscriber.is_some();
+    let mut decided = false;
+    let mut halt_published = false;
+
+    let publish = |event: Event| {
+        if let Some(s) = &subscriber {
+            s.lock().expect("subscriber lock poisoned").on_event(&event);
+        }
+    };
+
+    // The initial atomic step.
+    publish(Event::Start { pid: me });
+    {
+        let mut ctx = Ctx::new(me, n, step, &mut outbox, &mut rng).with_obs(observed);
+        process.on_start(&mut ctx);
+        for event in ctx.take_events() {
+            publish(Event::Protocol {
+                step,
+                pid: me,
+                event,
+            });
+        }
+    }
+    dispatch(
+        me,
+        step,
+        &mut outbox,
+        &mut out_seq,
+        &self_tx,
+        &peer_txs,
+        injector,
+        counters,
+        &publish,
+    );
+    observe(
+        process.as_ref(),
+        me,
+        step,
+        status,
+        &mut decided,
+        &mut halt_published,
+        &publish,
+    );
+
+    // Delivery steps.
+    while !shutdown.load(Ordering::Relaxed) {
+        let (from, msg) = match inbound_rx.recv_timeout(POLL) {
+            Ok(delivery) => delivery,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        if process.halted() {
+            counters.dropped_at_halted.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        step += 1;
+        counters.delivered.fetch_add(1, Ordering::Relaxed);
+        publish(Event::Deliver { step, to: me, from });
+        {
+            let mut ctx = Ctx::new(me, n, step, &mut outbox, &mut rng).with_obs(observed);
+            process.on_receive(Envelope::new(from, msg), &mut ctx);
+            for event in ctx.take_events() {
+                publish(Event::Protocol {
+                    step,
+                    pid: me,
+                    event,
+                });
+            }
+        }
+        dispatch(
+            me,
+            step,
+            &mut outbox,
+            &mut out_seq,
+            &self_tx,
+            &peer_txs,
+            injector,
+            counters,
+            &publish,
+        );
+        observe(
+            process.as_ref(),
+            me,
+            step,
+            status,
+            &mut decided,
+            &mut halt_published,
+            &publish,
+        );
+    }
+}
+
+/// Routes one step's outbox: self-sends loop back, remote sends pass the
+/// fault injector and land on the link queues.
+#[allow(clippy::too_many_arguments)] // internal plumbing, never public API
+fn dispatch<M: Wire>(
+    me: ProcessId,
+    step: u64,
+    outbox: &mut Vec<(ProcessId, M)>,
+    out_seq: &mut [u64],
+    self_tx: &mpsc::Sender<(ProcessId, M)>,
+    peer_txs: &[Option<mpsc::Sender<OutFrame>>],
+    injector: &FaultInjector,
+    counters: &NetCounters,
+    publish: &impl Fn(Event),
+) {
+    for (to, msg) in outbox.drain(..) {
+        counters.sent.fetch_add(1, Ordering::Relaxed);
+        publish(Event::Send { step, from: me, to });
+        if to == me {
+            let _ = self_tx.send((me, msg));
+            continue;
+        }
+        let Some(tx) = peer_txs.get(to.index()).and_then(Option::as_ref) else {
+            continue; // address outside the system: a Byzantine no-op
+        };
+        let not_before = match injector.action(me, to) {
+            LinkAction::Drop => {
+                counters.injected_drops.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            LinkAction::Deliver => Instant::now(),
+            LinkAction::DelayBy(d) => Instant::now() + d,
+        };
+        let seq = out_seq[to.index()];
+        out_seq[to.index()] += 1;
+        let _ = tx.send(OutFrame {
+            seq,
+            not_before,
+            payload: msg.to_bytes(),
+        });
+    }
+}
+
+/// Mirrors `Sim::observe`: records decisions and halts exactly once.
+fn observe<M>(
+    process: &(dyn Process<Msg = M> + Send),
+    me: ProcessId,
+    step: u64,
+    status: &Mutex<NodeStatus>,
+    decided: &mut bool,
+    halt_published: &mut bool,
+    publish: &impl Fn(Event),
+) {
+    let halted = process.halted();
+    let mut newly_decided = None;
+    {
+        let mut st = status.lock().expect("status lock poisoned");
+        st.steps = step + 1;
+        st.phase = process.phase();
+        st.halted = halted;
+        if !*decided {
+            if let Some(v) = process.decision() {
+                *decided = true;
+                st.decision = Some(v);
+                st.decision_phase = process.decision_phase();
+                st.decision_step = Some(step);
+                newly_decided = Some(v);
+            }
+        }
+    }
+    if let Some(value) = newly_decided {
+        publish(Event::Decide {
+            step,
+            pid: me,
+            value,
+        });
+    }
+    if halted && !*halt_published {
+        *halt_published = true;
+        publish(Event::Halt { step, pid: me });
+    }
+}

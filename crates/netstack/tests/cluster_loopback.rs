@@ -1,0 +1,188 @@
+//! Loopback cluster integration: the paper's protocols reaching consensus
+//! over real TCP sockets, under process faults, Byzantine attackers, and
+//! injected link faults.
+//!
+//! Every test binds OS-assigned ports on 127.0.0.1 and skips gracefully
+//! (with a note on stderr) where the sandbox forbids sockets. Runs are
+//! seeded and wall-clock-bounded; the bounds are generous because the OS
+//! scheduler — unlike the simulator's — is not ours to control.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use netstack::{
+    sockets_available, Cluster, ClusterOptions, CrashPlan, FaultPlan, NodeFault, Proto,
+};
+use obs::{parse_trace, render_report, JsonlSink, PhaseAggregator};
+use simnet::{RunStatus, SharedSubscriber, Value};
+
+/// Generous per-test deadline: loopback consensus finishes in milliseconds,
+/// but CI machines under load deserve slack.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+macro_rules! require_sockets {
+    () => {
+        if !sockets_available() {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        }
+    };
+}
+
+/// The acceptance-criteria run: the Figure 2 malicious protocol, n=7 k=2,
+/// five correct processes starting at `One` against one two-faced
+/// Byzantine attacker plus one process that crashes mid-broadcast, over
+/// real sockets, with a JSONL trace that `btreport`'s pipeline can
+/// consume.
+///
+/// Correctness of the expected verdict: deciding needs more than
+/// `(n+k)/2 = 4.5` accepted messages for one value; the attacker and the
+/// crasher together can back `Zero` with at most 2, so only `One` —
+/// validity — can ever be decided, and all five correct processes must
+/// decide it.
+#[test]
+fn malicious_seven_nodes_byzantine_plus_crash_decide_over_tcp() {
+    require_sockets!();
+    let sink = Arc::new(Mutex::new(JsonlSink::new()));
+    let options = ClusterOptions {
+        seed: 0xB7_1983,
+        inputs: vec![Value::One; 7],
+        faults: vec![
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::TwoFaced,
+            NodeFault::Crash(CrashPlan::AfterSends(3)),
+        ],
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(
+        7,
+        2,
+        Proto::Malicious,
+        options,
+        Some(sink.clone() as SharedSubscriber),
+    )
+    .expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped, "all correct decided");
+    assert!(report.agreement(), "agreement over real sockets");
+    for i in 0..5 {
+        assert_eq!(report.decisions[i], Some(Value::One), "validity at p{i}");
+    }
+    assert!(report.metrics.messages_sent > 0);
+
+    // The JSONL trace feeds the same pipeline btreport uses.
+    let contents = sink.lock().unwrap().contents();
+    let lines = parse_trace(&contents).expect("networked trace parses");
+    assert!(lines.len() > 2, "run brackets plus events");
+    let rendered = render_report(&lines);
+    assert!(
+        rendered.contains("decided"),
+        "report mentions decisions:\n{rendered}"
+    );
+}
+
+/// Fail-stop protocol, n=7 k=2, with both crash flavours: one process
+/// dies mid-broadcast (splitting it) and one dies on entering phase 1.
+/// The five survivors exceed the `n-k` quota and must decide.
+#[test]
+fn failstop_survives_two_crashes_over_tcp() {
+    require_sockets!();
+    let options = ClusterOptions {
+        seed: 7,
+        inputs: vec![Value::One; 7],
+        faults: vec![
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Crash(CrashPlan::AfterSends(3)),
+            NodeFault::Crash(CrashPlan::AtPhase(1)),
+        ],
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(7, 2, Proto::FailStop, options, None).expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped);
+    assert!(report.agreement());
+    for i in 0..5 {
+        assert_eq!(report.decisions[i], Some(Value::One), "validity at p{i}");
+    }
+}
+
+/// Link faults: uniform per-message delay plus a partition that heals.
+/// Both only postpone delivery, so the §2.1 reliable-channel assumption
+/// still holds and the simple protocol must still terminate.
+#[test]
+fn simple_protocol_decides_through_delay_and_healing_partition() {
+    require_sockets!();
+    let options = ClusterOptions {
+        seed: 21,
+        inputs: vec![Value::Zero; 4],
+        link_fault: FaultPlan::reliable()
+            .with_delay(Duration::from_millis(1), Duration::from_millis(8))
+            .with_partition(4, &[0, 1], Duration::from_millis(150)),
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(4, 1, Proto::Simple, options, None).expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped);
+    assert!(report.agreement());
+    assert_eq!(report.decisions[0], Some(Value::Zero), "validity");
+}
+
+/// The Ben-Or baseline also runs over the socket runtime — the runtime is
+/// protocol-agnostic, exactly like the simulator.
+#[test]
+fn benor_decides_over_tcp() {
+    require_sockets!();
+    let options = ClusterOptions {
+        seed: 5,
+        inputs: vec![Value::One; 5],
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(5, 1, Proto::BenOr, options, None).expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped);
+    assert!(report.agreement());
+    assert_eq!(report.decisions[0], Some(Value::One), "unanimous input");
+}
+
+/// The `PhaseAggregator` sink consumes a networked run exactly as it does
+/// a simulated one: per-phase counters populate and the run is recorded.
+#[test]
+fn phase_aggregator_consumes_networked_runs() {
+    require_sockets!();
+    let agg = Arc::new(Mutex::new(PhaseAggregator::new()));
+    let options = ClusterOptions {
+        seed: 3,
+        inputs: vec![Value::One; 4],
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(
+        4,
+        1,
+        Proto::FailStop,
+        options,
+        Some(agg.clone() as SharedSubscriber),
+    )
+    .expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped);
+    let agg = agg.lock().unwrap();
+    assert!(!agg.phases().is_empty(), "per-phase stats were collected");
+}

@@ -1,0 +1,174 @@
+//! Property tests: every protocol message's `Wire` codec round-trips, for
+//! arbitrary field values — the guarantee the socket runtime rests on.
+//!
+//! Each case encodes, decodes, and asserts identity, plus checks the
+//! structural invariants shared by all codecs: decoding consumes exactly
+//! the bytes encoding produced, and every strict prefix of an encoding is
+//! rejected (no message is a prefix of another's framing slot).
+
+use proptest::prelude::*;
+
+use benor::{BenOrMsg, Exchange};
+use bt_core::{DeadMsg, FailStopMsg, MaliciousKind, MaliciousMsg, MultiMsg, Phase, SimpleMsg};
+use simnet::{ProcessId, Value, Wire, WireError};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    any::<bool>().prop_map(Value::from)
+}
+
+fn arb_pid() -> impl Strategy<Value = ProcessId> {
+    (0usize..1024).prop_map(ProcessId::new)
+}
+
+fn arb_phase() -> impl Strategy<Value = Phase> {
+    prop_oneof![any::<u64>().prop_map(Phase::At), Just(Phase::Any)]
+}
+
+fn arb_kind() -> impl Strategy<Value = MaliciousKind> {
+    prop_oneof![Just(MaliciousKind::Initial), Just(MaliciousKind::Echo)]
+}
+
+fn arb_exchange() -> impl Strategy<Value = Exchange> {
+    prop_oneof![Just(Exchange::Report), Just(Exchange::Propose)]
+}
+
+/// Round-trips `msg` and checks the shared codec invariants.
+fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(msg: &T) -> Result<(), TestCaseError> {
+    let bytes = msg.to_bytes();
+    let back = T::from_bytes(&bytes);
+    prop_assert_eq!(back.as_ref(), Ok(msg), "decode(encode(m)) == m");
+
+    // Every strict prefix is rejected: a truncated message never decodes.
+    for cut in 0..bytes.len() {
+        let err = T::from_bytes(&bytes[..cut]);
+        prop_assert!(err.is_err(), "prefix of {cut} bytes must not decode");
+    }
+
+    // Trailing garbage is rejected, not silently ignored.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    prop_assert!(matches!(
+        T::from_bytes(&padded),
+        Err(WireError::Trailing { .. })
+    ));
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn failstop_roundtrip(
+        phase in any::<u64>(),
+        value in arb_value(),
+        cardinality in any::<usize>(),
+    ) {
+        roundtrip(&FailStopMsg { phase, value, cardinality })?;
+    }
+
+    #[test]
+    fn simple_roundtrip(phase in any::<u64>(), value in arb_value()) {
+        roundtrip(&SimpleMsg { phase, value })?;
+    }
+
+    #[test]
+    fn malicious_roundtrip(
+        kind in arb_kind(),
+        subject in arb_pid(),
+        value in arb_value(),
+        phase in arb_phase(),
+    ) {
+        roundtrip(&MaliciousMsg { kind, subject, value, phase })?;
+    }
+
+    #[test]
+    fn multivalued_roundtrip(
+        bit in any::<u8>(),
+        subject in arb_pid(),
+        value in arb_value(),
+        phase in arb_phase(),
+    ) {
+        let msg: MultiMsg = (
+            bit,
+            MaliciousMsg { kind: MaliciousKind::Echo, subject, value, phase },
+        );
+        roundtrip(&msg)?;
+    }
+
+    #[test]
+    fn dead_stage1_roundtrip(value in arb_value()) {
+        roundtrip(&DeadMsg::Stage1 { value })?;
+    }
+
+    #[test]
+    fn dead_stage2_roundtrip(
+        value in arb_value(),
+        ancestors in proptest::collection::vec(arb_pid(), 0..64),
+    ) {
+        roundtrip(&DeadMsg::Stage2 { value, ancestors })?;
+    }
+
+    #[test]
+    fn benor_roundtrip(
+        exchange in arb_exchange(),
+        round in any::<u64>(),
+        report_value in arb_value(),
+        abstain in any::<bool>(),
+    ) {
+        // Proposals may abstain (`None`); reports always carry a value.
+        let value = match exchange {
+            Exchange::Report => Some(report_value),
+            Exchange::Propose => (!abstain).then_some(report_value),
+        };
+        roundtrip(&BenOrMsg { exchange, round, value })?;
+    }
+}
+
+/// The boundary values property runs may or may not hit: numeric maxima
+/// (the widest varints) and the `*` wildcard phase stamp.
+#[test]
+fn boundary_values_roundtrip() {
+    roundtrip(&FailStopMsg {
+        phase: u64::MAX,
+        value: Value::One,
+        cardinality: usize::MAX,
+    })
+    .unwrap();
+    roundtrip(&SimpleMsg {
+        phase: u64::MAX,
+        value: Value::Zero,
+    })
+    .unwrap();
+    roundtrip(&MaliciousMsg {
+        kind: MaliciousKind::Initial,
+        subject: ProcessId::new(usize::MAX),
+        value: Value::One,
+        phase: Phase::At(u64::MAX),
+    })
+    .unwrap();
+    roundtrip(&MaliciousMsg {
+        kind: MaliciousKind::Echo,
+        subject: ProcessId::new(0),
+        value: Value::Zero,
+        phase: Phase::Any,
+    })
+    .unwrap();
+    roundtrip(&BenOrMsg {
+        exchange: Exchange::Propose,
+        round: u64::MAX,
+        value: None,
+    })
+    .unwrap();
+}
+
+/// Max-arity `DeadMsg::Stage2`: an ancestors list naming every process of
+/// a large system still round-trips (the codec has no small-vector bias).
+#[test]
+fn dead_stage2_max_arity_roundtrip() {
+    let ancestors: Vec<ProcessId> = (0..4096).map(ProcessId::new).collect();
+    roundtrip(&DeadMsg::Stage2 {
+        value: Value::One,
+        ancestors,
+    })
+    .unwrap();
+}

@@ -80,6 +80,7 @@ mod sim;
 mod subscriber;
 mod trace;
 mod value;
+pub mod wire;
 
 pub use buffer::Buffer;
 pub use envelope::Envelope;
@@ -93,3 +94,4 @@ pub use sim::{Role, RunReport, RunStatus, Sim, SimBuilder, StopWhen};
 pub use subscriber::{SharedSubscriber, Subscriber};
 pub use trace::{Event, ProtocolEvent, Trace};
 pub use value::Value;
+pub use wire::{Wire, WireError, WireReader};

@@ -462,6 +462,52 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Assembles a report from externally collected run facts.
+    ///
+    /// [`Sim::run`] builds reports internally; this constructor exists for
+    /// *other* runtimes that host [`Process`] state machines — the
+    /// `netstack` socket runtime synthesizes one per cluster run so the
+    /// `obs` sinks (`Subscriber::on_run_end`, `btreport`) consume simulated
+    /// and networked executions identically.
+    ///
+    /// `steps` is the runtime's own step notion (for a networked run, the
+    /// sum of per-node atomic steps); per-process vectors are indexed by
+    /// [`ProcessId`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `decisions`, `roles`, `decision_steps` and
+    /// `decision_phases` all have the same length.
+    #[allow(clippy::too_many_arguments)] // mirrors the report's fields 1:1
+    #[must_use]
+    pub fn synthesize(
+        status: RunStatus,
+        decisions: Vec<Option<Value>>,
+        roles: Vec<Role>,
+        steps: u64,
+        decision_steps: Vec<Option<u64>>,
+        decision_phases: Vec<Option<u64>>,
+        max_phase: u64,
+        metrics: Metrics,
+    ) -> Self {
+        let n = decisions.len();
+        assert!(
+            roles.len() == n && decision_steps.len() == n && decision_phases.len() == n,
+            "per-process vectors must agree on n"
+        );
+        RunReport {
+            status,
+            decisions,
+            roles,
+            steps,
+            decision_steps,
+            decision_phases,
+            max_phase,
+            metrics,
+            trace: None,
+        }
+    }
+
     /// Iterates over the indices of correct processes.
     pub fn correct(&self) -> impl Iterator<Item = usize> + '_ {
         self.roles

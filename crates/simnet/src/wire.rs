@@ -1,0 +1,482 @@
+//! The `Wire` codec: a hand-rolled, dependency-free binary encoding for
+//! protocol messages crossing a real network.
+//!
+//! Inside the simulator, messages move between processes as plain Rust
+//! values — the engine owns both ends, so no serialization is needed. The
+//! `netstack` runtime runs the same [`Process`](crate::Process) state
+//! machines over TCP sockets, where every payload must become bytes. This
+//! module is the contract between the two worlds: a protocol message type
+//! implements [`Wire`], and any runtime (simulated or networked) can carry
+//! it.
+//!
+//! The encoding is deliberately boring and stable:
+//!
+//! * integers are **unsigned LEB128 varints** (`u64`/`usize`), so small
+//!   phase numbers — the overwhelmingly common case — cost one byte while
+//!   `u64::MAX` still round-trips;
+//! * enums are a **single discriminant byte** followed by the variant's
+//!   fields in declaration order;
+//! * sequences are a varint length followed by the elements.
+//!
+//! There is no self-description, versioning, or field skipping: both ends
+//! of a connection run the same binary, exactly like the simulator runs a
+//! single `Msg` type per system. Decoding is total — any byte sequence
+//! either yields a value or a [`WireError`], never a panic — because over
+//! a socket the peer may be Byzantine and the bytes arbitrary.
+//!
+//! The codec lives in `simnet` (rather than `netstack`) so protocol crates
+//! can implement it next to their message definitions without depending on
+//! the socket runtime.
+
+use core::fmt;
+
+use crate::{ProcessId, Value};
+
+/// Why a decode failed.
+///
+/// Carried offsets are byte positions in the *payload being decoded*, not
+/// in any enclosing frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the value was complete.
+    Truncated {
+        /// Byte offset at which more input was needed.
+        offset: usize,
+    },
+    /// A discriminant byte or field value was out of range for the type.
+    Invalid {
+        /// What was being decoded.
+        what: &'static str,
+        /// Byte offset of the offending input.
+        offset: usize,
+    },
+    /// Decoding succeeded but bytes were left over (a malformed or
+    /// mismatched payload; a correct peer never produces this).
+    Trailing {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { offset } => {
+                write!(f, "payload truncated at byte {offset}")
+            }
+            WireError::Invalid { what, offset } => {
+                write!(f, "invalid {what} at byte {offset}")
+            }
+            WireError::Trailing { extra } => {
+                write!(f, "{extra} trailing bytes after a complete value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over a payload being decoded.
+///
+/// Tracks the read position so [`WireError`]s can report where a malformed
+/// payload went wrong.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        WireReader { bytes, pos: 0 }
+    }
+
+    /// The current byte offset.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn byte(&mut self) -> Result<u8, WireError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(WireError::Truncated { offset: self.pos })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input, [`WireError::Invalid`] if
+    /// the varint is longer than a `u64` allows (10 bytes) or overflows.
+    pub fn varint(&mut self) -> Result<u64, WireError> {
+        let start = self.pos;
+        let mut out: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let b = self.byte()?;
+            let low = u64::from(b & 0x7f);
+            if shift >= 64 || (shift == 63 && low > 1) {
+                return Err(WireError::Invalid {
+                    what: "varint (overflows u64)",
+                    offset: start,
+                });
+            }
+            out |= low << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Fails with [`WireError::Trailing`] unless the whole payload was
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Trailing`] when unconsumed bytes remain.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::Trailing {
+                extra: self.remaining(),
+            })
+        }
+    }
+}
+
+/// Appends `v` to `out` as an unsigned LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let mut b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v != 0 {
+            b |= 0x80;
+        }
+        out.push(b);
+        if v == 0 {
+            return;
+        }
+    }
+}
+
+/// A type with a binary wire encoding.
+///
+/// The contract is exact round-tripping: for every value `m`,
+/// `M::from_bytes(&m.to_bytes()) == Ok(m)` — the property the `netstack`
+/// codec proptests pin down for every protocol message type in the
+/// workspace. Decoding arbitrary bytes must return an error, never panic.
+pub trait Wire: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes one value from the reader, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`] describing how the payload was malformed.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// This value's encoding as a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a value that must occupy the whole payload.
+    ///
+    /// # Errors
+    ///
+    /// A [`WireError`], including [`WireError::Trailing`] if `bytes` holds
+    /// more than one value.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+impl Wire for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.byte()
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, *self);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        r.varint()
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_varint(out, *self as u64);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        usize::try_from(r.varint()?).map_err(|_| WireError::Invalid {
+            what: "usize (too large for this platform)",
+            offset,
+        })
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid {
+                what: "bool",
+                offset,
+            }),
+        }
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.index() as u8);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(Value::Zero),
+            1 => Ok(Value::One),
+            _ => Err(WireError::Invalid {
+                what: "binary value",
+                offset,
+            }),
+        }
+    }
+}
+
+impl Wire for ProcessId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.index().encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ProcessId::new(usize::decode(r)?))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(WireError::Invalid {
+                what: "option tag",
+                offset,
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let len = usize::decode(r)?;
+        // Cap pre-allocation by what the payload could possibly hold (one
+        // byte per element minimum) so a hostile length prefix cannot
+        // balloon memory before `Truncated` fires.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes), Ok(v), "encoding: {bytes:?}");
+    }
+
+    #[test]
+    fn varint_boundaries_round_trip() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            129,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            round_trip(v);
+        }
+    }
+
+    #[test]
+    fn varint_sizes_match_leb128() {
+        assert_eq!(0u64.to_bytes().len(), 1);
+        assert_eq!(127u64.to_bytes().len(), 1);
+        assert_eq!(128u64.to_bytes().len(), 2);
+        assert_eq!(u64::MAX.to_bytes().len(), 10);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes can never be a valid u64.
+        let bytes = [0x80u8; 10];
+        let mut with_terminator = bytes.to_vec();
+        with_terminator.push(0x01);
+        assert!(matches!(
+            u64::from_bytes(&with_terminator),
+            Err(WireError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_reports_offset() {
+        assert_eq!(
+            u64::from_bytes(&[0x80]),
+            Err(WireError::Truncated { offset: 1 })
+        );
+        assert_eq!(u8::from_bytes(&[]), Err(WireError::Truncated { offset: 0 }));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        assert_eq!(
+            u8::from_bytes(&[1, 2]),
+            Err(WireError::Trailing { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn core_types_round_trip() {
+        round_trip(Value::Zero);
+        round_trip(Value::One);
+        round_trip(ProcessId::new(0));
+        round_trip(ProcessId::new(usize::from(u16::MAX)));
+        round_trip(true);
+        round_trip(false);
+        round_trip(Option::<Value>::None);
+        round_trip(Some(Value::One));
+        round_trip(vec![ProcessId::new(0), ProcessId::new(7)]);
+        round_trip(Vec::<u64>::new());
+        round_trip((3u8, Value::One));
+    }
+
+    #[test]
+    fn invalid_discriminants_rejected() {
+        assert!(matches!(
+            Value::from_bytes(&[2]),
+            Err(WireError::Invalid {
+                what: "binary value",
+                ..
+            })
+        ));
+        assert!(matches!(
+            bool::from_bytes(&[9]),
+            Err(WireError::Invalid { .. })
+        ));
+        assert!(matches!(
+            Option::<Value>::from_bytes(&[7]),
+            Err(WireError::Invalid {
+                what: "option tag",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn hostile_vec_length_does_not_allocate() {
+        // Length claims u64::MAX/2 elements but the payload is 2 bytes:
+        // must fail with Truncated, not abort on allocation.
+        let mut bytes = Vec::new();
+        put_varint(&mut bytes, u64::MAX / 2);
+        bytes.extend_from_slice(&[1, 1]);
+        assert!(matches!(
+            Vec::<Value>::from_bytes(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            WireError::Truncated { offset: 3 },
+            WireError::Invalid {
+                what: "bool",
+                offset: 0,
+            },
+            WireError::Trailing { extra: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -14,4 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> netstack smoke test (loopback TCP consensus)"
+# Skips internally (with a stderr note) where the sandbox forbids sockets.
+cargo test -q -p netstack --test cluster_loopback
+
 echo "==> all checks passed"

@@ -11,7 +11,9 @@
 //! * [`markov`] — the §4 Markov-chain performance analysis;
 //! * [`modelcheck`] — executable lower-bound demonstrations;
 //! * [`obs`] — observability sinks (per-phase telemetry, JSONL traces,
-//!   console narration) for the simulator's subscriber hook.
+//!   console narration) for the simulator's subscriber hook;
+//! * [`netstack`] — the threaded TCP runtime running the same protocol
+//!   state machines over real sockets (see `docs/NETWORKING.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +23,7 @@ pub use benor;
 pub use bt_core;
 pub use markov;
 pub use modelcheck;
+pub use netstack;
 pub use obs;
 pub use simnet;
 
