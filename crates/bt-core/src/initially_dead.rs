@@ -324,6 +324,9 @@ impl Process for InitiallyDead {
                 }
             }
             DeadMsg::Stage2 { value, ancestors } => {
+                if ancestors.iter().any(|p| p.index() >= self.n) {
+                    return; // out-of-system ancestor ids: Byzantine garbage
+                }
                 self.inputs[env.from.index()] = Some(value);
                 self.edge_lists.entry(env.from).or_insert(ancestors);
                 if self.ancestors.is_some() {

@@ -312,6 +312,9 @@ impl Process for Malicious {
         }
         let sender = env.from;
         let msg = env.msg;
+        if msg.subject.index() >= self.config.n() {
+            return; // out-of-system subject: Byzantine garbage, like a forged initial
+        }
         match (msg.kind, msg.phase) {
             (MaliciousKind::Initial, Phase::At(t)) => {
                 if msg.subject != sender {
@@ -480,6 +483,35 @@ mod tests {
             &mut ctx,
         );
         assert!(outbox.is_empty(), "forged initial must not be echoed");
+    }
+
+    #[test]
+    fn out_of_range_subject_is_dropped_not_a_panic() {
+        // Over a socket the subject field is adversary-controlled bytes; a
+        // subject outside 0..n must be ignored, never index the echo tables.
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        outbox.clear();
+
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        for msg in [
+            MaliciousMsg::echo(ProcessId::new(4), Value::One, 0),
+            MaliciousMsg::echo(ProcessId::new(usize::MAX), Value::One, 0),
+            MaliciousMsg {
+                kind: MaliciousKind::Echo,
+                subject: ProcessId::new(9),
+                value: Value::One,
+                phase: Phase::Any,
+            },
+        ] {
+            p.on_receive(Envelope::new(ProcessId::new(1), msg), &mut ctx);
+        }
+        assert!(outbox.is_empty(), "garbage must not trigger echoes");
+        assert_eq!(p.message_count, [0, 0], "garbage must not be accepted");
     }
 
     #[test]

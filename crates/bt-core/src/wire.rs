@@ -29,6 +29,11 @@ impl Wire for FailStopMsg {
             cardinality: Wire::decode(r)?,
         })
     }
+
+    fn validate(&self, n: usize) -> bool {
+        // A cardinality counts distinct senders, so it can never exceed n.
+        self.cardinality <= n
+    }
 }
 
 impl Wire for SimpleMsg {
@@ -106,6 +111,11 @@ impl Wire for MaliciousMsg {
             phase: Wire::decode(r)?,
         })
     }
+
+    fn validate(&self, n: usize) -> bool {
+        // The subject indexes per-process echo tables at every receiver.
+        self.subject.validate(n)
+    }
 }
 
 impl Wire for DeadMsg {
@@ -137,6 +147,14 @@ impl Wire for DeadMsg {
                 what: "initially-dead stage",
                 offset,
             }),
+        }
+    }
+
+    fn validate(&self, n: usize) -> bool {
+        match self {
+            DeadMsg::Stage1 { .. } => true,
+            // Ancestor ids index the receiver's per-process input table.
+            DeadMsg::Stage2 { ancestors, .. } => ancestors.validate(n),
         }
     }
 }
@@ -235,6 +253,40 @@ mod tests {
             DeadMsg::from_bytes(&[4, 0]),
             Err(WireError::Invalid { .. })
         ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_system_contents() {
+        let echo = MaliciousMsg::echo(ProcessId::new(7), Value::One, 3);
+        assert!(echo.validate(8));
+        assert!(!echo.validate(7), "subject must be inside the system");
+
+        assert!(FailStopMsg {
+            phase: 0,
+            value: Value::Zero,
+            cardinality: 4,
+        }
+        .validate(4));
+        assert!(!FailStopMsg {
+            phase: 0,
+            value: Value::Zero,
+            cardinality: 5,
+        }
+        .validate(4));
+
+        let stage2 = DeadMsg::Stage2 {
+            value: Value::One,
+            ancestors: vec![ProcessId::new(0), ProcessId::new(3)],
+        };
+        assert!(stage2.validate(4));
+        assert!(!stage2.validate(3), "ancestors must be inside the system");
+
+        // SimpleMsg carries no process ids: always valid.
+        assert!(SimpleMsg {
+            phase: u64::MAX,
+            value: Value::One,
+        }
+        .validate(1));
     }
 
     #[test]

@@ -280,15 +280,27 @@ impl Cluster {
     pub fn await_verdict(&mut self, timeout: Duration) -> RunReport {
         let deadline = Instant::now() + timeout;
         let all_decided = loop {
-            let undecided = self
-                .nodes
-                .iter()
-                .zip(&self.roles)
-                .any(|(node, role)| *role == Role::Correct && node.decision().is_none());
+            let mut undecided = false;
+            let mut dead = false;
+            for (node, role) in self.nodes.iter().zip(&self.roles) {
+                if *role != Role::Correct {
+                    continue;
+                }
+                let st = node.status();
+                if st.decision.is_none() {
+                    undecided = true;
+                    // A node whose event loop died will never decide:
+                    // waiting out the full deadline would only disguise a
+                    // crash as slowness.
+                    if st.died {
+                        dead = true;
+                    }
+                }
+            }
             if !undecided {
                 break true;
             }
-            if Instant::now() >= deadline {
+            if dead || Instant::now() >= deadline {
                 break false;
             }
             std::thread::sleep(Duration::from_millis(10));

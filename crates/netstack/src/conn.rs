@@ -5,13 +5,22 @@
 //! link's FIFO queue and the TCP connection to the peer's listener; the
 //! node's event loop only ever enqueues. A connection failure is invisible
 //! to the protocol: the thread redials with exponential backoff (reset on
-//! success) and retransmits the frame that was in flight, so — together
-//! with the receiver-side sequence-number dedup — every enqueued message
-//! is eventually delivered exactly once. That discipline is what lets the
-//! runtime present a flaky TCP link to the protocol as the paper's §2.1
-//! reliable channel: arbitrary finite delay, no loss, no duplication.
+//! success) and retransmits its backlog.
+//!
+//! Reliability is **ack-gated**. A successful `write` only proves the
+//! bytes reached the local kernel buffer — a connection that dies
+//! afterwards can still lose them — so a frame is retired only when the
+//! receiver's cumulative [`Frame::Ack`] covers its sequence number.
+//! Until then it stays in the unacked backlog, and after every reconnect
+//! the whole backlog is retransmitted in order. The receiver delivers
+//! each sequence number exactly once (duplicates are dropped, acked
+//! again, and never re-delivered), so — sender never gives up, receiver
+//! never double-delivers — the runtime presents a flaky TCP link to the
+//! protocol as the paper's §2.1 reliable channel: arbitrary finite
+//! delay, no loss, no duplication.
 
-use std::io;
+use std::collections::VecDeque;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -19,9 +28,9 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use simnet::ProcessId;
+use simnet::{ProcessId, Wire};
 
-use crate::frame::{write_frame, Frame};
+use crate::frame::{write_frame, Frame, MAX_FRAME_LEN};
 
 /// Initial redial backoff; doubles per consecutive failure.
 const BACKOFF_INITIAL: Duration = Duration::from_millis(5);
@@ -29,6 +38,8 @@ const BACKOFF_INITIAL: Duration = Duration::from_millis(5);
 const BACKOFF_MAX: Duration = Duration::from_millis(400);
 /// How often blocked threads re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
+/// Read timeout for draining acks off the (otherwise write-only) stream.
+const ACK_POLL: Duration = Duration::from_millis(1);
 
 /// One message queued on an outbound link.
 #[derive(Debug)]
@@ -44,10 +55,15 @@ pub(crate) struct OutFrame {
 /// Counters a sender thread exposes to the node.
 #[derive(Debug, Default)]
 pub(crate) struct LinkStats {
-    /// Frames successfully written to the socket (first attempts only).
+    /// Frames written to the socket for the first time.
     pub frames_sent: AtomicU64,
-    /// Times the connection had to be (re)established after a failure.
+    /// Frames rewritten after a reconnect (the unacked backlog replay).
+    pub retransmits: AtomicU64,
+    /// Times the connection had to be re-established after a failure.
     pub reconnects: AtomicU64,
+    /// Highest cumulative ack received: every seq below this was
+    /// delivered by the peer and retired from the backlog.
+    pub acked: AtomicU64,
 }
 
 /// Spawns the sender thread for one peer; returns the enqueue handle, the
@@ -62,90 +78,199 @@ pub(crate) fn spawn_sender(
     let thread_stats = Arc::clone(&stats);
     let handle = thread::Builder::new()
         .name(format!("netstack-send-{}-{peer_addr}", me.index()))
-        .spawn(move || sender_loop(me, peer_addr, &rx, &shutdown, &thread_stats))
+        .spawn(move || Sender::new(me, peer_addr, thread_stats).run(&rx, &shutdown))
         .expect("spawning a sender thread");
     (tx, stats, handle)
 }
 
-fn sender_loop(
+/// One live connection plus the high-water mark of what has been written
+/// on *this* connection (reset on reconnect, which replays the backlog).
+#[derive(Debug)]
+struct Link {
+    stream: TcpStream,
+    written: Option<u64>,
+}
+
+/// The state of one outbound link's sender thread.
+#[derive(Debug)]
+struct Sender {
     me: ProcessId,
     peer_addr: SocketAddr,
-    rx: &mpsc::Receiver<OutFrame>,
-    shutdown: &AtomicBool,
-    stats: &LinkStats,
-) {
-    let mut stream: Option<TcpStream> = None;
-    let mut backoff = BACKOFF_INITIAL;
-    'frames: loop {
-        let out = match rx.recv_timeout(POLL) {
-            Ok(out) => out,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::Relaxed) {
-                    return;
-                }
-                continue;
-            }
-            // The node dropped the queue: flush is done, exit.
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
-        };
+    stats: Arc<LinkStats>,
+    conn: Option<Link>,
+    /// Frames written (or waiting to be written) but not yet acked, in
+    /// sequence order. The front is the oldest unacked frame.
+    unacked: VecDeque<OutFrame>,
+    /// Bytes read off the stream that do not yet form a complete ack
+    /// frame (a 1 ms read timeout can split one across reads).
+    ack_buf: Vec<u8>,
+    /// Highest seq ever written on any connection; writes at or below it
+    /// count as retransmits.
+    ever_written: Option<u64>,
+    backoff: Duration,
+    next_dial: Instant,
+}
 
-        // Honour the fault injector's delay. Per-link FIFO is preserved:
-        // later frames on this link wait behind this one, like a slow link.
-        loop {
-            let now = Instant::now();
-            if now >= out.not_before {
-                break;
-            }
-            if shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-            thread::sleep((out.not_before - now).min(POLL));
+impl Sender {
+    fn new(me: ProcessId, peer_addr: SocketAddr, stats: Arc<LinkStats>) -> Self {
+        Sender {
+            me,
+            peer_addr,
+            stats,
+            conn: None,
+            unacked: VecDeque::new(),
+            ack_buf: Vec::new(),
+            ever_written: None,
+            backoff: BACKOFF_INITIAL,
+            next_dial: Instant::now(),
         }
+    }
 
-        let frame = Frame::Msg {
-            seq: out.seq,
-            payload: out.payload,
-        };
-        // Write with reconnect-retry until the frame is on the wire. A
-        // half-written frame at the old connection is torn off by the
-        // receiver's length-prefix framing; the retransmitted copy carries
-        // the same seq, so the receiver's dedup keeps delivery exactly-once.
+    fn run(mut self, rx: &mpsc::Receiver<OutFrame>, shutdown: &AtomicBool) {
         loop {
-            if shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-            if stream.is_none() {
-                match dial(me, peer_addr) {
-                    Ok(s) => {
-                        stream = Some(s);
-                        backoff = BACKOFF_INITIAL;
+            match rx.recv_timeout(POLL) {
+                Ok(out) => {
+                    // Honour the fault injector's delay. Per-link FIFO is
+                    // preserved: later frames on this link wait behind this
+                    // one, like a slow link.
+                    loop {
+                        let now = Instant::now();
+                        if now >= out.not_before {
+                            break;
+                        }
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        thread::sleep((out.not_before - now).min(POLL));
                     }
-                    Err(_) => {
-                        thread::sleep(backoff);
-                        backoff = (backoff * 2).min(BACKOFF_MAX);
-                        continue;
+                    self.unacked.push_back(out);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
                     }
                 }
+                // The node dropped the queue: shutdown, exit.
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
             }
-            let s = stream.as_mut().expect("stream just ensured");
-            match write_frame(s, &frame) {
-                Ok(()) => {
-                    stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-                    continue 'frames;
+            self.pump();
+        }
+    }
+
+    /// One maintenance pass: (re)dial if the backlog needs a connection,
+    /// write everything not yet on this connection, drain acks. Never
+    /// blocks longer than a dial attempt plus [`ACK_POLL`].
+    fn pump(&mut self) {
+        if self.conn.is_none() {
+            if self.unacked.is_empty() || Instant::now() < self.next_dial {
+                return; // nothing to send, or still backing off
+            }
+            match dial(self.me, self.peer_addr) {
+                Ok(stream) => {
+                    self.conn = Some(Link {
+                        stream,
+                        written: None, // replay the whole backlog
+                    });
+                    self.backoff = BACKOFF_INITIAL;
+                    self.ack_buf.clear();
                 }
                 Err(_) => {
-                    stats.reconnects.fetch_add(1, Ordering::Relaxed);
-                    stream = None;
+                    self.next_dial = Instant::now() + self.backoff;
+                    self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
+                    return;
                 }
             }
         }
+        if self.flush().is_err() || self.drain_acks().is_err() {
+            // The connection died; the unflushed and unacked frames are
+            // all still in the backlog and will replay on reconnect.
+            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+            self.conn = None;
+            self.next_dial = Instant::now();
+        }
+    }
+
+    /// Writes every backlog frame not yet written on this connection.
+    fn flush(&mut self) -> io::Result<()> {
+        let link = self.conn.as_mut().expect("flush requires a connection");
+        for f in &self.unacked {
+            if link.written.is_some_and(|w| f.seq <= w) {
+                continue;
+            }
+            write_frame(
+                &mut link.stream,
+                &Frame::Msg {
+                    seq: f.seq,
+                    payload: f.payload.clone(),
+                },
+            )?;
+            link.written = Some(f.seq);
+            if self.ever_written.is_some_and(|w| f.seq <= w) {
+                self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.ever_written = Some(f.seq);
+                self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads whatever ack bytes are available (waiting at most
+    /// [`ACK_POLL`]) and retires every frame a cumulative ack covers.
+    fn drain_acks(&mut self) -> io::Result<()> {
+        let link = self.conn.as_mut().expect("drain requires a connection");
+        let mut buf = [0u8; 512];
+        match link.stream.read(&mut buf) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(k) => self.ack_buf.extend_from_slice(&buf[..k]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+        // Parse complete frames out of the accumulation buffer; a partial
+        // frame at the tail stays for the next drain.
+        let mut consumed = 0;
+        while self.ack_buf.len() - consumed >= 4 {
+            let len_bytes: [u8; 4] = self.ack_buf[consumed..consumed + 4]
+                .try_into()
+                .expect("4-byte slice");
+            let len = u32::from_be_bytes(len_bytes) as usize;
+            if len > MAX_FRAME_LEN {
+                return Err(io::ErrorKind::InvalidData.into());
+            }
+            if self.ack_buf.len() - consumed - 4 < len {
+                break;
+            }
+            let body = &self.ack_buf[consumed + 4..consumed + 4 + len];
+            consumed += 4 + len;
+            let Ok(frame) = Frame::from_bytes(body) else {
+                return Err(io::ErrorKind::InvalidData.into());
+            };
+            if let Frame::Ack { next } = frame {
+                while self.unacked.front().is_some_and(|f| f.seq < next) {
+                    self.unacked.pop_front();
+                }
+                self.stats.acked.fetch_max(next, Ordering::Relaxed);
+            }
+            // Anything else coming back on an outbound connection is
+            // ignored; the peer's reader only ever writes acks.
+        }
+        self.ack_buf.drain(..consumed);
+        Ok(())
     }
 }
 
-/// Dials the peer and performs the hello handshake.
+/// Dials the peer, performs the hello handshake, and arms the short read
+/// timeout used to drain acks without blocking the write path.
 fn dial(me: ProcessId, peer_addr: SocketAddr) -> io::Result<TcpStream> {
     let mut stream = TcpStream::connect(peer_addr)?;
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(ACK_POLL))?;
     write_frame(&mut stream, &Frame::Hello { from: me })?;
     Ok(stream)
 }
@@ -154,11 +279,27 @@ fn dial(me: ProcessId, peer_addr: SocketAddr) -> io::Result<TcpStream> {
 mod tests {
     use std::net::TcpListener;
 
-    use super::*;
     use crate::frame::read_frame;
 
+    use super::*;
+
+    fn read_msg(conn: &mut TcpStream) -> (u64, Vec<u8>) {
+        match read_frame(conn).unwrap() {
+            Frame::Msg { seq, payload } => (seq, payload),
+            other => panic!("expected a Msg frame, got {other:?}"),
+        }
+    }
+
+    fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !done() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     #[test]
-    fn sender_delivers_across_a_listener_restart() {
+    fn sender_retransmits_unacked_backlog_across_reconnects() {
         let Ok(listener) = TcpListener::bind(("127.0.0.1", 0)) else {
             eprintln!("skipping: loopback sockets unavailable in this sandbox");
             return;
@@ -167,14 +308,17 @@ mod tests {
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, stats, handle) = spawn_sender(ProcessId::new(0), addr, Arc::clone(&shutdown));
 
-        tx.send(OutFrame {
-            seq: 0,
-            not_before: Instant::now(),
-            payload: vec![1],
-        })
-        .unwrap();
+        for seq in 0..2 {
+            tx.send(OutFrame {
+                seq,
+                not_before: Instant::now(),
+                payload: vec![seq as u8],
+            })
+            .unwrap();
+        }
 
-        // First connection: hello + frame 0 arrive.
+        // First connection: hello + both frames arrive. No acks are sent,
+        // so nothing is retired.
         let (mut conn, _) = listener.accept().unwrap();
         assert_eq!(
             read_frame(&mut conn).unwrap(),
@@ -182,46 +326,78 @@ mod tests {
                 from: ProcessId::new(0)
             }
         );
-        assert!(matches!(
-            read_frame(&mut conn).unwrap(),
-            Frame::Msg { seq: 0, .. }
-        ));
+        assert_eq!(read_msg(&mut conn).0, 0);
+        assert_eq!(read_msg(&mut conn).0, 1);
 
-        // Kill the connection. Writes into the dead socket may keep
-        // "succeeding" until the RST lands, so enqueue frames until the
-        // sender notices and redials.
+        // Kill the connection. The sender notices (its ack drain hits EOF
+        // or a write fails), redials, and — because no ack ever covered
+        // them — must replay BOTH frames in order, not just the one that
+        // errored mid-write.
         drop(conn);
-        listener.set_nonblocking(true).unwrap();
-        let mut seq = 1;
-        let mut conn = loop {
-            match listener.accept() {
-                Ok((c, _)) => break c,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    tx.send(OutFrame {
-                        seq,
-                        not_before: Instant::now(),
-                        payload: vec![2],
-                    })
-                    .unwrap();
-                    seq += 1;
-                    thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) => panic!("accept failed: {e}"),
-            }
-        };
-        conn.set_nonblocking(false).unwrap();
+        let (mut conn, _) = listener.accept().unwrap();
         assert_eq!(
             read_frame(&mut conn).unwrap(),
             Frame::Hello {
                 from: ProcessId::new(0)
             }
         );
-        let got = read_frame(&mut conn).unwrap();
-        assert!(
-            matches!(got, Frame::Msg { seq, .. } if seq >= 1),
-            "redialed connection carries a queued frame, got {got:?}"
+        assert_eq!(read_msg(&mut conn).0, 0, "unacked backlog replays from 0");
+        assert_eq!(read_msg(&mut conn).0, 1);
+        assert!(stats.reconnects.load(Ordering::Relaxed) >= 1);
+        assert!(stats.retransmits.load(Ordering::Relaxed) >= 2);
+
+        shutdown.store(true, Ordering::Relaxed);
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn acked_frames_are_retired_not_retransmitted() {
+        let Ok(listener) = TcpListener::bind(("127.0.0.1", 0)) else {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        };
+        let addr = listener.local_addr().unwrap();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, stats, handle) = spawn_sender(ProcessId::new(0), addr, Arc::clone(&shutdown));
+
+        for seq in 0..3 {
+            tx.send(OutFrame {
+                seq,
+                not_before: Instant::now(),
+                payload: vec![seq as u8],
+            })
+            .unwrap();
+        }
+
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap(),
+            Frame::Hello {
+                from: ProcessId::new(0)
+            }
         );
-        assert!(stats.frames_sent.load(Ordering::Relaxed) >= 2);
+        for want in 0..3 {
+            assert_eq!(read_msg(&mut conn).0, want);
+        }
+
+        // Ack frames 0 and 1; wait until the sender has processed it.
+        write_frame(&mut conn, &Frame::Ack { next: 2 }).unwrap();
+        wait_until("ack watermark to reach 2", || {
+            stats.acked.load(Ordering::Relaxed) >= 2
+        });
+
+        // Reconnect: only the unacked frame 2 replays.
+        drop(conn);
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap(),
+            Frame::Hello {
+                from: ProcessId::new(0)
+            }
+        );
+        assert_eq!(read_msg(&mut conn).0, 2, "acked frames must not replay");
+        assert_eq!(stats.frames_sent.load(Ordering::Relaxed), 3);
 
         shutdown.store(true, Ordering::Relaxed);
         drop(tx);

@@ -11,11 +11,15 @@
 //! this module.
 //!
 //! [`Frame::Msg`] carries a per-link sequence number assigned when the
-//! sender *queues* the message. Reconnections retransmit the frame that
-//! was in flight when the connection died, and the receiver drops any
-//! sequence number it has already delivered — together upholding the
-//! paper's reliable-channel assumption (§2.1) over flaky connections:
-//! every queued message is delivered exactly once, eventually.
+//! sender *queues* the message; the receiver answers each one with a
+//! cumulative [`Frame::Ack`] on the same connection. A sender retires a
+//! frame only once it is acked — a successful `write` merely parks bytes
+//! in the kernel buffer, where a dying connection can still lose them —
+//! and retransmits its whole unacked backlog, in order, after every
+//! reconnect. The receiver delivers each sequence number exactly once,
+//! dropping retransmitted duplicates. Together these uphold the paper's
+//! reliable-channel assumption (§2.1) over flaky connections: every
+//! queued message is delivered exactly once, eventually.
 
 use std::io::{self, Read, Write};
 
@@ -41,6 +45,14 @@ pub enum Frame {
         /// The [`Wire`] encoding of the protocol message.
         payload: Vec<u8>,
     },
+    /// Cumulative receiver acknowledgment, sent back on the same
+    /// connection the messages arrived on: every sequence number below
+    /// `next` has been delivered, so the sender may retire those frames
+    /// from its retransmission backlog.
+    Ack {
+        /// The receiver's next expected sequence number.
+        next: u64,
+    },
 }
 
 impl Wire for Frame {
@@ -55,6 +67,10 @@ impl Wire for Frame {
                 seq.encode(out);
                 payload.encode(out);
             }
+            Frame::Ack { next } => {
+                out.push(2);
+                next.encode(out);
+            }
         }
     }
 
@@ -68,10 +84,22 @@ impl Wire for Frame {
                 seq: Wire::decode(r)?,
                 payload: Wire::decode(r)?,
             }),
+            2 => Ok(Frame::Ack {
+                next: Wire::decode(r)?,
+            }),
             _ => Err(WireError::Invalid {
                 what: "frame tag",
                 offset,
             }),
+        }
+    }
+
+    fn validate(&self, n: usize) -> bool {
+        match self {
+            Frame::Hello { from } => from.validate(n),
+            // Payloads are validated after their own decode; seq numbers
+            // are bounded by the dedup table, not the system size.
+            Frame::Msg { .. } | Frame::Ack { .. } => true,
         }
     }
 }
@@ -138,6 +166,8 @@ mod tests {
                 seq: u64::MAX,
                 payload: vec![1, 2, 3, 255],
             },
+            Frame::Ack { next: 0 },
+            Frame::Ack { next: u64::MAX },
         ];
         let mut buf = Vec::new();
         for f in &frames {

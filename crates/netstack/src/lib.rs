@@ -11,7 +11,7 @@
 //!
 //! | paper §2.1 model            | simnet                    | netstack |
 //! |-----------------------------|---------------------------|----------|
-//! | reliable channel            | buffer, never loses       | reconnect + retransmit + seq-dedup ([`conn`], [`frame`]) |
+//! | reliable channel            | buffer, never loses       | ack-gated retransmit + seq-dedup ([`conn`], [`frame`]) |
 //! | arbitrary finite delay      | scheduler's choice        | OS scheduling + injected delay ([`fault`]) |
 //! | authenticated sender (§3.1) | envelope `from` field     | per-connection `Hello` handshake ([`frame`]) |
 //! | atomic step                 | engine calls `on_receive` | single-threaded event loop per node ([`node`]) |

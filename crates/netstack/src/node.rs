@@ -8,8 +8,8 @@
 //! ```text
 //!            ┌────────────────────────────── node ─────────────────────────────┐
 //!  peers ──▶ │ acceptor ─▶ readers ─▶ inbound queue ─▶ event loop ─▶ Process  │
-//!            │                (seq dedup)                  │   ▲               │
-//!            │                                          outbox  rng (seeded)   │
+//!            │                (seq dedup, acks,            │   ▲               │
+//!            │                 wire validation)         outbox  rng (seeded)   │
 //!            │                                             │                   │
 //!            │            fault injector ─▶ per-peer sender threads ──────────▶│ ──▶ peers
 //!            └──────────────────────────────────────────────────────────────────┘
@@ -23,10 +23,12 @@
 //! inbound queue — a node's channel to itself is memory, not a socket,
 //! and is trivially reliable.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -34,7 +36,19 @@ use simnet::{Ctx, Envelope, Event, Process, ProcessId, SharedSubscriber, SimRng,
 
 use crate::conn::{spawn_sender, LinkStats, OutFrame};
 use crate::fault::{FaultInjector, FaultPlan, LinkAction};
-use crate::frame::{read_frame, Frame};
+use crate::frame::{read_frame, write_frame, Frame};
+
+/// Accepted-connection registry: stream clones by token, so shutdown can
+/// unblock readers and each reader can prune its own entry when its
+/// connection dies.
+type StreamRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Locks a [`NodeStatus`] mutex, tolerating poisoning: the event loop may
+/// die mid-update (see [`NodeStatus::died`]) and the snapshot must stay
+/// readable afterwards.
+fn lock_status(status: &Mutex<NodeStatus>) -> MutexGuard<'_, NodeStatus> {
+    status.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How often blocked threads re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
@@ -69,6 +83,11 @@ pub struct NodeStatus {
     pub steps: u64,
     /// Whether the process has left the protocol.
     pub halted: bool,
+    /// The event-loop thread panicked (a bug, or a hostile input the
+    /// defensive layers missed): the node is dead, not merely undecided,
+    /// and will never make progress. Surfaced so harnesses can fail fast
+    /// instead of hanging until their deadline.
+    pub died: bool,
 }
 
 /// Message-level counters for one node.
@@ -82,6 +101,15 @@ pub struct NetCounters {
     pub injected_drops: AtomicU64,
     /// Messages discarded because this process had halted.
     pub dropped_at_halted: AtomicU64,
+    /// Inbound payloads rejected at the wire: bytes that did not decode,
+    /// or decoded to contents out of range for this system (e.g. a
+    /// process id `>= n`). Byzantine bytes land here, not in the process.
+    pub wire_rejected: AtomicU64,
+    /// Inbound frames whose sequence number skipped ahead of the next
+    /// expected one. An honest sender never skips (it replays its whole
+    /// unacked backlog in order), so a gap marks a reliability violation
+    /// or a hostile peer; the frame is dropped, never delivered.
+    pub seq_gaps: AtomicU64,
 }
 
 /// A handle to a spawned node: status snapshots plus shutdown.
@@ -92,7 +120,7 @@ pub struct NodeHandle {
     counters: Arc<NetCounters>,
     link_stats: Vec<Arc<LinkStats>>,
     shutdown: Arc<AtomicBool>,
-    streams: Arc<Mutex<Vec<TcpStream>>>,
+    streams: StreamRegistry,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -106,7 +134,13 @@ impl NodeHandle {
     /// A snapshot of the node's protocol state.
     #[must_use]
     pub fn status(&self) -> NodeStatus {
-        self.status.lock().expect("status lock poisoned").clone()
+        lock_status(&self.status).clone()
+    }
+
+    /// Whether the node's event loop died (see [`NodeStatus::died`]).
+    #[must_use]
+    pub fn died(&self) -> bool {
+        self.status().died
     }
 
     /// The node's decision, if it has made one.
@@ -144,6 +178,29 @@ impl NodeHandle {
             .sum()
     }
 
+    /// Unacked frames this node's links replayed after reconnects.
+    #[must_use]
+    pub fn retransmits(&self) -> u64 {
+        self.link_stats
+            .iter()
+            .map(|s| s.retransmits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Inbound payloads rejected at the wire (undecodable bytes or
+    /// contents out of range for the system).
+    #[must_use]
+    pub fn wire_rejected(&self) -> u64 {
+        self.counters.wire_rejected.load(Ordering::Relaxed)
+    }
+
+    /// Inbound frames dropped because their sequence number skipped ahead
+    /// of the next expected one (see [`NetCounters::seq_gaps`]).
+    #[must_use]
+    pub fn seq_gaps(&self) -> u64 {
+        self.counters.seq_gaps.load(Ordering::Relaxed)
+    }
+
     /// Asks every thread to stop, unblocks them, and joins them. Safe to
     /// call more than once.
     pub fn shutdown(&mut self) {
@@ -152,8 +209,8 @@ impl NodeHandle {
         for s in self
             .streams
             .lock()
-            .expect("stream registry poisoned")
-            .iter()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
         {
             let _ = s.shutdown(std::net::Shutdown::Both);
         }
@@ -197,7 +254,7 @@ where
     let shutdown = Arc::new(AtomicBool::new(false));
     let status = Arc::new(Mutex::new(NodeStatus::default()));
     let counters = Arc::new(NetCounters::default());
-    let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let streams: StreamRegistry = Arc::new(Mutex::new(HashMap::new()));
     let mut threads = Vec::new();
 
     // Inbound: readers push decoded envelopes, the event loop pops them.
@@ -227,31 +284,53 @@ where
         let streams = Arc::clone(&streams);
         let inbound_tx = inbound_tx.clone();
         let next_seq = Arc::clone(&next_seq);
+        let acceptor_counters = Arc::clone(&counters);
         let n = cfg.n;
         let me = cfg.id;
         let handle = thread::Builder::new()
             .name(format!("netstack-accept-p{}", me.index()))
             .spawn(move || {
-                let mut reader_threads = Vec::new();
+                let mut reader_threads: Vec<JoinHandle<()>> = Vec::new();
+                let mut next_token: u64 = 0;
                 while !shutdown.load(Ordering::Relaxed) {
+                    // Reap readers whose connections have closed, so flaky
+                    // links cannot grow the handle list without bound (a
+                    // reader prunes its own stream clone on the way out).
+                    let mut i = 0;
+                    while i < reader_threads.len() {
+                        if reader_threads[i].is_finished() {
+                            let _ = reader_threads.swap_remove(i).join();
+                        } else {
+                            i += 1;
+                        }
+                    }
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let _ = stream.set_nodelay(true);
                             if stream.set_nonblocking(false).is_err() {
                                 continue;
                             }
+                            let token = next_token;
+                            next_token += 1;
                             if let Ok(clone) = stream.try_clone() {
                                 streams
                                     .lock()
-                                    .expect("stream registry poisoned")
-                                    .push(clone);
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .insert(token, clone);
                             }
-                            let tx = inbound_tx.clone();
-                            let seqs = Arc::clone(&next_seq);
-                            let flag = Arc::clone(&shutdown);
+                            let reader = Reader {
+                                stream,
+                                token,
+                                n,
+                                tx: inbound_tx.clone(),
+                                seqs: Arc::clone(&next_seq),
+                                counters: Arc::clone(&acceptor_counters),
+                                shutdown: Arc::clone(&shutdown),
+                                registry: Arc::clone(&streams),
+                            };
                             if let Ok(h) = thread::Builder::new()
                                 .name(format!("netstack-read-p{}", me.index()))
-                                .spawn(move || reader_loop(stream, n, &tx, &seqs, &flag))
+                                .spawn(move || reader.run())
                             {
                                 reader_threads.push(h);
                             }
@@ -280,18 +359,29 @@ where
         let handle = thread::Builder::new()
             .name(format!("netstack-loop-p{}", cfg.id.index()))
             .spawn(move || {
-                event_loop(
-                    &cfg,
-                    process,
-                    &inbound_rx,
-                    inbound_tx,
-                    peer_txs,
-                    &injector,
-                    &status,
-                    &counters,
-                    subscriber,
-                    &shutdown,
-                );
+                // A panic here (a protocol bug, or hostile input the
+                // defensive layers missed) must not leave the node as a
+                // silent zombie: catch it and mark the node dead so
+                // status readers can fail fast.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    event_loop(
+                        &cfg,
+                        process,
+                        &inbound_rx,
+                        inbound_tx,
+                        peer_txs,
+                        &injector,
+                        &status,
+                        &counters,
+                        subscriber,
+                        &shutdown,
+                    );
+                }));
+                if result.is_err() {
+                    let mut st = lock_status(&status);
+                    st.died = true;
+                    st.halted = true;
+                }
             })
             .expect("spawning the event loop thread");
         threads.push(handle);
@@ -308,38 +398,97 @@ where
     })
 }
 
-/// Reads frames off one inbound connection until EOF, error, or shutdown.
-fn reader_loop<M: Wire>(
-    mut stream: TcpStream,
+/// What the sequence-number table says to do with an inbound frame.
+enum Disposition {
+    /// `seq` is the next expected: deliver it.
+    Deliver,
+    /// Already delivered (a reconnect replay): ack again, drop.
+    Duplicate,
+    /// Skipped ahead of the next expected seq. An honest sender replays
+    /// its unacked backlog in order, so this is a reliability violation
+    /// or a hostile peer: count it and drop, never deliver out of order.
+    Gap,
+}
+
+/// One accepted inbound connection: reads frames until EOF, error, or
+/// shutdown, acking delivered sequence numbers back to the sender.
+struct Reader<M> {
+    stream: TcpStream,
+    /// This connection's key in the stream registry, pruned on exit.
+    token: u64,
     n: usize,
-    inbound_tx: &mpsc::Sender<(ProcessId, M)>,
-    next_seq: &Mutex<Vec<u64>>,
-    shutdown: &AtomicBool,
-) {
-    // Handshake: the first frame must identify the peer.
-    let from = match read_frame(&mut stream) {
-        Ok(Frame::Hello { from }) if from.index() < n => from,
-        _ => return, // not a peer speaking our protocol
-    };
-    while !shutdown.load(Ordering::Relaxed) {
-        match read_frame(&mut stream) {
-            Ok(Frame::Msg { seq, payload }) => {
-                {
-                    let mut seqs = next_seq.lock().expect("seq table poisoned");
-                    if seq < seqs[from.index()] {
-                        continue; // retransmitted duplicate
+    tx: mpsc::Sender<(ProcessId, M)>,
+    seqs: Arc<Mutex<Vec<u64>>>,
+    counters: Arc<NetCounters>,
+    shutdown: Arc<AtomicBool>,
+    registry: StreamRegistry,
+}
+
+impl<M: Wire> Reader<M> {
+    fn run(mut self) {
+        self.read_connection();
+        // Dead connections must not accumulate in the registry.
+        self.registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.token);
+    }
+
+    fn read_connection(&mut self) {
+        // Handshake: the first frame must identify the peer.
+        let from = match read_frame(&mut self.stream) {
+            Ok(Frame::Hello { from }) if from.index() < self.n => from,
+            _ => return, // not a peer speaking our protocol
+        };
+        while !self.shutdown.load(Ordering::Relaxed) {
+            match read_frame(&mut self.stream) {
+                Ok(Frame::Msg { seq, payload }) => {
+                    let (disposition, ack) = {
+                        let mut seqs = self.seqs.lock().expect("seq table poisoned");
+                        let next = &mut seqs[from.index()];
+                        let d = if seq > *next {
+                            Disposition::Gap
+                        } else if seq < *next {
+                            Disposition::Duplicate
+                        } else {
+                            *next += 1;
+                            Disposition::Deliver
+                        };
+                        (d, *next)
+                    };
+                    // Cumulative ack — re-sent even for duplicates and
+                    // gaps so a reconnected sender can retire its backlog
+                    // and resynchronize.
+                    if write_frame(&mut self.stream, &Frame::Ack { next: ack }).is_err() {
+                        return; // connection died; the sender will redial
                     }
-                    seqs[from.index()] = seq + 1;
+                    match disposition {
+                        Disposition::Deliver => {}
+                        Disposition::Duplicate => continue,
+                        Disposition::Gap => {
+                            self.counters.seq_gaps.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    // Byzantine bytes: payloads that do not decode, or
+                    // decode to contents out of range for this system,
+                    // are dropped here — they must never reach (and
+                    // possibly kill) the protocol. The link stays up.
+                    let Ok(msg) = M::from_bytes(&payload) else {
+                        self.counters.wire_rejected.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    if !msg.validate(self.n) {
+                        self.counters.wire_rejected.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if self.tx.send((from, msg)).is_err() {
+                        return; // event loop gone
+                    }
                 }
-                let Ok(msg) = M::from_bytes(&payload) else {
-                    continue; // Byzantine bytes: drop the payload, keep the link
-                };
-                if inbound_tx.send((from, msg)).is_err() {
-                    return; // event loop gone
-                }
+                Ok(Frame::Hello { .. } | Frame::Ack { .. }) => continue, // not meaningful inbound
+                Err(_) => return, // EOF, reset, or malformed framing
             }
-            Ok(Frame::Hello { .. }) => continue, // redundant hello: ignore
-            Err(_) => return,                    // EOF, reset, or malformed framing
         }
     }
 }
@@ -511,7 +660,7 @@ fn observe<M>(
     let halted = process.halted();
     let mut newly_decided = None;
     {
-        let mut st = status.lock().expect("status lock poisoned");
+        let mut st = lock_status(status);
         st.steps = step + 1;
         st.phase = process.phase();
         st.halted = halted;

@@ -7,14 +7,17 @@
 //! seeded and wall-clock-bounded; the bounds are generous because the OS
 //! scheduler — unlike the simulator's — is not ours to control.
 
+use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use bt_core::{Config, Malicious, MaliciousKind, MaliciousMsg, Phase};
 use netstack::{
-    sockets_available, Cluster, ClusterOptions, CrashPlan, FaultPlan, NodeFault, Proto,
+    sockets_available, spawn, write_frame, Cluster, ClusterOptions, CrashPlan, FaultPlan, Frame,
+    NodeConfig, NodeFault, Proto,
 };
 use obs::{parse_trace, render_report, JsonlSink, PhaseAggregator};
-use simnet::{RunStatus, SharedSubscriber, Value};
+use simnet::{ProcessId, RunStatus, SharedSubscriber, Value, Wire};
 
 /// Generous per-test deadline: loopback consensus finishes in milliseconds,
 /// but CI machines under load deserve slack.
@@ -158,6 +161,123 @@ fn benor_decides_over_tcp() {
     assert_eq!(report.status, RunStatus::Stopped);
     assert!(report.agreement());
     assert_eq!(report.decisions[0], Some(Value::One), "unanimous input");
+}
+
+/// Regression for the wire-validation layer: a Byzantine peer speaking
+/// well-formed frames whose *contents* are hostile — an `Echo` naming a
+/// subject outside the system, and a sequence number that skips ahead —
+/// must not kill any node or block consensus.
+///
+/// Before validation, the out-of-range subject panicked the event loop
+/// (`echo_count[subject.index()]`) and the node hung silently. Now the
+/// payload dies at the reader (`wire_rejected`), the skipped seq is
+/// counted and dropped (`seq_gaps`), and the three correct nodes decide:
+/// with n=4, k=1 they exceed both the `n−k = 3` quota and the
+/// `(n+k)/2 = 2.5` echo quorum among themselves.
+#[test]
+fn out_of_range_subject_bytes_do_not_kill_liveness() {
+    require_sockets!();
+    let n = 4;
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<_> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+
+    // Nodes 1..3 are honest; the test itself plays Byzantine "p0" on the
+    // listener it kept.
+    let config = Config::malicious(n, 1).expect("within the malicious bound");
+    let mut nodes = Vec::new();
+    let mut listeners = listeners.into_iter();
+    let p0_listener = listeners.next().expect("p0 listener");
+    for (i, listener) in listeners.enumerate() {
+        let id = i + 1;
+        let cfg = NodeConfig {
+            id: ProcessId::new(id),
+            n,
+            seed: 0xBAD_BEEF + id as u64,
+            fault: FaultPlan::reliable(),
+        };
+        let node = spawn(
+            cfg,
+            listener,
+            addrs.clone(),
+            Box::new(Malicious::new(config, Value::One)),
+            None,
+        )
+        .expect("loopback spawn");
+        nodes.push(node);
+    }
+    drop(p0_listener); // p0 never answers; honest senders just redial
+
+    // The attack: per node, a valid handshake followed by a well-formed
+    // Echo whose subject (77) is outside the n=4 system, then a frame
+    // whose sequence number skips ahead.
+    let hostile = MaliciousMsg {
+        kind: MaliciousKind::Echo,
+        subject: ProcessId::new(77),
+        value: Value::One,
+        phase: Phase::At(0),
+    };
+    let mut attack_conns = Vec::new();
+    for addr in &addrs[1..] {
+        let mut conn = TcpStream::connect(addr).expect("dial victim");
+        write_frame(
+            &mut conn,
+            &Frame::Hello {
+                from: ProcessId::new(0),
+            },
+        )
+        .expect("hello");
+        write_frame(
+            &mut conn,
+            &Frame::Msg {
+                seq: 0,
+                payload: hostile.to_bytes(),
+            },
+        )
+        .expect("hostile echo");
+        write_frame(
+            &mut conn,
+            &Frame::Msg {
+                seq: 100,
+                payload: hostile.to_bytes(),
+            },
+        )
+        .expect("seq gap");
+        attack_conns.push(conn); // keep open: EOF must not be the savior
+    }
+
+    // Liveness: every honest node decides One despite the attack.
+    let deadline = Instant::now() + DEADLINE;
+    loop {
+        assert!(
+            nodes.iter().all(|node| !node.died()),
+            "no event loop may die on hostile bytes"
+        );
+        if nodes.iter().all(|node| node.decision().is_some()) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "nodes must decide despite attack"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    for node in &nodes {
+        assert_eq!(node.decision(), Some(Value::One), "validity under attack");
+        assert!(
+            node.wire_rejected() >= 1,
+            "the out-of-range subject was rejected at the wire"
+        );
+        assert!(node.seq_gaps() >= 1, "the skipped seq was counted, dropped");
+    }
+    drop(attack_conns);
+    for mut node in nodes {
+        node.shutdown();
+    }
 }
 
 /// The `PhaseAggregator` sink consumes a networked run exactly as it does

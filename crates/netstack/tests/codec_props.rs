@@ -1,5 +1,6 @@
 //! Property tests: every protocol message's `Wire` codec round-trips, for
-//! arbitrary field values — the guarantee the socket runtime rests on.
+//! arbitrary field values — the guarantee the socket runtime rests on —
+//! and `Wire::validate` accepts exactly the in-system contents.
 //!
 //! Each case encodes, decodes, and asserts identity, plus checks the
 //! structural invariants shared by all codecs: decoding consumes exactly
@@ -10,6 +11,7 @@ use proptest::prelude::*;
 
 use benor::{BenOrMsg, Exchange};
 use bt_core::{DeadMsg, FailStopMsg, MaliciousKind, MaliciousMsg, MultiMsg, Phase, SimpleMsg};
+use netstack::Frame;
 use simnet::{ProcessId, Value, Wire, WireError};
 
 fn arb_value() -> impl Strategy<Value = Value> {
@@ -106,6 +108,53 @@ proptest! {
         ancestors in proptest::collection::vec(arb_pid(), 0..64),
     ) {
         roundtrip(&DeadMsg::Stage2 { value, ancestors })?;
+    }
+
+    #[test]
+    fn frame_roundtrip(
+        tag in 0u8..3,
+        pid in arb_pid(),
+        seq in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        next in any::<u64>(),
+    ) {
+        let frame = match tag {
+            0 => Frame::Hello { from: pid },
+            1 => Frame::Msg { seq, payload },
+            _ => Frame::Ack { next },
+        };
+        roundtrip(&frame)?;
+    }
+
+    /// Wire validation accepts exactly the in-system contents: a frame or
+    /// message is valid for system size `n` iff every process id it
+    /// carries indexes below `n`.
+    #[test]
+    fn validate_accepts_exactly_in_system_ids(
+        n in 1usize..64,
+        subject in arb_pid(),
+        kind in arb_kind(),
+        value in arb_value(),
+        phase in arb_phase(),
+        ancestors in proptest::collection::vec(arb_pid(), 0..16),
+        cardinality in 0usize..128,
+    ) {
+        let echo = MaliciousMsg { kind, subject, value, phase };
+        prop_assert_eq!(echo.validate(n), subject.index() < n);
+        prop_assert_eq!(
+            Frame::Hello { from: subject }.validate(n),
+            subject.index() < n
+        );
+
+        let stage2 = DeadMsg::Stage2 { value, ancestors: ancestors.clone() };
+        prop_assert_eq!(
+            stage2.validate(n),
+            ancestors.iter().all(|p| p.index() < n)
+        );
+        prop_assert!(DeadMsg::Stage1 { value }.validate(n));
+
+        let fs = FailStopMsg { phase: 0, value, cardinality };
+        prop_assert_eq!(fs.validate(n), cardinality <= n);
     }
 
     #[test]

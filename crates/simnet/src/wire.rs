@@ -214,6 +214,23 @@ pub trait Wire: Sized {
         r.finish()?;
         Ok(v)
     }
+
+    /// Whether this value is well-formed for a system of `n` processes.
+    ///
+    /// Decoding only checks that bytes parse; a Byzantine peer can still
+    /// send a structurally valid message whose *contents* are out of range
+    /// for the system — most importantly a [`ProcessId`] with
+    /// `index() >= n`, which would panic any protocol that indexes its
+    /// per-process tables by it. Runtimes call this on every decoded
+    /// message before delivery and drop anything invalid, exactly as they
+    /// drop undecodable bytes.
+    ///
+    /// The default accepts everything; types carrying process ids (or
+    /// containers of such types) override it.
+    fn validate(&self, n: usize) -> bool {
+        let _ = n;
+        true
+    }
 }
 
 impl Wire for u8 {
@@ -294,6 +311,10 @@ impl Wire for ProcessId {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok(ProcessId::new(usize::decode(r)?))
     }
+
+    fn validate(&self, n: usize) -> bool {
+        self.index() < n
+    }
 }
 
 impl<T: Wire> Wire for Option<T> {
@@ -318,6 +339,10 @@ impl<T: Wire> Wire for Option<T> {
             }),
         }
     }
+
+    fn validate(&self, n: usize) -> bool {
+        self.as_ref().is_none_or(|v| v.validate(n))
+    }
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -339,6 +364,10 @@ impl<T: Wire> Wire for Vec<T> {
         }
         Ok(items)
     }
+
+    fn validate(&self, n: usize) -> bool {
+        self.iter().all(|item| item.validate(n))
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
@@ -349,6 +378,10 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         Ok((A::decode(r)?, B::decode(r)?))
+    }
+
+    fn validate(&self, n: usize) -> bool {
+        self.0.validate(n) && self.1.validate(n)
     }
 }
 
@@ -464,6 +497,26 @@ mod tests {
             Vec::<Value>::from_bytes(&bytes),
             Err(WireError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn validate_bounds_process_ids() {
+        assert!(ProcessId::new(3).validate(4));
+        assert!(!ProcessId::new(4).validate(4));
+        assert!(!ProcessId::new(usize::MAX).validate(4));
+
+        // Containers delegate to their elements.
+        assert!(Some(ProcessId::new(0)).validate(1));
+        assert!(!Some(ProcessId::new(1)).validate(1));
+        assert!(Option::<ProcessId>::None.validate(0));
+        assert!(vec![ProcessId::new(0), ProcessId::new(2)].validate(3));
+        assert!(!vec![ProcessId::new(0), ProcessId::new(3)].validate(3));
+        assert!((7u8, ProcessId::new(1)).validate(2));
+        assert!(!(7u8, ProcessId::new(2)).validate(2));
+
+        // Types without process ids are valid in any system.
+        assert!(u64::MAX.validate(0));
+        assert!(Value::One.validate(0));
     }
 
     #[test]

@@ -17,8 +17,8 @@ cargo test --workspace -q
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> netstack smoke test (loopback TCP consensus)"
-# Skips internally (with a stderr note) where the sandbox forbids sockets.
-cargo test -q -p netstack --test cluster_loopback
+echo "==> netstack smoke test (release btnode cluster, end to end)"
+# Skips internally (with a note) where the sandbox forbids sockets.
+sh scripts/smoke_netstack.sh
 
 echo "==> all checks passed"

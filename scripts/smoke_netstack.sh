@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# End-to-end netstack smoke test: boots a real 4-node cluster from the
+# release `btnode` binary (4 OS processes talking TCP on loopback — not
+# the in-process test harness), waits for every node to decide, and feeds
+# node 0's JSONL trace through the release `btreport` binary.
+#
+# Exercises the full shipped surface: CLI parsing, listener binding,
+# cross-process dial/handshake/ack flow, decision detection, trace
+# writing, and report rendering. Skips (exit 0, with a note) where the
+# sandbox forbids binding loopback sockets.
+#
+# Usage: scripts/smoke_netstack.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BTNODE=target/release/btnode
+BTREPORT=target/release/btreport
+if [ ! -x "$BTNODE" ] || [ ! -x "$BTREPORT" ]; then
+    echo "==> building release binaries for the smoke run"
+    cargo build --release -q
+fi
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+# Derive a port block from the PID so parallel runs rarely collide; a
+# bind failure is reported by btnode and treated as a skip below.
+BASE=$((21000 + $$ % 20000))
+PEERS="--peer 127.0.0.1:$BASE --peer 127.0.0.1:$((BASE + 1)) \
+--peer 127.0.0.1:$((BASE + 2)) --peer 127.0.0.1:$((BASE + 3))"
+
+echo "==> booting 4 btnode processes (malicious protocol, n=4 k=1, ports $BASE-$((BASE + 3)))"
+for i in 0 1 2 3; do
+    JSONL=""
+    if [ "$i" = 0 ]; then
+        JSONL="--jsonl $TMP/node0.jsonl"
+    fi
+    # shellcheck disable=SC2086 # PEERS/JSONL are intentionally word-split
+    "$BTNODE" --id "$i" --n 4 --k 1 --proto malicious --input 1 \
+        --listen "127.0.0.1:$((BASE + i))" $PEERS \
+        --seed 42 --timeout 30 $JSONL \
+        >"$TMP/node$i.log" 2>&1 &
+    PIDS="$PIDS $!"
+done
+
+FAILED=0
+for pid in $PIDS; do
+    wait "$pid" || FAILED=1
+done
+PIDS=""
+
+if grep -q "cannot bind" "$TMP"/node*.log; then
+    echo "==> skipping: sandbox forbids binding loopback sockets"
+    exit 0
+fi
+
+if [ "$FAILED" != 0 ]; then
+    echo "==> FAIL: a node exited non-zero; logs follow" >&2
+    cat "$TMP"/node*.log >&2
+    exit 1
+fi
+
+for i in 0 1 2 3; do
+    if ! grep -q "decided" "$TMP/node$i.log"; then
+        echo "==> FAIL: node $i never decided; log follows" >&2
+        cat "$TMP/node$i.log" >&2
+        exit 1
+    fi
+done
+
+echo "==> all 4 nodes decided; rendering node 0's trace with btreport"
+if ! "$BTREPORT" "$TMP/node0.jsonl" | grep -q "decided"; then
+    echo "==> FAIL: btreport output does not mention a decision" >&2
+    "$BTREPORT" "$TMP/node0.jsonl" >&2 || true
+    exit 1
+fi
+
+echo "==> netstack smoke test passed"
