@@ -57,6 +57,17 @@ pub enum Termination {
     WildcardExit,
 }
 
+/// How [`Malicious::replay_for_current_phase`] ended.
+enum Replay {
+    /// The replayed material did not complete the phase.
+    Incomplete,
+    /// The phase quota was reached. `sticky_only` is `true` when nothing but
+    /// wildcard (`*`) contributions were tallied before completion — a state
+    /// that recurs identically next phase, since the sticky maps only grow
+    /// on fresh deliveries.
+    Completed { sticky_only: bool },
+}
+
 /// One process of the Figure 2 malicious-resilient consensus protocol.
 ///
 /// # Examples
@@ -197,6 +208,7 @@ impl Malicious {
 
     /// Ends phases until one is left incomplete (or the process exits).
     fn advance(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) {
+        let mut sticky_fixpoint = false;
         loop {
             // End-of-phase block of Figure 2: adopt the majority of the
             // accepted values, then check the decision threshold.
@@ -228,6 +240,18 @@ impl Malicious {
                 }
             }
 
+            if sticky_fixpoint {
+                // The phase just ended was completed purely by wildcard
+                // (`*`) contributions, with no deferred echo waiting beyond
+                // it. The sticky maps never change, so every later phase
+                // would complete identically without a single new message —
+                // an unbounded catch-up loop inside one delivery (btfuzz
+                // found it: a Continue-mode process whose peers have all
+                // wildcard-exited spins here forever). Come to rest instead;
+                // fresh concrete messages re-enter through `on_receive`.
+                return;
+            }
+
             // Start the next phase.
             self.phase += 1;
             ctx.emit(ProtocolEvent::PhaseEntered { phase: self.phase });
@@ -235,17 +259,23 @@ impl Malicious {
             self.echo_count = vec![[0; 2]; self.config.n()];
             self.accepted = vec![None; self.config.n()];
             self.message_count = [0; 2];
+            // Batches for phases we skipped past are unreachable now.
+            self.deferred = self.deferred.split_off(&self.phase);
             ctx.broadcast(MaliciousMsg::initial(ctx.me(), self.value, self.phase));
 
-            if !self.replay_for_current_phase(ctx) {
-                return;
+            match self.replay_for_current_phase(ctx) {
+                Replay::Incomplete => return,
+                Replay::Completed { sticky_only } => {
+                    sticky_fixpoint =
+                        sticky_only && self.deferred.range(self.phase + 1..).next().is_none();
+                }
             }
         }
     }
 
     /// Applies wildcard contributions and deferred echoes to the (new)
-    /// current phase; returns `true` if they complete it outright.
-    fn replay_for_current_phase(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) -> bool {
+    /// current phase.
+    fn replay_for_current_phase(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) -> Replay {
         // Wildcard initials: echo once per phase, like a fresh initial.
         let inits: Vec<(usize, Value)> = self.sticky_init.iter().map(|(s, v)| (*s, *v)).collect();
         for (subject, v) in inits {
@@ -261,7 +291,7 @@ impl Malicious {
             .collect();
         for (s, q, v) in echoes {
             if self.tally_echo(ProcessId::new(s), ProcessId::new(q), v, true, ctx) {
-                return true;
+                return Replay::Completed { sticky_only: true };
             }
         }
         // Deferred concrete echoes for this phase.
@@ -269,11 +299,12 @@ impl Malicious {
             for (sender, msg) in batch {
                 debug_assert_eq!(msg.kind, MaliciousKind::Echo);
                 if self.tally_echo(sender, msg.subject, msg.value, false, ctx) {
-                    return true; // rest of the batch is now stale
+                    // The rest of the batch is now stale.
+                    return Replay::Completed { sticky_only: false };
                 }
             }
         }
-        false
+        Replay::Incomplete
     }
 
     /// The paper's exit procedure (§3.3): wildcard messages with the same
@@ -676,6 +707,66 @@ mod tests {
             [1, 1],
             "the wildcard echo is a distinct message and must be counted"
         );
+    }
+
+    #[test]
+    fn pure_sticky_phases_cannot_spin_forever() {
+        // Regression (found by btfuzz, Partition schedule + TwoFaced peer):
+        // a Continue-mode process whose other three peers have all
+        // wildcard-exited completes phase after phase from the sticky `*`
+        // messages alone. Those messages never change, so the catch-up loop
+        // in `advance` used to spin forever inside a single `on_receive`,
+        // allocating broadcasts without bound. The fixpoint must be
+        // detected and the call must return.
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero); // Termination::Continue
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+
+        // Deliver the full exit burst of peers 1..4, all decided One.
+        for peer in 1..4 {
+            let sender = ProcessId::new(peer);
+            let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+            p.on_receive(
+                Envelope::new(
+                    sender,
+                    MaliciousMsg {
+                        kind: MaliciousKind::Initial,
+                        subject: sender,
+                        value: Value::One,
+                        phase: Phase::Any,
+                    },
+                ),
+                &mut ctx,
+            );
+            for q in ProcessId::all(4) {
+                let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+                p.on_receive(
+                    Envelope::new(
+                        sender,
+                        MaliciousMsg {
+                            kind: MaliciousKind::Echo,
+                            subject: q,
+                            value: Value::One,
+                            phase: Phase::Any,
+                        },
+                    ),
+                    &mut ctx,
+                );
+            }
+        }
+        // Three same-value sticky echoes accept every subject, so each
+        // phase completes from stickies alone: the process must decide and
+        // come to rest, not churn phases.
+        assert_eq!(p.decision(), Some(Value::One));
+        assert!(
+            p.phase() < 8,
+            "sticky fixpoint must stop phase churn, got phase {}",
+            p.phase()
+        );
+        assert!(!p.halted(), "Continue mode stays live");
     }
 
     #[test]

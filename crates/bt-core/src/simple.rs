@@ -15,6 +15,16 @@
 //! which `crates/markov` reproduces analytically; experiment E3 checks the
 //! two against each other and against the paper's "< 7 expected phases"
 //! bound.
+//!
+//! As everywhere in the paper, the phase loop is written as infinite "for
+//! notational convenience only". This implementation performs a fail-stop
+//! exit: a process that decides broadcasts its (adopted, decided) value for
+//! one more phase and then halts. By quorum intersection every correct
+//! process holds the decided value from the decision phase on, so that last
+//! unanimous broadcast is enough for every peer to complete the following
+//! phase and decide in turn — while keeping the decided processes' message
+//! load finite, which is what makes convergence checkable under hostile
+//! (partition) schedules.
 
 use std::collections::BTreeMap;
 
@@ -51,6 +61,7 @@ pub struct Simple {
     deferred: BTreeMap<u64, Vec<SimpleMsg>>,
     decision: Option<Value>,
     decided_phase: Option<u64>,
+    halted: bool,
 }
 
 impl Simple {
@@ -65,6 +76,7 @@ impl Simple {
             deferred: BTreeMap::new(),
             decision: None,
             decided_phase: None,
+            halted: false,
         }
     }
 
@@ -116,10 +128,24 @@ impl Simple {
             phase: self.phase,
             value: self.value,
         });
+        if self.decision.is_some() {
+            // Fail-stop exit: one broadcast past the decision, then leave.
+            // The quorum-intersection argument makes every correct process
+            // adopt the decided value by the decision phase, so this final
+            // unanimous-value message lets everyone else — including a
+            // partitioned laggard — complete the next phase and decide.
+            // Without it the paper's as-written infinite loop has deciders
+            // churn phases forever, and a laggard's catch-up through the
+            // ever-growing backlog explodes past any step limit (found by
+            // btfuzz under a quota-sized-partition schedule).
+            self.halted = true;
+            self.deferred.clear();
+            ctx.emit(ProtocolEvent::Halted { phase: self.phase });
+        }
     }
 
     fn drain_deferred(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
-        loop {
+        while !self.halted {
             let Some(mut batch) = self.deferred.remove(&self.phase) else {
                 return;
             };
@@ -149,6 +175,9 @@ impl Process for Simple {
     }
 
     fn on_receive(&mut self, env: Envelope<SimpleMsg>, ctx: &mut Ctx<'_, SimpleMsg>) {
+        if self.halted {
+            return;
+        }
         let msg = env.msg;
         if msg.phase < self.phase {
             return;
@@ -173,6 +202,10 @@ impl Process for Simple {
 
     fn decision_phase(&self) -> Option<u64> {
         self.decided_phase
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
     }
 }
 
@@ -281,9 +314,12 @@ mod tests {
             );
         }
         assert_eq!(p.decision(), Some(Value::One));
+        assert!(
+            p.halted(),
+            "a decider broadcasts one more phase and then exits"
+        );
 
-        // Keep participating (Figure 2 loops forever); even an
-        // all-zeros later phase cannot change d_p.
+        // Even an all-zeros later phase cannot change d_p.
         for s in 0..3 {
             p.on_receive(
                 Envelope::new(
@@ -297,7 +333,7 @@ mod tests {
             );
         }
         assert_eq!(p.decision(), Some(Value::One), "decisions are irrevocable");
-        assert_eq!(p.value(), Value::Zero, "the working value may still move");
+        assert_eq!(p.value(), Value::One, "an exited process's value is fixed");
     }
 
     #[test]
@@ -323,21 +359,17 @@ mod tests {
             );
         }
         assert_eq!(p.phase(), 0);
-        // Now complete phase 0; the deferred batch should immediately
-        // complete phase 1 too.
-        for s in 0..3 {
+        // Now complete phase 0 without a decision (0, 0, 1 → majority 0,
+        // 2 ≤ 2.5); the deferred all-ones batch should immediately complete
+        // phase 1 and decide there.
+        for (s, v) in [(0, Value::Zero), (1, Value::Zero), (2, Value::One)] {
             p.on_receive(
-                Envelope::new(
-                    ProcessId::new(s),
-                    SimpleMsg {
-                        phase: 0,
-                        value: Value::One,
-                    },
-                ),
+                Envelope::new(ProcessId::new(s), SimpleMsg { phase: 0, value: v }),
                 &mut ctx,
             );
         }
         assert_eq!(p.phase(), 2);
         assert_eq!(p.decision(), Some(Value::One));
+        assert_eq!(p.decision_phase(), Some(1));
     }
 }

@@ -1,0 +1,246 @@
+//! `btfuzz` — seeded schedule/fault fuzzer for the consensus protocols.
+//!
+//! ```text
+//! btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject]
+//!        [--no-netstack] [--out PATH]
+//! btfuzz --replay PATH
+//! ```
+//!
+//! Default mode fuzzes the unmodified tree: exit 0 when every case runs
+//! clean, exit 1 with a repro artifact written to `--out` (default
+//! `btfuzz-repro.jsonl`) when an invariant breaks. `--inject` is the
+//! harness self-test: it plants a broken fail-stop quorum rule and exits 0
+//! only if the fuzzer finds it, shrinks it, and the artifact replays.
+//! `--replay` re-executes a previously written artifact and byte-verifies
+//! the trace. Seeds accept decimal or `0x`-prefixed hex.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dst::{fuzz, FindingKind, FuzzConfig, Injection};
+
+struct Args {
+    budget: Option<Duration>,
+    cases: Option<u64>,
+    seed: Option<u64>,
+    inject: bool,
+    netstack: bool,
+    out: String,
+    replay: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject] \
+         [--no-netstack] [--out PATH] | btfuzz --replay PATH"
+    );
+    std::process::exit(2);
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        budget: None,
+        cases: None,
+        seed: None,
+        inject: false,
+        netstack: true,
+        out: "btfuzz-repro.jsonl".to_string(),
+        replay: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--budget" => {
+                let raw = value("seconds value");
+                match raw.parse::<u64>() {
+                    Ok(s) => args.budget = Some(Duration::from_secs(s)),
+                    Err(_) => {
+                        eprintln!("bad --budget {raw:?}");
+                        usage()
+                    }
+                }
+            }
+            "--cases" => {
+                let raw = value("count");
+                match raw.parse() {
+                    Ok(n) => args.cases = Some(n),
+                    Err(_) => {
+                        eprintln!("bad --cases {raw:?}");
+                        usage()
+                    }
+                }
+            }
+            "--seed" => {
+                let raw = value("seed");
+                match parse_seed(&raw) {
+                    Some(s) => args.seed = Some(s),
+                    None => {
+                        eprintln!("bad --seed {raw:?}");
+                        usage()
+                    }
+                }
+            }
+            "--inject" => args.inject = true,
+            "--no-netstack" => args.netstack = false,
+            "--out" => args.out = value("path"),
+            "--replay" => args.replay = Some(value("path")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("btfuzz: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let repro = match dst::parse_artifact(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("btfuzz: bad artifact {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("replaying {}", repro.scenario.describe());
+    match dst::verify_replay(&repro) {
+        Ok(()) => {
+            println!(
+                "replay ok: classes [{}] and trace reproduced byte-identically",
+                repro.classes.join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("replay FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        return replay(path);
+    }
+
+    let mut config = FuzzConfig {
+        netstack: args.netstack,
+        ..FuzzConfig::default()
+    };
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    config.budget = args.budget;
+    if let Some(cases) = args.cases {
+        config.max_cases = cases;
+    } else if args.budget.is_some() {
+        // Budgeted runs: the clock is the limit, not the case count.
+        config.max_cases = u64::MAX;
+    }
+    if args.inject {
+        config.inject = Some(Injection::WeakenFailStop {
+            witness_slack: 100,
+            decide_slack: 100,
+        });
+        // The ablated protocol only exists in the simulator.
+        config.netstack = false;
+    }
+
+    println!(
+        "btfuzz: seed {:#018x}, {} cases max, budget {:?}, netstack {}",
+        config.seed,
+        config.max_cases,
+        config.budget,
+        if config.netstack { "on" } else { "off" }
+    );
+    let outcome = fuzz(&config, |line| println!("btfuzz: {line}"));
+    println!(
+        "btfuzz: {} cases, {} netstack cross-checks",
+        outcome.cases, outcome.netstack_runs
+    );
+
+    let Some(finding) = outcome.finding else {
+        if args.inject {
+            eprintln!("btfuzz: --inject planted a defect but nothing was found");
+            return ExitCode::FAILURE;
+        }
+        println!("btfuzz: no violations");
+        return ExitCode::SUCCESS;
+    };
+
+    println!(
+        "btfuzz: case {} violated: {}",
+        finding.case,
+        finding.scenario.describe()
+    );
+    for v in &finding.violations {
+        println!("btfuzz:   {v}");
+    }
+    if let Some(shrunk) = &finding.shrunk {
+        println!(
+            "btfuzz: shrunk in {} step(s) / {} run(s) to: {}",
+            shrunk.steps,
+            shrunk.runs,
+            shrunk.scenario.describe()
+        );
+    }
+    if finding.kind == FindingKind::NetstackDivergence {
+        println!(
+            "btfuzz: divergence is against the netstack runtime (artifact holds the sim trace)"
+        );
+    }
+
+    if let Err(e) = std::fs::write(&args.out, &finding.artifact) {
+        eprintln!("btfuzz: cannot write artifact {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "btfuzz: artifact written to {} (replay: btfuzz --replay {})",
+        args.out, args.out
+    );
+
+    if args.inject {
+        // Self-test: found, shrunk — now the artifact must replay.
+        let repro = match dst::parse_artifact(&finding.artifact) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("btfuzz: self-test artifact does not parse: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match dst::verify_replay(&repro) {
+            Ok(()) => {
+                println!("btfuzz: self-test passed — injected defect found, shrunk, replayed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("btfuzz: self-test replay failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,299 @@
+//! Scenario execution: one [`Scenario`], two runtimes.
+//!
+//! [`run_sim`] executes a scenario in the deterministic `simnet` simulator
+//! with a JSONL trace attached — same scenario, same bytes, every time.
+//! [`run_netstack`] executes the *same* scenario over loopback TCP via
+//! `netstack::Cluster`, translating the schedule adversary into the
+//! nearest wall-clock link-fault plan. The socket runtime is only
+//! reproducible in fault *pattern* (the OS interleaves arrivals), so
+//! cross-runtime conformance is judged on decision properties, not traces.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use adversary::{Crashing, Silent, TwoFacedMalicious};
+use bt_core::ablation::{AblatedFailStop, ThresholdRule};
+use bt_core::{Config, FailStop, Malicious, Simple, Termination};
+use netstack::{
+    sockets_available, Cluster, ClusterOptions, CrashPlan, FaultPlan, NodeFault, Proto,
+};
+use obs::JsonlSink;
+use simnet::scheduler::{
+    DelayingScheduler, DeliveryOrder, FairScheduler, PartitionScheduler, ScriptedScheduler,
+};
+use simnet::{Process, ProcessId, Role, RunReport, Scheduler, Selection, SharedSubscriber, Sim};
+
+use crate::scenario::{FaultSpec, Injection, OrderSpec, ProtoKind, Scenario, SchedSpec};
+
+/// A simulated run's results: the report plus its JSONL trace.
+#[derive(Debug)]
+pub struct SimOutcome {
+    /// The engine's run report.
+    pub report: RunReport,
+    /// The full JSONL trace (`run_start` line, events, `run_end` line).
+    pub trace: String,
+}
+
+fn pids(indices: &[usize]) -> Vec<ProcessId> {
+    indices.iter().map(|&i| ProcessId::new(i)).collect()
+}
+
+/// Builds the scenario's scheduler for the simulator.
+fn build_scheduler<M: 'static>(scenario: &Scenario) -> Box<dyn Scheduler<M>> {
+    match &scenario.sched {
+        SchedSpec::Fair(order) => Box::new(FairScheduler::new().delivery_order(match order {
+            OrderSpec::Random => DeliveryOrder::Random,
+            OrderSpec::Fifo => DeliveryOrder::Fifo,
+            OrderSpec::Lifo => DeliveryOrder::Lifo,
+        })),
+        SchedSpec::Delaying(victims) => {
+            Box::new(DelayingScheduler::new(scenario.n, &pids(victims)))
+        }
+        SchedSpec::Partition {
+            left,
+            epoch_len,
+            heal_every,
+        } => Box::new(PartitionScheduler::new(
+            scenario.n,
+            &pids(left),
+            *epoch_len,
+            *heal_every,
+        )),
+    }
+}
+
+fn run_generic<M: 'static>(
+    scenario: &Scenario,
+    processes: Vec<Box<dyn Process<Msg = M>>>,
+    schedule: Option<Vec<Selection>>,
+) -> SimOutcome {
+    let sink = Arc::new(Mutex::new(JsonlSink::new()));
+    let mut b = Sim::builder();
+    for (i, process) in processes.into_iter().enumerate() {
+        let role = if scenario.faults[i].is_faulty() {
+            Role::Faulty
+        } else {
+            Role::Correct
+        };
+        b.process(process, role);
+    }
+    match schedule {
+        // Replays pin the exact recorded interleaving; the fallback lets a
+        // schedule recorded under a *shorter* run still finish delivering.
+        Some(script) => b.scheduler(Box::new(ScriptedScheduler::with_fallback(script))),
+        None => b.scheduler(build_scheduler::<M>(scenario)),
+    };
+    b.seed(scenario.seed)
+        .step_limit(scenario.step_limit)
+        .subscriber(sink.clone() as SharedSubscriber);
+    let report = b.build().run();
+    let trace = sink.lock().expect("sink lock").contents();
+    SimOutcome { report, trace }
+}
+
+/// Wraps a correct process according to its fault spec.
+fn apply_fault<P>(process: P, fault: FaultSpec) -> Box<dyn Process<Msg = P::Msg>>
+where
+    P: Process + 'static,
+    P::Msg: 'static,
+{
+    match fault {
+        FaultSpec::Correct => Box::new(process),
+        FaultSpec::CrashAfterSends(s) => Box::new(Crashing::new(process, CrashPlan::AfterSends(s))),
+        FaultSpec::CrashAtPhase(p) => Box::new(Crashing::new(process, CrashPlan::AtPhase(p))),
+        // A two-faced process only exists for the malicious message type;
+        // the malicious builder intercepts it before reaching here.
+        FaultSpec::Silent | FaultSpec::TwoFaced => Box::new(Silent::new()),
+    }
+}
+
+/// Runs the scenario in the simulator; `schedule`, if given, replays an
+/// exact recorded interleaving instead of the scenario's scheduler.
+///
+/// # Panics
+///
+/// Panics if the scenario's `(n, k)` violate the protocol's config bound —
+/// generated and shrunk scenarios never do.
+#[must_use]
+pub fn run_sim_scheduled(scenario: &Scenario, schedule: Option<Vec<Selection>>) -> SimOutcome {
+    match scenario.proto {
+        ProtoKind::FailStop => {
+            let config = Config::fail_stop(scenario.n, scenario.k).expect("generator bound");
+            let rule = scenario.inject.map(
+                |Injection::WeakenFailStop {
+                     witness_slack,
+                     decide_slack,
+                 }| {
+                    ThresholdRule::weakened(config, witness_slack, decide_slack)
+                },
+            );
+            let processes = (0..scenario.n)
+                .map(|i| match rule {
+                    Some(rule) => apply_fault(
+                        AblatedFailStop::new(config, rule, scenario.inputs[i]),
+                        scenario.faults[i],
+                    ),
+                    None => apply_fault(
+                        FailStop::new(config, scenario.inputs[i]),
+                        scenario.faults[i],
+                    ),
+                })
+                .collect();
+            run_generic(scenario, processes, schedule)
+        }
+        ProtoKind::Simple => {
+            let config = Config::fail_stop(scenario.n, scenario.k).expect("generator bound");
+            let processes = (0..scenario.n)
+                .map(|i| apply_fault(Simple::new(config, scenario.inputs[i]), scenario.faults[i]))
+                .collect();
+            run_generic(scenario, processes, schedule)
+        }
+        ProtoKind::Malicious => {
+            let config = Config::malicious(scenario.n, scenario.k).expect("generator bound");
+            let processes = (0..scenario.n)
+                .map(|i| -> Box<dyn Process<Msg = bt_core::MaliciousMsg>> {
+                    if scenario.faults[i] == FaultSpec::TwoFaced {
+                        Box::new(TwoFacedMalicious::new(config))
+                    } else {
+                        // The §3.3 exit procedure, not the as-written
+                        // infinite loop: under a partition schedule a
+                        // laggard's inbox otherwise grows without bound
+                        // while deciders churn phases forever, and the
+                        // random-delivery catch-up time explodes past any
+                        // step limit (found by the fuzzer). Wildcard exit
+                        // bounds the backlog so convergence is checkable.
+                        apply_fault(
+                            Malicious::with_termination(
+                                config,
+                                scenario.inputs[i],
+                                Termination::WildcardExit,
+                            ),
+                            scenario.faults[i],
+                        )
+                    }
+                })
+                .collect();
+            run_generic(scenario, processes, schedule)
+        }
+    }
+}
+
+/// Runs the scenario in the simulator with its own scheduler.
+#[must_use]
+pub fn run_sim(scenario: &Scenario) -> SimOutcome {
+    run_sim_scheduled(scenario, None)
+}
+
+/// The wall-clock fault plan standing in for the scenario's scheduler:
+/// fair ⇒ small reorder jitter, delaying ⇒ larger per-message delay,
+/// partition ⇒ a real cut that heals. All are delay-only, so the §2.1
+/// reliable-channel assumption — and hence termination — is preserved.
+#[must_use]
+pub fn netstack_fault_plan(scenario: &Scenario) -> FaultPlan {
+    match &scenario.sched {
+        SchedSpec::Fair(_) => {
+            FaultPlan::reliable().with_delay(Duration::ZERO, Duration::from_millis(2))
+        }
+        SchedSpec::Delaying(_) => {
+            FaultPlan::reliable().with_delay(Duration::ZERO, Duration::from_millis(15))
+        }
+        SchedSpec::Partition { left, .. } => FaultPlan::reliable()
+            .with_delay(Duration::ZERO, Duration::from_millis(2))
+            .with_partition(scenario.n, left, Duration::from_millis(60)),
+    }
+}
+
+fn node_fault(fault: FaultSpec) -> NodeFault {
+    match fault {
+        FaultSpec::Correct => NodeFault::Correct,
+        FaultSpec::CrashAfterSends(s) => NodeFault::Crash(CrashPlan::AfterSends(s)),
+        FaultSpec::CrashAtPhase(p) => NodeFault::Crash(CrashPlan::AtPhase(p)),
+        FaultSpec::Silent => NodeFault::Silent,
+        FaultSpec::TwoFaced => NodeFault::TwoFaced,
+    }
+}
+
+/// Runs the scenario over loopback TCP, or `None` when the sandbox forbids
+/// sockets or the scenario carries an injection (the ablated protocol only
+/// exists in the simulator).
+#[must_use]
+pub fn run_netstack(scenario: &Scenario, timeout: Duration) -> Option<RunReport> {
+    if !sockets_available() || scenario.inject.is_some() {
+        return None;
+    }
+    let proto = match scenario.proto {
+        ProtoKind::FailStop => Proto::FailStop,
+        ProtoKind::Simple => Proto::Simple,
+        ProtoKind::Malicious => Proto::Malicious,
+    };
+    let options = ClusterOptions {
+        seed: scenario.seed,
+        inputs: scenario.inputs.clone(),
+        faults: scenario.faults.iter().map(|&f| node_fault(f)).collect(),
+        link_fault: netstack_fault_plan(scenario),
+    };
+    let mut cluster = Cluster::spawn(scenario.n, scenario.k, proto, options, None).ok()?;
+    let report = cluster.await_verdict(timeout);
+    cluster.shutdown();
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use prng::Prng;
+    use simnet::RunStatus;
+
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn generated_scenarios_replay_byte_identically() {
+        let mut rng = Prng::seed_from_u64(5);
+        for _ in 0..10 {
+            let s = Scenario::generate(&mut rng);
+            let a = run_sim(&s);
+            let b = run_sim(&s);
+            assert_eq!(a.trace, b.trace, "nondeterministic trace: {}", s.describe());
+            assert_eq!(a.report.decisions, b.report.decisions);
+        }
+    }
+
+    #[test]
+    fn recorded_schedule_replays_to_the_same_decisions() {
+        let mut rng = Prng::seed_from_u64(9);
+        let s = Scenario::generate(&mut rng);
+        let original = run_sim(&s);
+        let lines = obs::parse_trace(&original.trace).expect("trace parses");
+        let schedule = obs::schedule_of(&lines);
+        let replayed = run_sim_scheduled(&s, Some(schedule));
+        assert_eq!(original.report.decisions, replayed.report.decisions);
+        assert_eq!(original.report.status, replayed.report.status);
+    }
+
+    #[test]
+    fn injected_scenario_runs_the_ablated_protocol() {
+        let s = Scenario {
+            proto: ProtoKind::FailStop,
+            n: 4,
+            k: 1,
+            seed: 3,
+            inputs: vec![
+                simnet::Value::One,
+                simnet::Value::Zero,
+                simnet::Value::One,
+                simnet::Value::Zero,
+            ],
+            faults: vec![FaultSpec::Correct; 4],
+            sched: crate::scenario::SchedSpec::Fair(crate::scenario::OrderSpec::Random),
+            step_limit: 100_000,
+            inject: Some(Injection::WeakenFailStop {
+                witness_slack: 100,
+                decide_slack: 100,
+            }),
+        };
+        let out = run_sim(&s);
+        // The fully weakened protocol decides instantly — the run must at
+        // least complete; whether it *agrees* is the fuzzer's business.
+        assert_eq!(out.report.status, RunStatus::Stopped);
+    }
+}

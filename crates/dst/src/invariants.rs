@@ -1,0 +1,251 @@
+//! The invariant suite every fuzzed run is checked against.
+//!
+//! Each check is a property the paper proves for the configured resilience
+//! bound, so any hit is a real counterexample, not flakiness:
+//!
+//! - **agreement** — no two correct processes decide different values
+//!   (Theorems 1/2/3);
+//! - **validity** — with unanimous correct inputs `v`, any correct decision
+//!   is `v` (the paper's nontriviality clause);
+//! - **convergence** — generated scenarios keep enough live senders for
+//!   the quotas, so every correct process must eventually decide;
+//! - **threshold conformance** — every `witness_reached` trace event
+//!   carries Fig. 1's cardinality `> n/2`, and every `echo_accepted`
+//!   event carries Fig. 2's `> (n+k)/2` echo count. This is how the
+//!   fuzzer catches a protocol that "decides" by cutting corners, e.g. an
+//!   echo threshold ablated down to `n/3`.
+
+use std::fmt;
+
+use obs::TraceLine;
+use simnet::{Event, ProtocolEvent, RunReport, RunStatus, Value};
+
+use crate::scenario::Scenario;
+
+/// A concrete invariant breach found in one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two correct processes decided different values.
+    Disagreement {
+        /// First process and its decision.
+        a: (usize, Value),
+        /// Second process and its conflicting decision.
+        b: (usize, Value),
+    },
+    /// A correct process decided against a unanimous correct input.
+    ValidityBroken {
+        /// The offending process.
+        pid: usize,
+        /// What it decided.
+        decided: Value,
+        /// The unanimous input it should have decided.
+        unanimous: Value,
+    },
+    /// The run ended without all correct processes deciding.
+    NoConvergence {
+        /// The terminal status (`Quiescent` or `StepLimitReached`).
+        status: RunStatus,
+    },
+    /// A witness event fired at cardinality `≤ n/2` (Fig. 1 requires a
+    /// strict majority).
+    WitnessBelowMajority {
+        /// The observing process.
+        pid: usize,
+        /// The phase of the bogus witness.
+        phase: u64,
+        /// The sub-majority cardinality it reported.
+        cardinality: usize,
+    },
+    /// An echo acceptance fired at `≤ (n+k)/2` echoes (Fig. 2 requires a
+    /// strict `(n+k)/2` quorum).
+    EchoBelowQuorum {
+        /// The accepting process.
+        pid: usize,
+        /// The phase of the bogus acceptance.
+        phase: u64,
+        /// The sub-quorum echo count it reported.
+        echoes: usize,
+    },
+}
+
+impl Violation {
+    /// Stable short name for the violation's class; shrinking preserves
+    /// the class set, not the exact instance.
+    #[must_use]
+    pub fn class(&self) -> &'static str {
+        match self {
+            Violation::Disagreement { .. } => "disagreement",
+            Violation::ValidityBroken { .. } => "validity",
+            Violation::NoConvergence { .. } => "no-convergence",
+            Violation::WitnessBelowMajority { .. } => "witness-threshold",
+            Violation::EchoBelowQuorum { .. } => "echo-threshold",
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Disagreement { a, b } => write!(
+                f,
+                "disagreement: p{} decided {} but p{} decided {}",
+                a.0, a.1, b.0, b.1
+            ),
+            Violation::ValidityBroken {
+                pid,
+                decided,
+                unanimous,
+            } => write!(
+                f,
+                "validity: p{pid} decided {decided} against unanimous input {unanimous}"
+            ),
+            Violation::NoConvergence { status } => {
+                write!(f, "no convergence: run ended {status:?} before all correct decided")
+            }
+            Violation::WitnessBelowMajority {
+                pid,
+                phase,
+                cardinality,
+            } => write!(
+                f,
+                "witness threshold: p{pid} saw a witness at cardinality {cardinality} in phase {phase} (needs > n/2)"
+            ),
+            Violation::EchoBelowQuorum { pid, phase, echoes } => write!(
+                f,
+                "echo threshold: p{pid} accepted at {echoes} echoes in phase {phase} (needs > (n+k)/2)"
+            ),
+        }
+    }
+}
+
+/// Sorted, deduplicated class names — the shrinker's equivalence key.
+#[must_use]
+pub fn classes(violations: &[Violation]) -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = violations.iter().map(Violation::class).collect();
+    names.sort_unstable();
+    names.dedup();
+    names
+}
+
+/// Checks every invariant against one run's report and (optionally) its
+/// parsed trace. Returns all breaches found; empty means the run conformed.
+#[must_use]
+pub fn check(scenario: &Scenario, report: &RunReport, trace: &[TraceLine]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let correct: Vec<usize> = (0..scenario.n)
+        .filter(|&i| !scenario.faults[i].is_faulty())
+        .collect();
+
+    // Agreement: first decided correct process vs every later one.
+    let mut first: Option<(usize, Value)> = None;
+    for &i in &correct {
+        if let Some(v) = report.decisions[i] {
+            match first {
+                None => first = Some((i, v)),
+                Some((j, w)) if w != v => {
+                    out.push(Violation::Disagreement {
+                        a: (j, w),
+                        b: (i, v),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // Validity under unanimous correct inputs.
+    if let Some(unanimous) = scenario.unanimous_input() {
+        for &i in &correct {
+            if let Some(decided) = report.decisions[i] {
+                if decided != unanimous {
+                    out.push(Violation::ValidityBroken {
+                        pid: i,
+                        decided,
+                        unanimous,
+                    });
+                }
+            }
+        }
+    }
+
+    // Convergence: the generator keeps scenarios live, so a non-`Stopped`
+    // end (correct processes left undecided) is a liveness counterexample.
+    if report.status != RunStatus::Stopped {
+        out.push(Violation::NoConvergence {
+            status: report.status,
+        });
+    }
+
+    // Threshold conformance from the trace. Only correct processes are
+    // held to the thresholds — an adversary may log anything.
+    for line in trace {
+        if let TraceLine::Event(Event::Protocol { pid, event, .. }) = line {
+            let pid = pid.index();
+            if scenario.faults.get(pid).is_some_and(|f| f.is_faulty()) {
+                continue;
+            }
+            match *event {
+                ProtocolEvent::WitnessReached {
+                    phase, cardinality, ..
+                } if 2 * cardinality <= scenario.n => {
+                    out.push(Violation::WitnessBelowMajority {
+                        pid,
+                        phase,
+                        cardinality,
+                    });
+                }
+                ProtocolEvent::EchoAccepted { phase, echoes, .. }
+                    if 2 * echoes <= scenario.n + scenario.k =>
+                {
+                    out.push(Violation::EchoBelowQuorum { pid, phase, echoes });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use prng::Prng;
+
+    use super::*;
+    use crate::exec::run_sim;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn clean_generated_runs_have_no_violations() {
+        let mut rng = Prng::seed_from_u64(0xC1EA);
+        for _ in 0..25 {
+            let s = Scenario::generate(&mut rng);
+            let out = run_sim(&s);
+            let trace = obs::parse_trace(&out.trace).expect("trace parses");
+            let violations = check(&s, &out.report, &trace);
+            assert!(
+                violations.is_empty(),
+                "unexpected violations {violations:?} in {}",
+                s.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn classes_sort_and_dedup() {
+        let vs = vec![
+            Violation::NoConvergence {
+                status: RunStatus::Quiescent,
+            },
+            Violation::Disagreement {
+                a: (0, Value::Zero),
+                b: (1, Value::One),
+            },
+            Violation::Disagreement {
+                a: (0, Value::Zero),
+                b: (2, Value::One),
+            },
+        ];
+        assert_eq!(classes(&vs), vec!["disagreement", "no-convergence"]);
+    }
+}

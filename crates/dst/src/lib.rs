@@ -1,0 +1,42 @@
+//! Deterministic simulation testing for the Bracha–Toueg protocols.
+//!
+//! This crate closes the loop between the two runtimes the workspace
+//! already has — the deterministic `simnet` simulator and the threaded
+//! `netstack` socket runtime — with a seeded fuzzer that hunts for
+//! protocol-level counterexamples and reduces them to minimal, replayable
+//! artifacts:
+//!
+//! - [`scenario`] — the fuzz case: protocol, `(n, k)`, inputs, faults,
+//!   schedule adversary, seed, optional planted defect; generated under
+//!   the paper's resilience bounds so violations indict the code;
+//! - [`exec`] — runs one scenario through the simulator (byte-identical
+//!   traces) or over loopback TCP (same fault pattern, wall-clock time);
+//! - [`invariants`] — the property suite: agreement, validity,
+//!   convergence, and the Fig. 1/Fig. 2 decision thresholds read back out
+//!   of the trace;
+//! - [`shrink`] — greedy delta-debugging to a minimal scenario preserving
+//!   the violation classes;
+//! - [`artifact`] — one-file repro: scenario header plus JSONL trace,
+//!   re-runnable and byte-verified by `btfuzz --replay`;
+//! - [`fuzz`] — the loop tying it together, including the every-Nth
+//!   cross-runtime conformance check.
+//!
+//! The companion binary `btfuzz` drives the loop from the command line
+//! (`btfuzz --budget 30` is wired into `scripts/check.sh`); its
+//! `--inject` mode plants a broken quorum rule via
+//! [`bt_core::ablation::AblatedFailStop`] and demands the harness catch
+//! it — the fuzzer testing itself.
+
+pub mod artifact;
+pub mod exec;
+pub mod fuzz;
+pub mod invariants;
+pub mod scenario;
+pub mod shrink;
+
+pub use artifact::{parse as parse_artifact, render as render_artifact, verify_replay, Repro};
+pub use exec::{netstack_fault_plan, run_netstack, run_sim, run_sim_scheduled, SimOutcome};
+pub use fuzz::{fuzz, Finding, FindingKind, FuzzConfig, FuzzOutcome};
+pub use invariants::{check, classes, Violation};
+pub use scenario::{FaultSpec, Injection, OrderSpec, ProtoKind, Scenario, SchedSpec};
+pub use shrink::{shrink, Shrunk, DEFAULT_SHRINK_RUNS};

@@ -26,6 +26,7 @@
 //! (arrival timing still depends on the OS scheduler — networked runs are
 //! reproducible in *pattern*, not in interleaving).
 
+use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -36,7 +37,22 @@ use simnet::ProcessId;
 ///
 /// The default plan is a perfectly reliable network: no delay, no drops,
 /// no partition.
-#[derive(Clone, Debug, Default)]
+///
+/// A plan round-trips losslessly through its [`Display`](fmt::Display)
+/// spec string (parse it back with [`str::parse`]), so fuzzer repro
+/// artifacts can embed the exact network conditions of a failing run:
+///
+/// ```
+/// use std::time::Duration;
+/// use netstack::FaultPlan;
+///
+/// let plan = FaultPlan::reliable()
+///     .with_delay(Duration::ZERO, Duration::from_millis(20))
+///     .with_partition(4, &[0, 1], Duration::from_millis(50));
+/// let spec = plan.to_string();
+/// assert_eq!(spec.parse::<FaultPlan>().unwrap(), plan);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     delay: Option<(Duration, Duration)>,
     drop_per_mille: u16,
@@ -44,7 +60,7 @@ pub struct FaultPlan {
 }
 
 /// A two-sided network partition that heals after a fixed duration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 struct Partition {
     /// Membership of side A (everything else is side B).
     side_a: Vec<bool>,
@@ -106,6 +122,122 @@ impl FaultPlan {
     #[must_use]
     pub fn is_lossy(&self) -> bool {
         self.drop_per_mille > 0
+    }
+
+    /// The configured per-message delay range, if any.
+    #[must_use]
+    pub fn delay(&self) -> Option<(Duration, Duration)> {
+        self.delay
+    }
+
+    /// The configured per-message drop probability in per-mille.
+    #[must_use]
+    pub fn drop_per_mille(&self) -> u16 {
+        self.drop_per_mille
+    }
+
+    /// The configured partition as `(side_a members, n, heal_after)`,
+    /// if any.
+    #[must_use]
+    pub fn partition(&self) -> Option<(Vec<usize>, usize, Duration)> {
+        self.partition.as_ref().map(|p| {
+            let members = (0..p.side_a.len()).filter(|&i| p.side_a[i]).collect();
+            (members, p.side_a.len(), p.heal_after)
+        })
+    }
+}
+
+/// Renders the plan as a compact spec string — `reliable` for the default
+/// plan, otherwise `;`-separated clauses with durations in integer
+/// nanoseconds: `delay=0..20000000;drop=5;partition=0,1/4@50000000`.
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut clauses = Vec::new();
+        if let Some((min, max)) = self.delay {
+            clauses.push(format!("delay={}..{}", min.as_nanos(), max.as_nanos()));
+        }
+        if self.drop_per_mille > 0 {
+            clauses.push(format!("drop={}", self.drop_per_mille));
+        }
+        if let Some((members, n, heal)) = self.partition() {
+            let side: Vec<String> = members.iter().map(ToString::to_string).collect();
+            clauses.push(format!(
+                "partition={}/{}@{}",
+                side.join(","),
+                n,
+                heal.as_nanos()
+            ));
+        }
+        if clauses.is_empty() {
+            write!(f, "reliable")
+        } else {
+            write!(f, "{}", clauses.join(";"))
+        }
+    }
+}
+
+fn parse_nanos(raw: &str, what: &str) -> Result<Duration, String> {
+    raw.parse::<u64>()
+        .map(Duration::from_nanos)
+        .map_err(|_| format!("{what} must be integer nanoseconds, got {raw:?}"))
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    fn from_str(spec: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::reliable();
+        if spec == "reliable" {
+            return Ok(plan);
+        }
+        for clause in spec.split(';') {
+            let (key, val) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause without '=': {clause:?}"))?;
+            match key {
+                "delay" => {
+                    let (min, max) = val
+                        .split_once("..")
+                        .ok_or_else(|| format!("delay needs 'min..max', got {val:?}"))?;
+                    let min = parse_nanos(min, "delay min")?;
+                    let max = parse_nanos(max, "delay max")?;
+                    if min > max {
+                        return Err(format!("delay range must be ordered, got {val:?}"));
+                    }
+                    plan = plan.with_delay(min, max);
+                }
+                "drop" => {
+                    let pm = val
+                        .parse::<u16>()
+                        .map_err(|_| format!("drop needs per-mille, got {val:?}"))?;
+                    plan = plan.with_drop(pm);
+                }
+                "partition" => {
+                    let (cut, heal) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("partition needs '@heal', got {val:?}"))?;
+                    let (side, n) = cut
+                        .split_once('/')
+                        .ok_or_else(|| format!("partition needs 'side/n', got {val:?}"))?;
+                    let n = n
+                        .parse::<usize>()
+                        .map_err(|_| format!("partition size must be a count, got {n:?}"))?;
+                    let mut members = Vec::new();
+                    for idx in side.split(',').filter(|s| !s.is_empty()) {
+                        let i = idx.parse::<usize>().map_err(|_| {
+                            format!("partition member must be an index, got {idx:?}")
+                        })?;
+                        if i >= n {
+                            return Err(format!("partition member {i} out of range for n={n}"));
+                        }
+                        members.push(i);
+                    }
+                    plan = plan.with_partition(n, &members, parse_nanos(heal, "partition heal")?);
+                }
+                other => return Err(format!("unknown fault clause {other:?}")),
+            }
+        }
+        Ok(plan)
     }
 }
 
@@ -256,5 +388,66 @@ mod tests {
     fn lossy_detection() {
         assert!(!FaultPlan::reliable().is_lossy());
         assert!(FaultPlan::reliable().with_drop(1).is_lossy());
+    }
+
+    #[test]
+    fn spec_round_trips_every_clause() {
+        let plans = [
+            FaultPlan::reliable(),
+            FaultPlan::reliable().with_delay(Duration::ZERO, Duration::from_millis(20)),
+            FaultPlan::reliable().with_drop(5),
+            FaultPlan::reliable().with_partition(4, &[0, 1], Duration::from_millis(50)),
+            FaultPlan::reliable()
+                .with_delay(Duration::from_micros(100), Duration::from_millis(3))
+                .with_drop(999)
+                .with_partition(7, &[2, 4, 6], Duration::from_secs(1)),
+            FaultPlan::reliable().with_partition(3, &[], Duration::from_millis(1)),
+        ];
+        for plan in plans {
+            let spec = plan.to_string();
+            let parsed: FaultPlan = spec.parse().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert_eq!(parsed, plan, "spec {spec:?} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn spec_reliable_renders_and_parses() {
+        assert_eq!(FaultPlan::reliable().to_string(), "reliable");
+        assert_eq!(
+            "reliable".parse::<FaultPlan>().unwrap(),
+            FaultPlan::reliable()
+        );
+    }
+
+    #[test]
+    fn spec_rejects_malformed_clauses() {
+        for bad in [
+            "nonsense",
+            "delay=5",
+            "delay=9..3",
+            "drop=many",
+            "partition=0,1/4",
+            "partition=9/4@100",
+            "turtles=all-the-way",
+        ] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_expose_the_plan() {
+        let plan = FaultPlan::reliable()
+            .with_delay(Duration::from_millis(1), Duration::from_millis(2))
+            .with_drop(7)
+            .with_partition(5, &[1, 3], Duration::from_millis(9));
+        assert_eq!(
+            plan.delay(),
+            Some((Duration::from_millis(1), Duration::from_millis(2)))
+        );
+        assert_eq!(plan.drop_per_mille(), 7);
+        assert_eq!(
+            plan.partition(),
+            Some((vec![1, 3], 5, Duration::from_millis(9)))
+        );
     }
 }

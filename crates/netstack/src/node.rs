@@ -570,7 +570,15 @@ fn event_loop<M: Wire + Send + 'static>(
         }
         step += 1;
         counters.delivered.fetch_add(1, Ordering::Relaxed);
-        publish(Event::Deliver { step, to: me, from });
+        // A networked node has no delivery buffer the scheduler indexes
+        // into — the OS hands messages over in arrival order — so the
+        // schedule slot is always 0.
+        publish(Event::Deliver {
+            step,
+            to: me,
+            from,
+            index: 0,
+        });
         {
             let mut ctx = Ctx::new(me, n, step, &mut outbox, &mut rng).with_obs(observed);
             process.on_receive(Envelope::new(from, msg), &mut ctx);

@@ -1,0 +1,122 @@
+//! Adversary conformance over real sockets: each adversary class the
+//! simulator exercises — Byzantine two-faced, silent, crashing — gets a
+//! loopback-cluster run asserting the same two safety properties the
+//! paper's proofs give for it: **agreement** (no two correct processes
+//! decide differently) and **validity** (a unanimous correct input is the
+//! only decidable value).
+//!
+//! These are the socket-runtime counterparts of the simnet adversary
+//! tests; the `dst` fuzzer leans on the same properties when it compares
+//! the two runtimes on shared-seed scenarios.
+
+use std::time::Duration;
+
+use netstack::{sockets_available, Cluster, ClusterOptions, CrashPlan, NodeFault, Proto};
+use simnet::{RunStatus, Value};
+
+/// Generous per-test deadline: loopback consensus finishes in milliseconds,
+/// but CI machines under load deserve slack.
+const DEADLINE: Duration = Duration::from_secs(60);
+
+macro_rules! require_sockets {
+    () => {
+        if !sockets_available() {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        }
+    };
+}
+
+/// Byzantine: the Figure 2 malicious protocol against a two-faced
+/// attacker, n=4 k=1. Accepting a value needs more than `(n+k)/2 = 2.5`
+/// echoes; the lone attacker can add at most one echo for `Zero`, so the
+/// three correct processes (unanimous `One`) can only ever decide `One`.
+#[test]
+fn byzantine_two_faced_keeps_agreement_and_validity() {
+    require_sockets!();
+    let options = ClusterOptions {
+        seed: 0xADE_0001,
+        inputs: vec![Value::One; 4],
+        faults: vec![
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::TwoFaced,
+        ],
+        ..ClusterOptions::default()
+    };
+    let mut cluster =
+        Cluster::spawn(4, 1, Proto::Malicious, options, None).expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped, "all correct decided");
+    assert!(report.agreement(), "agreement despite the two-faced peer");
+    for i in 0..3 {
+        assert_eq!(report.decisions[i], Some(Value::One), "validity at p{i}");
+    }
+}
+
+/// Silent: the fail-stop protocol with two peers that boot, handshake, and
+/// then never send, n=5 k=2. The three talkative processes meet the
+/// `n-k = 3` per-phase quota among themselves and must decide their
+/// unanimous `Zero`.
+#[test]
+fn silent_peers_keep_agreement_and_validity() {
+    require_sockets!();
+    let options = ClusterOptions {
+        seed: 0xADE_0002,
+        inputs: vec![Value::Zero; 5],
+        faults: vec![
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Silent,
+            NodeFault::Silent,
+        ],
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(5, 2, Proto::FailStop, options, None).expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped, "all correct decided");
+    assert!(report.agreement(), "agreement despite silent peers");
+    for i in 0..3 {
+        assert_eq!(report.decisions[i], Some(Value::Zero), "validity at p{i}");
+    }
+}
+
+/// Crash: the §4.1 simple variant with both crash flavours — one peer dies
+/// mid-broadcast (a split broadcast, the classic fail-stop hazard) and one
+/// on entering phase 1 — n=7 k=2. Deciding needs more than
+/// `(n+k)/2 = 4.5` same-value messages, so the five unanimous survivors
+/// are exactly enough (this is the variant's `n > 3k` liveness condition:
+/// with `n = 5, k = 2` the survivors could never decide).
+#[test]
+fn crashing_peers_keep_agreement_and_validity() {
+    require_sockets!();
+    let options = ClusterOptions {
+        seed: 0xADE_0003,
+        inputs: vec![Value::One; 7],
+        faults: vec![
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Correct,
+            NodeFault::Crash(CrashPlan::AfterSends(2)),
+            NodeFault::Crash(CrashPlan::AtPhase(1)),
+        ],
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(7, 2, Proto::Simple, options, None).expect("loopback spawn");
+    let report = cluster.await_verdict(DEADLINE);
+    cluster.shutdown();
+
+    assert_eq!(report.status, RunStatus::Stopped, "all correct decided");
+    assert!(report.agreement(), "agreement despite crashes");
+    for i in 0..5 {
+        assert_eq!(report.decisions[i], Some(Value::One), "validity at p{i}");
+    }
+}

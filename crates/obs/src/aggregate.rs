@@ -261,6 +261,7 @@ mod tests {
             step: 3,
             to: p(0),
             from: p(1),
+            index: 0,
         });
         assert_eq!(agg.phases()[0].messages_sent, 1);
         assert_eq!(agg.phases()[2].messages_sent, 1);

@@ -84,7 +84,7 @@ impl Subscriber for ConsoleReporter {
         let line = match *event {
             Event::Start { pid } => format!("[    0] {pid} starts"),
             Event::Send { step, from, to } => format!("[{step:>5}] {from} sends to {to}"),
-            Event::Deliver { step, to, from } => {
+            Event::Deliver { step, to, from, .. } => {
                 format!("[{step:>5}] {to} receives from {from}")
             }
             Event::Decide { step, pid, value } => format!("[{step:>5}] {pid} decides {value}"),

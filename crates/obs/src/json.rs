@@ -9,6 +9,9 @@
 
 use std::fmt::Write as _;
 
+/// Largest integer `f64` represents exactly (`2⁵³`).
+const MAX_EXACT_F64: u64 = 1 << 53;
+
 /// A JSON value. Objects preserve insertion order so rendering is
 /// deterministic.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,6 +22,11 @@ pub enum Json {
     Bool(bool),
     /// A number; rendered without a fraction when integral.
     Num(f64),
+    /// A non-negative integer too large for `f64` to hold exactly
+    /// (`> 2⁵³`). [`Json::num`] and the parser pick this variant
+    /// automatically, so 64-bit seeds round-trip losslessly; smaller
+    /// integers stay [`Json::Num`].
+    U64(u64),
     /// A string.
     Str(String),
     /// An array.
@@ -45,10 +53,15 @@ impl std::fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 impl Json {
-    /// Convenience: a number from any integer that fits an `f64` exactly.
+    /// Convenience: a number from any `u64`, losslessly. Values beyond
+    /// `f64`'s exact-integer range become [`Json::U64`].
     #[must_use]
     pub fn num(n: u64) -> Json {
-        Json::Num(n as f64)
+        if n <= MAX_EXACT_F64 {
+            Json::Num(n as f64)
+        } else {
+            Json::U64(n)
+        }
     }
 
     /// Convenience: a string value.
@@ -71,6 +84,7 @@ impl Json {
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            Json::U64(n) => Some(*n),
             _ => None,
         }
     }
@@ -86,6 +100,7 @@ impl Json {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
+            Json::U64(n) => Some(*n as f64),
             _ => None,
         }
     }
@@ -117,6 +132,9 @@ impl Json {
                 } else {
                     let _ = write!(out, "{n}");
                 }
+            }
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
             }
             Json::Str(s) => render_string(s, out),
             Json::Arr(items) => {
@@ -236,6 +254,14 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).expect("sliced on ascii boundaries");
+    // Plain decimal integers beyond f64's exact range keep full precision
+    // (mirrors `Json::num`, so parse ∘ render is the identity on either
+    // numeric variant).
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Json::num(n));
+        }
+    }
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| err(format!("malformed number `{text}`"), start))
@@ -400,6 +426,22 @@ mod tests {
         assert_eq!(v.get("x").and_then(Json::as_f64), Some(1.5));
         assert_eq!(v.get("x").and_then(Json::as_u64), None, "not integral");
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn large_u64_round_trips_losslessly() {
+        for n in [u64::MAX, 0xDEAD_BEEF_DEAD_BEEF, (1 << 53) + 1] {
+            let v = Json::num(n);
+            assert_eq!(v, Json::U64(n), "beyond 2^53 uses the exact variant");
+            assert_eq!(v.render(), n.to_string());
+            let parsed = Json::parse(&v.render()).unwrap();
+            assert_eq!(parsed.as_u64(), Some(n), "exact after round trip");
+            assert_eq!(parsed, v);
+        }
+        // At or below 2^53 the f64 variant is canonical for both
+        // constructor and parser.
+        assert_eq!(Json::num(1 << 53), Json::Num((1u64 << 53) as f64));
+        assert_eq!(Json::parse("42").unwrap(), Json::Num(42.0));
     }
 
     #[test]

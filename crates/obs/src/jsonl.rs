@@ -9,7 +9,7 @@
 //! {"kind":"run_start","n":4,"seed":7}
 //! {"kind":"start","pid":0}
 //! {"kind":"send","step":0,"from":0,"to":1}
-//! {"kind":"deliver","step":1,"to":1,"from":0}
+//! {"kind":"deliver","step":1,"to":1,"from":0,"index":0}
 //! {"kind":"phase_entered","step":1,"pid":1,"phase":1}
 //! {"kind":"decide","step":9,"pid":1,"value":1}
 //! {"kind":"run_end","status":"stopped","steps":9,"decided":true,"max_phase":2}
@@ -18,7 +18,7 @@
 //! Encoding then decoding any [`Event`] is the identity (tested), so a
 //! trace replays exactly.
 
-use simnet::{Event, ProcessId, ProtocolEvent, RunReport, RunStatus, Subscriber, Value};
+use simnet::{Event, ProcessId, ProtocolEvent, RunReport, RunStatus, Selection, Subscriber, Value};
 
 use crate::json::{Json, JsonError};
 
@@ -70,11 +70,17 @@ pub fn event_to_json(event: &Event) -> Json {
             ("from", pid_json(from)),
             ("to", pid_json(to)),
         ]),
-        Event::Deliver { step, to, from } => obj(vec![
+        Event::Deliver {
+            step,
+            to,
+            from,
+            index,
+        } => obj(vec![
             ("kind", Json::str("deliver")),
             ("step", Json::num(step)),
             ("to", pid_json(to)),
             ("from", pid_json(from)),
+            ("index", Json::num(index as u64)),
         ]),
         Event::Decide { step, pid, value } => obj(vec![
             ("kind", Json::str("decide")),
@@ -200,6 +206,10 @@ pub fn event_from_json(j: &Json) -> Result<Event, JsonError> {
             step: field_u64(j, "step")?,
             to: field_pid(j, "to")?,
             from: field_pid(j, "from")?,
+            // Traces written before the buffer index was recorded lack the
+            // field; default to slot 0 so they still parse (they just can't
+            // drive an exact scripted replay).
+            index: j.get("index").and_then(Json::as_u64).unwrap_or(0) as usize,
         },
         "decide" => Event::Decide {
             step: field_u64(j, "step")?,
@@ -264,6 +274,30 @@ fn status_name(status: RunStatus) -> &'static str {
         RunStatus::Quiescent => "quiescent",
         RunStatus::StepLimitReached => "step_limit",
     }
+}
+
+/// Extracts the delivery schedule of a parsed single-run trace: one
+/// [`Selection`] per `deliver` line, in delivery order.
+///
+/// Together with the recorded seed this is the bridge back into the
+/// simulator's scripted-replay path: feed the result to
+/// [`ScriptedScheduler::exact`](simnet::scheduler::ScriptedScheduler::exact)
+/// on an identically configured [`Sim`](simnet::Sim) and the original
+/// execution replays step for step. Traces written before the buffer index
+/// was recorded parse with `index: 0` and can only replay faithfully when
+/// every buffer held a single message at each delivery.
+#[must_use]
+pub fn schedule_of(lines: &[TraceLine]) -> Vec<Selection> {
+    lines
+        .iter()
+        .filter_map(|line| match line {
+            TraceLine::Event(Event::Deliver { to, index, .. }) => Some(Selection {
+                to: *to,
+                index: *index,
+            }),
+            _ => None,
+        })
+        .collect()
 }
 
 /// Parses a full JSONL trace (empty lines ignored).
@@ -405,6 +439,7 @@ mod tests {
                 step: 2,
                 to: p(2),
                 from: p(0),
+                index: 3,
             },
             Event::Decide {
                 step: 3,
@@ -496,6 +531,42 @@ mod tests {
                     steps: 5,
                     decided: true,
                     max_phase: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn legacy_deliver_lines_default_to_slot_zero() {
+        let j = Json::parse(r#"{"kind":"deliver","step":4,"to":1,"from":2}"#).unwrap();
+        assert_eq!(
+            event_from_json(&j).unwrap(),
+            Event::Deliver {
+                step: 4,
+                to: ProcessId::new(1),
+                from: ProcessId::new(2),
+                index: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_extraction_keeps_order_and_slots() {
+        let text = "{\"kind\":\"run_start\",\"n\":2,\"seed\":1}\n\
+                    {\"kind\":\"deliver\",\"step\":1,\"to\":1,\"from\":0,\"index\":2}\n\
+                    {\"kind\":\"send\",\"step\":1,\"from\":1,\"to\":0}\n\
+                    {\"kind\":\"deliver\",\"step\":2,\"to\":0,\"from\":1,\"index\":0}\n";
+        let lines = parse_trace(text).unwrap();
+        assert_eq!(
+            schedule_of(&lines),
+            vec![
+                Selection {
+                    to: ProcessId::new(1),
+                    index: 2
+                },
+                Selection {
+                    to: ProcessId::new(0),
+                    index: 0
                 },
             ]
         );

@@ -43,5 +43,7 @@ mod report;
 
 pub use aggregate::{PhaseAggregator, PhaseStat};
 pub use console::ConsoleReporter;
-pub use jsonl::{event_from_json, event_to_json, parse_line, parse_trace, JsonlSink, TraceLine};
+pub use jsonl::{
+    event_from_json, event_to_json, parse_line, parse_trace, schedule_of, JsonlSink, TraceLine,
+};
 pub use report::render_report;

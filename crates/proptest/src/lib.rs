@@ -7,10 +7,30 @@
 //! the assertion macros, `ProptestConfig`, and `TestCaseError` — on top of
 //! the workspace [`prng`] generator, so the test files compile unchanged.
 //!
+//! Failing cases **shrink**: the harness greedily walks
+//! [`Strategy::shrink`] candidates, keeping any candidate that still fails,
+//! until no candidate fails (a local minimum) or the shrink budget runs
+//! out. The failure panic then reports the 64-bit seed, the case number,
+//! and the minimal failing input, plus the exact environment-variable
+//! incantation that replays it:
+//!
+//! ```text
+//! PROPTEST_SEED=0x00c0ffee00c0ffee PROPTEST_CASES=17 cargo test my_property
+//! ```
+//!
+//! Environment overrides (read per test function at runtime):
+//!
+//! - `PROPTEST_CASES=<n>` — run `n` successful cases instead of the
+//!   configured count;
+//! - `PROPTEST_SEED=<n|0xhex>` — seed the case stream explicitly instead
+//!   of hashing the test name.
+//!
 //! Differences from the real crate (acceptable for this workspace):
 //!
-//! - **No shrinking.** A failing case reports the case number and message;
-//!   cases are deterministic per test name, so failures reproduce exactly.
+//! - Shrinking is greedy over strategy-provided candidates; `prop_map`,
+//!   `prop_oneof!`/[`Union`], and [`Just`] do not shrink (no inverse
+//!   mapping / no record of the chosen arm), so values drawn through them
+//!   stay fixed while sibling tuple components still shrink.
 //! - **No failure persistence** (no `proptest-regressions` files).
 //! - Case generation is a plain uniform draw per strategy, seeded by a
 //!   hash of the test name — every `cargo test` run replays the same
@@ -36,6 +56,45 @@ pub fn seed_for(name: &str) -> u64 {
         h = h.wrapping_mul(0x0100_0000_01b3);
     }
     h
+}
+
+fn parse_cases(raw: &str) -> Option<u32> {
+    raw.parse::<u32>().ok().filter(|&n| n > 0)
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse::<u64>().ok()
+    }
+}
+
+/// The configured case count, unless `PROPTEST_CASES` overrides it.
+///
+/// Panics on a malformed override: silently ignoring a typo'd variable in
+/// CI would quietly run the wrong number of cases.
+#[doc(hidden)]
+#[must_use]
+pub fn resolve_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(raw) => parse_cases(&raw)
+            .unwrap_or_else(|| panic!("PROPTEST_CASES must be a positive integer, got {raw:?}")),
+        Err(_) => configured,
+    }
+}
+
+/// The test's name-derived seed, unless `PROPTEST_SEED` overrides it
+/// (decimal or `0x`-prefixed hex, as printed by failure panics).
+#[doc(hidden)]
+#[must_use]
+pub fn resolve_seed(derived: u64) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(raw) => parse_seed(&raw).unwrap_or_else(|| {
+            panic!("PROPTEST_SEED must be a u64 (decimal or 0x-hex), got {raw:?}")
+        }),
+        Err(_) => derived,
+    }
 }
 
 /// Run-time configuration for a `proptest!` block.
@@ -93,14 +152,28 @@ impl std::error::Error for TestCaseError {}
 
 /// A recipe for drawing random values of one type.
 ///
-/// Unlike the real crate there is no value tree and no shrinking: a
-/// strategy is just a deterministic function of the RNG state.
+/// Unlike the real crate there is no lazily-evaluated value tree:
+/// [`Strategy::shrink`] proposes concrete simpler candidates for an
+/// already-drawn value, and the harness greedily descends through them.
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
 
     /// Draws one value.
     fn draw(&self, rng: &mut __Prng) -> Self::Value;
+
+    /// Simpler candidates for `value`, best (simplest) first.
+    ///
+    /// Every candidate must itself be drawable from this strategy's
+    /// domain, and "simpler" must be well-founded (repeatedly taking any
+    /// candidate terminates) — the harness additionally caps total shrink
+    /// attempts, so a float strategy halving toward a bound is fine. The
+    /// default is no candidates, which disables shrinking for the
+    /// strategy.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps drawn values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -121,6 +194,23 @@ macro_rules! uint_range_strategy {
                 let span = self.end as u64 - self.start as u64;
                 self.start + rng.below_u64(span) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > self.start {
+                    // Jump to the floor, bisect toward it, then single-step:
+                    // log-time convergence plus an exact boundary finish.
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid != self.start {
+                        out.push(mid);
+                    }
+                    let dec = *value - 1;
+                    if dec != self.start && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )+};
 }
@@ -132,6 +222,21 @@ impl Strategy for Range<f64> {
     fn draw(&self, rng: &mut __Prng) -> f64 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + rng.f64() * (self.end - self.start)
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value > self.start {
+            out.push(self.start);
+            // Zero is the conventional "simplest float" when in range.
+            if self.start < 0.0 && *value > 0.0 {
+                out.push(0.0);
+            }
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid != self.start && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
     }
 }
 
@@ -149,6 +254,15 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub trait Arbitrary {
     /// Draws one arbitrary value.
     fn arbitrary(rng: &mut __Prng) -> Self;
+
+    /// Simpler candidates for `value`; mirrors [`Strategy::shrink`].
+    fn shrink(value: &Self) -> Vec<Self>
+    where
+        Self: Sized,
+    {
+        let _ = value;
+        Vec::new()
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {
@@ -156,11 +270,21 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn draw(&self, rng: &mut __Prng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink(value)
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut __Prng) -> bool {
         rng.coin()
+    }
+    fn shrink(value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -171,6 +295,21 @@ macro_rules! uint_arbitrary {
             fn arbitrary(rng: &mut __Prng) -> $t {
                 rng.next_u64() as $t
             }
+            fn shrink(value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *value > 0 {
+                    out.push(0);
+                    let mid = *value / 2;
+                    if mid != 0 {
+                        out.push(mid);
+                    }
+                    let dec = *value - 1;
+                    if dec != 0 && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
         }
     )+};
 }
@@ -180,6 +319,17 @@ uint_arbitrary!(u8, u16, u32, u64, usize);
 impl Arbitrary for f64 {
     fn arbitrary(rng: &mut __Prng) -> f64 {
         rng.f64()
+    }
+    fn shrink(value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != 0.0 {
+            out.push(0.0);
+            let mid = *value / 2.0;
+            if mid != 0.0 && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
     }
 }
 
@@ -195,6 +345,9 @@ impl<T: Clone> Strategy for Just<T> {
 }
 
 /// The result of [`Strategy::prop_map`].
+///
+/// Mapped strategies do not shrink: there is no inverse of `f` through
+/// which to shrink the pre-image.
 pub struct Map<S, F> {
     inner: S,
     f: F,
@@ -219,25 +372,52 @@ where
     }
 }
 
+/// The unit strategy: zero-input property tests draw `()`.
+impl Strategy for () {
+    type Value = ();
+    fn draw(&self, _rng: &mut __Prng) -> Self::Value {}
+}
+
 macro_rules! tuple_strategy {
     ($(($($S:ident . $idx:tt),+))+) => {$(
-        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
             type Value = ($($S::Value,)+);
             fn draw(&self, rng: &mut __Prng) -> Self::Value {
                 ($(self.$idx.draw(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
 }
 
 tuple_strategy! {
+    (A.0)
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
     (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
 }
 
 /// A uniform choice between boxed strategies; built by [`prop_oneof!`].
+///
+/// Unions do not shrink: the drawn value does not record which arm
+/// produced it, so cross-arm candidates could leave the union's domain.
 pub struct Union<V> {
     options: Vec<Box<dyn Strategy<Value = V>>>,
 }
@@ -320,18 +500,98 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn draw(&self, rng: &mut __Prng) -> Vec<S::Value> {
             let span = self.size.hi - self.size.lo + 1;
             let len = self.size.lo + rng.index(span);
             (0..len).map(|_| self.element.draw(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Shorter first: dropping an element simplifies more than
+            // simplifying one in place.
+            if value.len() > self.size.lo {
+                for i in 0..value.len() {
+                    let mut shorter = value.clone();
+                    shorter.remove(i);
+                    out.push(shorter);
+                }
+            }
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
     }
 }
 
+/// Greedily minimises a failing input: repeatedly takes the first
+/// [`Strategy::shrink`] candidate that still fails (any rejection or pass
+/// discards the candidate), until a local minimum or the shrink budget is
+/// reached. Returns the minimal input, the failure message it produced,
+/// and the number of accepted shrink steps.
+#[doc(hidden)]
+pub fn shrink_failure<S, F>(
+    strategy: &S,
+    initial: S::Value,
+    initial_msg: String,
+    run: &mut F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+{
+    // Caps total candidate executions so strategies whose candidates only
+    // converge in the limit (float bisection) still terminate promptly.
+    const SHRINK_BUDGET: usize = 2000;
+    let mut current = initial;
+    let mut message = initial_msg;
+    let mut steps = 0usize;
+    let mut spent = 0usize;
+    loop {
+        let mut advanced = false;
+        for candidate in strategy.shrink(&current) {
+            if spent >= SHRINK_BUDGET {
+                return (current, message, steps);
+            }
+            spent += 1;
+            if let Err(TestCaseError::Fail(msg)) = run(&candidate) {
+                current = candidate;
+                message = msg;
+                steps += 1;
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return (current, message, steps);
+        }
+    }
+}
+
+/// Ties a case-runner closure's argument type to `strategy`'s value type,
+/// so the macro-generated closure type-checks before its first call site.
+#[doc(hidden)]
+pub fn __runner_for<S, F>(_strategy: &S, run: F) -> F
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+{
+    run
+}
+
 /// Declares property tests. Each function body runs against
-/// `config.cases` drawn inputs; `prop_assume!` rejections are retried.
+/// `config.cases` drawn inputs (`PROPTEST_CASES` overrides the count,
+/// `PROPTEST_SEED` the stream); `prop_assume!` rejections are retried and
+/// failures are shrunk to a minimal input before panicking.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -349,31 +609,50 @@ macro_rules! __proptest_body {
         $(
             $(#[$attr])*
             fn $name() {
-                let config: $crate::ProptestConfig = $cfg;
-                let mut rng = $crate::__Prng::seed_from_u64($crate::seed_for(stringify!($name)));
-                let mut passed: u32 = 0;
-                let mut attempts: u32 = 0;
-                let max_attempts = config.cases.saturating_mul(20).max(1000);
-                while passed < config.cases {
-                    attempts += 1;
+                let __pt_config: $crate::ProptestConfig = $cfg;
+                let __pt_cases = $crate::resolve_cases(__pt_config.cases);
+                let __pt_seed = $crate::resolve_seed($crate::seed_for(stringify!($name)));
+                // One tuple strategy preserves the draw order of the old
+                // per-binding form, so historical seeds replay unchanged.
+                let __pt_strategy = ($($strat,)*);
+                let mut __pt_rng = $crate::__Prng::seed_from_u64(__pt_seed);
+                let mut __pt_run = $crate::__runner_for(&__pt_strategy, |__pt_case| {
+                    let ($($pat,)*) = ::core::clone::Clone::clone(__pt_case);
+                    $body
+                    ::core::result::Result::Ok(())
+                });
+                let mut __pt_passed: u32 = 0;
+                let mut __pt_attempts: u32 = 0;
+                let __pt_max_attempts = __pt_cases.saturating_mul(20).max(1000);
+                while __pt_passed < __pt_cases {
+                    __pt_attempts += 1;
                     assert!(
-                        attempts <= max_attempts,
-                        "proptest {}: too many rejected cases ({passed} accepted of {} wanted)",
+                        __pt_attempts <= __pt_max_attempts,
+                        "proptest {}: too many rejected cases ({__pt_passed} accepted of {} wanted)",
                         stringify!($name),
-                        config.cases,
+                        __pt_cases,
                     );
-                    $(let $pat = $crate::Strategy::draw(&($strat), &mut rng);)*
-                    let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
-                        $body
-                        ::core::result::Result::Ok(())
-                    })();
-                    match outcome {
-                        ::core::result::Result::Ok(()) => passed += 1,
+                    let __pt_drawn = $crate::Strategy::draw(&__pt_strategy, &mut __pt_rng);
+                    match __pt_run(&__pt_drawn) {
+                        ::core::result::Result::Ok(()) => __pt_passed += 1,
                         ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
-                        ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
-                            panic!(
-                                "proptest {} failed on case {attempts}: {msg}",
-                                stringify!($name),
+                        ::core::result::Result::Err($crate::TestCaseError::Fail(__pt_msg)) => {
+                            let (__pt_min, __pt_min_msg, __pt_steps) = $crate::shrink_failure(
+                                &__pt_strategy,
+                                __pt_drawn,
+                                __pt_msg,
+                                &mut __pt_run,
+                            );
+                            ::std::panic!(
+                                "proptest {name} failed on case {case} (seed 0x{seed:016x}): {msg}\n\
+                                 minimal failing input after {steps} shrink step(s): {min:?}\n\
+                                 rerun: PROPTEST_SEED=0x{seed:016x} PROPTEST_CASES={case} cargo test {name}",
+                                name = stringify!($name),
+                                case = __pt_attempts,
+                                seed = __pt_seed,
+                                msg = __pt_min_msg,
+                                steps = __pt_steps,
+                                min = __pt_min,
                             );
                         }
                     }
@@ -493,6 +772,89 @@ mod tests {
         assert!(seen.iter().all(|&s| s));
     }
 
+    #[test]
+    fn range_shrink_candidates_stay_in_range_and_simplify() {
+        let strat = 5u64..100;
+        for v in [6u64, 50, 99] {
+            for c in strat.shrink(&v) {
+                assert!((5..100).contains(&c), "candidate {c} out of range");
+                assert!(c < v, "candidate {c} not simpler than {v}");
+            }
+        }
+        assert!(strat.shrink(&5).is_empty(), "floor value must not shrink");
+    }
+
+    #[test]
+    fn shrink_failure_finds_the_boundary() {
+        // Property "x < 10" over 0..1000: the minimal counterexample is
+        // exactly the boundary value 10, whatever the starting failure.
+        let strat = (0u64..1000,);
+        let mut run = |case: &(u64,)| {
+            if case.0 < 10 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{} too big", case.0)))
+            }
+        };
+        let (min, msg, steps) =
+            crate::shrink_failure(&strat, (997,), "997 too big".to_string(), &mut run);
+        assert_eq!(min, (10,));
+        assert_eq!(msg, "10 too big");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn shrink_failure_minimises_vectors_elementwise() {
+        // Failure trips on length >= 3, so the minimum is three elements,
+        // each shrunk all the way to zero.
+        let strat = (crate::collection::vec(0u32..100, 0..10),);
+        let mut run = |case: &(Vec<u32>,)| {
+            if case.0.len() >= 3 {
+                Err(TestCaseError::fail("too long"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = crate::shrink_failure(
+            &strat,
+            (vec![17, 4, 99, 62, 3],),
+            "too long".to_string(),
+            &mut run,
+        );
+        assert_eq!(min, (vec![0, 0, 0],));
+    }
+
+    #[test]
+    fn shrink_failure_respects_rejections() {
+        // A candidate the body rejects (prop_assume) must not be adopted.
+        let strat = (2u64..100,);
+        let mut run = |case: &(u64,)| {
+            if !case.0.is_multiple_of(2) {
+                Err(TestCaseError::reject("odd"))
+            } else if case.0 >= 6 {
+                Err(TestCaseError::fail("big even"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, _, _) = crate::shrink_failure(&strat, (98,), "big even".to_string(), &mut run);
+        // Greedy descent halts at 8: both odd neighbours (5, 7) are
+        // rejected, not failing, so they are never adopted.
+        assert_eq!(min, (8,));
+        assert!(min.0 >= 6 && min.0 % 2 == 0, "must stay a failing input");
+    }
+
+    #[test]
+    fn env_value_parsing() {
+        assert_eq!(crate::parse_cases("12"), Some(12));
+        assert_eq!(crate::parse_cases("0"), None);
+        assert_eq!(crate::parse_cases("dozen"), None);
+        assert_eq!(crate::parse_seed("42"), Some(42));
+        assert_eq!(crate::parse_seed("0xff"), Some(255));
+        assert_eq!(crate::parse_seed("0XFF"), Some(255));
+        assert_eq!(crate::parse_seed("seed"), None);
+    }
+
     // The macro surface itself, exercised end to end.
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
@@ -508,6 +870,16 @@ mod tests {
         fn assume_rejects_without_failing(a in 0usize..4, b in 0usize..4) {
             prop_assume!(a != b);
             prop_assert!(a != b);
+        }
+    }
+
+    // A deliberately failing property: the panic must carry the seed, the
+    // case number, and the shrunken minimal input.
+    proptest! {
+        #[test]
+        #[should_panic(expected = "minimal failing input after")]
+        fn failure_panics_with_shrunk_input(x in 0u64..1000) {
+            prop_assert!(x < 10, "{} not under 10", x);
         }
     }
 }

@@ -1,0 +1,158 @@
+//! A scheduler wrapper that records the schedule it resolves.
+
+use core::fmt;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::SimRng;
+
+use super::{Scheduler, Selection, SystemView};
+
+/// A shared handle to a recorded schedule.
+///
+/// [`Sim::run`](crate::Sim::run) consumes the boxed scheduler, so the
+/// recording is exposed through an `Arc` the caller keeps: clone the handle
+/// before handing the scheduler to the builder, run, then read the schedule
+/// back.
+pub type RecordedSchedule = Arc<Mutex<Vec<Selection>>>;
+
+/// Wraps any scheduler and records every [`Selection`] it makes.
+///
+/// This is the simulator's scenario-replay hook: whatever resolved the
+/// nondeterminism of a run — fair randomness, a delaying adversary, a
+/// partition — the recorded selection sequence *is* the paper's §2.1
+/// schedule, and replaying it through
+/// [`ScriptedScheduler::exact`](super::ScriptedScheduler::exact) reproduces
+/// the identical execution without the original scheduler or its RNG
+/// stream. Fuzzers use this to turn a randomly found failure into a
+/// self-contained scripted reproducer.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::scheduler::{FairScheduler, RecordingScheduler, ScriptedScheduler};
+/// use simnet::{Ctx, Envelope, Process, Role, Sim, Value};
+///
+/// #[derive(Debug)]
+/// struct Echo(Option<Value>);
+/// impl Process for Echo {
+///     type Msg = Value;
+///     fn on_start(&mut self, ctx: &mut Ctx<'_, Value>) { ctx.broadcast(Value::One); }
+///     fn on_receive(&mut self, env: Envelope<Value>, _: &mut Ctx<'_, Value>) {
+///         self.0.get_or_insert(env.msg);
+///     }
+///     fn decision(&self) -> Option<Value> { self.0 }
+///     fn phase(&self) -> u64 { 0 }
+/// }
+///
+/// let (recorder, schedule) = RecordingScheduler::new(Box::new(FairScheduler::new()));
+/// let a = Sim::builder()
+///     .process(Box::new(Echo(None)), Role::Correct)
+///     .process(Box::new(Echo(None)), Role::Correct)
+///     .scheduler(Box::new(recorder))
+///     .seed(9)
+///     .build()
+///     .run();
+/// let script = schedule.lock().unwrap().clone();
+/// let b = Sim::builder()
+///     .process(Box::new(Echo(None)), Role::Correct)
+///     .process(Box::new(Echo(None)), Role::Correct)
+///     .scheduler(Box::new(ScriptedScheduler::exact(script)))
+///     .seed(9)
+///     .build()
+///     .run();
+/// assert_eq!(a.decisions, b.decisions);
+/// ```
+pub struct RecordingScheduler<M> {
+    inner: Box<dyn Scheduler<M>>,
+    recorded: RecordedSchedule,
+}
+
+impl<M> RecordingScheduler<M> {
+    /// Wraps `inner`, returning the wrapper and the shared handle through
+    /// which the recorded schedule is read back after the run.
+    #[must_use]
+    pub fn new(inner: Box<dyn Scheduler<M>>) -> (Self, RecordedSchedule) {
+        let recorded: RecordedSchedule = Arc::new(Mutex::new(Vec::new()));
+        (
+            RecordingScheduler {
+                inner,
+                recorded: Arc::clone(&recorded),
+            },
+            recorded,
+        )
+    }
+}
+
+impl<M> fmt::Debug for RecordingScheduler<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let len = self
+            .recorded
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        f.debug_struct("RecordingScheduler")
+            .field("inner", &self.inner)
+            .field("recorded", &len)
+            .finish()
+    }
+}
+
+impl<M> Scheduler<M> for RecordingScheduler<M> {
+    fn select(&mut self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<Selection> {
+        let selection = self.inner.select(view, rng);
+        if let Some(sel) = selection {
+            self.recorded
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(sel);
+        }
+        selection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::test_util::make_buffers;
+    use crate::scheduler::{FairScheduler, ScriptedScheduler};
+
+    #[test]
+    fn records_every_selection_in_order() {
+        let buffers = make_buffers(&[2, 1]);
+        let runnable = [true, true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let (mut rec, handle) = RecordingScheduler::<u32>::new(Box::new(FairScheduler::new()));
+        let mut rng = SimRng::seed(5);
+        let a = rec.select(&view, &mut rng).unwrap();
+        let b = rec.select(&view, &mut rng).unwrap();
+        assert_eq!(*handle.lock().unwrap(), vec![a, b]);
+    }
+
+    #[test]
+    fn recorded_schedule_replays_through_scripted() {
+        let buffers = make_buffers(&[3]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let (mut rec, handle) = RecordingScheduler::<u32>::new(Box::new(FairScheduler::new()));
+        let mut rng = SimRng::seed(11);
+        let picks: Vec<Selection> = (0..3)
+            .map(|_| rec.select(&view, &mut rng).unwrap())
+            .collect();
+        let mut scripted = ScriptedScheduler::exact(handle.lock().unwrap().clone());
+        let mut rng2 = SimRng::seed(0);
+        for expected in picks {
+            assert_eq!(scripted.select(&view, &mut rng2), Some(expected));
+        }
+    }
+
+    #[test]
+    fn none_is_not_recorded() {
+        let buffers = make_buffers(&[0]);
+        let runnable = [true];
+        let view = SystemView::new(&buffers, &runnable, 0);
+        let (mut rec, handle) = RecordingScheduler::<u32>::new(Box::new(FairScheduler::new()));
+        let mut rng = SimRng::seed(1);
+        assert_eq!(rec.select(&view, &mut rng), None);
+        assert!(handle.lock().unwrap().is_empty());
+    }
+}

@@ -390,6 +390,7 @@ impl<M: 'static> Sim<M> {
                 step: self.step,
                 to: sel.to,
                 from: env.from,
+                index: sel.index,
             });
             let mut ctx =
                 Ctx::new(sel.to, n, self.step, &mut outbox, &mut self.rng).with_obs(observed);

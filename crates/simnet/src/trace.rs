@@ -88,6 +88,14 @@ pub enum Event {
         to: ProcessId,
         /// The authenticated sender.
         from: ProcessId,
+        /// The buffer slot the scheduler selected (the `index` of the
+        /// [`Selection`](crate::Selection) that caused this delivery).
+        /// Together with `to` this pins the exact schedule, so a recorded
+        /// trace can be replayed through
+        /// [`ScriptedScheduler`](crate::scheduler::ScriptedScheduler).
+        /// Runtimes without delivery buffers (the netstack socket runtime)
+        /// report 0.
+        index: usize,
     },
     /// A message was placed in a buffer.
     Send {
@@ -207,7 +215,7 @@ impl Trace {
                 Event::Send { step, from, to } => {
                     let _ = writeln!(out, "[{step:>5}] {from} sends to {to}");
                 }
-                Event::Deliver { step, to, from } => {
+                Event::Deliver { step, to, from, .. } => {
                     let _ = writeln!(out, "[{step:>5}] {to} receives from {from}");
                 }
                 Event::Decide { step, pid, value } => {
@@ -289,6 +297,7 @@ mod tests {
             step: 2,
             to: ProcessId::new(1),
             from: ProcessId::new(0),
+            index: 0,
         });
         t.record(Event::Decide {
             step: 3,

@@ -104,18 +104,21 @@ fn golden_event_sequence() {
             step: 1,
             to: p0,
             from: p0,
+            index: 0,
         },
         // …then p1 gets p0's.
         Event::Deliver {
             step: 2,
             to: p1,
             from: p0,
+            index: 0,
         },
         // Second sweep: both receive p1's broadcast and decide AND = 0.
         Event::Deliver {
             step: 3,
             to: p0,
             from: p1,
+            index: 0,
         },
         Event::Decide {
             step: 3,
@@ -127,6 +130,7 @@ fn golden_event_sequence() {
             step: 4,
             to: p1,
             from: p1,
+            index: 0,
         },
         Event::Decide {
             step: 4,

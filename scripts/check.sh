@@ -15,7 +15,17 @@ echo "==> cargo test"
 cargo test --workspace -q
 
 echo "==> cargo build --release"
-cargo build --release
+cargo build --release --workspace
+
+echo "==> btfuzz self-test (injected defect: find, shrink, replay)"
+FUZZTMP=$(mktemp -d)
+trap 'rm -rf "$FUZZTMP"' EXIT INT TERM
+target/release/btfuzz --inject --out "$FUZZTMP/inject-repro.jsonl"
+
+echo "==> btfuzz clean sweep (30s budget)"
+# The netstack cross-checks inside skip themselves where the sandbox
+# forbids loopback sockets; the simulated sweep always runs.
+target/release/btfuzz --budget 30 --out "$FUZZTMP/repro.jsonl"
 
 echo "==> netstack smoke test (release btnode cluster, end to end)"
 # Skips internally (with a note) where the sandbox forbids sockets.

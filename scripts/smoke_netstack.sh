@@ -18,7 +18,7 @@ BTNODE=target/release/btnode
 BTREPORT=target/release/btreport
 if [ ! -x "$BTNODE" ] || [ ! -x "$BTREPORT" ]; then
     echo "==> building release binaries for the smoke run"
-    cargo build --release -q
+    cargo build --release -q --workspace
 fi
 
 TMP=$(mktemp -d)

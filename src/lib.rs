@@ -13,7 +13,10 @@
 //! * [`obs`] — observability sinks (per-phase telemetry, JSONL traces,
 //!   console narration) for the simulator's subscriber hook;
 //! * [`netstack`] — the threaded TCP runtime running the same protocol
-//!   state machines over real sockets (see `docs/NETWORKING.md`).
+//!   state machines over real sockets (see `docs/NETWORKING.md`);
+//! * [`dst`] — deterministic simulation testing: the seeded `btfuzz`
+//!   schedule/fault fuzzer with counterexample shrinking and replayable
+//!   repro artifacts across both runtimes (see `docs/TESTING.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,6 +24,7 @@
 pub use adversary;
 pub use benor;
 pub use bt_core;
+pub use dst;
 pub use markov;
 pub use modelcheck;
 pub use netstack;
