@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
-use simnet::{Ctx, Envelope, Process, ProcessId, ProtocolEvent, Value};
+use simnet::{Ctx, Envelope, Process, ProcessId, ProtocolEvent, Value, Wire, WireReader};
 
 use crate::{BenOrConfig, BenOrMsg, Exchange};
 
@@ -253,6 +253,84 @@ impl Process for BenOrProcess {
     fn decision_phase(&self) -> Option<u64> {
         self.decided_round
     }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        // The coin-flip RNG lives in the runtime, not here; runtimes that
+        // checkpoint a Ben-Or process must checkpoint their RNG alongside.
+        let mut out = Vec::new();
+        self.value.encode(&mut out);
+        self.round.encode(&mut out);
+        (self.exchange == Exchange::Propose).encode(&mut out);
+        self.report_count[0].encode(&mut out);
+        self.report_count[1].encode(&mut out);
+        self.reports_total.encode(&mut out);
+        self.propose_count[0].encode(&mut out);
+        self.propose_count[1].encode(&mut out);
+        self.proposes_total.encode(&mut out);
+        let mut seen: Vec<usize> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        seen.encode(&mut out);
+        let deferred: Vec<(u64, Vec<(ProcessId, BenOrMsg)>)> = self
+            .deferred
+            .iter()
+            .map(|(&slot, msgs)| (slot, msgs.clone()))
+            .collect();
+        deferred.encode(&mut out);
+        self.decision.encode(&mut out);
+        self.decided_round.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Ok(value) = Value::decode(&mut r) else {
+            return false;
+        };
+        let Ok(round) = u64::decode(&mut r) else {
+            return false;
+        };
+        let Ok(proposing) = bool::decode(&mut r) else {
+            return false;
+        };
+        let mut counts = [0usize; 6];
+        for c in &mut counts {
+            let Ok(v) = usize::decode(&mut r) else {
+                return false;
+            };
+            *c = v;
+        }
+        let Ok(seen) = Vec::<usize>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(deferred) = Vec::<(u64, Vec<(ProcessId, BenOrMsg)>)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decision) = Option::<Value>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decided_round) = Option::<u64>::decode(&mut r) else {
+            return false;
+        };
+        if r.finish().is_err() {
+            return false;
+        }
+        self.value = value;
+        self.round = round;
+        self.exchange = if proposing {
+            Exchange::Propose
+        } else {
+            Exchange::Report
+        };
+        self.report_count = [counts[0], counts[1]];
+        self.reports_total = counts[2];
+        self.propose_count = [counts[3], counts[4]];
+        self.proposes_total = counts[5];
+        self.seen = seen.into_iter().collect();
+        self.deferred = deferred.into_iter().collect();
+        self.decision = decision;
+        self.decided_round = decided_round;
+        true
+    }
 }
 
 /// Builds a full system of correct Ben-Or processes with the given inputs.
@@ -382,6 +460,31 @@ mod tests {
         assert_eq!(p.decision(), Some(Value::One));
         assert_eq!(p.decision_phase(), Some(0));
         assert_eq!(p.round(), 1, "keeps participating in round 1");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_round() {
+        let config = BenOrConfig::fail_stop(5, 2).unwrap();
+        let mut p = BenOrProcess::new(config, Value::One);
+        let mut outbox = Vec::new();
+        let mut rng = simnet::SimRng::seed(1);
+        let mut ctx = Ctx::new(ProcessId::new(0), 5, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        p.on_receive(
+            Envelope::new(ProcessId::new(1), BenOrMsg::report(0, Value::Zero)),
+            &mut ctx,
+        );
+        p.on_receive(
+            Envelope::new(ProcessId::new(2), BenOrMsg::propose(1, Some(Value::One))),
+            &mut ctx,
+        );
+
+        let snap = p.snapshot().unwrap();
+        let mut q = BenOrProcess::new(config, Value::Zero);
+        assert!(q.restore(&snap));
+        assert_eq!(format!("{p:?}"), format!("{q:?}"));
+        assert_eq!(q.snapshot().unwrap(), snap);
+        assert!(!q.restore(&[0xFF, 0x01]), "garbage rejected");
     }
 
     #[test]

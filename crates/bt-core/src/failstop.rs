@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{Ctx, Envelope, Process, ProtocolEvent, Value};
+use simnet::{Ctx, Envelope, Process, ProtocolEvent, Value, Wire, WireReader};
 
 use crate::{Config, FailStopMsg};
 
@@ -246,6 +246,68 @@ impl Process for FailStop {
 
     fn halted(&self) -> bool {
         self.halted
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        // Config is rebuilt by the constructor; everything mutable goes in.
+        // BTreeMap iterates in key order, so the bytes are canonical.
+        let mut out = Vec::new();
+        self.value.encode(&mut out);
+        self.cardinality.encode(&mut out);
+        self.phase.encode(&mut out);
+        for c in self.message_count.iter().chain(&self.witness_count) {
+            c.encode(&mut out);
+        }
+        let deferred: Vec<(u64, Vec<FailStopMsg>)> = self
+            .deferred
+            .iter()
+            .map(|(&phase, msgs)| (phase, msgs.clone()))
+            .collect();
+        deferred.encode(&mut out);
+        self.decision.encode(&mut out);
+        self.halted.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Ok(value) = Value::decode(&mut r) else {
+            return false;
+        };
+        let Ok(cardinality) = usize::decode(&mut r) else {
+            return false;
+        };
+        let Ok(phase) = u64::decode(&mut r) else {
+            return false;
+        };
+        let mut counts = [0usize; 4];
+        for c in &mut counts {
+            let Ok(v) = usize::decode(&mut r) else {
+                return false;
+            };
+            *c = v;
+        }
+        let Ok(deferred) = Vec::<(u64, Vec<FailStopMsg>)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decision) = Option::<Value>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(halted) = bool::decode(&mut r) else {
+            return false;
+        };
+        if r.finish().is_err() {
+            return false;
+        }
+        self.value = value;
+        self.cardinality = cardinality;
+        self.phase = phase;
+        self.message_count = [counts[0], counts[1]];
+        self.witness_count = [counts[2], counts[3]];
+        self.deferred = deferred.into_iter().collect();
+        self.decision = decision;
+        self.halted = halted;
+        true
     }
 }
 
@@ -494,6 +556,55 @@ mod tests {
         assert_eq!(p.phase(), 1);
         assert_eq!(p.value(), Value::Zero);
         assert_eq!(p.cardinality, 2);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_phase_state() {
+        let config = Config::fail_stop(5, 2).unwrap();
+        let mut p = FailStop::new(config, Value::One);
+        let mut outbox = Vec::new();
+        let mut rng = simnet::SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 5, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        // A current-phase message and a deferred future one.
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(1),
+                FailStopMsg {
+                    phase: 0,
+                    value: Value::Zero,
+                    cardinality: 1,
+                },
+            ),
+            &mut ctx,
+        );
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(2),
+                FailStopMsg {
+                    phase: 3,
+                    value: Value::One,
+                    cardinality: 4,
+                },
+            ),
+            &mut ctx,
+        );
+
+        let snap = p.snapshot().expect("fail-stop supports snapshots");
+        let mut q = FailStop::new(config, Value::One);
+        assert!(q.restore(&snap));
+        assert_eq!(format!("{p:?}"), format!("{q:?}"));
+        // Identical states must produce identical bytes (canonical form).
+        assert_eq!(q.snapshot().unwrap(), snap);
+
+        // Garbage must be rejected without mutating the process.
+        let mut fresh = FailStop::new(config, Value::Zero);
+        assert!(!fresh.restore(&[0xFF, 0xFF, 0xFF]));
+        assert!(!fresh.restore(b""));
+        let mut trailing = snap.clone();
+        trailing.push(0);
+        assert!(!fresh.restore(&trailing));
+        assert_eq!(fresh.phase(), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use simnet::{Ctx, Envelope, Process, ProcessId, ProtocolEvent, Value};
+use simnet::{Ctx, Envelope, Process, ProcessId, ProtocolEvent, Value, Wire, WireReader};
 
 use crate::{Config, MaliciousKind, MaliciousMsg, Phase};
 
@@ -407,6 +407,123 @@ impl Process for Malicious {
     fn halted(&self) -> bool {
         self.halted
     }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        // Config and termination policy are constructor arguments; only
+        // mutable state is captured. Hash collections are sorted so
+        // identical states always serialize to identical bytes.
+        let mut out = Vec::new();
+        self.value.encode(&mut out);
+        self.phase.encode(&mut out);
+        self.decision.encode(&mut out);
+        self.decided_phase.encode(&mut out);
+        self.halted.encode(&mut out);
+
+        let mut echoed: Vec<(usize, u64)> = self.echoed.iter().copied().collect();
+        echoed.sort_unstable();
+        echoed.encode(&mut out);
+
+        let mut echo_seen: Vec<((usize, usize), bool)> = self
+            .echo_seen
+            .iter()
+            .map(|&(s, q, w)| ((s, q), w))
+            .collect();
+        echo_seen.sort_unstable();
+        echo_seen.encode(&mut out);
+
+        let echo_count: Vec<(usize, usize)> =
+            self.echo_count.iter().map(|&[a, b]| (a, b)).collect();
+        echo_count.encode(&mut out);
+        self.accepted.encode(&mut out);
+        self.message_count[0].encode(&mut out);
+        self.message_count[1].encode(&mut out);
+
+        let deferred: Vec<(u64, Vec<(ProcessId, MaliciousMsg)>)> = self
+            .deferred
+            .iter()
+            .map(|(&phase, msgs)| (phase, msgs.clone()))
+            .collect();
+        deferred.encode(&mut out);
+
+        let mut sticky_echo: Vec<((usize, usize), Value)> =
+            self.sticky_echo.iter().map(|(&key, &v)| (key, v)).collect();
+        sticky_echo.sort_unstable();
+        sticky_echo.encode(&mut out);
+
+        let mut sticky_init: Vec<(usize, Value)> =
+            self.sticky_init.iter().map(|(&s, &v)| (s, v)).collect();
+        sticky_init.sort_unstable();
+        sticky_init.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Ok(value) = Value::decode(&mut r) else {
+            return false;
+        };
+        let Ok(phase) = u64::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decision) = Option::<Value>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decided_phase) = Option::<u64>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(halted) = bool::decode(&mut r) else {
+            return false;
+        };
+        let Ok(echoed) = Vec::<(usize, u64)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(echo_seen) = Vec::<((usize, usize), bool)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(echo_count) = Vec::<(usize, usize)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(accepted) = Vec::<Option<Value>>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(mc0) = usize::decode(&mut r) else {
+            return false;
+        };
+        let Ok(mc1) = usize::decode(&mut r) else {
+            return false;
+        };
+        let Ok(deferred) = Vec::<(u64, Vec<(ProcessId, MaliciousMsg)>)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(sticky_echo) = Vec::<((usize, usize), Value)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(sticky_init) = Vec::<(usize, Value)>::decode(&mut r) else {
+            return false;
+        };
+        if r.finish().is_err() {
+            return false;
+        }
+        // The per-subject tables are indexed by subject id: wrong lengths
+        // would panic the state machine on the next delivery.
+        if echo_count.len() != self.config.n() || accepted.len() != self.config.n() {
+            return false;
+        }
+        self.value = value;
+        self.phase = phase;
+        self.decision = decision;
+        self.decided_phase = decided_phase;
+        self.halted = halted;
+        self.echoed = echoed.into_iter().collect();
+        self.echo_seen = echo_seen.into_iter().map(|((s, q), w)| (s, q, w)).collect();
+        self.echo_count = echo_count.into_iter().map(|(a, b)| [a, b]).collect();
+        self.accepted = accepted;
+        self.message_count = [mc0, mc1];
+        self.deferred = deferred.into_iter().collect();
+        self.sticky_echo = sticky_echo.into_iter().collect();
+        self.sticky_init = sticky_init.into_iter().collect();
+        true
+    }
 }
 
 /// Convenience: a boxed [`Malicious`] process.
@@ -767,6 +884,67 @@ mod tests {
             p.phase()
         );
         assert!(!p.halted(), "Continue mode stays live");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_echo_state() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Malicious::new(config, Value::Zero);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        // Populate every table: an initial (→ echoed), concrete echoes
+        // (→ echo_seen/echo_count), a deferred echo, and wildcard traffic
+        // (→ sticky maps).
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(1),
+                MaliciousMsg::initial(ProcessId::new(1), Value::One, 0),
+            ),
+            &mut ctx,
+        );
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(2),
+                MaliciousMsg::echo(ProcessId::new(1), Value::One, 0),
+            ),
+            &mut ctx,
+        );
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(3),
+                MaliciousMsg::echo(ProcessId::new(2), Value::Zero, 4),
+            ),
+            &mut ctx,
+        );
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(3),
+                MaliciousMsg {
+                    kind: MaliciousKind::Echo,
+                    subject: ProcessId::new(0),
+                    value: Value::One,
+                    phase: Phase::Any,
+                },
+            ),
+            &mut ctx,
+        );
+
+        let snap = p.snapshot().unwrap();
+        let mut q = Malicious::new(config, Value::One);
+        assert!(q.restore(&snap));
+        assert_eq!(q.snapshot().unwrap(), snap, "canonical bytes");
+        assert_eq!(q.phase(), p.phase());
+        assert_eq!(q.echo_count, p.echo_count);
+        assert_eq!(q.echo_seen, p.echo_seen);
+        assert_eq!(q.sticky_echo, p.sticky_echo);
+
+        // A snapshot from a larger system must not restore onto this one.
+        let big = Config::malicious(7, 2).unwrap();
+        let mut wrong = Malicious::new(big, Value::Zero);
+        assert!(!wrong.restore(&snap), "table lengths must match n");
+        assert!(!wrong.restore(&[1, 2, 3]), "garbage rejected");
     }
 
     #[test]

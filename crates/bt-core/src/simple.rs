@@ -28,7 +28,7 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{Ctx, Envelope, Process, ProtocolEvent, Value};
+use simnet::{Ctx, Envelope, Process, ProtocolEvent, Value, Wire, WireReader};
 
 use crate::{Config, SimpleMsg};
 
@@ -207,6 +207,63 @@ impl Process for Simple {
     fn halted(&self) -> bool {
         self.halted
     }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        self.value.encode(&mut out);
+        self.phase.encode(&mut out);
+        self.message_count[0].encode(&mut out);
+        self.message_count[1].encode(&mut out);
+        let deferred: Vec<(u64, Vec<SimpleMsg>)> = self
+            .deferred
+            .iter()
+            .map(|(&phase, msgs)| (phase, msgs.clone()))
+            .collect();
+        deferred.encode(&mut out);
+        self.decision.encode(&mut out);
+        self.decided_phase.encode(&mut out);
+        self.halted.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Ok(value) = Value::decode(&mut r) else {
+            return false;
+        };
+        let Ok(phase) = u64::decode(&mut r) else {
+            return false;
+        };
+        let Ok(zeros) = usize::decode(&mut r) else {
+            return false;
+        };
+        let Ok(ones) = usize::decode(&mut r) else {
+            return false;
+        };
+        let Ok(deferred) = Vec::<(u64, Vec<SimpleMsg>)>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decision) = Option::<Value>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decided_phase) = Option::<u64>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(halted) = bool::decode(&mut r) else {
+            return false;
+        };
+        if r.finish().is_err() {
+            return false;
+        }
+        self.value = value;
+        self.phase = phase;
+        self.message_count = [zeros, ones];
+        self.deferred = deferred.into_iter().collect();
+        self.decision = decision;
+        self.decided_phase = decided_phase;
+        self.halted = halted;
+        true
+    }
 }
 
 /// Convenience: a boxed [`Simple`] process.
@@ -334,6 +391,43 @@ mod tests {
         }
         assert_eq!(p.decision(), Some(Value::One), "decisions are irrevocable");
         assert_eq!(p.value(), Value::One, "an exited process's value is fixed");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = Simple::new(config, Value::One);
+        let mut outbox = Vec::new();
+        let mut rng = SimRng::seed(0);
+        let mut ctx = Ctx::new(ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+        p.on_start(&mut ctx);
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(1),
+                SimpleMsg {
+                    phase: 0,
+                    value: Value::Zero,
+                },
+            ),
+            &mut ctx,
+        );
+        p.on_receive(
+            Envelope::new(
+                ProcessId::new(2),
+                SimpleMsg {
+                    phase: 2,
+                    value: Value::One,
+                },
+            ),
+            &mut ctx,
+        );
+
+        let snap = p.snapshot().unwrap();
+        let mut q = Simple::new(config, Value::Zero);
+        assert!(q.restore(&snap));
+        assert_eq!(format!("{p:?}"), format!("{q:?}"));
+        assert_eq!(q.snapshot().unwrap(), snap);
+        assert!(!q.restore(&[0xFF]), "garbage rejected");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! reproducible in fault *pattern* (the OS interleaves arrivals), so
 //! cross-runtime conformance is judged on decision properties, not traces.
 
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -16,6 +17,7 @@ use bt_core::ablation::{AblatedFailStop, ThresholdRule};
 use bt_core::{Config, FailStop, Malicious, Simple, Termination};
 use netstack::{
     sockets_available, Cluster, ClusterOptions, CrashPlan, FaultPlan, NodeFault, Proto,
+    RecoveryOptions,
 };
 use obs::JsonlSink;
 use simnet::scheduler::{
@@ -231,11 +233,92 @@ pub fn run_netstack(scenario: &Scenario, timeout: Duration) -> Option<RunReport>
         inputs: scenario.inputs.clone(),
         faults: scenario.faults.iter().map(|&f| node_fault(f)).collect(),
         link_fault: netstack_fault_plan(scenario),
+        recovery: None,
     };
     let mut cluster = Cluster::spawn(scenario.n, scenario.k, proto, options, None).ok()?;
     let report = cluster.await_verdict(timeout);
     cluster.shutdown();
     Some(report)
+}
+
+/// A netstack run's results when crash-recovery is in play: the report
+/// plus the recovery-specific observables the invariant suite checks.
+#[derive(Debug)]
+pub struct NetOutcome {
+    /// The cluster's synthesized run report.
+    pub report: RunReport,
+    /// Per-node equivocation counters: conflicting re-sends each node
+    /// *observed* (must be all-zero on a correct tree).
+    pub equivocations: Vec<u64>,
+    /// Supervisor restarts performed per node.
+    pub restarts: Vec<u32>,
+}
+
+/// The deterministic crash-restart schedule for a scenario: one correct
+/// node, chosen by seed, killed mid-run and restarted from its WAL. All
+/// timing comes from the seed so a CI finding replays on a laptop.
+#[must_use]
+pub fn netstack_crash_plan(scenario: &Scenario) -> FaultPlan {
+    let correct: Vec<usize> = (0..scenario.n)
+        .filter(|&i| !scenario.faults[i].is_faulty())
+        .collect();
+    let victim = correct[(scenario.seed as usize) % correct.len()];
+    let kill = Duration::from_millis(20 + (scenario.seed >> 8) % 20);
+    let restart = kill + Duration::from_millis(40 + (scenario.seed >> 16) % 40);
+    netstack_fault_plan(scenario).with_crash(victim, kill, restart)
+}
+
+/// Runs the scenario over loopback TCP with WALs in `wal_dir` and the
+/// seed-derived crash-restart schedule: a correct node is killed
+/// mid-consensus and restarted from its log by the cluster supervisor.
+/// `None` under the same conditions as [`run_netstack`]. The caller owns
+/// `wal_dir` (creation and cleanup).
+#[must_use]
+pub fn run_netstack_recovering(
+    scenario: &Scenario,
+    timeout: Duration,
+    wal_dir: &Path,
+) -> Option<NetOutcome> {
+    if !sockets_available() || scenario.inject.is_some() {
+        return None;
+    }
+    let proto = match scenario.proto {
+        ProtoKind::FailStop => Proto::FailStop,
+        ProtoKind::Simple => Proto::Simple,
+        ProtoKind::Malicious => Proto::Malicious,
+    };
+    let options = ClusterOptions {
+        seed: scenario.seed,
+        inputs: scenario.inputs.clone(),
+        faults: scenario.faults.iter().map(|&f| node_fault(f)).collect(),
+        link_fault: netstack_crash_plan(scenario),
+        recovery: Some(RecoveryOptions {
+            wal_dir: wal_dir.to_path_buf(),
+            // Exercise both recovery paths across seeds: genesis replay
+            // and snapshot-resume.
+            snapshot_every: if scenario.seed.is_multiple_of(2) {
+                0
+            } else {
+                8
+            },
+            max_restarts: 4,
+            backoff: Duration::from_millis(5),
+        }),
+    };
+    let mut cluster = Cluster::spawn(scenario.n, scenario.k, proto, options, None).ok()?;
+    let report = cluster.await_verdict(timeout);
+    let equivocations = cluster
+        .nodes()
+        .iter()
+        .map(|node| node.equivocations())
+        .collect();
+    let restarts = cluster.restarts().to_vec();
+    cluster.shutdown();
+    Some(NetOutcome {
+        report,
+        equivocations,
+        restarts,
+    })
 }
 
 #[cfg(test)]
@@ -268,6 +351,45 @@ mod tests {
         let replayed = run_sim_scheduled(&s, Some(schedule));
         assert_eq!(original.report.decisions, replayed.report.decisions);
         assert_eq!(original.report.status, replayed.report.status);
+    }
+
+    #[test]
+    fn crash_restart_cross_check_holds_decision_properties() {
+        if !sockets_available() {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        }
+        let s = Scenario {
+            proto: ProtoKind::FailStop,
+            n: 4,
+            k: 1,
+            seed: 0xD15C,
+            inputs: vec![simnet::Value::One; 4],
+            faults: vec![FaultSpec::Correct; 4],
+            sched: crate::scenario::SchedSpec::Fair(crate::scenario::OrderSpec::Random),
+            step_limit: 100_000,
+            inject: None,
+        };
+        let wal_dir = std::env::temp_dir().join(format!("btdst-exec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let out = run_netstack_recovering(&s, Duration::from_secs(30), &wal_dir)
+            .expect("sockets probed available");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        assert_eq!(out.report.status, RunStatus::Stopped, "all decided");
+        assert!(
+            crate::invariants::check(&s, &out.report, &[]).is_empty(),
+            "decision properties hold across the crash-restart"
+        );
+        assert!(
+            crate::invariants::check_equivocations(&out.equivocations).is_empty(),
+            "no equivocation observed: {:?}",
+            out.equivocations
+        );
+        assert!(
+            out.restarts.iter().sum::<u32>() >= 1,
+            "the schedule actually restarted someone: {:?}",
+            out.restarts
+        );
     }
 
     #[test]

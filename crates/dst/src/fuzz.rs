@@ -19,8 +19,8 @@ use prng::Prng;
 use simnet::Value;
 
 use crate::artifact;
-use crate::exec::{run_netstack, run_sim};
-use crate::invariants::{check, classes, Violation};
+use crate::exec::{run_netstack, run_netstack_recovering, run_sim};
+use crate::invariants::{check, check_equivocations, classes, Violation};
 use crate::scenario::{Injection, ProtoKind, Scenario};
 use crate::shrink::{shrink, Shrunk, DEFAULT_SHRINK_RUNS};
 
@@ -194,13 +194,32 @@ pub fn fuzz(config: &FuzzConfig, mut progress: impl FnMut(&str)) -> FuzzOutcome 
         }
 
         // Cross-runtime conformance: unanimous clean scenarios must decide
-        // the unanimous value on the socket runtime too.
+        // the unanimous value on the socket runtime too. Alternating
+        // cross-checks add a seed-derived crash-restart schedule: a
+        // correct node is SIGKILL-equivalent killed mid-run and restarted
+        // from its WAL, and the run must *still* satisfy the decision
+        // properties — plus observe zero equivocations.
         if config.netstack && scenario.inject.is_none() && scenario.unanimous_input().is_some() {
             eligible += 1;
             if eligible % config.netstack_every == 1 {
-                if let Some(report) = run_netstack(&scenario, config.netstack_timeout) {
+                let with_crash = (eligible / config.netstack_every) % 2 == 1;
+                let outcome = if with_crash {
+                    let wal_dir = std::env::temp_dir()
+                        .join(format!("btfuzz-wal-{}-{case}", std::process::id()));
+                    let _ = std::fs::remove_dir_all(&wal_dir);
+                    let out = run_netstack_recovering(&scenario, config.netstack_timeout, &wal_dir);
+                    let _ = std::fs::remove_dir_all(&wal_dir);
+                    out.map(|o| {
+                        let mut violations = check(&scenario, &o.report, &[]);
+                        violations.extend(check_equivocations(&o.equivocations));
+                        (o.report, violations)
+                    })
+                } else {
+                    run_netstack(&scenario, config.netstack_timeout)
+                        .map(|report| (report.clone(), check(&scenario, &report, &[])))
+                };
+                if let Some((_report, net_violations)) = outcome {
                     netstack_runs += 1;
-                    let net_violations = check(&scenario, &report, &[]);
                     if !net_violations.is_empty() {
                         progress(&format!(
                             "case {case}: netstack diverged [{}] in {}",

@@ -66,6 +66,15 @@ pub enum Violation {
         /// The sub-quorum echo count it reported.
         echoes: usize,
     },
+    /// A node observed a peer re-send different bytes under an
+    /// already-used sequence number — a crash-restart that failed the
+    /// log-before-send invariant and turned into equivocation.
+    Equivocation {
+        /// The observing process (the victim, not the equivocator).
+        pid: usize,
+        /// How many conflicting re-sends it saw.
+        count: u64,
+    },
 }
 
 impl Violation {
@@ -79,6 +88,7 @@ impl Violation {
             Violation::NoConvergence { .. } => "no-convergence",
             Violation::WitnessBelowMajority { .. } => "witness-threshold",
             Violation::EchoBelowQuorum { .. } => "echo-threshold",
+            Violation::Equivocation { .. } => "equivocation",
         }
     }
 }
@@ -114,8 +124,27 @@ impl fmt::Display for Violation {
                 f,
                 "echo threshold: p{pid} accepted at {echoes} echoes in phase {phase} (needs > (n+k)/2)"
             ),
+            Violation::Equivocation { pid, count } => write!(
+                f,
+                "equivocation: p{pid} observed {count} conflicting re-send(s) — a restarted \
+                 node broke the log-before-send invariant"
+            ),
         }
     }
+}
+
+/// Turns per-node equivocation counters (as reported by a netstack
+/// cluster) into violations — one per observing node with a nonzero
+/// count. Simulated runs cannot equivocate by construction, so this
+/// check only has teeth on the socket runtime under crash-restarts.
+#[must_use]
+pub fn check_equivocations(observed: &[u64]) -> Vec<Violation> {
+    observed
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(pid, &count)| Violation::Equivocation { pid, count })
+        .collect()
 }
 
 /// Sorted, deduplicated class names — the shrinker's equivalence key.

@@ -35,8 +35,11 @@ pub mod scenario;
 pub mod shrink;
 
 pub use artifact::{parse as parse_artifact, render as render_artifact, verify_replay, Repro};
-pub use exec::{netstack_fault_plan, run_netstack, run_sim, run_sim_scheduled, SimOutcome};
+pub use exec::{
+    netstack_crash_plan, netstack_fault_plan, run_netstack, run_netstack_recovering, run_sim,
+    run_sim_scheduled, NetOutcome, SimOutcome,
+};
 pub use fuzz::{fuzz, Finding, FindingKind, FuzzConfig, FuzzOutcome};
-pub use invariants::{check, classes, Violation};
+pub use invariants::{check, check_equivocations, classes, Violation};
 pub use scenario::{FaultSpec, Injection, OrderSpec, ProtoKind, Scenario, SchedSpec};
 pub use shrink::{shrink, Shrunk, DEFAULT_SHRINK_RUNS};

@@ -18,8 +18,23 @@
 //! With `--jsonl` the node writes its own perspective of the run (its
 //! events only — each node sees its own trace) as `obs`-format JSONL
 //! consumable by `btreport`.
+//!
+//! # Crash recovery
+//!
+//! With `--wal PATH` the node journals every delivery to a write-ahead
+//! log *before* acting on it (log-before-send); booting on an existing
+//! WAL recovers the pre-crash state and re-sends the unacknowledged
+//! backlog byte-for-byte, so a restart can never turn into equivocation.
+//!
+//! `--supervise` (Unix only, requires `--wal`) adds the supervisor: the
+//! parent binds the listening socket once, hands a duplicate of it to a
+//! worker child via stdin, and if the worker dies to a signal (SIGKILL,
+//! SIGSEGV, OOM-killer) restarts it from the WAL — on the *same* port,
+//! with jittered exponential backoff, up to `--max-restarts` times
+//! (default 4). Normal exits, success or timeout, are propagated as-is.
 
 use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -36,7 +51,8 @@ use simnet::{
 const USAGE: &str = "usage: btnode --id I --n N --k K \
 --proto failstop|simple|malicious|benor --input 0|1 \
 --listen HOST:PORT --peer HOST:PORT [--peer ...] \
-[--seed S] [--timeout SECS] [--jsonl PATH]";
+[--seed S] [--timeout SECS] [--jsonl PATH] \
+[--wal PATH [--snapshot-every STEPS] [--supervise] [--max-restarts R]]";
 
 struct Args {
     id: usize,
@@ -49,6 +65,13 @@ struct Args {
     seed: u64,
     timeout: Duration,
     jsonl: Option<String>,
+    wal: Option<PathBuf>,
+    snapshot_every: u64,
+    supervise: bool,
+    max_restarts: u32,
+    /// Internal (set by the supervisor on the worker it spawns): the
+    /// listening socket is inherited on stdin instead of bound fresh.
+    listen_stdin: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +85,11 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0u64;
     let mut timeout = Duration::from_secs(60);
     let mut jsonl = None;
+    let mut wal = None;
+    let mut snapshot_every = 0u64;
+    let mut supervise = false;
+    let mut max_restarts = 4u32;
+    let mut listen_stdin = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -85,6 +113,13 @@ fn parse_args() -> Result<Args, String> {
                 timeout = Duration::from_secs(parse(&value("--timeout")?, "--timeout")?);
             }
             "--jsonl" => jsonl = Some(value("--jsonl")?),
+            "--wal" => wal = Some(PathBuf::from(value("--wal")?)),
+            "--snapshot-every" => {
+                snapshot_every = parse(&value("--snapshot-every")?, "--snapshot-every")?;
+            }
+            "--supervise" => supervise = true,
+            "--max-restarts" => max_restarts = parse(&value("--max-restarts")?, "--max-restarts")?,
+            "--listen-stdin" => listen_stdin = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -100,7 +135,19 @@ fn parse_args() -> Result<Args, String> {
         seed,
         timeout,
         jsonl,
+        wal,
+        snapshot_every,
+        supervise,
+        max_restarts,
+        listen_stdin,
     };
+    if args.supervise && args.wal.is_none() {
+        return Err(
+            "--supervise requires --wal: a worker restarted without its \
+             journal could equivocate"
+                .to_string(),
+        );
+    }
     if args.peers.len() != args.n {
         return Err(format!(
             "--peer must appear exactly n={} times (got {}), in process-id order",
@@ -133,11 +180,25 @@ fn main() -> ExitCode {
         }
     };
 
-    let listener = match TcpListener::bind(args.listen) {
-        Ok(l) => l,
-        Err(err) => {
-            eprintln!("btnode: cannot bind {}: {err}", args.listen);
-            return ExitCode::FAILURE;
+    if args.supervise {
+        return run_supervisor(&args);
+    }
+
+    let listener = if args.listen_stdin {
+        match listener_from_stdin() {
+            Ok(l) => l,
+            Err(err) => {
+                eprintln!("btnode: cannot inherit listener from stdin: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match TcpListener::bind(args.listen) {
+            Ok(l) => l,
+            Err(err) => {
+                eprintln!("btnode: cannot bind {}: {err}", args.listen);
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -263,6 +324,121 @@ fn config_error(e: impl std::fmt::Display) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The worker side of `--supervise`: the parent passed a duplicate of the
+/// listening socket as our stdin; reclaim it with safe std conversions.
+#[cfg(unix)]
+fn listener_from_stdin() -> std::io::Result<TcpListener> {
+    use std::os::fd::AsFd;
+    let fd = std::io::stdin().as_fd().try_clone_to_owned()?;
+    let listener = TcpListener::from(fd);
+    // Sanity: stdin must actually be a listening TCP socket, not a pipe.
+    listener.local_addr()?;
+    Ok(listener)
+}
+
+#[cfg(not(unix))]
+fn listener_from_stdin() -> std::io::Result<TcpListener> {
+    Err(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "--listen-stdin requires a Unix platform",
+    ))
+}
+
+/// The parent side of `--supervise`: bind the port once, run the worker
+/// on a duplicate of the socket, and restart it from the WAL — same port,
+/// jittered exponential backoff, bounded by `--max-restarts` — whenever
+/// it dies to a signal. Normal worker exits (decided, timed out, usage
+/// errors) are propagated unchanged.
+#[cfg(unix)]
+fn run_supervisor(args: &Args) -> ExitCode {
+    use std::os::fd::OwnedFd;
+    use std::process::{Command, Stdio};
+
+    let listener = match TcpListener::bind(args.listen) {
+        Ok(l) => l,
+        Err(err) => {
+            eprintln!("btnode: cannot bind {}: {err}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(err) => {
+            eprintln!("btnode: cannot locate own executable: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The worker runs with our exact arguments minus --supervise, plus
+    // the marker telling it the socket arrives on stdin.
+    let worker_args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| a != "--supervise")
+        .chain(std::iter::once("--listen-stdin".to_string()))
+        .collect();
+
+    let mut jitter = prng::Prng::seed_from_u64(args.seed ^ 0x7375_7056_6274u64);
+    let mut restarts = 0u32;
+    loop {
+        let socket = match listener.try_clone() {
+            Ok(l) => OwnedFd::from(l),
+            Err(err) => {
+                eprintln!("btnode: cannot duplicate listener for worker: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let status = Command::new(&exe)
+            .args(&worker_args)
+            .stdin(Stdio::from(socket))
+            .status();
+        match status {
+            Ok(st) if st.code().is_some() => {
+                // Clean exit — the worker decided (0) or gave up (1).
+                return if st.success() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                };
+            }
+            Ok(_) => {
+                // Signal death: the crash the WAL exists for.
+                if restarts >= args.max_restarts {
+                    eprintln!(
+                        "btnode: worker for p{} killed again; restart budget ({}) exhausted",
+                        args.id, args.max_restarts
+                    );
+                    return ExitCode::FAILURE;
+                }
+                restarts += 1;
+                // Jittered exponential backoff: 10ms · 2^r nominal, at
+                // least half honoured, the rest uniform.
+                let nominal =
+                    Duration::from_millis(10).saturating_mul(2u32.saturating_pow(restarts - 1));
+                let half = nominal / 2;
+                let span = u64::try_from(half.as_micros())
+                    .unwrap_or(u64::MAX)
+                    .saturating_add(1);
+                let wait = half + Duration::from_micros(jitter.next_u64() % span);
+                eprintln!(
+                    "btnode: worker for p{} died to a signal; restarting from WAL \
+                     in {wait:?} (attempt {restarts}/{})",
+                    args.id, args.max_restarts
+                );
+                std::thread::sleep(wait);
+            }
+            Err(err) => {
+                eprintln!("btnode: cannot spawn worker: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn run_supervisor(_args: &Args) -> ExitCode {
+    eprintln!("btnode: --supervise requires a Unix platform (socket passing via stdin)");
+    ExitCode::FAILURE
+}
+
 fn boot<M: Wire + Send + 'static>(
     args: &Args,
     listener: TcpListener,
@@ -274,6 +450,8 @@ fn boot<M: Wire + Send + 'static>(
         n: args.n,
         seed: args.seed.wrapping_add(args.id as u64),
         fault: FaultPlan::reliable(),
+        wal: args.wal.clone(),
+        snapshot_every: args.snapshot_every,
     };
     spawn(cfg, listener, args.peers.clone(), process, subscriber)
 }

@@ -109,6 +109,21 @@ struct Sender {
     ever_written: Option<u64>,
     backoff: Duration,
     next_dial: Instant,
+    /// xorshift64 state for redial jitter, seeded per-link so senders
+    /// that fail together do not redial in lockstep.
+    jitter: u64,
+}
+
+/// The actual wait before a redial: at least half the nominal backoff is
+/// honoured, the rest is uniform — so repeated failures still back off
+/// exponentially, but a cluster of senders whose shared peer died does
+/// not hammer its listener in synchronized waves when it comes back.
+fn jittered(nominal: Duration, draw: u64) -> Duration {
+    let half = nominal / 2;
+    let span = u64::try_from(half.as_micros())
+        .unwrap_or(u64::MAX)
+        .saturating_add(1);
+    half + Duration::from_micros(draw % span)
 }
 
 impl Sender {
@@ -123,7 +138,15 @@ impl Sender {
             ever_written: None,
             backoff: BACKOFF_INITIAL,
             next_dial: Instant::now(),
+            jitter: 0x6a69_7474_6572u64 ^ ((me.index() as u64) << 20) ^ u64::from(peer_addr.port()),
         }
+    }
+
+    fn next_jitter(&mut self) -> u64 {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        self.jitter
     }
 
     fn run(mut self, rx: &mpsc::Receiver<OutFrame>, shutdown: &AtomicBool) {
@@ -175,7 +198,8 @@ impl Sender {
                     self.ack_buf.clear();
                 }
                 Err(_) => {
-                    self.next_dial = Instant::now() + self.backoff;
+                    let draw = self.next_jitter();
+                    self.next_dial = Instant::now() + jittered(self.backoff, draw);
                     self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
                     return;
                 }
@@ -296,6 +320,22 @@ mod tests {
             assert!(Instant::now() < deadline, "timed out waiting for {what}");
             thread::sleep(Duration::from_millis(5));
         }
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_half_to_full_nominal() {
+        for nominal in [BACKOFF_INITIAL, Duration::from_millis(80), BACKOFF_MAX] {
+            for draw in [0u64, 1, 7, 12_345, u64::MAX - 1, u64::MAX] {
+                let wait = jittered(nominal, draw);
+                assert!(wait >= nominal / 2, "{wait:?} under half of {nominal:?}");
+                assert!(wait <= nominal, "{wait:?} over nominal {nominal:?}");
+            }
+        }
+        // Different draws actually spread the waits (the point of jitter).
+        let spread: std::collections::HashSet<_> = (0..32u64)
+            .map(|d| jittered(Duration::from_millis(400), d * 7919).as_micros())
+            .collect();
+        assert!(spread.len() > 16, "jitter barely varies: {spread:?}");
     }
 
     #[test]

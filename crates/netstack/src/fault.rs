@@ -57,6 +57,24 @@ pub struct FaultPlan {
     delay: Option<(Duration, Duration)>,
     drop_per_mille: u16,
     partition: Option<Partition>,
+    crashes: Vec<CrashRestart>,
+}
+
+/// A scheduled process crash with a later restart: kill node `node` at
+/// `kill_after` (measured from cluster start), bring it back at
+/// `restart_after`. Unlike the link faults above, this is a *process*
+/// fault executed by the cluster supervisor, not by the per-link
+/// injector — the injector ignores it. The restarted node recovers from
+/// its write-ahead log, so the crash is the paper's benign fail-stop
+/// fault extended with rejoin, never a Byzantine one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashRestart {
+    /// Index of the node to kill.
+    pub node: usize,
+    /// When (after cluster start) the node is killed.
+    pub kill_after: Duration,
+    /// When (after cluster start) the node is restarted.
+    pub restart_after: Duration,
 }
 
 /// A two-sided network partition that heals after a fixed duration.
@@ -117,6 +135,40 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a kill of node `node` at `kill_after` with a restart at
+    /// `restart_after` (both measured from cluster start). Executed by
+    /// the cluster supervisor; requires recovery (a WAL directory) to be
+    /// configured on the cluster, and the restarted node rejoins by
+    /// replaying its log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kill_after > restart_after`.
+    #[must_use]
+    pub fn with_crash(
+        mut self,
+        node: usize,
+        kill_after: Duration,
+        restart_after: Duration,
+    ) -> Self {
+        assert!(
+            kill_after <= restart_after,
+            "a node must be killed before it restarts"
+        );
+        self.crashes.push(CrashRestart {
+            node,
+            kill_after,
+            restart_after,
+        });
+        self
+    }
+
+    /// The scheduled crash-restart faults, in the order added.
+    #[must_use]
+    pub fn crashes(&self) -> &[CrashRestart] {
+        &self.crashes
+    }
+
     /// Whether this plan can lose messages (and therefore void the
     /// reliable-channel guarantee consensus termination rests on).
     #[must_use]
@@ -149,7 +201,9 @@ impl FaultPlan {
 
 /// Renders the plan as a compact spec string — `reliable` for the default
 /// plan, otherwise `;`-separated clauses with durations in integer
-/// nanoseconds: `delay=0..20000000;drop=5;partition=0,1/4@50000000`.
+/// nanoseconds: `delay=0..20000000;drop=5;partition=0,1/4@50000000;`
+/// `crash=2@50000000..120000000` (kill node 2 at 50 ms, restart at
+/// 120 ms).
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut clauses = Vec::new();
@@ -166,6 +220,14 @@ impl fmt::Display for FaultPlan {
                 side.join(","),
                 n,
                 heal.as_nanos()
+            ));
+        }
+        for c in &self.crashes {
+            clauses.push(format!(
+                "crash={}@{}..{}",
+                c.node,
+                c.kill_after.as_nanos(),
+                c.restart_after.as_nanos()
             ));
         }
         if clauses.is_empty() {
@@ -234,6 +296,23 @@ impl std::str::FromStr for FaultPlan {
                     }
                     plan = plan.with_partition(n, &members, parse_nanos(heal, "partition heal")?);
                 }
+                "crash" => {
+                    let (node, window) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("crash needs 'node@kill..restart', got {val:?}"))?;
+                    let node = node
+                        .parse::<usize>()
+                        .map_err(|_| format!("crash node must be an index, got {node:?}"))?;
+                    let (kill, restart) = window
+                        .split_once("..")
+                        .ok_or_else(|| format!("crash needs 'kill..restart', got {val:?}"))?;
+                    let kill = parse_nanos(kill, "crash kill time")?;
+                    let restart = parse_nanos(restart, "crash restart time")?;
+                    if kill > restart {
+                        return Err(format!("crash must restart after the kill, got {val:?}"));
+                    }
+                    plan = plan.with_crash(node, kill, restart);
+                }
                 other => return Err(format!("unknown fault clause {other:?}")),
             }
         }
@@ -272,6 +351,27 @@ impl FaultInjector {
             rng: Mutex::new(Prng::seed_from_u64(seed)),
             epoch: Instant::now(),
         }
+    }
+
+    /// Creates an injector whose random stream resumes from a saved
+    /// [`FaultInjector::rng_state`] — recovery uses this so that replayed
+    /// sends draw the *same* fate decisions (in particular the same
+    /// drops, which gate sequence-number assignment) as the pre-crash
+    /// incarnation. The epoch still restarts at `now`: partition healing
+    /// is a wall-clock fault and is not replayed.
+    #[must_use]
+    pub fn with_state(plan: FaultPlan, state: [u64; 4]) -> Self {
+        FaultInjector {
+            plan,
+            rng: Mutex::new(Prng::from_state(state)),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The injector's current 256-bit RNG state, for checkpointing.
+    #[must_use]
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.lock().expect("fault rng poisoned").state()
     }
 
     /// Decides the fate of one message from `from` to `to`.
@@ -402,6 +502,15 @@ mod tests {
                 .with_drop(999)
                 .with_partition(7, &[2, 4, 6], Duration::from_secs(1)),
             FaultPlan::reliable().with_partition(3, &[], Duration::from_millis(1)),
+            FaultPlan::reliable().with_crash(
+                2,
+                Duration::from_millis(50),
+                Duration::from_millis(120),
+            ),
+            FaultPlan::reliable()
+                .with_drop(3)
+                .with_crash(0, Duration::from_millis(10), Duration::from_millis(10))
+                .with_crash(4, Duration::from_millis(20), Duration::from_secs(1)),
         ];
         for plan in plans {
             let spec = plan.to_string();
@@ -428,10 +537,51 @@ mod tests {
             "drop=many",
             "partition=0,1/4",
             "partition=9/4@100",
+            "crash=1",
+            "crash=1@500",
+            "crash=x@1..2",
+            "crash=1@9..3",
             "turtles=all-the-way",
         ] {
             assert!(bad.parse::<FaultPlan>().is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn rng_state_round_trip_resumes_the_decision_stream() {
+        let plan = FaultPlan::reliable().with_drop(500);
+        let a = FaultInjector::new(plan.clone(), 99);
+        // Burn part of the stream, checkpoint, keep going on `a`.
+        for _ in 0..17 {
+            let _ = a.action(ProcessId::new(0), ProcessId::new(1));
+        }
+        let state = a.rng_state();
+        let b = FaultInjector::with_state(plan, state);
+        for _ in 0..64 {
+            assert_eq!(
+                a.action(ProcessId::new(0), ProcessId::new(1)),
+                b.action(ProcessId::new(0), ProcessId::new(1))
+            );
+        }
+    }
+
+    #[test]
+    fn crashes_accessor_and_injector_ignore_crash_faults() {
+        let plan = FaultPlan::reliable().with_crash(
+            1,
+            Duration::from_millis(5),
+            Duration::from_millis(30),
+        );
+        assert_eq!(plan.crashes().len(), 1);
+        assert_eq!(plan.crashes()[0].node, 1);
+        assert!(!plan.is_lossy(), "a crash-restart is not message loss");
+        // The per-link injector executes link faults only; crash-restart
+        // belongs to the cluster supervisor.
+        let inj = FaultInjector::new(plan, 1);
+        assert_eq!(
+            inj.action(ProcessId::new(1), ProcessId::new(0)),
+            LinkAction::Deliver
+        );
     }
 
     #[test]

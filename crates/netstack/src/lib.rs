@@ -45,8 +45,12 @@ mod conn;
 pub mod fault;
 pub mod frame;
 pub mod node;
+pub mod wal;
 
-pub use cluster::{sockets_available, Cluster, ClusterOptions, CrashPlan, NodeFault, Proto};
-pub use fault::{FaultInjector, FaultPlan, LinkAction};
+pub use cluster::{
+    sockets_available, Cluster, ClusterOptions, CrashPlan, NodeFault, Proto, RecoveryOptions,
+};
+pub use fault::{CrashRestart, FaultInjector, FaultPlan, LinkAction};
 pub use frame::{read_frame, write_frame, Frame, MAX_FRAME_LEN};
 pub use node::{spawn, NetCounters, NodeConfig, NodeHandle, NodeStatus};
+pub use wal::{BootRecord, DeliveryRecord, Recovered, SnapshotRecord, Wal, WalRecord};

@@ -11,6 +11,7 @@
 //!            │                (seq dedup, acks,            │   ▲               │
 //!            │                 wire validation)         outbox  rng (seeded)   │
 //!            │                                             │                   │
+//!            │          WAL (log-before-send) ◀── deliveries                   │
 //!            │            fault injector ─▶ per-peer sender threads ──────────▶│ ──▶ peers
 //!            └──────────────────────────────────────────────────────────────────┘
 //! ```
@@ -19,14 +20,37 @@
 //! state machine needs no locking and keeps the simulator's atomic-step
 //! semantics: one delivery, one computation, a finite set of sends that
 //! leave before the next delivery is consumed. Self-addressed sends (the
-//! paper's broadcasts include the sender) short-circuit through the
-//! inbound queue — a node's channel to itself is memory, not a socket,
-//! and is trivially reliable.
+//! paper's broadcasts include the sender) never touch a socket: they sit
+//! in an event-loop-owned queue, which also makes them checkpointable.
+//!
+//! # Crash recovery
+//!
+//! With [`NodeConfig::wal`] set, the node journals its execution to a
+//! write-ahead log (see [`crate::wal`]). A node's run is a deterministic
+//! function of its configuration and the sequence of messages delivered
+//! to its state machine — coins included, because the RNG is seeded — so
+//! the log records exactly that sequence, plus periodic snapshots so
+//! replay need not start from genesis.
+//!
+//! The invariant is **log-before-send**: a delivery is durable before any
+//! message it produces reaches a socket. A restarted node replays its log,
+//! re-derives exactly the state it had durably reached, and re-sends
+//! byte-identical frames under the same sequence numbers — pure
+//! retransmission, absorbed by the receivers' seq-dedup. A recovered node
+//! can therefore never emit two different payloads for the same sequence
+//! slot; receivers cross-check this with per-`(peer, seq)` payload hashes
+//! and count violations in [`NetCounters::equivocations`].
+//!
+//! When the WAL is on, acks are *durability-gated*: a reader acknowledges
+//! only what the event loop has journalled, never what merely sits in the
+//! inbound queue, so a sender cannot retire a frame this node could still
+//! lose to a crash.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
@@ -37,11 +61,16 @@ use simnet::{Ctx, Envelope, Event, Process, ProcessId, SharedSubscriber, SimRng,
 use crate::conn::{spawn_sender, LinkStats, OutFrame};
 use crate::fault::{FaultInjector, FaultPlan, LinkAction};
 use crate::frame::{read_frame, write_frame, Frame};
+use crate::wal::{BootRecord, DeliveryRecord, SnapshotRecord, Wal, WalRecord};
 
 /// Accepted-connection registry: stream clones by token, so shutdown can
 /// unblock readers and each reader can prune its own entry when its
 /// connection dies.
 type StreamRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Per-peer map of delivered sequence number → payload hash, shared by
+/// all reader threads: the receiver-side no-equivocation cross-check.
+type PayloadHashes = Arc<Mutex<Vec<HashMap<u64, u64>>>>;
 
 /// Locks a [`NodeStatus`] mutex, tolerating poisoning: the event loop may
 /// die mid-update (see [`NodeStatus::died`]) and the snapshot must stay
@@ -52,6 +81,19 @@ fn lock_status(status: &Mutex<NodeStatus>) -> MutexGuard<'_, NodeStatus> {
 
 /// How often blocked threads re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(20);
+
+/// FNV-1a 64-bit hash of a payload — cheap, dependency-free, and plenty
+/// for flagging a restarted sender that re-sends different bytes under a
+/// sequence number it already used.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Static description of one node.
 #[derive(Clone, Debug)]
@@ -65,6 +107,30 @@ pub struct NodeConfig {
     pub seed: u64,
     /// Faults to inject on this node's outbound links.
     pub fault: FaultPlan,
+    /// Path of this node's write-ahead log. `None` (the default for a
+    /// plain cluster) runs without durability; `Some` journals every
+    /// delivery under the log-before-send invariant and recovers from
+    /// the log on spawn if it already has history.
+    pub wal: Option<PathBuf>,
+    /// Checkpoint cadence: compact the WAL to a snapshot after this many
+    /// processed deliveries (0 = never snapshot; replay runs from
+    /// genesis). Ignored when `wal` is `None`.
+    pub snapshot_every: u64,
+}
+
+impl NodeConfig {
+    /// A WAL-less config — the common case for ephemeral clusters.
+    #[must_use]
+    pub fn new(id: ProcessId, n: usize, seed: u64, fault: FaultPlan) -> Self {
+        NodeConfig {
+            id,
+            n,
+            seed,
+            fault,
+            wal: None,
+            snapshot_every: 0,
+        }
+    }
 }
 
 /// A live snapshot of a node's protocol state, updated by the event loop
@@ -88,6 +154,9 @@ pub struct NodeStatus {
     /// and will never make progress. Surfaced so harnesses can fail fast
     /// instead of hanging until their deadline.
     pub died: bool,
+    /// Deliveries replayed from the WAL when this incarnation booted
+    /// (0 for a fresh start).
+    pub recovered: u64,
 }
 
 /// Message-level counters for one node.
@@ -110,6 +179,12 @@ pub struct NetCounters {
     /// unacked backlog in order), so a gap marks a reliability violation
     /// or a hostile peer; the frame is dropped, never delivered.
     pub seq_gaps: AtomicU64,
+    /// Re-sent frames whose payload differed from the one first delivered
+    /// under the same sequence number. A correct node — including one
+    /// that crashed and recovered from its WAL — retransmits only
+    /// byte-identical frames, so any count here is a recovery bug or a
+    /// hostile peer caught red-handed.
+    pub equivocations: AtomicU64,
 }
 
 /// A handle to a spawned node: status snapshots plus shutdown.
@@ -201,6 +276,14 @@ impl NodeHandle {
         self.counters.seq_gaps.load(Ordering::Relaxed)
     }
 
+    /// Re-sent frames whose payload differed from the one first seen
+    /// under the same sequence number (see [`NetCounters::equivocations`]).
+    /// Always 0 for correct peers, crashed-and-recovered ones included.
+    #[must_use]
+    pub fn equivocations(&self) -> u64 {
+        self.counters.equivocations.load(Ordering::Relaxed)
+    }
+
     /// Asks every thread to stop, unblocks them, and joins them. Safe to
     /// call more than once.
     pub fn shutdown(&mut self) {
@@ -226,6 +309,28 @@ impl Drop for NodeHandle {
     }
 }
 
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Converts a stored RNG state vector back to its fixed-width form.
+fn words4(v: &[u64], what: &str) -> io::Result<[u64; 4]> {
+    v.try_into().map_err(|_| bad(what))
+}
+
+/// What the log said this boot is.
+enum BootMode {
+    /// No prior history: run `on_start` live.
+    Fresh,
+    /// The log has history: restore the latest snapshot (if any) and
+    /// replay the deliveries after it, publishing nothing and counting
+    /// nothing — the world already saw this prefix.
+    Restart {
+        snapshot: Box<Option<SnapshotRecord>>,
+        deliveries: Vec<DeliveryRecord>,
+    },
+}
+
 /// Boots a node: takes ownership of its (already bound) listener, dials
 /// its peers lazily, runs `process` on the event loop, and streams events
 /// to `subscriber` if one is attached.
@@ -234,10 +339,19 @@ impl Drop for NodeHandle {
 /// loopback-cluster handshake discipline: all addresses exist before any
 /// node dials, so a dial failure is transient, never fatal.
 ///
+/// With [`NodeConfig::wal`] set and prior history on disk, recovery runs
+/// *synchronously here*, before the acceptor starts: the sequence tables
+/// are initialized from the log, the snapshot (if any) is restored, the
+/// logged deliveries are replayed through the state machine, and the
+/// resulting (byte-identical) frames are re-offered to the senders. Only
+/// then do readers begin consulting the tables, so a frame arriving
+/// mid-recovery can never be mistaken for new.
+///
 /// # Errors
 ///
-/// Propagates listener configuration failures; later socket errors are
-/// handled by reconnection, not surfaced here.
+/// Propagates listener configuration failures and WAL I/O errors, and
+/// rejects a WAL that belongs to a different node/configuration or whose
+/// snapshot is inconsistent with this system (`InvalidData`).
 pub fn spawn<M>(
     cfg: NodeConfig,
     listener: TcpListener,
@@ -255,29 +369,135 @@ where
     let status = Arc::new(Mutex::new(NodeStatus::default()));
     let counters = Arc::new(NetCounters::default());
     let streams: StreamRegistry = Arc::new(Mutex::new(HashMap::new()));
+    let payload_hashes: PayloadHashes = Arc::new(Mutex::new(vec![HashMap::new(); cfg.n]));
     let mut threads = Vec::new();
 
-    // Inbound: readers push decoded envelopes, the event loop pops them.
-    let (inbound_tx, inbound_rx) = mpsc::channel::<(ProcessId, M)>();
+    // Open the WAL (if configured) and decide fresh start vs. restart
+    // before anything touches a socket.
+    let boot = BootRecord {
+        node: cfg.id,
+        n: cfg.n,
+        seed: cfg.seed,
+    };
+    let mut wal = None;
+    let mut mode = BootMode::Fresh;
+    if let Some(path) = &cfg.wal {
+        let (mut w, recovered) = Wal::open(path)?;
+        if recovered.records.is_empty() {
+            w.append(&WalRecord::Boot(boot.clone()))?;
+        } else {
+            let on_disk = recovered
+                .boot()
+                .ok_or_else(|| bad("wal has no boot header"))?;
+            if *on_disk != boot {
+                return Err(bad("wal belongs to a different node or configuration"));
+            }
+            let (snapshot, deliveries) = recovered.replay_plan();
+            mode = BootMode::Restart {
+                snapshot: Box::new(snapshot.cloned()),
+                deliveries: deliveries.into_iter().cloned().collect(),
+            };
+        }
+        wal = Some(w);
+    }
 
-    // Receiver-side exactly-once: next expected sequence number per peer.
-    let next_seq: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(vec![0; cfg.n]));
+    // Receiver-side exactly-once: next expected sequence number per peer,
+    // initialized from the log so that frames already journalled by a
+    // previous incarnation re-arrive as duplicates, not deliveries.
+    let mut initial_next = vec![0u64; cfg.n];
+    if let BootMode::Restart {
+        snapshot,
+        deliveries,
+    } = &mode
+    {
+        if let Some(s) = &**snapshot {
+            if s.next_seq.len() != cfg.n {
+                return Err(bad("wal snapshot sized for a different system"));
+            }
+            initial_next.copy_from_slice(&s.next_seq);
+        }
+        for d in deliveries {
+            if d.from.index() >= cfg.n {
+                return Err(bad("wal delivery from a process outside the system"));
+            }
+            if let Some(s) = d.seq {
+                let slot = &mut initial_next[d.from.index()];
+                *slot = (*slot).max(s + 1);
+            }
+        }
+    }
+    let next_seq: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(initial_next.clone()));
+    let durable_next: Arc<Vec<AtomicU64>> =
+        Arc::new(initial_next.iter().map(|&v| AtomicU64::new(v)).collect());
+
+    // Inbound: readers push decoded envelopes, the event loop pops them.
+    let (inbound_tx, inbound_rx) = mpsc::channel::<(ProcessId, u64, M)>();
 
     // Outbound: one sender thread per remote peer.
     let mut peer_txs: Vec<Option<mpsc::Sender<OutFrame>>> = Vec::with_capacity(cfg.n);
     let mut link_stats = Vec::new();
+    let mut link_stats_by_peer: Vec<Option<Arc<LinkStats>>> = Vec::with_capacity(cfg.n);
     for (i, addr) in peers.iter().enumerate() {
         if i == cfg.id.index() {
             peer_txs.push(None);
+            link_stats_by_peer.push(None);
             continue;
         }
         let (tx, stats, handle) = spawn_sender(cfg.id, *addr, Arc::clone(&shutdown));
         peer_txs.push(Some(tx));
+        link_stats_by_peer.push(Some(Arc::clone(&stats)));
         link_stats.push(stats);
         threads.push(handle);
     }
 
+    // The execution state the event loop will own, built (and possibly
+    // recovered) on this thread so the node is fully caught up before it
+    // starts accepting.
+    let observed = subscriber.is_some();
+    let mut lp = Loop {
+        me: cfg.id,
+        n: cfg.n,
+        process,
+        rng: SimRng::seed(cfg.seed),
+        injector: FaultInjector::new(cfg.fault.clone(), cfg.seed ^ 0x6e65_7473), // distinct stream from the protocol's
+        step: 0,
+        out_seq: vec![0; cfg.n],
+        outbox: Vec::new(),
+        self_queue: VecDeque::new(),
+        peer_txs,
+        wal,
+        boot,
+        snapshot_every: cfg.snapshot_every,
+        since_snapshot: 0,
+        sent_log: vec![Vec::new(); cfg.n],
+        durable_next: Arc::clone(&durable_next),
+        link_stats_by_peer,
+        status: Arc::clone(&status),
+        counters: Arc::clone(&counters),
+        subscriber,
+        observed,
+        decided: false,
+        halt_published: false,
+    };
+
+    match mode {
+        BootMode::Fresh => lp.run_start(true),
+        BootMode::Restart {
+            snapshot,
+            deliveries,
+        } => {
+            let replayed = lp.recover(*snapshot, &deliveries, &cfg)?;
+            lock_status(&status).recovered = replayed;
+            lp.publish(Event::Recover {
+                step: lp.step,
+                pid: cfg.id,
+                replayed,
+            });
+        }
+    }
+
     // Acceptor: non-blocking accept loop so shutdown can interrupt it.
+    // Started only now — the sequence tables above are final.
     listener.set_nonblocking(true)?;
     {
         let shutdown = Arc::clone(&shutdown);
@@ -285,6 +505,8 @@ where
         let inbound_tx = inbound_tx.clone();
         let next_seq = Arc::clone(&next_seq);
         let acceptor_counters = Arc::clone(&counters);
+        let hashes = Arc::clone(&payload_hashes);
+        let durable = cfg.wal.is_some().then(|| Arc::clone(&durable_next));
         let n = cfg.n;
         let me = cfg.id;
         let handle = thread::Builder::new()
@@ -324,6 +546,8 @@ where
                                 n,
                                 tx: inbound_tx.clone(),
                                 seqs: Arc::clone(&next_seq),
+                                durable: durable.clone(),
+                                hashes: Arc::clone(&hashes),
                                 counters: Arc::clone(&acceptor_counters),
                                 shutdown: Arc::clone(&shutdown),
                                 registry: Arc::clone(&streams),
@@ -349,33 +573,23 @@ where
         threads.push(handle);
     }
 
-    // The event loop: owns the process.
+    // The event loop: owns the (possibly recovered) process.
     let id = cfg.id;
     {
         let shutdown = Arc::clone(&shutdown);
         let status = Arc::clone(&status);
-        let counters = Arc::clone(&counters);
-        let injector = FaultInjector::new(cfg.fault.clone(), cfg.seed ^ 0x6e65_7473); // distinct stream from the protocol's
         let handle = thread::Builder::new()
             .name(format!("netstack-loop-p{}", cfg.id.index()))
             .spawn(move || {
-                // A panic here (a protocol bug, or hostile input the
-                // defensive layers missed) must not leave the node as a
-                // silent zombie: catch it and mark the node dead so
-                // status readers can fail fast.
+                // A panic here (a protocol bug, hostile input the
+                // defensive layers missed, or a WAL that can no longer
+                // be appended to) must not leave the node as a silent
+                // zombie: catch it and mark the node dead so status
+                // readers can fail fast. Dying on a WAL write failure is
+                // deliberate — without durability the no-equivocation
+                // guarantee is gone, and fail-stop is the honest mode.
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    event_loop(
-                        &cfg,
-                        process,
-                        &inbound_rx,
-                        inbound_tx,
-                        peer_txs,
-                        &injector,
-                        &status,
-                        &counters,
-                        subscriber,
-                        &shutdown,
-                    );
+                    event_loop(lp, &inbound_rx, &shutdown);
                 }));
                 if result.is_err() {
                     let mut st = lock_status(&status);
@@ -417,8 +631,16 @@ struct Reader<M> {
     /// This connection's key in the stream registry, pruned on exit.
     token: u64,
     n: usize,
-    tx: mpsc::Sender<(ProcessId, M)>,
+    tx: mpsc::Sender<(ProcessId, u64, M)>,
     seqs: Arc<Mutex<Vec<u64>>>,
+    /// When this node journals to a WAL, acks advance only as the event
+    /// loop logs deliveries (the durable watermark), never as frames
+    /// merely enter the inbound queue — otherwise a sender could retire
+    /// a frame this node would lose by crashing before the append.
+    durable: Option<Arc<Vec<AtomicU64>>>,
+    /// Payload hashes of delivered frames, for the no-equivocation check
+    /// on duplicates.
+    hashes: PayloadHashes,
     counters: Arc<NetCounters>,
     shutdown: Arc<AtomicBool>,
     registry: StreamRegistry,
@@ -443,7 +665,7 @@ impl<M: Wire> Reader<M> {
         while !self.shutdown.load(Ordering::Relaxed) {
             match read_frame(&mut self.stream) {
                 Ok(Frame::Msg { seq, payload }) => {
-                    let (disposition, ack) = {
+                    let (disposition, speculative) = {
                         let mut seqs = self.seqs.lock().expect("seq table poisoned");
                         let next = &mut seqs[from.index()];
                         let d = if seq > *next {
@@ -456,6 +678,10 @@ impl<M: Wire> Reader<M> {
                         };
                         (d, *next)
                     };
+                    let ack = match &self.durable {
+                        Some(d) => d[from.index()].load(Ordering::Acquire),
+                        None => speculative,
+                    };
                     // Cumulative ack — re-sent even for duplicates and
                     // gaps so a reconnected sender can retire its backlog
                     // and resynchronize.
@@ -463,8 +689,27 @@ impl<M: Wire> Reader<M> {
                         return; // connection died; the sender will redial
                     }
                     match disposition {
-                        Disposition::Deliver => {}
-                        Disposition::Duplicate => continue,
+                        Disposition::Deliver => {
+                            self.hashes.lock().unwrap_or_else(PoisonError::into_inner)
+                                [from.index()]
+                            .insert(seq, fnv1a64(&payload));
+                        }
+                        Disposition::Duplicate => {
+                            // A retransmission must be byte-identical to
+                            // the frame first delivered under this seq —
+                            // recovered nodes included. Anything else is
+                            // equivocation.
+                            let known = self.hashes.lock().unwrap_or_else(PoisonError::into_inner)
+                                [from.index()]
+                            .get(&seq)
+                            .copied();
+                            if let Some(h) = known {
+                                if h != fnv1a64(&payload) {
+                                    self.counters.equivocations.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            continue;
+                        }
                         Disposition::Gap => {
                             self.counters.seq_gaps.fetch_add(1, Ordering::Relaxed);
                             continue;
@@ -482,7 +727,7 @@ impl<M: Wire> Reader<M> {
                         self.counters.wire_rejected.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
-                    if self.tx.send((from, msg)).is_err() {
+                    if self.tx.send((from, seq, msg)).is_err() {
                         return; // event loop gone
                     }
                 }
@@ -493,204 +738,377 @@ impl<M: Wire> Reader<M> {
     }
 }
 
-/// Runs the process: one `on_start`, then one `on_receive` per delivery.
-#[allow(clippy::too_many_arguments)] // internal plumbing, never public API
-fn event_loop<M: Wire + Send + 'static>(
-    cfg: &NodeConfig,
-    mut process: Box<dyn Process<Msg = M> + Send>,
-    inbound_rx: &mpsc::Receiver<(ProcessId, M)>,
-    self_tx: mpsc::Sender<(ProcessId, M)>,
+/// The execution state owned by the event loop: the process, its RNG and
+/// step counter, the outbound plumbing, and (optionally) the WAL.
+struct Loop<M: Wire> {
+    me: ProcessId,
+    n: usize,
+    process: Box<dyn Process<Msg = M> + Send>,
+    rng: SimRng,
+    injector: FaultInjector,
+    step: u64,
+    out_seq: Vec<u64>,
+    outbox: Vec<(ProcessId, M)>,
+    /// Pending self-deliveries (encoded), oldest first. Owned by the
+    /// event loop — not a channel — so a checkpoint can capture it.
+    self_queue: VecDeque<Vec<u8>>,
     peer_txs: Vec<Option<mpsc::Sender<OutFrame>>>,
-    injector: &FaultInjector,
-    status: &Mutex<NodeStatus>,
-    counters: &NetCounters,
+    wal: Option<Wal>,
+    boot: BootRecord,
+    snapshot_every: u64,
+    since_snapshot: u64,
+    /// Per-peer journal of sent frames `(seq, payload)`, kept only when
+    /// the WAL is on; pruned of acked frames at checkpoint time, what
+    /// remains becomes the snapshot's retransmission backlog.
+    sent_log: Vec<Vec<(u64, Vec<u8>)>>,
+    /// Durable delivered watermark per peer (what acks may cover).
+    durable_next: Arc<Vec<AtomicU64>>,
+    link_stats_by_peer: Vec<Option<Arc<LinkStats>>>,
+    status: Arc<Mutex<NodeStatus>>,
+    counters: Arc<NetCounters>,
     subscriber: Option<SharedSubscriber>,
-    shutdown: &AtomicBool,
-) {
-    let me = cfg.id;
-    let n = cfg.n;
-    let mut rng = SimRng::seed(cfg.seed);
-    let mut step: u64 = 0;
-    let mut out_seq: Vec<u64> = vec![0; n];
-    let mut outbox: Vec<(ProcessId, M)> = Vec::new();
-    let observed = subscriber.is_some();
-    let mut decided = false;
-    let mut halt_published = false;
+    observed: bool,
+    decided: bool,
+    halt_published: bool,
+}
 
-    let publish = |event: Event| {
-        if let Some(s) = &subscriber {
+impl<M: Wire> Loop<M> {
+    fn publish(&self, event: Event) {
+        if let Some(s) = &self.subscriber {
             s.lock().expect("subscriber lock poisoned").on_event(&event);
         }
-    };
-
-    // The initial atomic step.
-    publish(Event::Start { pid: me });
-    {
-        let mut ctx = Ctx::new(me, n, step, &mut outbox, &mut rng).with_obs(observed);
-        process.on_start(&mut ctx);
-        for event in ctx.take_events() {
-            publish(Event::Protocol {
-                step,
-                pid: me,
-                event,
-            });
-        }
     }
-    dispatch(
-        me,
-        step,
-        &mut outbox,
-        &mut out_seq,
-        &self_tx,
-        &peer_txs,
-        injector,
-        counters,
-        &publish,
-    );
-    observe(
-        process.as_ref(),
-        me,
-        step,
-        status,
-        &mut decided,
-        &mut halt_published,
-        &publish,
-    );
 
-    // Delivery steps.
-    while !shutdown.load(Ordering::Relaxed) {
-        let (from, msg) = match inbound_rx.recv_timeout(POLL) {
-            Ok(delivery) => delivery,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
-        };
-        if process.halted() {
-            counters.dropped_at_halted.fetch_add(1, Ordering::Relaxed);
-            continue;
+    /// The initial atomic step. With `live` false this is a replay
+    /// re-derivation: same state, same sends, no publishing, no counting.
+    fn run_start(&mut self, live: bool) {
+        if live {
+            self.publish(Event::Start { pid: self.me });
         }
-        step += 1;
-        counters.delivered.fetch_add(1, Ordering::Relaxed);
-        // A networked node has no delivery buffer the scheduler indexes
-        // into — the OS hands messages over in arrival order — so the
-        // schedule slot is always 0.
-        publish(Event::Deliver {
-            step,
-            to: me,
-            from,
-            index: 0,
-        });
-        {
-            let mut ctx = Ctx::new(me, n, step, &mut outbox, &mut rng).with_obs(observed);
-            process.on_receive(Envelope::new(from, msg), &mut ctx);
-            for event in ctx.take_events() {
-                publish(Event::Protocol {
-                    step,
-                    pid: me,
+        let events = {
+            let mut ctx = Ctx::new(self.me, self.n, self.step, &mut self.outbox, &mut self.rng)
+                .with_obs(self.observed && live);
+            self.process.on_start(&mut ctx);
+            ctx.take_events()
+        };
+        if live {
+            for event in events {
+                self.publish(Event::Protocol {
+                    step: self.step,
+                    pid: self.me,
                     event,
                 });
             }
         }
-        dispatch(
-            me,
-            step,
-            &mut outbox,
-            &mut out_seq,
-            &self_tx,
-            &peer_txs,
-            injector,
-            counters,
-            &publish,
-        );
-        observe(
-            process.as_ref(),
-            me,
-            step,
-            status,
-            &mut decided,
-            &mut halt_published,
-            &publish,
-        );
+        self.dispatch(live);
+        self.observe(live);
     }
-}
 
-/// Routes one step's outbox: self-sends loop back, remote sends pass the
-/// fault injector and land on the link queues.
-#[allow(clippy::too_many_arguments)] // internal plumbing, never public API
-fn dispatch<M: Wire>(
-    me: ProcessId,
-    step: u64,
-    outbox: &mut Vec<(ProcessId, M)>,
-    out_seq: &mut [u64],
-    self_tx: &mpsc::Sender<(ProcessId, M)>,
-    peer_txs: &[Option<mpsc::Sender<OutFrame>>],
-    injector: &FaultInjector,
-    counters: &NetCounters,
-    publish: &impl Fn(Event),
-) {
-    for (to, msg) in outbox.drain(..) {
-        counters.sent.fetch_add(1, Ordering::Relaxed);
-        publish(Event::Send { step, from: me, to });
-        if to == me {
-            let _ = self_tx.send((me, msg));
-            continue;
+    /// Restores the snapshot (if any) and replays the logged deliveries,
+    /// returning how many were replayed. Runs before the acceptor starts.
+    fn recover(
+        &mut self,
+        snapshot: Option<SnapshotRecord>,
+        deliveries: &[DeliveryRecord],
+        cfg: &NodeConfig,
+    ) -> io::Result<u64> {
+        match snapshot {
+            Some(s) => {
+                if s.out_seq.len() != self.n
+                    || s.backlogs.len() != self.n
+                    || s.next_seq.len() != self.n
+                {
+                    return Err(bad("wal snapshot sized for a different system"));
+                }
+                self.step = s.step;
+                self.rng = SimRng::restore(s.rng_seed, words4(&s.rng_state, "rng state")?);
+                self.injector = FaultInjector::with_state(
+                    cfg.fault.clone(),
+                    words4(&s.injector_state, "injector state")?,
+                );
+                if !self.process.restore(&s.process) {
+                    return Err(bad("protocol state machine rejected its snapshot"));
+                }
+                self.out_seq = s.out_seq;
+                self.self_queue = s.self_queue.into();
+                self.sent_log = s.backlogs;
+                // Re-offer the unacked backlog: frames a peer may never
+                // have received, byte-identical under their original
+                // sequence numbers.
+                for (i, frames) in self.sent_log.iter().enumerate() {
+                    let Some(tx) = self.peer_txs[i].as_ref() else {
+                        continue;
+                    };
+                    for (seq, payload) in frames {
+                        let _ = tx.send(OutFrame {
+                            seq: *seq,
+                            not_before: Instant::now(),
+                            payload: payload.clone(),
+                        });
+                    }
+                }
+            }
+            // No checkpoint: re-derive genesis, silently.
+            None => self.run_start(false),
         }
-        let Some(tx) = peer_txs.get(to.index()).and_then(Option::as_ref) else {
-            continue; // address outside the system: a Byzantine no-op
+        for d in deliveries {
+            let msg = match d.seq {
+                // A logged self-delivery consumes the queue head, which
+                // determinism says must be byte-identical to the record.
+                None => {
+                    if d.from != self.me {
+                        return Err(bad("wal self-delivery not from this node"));
+                    }
+                    let bytes = self
+                        .self_queue
+                        .pop_front()
+                        .ok_or_else(|| bad("wal self-delivery with no pending self-send"))?;
+                    if bytes != d.payload {
+                        return Err(bad("replay diverged: self-delivery bytes differ from log"));
+                    }
+                    M::from_bytes(&bytes).map_err(|_| bad("undecodable logged self-delivery"))?
+                }
+                Some(_) => M::from_bytes(&d.payload)
+                    .map_err(|_| bad("undecodable logged delivery payload"))?,
+            };
+            self.deliver(d.from, d.seq, msg, &d.payload, false);
+        }
+        // Refresh the externally visible status from the recovered state
+        // even when every delivery was compacted into the snapshot — a
+        // decision restored from the checkpoint alone must still be
+        // reported (silently: it belongs to the crashed incarnation).
+        self.observe(false);
+        Ok(deliveries.len() as u64)
+    }
+
+    /// One delivery step — the WAL append, the process step, the sends it
+    /// causes, and the status/telemetry fallout. With `live` false this
+    /// is log replay: the append is skipped (the record is the log) and
+    /// nothing is published or counted, but sends still go out — they are
+    /// retransmissions of frames the crashed incarnation already owned.
+    fn deliver(&mut self, from: ProcessId, seq: Option<u64>, msg: M, payload: &[u8], live: bool) {
+        if live {
+            if let Some(wal) = &mut self.wal {
+                // Log-before-send: the record must be durable before any
+                // message this delivery produces reaches a socket. A
+                // failed append forfeits that guarantee, so die (the
+                // panic is caught and surfaced as NodeStatus::died).
+                wal.append(&WalRecord::Delivery(DeliveryRecord {
+                    from,
+                    seq,
+                    payload: payload.to_vec(),
+                }))
+                .expect("wal append failed: cannot guarantee no-equivocation");
+                if let Some(s) = seq {
+                    // Now — and only now — may acks cover this frame.
+                    self.durable_next[from.index()].store(s + 1, Ordering::Release);
+                }
+            }
+        }
+        if self.process.halted() {
+            if live {
+                self.counters
+                    .dropped_at_halted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        self.step += 1;
+        if live {
+            self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+            // A networked node has no delivery buffer the scheduler
+            // indexes into — the OS hands messages over in arrival order
+            // — so the schedule slot is always 0.
+            self.publish(Event::Deliver {
+                step: self.step,
+                to: self.me,
+                from,
+                index: 0,
+            });
+        }
+        let events = {
+            let mut ctx = Ctx::new(self.me, self.n, self.step, &mut self.outbox, &mut self.rng)
+                .with_obs(self.observed && live);
+            self.process.on_receive(Envelope::new(from, msg), &mut ctx);
+            ctx.take_events()
         };
-        let not_before = match injector.action(me, to) {
-            LinkAction::Drop => {
-                counters.injected_drops.fetch_add(1, Ordering::Relaxed);
+        if live {
+            for event in events {
+                self.publish(Event::Protocol {
+                    step: self.step,
+                    pid: self.me,
+                    event,
+                });
+            }
+        }
+        self.dispatch(live);
+        self.observe(live);
+        if live {
+            self.maybe_snapshot();
+        }
+    }
+
+    /// Routes one step's outbox: self-sends join the local queue, remote
+    /// sends pass the fault injector and land on the link queues. The
+    /// injector is consulted (and the RNG stream advanced) in replay too
+    /// — drop decisions gate sequence-number assignment, so skipping them
+    /// would renumber the replayed frames.
+    fn dispatch(&mut self, live: bool) {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        for (to, msg) in outbox.drain(..) {
+            if live {
+                self.counters.sent.fetch_add(1, Ordering::Relaxed);
+                self.publish(Event::Send {
+                    step: self.step,
+                    from: self.me,
+                    to,
+                });
+            }
+            if to == self.me {
+                self.self_queue.push_back(msg.to_bytes());
                 continue;
             }
-            LinkAction::Deliver => Instant::now(),
-            LinkAction::DelayBy(d) => Instant::now() + d,
-        };
-        let seq = out_seq[to.index()];
-        out_seq[to.index()] += 1;
-        let _ = tx.send(OutFrame {
-            seq,
-            not_before,
-            payload: msg.to_bytes(),
-        });
+            let Some(tx) = self.peer_txs.get(to.index()).and_then(Option::as_ref) else {
+                continue; // address outside the system: a Byzantine no-op
+            };
+            let not_before = match self.injector.action(self.me, to) {
+                LinkAction::Drop => {
+                    if live {
+                        self.counters.injected_drops.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
+                LinkAction::Deliver => Instant::now(),
+                LinkAction::DelayBy(d) => Instant::now() + d,
+            };
+            let seq = self.out_seq[to.index()];
+            self.out_seq[to.index()] += 1;
+            let frame_payload = msg.to_bytes();
+            if self.wal.is_some() {
+                self.sent_log[to.index()].push((seq, frame_payload.clone()));
+            }
+            let _ = tx.send(OutFrame {
+                seq,
+                not_before,
+                payload: frame_payload,
+            });
+        }
+        self.outbox = outbox;
     }
-}
 
-/// Mirrors `Sim::observe`: records decisions and halts exactly once.
-fn observe<M>(
-    process: &(dyn Process<Msg = M> + Send),
-    me: ProcessId,
-    step: u64,
-    status: &Mutex<NodeStatus>,
-    decided: &mut bool,
-    halt_published: &mut bool,
-    publish: &impl Fn(Event),
-) {
-    let halted = process.halted();
-    let mut newly_decided = None;
-    {
-        let mut st = lock_status(status);
-        st.steps = step + 1;
-        st.phase = process.phase();
-        st.halted = halted;
-        if !*decided {
-            if let Some(v) = process.decision() {
-                *decided = true;
-                st.decision = Some(v);
-                st.decision_phase = process.decision_phase();
-                st.decision_step = Some(step);
-                newly_decided = Some(v);
+    /// Mirrors `Sim::observe`: records decisions and halts exactly once.
+    /// In replay the status still updates (the recovered node resumes
+    /// with correct phase/decision) but nothing is re-published — the
+    /// world already saw those events from the previous incarnation.
+    fn observe(&mut self, live: bool) {
+        let halted = self.process.halted();
+        let mut newly_decided = None;
+        {
+            let mut st = lock_status(&self.status);
+            st.steps = self.step + 1;
+            st.phase = self.process.phase();
+            st.halted = halted;
+            if !self.decided {
+                if let Some(v) = self.process.decision() {
+                    self.decided = true;
+                    st.decision = Some(v);
+                    st.decision_phase = self.process.decision_phase();
+                    st.decision_step = Some(self.step);
+                    newly_decided = Some(v);
+                }
+            }
+        }
+        if let Some(value) = newly_decided {
+            if live {
+                self.publish(Event::Decide {
+                    step: self.step,
+                    pid: self.me,
+                    value,
+                });
+            }
+        }
+        if halted && !self.halt_published {
+            self.halt_published = true;
+            if live {
+                self.publish(Event::Halt {
+                    step: self.step,
+                    pid: self.me,
+                });
             }
         }
     }
-    if let Some(value) = newly_decided {
-        publish(Event::Decide {
-            step,
-            pid: me,
-            value,
-        });
+
+    /// Compacts the WAL to boot + snapshot every `snapshot_every`
+    /// processed deliveries, if the protocol supports checkpointing.
+    fn maybe_snapshot(&mut self) {
+        if self.snapshot_every == 0 || self.wal.is_none() {
+            return;
+        }
+        self.since_snapshot += 1;
+        if self.since_snapshot < self.snapshot_every {
+            return;
+        }
+        let Some(process_bytes) = self.process.snapshot() else {
+            return; // protocol opted out of checkpointing; replay from genesis
+        };
+        self.since_snapshot = 0;
+        // Retire frames the peers have acknowledged; what's left is the
+        // unacked backlog a restarted node must re-offer.
+        for (i, log) in self.sent_log.iter_mut().enumerate() {
+            if let Some(stats) = &self.link_stats_by_peer[i] {
+                let acked = stats.acked.load(Ordering::Relaxed);
+                log.retain(|(seq, _)| *seq >= acked);
+            }
+        }
+        let (rng_seed, rng_state) = self.rng.save();
+        let snapshot = SnapshotRecord {
+            step: self.step,
+            rng_seed,
+            rng_state: rng_state.to_vec(),
+            process: process_bytes,
+            out_seq: self.out_seq.clone(),
+            // The durable watermark, not the readers' speculative table:
+            // frames still in the inbound queue are not yet this node's
+            // responsibility — they were never acked, so a post-crash
+            // sender re-offers them.
+            next_seq: self
+                .durable_next
+                .iter()
+                .map(|a| a.load(Ordering::Acquire))
+                .collect(),
+            backlogs: self.sent_log.clone(),
+            self_queue: self.self_queue.iter().cloned().collect(),
+            injector_state: self.injector.rng_state().to_vec(),
+        };
+        if let Some(wal) = &mut self.wal {
+            // A failed compaction is not fatal — the log just stays long
+            // and replay starts further back.
+            let _ = wal.compact(&self.boot, &snapshot);
+        }
     }
-    if halted && !*halt_published {
-        *halt_published = true;
-        publish(Event::Halt { step, pid: me });
+}
+
+/// Runs the delivery loop: pending self-deliveries first (they are
+/// already owed to the process), then whatever the readers queued.
+fn event_loop<M: Wire + Send + 'static>(
+    mut lp: Loop<M>,
+    inbound_rx: &mpsc::Receiver<(ProcessId, u64, M)>,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        if let Some(bytes) = lp.self_queue.pop_front() {
+            let msg = M::from_bytes(&bytes).expect("locally encoded self-delivery decodes");
+            let me = lp.me;
+            lp.deliver(me, None, msg, &bytes, true);
+            continue;
+        }
+        match inbound_rx.recv_timeout(POLL) {
+            Ok((from, seq, msg)) => {
+                let payload = msg.to_bytes();
+                lp.deliver(from, Some(seq), msg, &payload, true);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
     }
 }

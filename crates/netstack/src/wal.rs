@@ -1,0 +1,624 @@
+//! The per-node write-ahead log: crash recovery for the socket runtime.
+//!
+//! A node's entire execution is a deterministic function of its
+//! configuration and the sequence of messages delivered to its state
+//! machine (coin flips included — the RNG is seeded and its state is
+//! checkpointed). The WAL therefore records exactly that sequence: one
+//! [`WalRecord::Boot`] header, then one [`WalRecord::Delivery`] per
+//! delivered message, with an optional [`WalRecord::Snapshot`] checkpoint
+//! so replay need not start from genesis.
+//!
+//! The recovery invariant is **log-before-send**: the event loop appends
+//! (and flushes) the delivery record *before* dispatching any message that
+//! delivery produced. A node restarted from its log re-derives the exact
+//! state it had durably reached, and re-produces byte-identical frames
+//! under the same sequence numbers — pure retransmission, which the
+//! receiver's seq-dedup layer absorbs. A crashed-and-recovered node can
+//! therefore never equivocate: it is benign, not Byzantine, exactly the
+//! paper's fail-stop model extended with rejoin.
+//!
+//! # On-disk format
+//!
+//! The log is a flat sequence of records, each
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [body: len bytes]
+//! ```
+//!
+//! where the checksum (CRC-32/ISO-HDLC, the zlib polynomial) covers the
+//! body, and the body is the [`Wire`] encoding of a [`WalRecord`]. Records
+//! are appended with a single `write(2)` each, so a SIGKILL can leave at
+//! most one torn record at the tail. [`Wal::open`] scans until the first
+//! torn or corrupt record, reports how many bytes it discarded, and
+//! truncates the file there so subsequent appends extend a clean prefix.
+//! Durability is against *process* death (the kernel holds the page cache
+//! once `write` returns); deployments that must survive power loss would
+//! add an `fdatasync` per append at the same call site.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use simnet::{ProcessId, Wire, WireError, WireReader};
+
+/// Hard cap on one record body; far above any frame the runtime produces
+/// (snapshots of big systems included), so a corrupt length prefix is
+/// rejected rather than allocated for.
+pub const MAX_RECORD_LEN: usize = 1 << 24;
+
+/// CRC-32/ISO-HDLC lookup table (reflected 0xEDB88320 polynomial).
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32/ISO-HDLC checksum of `bytes` (zlib's `crc32`).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The log header: enough to refuse replaying a log onto the wrong node
+/// or the wrong cluster configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BootRecord {
+    /// The process this log belongs to.
+    pub node: ProcessId,
+    /// System size `n` at boot.
+    pub n: usize,
+    /// The node's RNG seed.
+    pub seed: u64,
+}
+
+impl Wire for BootRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.n.encode(out);
+        self.seed.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(BootRecord {
+            node: Wire::decode(r)?,
+            n: Wire::decode(r)?,
+            seed: Wire::decode(r)?,
+        })
+    }
+}
+
+/// One message delivered to the state machine, in delivery order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Who the message came from (possibly this node itself).
+    pub from: ProcessId,
+    /// The wire sequence number for remote deliveries — replay restores
+    /// the receiver's per-peer high-water mark from it — or `None` for
+    /// self-deliveries, which never touch a socket.
+    pub seq: Option<u64>,
+    /// The message payload, exactly as decoded from the wire (or as
+    /// produced locally for self-sends).
+    pub payload: Vec<u8>,
+}
+
+impl Wire for DeliveryRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.seq.encode(out);
+        self.payload.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DeliveryRecord {
+            from: Wire::decode(r)?,
+            seq: Wire::decode(r)?,
+            payload: Wire::decode(r)?,
+        })
+    }
+}
+
+/// A full node checkpoint: everything needed to resume without replaying
+/// the deliveries that precede it.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SnapshotRecord {
+    /// Local step counter at the checkpoint.
+    pub step: u64,
+    /// The RNG's original seed.
+    pub rng_seed: u64,
+    /// The RNG's 256-bit state (always 4 words).
+    pub rng_state: Vec<u64>,
+    /// The protocol state machine's own [`simnet::Process::snapshot`].
+    pub process: Vec<u8>,
+    /// Next outbound sequence number per peer.
+    pub out_seq: Vec<u64>,
+    /// Next expected inbound sequence number per peer (the durable
+    /// delivered high-water marks).
+    pub next_seq: Vec<u64>,
+    /// Per-peer unacked outbound backlog: `(seq, payload)` pairs that must
+    /// be offered for retransmission after restart.
+    pub backlogs: Vec<Vec<(u64, Vec<u8>)>>,
+    /// Pending self-deliveries (encoded messages the process sent to
+    /// itself that had not yet been consumed at the checkpoint).
+    pub self_queue: Vec<Vec<u8>>,
+    /// The fault injector's 256-bit RNG state (always 4 words). Injector
+    /// decisions consume random draws *and* gate sequence-number
+    /// assignment (a dropped send allocates no seq), so replaying
+    /// deliveries after the checkpoint with the injector stream at the
+    /// wrong position would assign different seqs to the same payloads —
+    /// wire-level equivocation. Restoring the stream keeps replayed
+    /// frames byte-identical.
+    pub injector_state: Vec<u64>,
+}
+
+impl Wire for SnapshotRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.step.encode(out);
+        self.rng_seed.encode(out);
+        self.rng_state.encode(out);
+        self.process.encode(out);
+        self.out_seq.encode(out);
+        self.next_seq.encode(out);
+        self.backlogs.encode(out);
+        self.self_queue.encode(out);
+        self.injector_state.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SnapshotRecord {
+            step: Wire::decode(r)?,
+            rng_seed: Wire::decode(r)?,
+            rng_state: Wire::decode(r)?,
+            process: Wire::decode(r)?,
+            out_seq: Wire::decode(r)?,
+            next_seq: Wire::decode(r)?,
+            backlogs: Wire::decode(r)?,
+            self_queue: Wire::decode(r)?,
+            injector_state: Wire::decode(r)?,
+        })
+    }
+}
+
+/// One unit of the log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Log header; always the first record.
+    Boot(BootRecord),
+    /// One delivered message.
+    Delivery(DeliveryRecord),
+    /// A checkpoint superseding everything before it.
+    Snapshot(SnapshotRecord),
+}
+
+impl Wire for WalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Boot(b) => {
+                out.push(0);
+                b.encode(out);
+            }
+            WalRecord::Delivery(d) => {
+                out.push(1);
+                d.encode(out);
+            }
+            WalRecord::Snapshot(s) => {
+                out.push(2);
+                s.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let offset = r.offset();
+        match r.byte()? {
+            0 => Ok(WalRecord::Boot(Wire::decode(r)?)),
+            1 => Ok(WalRecord::Delivery(Wire::decode(r)?)),
+            2 => Ok(WalRecord::Snapshot(Wire::decode(r)?)),
+            _ => Err(WireError::Invalid {
+                what: "wal record tag",
+                offset,
+            }),
+        }
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// Every intact record, in log order.
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded from a torn or corrupt tail (0 for a clean log).
+    pub tail_lost: u64,
+}
+
+impl Recovered {
+    /// The boot header, if the log has one.
+    #[must_use]
+    pub fn boot(&self) -> Option<&BootRecord> {
+        self.records.iter().find_map(|r| match r {
+            WalRecord::Boot(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// The latest snapshot, if any, and the deliveries logged after it
+    /// (or after boot when no snapshot exists), in order.
+    #[must_use]
+    pub fn replay_plan(&self) -> (Option<&SnapshotRecord>, Vec<&DeliveryRecord>) {
+        let last_snap = self
+            .records
+            .iter()
+            .rposition(|r| matches!(r, WalRecord::Snapshot(_)));
+        let snapshot = last_snap.map(|i| match &self.records[i] {
+            WalRecord::Snapshot(s) => s,
+            _ => unreachable!(),
+        });
+        let start = last_snap.map_or(0, |i| i + 1);
+        let deliveries = self.records[start..]
+            .iter()
+            .filter_map(|r| match r {
+                WalRecord::Delivery(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        (snapshot, deliveries)
+    }
+}
+
+/// An open write-ahead log, positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+}
+
+/// Assembles the on-disk bytes of one record.
+fn frame_record(record: &WalRecord) -> Vec<u8> {
+    let body = record.to_bytes();
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Scans `bytes`, returning the intact records and the offset of the
+/// first torn or corrupt record (== `bytes.len()` for a clean log).
+fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 8 {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_LEN || bytes.len() - pos - 8 < len {
+            break; // torn tail or garbage length
+        }
+        let body = &bytes[pos + 8..pos + 8 + len];
+        if crc32(body) != crc {
+            break; // corrupt record: nothing after it can be trusted
+        }
+        match WalRecord::from_bytes(body) {
+            Ok(record) => records.push(record),
+            Err(_) => break, // checksummed but malformed: treat as corrupt
+        }
+        pos += 8 + len;
+    }
+    (records, pos)
+}
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, recovering every
+    /// intact record and truncating any torn or corrupt tail so the log
+    /// ends on a record boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(Wal, Recovered)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (records, good) = scan(&bytes);
+        let tail_lost = (bytes.len() - good) as u64;
+        if tail_lost > 0 {
+            file.set_len(good as u64)?;
+        }
+        file.seek(SeekFrom::Start(good as u64))?;
+        Ok((Wal { file, path }, Recovered { records, tail_lost }))
+    }
+
+    /// Appends one record. A single `write(2)` makes the append atomic
+    /// against process death; the call returns only once the kernel owns
+    /// the bytes, which is the durability point of log-before-send.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        self.file.write_all(&frame_record(record))
+    }
+
+    /// Rewrites the log as `boot` + `snapshot` atomically (write to a
+    /// sibling temp file, rename over), discarding the replayed history
+    /// the snapshot supersedes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn compact(&mut self, boot: &BootRecord, snapshot: &SnapshotRecord) -> io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        let mut out = Vec::new();
+        out.extend_from_slice(&frame_record(&WalRecord::Boot(boot.clone())));
+        out.extend_from_slice(&frame_record(&WalRecord::Snapshot(snapshot.clone())));
+        let mut f = File::create(&tmp)?;
+        f.write_all(&out)?;
+        f.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        Ok(())
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> WalRecord {
+        WalRecord::Boot(BootRecord {
+            node: ProcessId::new(2),
+            n: 5,
+            seed: 77,
+        })
+    }
+
+    fn delivery(from: usize, seq: Option<u64>, payload: &[u8]) -> WalRecord {
+        WalRecord::Delivery(DeliveryRecord {
+            from: ProcessId::new(from),
+            seq,
+            payload: payload.to_vec(),
+        })
+    }
+
+    fn snapshot() -> WalRecord {
+        WalRecord::Snapshot(SnapshotRecord {
+            step: 42,
+            rng_seed: 7,
+            rng_state: vec![1, 2, 3, 4],
+            process: vec![9, 9, 9],
+            out_seq: vec![3, 0, 5],
+            next_seq: vec![1, 0, 2],
+            backlogs: vec![vec![(2, vec![8])], vec![], vec![(4, vec![])]],
+            self_queue: vec![vec![1, 2], vec![]],
+            injector_state: vec![5, 6, 7, 8],
+        })
+    }
+
+    #[test]
+    fn crc32_reference_vectors() {
+        // Standard check value for "123456789" under CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        for r in [
+            boot(),
+            delivery(1, Some(9), b"abc"),
+            delivery(0, None, b""),
+            snapshot(),
+        ] {
+            let bytes = r.to_bytes();
+            assert_eq!(WalRecord::from_bytes(&bytes), Ok(r));
+        }
+    }
+
+    #[test]
+    fn append_then_reopen_replays_everything() {
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("clean.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (mut wal, recovered) = Wal::open(&path).unwrap();
+        assert!(recovered.records.is_empty());
+        let records = vec![
+            boot(),
+            delivery(1, Some(0), b"x"),
+            delivery(2, Some(0), b"yy"),
+        ];
+        for r in &records {
+            wal.append(r).unwrap();
+        }
+        drop(wal);
+
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.records, records);
+        assert_eq!(recovered.tail_lost, 0);
+        assert_eq!(
+            recovered.boot().unwrap().node,
+            ProcessId::new(2),
+            "boot header survives"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_recovers_to_last_good_record() {
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&boot()).unwrap();
+        wal.append(&delivery(1, Some(0), b"keep me")).unwrap();
+        wal.append(&delivery(3, Some(1), b"torn away")).unwrap();
+        drop(wal);
+
+        // Tear the last record mid-body, as a crash mid-write would.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let (mut wal, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(
+            recovered.records,
+            vec![boot(), delivery(1, Some(0), b"keep me")],
+            "replay stops at the last intact record"
+        );
+        assert!(recovered.tail_lost > 0);
+
+        // The torn tail was truncated: new appends extend a clean log.
+        wal.append(&delivery(4, Some(0), b"after repair")).unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.records.len(), 3);
+        assert_eq!(recovered.tail_lost, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flipped_checksum_stops_replay_without_panic() {
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flipped.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&boot()).unwrap();
+        wal.append(&delivery(1, Some(0), b"good")).unwrap();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        wal.append(&delivery(2, Some(0), b"about to rot")).unwrap();
+        wal.append(&delivery(3, Some(0), b"unreachable")).unwrap();
+        drop(wal);
+
+        // Flip one bit inside the third record's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let target = good_len as usize + 10;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(
+            recovered.records,
+            vec![boot(), delivery(1, Some(0), b"good")],
+            "nothing at or past the corruption is replayed"
+        );
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            good_len,
+            "the corrupt suffix is truncated away"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hostile.wal");
+        let mut bytes = frame_record(&boot());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0; 64]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.records, vec![boot()]);
+        assert!(recovered.tail_lost > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replay_plan_prefers_latest_snapshot() {
+        let records = vec![
+            boot(),
+            delivery(0, Some(0), b"superseded"),
+            snapshot(),
+            delivery(1, Some(4), b"replay me"),
+            delivery(0, None, b"self"),
+        ];
+        let recovered = Recovered {
+            records,
+            tail_lost: 0,
+        };
+        let (snap, deliveries) = recovered.replay_plan();
+        assert_eq!(snap.unwrap().step, 42);
+        assert_eq!(deliveries.len(), 2);
+        assert_eq!(deliveries[0].payload, b"replay me");
+        assert_eq!(deliveries[1].seq, None);
+
+        // Without a snapshot, everything replays from genesis.
+        let recovered = Recovered {
+            records: vec![boot(), delivery(1, Some(0), b"a")],
+            tail_lost: 0,
+        };
+        let (snap, deliveries) = recovered.replay_plan();
+        assert!(snap.is_none());
+        assert_eq!(deliveries.len(), 1);
+    }
+
+    #[test]
+    fn compact_rewrites_to_boot_plus_snapshot() {
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("compact.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&boot()).unwrap();
+        for i in 0..50 {
+            wal.append(&delivery(1, Some(i), b"bulk")).unwrap();
+        }
+        let bloated = std::fs::metadata(&path).unwrap().len();
+
+        let WalRecord::Boot(b) = boot() else {
+            unreachable!()
+        };
+        let WalRecord::Snapshot(s) = snapshot() else {
+            unreachable!()
+        };
+        wal.compact(&b, &s).unwrap();
+        assert!(std::fs::metadata(&path).unwrap().len() < bloated);
+
+        // Appends after compaction land after the snapshot.
+        wal.append(&delivery(2, Some(50), b"tail")).unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.records.len(), 3);
+        let (snap, deliveries) = recovered.replay_plan();
+        assert_eq!(snap.unwrap(), &s);
+        assert_eq!(deliveries.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

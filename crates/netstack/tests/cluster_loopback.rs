@@ -194,12 +194,12 @@ fn out_of_range_subject_bytes_do_not_kill_liveness() {
     let p0_listener = listeners.next().expect("p0 listener");
     for (i, listener) in listeners.enumerate() {
         let id = i + 1;
-        let cfg = NodeConfig {
-            id: ProcessId::new(id),
+        let cfg = NodeConfig::new(
+            ProcessId::new(id),
             n,
-            seed: 0xBAD_BEEF + id as u64,
-            fault: FaultPlan::reliable(),
-        };
+            0xBAD_BEEF + id as u64,
+            FaultPlan::reliable(),
+        );
         let node = spawn(
             cfg,
             listener,

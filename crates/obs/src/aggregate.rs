@@ -62,6 +62,8 @@ pub struct PhaseAggregator {
     decided_runs: u64,
     phases_to_decision: Vec<f64>,
     decision_lags: Vec<f64>,
+    recoveries: u64,
+    replayed_deliveries: u64,
 }
 
 impl PhaseAggregator {
@@ -87,6 +89,20 @@ impl PhaseAggregator {
     #[must_use]
     pub fn decided_runs(&self) -> u64 {
         self.decided_runs
+    }
+
+    /// Crash-recovery events observed (netstack runs only; the simulator
+    /// never emits them).
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Total deliveries replayed from write-ahead logs across all
+    /// observed recoveries.
+    #[must_use]
+    pub fn replayed_deliveries(&self) -> u64 {
+        self.replayed_deliveries
     }
 
     /// Raw per-run phases-to-decision samples (decided runs only).
@@ -157,6 +173,13 @@ impl PhaseAggregator {
             );
         }
         let _ = writeln!(out, "runs: {} ({} decided)", self.runs, self.decided_runs);
+        if self.recoveries > 0 {
+            let _ = writeln!(
+                out,
+                "recoveries: {} ({} deliveries replayed)",
+                self.recoveries, self.replayed_deliveries
+            );
+        }
         let _ = writeln!(out, "phases to decision: {}", self.phases_histogram());
         let _ = writeln!(out, "decision lag (steps): {}", self.decision_lag());
         out
@@ -204,6 +227,10 @@ impl Subscriber for PhaseAggregator {
                 }
                 ProtocolEvent::Halted { .. } => {}
             },
+            Event::Recover { replayed, .. } => {
+                self.recoveries += 1;
+                self.replayed_deliveries += replayed;
+            }
             Event::Start { .. } | Event::Decide { .. } | Event::Halt { .. } => {}
         }
     }
@@ -336,6 +363,27 @@ mod tests {
         // The second run's send must land in phase 0, not phase 5.
         assert_eq!(agg.phases()[0].messages_sent, 1);
         assert_eq!(agg.phases()[5].messages_sent, 0);
+    }
+
+    #[test]
+    fn recover_events_accumulate_run_level_counters() {
+        let mut agg = PhaseAggregator::new();
+        agg.on_run_start(2, 0);
+        agg.on_event(&Event::Recover {
+            step: 4,
+            pid: p(1),
+            replayed: 3,
+        });
+        agg.on_event(&Event::Recover {
+            step: 9,
+            pid: p(0),
+            replayed: 5,
+        });
+        assert_eq!(agg.recoveries(), 2);
+        assert_eq!(agg.replayed_deliveries(), 8);
+        assert!(agg
+            .render()
+            .contains("recoveries: 2 (8 deliveries replayed)"));
     }
 
     #[test]

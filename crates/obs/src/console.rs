@@ -89,6 +89,11 @@ impl Subscriber for ConsoleReporter {
             }
             Event::Decide { step, pid, value } => format!("[{step:>5}] {pid} decides {value}"),
             Event::Halt { step, pid } => format!("[{step:>5}] {pid} halts"),
+            Event::Recover {
+                step,
+                pid,
+                replayed,
+            } => format!("[{step:>5}] {pid} recovers ({replayed} deliveries replayed)"),
             Event::Protocol { step, pid, event } => {
                 format!("[{step:>5}] {pid} {}", narrate_protocol(&event))
             }

@@ -93,6 +93,16 @@ pub fn event_to_json(event: &Event) -> Json {
             ("step", Json::num(step)),
             ("pid", pid_json(pid)),
         ]),
+        Event::Recover {
+            step,
+            pid,
+            replayed,
+        } => obj(vec![
+            ("kind", Json::str("recover")),
+            ("step", Json::num(step)),
+            ("pid", pid_json(pid)),
+            ("replayed", Json::num(replayed)),
+        ]),
         Event::Protocol { step, pid, event } => {
             let mut pairs = vec![
                 ("kind", Json::str(protocol_kind(&event))),
@@ -219,6 +229,11 @@ pub fn event_from_json(j: &Json) -> Result<Event, JsonError> {
         "halt" => Event::Halt {
             step: field_u64(j, "step")?,
             pid: field_pid(j, "pid")?,
+        },
+        "recover" => Event::Recover {
+            step: field_u64(j, "step")?,
+            pid: field_pid(j, "pid")?,
+            replayed: field_u64(j, "replayed")?,
         },
         _ => {
             let step = field_u64(j, "step")?;
@@ -447,6 +462,11 @@ mod tests {
                 value: Value::One,
             },
             Event::Halt { step: 4, pid: p(2) },
+            Event::Recover {
+                step: 7,
+                pid: p(1),
+                replayed: 3,
+            },
             Event::Protocol {
                 step: 5,
                 pid: p(1),

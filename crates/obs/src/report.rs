@@ -22,6 +22,8 @@ struct RunState {
     current_phase: Vec<u64>,
     rows: Vec<PhaseRow>,
     decide_phases: Vec<u64>,
+    recoveries: u64,
+    replayed_deliveries: u64,
 }
 
 impl RunState {
@@ -77,6 +79,10 @@ impl RunState {
                 }
                 ProtocolEvent::Halted { .. } => {}
             },
+            Event::Recover { replayed, .. } => {
+                self.recoveries += 1;
+                self.replayed_deliveries += replayed;
+            }
             Event::Start { .. } | Event::Decide { .. } | Event::Halt { .. } => {}
         }
     }
@@ -123,6 +129,13 @@ impl RunState {
                 s.value_flips,
                 s.coin_flips,
                 s.decisions
+            );
+        }
+        if self.recoveries > 0 {
+            let _ = writeln!(
+                out,
+                "  recoveries: {} ({} deliveries replayed from WAL)",
+                self.recoveries, self.replayed_deliveries
             );
         }
         if let Some(TraceLine::RunEnd {
@@ -225,6 +238,11 @@ mod tests {
                     value: Value::One,
                 },
             }),
+            TraceLine::Event(Event::Recover {
+                step: 3,
+                pid: p(0),
+                replayed: 2,
+            }),
             TraceLine::RunEnd {
                 status: "stopped".into(),
                 steps: 2,
@@ -237,6 +255,7 @@ mod tests {
             "run 0: n=2 seed=7",
             "p1@1",
             "stopped after 2 steps",
+            "recoveries: 1 (2 deliveries replayed from WAL)",
             "runs: 1",
             "phases to decision",
         ] {

@@ -67,6 +67,28 @@ pub trait Process: fmt::Debug {
     fn halted(&self) -> bool {
         false
     }
+
+    /// Serializes the protocol's full mutable state (phase, current value,
+    /// tallies, decided flag, deferred messages) for a durable checkpoint.
+    ///
+    /// Returns `None` when the protocol does not support checkpointing;
+    /// recovery layers then fall back to replaying the delivery log from
+    /// genesis. Implementations must encode collections in a canonical
+    /// order so identical states produce identical bytes.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state captured by [`Process::snapshot`] onto a freshly
+    /// constructed process with the same configuration and input.
+    ///
+    /// Returns `false` (leaving the process unchanged) when the bytes are
+    /// malformed or checkpointing is unsupported; callers must then fall
+    /// back to replay from genesis rather than trust partial state.
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
 }
 
 /// The engine-provided context for one atomic step: identity, system size,

@@ -131,6 +131,18 @@ pub enum Event {
         /// The structured protocol event.
         event: ProtocolEvent,
     },
+    /// A crashed process rejoined by replaying its durable log (the
+    /// netstack crash-recovery path; the simulator itself never emits
+    /// this). Emitted once, after replay completes, carrying the state
+    /// the node resumed at.
+    Recover {
+        /// Local step counter after replay (the step the node resumed at).
+        step: u64,
+        /// The recovered process.
+        pid: ProcessId,
+        /// Deliveries replayed from the log during recovery.
+        replayed: u64,
+    },
 }
 
 /// A bounded event log. Recording stops silently once `capacity` events have
@@ -227,6 +239,16 @@ impl Trace {
                 Event::Protocol { step, pid, event } => {
                     let _ = writeln!(out, "[{step:>5}] {pid} {}", render_protocol(event));
                 }
+                Event::Recover {
+                    step,
+                    pid,
+                    replayed,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "[{step:>5}] {pid} recovers ({replayed} deliveries replayed)"
+                    );
+                }
             }
         }
         if self.dropped > 0 {
@@ -320,6 +342,16 @@ mod tests {
             "halts",
             "unrecorded",
         ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let mut t = Trace::with_capacity(1);
+        t.record(Event::Recover {
+            step: 9,
+            pid: ProcessId::new(1),
+            replayed: 4,
+        });
+        let text = t.render();
+        for needle in ["recovers", "4 deliveries replayed"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

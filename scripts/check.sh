@@ -31,4 +31,8 @@ echo "==> netstack smoke test (release btnode cluster, end to end)"
 # Skips internally (with a note) where the sandbox forbids sockets.
 sh scripts/smoke_netstack.sh
 
+echo "==> crash-recovery smoke test (SIGKILL workers, restart from WAL)"
+# Skips internally where the sandbox forbids sockets or lacks pgrep.
+sh scripts/smoke_recovery.sh
+
 echo "==> all checks passed"
