@@ -1,0 +1,190 @@
+//! Emits `BENCH_metrics.json`: the cost of runtime telemetry on the
+//! netstack sender hot path, measured as frames/sec with the metrics
+//! registry enabled versus disabled.
+//!
+//! The measured loop is the per-frame work of `netstack`'s sender thread
+//! minus the socket: encode a length-prefixed `Frame::Msg`, then touch
+//! every instrument the real sender touches (`bt_frames_sent_total`,
+//! queue-depth and backlog gauges, and — on the matching ack — the
+//! round-trip histogram). The disabled run performs the identical calls
+//! against a `Registry::disabled()`, so the difference isolates exactly
+//! what instrumentation costs: one branch per call when off, a relaxed
+//! atomic or two when on.
+//!
+//! The committed JSON is the proof for the observability PR's acceptance
+//! bar: the `overhead_pct` field must stay ≤ 5 %. `scripts/check.sh` runs
+//! this binary in a fast configuration and refuses the gate if the
+//! measured overhead regresses past the threshold.
+//!
+//! Usage: `cargo run -p bench --release --bin metrics_overhead \
+//!     [OUTPUT.json] [--frames N] [--rounds R] [--max-overhead PCT]`
+//! (defaults: `BENCH_metrics.json`, 2,000,000 frames, 5 rounds, no gate).
+//! With `--max-overhead` the process exits nonzero when the measured
+//! overhead exceeds the threshold — the CI gate mode.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use netstack::{write_frame, Frame};
+use obs::json::Json;
+use obs::metrics::Registry;
+
+/// One measured round: how long `frames` iterations of the sender hot
+/// path take against `registry`.
+fn round(registry: &Registry, frames: u64) -> f64 {
+    let stats_frames = registry.counter(
+        "bt_frames_sent_total",
+        "frames written to the wire",
+        &[("node", "0"), ("peer", "1")],
+    );
+    let queue_depth = registry.gauge(
+        "bt_send_queue_depth",
+        "frames queued or awaiting ack",
+        &[("node", "0"), ("peer", "1")],
+    );
+    let backlog = registry.gauge(
+        "bt_send_backlog_bytes",
+        "payload bytes awaiting ack",
+        &[("node", "0"), ("peer", "1")],
+    );
+    let rtt = registry.histogram(
+        "bt_ack_rtt_us",
+        "write-to-ack round trip",
+        &[("node", "0"), ("peer", "1")],
+    );
+
+    // A realistic small protocol message: the sender re-encodes each
+    // queued frame into the connection's write buffer.
+    let payload: Vec<u8> = (0u8..48).collect();
+    let mut buf: Vec<u8> = Vec::with_capacity(64 * 1024);
+
+    let started = Instant::now();
+    for seq in 0..frames {
+        let frame = Frame::Msg {
+            seq,
+            payload: payload.clone(),
+        };
+        write_frame(&mut buf, &frame).expect("writing to a Vec cannot fail");
+        // The instruments the real sender touches, mirroring conn.rs: one
+        // counter bump per written frame, the two backlog gauges re-set on
+        // enqueue and on ack retire, and the round-trip histogram per
+        // retired frame. The rtt value cycles through a realistic
+        // microsecond range without reading a clock, which would dominate
+        // the measurement.
+        stats_frames.inc();
+        let depth = seq % 8;
+        queue_depth.set(depth);
+        backlog.set(depth * payload.len() as u64);
+        rtt.record(50 + seq % 4000);
+        if buf.len() + 64 + payload.len() > buf.capacity() {
+            buf.clear(); // "flushed" — keep the buffer hot, never grow it
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    frames as f64 / elapsed
+}
+
+/// Best-of-R frames/sec per mode, rounds interleaved enabled/disabled.
+///
+/// Interleaving matters on a timeshared machine: running all enabled
+/// rounds and then all disabled rounds would let slow drift (frequency
+/// scaling, a neighbour waking up) land entirely on one mode and read as
+/// instrumentation cost. Alternating rounds makes both modes sample the
+/// same noise window; taking the max per mode then discards the rounds
+/// noise did slow down.
+fn best_fps_interleaved(frames: u64, rounds: u32) -> (f64, f64) {
+    let enabled = Registry::new();
+    let disabled = Registry::disabled();
+    let mut enabled_fps = 0.0f64;
+    let mut disabled_fps = 0.0f64;
+    for _ in 0..rounds {
+        enabled_fps = enabled_fps.max(round(&enabled, frames));
+        disabled_fps = disabled_fps.max(round(&disabled, frames));
+    }
+    (enabled_fps, disabled_fps)
+}
+
+fn main() -> ExitCode {
+    let mut output = "BENCH_metrics.json".to_string();
+    let mut frames: u64 = 2_000_000;
+    let mut rounds: u32 = 5;
+    let mut max_overhead: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .and_then(|s| {
+                    s.parse::<f64>()
+                        .map_err(|_| format!("{flag}: cannot parse {s:?}"))
+                })
+        };
+        match arg.as_str() {
+            "--frames" => match value("--frames") {
+                Ok(v) => frames = v as u64,
+                Err(e) => return usage(&e),
+            },
+            "--rounds" => match value("--rounds") {
+                Ok(v) => rounds = v as u32,
+                Err(e) => return usage(&e),
+            },
+            "--max-overhead" => match value("--max-overhead") {
+                Ok(v) => max_overhead = Some(v),
+                Err(e) => return usage(&e),
+            },
+            other if !other.starts_with("--") => output = other.to_string(),
+            other => return usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    // Warm-up (allocator, branch predictors, frequency scaling) — one
+    // short round per mode, discarded.
+    let _ = round(&Registry::new(), frames / 10);
+    let _ = round(&Registry::disabled(), frames / 10);
+
+    eprintln!("metrics_overhead: {frames} frames x {rounds} rounds per mode…");
+    let (enabled_fps, disabled_fps) = best_fps_interleaved(frames, rounds);
+    let overhead_pct = ((disabled_fps - enabled_fps) / disabled_fps * 100.0).max(0.0);
+
+    eprintln!(
+        "metrics_overhead: enabled {enabled_fps:.0} frames/s, \
+         disabled {disabled_fps:.0} frames/s, overhead {overhead_pct:.2}%"
+    );
+
+    let doc = Json::Obj(vec![
+        ("frames".into(), Json::num(frames)),
+        ("rounds".into(), Json::num(u64::from(rounds))),
+        ("enabled_fps".into(), Json::Num(enabled_fps.round())),
+        ("disabled_fps".into(), Json::Num(disabled_fps.round())),
+        (
+            "overhead_pct".into(),
+            Json::Num((overhead_pct * 100.0).round() / 100.0),
+        ),
+    ]);
+    if let Err(err) = std::fs::write(&output, doc.render() + "\n") {
+        eprintln!("metrics_overhead: cannot write {output}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("metrics_overhead: wrote {output}");
+
+    if let Some(limit) = max_overhead {
+        if overhead_pct > limit {
+            eprintln!(
+                "metrics_overhead: FAIL — {overhead_pct:.2}% overhead exceeds \
+                 the {limit:.2}% budget"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("metrics_overhead: within the {limit:.2}% budget");
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!(
+        "metrics_overhead: {err}\nusage: metrics_overhead [OUTPUT.json] \
+         [--frames N] [--rounds R] [--max-overhead PCT]"
+    );
+    ExitCode::FAILURE
+}

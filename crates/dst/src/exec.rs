@@ -234,6 +234,7 @@ pub fn run_netstack(scenario: &Scenario, timeout: Duration) -> Option<RunReport>
         faults: scenario.faults.iter().map(|&f| node_fault(f)).collect(),
         link_fault: netstack_fault_plan(scenario),
         recovery: None,
+        admin: false,
     };
     let mut cluster = Cluster::spawn(scenario.n, scenario.k, proto, options, None).ok()?;
     let report = cluster.await_verdict(timeout);
@@ -304,6 +305,7 @@ pub fn run_netstack_recovering(
             max_restarts: 4,
             backoff: Duration::from_millis(5),
         }),
+        admin: false,
     };
     let mut cluster = Cluster::spawn(scenario.n, scenario.k, proto, options, None).ok()?;
     let report = cluster.await_verdict(timeout);

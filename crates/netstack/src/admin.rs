@@ -1,0 +1,369 @@
+//! A hand-rolled HTTP/1.0 admin endpoint: live `/metrics` and `/status`
+//! for a running node, plus the tiny client used to scrape one.
+//!
+//! The server is deliberately minimal — no keep-alive, no chunking, no
+//! headers it does not need — because its clients are `btstat`, the
+//! cluster scraper, and `curl`-shaped tools, all of which speak exactly
+//! this much HTTP:
+//!
+//! * `GET /metrics` — the node's registry in Prometheus text exposition
+//!   format 0.0.4 (counters, gauges, and `_bucket`/`_sum`/`_count`
+//!   histograms).
+//! * `GET /metrics.json` — the same snapshot as JSON, losslessly
+//!   round-trippable through [`Snapshot::from_json`]; what the merging
+//!   scrapers consume.
+//! * `GET /status` — protocol state as JSON: decision, phase, steps,
+//!   halted/died/recovered flags, and per-peer link facts (ack watermark,
+//!   queue depth, reconnects) for liveness judgement.
+//!
+//! One thread serves requests sequentially; a scrape is a registry
+//! snapshot plus a small write, so there is nothing to parallelize. The
+//! status source is swappable at runtime ([`AdminServer::set_status`])
+//! because a supervised restart replaces the node's status cell while the
+//! admin port — like the protocol port — survives the incarnation.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use obs::json::Json;
+use obs::metrics::{Registry, Snapshot};
+use simnet::ProcessId;
+
+use crate::node::{NodeHandle, NodeStatus};
+
+/// How long the server waits for a request line before dropping a rude
+/// client, and how often the accept loop re-checks the shutdown flag.
+const SERVE_POLL: Duration = Duration::from_millis(50);
+
+/// A closure producing the current `/status` document.
+pub type StatusFn = Box<dyn Fn() -> Json + Send>;
+
+/// A running admin endpoint; dropping it stops the serving thread.
+pub struct AdminServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    status: Arc<Mutex<StatusFn>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for AdminServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdminServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AdminServer {
+    /// Serves `registry` and `status` on `listener` until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn serve(
+        listener: TcpListener,
+        registry: Arc<Registry>,
+        status: StatusFn,
+    ) -> io::Result<AdminServer> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let status = Arc::new(Mutex::new(status));
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let status = Arc::clone(&status);
+            thread::Builder::new()
+                .name(format!("netstack-admin-{addr}"))
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let _ = serve_one(stream, &registry, &status);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                thread::sleep(SERVE_POLL);
+                            }
+                            Err(_) => thread::sleep(SERVE_POLL),
+                        }
+                    }
+                })
+                .expect("spawning the admin thread")
+        };
+        Ok(AdminServer {
+            addr,
+            shutdown,
+            status,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address the endpoint is listening on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Replaces the `/status` source — used when a supervised restart
+    /// swaps in a fresh node incarnation behind the same admin port.
+    pub fn set_status(&self, status: StatusFn) {
+        *self.status.lock().unwrap_or_else(PoisonError::into_inner) = status;
+    }
+
+    /// Stops the serving thread. Safe to call more than once.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Builds the standard `/status` document source for one node: protocol
+/// state from the status cell plus per-peer link facts from the registry.
+#[must_use]
+pub fn status_source(
+    id: ProcessId,
+    n: usize,
+    status: Arc<Mutex<NodeStatus>>,
+    registry: Arc<Registry>,
+) -> StatusFn {
+    Box::new(move || {
+        let st = status
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let snap = registry.snapshot();
+        let node = id.index().to_string();
+        let mut peers = Vec::new();
+        for peer in 0..n {
+            if peer == id.index() {
+                continue;
+            }
+            let p = peer.to_string();
+            let labels: &[(&str, &str)] = &[("node", &node), ("peer", &p)];
+            let read = |name: &str| snap.scalar(name, labels).unwrap_or(0);
+            peers.push(Json::Obj(vec![
+                ("peer".into(), Json::num(peer as u64)),
+                ("acked".into(), Json::num(read("bt_acked_seq"))),
+                ("queue_depth".into(), Json::num(read("bt_send_queue_depth"))),
+                ("reconnects".into(), Json::num(read("bt_reconnects_total"))),
+            ]));
+        }
+        Json::Obj(vec![
+            ("id".into(), Json::num(id.index() as u64)),
+            (
+                "decision".into(),
+                st.decision
+                    .map_or(Json::Null, |v| Json::str(format!("{v:?}"))),
+            ),
+            (
+                "decision_phase".into(),
+                st.decision_phase.map_or(Json::Null, Json::num),
+            ),
+            ("phase".into(), Json::num(st.phase)),
+            ("steps".into(), Json::num(st.steps)),
+            ("halted".into(), Json::Bool(st.halted)),
+            ("died".into(), Json::Bool(st.died)),
+            ("recovered".into(), Json::num(st.recovered)),
+            ("peers".into(), Json::Arr(peers)),
+        ])
+    })
+}
+
+/// Binds and serves the standard admin endpoint for a spawned node.
+///
+/// # Errors
+///
+/// Propagates bind and listener configuration failures.
+pub fn serve_node(bind: SocketAddr, node: &NodeHandle, n: usize) -> io::Result<AdminServer> {
+    let listener = TcpListener::bind(bind)?;
+    let registry = node.metrics();
+    let status = status_source(node.id(), n, node.status_cell(), node.metrics());
+    AdminServer::serve(listener, registry, status)
+}
+
+/// Handles one connection: one request, one response, close.
+fn serve_one(
+    mut stream: TcpStream,
+    registry: &Registry,
+    status: &Mutex<StatusFn>,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let path = read_request_path(&mut stream)?;
+    let (code, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            registry.snapshot().render_prometheus(),
+        ),
+        "/metrics.json" => (
+            "200 OK",
+            "application/json",
+            registry.snapshot().to_json().render(),
+        ),
+        "/status" => {
+            let doc = (status.lock().unwrap_or_else(PoisonError::into_inner))();
+            ("200 OK", "application/json", doc.render())
+        }
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no such path {path}; try /metrics, /metrics.json, /status\n"),
+        ),
+    };
+    let header = format!(
+        "HTTP/1.0 {code}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the whole request head (through the blank line) and returns the
+/// path from the request line. Headers are read so no unconsumed bytes
+/// remain when the socket closes — closing with buffered input makes the
+/// kernel send RST, which can destroy the response before the client
+/// reads it — but their content is ignored.
+fn read_request_path(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    // One byte at a time is fine: request heads are tens of bytes and the
+    // connection serves exactly one request.
+    while !buf.ends_with(b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => buf.push(byte[0]),
+            Err(e) => return Err(e),
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next().unwrap_or_default();
+    let mut parts = line.split_whitespace();
+    match (parts.next(), parts.next()) {
+        (Some("GET"), Some(path)) => Ok(path.to_string()),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an HTTP GET request",
+        )),
+    }
+}
+
+/// A minimal HTTP/1.0 GET: connects, requests `path`, and returns the
+/// response body. The dependency-free client behind `btstat`, the cluster
+/// scraper, and the smoke scripts.
+///
+/// # Errors
+///
+/// I/O failures, a non-2xx status line, or a response with no body.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header/body separator"))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let ok = status_line
+        .split_whitespace()
+        .nth(1)
+        .is_some_and(|code| code.starts_with('2'));
+    if !ok {
+        return Err(io::Error::other(format!("{path}: {status_line}")));
+    }
+    Ok(body.to_string())
+}
+
+/// Scrapes `/metrics.json` from every address and merges the snapshots
+/// into one cluster-wide view. Unreachable nodes are skipped (scrapes are
+/// best-effort: a node may be down mid-restart); the second element lists
+/// the addresses that answered.
+#[must_use]
+pub fn scrape_all(addrs: &[SocketAddr], timeout: Duration) -> (Snapshot, Vec<SocketAddr>) {
+    let mut merged = Snapshot::default();
+    let mut answered = Vec::new();
+    for &addr in addrs {
+        let Ok(body) = http_get(addr, "/metrics.json", timeout) else {
+            continue;
+        };
+        let Ok(json) = Json::parse(&body) else {
+            continue;
+        };
+        let Ok(snap) = Snapshot::from_json(&json) else {
+            continue;
+        };
+        merged.merge(&snap);
+        answered.push(addr);
+    }
+    (merged, answered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_metrics_status_and_404() {
+        let Ok(listener) = TcpListener::bind(("127.0.0.1", 0)) else {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        };
+        let registry = Arc::new(Registry::new());
+        registry
+            .counter("bt_test_total", "a test counter", &[("node", "0")])
+            .add(7);
+        let status: StatusFn = Box::new(|| Json::Obj(vec![("ok".into(), Json::Bool(true))]));
+        let mut server =
+            AdminServer::serve(listener, Arc::clone(&registry), status).expect("serve");
+        let addr = server.addr();
+        let timeout = Duration::from_secs(5);
+
+        let metrics = http_get(addr, "/metrics", timeout).expect("GET /metrics");
+        assert!(
+            metrics.contains("# TYPE bt_test_total counter"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("bt_test_total{node=\"0\"} 7"), "{metrics}");
+
+        let json = http_get(addr, "/metrics.json", timeout).expect("GET /metrics.json");
+        let snap = Snapshot::from_json(&Json::parse(&json).expect("parses")).expect("decodes");
+        assert_eq!(snap.scalar("bt_test_total", &[("node", "0")]), Some(7));
+
+        let status_body = http_get(addr, "/status", timeout).expect("GET /status");
+        assert!(status_body.contains("\"ok\":true"), "{status_body}");
+
+        assert!(
+            http_get(addr, "/nope", timeout).is_err(),
+            "unknown paths are 404"
+        );
+
+        // The swappable status source serves the replacement.
+        server.set_status(Box::new(|| {
+            Json::Obj(vec![("ok".into(), Json::Bool(false))])
+        }));
+        let swapped = http_get(addr, "/status", timeout).expect("GET /status after swap");
+        assert!(swapped.contains("\"ok\":false"), "{swapped}");
+
+        let (merged, answered) = scrape_all(&[addr], timeout);
+        assert_eq!(answered, vec![addr]);
+        assert_eq!(merged.scalar("bt_test_total", &[("node", "0")]), Some(7));
+
+        server.shutdown();
+    }
+}

@@ -5,7 +5,7 @@
 //! ```text
 //! btnode --id I --n N --k K --proto failstop|simple|malicious|benor \
 //!        --input 0|1 --listen HOST:PORT --peer HOST:PORT [--peer ...] \
-//!        [--seed S] [--timeout SECS] [--jsonl PATH]
+//!        [--seed S] [--timeout SECS] [--jsonl PATH] [--admin PORT]
 //! ```
 //!
 //! `--peer` must appear exactly `N` times, in process-id order; entry `I`
@@ -32,6 +32,17 @@
 //! SIGSEGV, OOM-killer) restarts it from the WAL — on the *same* port,
 //! with jittered exponential backoff, up to `--max-restarts` times
 //! (default 4). Normal exits, success or timeout, are propagated as-is.
+//!
+//! # Live telemetry
+//!
+//! `--admin PORT` serves the node's runtime metrics while it runs: an
+//! HTTP/1.0 endpoint on the listen host at `PORT` answering `/metrics`
+//! (Prometheus text exposition), `/metrics.json` (the same snapshot as
+//! JSON), and `/status` (decision, phase, per-peer link liveness). Point
+//! `btstat` — or anything that speaks HTTP — at it. Under `--supervise`
+//! the admin port, like the protocol port, survives worker restarts
+//! because each worker incarnation binds it afresh after the old worker
+//! died.
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -51,7 +62,7 @@ use simnet::{
 const USAGE: &str = "usage: btnode --id I --n N --k K \
 --proto failstop|simple|malicious|benor --input 0|1 \
 --listen HOST:PORT --peer HOST:PORT [--peer ...] \
-[--seed S] [--timeout SECS] [--jsonl PATH] \
+[--seed S] [--timeout SECS] [--jsonl PATH] [--admin PORT] \
 [--wal PATH [--snapshot-every STEPS] [--supervise] [--max-restarts R]]";
 
 struct Args {
@@ -65,6 +76,7 @@ struct Args {
     seed: u64,
     timeout: Duration,
     jsonl: Option<String>,
+    admin: Option<u16>,
     wal: Option<PathBuf>,
     snapshot_every: u64,
     supervise: bool,
@@ -85,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
     let mut seed = 0u64;
     let mut timeout = Duration::from_secs(60);
     let mut jsonl = None;
+    let mut admin = None;
     let mut wal = None;
     let mut snapshot_every = 0u64;
     let mut supervise = false;
@@ -113,6 +126,7 @@ fn parse_args() -> Result<Args, String> {
                 timeout = Duration::from_secs(parse(&value("--timeout")?, "--timeout")?);
             }
             "--jsonl" => jsonl = Some(value("--jsonl")?),
+            "--admin" => admin = Some(parse(&value("--admin")?, "--admin")?),
             "--wal" => wal = Some(PathBuf::from(value("--wal")?)),
             "--snapshot-every" => {
                 snapshot_every = parse(&value("--snapshot-every")?, "--snapshot-every")?;
@@ -135,6 +149,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         timeout,
         jsonl,
+        admin,
         wal,
         snapshot_every,
         supervise,
@@ -275,6 +290,24 @@ fn main() -> ExitCode {
         }
     };
 
+    // Live telemetry: serve /metrics and /status for the run's duration.
+    let _admin = match args.admin {
+        Some(port) => {
+            let bind = SocketAddr::new(args.listen.ip(), port);
+            match netstack::admin::serve_node(bind, &node, args.n) {
+                Ok(server) => {
+                    eprintln!("btnode: admin endpoint on http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(err) => {
+                    eprintln!("btnode: cannot bind admin endpoint {bind}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
     // Wait for this node's decision (or the deadline).
     let deadline = Instant::now() + args.timeout;
     let decided = loop {
@@ -301,6 +334,21 @@ fn main() -> ExitCode {
         std::thread::sleep(Duration::from_millis(300));
     }
     node.shutdown();
+
+    // The final summary surfaces what the run went through, not just how
+    // it ended: deliveries replayed from the WAL at boot and equivocation
+    // attempts observed on the wire would otherwise vanish with the
+    // process.
+    let status = node.status();
+    println!(
+        "p{} summary: recovered={} equivocations={} retransmits={} reconnects={} seq_gaps={}",
+        args.id,
+        status.recovered,
+        node.equivocations(),
+        node.retransmits(),
+        node.reconnects(),
+        node.seq_gaps(),
+    );
 
     if let Some(path) = &args.jsonl {
         let report = single_node_report(&args, &node, decided);
@@ -452,6 +500,10 @@ fn boot<M: Wire + Send + 'static>(
         fault: FaultPlan::reliable(),
         wal: args.wal.clone(),
         snapshot_every: args.snapshot_every,
+        // Each worker incarnation gets a fresh registry; under
+        // --supervise the counters' pre-crash values live in the WAL's
+        // replay, not in memory.
+        metrics: None,
     };
     spawn(cfg, listener, args.peers.clone(), process, subscriber)
 }
@@ -473,6 +525,8 @@ fn single_node_report(args: &Args, node: &NodeHandle, decided: bool) -> RunRepor
     metrics.messages_dropped = node.messages_dropped();
     metrics.sent_by[args.id] = node.messages_sent();
     metrics.steps_by[args.id] = status.steps;
+    metrics.recovered = status.recovered;
+    metrics.equivocations = node.equivocations();
     RunReport::synthesize(
         if decided {
             RunStatus::Stopped

@@ -1,0 +1,292 @@
+//! `btstat` — watch a live cluster's telemetry from its admin endpoints.
+//!
+//! Usage:
+//!
+//! ```text
+//! btstat --node HOST:PORT [--node HOST:PORT ...] \
+//!        [--interval MS] [--once] [--expect FAM1,FAM2,...]
+//! ```
+//!
+//! Each `--node` names one node's admin endpoint (what `btnode --admin`
+//! or `ClusterOptions::admin` serves). By default btstat refreshes a
+//! terminal dashboard every `--interval` (1000 ms): per-node frame rates
+//! computed from scrape-to-scrape deltas, send-queue depth and backlog,
+//! WAL append+fsync p95, restart and equivocation counts, and the
+//! protocol state from `/status`. Interrupt it to stop; a node that stops
+//! answering shows as `down` rather than killing the dashboard.
+//!
+//! `--once` scrapes a single round, prints a static table, and exits —
+//! the scriptable mode. With `--expect` it also verifies that the merged
+//! scrape contains every named metric family and exits nonzero if any is
+//! missing: the smoke tests' curl-free "is /metrics actually serving what
+//! it should" check.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use netstack::admin::http_get;
+use obs::json::Json;
+use obs::metrics::Snapshot;
+
+const USAGE: &str = "usage: btstat --node HOST:PORT [--node HOST:PORT ...] \
+[--interval MS] [--once] [--expect FAM1,FAM2,...]";
+
+/// Scrape timeout per request: generous against a loaded machine, small
+/// enough that one dead node cannot stall a refresh badly.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
+
+struct Args {
+    nodes: Vec<SocketAddr>,
+    interval: Duration,
+    once: bool,
+    expect: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut nodes = Vec::new();
+    let mut interval = Duration::from_millis(1000);
+    let mut once = false;
+    let mut expect = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--node" => {
+                let s = value("--node")?;
+                nodes.push(
+                    s.parse()
+                        .map_err(|_| format!("cannot parse {s:?} as HOST:PORT"))?,
+                );
+            }
+            "--interval" => {
+                let ms: u64 = value("--interval")?
+                    .parse()
+                    .map_err(|_| "--interval: not a number".to_string())?;
+                interval = Duration::from_millis(ms.max(50));
+            }
+            "--once" => once = true,
+            "--expect" => {
+                expect.extend(
+                    value("--expect")?
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if nodes.is_empty() {
+        return Err("at least one --node is required".to_string());
+    }
+    if !expect.is_empty() && !once {
+        return Err("--expect only makes sense with --once".to_string());
+    }
+    Ok(Args {
+        nodes,
+        interval,
+        once,
+        expect,
+    })
+}
+
+/// One node's scrape: metrics plus protocol status, either of which can
+/// individually fail without taking the row down to nothing.
+struct NodeSample {
+    snap: Option<Snapshot>,
+    status: Option<Json>,
+    taken: Instant,
+}
+
+fn sample(addr: SocketAddr) -> NodeSample {
+    let snap = http_get(addr, "/metrics.json", SCRAPE_TIMEOUT)
+        .ok()
+        .and_then(|body| Json::parse(&body).ok())
+        .and_then(|json| Snapshot::from_json(&json).ok());
+    let status = http_get(addr, "/status", SCRAPE_TIMEOUT)
+        .ok()
+        .and_then(|body| Json::parse(&body).ok());
+    NodeSample {
+        snap,
+        status,
+        taken: Instant::now(),
+    }
+}
+
+/// The protocol-state cell of a row, from `/status`.
+fn state_of(status: Option<&Json>) -> String {
+    let Some(st) = status else {
+        return "down".to_string();
+    };
+    if st.get("died").and_then(Json::as_bool) == Some(true) {
+        return "died".to_string();
+    }
+    match st.get("decision").and_then(Json::as_str) {
+        Some(v) => format!("decided {v}"),
+        None if st.get("halted").and_then(Json::as_bool) == Some(true) => "halted".to_string(),
+        None => "running".to_string(),
+    }
+}
+
+/// Formats one dashboard row from a sample (and, in live mode, the
+/// previous sample for rate computation).
+fn row(i: usize, cur: &NodeSample, prev: Option<&NodeSample>) -> String {
+    let state = state_of(cur.status.as_ref());
+    let phase = cur
+        .status
+        .as_ref()
+        .and_then(|s| s.get("phase"))
+        .and_then(Json::as_u64)
+        .map_or_else(|| "-".to_string(), |p| p.to_string());
+    let Some(snap) = &cur.snap else {
+        return format!(
+            "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6}",
+            format!("p{i}"),
+            state,
+            phase,
+            "-",
+            "-",
+            "-",
+            "-",
+            "-",
+            "-",
+            "-"
+        );
+    };
+    let frames = snap.scalar_total("bt_frames_sent_total").unwrap_or(0);
+    let rate = match prev.and_then(|p| p.snap.as_ref().map(|s| (s, p.taken))) {
+        Some((prev_snap, prev_taken)) => {
+            let prev_frames = prev_snap.scalar_total("bt_frames_sent_total").unwrap_or(0);
+            let dt = cur.taken.duration_since(prev_taken).as_secs_f64();
+            if dt > 0.0 {
+                format!("{:.0}", frames.saturating_sub(prev_frames) as f64 / dt)
+            } else {
+                "-".to_string()
+            }
+        }
+        None => frames.to_string(), // --once: show the absolute count
+    };
+    let queue = snap.scalar_total("bt_send_queue_depth").unwrap_or(0);
+    let backlog = snap.scalar_total("bt_send_backlog_bytes").unwrap_or(0);
+    let wal_p95 = snap
+        .histogram_total("bt_wal_append_us")
+        .and_then(|h| h.quantile(0.95))
+        .map_or_else(|| "-".to_string(), |v| v.to_string());
+    let restarts = snap.scalar_total("bt_restarts_total").unwrap_or(0);
+    let equiv = snap.scalar_total("bt_equivocations_total").unwrap_or(0);
+    let recovered = snap
+        .scalar_total("bt_recovered_deliveries_total")
+        .unwrap_or(0);
+    format!(
+        "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6}",
+        format!("p{i}"),
+        state,
+        phase,
+        rate,
+        queue,
+        backlog,
+        wal_p95,
+        restarts,
+        equiv,
+        recovered,
+    )
+}
+
+fn header(live: bool) -> String {
+    format!(
+        "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6}",
+        "node",
+        "state",
+        "phase",
+        if live { "frames/s" } else { "frames" },
+        "queue",
+        "backlog",
+        "wal_p95_us",
+        "restarts",
+        "equiv",
+        "recov",
+    )
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("btstat: {err}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.once {
+        return run_once(&args);
+    }
+    run_dashboard(&args)
+}
+
+/// One scrape round, a static table, and (with `--expect`) the family
+/// presence check.
+fn run_once(args: &Args) -> ExitCode {
+    let samples: Vec<NodeSample> = args.nodes.iter().map(|&a| sample(a)).collect();
+    let mut merged = Snapshot::default();
+    let mut answered = 0usize;
+    for s in &samples {
+        if let Some(snap) = &s.snap {
+            merged.merge(snap);
+            answered += 1;
+        }
+    }
+
+    println!("{}", header(false));
+    for (i, s) in samples.iter().enumerate() {
+        println!("{}", row(i, s, None));
+    }
+    println!("{answered}/{} nodes answered", args.nodes.len());
+
+    if answered == 0 {
+        eprintln!("btstat: no node answered");
+        return ExitCode::FAILURE;
+    }
+    let mut missing = false;
+    for fam in &args.expect {
+        if !merged.families.contains_key(fam) {
+            eprintln!("btstat: expected metric family {fam} is missing from the scrape");
+            missing = true;
+        }
+    }
+    if missing {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The refreshing dashboard: scrape, redraw, sleep, repeat until killed.
+fn run_dashboard(args: &Args) -> ExitCode {
+    let mut prev: Vec<Option<NodeSample>> = args.nodes.iter().map(|_| None).collect();
+    let mut round = 0u64;
+    loop {
+        let samples: Vec<NodeSample> = args.nodes.iter().map(|&a| sample(a)).collect();
+        round += 1;
+
+        // Clear screen, home cursor: a full redraw each refresh keeps the
+        // terminal handling trivial (no cursor bookkeeping to get wrong).
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "btstat — {} node(s), scrape #{round}, every {:?} (Ctrl-C to quit)",
+            args.nodes.len(),
+            args.interval,
+        );
+        println!("{}", header(true));
+        for (i, s) in samples.iter().enumerate() {
+            println!("{}", row(i, s, prev[i].as_ref()));
+        }
+        let answered = samples.iter().filter(|s| s.snap.is_some()).count();
+        println!("{answered}/{} nodes answering", args.nodes.len());
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        prev = samples.into_iter().map(Some).collect();
+        std::thread::sleep(args.interval);
+    }
+}

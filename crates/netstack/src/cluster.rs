@@ -38,14 +38,18 @@ use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use std::sync::Arc;
+
 use adversary::{Crashing, Silent, TwoFacedMalicious};
 use benor::{BenOrConfig, BenOrProcess};
 use bt_core::{Config, FailStop, Malicious, Simple};
+use obs::metrics::{Registry, Snapshot};
 use prng::Prng;
 use simnet::{
     Metrics, Process, ProcessId, Role, RunReport, RunStatus, SharedSubscriber, Value, Wire,
 };
 
+use crate::admin::{self, AdminServer};
 use crate::fault::FaultPlan;
 use crate::node::{spawn, NodeConfig, NodeHandle};
 
@@ -153,6 +157,11 @@ pub struct ClusterOptions {
     /// Durable WALs + supervised restart. `None` (the default) runs the
     /// classic ephemeral cluster.
     pub recovery: Option<RecoveryOptions>,
+    /// Serve an HTTP admin endpoint (`/metrics`, `/metrics.json`,
+    /// `/status`) per node on an OS-assigned loopback port — what `btstat`
+    /// and [`Cluster::scrape`] talk to. Off by default: in-process callers
+    /// can read [`Cluster::metrics_snapshot`] without sockets.
+    pub admin: bool,
 }
 
 impl ClusterOptions {
@@ -196,6 +205,15 @@ pub struct Cluster {
     /// node, so peers redial the same address after a restart.
     listeners: Vec<Option<TcpListener>>,
     respawners: Vec<Respawner>,
+    /// One metrics registry per node, shared across that node's
+    /// incarnations: a supervised restart re-attaches to the same cells,
+    /// so per-peer sender counters survive the reaping of the threads
+    /// that accumulated them.
+    registries: Vec<Arc<Registry>>,
+    /// Per-node HTTP admin endpoints (when [`ClusterOptions::admin`] is
+    /// set). An endpoint outlives its node's incarnations: a restart swaps
+    /// the status source but keeps the port.
+    admins: Vec<Option<AdminServer>>,
     restarts_used: Vec<u32>,
     crashes: Vec<ScheduledCrash>,
     /// Deterministic jitter stream for restart backoff.
@@ -279,11 +297,12 @@ impl Cluster {
         }
 
         let roles: Vec<Role> = (0..n).map(|i| options.fault(i).role()).collect();
+        let registries: Vec<Arc<Registry>> = (0..n).map(|_| Arc::new(Registry::new())).collect();
         let mut respawners: Vec<Respawner> = Vec::with_capacity(n);
         match proto {
             Proto::FailStop => {
                 let config = Config::fail_stop(n, k).expect("within the fail-stop bound");
-                for i in 0..n {
+                for (i, registry) in registries.iter().enumerate() {
                     let (fault, input) = (options.fault(i), options.input(i));
                     let make = move || -> Box<dyn Process<Msg = bt_core::FailStopMsg> + Send> {
                         match fault.clone() {
@@ -294,12 +313,20 @@ impl Cluster {
                             NodeFault::Silent | NodeFault::TwoFaced => Box::new(Silent::new()),
                         }
                     };
-                    respawners.push(respawner(i, n, &options, &addrs, make, &subscriber));
+                    respawners.push(respawner(
+                        i,
+                        n,
+                        &options,
+                        &addrs,
+                        make,
+                        &subscriber,
+                        Arc::clone(registry),
+                    ));
                 }
             }
             Proto::Simple => {
                 let config = Config::fail_stop(n, k).expect("within the fail-stop bound");
-                for i in 0..n {
+                for (i, registry) in registries.iter().enumerate() {
                     let (fault, input) = (options.fault(i), options.input(i));
                     let make = move || -> Box<dyn Process<Msg = bt_core::SimpleMsg> + Send> {
                         match fault.clone() {
@@ -310,12 +337,20 @@ impl Cluster {
                             NodeFault::Silent | NodeFault::TwoFaced => Box::new(Silent::new()),
                         }
                     };
-                    respawners.push(respawner(i, n, &options, &addrs, make, &subscriber));
+                    respawners.push(respawner(
+                        i,
+                        n,
+                        &options,
+                        &addrs,
+                        make,
+                        &subscriber,
+                        Arc::clone(registry),
+                    ));
                 }
             }
             Proto::Malicious => {
                 let config = Config::malicious(n, k).expect("within the malicious bound");
-                for i in 0..n {
+                for (i, registry) in registries.iter().enumerate() {
                     let (fault, input) = (options.fault(i), options.input(i));
                     let make = move || -> Box<dyn Process<Msg = bt_core::MaliciousMsg> + Send> {
                         match fault.clone() {
@@ -327,13 +362,21 @@ impl Cluster {
                             NodeFault::TwoFaced => Box::new(TwoFacedMalicious::new(config)),
                         }
                     };
-                    respawners.push(respawner(i, n, &options, &addrs, make, &subscriber));
+                    respawners.push(respawner(
+                        i,
+                        n,
+                        &options,
+                        &addrs,
+                        make,
+                        &subscriber,
+                        Arc::clone(registry),
+                    ));
                 }
             }
             Proto::BenOr => {
                 let config =
                     BenOrConfig::fail_stop(n, k).expect("within the Ben-Or fail-stop bound");
-                for i in 0..n {
+                for (i, registry) in registries.iter().enumerate() {
                     let (fault, input) = (options.fault(i), options.input(i));
                     let make = move || -> Box<dyn Process<Msg = benor::BenOrMsg> + Send> {
                         match fault.clone() {
@@ -344,7 +387,15 @@ impl Cluster {
                             NodeFault::Silent | NodeFault::TwoFaced => Box::new(Silent::new()),
                         }
                     };
-                    respawners.push(respawner(i, n, &options, &addrs, make, &subscriber));
+                    respawners.push(respawner(
+                        i,
+                        n,
+                        &options,
+                        &addrs,
+                        make,
+                        &subscriber,
+                        Arc::clone(registry),
+                    ));
                 }
             }
         }
@@ -353,6 +404,20 @@ impl Cluster {
         for (respawn, listener) in respawners.iter_mut().zip(listeners) {
             nodes.push(respawn(listener)?);
         }
+
+        // One admin endpoint per node, bound after the nodes so /status
+        // always has a live status cell to read.
+        let admins: Vec<Option<AdminServer>> = if options.admin {
+            let mut v = Vec::with_capacity(n);
+            for node in &nodes {
+                let listener = TcpListener::bind(("127.0.0.1", 0))?;
+                let status = admin::status_source(node.id(), n, node.status_cell(), node.metrics());
+                v.push(Some(AdminServer::serve(listener, node.metrics(), status)?));
+            }
+            v
+        } else {
+            (0..n).map(|_| None).collect()
+        };
 
         let started = Instant::now();
         let crashes = options
@@ -381,6 +446,8 @@ impl Cluster {
             recovery: options.recovery,
             listeners: retained,
             respawners,
+            registries,
+            admins,
             restarts_used: vec![0; n],
             crashes,
             jitter: Prng::seed_from_u64(options.seed ^ 0x7375_7056), // distinct supervisor stream
@@ -397,6 +464,44 @@ impl Cluster {
     #[must_use]
     pub fn restarts(&self) -> &[u32] {
         &self.restarts_used
+    }
+
+    /// Node `i`'s metrics registry — stable across that node's restarts.
+    #[must_use]
+    pub fn node_registry(&self, i: usize) -> Arc<Registry> {
+        Arc::clone(&self.registries[i])
+    }
+
+    /// One merged snapshot of every node's metrics. Registries are read
+    /// in-process (no sockets): this is the cluster-wide view a scrape of
+    /// all the admin endpoints would assemble, minus the HTTP hop.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for r in &self.registries {
+            merged.merge(&r.snapshot());
+        }
+        merged
+    }
+
+    /// The admin endpoints' addresses, indexed by process id — empty when
+    /// [`ClusterOptions::admin`] was off. Stable across node restarts.
+    #[must_use]
+    pub fn admin_addrs(&self) -> Vec<SocketAddr> {
+        self.admins
+            .iter()
+            .filter_map(|a| a.as_ref().map(AdminServer::addr))
+            .collect()
+    }
+
+    /// Scrapes every admin endpoint over HTTP and merges the snapshots —
+    /// the same cluster-wide view as [`Cluster::metrics_snapshot`], but
+    /// assembled the way an external monitor would assemble it. Nodes that
+    /// do not answer within `timeout` are skipped; the second element
+    /// lists the addresses that did.
+    #[must_use]
+    pub fn scrape(&self, timeout: Duration) -> (Snapshot, Vec<SocketAddr>) {
+        admin::scrape_all(&self.admin_addrs(), timeout)
     }
 
     /// Whether node `i` could still be granted a restart.
@@ -477,6 +582,24 @@ impl Cluster {
                     used + 1,
                     st.recovered
                 );
+                let node = i.to_string();
+                self.registries[i]
+                    .counter(
+                        "bt_restarts_total",
+                        "supervised restarts performed for this node",
+                        &[("node", &node)],
+                    )
+                    .inc();
+                // The admin endpoint keeps its port; point /status at the
+                // new incarnation's status cell.
+                if let Some(a) = &self.admins[i] {
+                    a.set_status(admin::status_source(
+                        handle.id(),
+                        self.nodes.len(),
+                        handle.status_cell(),
+                        handle.metrics(),
+                    ));
+                }
                 self.nodes[i] = handle;
                 true
             }
@@ -596,6 +719,8 @@ impl Cluster {
             metrics.messages_sent += node.messages_sent();
             metrics.messages_delivered += node.messages_delivered();
             metrics.messages_dropped += node.messages_dropped();
+            metrics.recovered += st.recovered;
+            metrics.equivocations += node.equivocations();
         }
         let status = if all_decided {
             RunStatus::Stopped
@@ -630,6 +755,7 @@ fn respawner<M: Wire + Send + 'static>(
     addrs: &[SocketAddr],
     make: impl Fn() -> Box<dyn Process<Msg = M> + Send> + Send + 'static,
     subscriber: &Option<SharedSubscriber>,
+    registry: Arc<Registry>,
 ) -> Respawner {
     let seed = options.seed.wrapping_add(i as u64);
     let link_fault = options.link_fault.clone();
@@ -645,6 +771,9 @@ fn respawner<M: Wire + Send + 'static>(
             fault: link_fault.clone(),
             wal: wal.clone(),
             snapshot_every,
+            // Every incarnation records into the same registry, so the
+            // node's counters survive its own restarts.
+            metrics: Some(Arc::clone(&registry)),
         };
         spawn(cfg, listener, addrs.clone(), make(), subscriber.clone())
     })

@@ -19,15 +19,16 @@
 //! protocol as the paper's §2.1 reliable channel: arbitrary finite
 //! delay, no loss, no duplication.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use obs::metrics::{Counter, Gauge, Histogram, Registry};
 use simnet::{ProcessId, Wire};
 
 use crate::frame::{write_frame, Frame, MAX_FRAME_LEN};
@@ -52,35 +53,93 @@ pub(crate) struct OutFrame {
     pub payload: Vec<u8>,
 }
 
-/// Counters a sender thread exposes to the node.
-#[derive(Debug, Default)]
+/// Per-link telemetry a sender thread records, as registry handles with
+/// `{node, peer}` labels. Handles address cells get-or-created in the
+/// node's [`Registry`] — a replacement sender built over the *same*
+/// registry (a supervised restart) lands on the same cells, so long-run
+/// totals survive the teardown of the thread that accumulated them.
+#[derive(Debug)]
 pub(crate) struct LinkStats {
     /// Frames written to the socket for the first time.
-    pub frames_sent: AtomicU64,
+    pub frames_sent: Counter,
     /// Frames rewritten after a reconnect (the unacked backlog replay).
-    pub retransmits: AtomicU64,
+    pub retransmits: Counter,
     /// Times the connection had to be re-established after a failure.
-    pub reconnects: AtomicU64,
+    pub reconnects: Counter,
     /// Highest cumulative ack received: every seq below this was
     /// delivered by the peer and retired from the backlog.
-    pub acked: AtomicU64,
+    pub acked: Gauge,
+    /// Frames currently queued and not yet acked (the backlog depth).
+    pub queue_depth: Gauge,
+    /// Payload bytes held in the unacked backlog.
+    pub backlog_bytes: Gauge,
+    /// First socket write → covering ack, per retired frame, in
+    /// microseconds. Reconnect-and-replay time is included: the clock
+    /// starts at the *first* write, so a frame that needed three redials
+    /// reports the full round trip the protocol actually waited.
+    pub ack_rtt_us: Histogram,
 }
 
-/// Spawns the sender thread for one peer; returns the enqueue handle, the
-/// link counters, and the thread handle.
+impl LinkStats {
+    /// Registers (or re-attaches to) the link metrics for `me → peer`.
+    pub fn new(registry: &Registry, me: ProcessId, peer: usize) -> Arc<LinkStats> {
+        let node = me.index().to_string();
+        let peer = peer.to_string();
+        let labels: &[(&str, &str)] = &[("node", &node), ("peer", &peer)];
+        Arc::new(LinkStats {
+            frames_sent: registry.counter(
+                "bt_frames_sent_total",
+                "frames written to a peer socket for the first time",
+                labels,
+            ),
+            retransmits: registry.counter(
+                "bt_retransmits_total",
+                "unacked frames rewritten after a reconnect",
+                labels,
+            ),
+            reconnects: registry.counter(
+                "bt_reconnects_total",
+                "times an outbound link was re-established after a failure",
+                labels,
+            ),
+            acked: registry.gauge(
+                "bt_acked_seq",
+                "highest cumulative ack received on the link (watermark)",
+                labels,
+            ),
+            queue_depth: registry.gauge(
+                "bt_send_queue_depth",
+                "frames queued on the link and not yet acked",
+                labels,
+            ),
+            backlog_bytes: registry.gauge(
+                "bt_send_backlog_bytes",
+                "payload bytes held in the link's unacked backlog",
+                labels,
+            ),
+            ack_rtt_us: registry.histogram(
+                "bt_ack_rtt_us",
+                "first write to covering ack per frame (microseconds)",
+                labels,
+            ),
+        })
+    }
+}
+
+/// Spawns the sender thread for one peer, recording into `stats`; returns
+/// the enqueue handle and the thread handle.
 pub(crate) fn spawn_sender(
     me: ProcessId,
     peer_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-) -> (mpsc::Sender<OutFrame>, Arc<LinkStats>, JoinHandle<()>) {
+    stats: Arc<LinkStats>,
+) -> (mpsc::Sender<OutFrame>, JoinHandle<()>) {
     let (tx, rx) = mpsc::channel::<OutFrame>();
-    let stats = Arc::new(LinkStats::default());
-    let thread_stats = Arc::clone(&stats);
     let handle = thread::Builder::new()
         .name(format!("netstack-send-{}-{peer_addr}", me.index()))
-        .spawn(move || Sender::new(me, peer_addr, thread_stats).run(&rx, &shutdown))
+        .spawn(move || Sender::new(me, peer_addr, stats).run(&rx, &shutdown))
         .expect("spawning a sender thread");
-    (tx, stats, handle)
+    (tx, handle)
 }
 
 /// One live connection plus the high-water mark of what has been written
@@ -107,6 +166,11 @@ struct Sender {
     /// Highest seq ever written on any connection; writes at or below it
     /// count as retransmits.
     ever_written: Option<u64>,
+    /// First-write instants of frames still awaiting their ack, for the
+    /// round-trip histogram. Populated only when the histogram records.
+    write_times: HashMap<u64, Instant>,
+    /// Running payload-byte total of the unacked backlog.
+    unacked_bytes: u64,
     backoff: Duration,
     next_dial: Instant,
     /// xorshift64 state for redial jitter, seeded per-link so senders
@@ -136,6 +200,8 @@ impl Sender {
             unacked: VecDeque::new(),
             ack_buf: Vec::new(),
             ever_written: None,
+            write_times: HashMap::new(),
+            unacked_bytes: 0,
             backoff: BACKOFF_INITIAL,
             next_dial: Instant::now(),
             jitter: 0x6a69_7474_6572u64 ^ ((me.index() as u64) << 20) ^ u64::from(peer_addr.port()),
@@ -166,7 +232,10 @@ impl Sender {
                         }
                         thread::sleep((out.not_before - now).min(POLL));
                     }
+                    self.unacked_bytes += out.payload.len() as u64;
                     self.unacked.push_back(out);
+                    self.stats.queue_depth.set(self.unacked.len() as u64);
+                    self.stats.backlog_bytes.set(self.unacked_bytes);
                 }
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     if shutdown.load(Ordering::Relaxed) {
@@ -208,7 +277,7 @@ impl Sender {
         if self.flush().is_err() || self.drain_acks().is_err() {
             // The connection died; the unflushed and unacked frames are
             // all still in the backlog and will replay on reconnect.
-            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+            self.stats.reconnects.inc();
             self.conn = None;
             self.next_dial = Instant::now();
         }
@@ -230,10 +299,13 @@ impl Sender {
             )?;
             link.written = Some(f.seq);
             if self.ever_written.is_some_and(|w| f.seq <= w) {
-                self.stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                self.stats.retransmits.inc();
             } else {
                 self.ever_written = Some(f.seq);
-                self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                self.stats.frames_sent.inc();
+                if self.stats.ack_rtt_us.enabled() {
+                    self.write_times.insert(f.seq, Instant::now());
+                }
             }
         }
         Ok(())
@@ -277,9 +349,15 @@ impl Sender {
             };
             if let Frame::Ack { next } = frame {
                 while self.unacked.front().is_some_and(|f| f.seq < next) {
-                    self.unacked.pop_front();
+                    let f = self.unacked.pop_front().expect("front was Some");
+                    self.unacked_bytes -= f.payload.len() as u64;
+                    if let Some(t) = self.write_times.remove(&f.seq) {
+                        self.stats.ack_rtt_us.record_us(t.elapsed());
+                    }
                 }
-                self.stats.acked.fetch_max(next, Ordering::Relaxed);
+                self.stats.acked.set_max(next);
+                self.stats.queue_depth.set(self.unacked.len() as u64);
+                self.stats.backlog_bytes.set(self.unacked_bytes);
             }
             // Anything else coming back on an outbound connection is
             // ignored; the peer's reader only ever writes acks.
@@ -346,7 +424,14 @@ mod tests {
         };
         let addr = listener.local_addr().unwrap();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, stats, handle) = spawn_sender(ProcessId::new(0), addr, Arc::clone(&shutdown));
+        let registry = Registry::new();
+        let stats = LinkStats::new(&registry, ProcessId::new(0), 1);
+        let (tx, handle) = spawn_sender(
+            ProcessId::new(0),
+            addr,
+            Arc::clone(&shutdown),
+            Arc::clone(&stats),
+        );
 
         for seq in 0..2 {
             tx.send(OutFrame {
@@ -383,8 +468,8 @@ mod tests {
         );
         assert_eq!(read_msg(&mut conn).0, 0, "unacked backlog replays from 0");
         assert_eq!(read_msg(&mut conn).0, 1);
-        assert!(stats.reconnects.load(Ordering::Relaxed) >= 1);
-        assert!(stats.retransmits.load(Ordering::Relaxed) >= 2);
+        assert!(stats.reconnects.get() >= 1);
+        assert!(stats.retransmits.get() >= 2);
 
         shutdown.store(true, Ordering::Relaxed);
         drop(tx);
@@ -399,7 +484,14 @@ mod tests {
         };
         let addr = listener.local_addr().unwrap();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, stats, handle) = spawn_sender(ProcessId::new(0), addr, Arc::clone(&shutdown));
+        let registry = Registry::new();
+        let stats = LinkStats::new(&registry, ProcessId::new(0), 1);
+        let (tx, handle) = spawn_sender(
+            ProcessId::new(0),
+            addr,
+            Arc::clone(&shutdown),
+            Arc::clone(&stats),
+        );
 
         for seq in 0..3 {
             tx.send(OutFrame {
@@ -423,9 +515,7 @@ mod tests {
 
         // Ack frames 0 and 1; wait until the sender has processed it.
         write_frame(&mut conn, &Frame::Ack { next: 2 }).unwrap();
-        wait_until("ack watermark to reach 2", || {
-            stats.acked.load(Ordering::Relaxed) >= 2
-        });
+        wait_until("ack watermark to reach 2", || stats.acked.get() >= 2);
 
         // Reconnect: only the unacked frame 2 replays.
         drop(conn);
@@ -437,7 +527,9 @@ mod tests {
             }
         );
         assert_eq!(read_msg(&mut conn).0, 2, "acked frames must not replay");
-        assert_eq!(stats.frames_sent.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.frames_sent.get(), 3);
+        let rtt = stats.ack_rtt_us.snapshot();
+        assert_eq!(rtt.count, 2, "both retired frames record a round trip");
 
         shutdown.store(true, Ordering::Relaxed);
         drop(tx);

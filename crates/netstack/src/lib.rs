@@ -23,6 +23,8 @@
 //! * [`conn`] (private) — per-peer sender threads with reconnect/backoff;
 //! * [`fault`] — seeded link-fault injection (delay, drop, partition);
 //! * [`node`] — one node: sockets, event loop, status, obs publishing;
+//! * [`admin`] — HTTP/1.0 `/metrics` + `/status` endpoint and the
+//!   dependency-free scraper behind `btstat` and `Cluster::scrape`;
 //! * [`cluster`] — the loopback harness: `Cluster::spawn(n, k, proto)`,
 //!   inject inputs/faults, `await_verdict`.
 //!
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admin;
 pub mod cluster;
 mod conn;
 pub mod fault;
@@ -47,6 +50,7 @@ pub mod frame;
 pub mod node;
 pub mod wal;
 
+pub use admin::{http_get, scrape_all, AdminServer};
 pub use cluster::{
     sockets_available, Cluster, ClusterOptions, CrashPlan, NodeFault, Proto, RecoveryOptions,
 };

@@ -56,6 +56,7 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use obs::metrics::{Counter, Histogram, Registry, Snapshot};
 use simnet::{Ctx, Envelope, Event, Process, ProcessId, SharedSubscriber, SimRng, Wire};
 
 use crate::conn::{spawn_sender, LinkStats, OutFrame};
@@ -116,6 +117,13 @@ pub struct NodeConfig {
     /// processed deliveries (0 = never snapshot; replay runs from
     /// genesis). Ignored when `wal` is `None`.
     pub snapshot_every: u64,
+    /// The metrics registry this node records into. `None` gives the node
+    /// a fresh enabled registry of its own. A supervisor that restarts
+    /// nodes should pass the *same* registry to every incarnation: the
+    /// cells are keyed by `(name, labels)`, so the replacement's handles
+    /// land on the predecessor's cells and long-run totals survive the
+    /// restart.
+    pub metrics: Option<Arc<Registry>>,
 }
 
 impl NodeConfig {
@@ -129,6 +137,7 @@ impl NodeConfig {
             fault,
             wal: None,
             snapshot_every: 0,
+            metrics: None,
         }
     }
 }
@@ -159,32 +168,153 @@ pub struct NodeStatus {
     pub recovered: u64,
 }
 
-/// Message-level counters for one node.
-#[derive(Debug, Default)]
+/// Message-level counters for one node, as registry handles labelled
+/// `{node}`. Handles address cells in the node's [`Registry`], so a
+/// restarted incarnation sharing the registry keeps counting where its
+/// predecessor stopped.
+#[derive(Debug)]
 pub struct NetCounters {
     /// Messages the protocol asked to send (including to self).
-    pub sent: AtomicU64,
+    pub sent: Counter,
     /// Messages delivered to the process.
-    pub delivered: AtomicU64,
+    pub delivered: Counter,
     /// Messages the fault injector dropped on purpose.
-    pub injected_drops: AtomicU64,
+    pub injected_drops: Counter,
     /// Messages discarded because this process had halted.
-    pub dropped_at_halted: AtomicU64,
+    pub dropped_at_halted: Counter,
     /// Inbound payloads rejected at the wire: bytes that did not decode,
     /// or decoded to contents out of range for this system (e.g. a
     /// process id `>= n`). Byzantine bytes land here, not in the process.
-    pub wire_rejected: AtomicU64,
+    pub wire_rejected: Counter,
     /// Inbound frames whose sequence number skipped ahead of the next
     /// expected one. An honest sender never skips (it replays its whole
     /// unacked backlog in order), so a gap marks a reliability violation
     /// or a hostile peer; the frame is dropped, never delivered.
-    pub seq_gaps: AtomicU64,
+    pub seq_gaps: Counter,
     /// Re-sent frames whose payload differed from the one first delivered
     /// under the same sequence number. A correct node — including one
     /// that crashed and recovered from its WAL — retransmits only
     /// byte-identical frames, so any count here is a recovery bug or a
     /// hostile peer caught red-handed.
-    pub equivocations: AtomicU64,
+    pub equivocations: Counter,
+}
+
+impl NetCounters {
+    /// Registers (or re-attaches to) the message counters for node `me`.
+    #[must_use]
+    pub fn new(registry: &Registry, me: ProcessId) -> Self {
+        let node = me.index().to_string();
+        let labels: &[(&str, &str)] = &[("node", &node)];
+        NetCounters {
+            sent: registry.counter(
+                "bt_msgs_sent_total",
+                "messages the protocol asked to send, self-sends included",
+                labels,
+            ),
+            delivered: registry.counter(
+                "bt_msgs_delivered_total",
+                "messages delivered to the process state machine",
+                labels,
+            ),
+            injected_drops: registry.counter(
+                "bt_injected_drops_total",
+                "messages the fault injector dropped on purpose",
+                labels,
+            ),
+            dropped_at_halted: registry.counter(
+                "bt_dropped_at_halted_total",
+                "messages discarded because this process had halted",
+                labels,
+            ),
+            wire_rejected: registry.counter(
+                "bt_wire_rejected_total",
+                "inbound payloads rejected at the wire (undecodable or out of range)",
+                labels,
+            ),
+            seq_gaps: registry.counter(
+                "bt_seq_gaps_total",
+                "inbound frames dropped for skipping ahead of the expected seq",
+                labels,
+            ),
+            equivocations: registry.counter(
+                "bt_equivocations_total",
+                "re-sent frames whose payload differed under the same seq",
+                labels,
+            ),
+        }
+    }
+}
+
+/// Latency and durability telemetry for one node, labelled `{node}`.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeMetrics {
+    /// Protocol-message encode time (microseconds), on the send path.
+    pub msg_encode_us: Histogram,
+    /// Protocol-message decode time (microseconds), on the receive path.
+    pub msg_decode_us: Histogram,
+    /// WAL append latency (microseconds): the log-before-send write that
+    /// makes a delivery durable. Appends are single `write(2)` calls —
+    /// the fsync cost lives in compaction, measured separately.
+    pub wal_append_us: Histogram,
+    /// WAL compactions performed (tmp + fsync + rename checkpoints).
+    pub wal_compactions: Counter,
+    /// WAL compaction latency (microseconds), fsync included.
+    pub wal_compact_us: Histogram,
+    /// Times this node booted from a WAL with prior history.
+    pub recoveries: Counter,
+    /// Deliveries replayed from the WAL across all recoveries.
+    pub recovered_deliveries: Counter,
+    /// Wall-clock time one recovery replay took (microseconds).
+    pub recovery_replay_us: Histogram,
+}
+
+impl NodeMetrics {
+    fn new(registry: &Registry, me: ProcessId) -> Self {
+        let node = me.index().to_string();
+        let labels: &[(&str, &str)] = &[("node", &node)];
+        NodeMetrics {
+            msg_encode_us: registry.histogram(
+                "bt_msg_encode_us",
+                "protocol message encode time on the send path (microseconds)",
+                labels,
+            ),
+            msg_decode_us: registry.histogram(
+                "bt_msg_decode_us",
+                "protocol message decode time on the receive path (microseconds)",
+                labels,
+            ),
+            wal_append_us: registry.histogram(
+                "bt_wal_append_us",
+                "WAL append latency for the log-before-send write (microseconds)",
+                labels,
+            ),
+            wal_compactions: registry.counter(
+                "bt_wal_compactions_total",
+                "WAL compactions performed (tmp + fsync + rename)",
+                labels,
+            ),
+            wal_compact_us: registry.histogram(
+                "bt_wal_compact_us",
+                "WAL compaction latency, fsync included (microseconds)",
+                labels,
+            ),
+            recoveries: registry.counter(
+                "bt_recoveries_total",
+                "boots from a WAL with prior history",
+                labels,
+            ),
+            recovered_deliveries: registry.counter(
+                "bt_recovered_deliveries_total",
+                "deliveries replayed from the WAL across all recoveries",
+                labels,
+            ),
+            recovery_replay_us: registry.histogram(
+                "bt_recovery_replay_us",
+                "wall-clock duration of one recovery replay (microseconds)",
+                labels,
+            ),
+        }
+    }
 }
 
 /// A handle to a spawned node: status snapshots plus shutdown.
@@ -194,6 +324,7 @@ pub struct NodeHandle {
     status: Arc<Mutex<NodeStatus>>,
     counters: Arc<NetCounters>,
     link_stats: Vec<Arc<LinkStats>>,
+    registry: Arc<Registry>,
     shutdown: Arc<AtomicBool>,
     streams: StreamRegistry,
     threads: Vec<JoinHandle<()>>,
@@ -212,6 +343,25 @@ impl NodeHandle {
         lock_status(&self.status).clone()
     }
 
+    /// The live status cell itself — what an admin endpoint polls without
+    /// holding the whole handle.
+    #[must_use]
+    pub fn status_cell(&self) -> Arc<Mutex<NodeStatus>> {
+        Arc::clone(&self.status)
+    }
+
+    /// The registry this node records its runtime telemetry into.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A point-in-time snapshot of this node's metrics.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
     /// Whether the node's event loop died (see [`NodeStatus::died`]).
     #[must_use]
     pub fn died(&self) -> bool {
@@ -227,53 +377,46 @@ impl NodeHandle {
     /// Total messages this node's protocol sent (including self-sends).
     #[must_use]
     pub fn messages_sent(&self) -> u64 {
-        self.counters.sent.load(Ordering::Relaxed)
+        self.counters.sent.get()
     }
 
     /// Total messages delivered to this node's protocol.
     #[must_use]
     pub fn messages_delivered(&self) -> u64 {
-        self.counters.delivered.load(Ordering::Relaxed)
+        self.counters.delivered.get()
     }
 
     /// Messages lost to fault injection plus messages addressed to this
     /// node after it halted.
     #[must_use]
     pub fn messages_dropped(&self) -> u64 {
-        self.counters.injected_drops.load(Ordering::Relaxed)
-            + self.counters.dropped_at_halted.load(Ordering::Relaxed)
+        self.counters.injected_drops.get() + self.counters.dropped_at_halted.get()
     }
 
     /// Times any outbound link of this node had to redial.
     #[must_use]
     pub fn reconnects(&self) -> u64 {
-        self.link_stats
-            .iter()
-            .map(|s| s.reconnects.load(Ordering::Relaxed))
-            .sum()
+        self.link_stats.iter().map(|s| s.reconnects.get()).sum()
     }
 
     /// Unacked frames this node's links replayed after reconnects.
     #[must_use]
     pub fn retransmits(&self) -> u64 {
-        self.link_stats
-            .iter()
-            .map(|s| s.retransmits.load(Ordering::Relaxed))
-            .sum()
+        self.link_stats.iter().map(|s| s.retransmits.get()).sum()
     }
 
     /// Inbound payloads rejected at the wire (undecodable bytes or
     /// contents out of range for the system).
     #[must_use]
     pub fn wire_rejected(&self) -> u64 {
-        self.counters.wire_rejected.load(Ordering::Relaxed)
+        self.counters.wire_rejected.get()
     }
 
     /// Inbound frames dropped because their sequence number skipped ahead
     /// of the next expected one (see [`NetCounters::seq_gaps`]).
     #[must_use]
     pub fn seq_gaps(&self) -> u64 {
-        self.counters.seq_gaps.load(Ordering::Relaxed)
+        self.counters.seq_gaps.get()
     }
 
     /// Re-sent frames whose payload differed from the one first seen
@@ -281,7 +424,7 @@ impl NodeHandle {
     /// Always 0 for correct peers, crashed-and-recovered ones included.
     #[must_use]
     pub fn equivocations(&self) -> u64 {
-        self.counters.equivocations.load(Ordering::Relaxed)
+        self.counters.equivocations.get()
     }
 
     /// Asks every thread to stop, unblocks them, and joins them. Safe to
@@ -367,7 +510,12 @@ where
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let status = Arc::new(Mutex::new(NodeStatus::default()));
-    let counters = Arc::new(NetCounters::default());
+    let registry = cfg
+        .metrics
+        .clone()
+        .unwrap_or_else(|| Arc::new(Registry::new()));
+    let counters = Arc::new(NetCounters::new(&registry, cfg.id));
+    let metrics = NodeMetrics::new(&registry, cfg.id);
     let streams: StreamRegistry = Arc::new(Mutex::new(HashMap::new()));
     let payload_hashes: PayloadHashes = Arc::new(Mutex::new(vec![HashMap::new(); cfg.n]));
     let mut threads = Vec::new();
@@ -443,7 +591,8 @@ where
             link_stats_by_peer.push(None);
             continue;
         }
-        let (tx, stats, handle) = spawn_sender(cfg.id, *addr, Arc::clone(&shutdown));
+        let stats = LinkStats::new(&registry, cfg.id, i);
+        let (tx, handle) = spawn_sender(cfg.id, *addr, Arc::clone(&shutdown), Arc::clone(&stats));
         peer_txs.push(Some(tx));
         link_stats_by_peer.push(Some(Arc::clone(&stats)));
         link_stats.push(stats);
@@ -474,6 +623,7 @@ where
         link_stats_by_peer,
         status: Arc::clone(&status),
         counters: Arc::clone(&counters),
+        metrics: metrics.clone(),
         subscriber,
         observed,
         decided: false,
@@ -486,7 +636,13 @@ where
             snapshot,
             deliveries,
         } => {
+            let replay_started = Instant::now();
             let replayed = lp.recover(*snapshot, &deliveries, &cfg)?;
+            metrics.recoveries.inc();
+            metrics.recovered_deliveries.add(replayed);
+            metrics
+                .recovery_replay_us
+                .record_us(replay_started.elapsed());
             lock_status(&status).recovered = replayed;
             lp.publish(Event::Recover {
                 step: lp.step,
@@ -505,6 +661,7 @@ where
         let inbound_tx = inbound_tx.clone();
         let next_seq = Arc::clone(&next_seq);
         let acceptor_counters = Arc::clone(&counters);
+        let decode_us = metrics.msg_decode_us.clone();
         let hashes = Arc::clone(&payload_hashes);
         let durable = cfg.wal.is_some().then(|| Arc::clone(&durable_next));
         let n = cfg.n;
@@ -549,6 +706,7 @@ where
                                 durable: durable.clone(),
                                 hashes: Arc::clone(&hashes),
                                 counters: Arc::clone(&acceptor_counters),
+                                decode_us: decode_us.clone(),
                                 shutdown: Arc::clone(&shutdown),
                                 registry: Arc::clone(&streams),
                             };
@@ -606,6 +764,7 @@ where
         status,
         counters,
         link_stats,
+        registry,
         shutdown,
         streams,
         threads,
@@ -642,6 +801,8 @@ struct Reader<M> {
     /// on duplicates.
     hashes: PayloadHashes,
     counters: Arc<NetCounters>,
+    /// Decode-latency histogram for payloads that reach the decode step.
+    decode_us: Histogram,
     shutdown: Arc<AtomicBool>,
     registry: StreamRegistry,
 }
@@ -705,13 +866,13 @@ impl<M: Wire> Reader<M> {
                             .copied();
                             if let Some(h) = known {
                                 if h != fnv1a64(&payload) {
-                                    self.counters.equivocations.fetch_add(1, Ordering::Relaxed);
+                                    self.counters.equivocations.inc();
                                 }
                             }
                             continue;
                         }
                         Disposition::Gap => {
-                            self.counters.seq_gaps.fetch_add(1, Ordering::Relaxed);
+                            self.counters.seq_gaps.inc();
                             continue;
                         }
                     }
@@ -719,12 +880,17 @@ impl<M: Wire> Reader<M> {
                     // decode to contents out of range for this system,
                     // are dropped here — they must never reach (and
                     // possibly kill) the protocol. The link stays up.
-                    let Ok(msg) = M::from_bytes(&payload) else {
-                        self.counters.wire_rejected.fetch_add(1, Ordering::Relaxed);
+                    let decode_started = self.decode_us.enabled().then(Instant::now);
+                    let decoded = M::from_bytes(&payload);
+                    if let Some(t) = decode_started {
+                        self.decode_us.record_us(t.elapsed());
+                    }
+                    let Ok(msg) = decoded else {
+                        self.counters.wire_rejected.inc();
                         continue;
                     };
                     if !msg.validate(self.n) {
-                        self.counters.wire_rejected.fetch_add(1, Ordering::Relaxed);
+                        self.counters.wire_rejected.inc();
                         continue;
                     }
                     if self.tx.send((from, seq, msg)).is_err() {
@@ -766,6 +932,7 @@ struct Loop<M: Wire> {
     link_stats_by_peer: Vec<Option<Arc<LinkStats>>>,
     status: Arc<Mutex<NodeStatus>>,
     counters: Arc<NetCounters>,
+    metrics: NodeMetrics,
     subscriber: Option<SharedSubscriber>,
     observed: bool,
     decided: bool,
@@ -893,12 +1060,16 @@ impl<M: Wire> Loop<M> {
                 // message this delivery produces reaches a socket. A
                 // failed append forfeits that guarantee, so die (the
                 // panic is caught and surfaced as NodeStatus::died).
+                let append_started = self.metrics.wal_append_us.enabled().then(Instant::now);
                 wal.append(&WalRecord::Delivery(DeliveryRecord {
                     from,
                     seq,
                     payload: payload.to_vec(),
                 }))
                 .expect("wal append failed: cannot guarantee no-equivocation");
+                if let Some(t) = append_started {
+                    self.metrics.wal_append_us.record_us(t.elapsed());
+                }
                 if let Some(s) = seq {
                     // Now — and only now — may acks cover this frame.
                     self.durable_next[from.index()].store(s + 1, Ordering::Release);
@@ -907,15 +1078,13 @@ impl<M: Wire> Loop<M> {
         }
         if self.process.halted() {
             if live {
-                self.counters
-                    .dropped_at_halted
-                    .fetch_add(1, Ordering::Relaxed);
+                self.counters.dropped_at_halted.inc();
             }
             return;
         }
         self.step += 1;
         if live {
-            self.counters.delivered.fetch_add(1, Ordering::Relaxed);
+            self.counters.delivered.inc();
             // A networked node has no delivery buffer the scheduler
             // indexes into — the OS hands messages over in arrival order
             // — so the schedule slot is always 0.
@@ -957,7 +1126,7 @@ impl<M: Wire> Loop<M> {
         let mut outbox = std::mem::take(&mut self.outbox);
         for (to, msg) in outbox.drain(..) {
             if live {
-                self.counters.sent.fetch_add(1, Ordering::Relaxed);
+                self.counters.sent.inc();
                 self.publish(Event::Send {
                     step: self.step,
                     from: self.me,
@@ -974,7 +1143,7 @@ impl<M: Wire> Loop<M> {
             let not_before = match self.injector.action(self.me, to) {
                 LinkAction::Drop => {
                     if live {
-                        self.counters.injected_drops.fetch_add(1, Ordering::Relaxed);
+                        self.counters.injected_drops.inc();
                     }
                     continue;
                 }
@@ -983,7 +1152,11 @@ impl<M: Wire> Loop<M> {
             };
             let seq = self.out_seq[to.index()];
             self.out_seq[to.index()] += 1;
+            let encode_started = self.metrics.msg_encode_us.enabled().then(Instant::now);
             let frame_payload = msg.to_bytes();
+            if let Some(t) = encode_started {
+                self.metrics.msg_encode_us.record_us(t.elapsed());
+            }
             if self.wal.is_some() {
                 self.sent_log[to.index()].push((seq, frame_payload.clone()));
             }
@@ -1056,7 +1229,7 @@ impl<M: Wire> Loop<M> {
         // unacked backlog a restarted node must re-offer.
         for (i, log) in self.sent_log.iter_mut().enumerate() {
             if let Some(stats) = &self.link_stats_by_peer[i] {
-                let acked = stats.acked.load(Ordering::Relaxed);
+                let acked = stats.acked.get();
                 log.retain(|(seq, _)| *seq >= acked);
             }
         }
@@ -1083,7 +1256,13 @@ impl<M: Wire> Loop<M> {
         if let Some(wal) = &mut self.wal {
             // A failed compaction is not fatal — the log just stays long
             // and replay starts further back.
-            let _ = wal.compact(&self.boot, &snapshot);
+            let compact_started = Instant::now();
+            if wal.compact(&self.boot, &snapshot).is_ok() {
+                self.metrics.wal_compactions.inc();
+                self.metrics
+                    .wal_compact_us
+                    .record_us(compact_started.elapsed());
+            }
         }
     }
 }

@@ -1,0 +1,203 @@
+//! Integration: a live 4-node loopback cluster serves its telemetry over
+//! HTTP while running, the exposition output is well-formed, and counters
+//! behave like counters (monotone) across consecutive scrapes.
+
+use std::time::Duration;
+
+use netstack::{http_get, Cluster, ClusterOptions, Proto};
+use obs::json::Json;
+use obs::metrics::{MetricKind, Snapshot};
+use simnet::{RunStatus, Value};
+
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Checks that `text` is parseable Prometheus text exposition 0.0.4:
+/// every line is a comment or a `name[{labels}] value` sample, every
+/// sample's family has a `# TYPE`, and histogram `_bucket` series are
+/// cumulative with a closing `+Inf` equal to `_count`.
+fn assert_exposition_well_formed(text: &str) {
+    use std::collections::HashMap;
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut bucket_last: HashMap<String, u64> = HashMap::new(); // series -> last cumulative
+    let mut bucket_inf: HashMap<String, u64> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE line names a family");
+            let kind = it.next().expect("TYPE line names a kind");
+            assert!(
+                MetricKind::parse(kind).is_some(),
+                "unknown TYPE {kind} in {line:?}"
+            );
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or other comment
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value field");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            if value == "+Inf" {
+                f64::INFINITY
+            } else {
+                panic!("unparseable sample value {value:?} in {line:?}")
+            }
+        });
+        let name = series.split('{').next().expect("sample has a name");
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        assert!(
+            types.contains_key(family),
+            "sample {name} has no # TYPE header for family {family}"
+        );
+
+        if types.get(family).map(String::as_str) == Some("histogram") {
+            if name.ends_with("_bucket") {
+                // Cumulative: each bucket's count >= the previous one's,
+                // per series (strip the le label to key the series).
+                let series_key = {
+                    let labels = &series[name.len()..];
+                    let stripped: String = labels
+                        .trim_start_matches('{')
+                        .trim_end_matches('}')
+                        .split(',')
+                        .filter(|kv| !kv.starts_with("le="))
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!("{family}{{{stripped}}}")
+                };
+                let v = value as u64;
+                let prev = bucket_last.insert(series_key.clone(), v).unwrap_or(0);
+                assert!(
+                    v >= prev,
+                    "bucket counts must be cumulative: {v} < {prev} in {line:?}"
+                );
+                if series.contains("le=\"+Inf\"") {
+                    bucket_inf.insert(series_key, v);
+                }
+            } else if name.ends_with("_count") {
+                counts.insert(series.to_string(), value as u64);
+            }
+        }
+    }
+    // Every histogram's +Inf bucket equals its _count.
+    for (series_key, inf) in &bucket_inf {
+        let family = series_key.split('{').next().expect("family");
+        let count_series = series_key.replacen(family, &format!("{family}_count"), 1);
+        let count = counts
+            .get(count_series.trim_end_matches("{}"))
+            .or_else(|| counts.get(&count_series));
+        if let Some(&c) = count {
+            assert_eq!(*inf, c, "+Inf bucket must equal _count for {series_key}");
+        }
+    }
+    assert!(
+        !types.is_empty(),
+        "exposition should contain at least one family:\n{text}"
+    );
+}
+
+#[test]
+fn live_cluster_serves_metrics_and_counters_are_monotone() {
+    if !netstack::sockets_available() {
+        eprintln!("skipping: loopback sockets unavailable in this sandbox");
+        return;
+    }
+    let options = ClusterOptions {
+        seed: 23,
+        inputs: vec![Value::One; 4],
+        admin: true,
+        ..ClusterOptions::default()
+    };
+    let mut cluster = Cluster::spawn(4, 1, Proto::FailStop, options, None).expect("loopback spawn");
+    let addrs = cluster.admin_addrs();
+    assert_eq!(addrs.len(), 4, "one admin endpoint per node");
+
+    // First scrape, taken while the protocol is in flight (the cluster
+    // was spawned a moment ago and the verdict has not been awaited).
+    let (first, answered) = cluster.scrape(SCRAPE_TIMEOUT);
+    assert_eq!(answered.len(), 4, "every endpoint answers mid-run");
+
+    // The raw text exposition is well-formed on every node.
+    for &addr in &addrs {
+        let text = http_get(addr, "/metrics", SCRAPE_TIMEOUT).expect("GET /metrics");
+        assert_exposition_well_formed(&text);
+    }
+
+    let report = cluster.await_verdict(Duration::from_secs(30));
+    assert_eq!(report.status, RunStatus::Stopped);
+
+    // Second scrape after the verdict: every counter is >= its first
+    // reading, per family total and per individual series.
+    let (second, answered) = cluster.scrape(SCRAPE_TIMEOUT);
+    assert_eq!(answered.len(), 4, "every endpoint still answers");
+    assert_counters_monotone(&first, &second);
+
+    // The post-verdict scrape shows real protocol traffic.
+    let frames = second.scalar_total("bt_frames_sent_total").unwrap_or(0);
+    let delivered = second.scalar_total("bt_msgs_delivered_total").unwrap_or(0);
+    assert!(frames > 0, "a decided run sent frames");
+    assert!(delivered > 0, "a decided run delivered messages");
+
+    // The HTTP-assembled view and the in-process view agree on totals.
+    let in_process = cluster.metrics_snapshot();
+    for family in ["bt_msgs_sent_total", "bt_msgs_delivered_total"] {
+        assert_eq!(
+            second.scalar_total(family),
+            in_process.scalar_total(family),
+            "HTTP scrape and in-process snapshot disagree on {family}"
+        );
+    }
+
+    // /status reports the decision the report reached.
+    for &addr in &addrs {
+        let body = http_get(addr, "/status", SCRAPE_TIMEOUT).expect("GET /status");
+        let st = Json::parse(&body).expect("status is JSON");
+        // Value's Debug form is the compact "0"/"1".
+        assert_eq!(
+            st.get("decision").and_then(Json::as_str),
+            Some("1"),
+            "every node reports its decision over /status: {body}"
+        );
+    }
+
+    cluster.shutdown();
+}
+
+/// Every counter series present in `first` must read >= in `second`.
+fn assert_counters_monotone(first: &Snapshot, second: &Snapshot) {
+    use obs::metrics::SeriesValue;
+    let mut checked = 0usize;
+    for (name, fam) in &first.families {
+        if fam.kind != Some(MetricKind::Counter) {
+            continue;
+        }
+        let Some(after) = second.families.get(name) else {
+            panic!("counter family {name} vanished between scrapes");
+        };
+        for (labels, value) in &fam.series {
+            let SeriesValue::Counter(before) = value else {
+                continue;
+            };
+            let Some(SeriesValue::Counter(now)) = after.series.get(labels) else {
+                panic!("counter series {name}{labels:?} vanished between scrapes");
+            };
+            assert!(
+                now >= before,
+                "counter {name}{labels:?} went backwards: {before} -> {now}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "the first scrape contained counters to check");
+}

@@ -103,6 +103,7 @@ fn restarted_node_resends_byte_identical_frames() {
         fault: FaultPlan::reliable(),
         wal: Some(scratch.0.join("node0.wal")),
         snapshot_every: 0, // replay from genesis: the hardest replay path
+        metrics: None,
     };
     let mut node = spawn(
         cfg.clone(),

@@ -114,6 +114,15 @@ impl Json {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Renders the value as compact single-line JSON.
     #[must_use]
     pub fn render(&self) -> String {

@@ -44,6 +44,13 @@ pub enum TraceLine {
         decided: bool,
         /// Highest phase any process reached.
         max_phase: u64,
+        /// Deliveries replayed from a WAL during crash recovery. Written
+        /// only when nonzero (simulated runs never recover), so simulator
+        /// traces are byte-identical to those of earlier versions.
+        recovered: u64,
+        /// Equivocation attempts observed on the wire. Written only when
+        /// nonzero, like `recovered`.
+        equivocations: u64,
     },
 }
 
@@ -357,6 +364,10 @@ pub fn parse_line(line: &str) -> Result<TraceLine, JsonError> {
             steps: field_u64(&j, "steps")?,
             decided: matches!(j.get("decided"), Some(Json::Bool(true))),
             max_phase: field_u64(&j, "max_phase")?,
+            // Optional — absent in simulator traces and traces predating
+            // crash recovery; absence means zero.
+            recovered: j.get("recovered").and_then(Json::as_u64).unwrap_or(0),
+            equivocations: j.get("equivocations").and_then(Json::as_u64).unwrap_or(0),
         }),
         _ => event_from_json(&j).map(TraceLine::Event),
     }
@@ -424,16 +435,22 @@ impl Subscriber for JsonlSink {
     }
 
     fn on_run_end(&mut self, report: &RunReport) {
-        self.lines.push(
-            obj(vec![
-                ("kind", Json::str("run_end")),
-                ("status", Json::str(status_name(report.status))),
-                ("steps", Json::num(report.steps)),
-                ("decided", Json::Bool(report.all_correct_decided())),
-                ("max_phase", Json::num(report.max_phase)),
-            ])
-            .render(),
-        );
+        let mut pairs = vec![
+            ("kind", Json::str("run_end")),
+            ("status", Json::str(status_name(report.status))),
+            ("steps", Json::num(report.steps)),
+            ("decided", Json::Bool(report.all_correct_decided())),
+            ("max_phase", Json::num(report.max_phase)),
+        ];
+        // Only networked runs recover or witness equivocation; omitting
+        // the zeros keeps simulator traces byte-identical across versions.
+        if report.metrics.recovered > 0 {
+            pairs.push(("recovered", Json::num(report.metrics.recovered)));
+        }
+        if report.metrics.equivocations > 0 {
+            pairs.push(("equivocations", Json::num(report.metrics.equivocations)));
+        }
+        self.lines.push(obj(pairs).render());
     }
 }
 
@@ -550,7 +567,9 @@ mod tests {
                     status: "stopped".into(),
                     steps: 5,
                     decided: true,
-                    max_phase: 2
+                    max_phase: 2,
+                    recovered: 0,
+                    equivocations: 0
                 },
             ]
         );

@@ -39,6 +39,7 @@ mod aggregate;
 mod console;
 pub mod json;
 mod jsonl;
+pub mod metrics;
 mod report;
 
 pub use aggregate::{PhaseAggregator, PhaseStat};

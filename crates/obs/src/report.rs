@@ -143,11 +143,20 @@ impl RunState {
             steps,
             decided,
             max_phase,
+            recovered,
+            equivocations,
         }) = footer
         {
+            let mut extras = String::new();
+            if *recovered > 0 {
+                let _ = write!(extras, "; recovered: {recovered}");
+            }
+            if *equivocations > 0 {
+                let _ = write!(extras, "; equivocations: {equivocations}");
+            }
             let _ = writeln!(
                 out,
-                "  {status} after {steps} steps; decided: {decided}; max phase: {max_phase}"
+                "  {status} after {steps} steps; decided: {decided}; max phase: {max_phase}{extras}"
             );
         }
     }
@@ -248,6 +257,8 @@ mod tests {
                 steps: 2,
                 decided: true,
                 max_phase: 1,
+                recovered: 2,
+                equivocations: 1,
             },
         ];
         let text = render_report(&lines);
@@ -256,6 +267,8 @@ mod tests {
             "p1@1",
             "stopped after 2 steps",
             "recoveries: 1 (2 deliveries replayed from WAL)",
+            "recovered: 2",
+            "equivocations: 1",
             "runs: 1",
             "phases to decision",
         ] {

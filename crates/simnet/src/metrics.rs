@@ -26,6 +26,14 @@ pub struct Metrics {
     /// Messages sent while the sender was in each phase, indexed by phase
     /// number. Grows on demand; empty for runs that never send.
     pub sent_by_phase: Vec<u64>,
+    /// Deliveries replayed from a write-ahead log during crash recovery.
+    /// Always 0 for simulated runs; networked runs (`netstack`) fill it in
+    /// so reports surface that a run survived a restart.
+    pub recovered: u64,
+    /// Equivocation attempts observed on the wire: a sender re-using a
+    /// sequence number for a *different* payload. Always 0 for simulated
+    /// runs; networked runs fill it in.
+    pub equivocations: u64,
 }
 
 impl Metrics {

@@ -17,9 +17,18 @@ cargo test --workspace -q
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> btfuzz self-test (injected defect: find, shrink, replay)"
 FUZZTMP=$(mktemp -d)
 trap 'rm -rf "$FUZZTMP"' EXIT INT TERM
+
+echo "==> metrics overhead bench (fast config, 5% budget)"
+# The committed BENCH_metrics.json documents the measured overhead
+# (~0.5%); this fast re-run refuses the gate if instrumentation cost
+# regresses past the acceptance budget. Output goes to the temp dir so
+# the committed baseline is only refreshed deliberately.
+target/release/metrics_overhead "$FUZZTMP/BENCH_metrics.json" \
+    --frames 300000 --rounds 3 --max-overhead 5
+
+echo "==> btfuzz self-test (injected defect: find, shrink, replay)"
 target/release/btfuzz --inject --out "$FUZZTMP/inject-repro.jsonl"
 
 echo "==> btfuzz clean sweep (30s budget)"

@@ -6,8 +6,9 @@
 #
 # Exercises the full shipped surface: CLI parsing, listener binding,
 # cross-process dial/handshake/ack flow, decision detection, trace
-# writing, and report rendering. Skips (exit 0, with a note) where the
-# sandbox forbids binding loopback sockets.
+# writing, report rendering — and the admin telemetry endpoints, scraped
+# mid-run with `btstat --once` (no curl needed). Skips (exit 0, with a
+# note) where the sandbox forbids binding loopback sockets.
 #
 # Usage: scripts/smoke_netstack.sh
 set -eu
@@ -16,7 +17,8 @@ cd "$(dirname "$0")/.."
 
 BTNODE=target/release/btnode
 BTREPORT=target/release/btreport
-if [ ! -x "$BTNODE" ] || [ ! -x "$BTREPORT" ]; then
+BTSTAT=target/release/btstat
+if [ ! -x "$BTNODE" ] || [ ! -x "$BTREPORT" ] || [ ! -x "$BTSTAT" ]; then
     echo "==> building release binaries for the smoke run"
     cargo build --release -q --workspace
 fi
@@ -37,19 +39,49 @@ BASE=$((21000 + $$ % 20000))
 PEERS="--peer 127.0.0.1:$BASE --peer 127.0.0.1:$((BASE + 1)) \
 --peer 127.0.0.1:$((BASE + 2)) --peer 127.0.0.1:$((BASE + 3))"
 
-echo "==> booting 4 btnode processes (malicious protocol, n=4 k=1, ports $BASE-$((BASE + 3)))"
-for i in 0 1 2 3; do
-    JSONL=""
-    if [ "$i" = 0 ]; then
-        JSONL="--jsonl $TMP/node0.jsonl"
-    fi
-    # shellcheck disable=SC2086 # PEERS/JSONL are intentionally word-split
+# Admin (telemetry) ports sit just above the protocol block.
+ADMIN0=$((BASE + 4))
+ADMIN1=$((BASE + 5))
+
+boot_node() {
+    i=$1
+    shift
+    # shellcheck disable=SC2086 # PEERS and extra flags word-split on purpose
     "$BTNODE" --id "$i" --n 4 --k 1 --proto malicious --input 1 \
         --listen "127.0.0.1:$((BASE + i))" $PEERS \
-        --seed 42 --timeout 30 $JSONL \
+        --seed 42 --timeout 30 "$@" \
         >"$TMP/node$i.log" 2>&1 &
     PIDS="$PIDS $!"
-done
+}
+
+# Stage the boot: with only 2 of 4 nodes up the protocol cannot decide
+# (it needs n-k = 3 participants), so the cluster is guaranteed to still
+# be running when btstat scrapes it — a genuine mid-run scrape, not a
+# race against the decision.
+echo "==> booting nodes 0-1 (malicious protocol, n=4 k=1, ports $BASE-$((BASE + 3)))"
+boot_node 0 --jsonl "$TMP/node0.jsonl" --admin "$ADMIN0"
+boot_node 1 --admin "$ADMIN1"
+sleep 1
+
+if grep -q "cannot bind" "$TMP"/node0.log "$TMP"/node1.log 2>/dev/null; then
+    echo "==> skipping: sandbox forbids binding loopback sockets"
+    exit 0
+fi
+
+echo "==> scraping the live admin endpoints with btstat --once"
+if ! "$BTSTAT" --once \
+    --node "127.0.0.1:$ADMIN0" --node "127.0.0.1:$ADMIN1" \
+    --expect bt_frames_sent_total,bt_msgs_sent_total,bt_msgs_delivered_total,bt_send_queue_depth,bt_ack_rtt_us,bt_msg_encode_us,bt_msg_decode_us \
+    >"$TMP/btstat.log" 2>&1; then
+    echo "==> FAIL: btstat scrape failed or expected metric families missing" >&2
+    cat "$TMP/btstat.log" >&2
+    exit 1
+fi
+cat "$TMP/btstat.log"
+
+echo "==> booting nodes 2-3; the cluster can now decide"
+boot_node 2
+boot_node 3
 
 FAILED=0
 for pid in $PIDS; do
