@@ -20,9 +20,9 @@
 
 use std::sync::{Arc, Mutex};
 
-use simnet::{Ctx, Envelope, Process, Value};
+use simnet::{Ctx, Envelope, Process, Value, Wire, WireReader};
 
-use crate::{Config, Malicious, MaliciousMsg};
+use crate::{Config, Malicious, MaliciousMsg, Termination};
 
 /// A bit-tagged Figure 2 message: `(bit index, inner message)`.
 pub type MultiMsg = (u8, MaliciousMsg);
@@ -75,9 +75,30 @@ impl MultiValued {
     /// Panics if `width` is 0 or exceeds 64.
     #[must_use]
     pub fn new(config: Config, width: u8, input: u64) -> Self {
+        MultiValued::with_termination(config, width, input, Termination::default())
+    }
+
+    /// Creates a process with an explicit post-decision behaviour for the
+    /// underlying bit instances. Long-lived hosts that retire decided
+    /// instances (the `rsm` replicated log) use
+    /// [`Termination::WildcardExit`] so laggards can still finish a slot
+    /// from the retransmitted message history alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    #[must_use]
+    pub fn with_termination(
+        config: Config,
+        width: u8,
+        input: u64,
+        termination: Termination,
+    ) -> Self {
         assert!((1..=64).contains(&width), "width must be 1..=64");
         let bits = (0..width)
-            .map(|b| Malicious::new(config, Value::from(input >> b & 1 == 1)))
+            .map(|b| {
+                Malicious::with_termination(config, Value::from(input >> b & 1 == 1), termination)
+            })
             .collect();
         MultiValued {
             bits,
@@ -85,6 +106,13 @@ impl MultiValued {
             decided_phase: None,
             observer: None,
         }
+    }
+
+    /// Whether every bit instance has left the protocol (possible only
+    /// under a halting [`Termination`] policy).
+    #[must_use]
+    pub fn all_halted(&self) -> bool {
+        self.bits.iter().all(Process::halted)
     }
 
     /// Attaches a [`WordObserver`]; on decision, slot `slot` receives the
@@ -181,6 +209,50 @@ impl Process for MultiValued {
     fn decision_phase(&self) -> Option<u64> {
         self.decided_phase
     }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        // Composes the per-bit Figure 2 snapshots (config and observer are
+        // constructor arguments, so only mutable state is captured). If any
+        // bit instance cannot checkpoint, the composite cannot either.
+        let mut bit_states = Vec::with_capacity(self.bits.len());
+        for inst in &self.bits {
+            bit_states.push(inst.snapshot()?);
+        }
+        let mut out = Vec::new();
+        self.decided_word.encode(&mut out);
+        self.decided_phase.encode(&mut out);
+        bit_states.encode(&mut out);
+        Some(out)
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Ok(decided_word) = Option::<u64>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(decided_phase) = Option::<u64>::decode(&mut r) else {
+            return false;
+        };
+        let Ok(bit_states) = Vec::<Vec<u8>>::decode(&mut r) else {
+            return false;
+        };
+        if r.finish().is_err() || bit_states.len() != self.bits.len() {
+            return false;
+        }
+        // Restore bit instances onto scratch copies first: a failure
+        // mid-way must leave `self` unchanged so the caller can fall back
+        // to replay from genesis.
+        let mut restored = self.bits.clone();
+        for (inst, state) in restored.iter_mut().zip(&bit_states) {
+            if !inst.restore(state) {
+                return false;
+            }
+        }
+        self.bits = restored;
+        self.decided_word = decided_word;
+        self.decided_phase = decided_phase;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +338,44 @@ mod tests {
     fn zero_width_rejected() {
         let config = Config::malicious(4, 1).unwrap();
         let _ = MultiValued::new(config, 0, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mid_protocol() {
+        let config = Config::malicious(4, 1).unwrap();
+        let mut p = MultiValued::new(config, 8, 0b1100_0101);
+        let mut outbox = Vec::new();
+        let mut rng = simnet::SimRng::seed(9);
+        {
+            let mut ctx = Ctx::new(simnet::ProcessId::new(0), 4, 0, &mut outbox, &mut rng);
+            p.on_start(&mut ctx);
+        }
+        // Feed the phase-0 initial messages of a peer back in so the bit
+        // instances hold non-trivial mid-protocol state.
+        let peer_msgs: Vec<MultiMsg> = (0..8)
+            .map(|b| {
+                (
+                    b,
+                    MaliciousMsg::initial(simnet::ProcessId::new(1), Value::One, 0),
+                )
+            })
+            .collect();
+        for msg in peer_msgs {
+            let mut ctx = Ctx::new(simnet::ProcessId::new(0), 4, 1, &mut outbox, &mut rng);
+            p.on_receive(Envelope::new(simnet::ProcessId::new(1), msg), &mut ctx);
+        }
+        let bytes = p.snapshot().expect("multivalued snapshots");
+
+        let mut fresh = MultiValued::new(config, 8, 0);
+        assert!(fresh.restore(&bytes), "restore accepts its own snapshot");
+        assert_eq!(fresh.snapshot().unwrap(), bytes, "round trip is stable");
+        assert_eq!(fresh.decided_word(), p.decided_word());
+        assert_eq!(fresh.phase(), p.phase());
+
+        // Wrong width ⇒ rejected, state unchanged.
+        let mut narrow = MultiValued::new(config, 4, 0);
+        assert!(!narrow.restore(&bytes));
+        assert!(!narrow.restore(b"garbage"));
     }
 
     #[test]

@@ -2,17 +2,23 @@
 //!
 //! ```text
 //! btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject]
-//!        [--no-netstack] [--out PATH]
+//!        [--no-netstack] [--multislot N] [--out PATH]
 //! btfuzz --replay PATH
 //! ```
 //!
 //! Default mode fuzzes the unmodified tree: exit 0 when every case runs
 //! clean, exit 1 with a repro artifact written to `--out` (default
-//! `btfuzz-repro.jsonl`) when an invariant breaks. `--inject` is the
-//! harness self-test: it plants a broken fail-stop quorum rule and exits 0
-//! only if the fuzzer finds it, shrinks it, and the artifact replays.
-//! `--replay` re-executes a previously written artifact and byte-verifies
-//! the trace. Seeds accept decimal or `0x`-prefixed hex.
+//! `btfuzz-repro.jsonl`) when an invariant breaks. A clean one-shot sweep
+//! is followed by `--multislot N` (default 25, 0 disables) replicated-log
+//! scenarios — seeded per-replica command preloads driven through the
+//! `rsm` multi-decree pipeline under the same schedule adversaries, held
+//! to per-slot agreement, gap-freedom, batch provenance, and exactly-once
+//! invariants; a violating multi-slot scenario is written to `--out` as
+//! its scenario JSON. `--inject` is the harness self-test: it plants a
+//! broken fail-stop quorum rule and exits 0 only if the fuzzer finds it,
+//! shrinks it, and the artifact replays. `--replay` re-executes a
+//! previously written artifact and byte-verifies the trace. Seeds accept
+//! decimal or `0x`-prefixed hex.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -25,6 +31,7 @@ struct Args {
     seed: Option<u64>,
     inject: bool,
     netstack: bool,
+    multislot: u64,
     out: String,
     replay: Option<String>,
 }
@@ -32,7 +39,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject] \
-         [--no-netstack] [--out PATH] | btfuzz --replay PATH"
+         [--no-netstack] [--multislot N] [--out PATH] | btfuzz --replay PATH"
     );
     std::process::exit(2);
 }
@@ -52,6 +59,7 @@ fn parse_args() -> Args {
         seed: None,
         inject: false,
         netstack: true,
+        multislot: 25,
         out: "btfuzz-repro.jsonl".to_string(),
         replay: None,
     };
@@ -96,6 +104,16 @@ fn parse_args() -> Args {
             }
             "--inject" => args.inject = true,
             "--no-netstack" => args.netstack = false,
+            "--multislot" => {
+                let raw = value("count");
+                match raw.parse() {
+                    Ok(n) => args.multislot = n,
+                    Err(_) => {
+                        eprintln!("bad --multislot {raw:?}");
+                        usage()
+                    }
+                }
+            }
             "--out" => args.out = value("path"),
             "--replay" => args.replay = Some(value("path")),
             "--help" | "-h" => usage(),
@@ -137,6 +155,40 @@ fn replay(path: &str) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The replicated-log leg of a clean run: generated multi-slot scenarios
+/// through the `rsm` pipeline, log-level invariants, scenario-JSON repro
+/// on a hit. Derives its seed from the master seed so one `--seed`
+/// reproduces the whole session.
+fn multislot_sweep(args: &Args, master_seed: u64) -> ExitCode {
+    if args.multislot == 0 {
+        return ExitCode::SUCCESS;
+    }
+    let seed = master_seed ^ 0x6d75_6c74_695f_736c; // "multi_sl", one stream per leg
+    println!(
+        "btfuzz: multislot sweep, seed {seed:#018x}, {} cases max",
+        args.multislot
+    );
+    let sweep = dst::fuzz_multislot(seed, args.multislot, args.budget, |line| {
+        println!("btfuzz: {line}");
+    });
+    println!("btfuzz: {} multislot cases", sweep.cases);
+    let Some((scenario, violations)) = sweep.finding else {
+        println!("btfuzz: no multislot violations");
+        return ExitCode::SUCCESS;
+    };
+    println!("btfuzz: multislot violated: {}", scenario.describe());
+    for v in &violations {
+        println!("btfuzz:   {v}");
+    }
+    let artifact = scenario.to_json().render() + "\n";
+    if let Err(e) = std::fs::write(&args.out, artifact) {
+        eprintln!("btfuzz: cannot write artifact {}: {e}", args.out);
+    } else {
+        println!("btfuzz: multislot scenario written to {}", args.out);
+    }
+    ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
@@ -187,7 +239,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("btfuzz: no violations");
-        return ExitCode::SUCCESS;
+        return multislot_sweep(&args, config.seed);
     };
 
     println!(

@@ -40,23 +40,23 @@ fn pids(indices: &[usize]) -> Vec<ProcessId> {
     indices.iter().map(|&i| ProcessId::new(i)).collect()
 }
 
-/// Builds the scenario's scheduler for the simulator.
-fn build_scheduler<M: 'static>(scenario: &Scenario) -> Box<dyn Scheduler<M>> {
-    match &scenario.sched {
+/// Builds a schedule adversary for an `n`-process simulator run (shared
+/// with the multi-slot pipeline, whose scenarios carry the same
+/// [`SchedSpec`]).
+pub(crate) fn build_scheduler<M: 'static>(n: usize, sched: &SchedSpec) -> Box<dyn Scheduler<M>> {
+    match sched {
         SchedSpec::Fair(order) => Box::new(FairScheduler::new().delivery_order(match order {
             OrderSpec::Random => DeliveryOrder::Random,
             OrderSpec::Fifo => DeliveryOrder::Fifo,
             OrderSpec::Lifo => DeliveryOrder::Lifo,
         })),
-        SchedSpec::Delaying(victims) => {
-            Box::new(DelayingScheduler::new(scenario.n, &pids(victims)))
-        }
+        SchedSpec::Delaying(victims) => Box::new(DelayingScheduler::new(n, &pids(victims))),
         SchedSpec::Partition {
             left,
             epoch_len,
             heal_every,
         } => Box::new(PartitionScheduler::new(
-            scenario.n,
+            n,
             &pids(left),
             *epoch_len,
             *heal_every,
@@ -83,7 +83,7 @@ fn run_generic<M: 'static>(
         // Replays pin the exact recorded interleaving; the fallback lets a
         // schedule recorded under a *shorter* run still finish delivering.
         Some(script) => b.scheduler(Box::new(ScriptedScheduler::with_fallback(script))),
-        None => b.scheduler(build_scheduler::<M>(scenario)),
+        None => b.scheduler(build_scheduler::<M>(scenario.n, &scenario.sched)),
     };
     b.seed(scenario.seed)
         .step_limit(scenario.step_limit)

@@ -14,6 +14,10 @@
 //! - [`invariants`] — the property suite: agreement, validity,
 //!   convergence, and the Fig. 1/Fig. 2 decision thresholds read back out
 //!   of the trace;
+//! - [`multislot`] — the replicated-log leg: seeded multi-decree (`rsm`)
+//!   scenarios under the same schedule adversaries, held to per-slot
+//!   agreement, gap-freedom, batch provenance, and exactly-once
+//!   invariants;
 //! - [`shrink`] — greedy delta-debugging to a minimal scenario preserving
 //!   the violation classes;
 //! - [`artifact`] — one-file repro: scenario header plus JSONL trace,
@@ -31,6 +35,7 @@ pub mod artifact;
 pub mod exec;
 pub mod fuzz;
 pub mod invariants;
+pub mod multislot;
 pub mod scenario;
 pub mod shrink;
 
@@ -41,5 +46,9 @@ pub use exec::{
 };
 pub use fuzz::{fuzz, Finding, FindingKind, FuzzConfig, FuzzOutcome};
 pub use invariants::{check, check_equivocations, classes, Violation};
+pub use multislot::{
+    check_multislot, fuzz_multislot, run_multislot, MultiSlotOutcome, MultiSlotScenario,
+    MultiSlotSweep, MultiSlotViolation,
+};
 pub use scenario::{FaultSpec, Injection, OrderSpec, ProtoKind, Scenario, SchedSpec};
 pub use shrink::{shrink, Shrunk, DEFAULT_SHRINK_RUNS};

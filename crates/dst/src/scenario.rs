@@ -163,7 +163,7 @@ pub enum SchedSpec {
 }
 
 impl SchedSpec {
-    fn to_json(&self) -> Json {
+    pub(crate) fn to_json(&self) -> Json {
         match self {
             SchedSpec::Fair(order) => Json::Obj(vec![
                 ("kind".into(), Json::str("fair")),

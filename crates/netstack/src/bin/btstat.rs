@@ -142,10 +142,12 @@ fn row(i: usize, cur: &NodeSample, prev: Option<&NodeSample>) -> String {
         .map_or_else(|| "-".to_string(), |p| p.to_string());
     let Some(snap) = &cur.snap else {
         return format!(
-            "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6}",
+            "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6} {:>7} {:>10}",
             format!("p{i}"),
             state,
             phase,
+            "-",
+            "-",
             "-",
             "-",
             "-",
@@ -179,8 +181,17 @@ fn row(i: usize, cur: &NodeSample, prev: Option<&NodeSample>) -> String {
     let recovered = snap
         .scalar_total("bt_recovered_deliveries_total")
         .unwrap_or(0);
+    // Replicated-log columns: blank for one-shot consensus nodes, which
+    // never register the rsm families.
+    let slots = snap
+        .scalar_total("rsm_slots_committed_total")
+        .map_or_else(|| "-".to_string(), |v| v.to_string());
+    let commit_p95 = snap
+        .histogram_total("rsm_commit_latency_us")
+        .and_then(|h| h.quantile(0.95))
+        .map_or_else(|| "-".to_string(), |v| v.to_string());
     format!(
-        "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6}",
+        "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6} {:>7} {:>10}",
         format!("p{i}"),
         state,
         phase,
@@ -191,12 +202,14 @@ fn row(i: usize, cur: &NodeSample, prev: Option<&NodeSample>) -> String {
         restarts,
         equiv,
         recovered,
+        slots,
+        commit_p95,
     )
 }
 
 fn header(live: bool) -> String {
     format!(
-        "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6}",
+        "{:<5} {:<12} {:>5} {:>9} {:>6} {:>9} {:>11} {:>8} {:>6} {:>6} {:>7} {:>10}",
         "node",
         "state",
         "phase",
@@ -207,6 +220,8 @@ fn header(live: bool) -> String {
         "restarts",
         "equiv",
         "recov",
+        "slots",
+        "cmt_p95_us",
     )
 }
 

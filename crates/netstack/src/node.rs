@@ -325,6 +325,7 @@ pub struct NodeHandle {
     counters: Arc<NetCounters>,
     link_stats: Vec<Arc<LinkStats>>,
     registry: Arc<Registry>,
+    next_seq: Arc<Mutex<Vec<u64>>>,
     shutdown: Arc<AtomicBool>,
     streams: StreamRegistry,
     threads: Vec<JoinHandle<()>>,
@@ -425,6 +426,17 @@ impl NodeHandle {
     #[must_use]
     pub fn equivocations(&self) -> u64 {
         self.counters.equivocations.get()
+    }
+
+    /// The next sequence number this node expects from `peer` — i.e. one
+    /// past the highest frame it has accepted under that peer slot,
+    /// including frames recovered from the WAL. A client gateway that
+    /// injects frames under its own node's peer slot resumes numbering
+    /// from here after a restart, so its frames land as fresh deliveries
+    /// rather than duplicates.
+    #[must_use]
+    pub fn next_expected_from(&self, peer: ProcessId) -> u64 {
+        self.next_seq.lock().unwrap_or_else(PoisonError::into_inner)[peer.index()]
     }
 
     /// Asks every thread to stop, unblocks them, and joins them. Safe to
@@ -765,6 +777,7 @@ where
         counters,
         link_stats,
         registry,
+        next_seq,
         shutdown,
         streams,
         threads,
@@ -954,7 +967,8 @@ impl<M: Wire> Loop<M> {
         }
         let events = {
             let mut ctx = Ctx::new(self.me, self.n, self.step, &mut self.outbox, &mut self.rng)
-                .with_obs(self.observed && live);
+                .with_obs(self.observed && live)
+                .with_live(live);
             self.process.on_start(&mut ctx);
             ctx.take_events()
         };
@@ -1097,7 +1111,8 @@ impl<M: Wire> Loop<M> {
         }
         let events = {
             let mut ctx = Ctx::new(self.me, self.n, self.step, &mut self.outbox, &mut self.rng)
-                .with_obs(self.observed && live);
+                .with_obs(self.observed && live)
+                .with_live(live);
             self.process.on_receive(Envelope::new(from, msg), &mut ctx);
             ctx.take_events()
         };

@@ -104,6 +104,7 @@ pub struct Ctx<'a, M> {
     outbox: &'a mut Vec<(ProcessId, M)>,
     rng: &'a mut SimRng,
     obs: bool,
+    live: bool,
     events: Vec<ProtocolEvent>,
 }
 
@@ -128,6 +129,7 @@ impl<'a, M> Ctx<'a, M> {
             outbox,
             rng,
             obs: false,
+            live: true,
             events: Vec::new(),
         }
     }
@@ -137,6 +139,23 @@ impl<'a, M> Ctx<'a, M> {
     pub fn with_obs(mut self, enabled: bool) -> Self {
         self.obs = enabled;
         self
+    }
+
+    /// Marks whether this step is a *live* delivery (the default) or a
+    /// replay of a journaled delivery during crash recovery. Protocols that
+    /// report to external observers (wall-clock metrics, client completion
+    /// callbacks) consult [`Ctx::live`] so a replayed step reconstructs the
+    /// state without double-reporting side effects that already happened.
+    #[must_use]
+    pub fn with_live(mut self, live: bool) -> Self {
+        self.live = live;
+        self
+    }
+
+    /// Whether this step is a live delivery rather than a recovery replay.
+    #[must_use]
+    pub fn live(&self) -> bool {
+        self.live
     }
 
     /// Records a structured protocol event for this step. Dropped silently

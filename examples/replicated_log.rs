@@ -1,76 +1,104 @@
-//! A replicated log: multi-valued Byzantine consensus as the ordering
-//! primitive of a tiny state-machine-replication layer.
+//! The replicated log as a *service*: a loopback [`RsmCluster`] of four
+//! nodes, each slot an independent multi-valued Byzantine consensus
+//! instance, serving clients over the length-prefixed TCP protocol.
 //!
-//! Four replicas each receive a different client command (encoded as a
-//! 16-bit word) and must install the *same* command into slot 0 of their
-//! logs, despite full asynchrony. Each log slot is one [`MultiValued`]
-//! instance — the bitwise reduction of the paper's Figure 2 protocol.
+//! The walk-through hits the three things the `rsm` crate adds on top of
+//! the one-shot protocols:
+//!
+//! 1. a single client puts, reads, and deletes through the KV state
+//!    machine (exactly-once via `(client, request)` ids);
+//! 2. several concurrent clients share the pipeline, many slots in
+//!    flight at once (batching kicks in when demand outruns slot
+//!    supply — `btload` drives and measures that regime);
+//! 3. a node is killed and restarted, recovers its log from the WAL, and
+//!    the cluster converges back to byte-identical logs.
 //!
 //! ```sh
 //! cargo run --release --example replicated_log
 //! ```
+//!
+//! See `docs/RSM.md` for the architecture and the protocol grammar.
 
-use std::sync::Arc;
+use std::time::Duration;
 
-use resilient_consensus::bt_core::multivalued::{word_observer, MultiValued};
-use resilient_consensus::bt_core::Config;
-use resilient_consensus::simnet::{Role, Sim};
-
-/// Pretend client commands, encoded into 16 bits.
-const COMMANDS: [(&str, u64); 4] = [
-    ("SET x=1", 0x5E01),
-    ("SET x=2", 0x5E02),
-    ("DEL x", 0xDE00),
-    ("GET x", 0x6E00),
-];
+use resilient_consensus::rsm::{ClientResp, RsmClient, RsmCluster, RsmClusterOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4;
-    let config = Config::malicious(n, 1)?;
+    let wal_dir = std::env::temp_dir().join(format!("rsm-example-{}", std::process::id()));
+    let mut opts = RsmClusterOptions::new(n, wal_dir.clone());
+    opts.seed = 0x10C;
+    let mut cluster = RsmCluster::start(opts)?;
+    println!(
+        "booted a {n}-node replicated-log cluster (k = {})",
+        (n - 1) / 3
+    );
 
-    let mut logs: Vec<Vec<u64>> = vec![Vec::new(); n];
-
-    // Three log slots, each decided by an independent consensus instance
-    // (sequential here for clarity; nothing prevents pipelining).
-    for slot in 0..3u64 {
-        let observer = word_observer(n);
-        let mut b = Sim::builder();
-        for (replica, &(_, cmd)) in COMMANDS.iter().enumerate() {
-            // Rotate proposals per slot so different replicas win.
-            let proposal = COMMANDS[(replica + slot as usize) % n].1;
-            let _ = cmd;
-            b.process(
-                Box::new(
-                    MultiValued::new(config, 16, proposal)
-                        .with_observer(Arc::clone(&observer), replica),
-                ),
-                Role::Correct,
-            );
+    // ---- 1. one client, the whole surface ------------------------------
+    let mut alice = RsmClient::connect(cluster.client_addr(0), 1)?;
+    alice.set_timeout(Some(Duration::from_secs(60)))?;
+    for (key, value) in [(&b"x"[..], &b"1"[..]), (b"y", b"2"), (b"x", b"3")] {
+        match alice.put(key, value)? {
+            ClientResp::Committed { log_len, .. } => println!(
+                "put {}={} committed (log length {log_len})",
+                String::from_utf8_lossy(key),
+                String::from_utf8_lossy(value),
+            ),
+            other => return Err(format!("put not committed: {other:?}").into()),
         }
-        let report = b.seed(0x10C + slot).step_limit(32_000_000).build().run();
-        assert!(report.agreement(), "slot {slot}: replicas disagreed");
-        assert!(report.all_correct_decided(), "slot {slot}: stuck");
+    }
+    let x = alice.read(b"x")?;
+    println!("read x -> {:?}", x.as_deref().map(String::from_utf8_lossy));
+    assert_eq!(x.as_deref(), Some(&b"3"[..]), "last write wins");
+    alice.del(b"y")?;
+    assert_eq!(alice.read(b"y")?, None, "deleted keys read as unbound");
 
-        let words = observer.lock().expect("observer").clone();
-        let winner = words[0].expect("decided");
-        assert!(
-            words.iter().all(|w| *w == Some(winner)),
-            "slot {slot}: diverging logs {words:?}"
-        );
-        for log in &mut logs {
-            log.push(winner);
-        }
-        let name = COMMANDS
-            .iter()
-            .find(|(_, c)| *c == winner)
-            .map_or("(mixed-bits artifact)", |(name, _)| *name);
-        println!(
-            "slot {slot}: agreed on {winner:#06x} {name} in {} phases",
-            report.phases_to_decision().unwrap_or(0),
-        );
+    // ---- 2. concurrent clients, one shared pipeline --------------------
+    let addrs: Vec<_> = (0..n).map(|i| cluster.client_addr(i)).collect();
+    let writers: Vec<_> = (0..8u64)
+        .map(|w| {
+            let addr = addrs[(w as usize + 1) % n];
+            std::thread::spawn(move || -> std::io::Result<()> {
+                // Ids 2..=9; id 1 is taken by `alice` above.
+                let mut c = RsmClient::connect(addr, 2 + w)?;
+                c.set_timeout(Some(Duration::from_secs(60)))?;
+                for i in 0..8u32 {
+                    let key = format!("w{w}.k{i}");
+                    c.put(key.as_bytes(), &i.to_be_bytes())?;
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer thread")?;
     }
 
-    println!("\nall {} replica logs identical: {:04x?}", n, logs[0]);
-    assert!(logs.iter().all(|l| *l == logs[0]));
+    // ---- 3. kill a node, restart it, converge --------------------------
+    cluster.kill(n - 1);
+    println!("killed node {} (its WAL survives it)", n - 1);
+    cluster.restart(n - 1)?;
+    println!("restarted node {} from its WAL on the same ports", n - 1);
+
+    let (applied, digest) = cluster
+        .await_identical(Duration::from_secs(60))
+        .ok_or("cluster did not converge")?;
+    let (commands_applied, loaded_slots, batched_commands) = cluster.view(0).with(|a| {
+        let loaded = a.log.iter().filter(|e| !e.commands.is_empty());
+        (
+            a.applied_commands,
+            loaded.clone().count(),
+            loaded.map(|e| e.commands.len()).sum::<usize>(),
+        )
+    });
+    println!("\nall {n} logs identical: {applied} slots applied, digest {digest:#018x}");
+    println!(
+        "{commands_applied} commands over {loaded_slots} non-empty slots \
+         (mean batch {:.2} commands/slot)",
+        batched_commands as f64 / loaded_slots.max(1) as f64,
+    );
+
+    cluster.shutdown();
+    std::fs::remove_dir_all(&wal_dir).ok();
     Ok(())
 }

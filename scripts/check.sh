@@ -44,4 +44,8 @@ echo "==> crash-recovery smoke test (SIGKILL workers, restart from WAL)"
 # Skips internally where the sandbox forbids sockets or lacks pgrep.
 sh scripts/smoke_recovery.sh
 
+echo "==> replicated-log smoke test (btnode rsm cluster, btload, btstat)"
+# Skips internally (with a note) where the sandbox forbids sockets.
+sh scripts/smoke_rsm.sh
+
 echo "==> all checks passed"

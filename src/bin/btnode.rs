@@ -3,9 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! btnode --id I --n N --k K --proto failstop|simple|malicious|benor \
-//!        --input 0|1 --listen HOST:PORT --peer HOST:PORT [--peer ...] \
-//!        [--seed S] [--timeout SECS] [--jsonl PATH] [--admin PORT]
+//! btnode --id I --n N --k K --proto failstop|simple|malicious|benor|rsm \
+//!        [--input 0|1] --listen HOST:PORT --peer HOST:PORT [--peer ...] \
+//!        [--seed S] [--timeout SECS] [--jsonl PATH] [--admin PORT] \
+//!        [--client PORT] [--window W] [--max-batch B] \
+//!        [--queue-depth Q] [--submit-batch S]
 //! ```
 //!
 //! `--peer` must appear exactly `N` times, in process-id order; entry `I`
@@ -43,6 +45,20 @@
 //! the admin port, like the protocol port, survives worker restarts
 //! because each worker incarnation binds it afresh after the old worker
 //! died.
+//!
+//! # The replicated log (`--proto rsm`)
+//!
+//! `--proto rsm` runs the node as one replica of the multi-decree
+//! replicated log (see `docs/RSM.md`) instead of a one-shot consensus:
+//! `--client PORT` (required) serves the length-prefixed client API on
+//! the listen host, `--window`/`--max-batch` tune the replica's
+//! pipelining and batching, and `--queue-depth`/`--submit-batch` tune
+//! the service's admission queue. `--input` does not apply; `--timeout`
+//! becomes the serving duration (0 = serve until killed). The `/status`
+//! admin endpoint gains an `rsm` section (applied slots, log digest,
+//! command counters), and `--supervise`/`--wal` work unchanged — a
+//! SIGKILLed replica restarts from its journal and rejoins without
+//! equivocation, resuming its client service on the same port.
 
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
@@ -60,9 +76,10 @@ use simnet::{
 };
 
 const USAGE: &str = "usage: btnode --id I --n N --k K \
---proto failstop|simple|malicious|benor --input 0|1 \
+--proto failstop|simple|malicious|benor|rsm [--input 0|1] \
 --listen HOST:PORT --peer HOST:PORT [--peer ...] \
 [--seed S] [--timeout SECS] [--jsonl PATH] [--admin PORT] \
+[--client PORT] [--window W] [--max-batch B] [--queue-depth Q] [--submit-batch S] \
 [--wal PATH [--snapshot-every STEPS] [--supervise] [--max-restarts R]]";
 
 struct Args {
@@ -70,7 +87,13 @@ struct Args {
     n: usize,
     k: usize,
     proto: String,
-    input: Value,
+    input: Option<Value>,
+    /// Client-API port for `--proto rsm`.
+    client: Option<u16>,
+    window: u64,
+    max_batch: usize,
+    queue_depth: usize,
+    submit_batch: usize,
     listen: SocketAddr,
     peers: Vec<SocketAddr>,
     seed: u64,
@@ -92,6 +115,11 @@ fn parse_args() -> Result<Args, String> {
     let mut k = None;
     let mut proto = None;
     let mut input = None;
+    let mut client = None;
+    let mut window = 8u64;
+    let mut max_batch = 64usize;
+    let mut queue_depth = 1024usize;
+    let mut submit_batch = 256usize;
     let mut listen = None;
     let mut peers = Vec::new();
     let mut seed = 0u64;
@@ -119,6 +147,11 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--input must be 0 or 1, got {other}")),
                 });
             }
+            "--client" => client = Some(parse(&value("--client")?, "--client")?),
+            "--window" => window = parse(&value("--window")?, "--window")?,
+            "--max-batch" => max_batch = parse(&value("--max-batch")?, "--max-batch")?,
+            "--queue-depth" => queue_depth = parse(&value("--queue-depth")?, "--queue-depth")?,
+            "--submit-batch" => submit_batch = parse(&value("--submit-batch")?, "--submit-batch")?,
             "--listen" => listen = Some(parse_addr(&value("--listen")?)?),
             "--peer" => peers.push(parse_addr(&value("--peer")?)?),
             "--seed" => seed = parse(&value("--seed")?, "--seed")?,
@@ -143,7 +176,12 @@ fn parse_args() -> Result<Args, String> {
         n: n.ok_or("--n is required")?,
         k: k.ok_or("--k is required")?,
         proto: proto.ok_or("--proto is required")?,
-        input: input.ok_or("--input is required")?,
+        input,
+        client,
+        window,
+        max_batch,
+        queue_depth,
+        submit_batch,
         listen: listen.ok_or("--listen is required")?,
         peers,
         seed,
@@ -156,6 +194,19 @@ fn parse_args() -> Result<Args, String> {
         max_restarts,
         listen_stdin,
     };
+    if args.proto == "rsm" {
+        if args.client.is_none() {
+            return Err("--proto rsm requires --client PORT (the client-API port)".to_string());
+        }
+        if args.jsonl.is_some() {
+            return Err("--jsonl applies to one-shot runs, not --proto rsm".to_string());
+        }
+        if args.window == 0 || args.max_batch == 0 {
+            return Err("--window and --max-batch must be at least 1".to_string());
+        }
+    } else if args.input.is_none() {
+        return Err("--input is required (except under --proto rsm)".to_string());
+    }
     if args.supervise && args.wal.is_none() {
         return Err(
             "--supervise requires --wal: a worker restarted without its \
@@ -217,6 +268,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.proto == "rsm" {
+        return run_rsm(&args, listener);
+    }
+
     let sink = Arc::new(Mutex::new(JsonlSink::new()));
     let subscriber: Option<SharedSubscriber> = if args.jsonl.is_some() {
         sink.lock()
@@ -227,6 +282,7 @@ fn main() -> ExitCode {
         None
     };
 
+    let input = args.input.expect("validated in parse_args");
     let booted = match args.proto.as_str() {
         "failstop" => {
             let config = match Config::fail_stop(args.n, args.k) {
@@ -237,7 +293,7 @@ fn main() -> ExitCode {
                 &args,
                 listener,
                 subscriber,
-                Box::new(FailStop::new(config, args.input)),
+                Box::new(FailStop::new(config, input)),
             )
         }
         "simple" => {
@@ -249,7 +305,7 @@ fn main() -> ExitCode {
                 &args,
                 listener,
                 subscriber,
-                Box::new(Simple::new(config, args.input)),
+                Box::new(Simple::new(config, input)),
             )
         }
         "malicious" => {
@@ -261,7 +317,7 @@ fn main() -> ExitCode {
                 &args,
                 listener,
                 subscriber,
-                Box::new(Malicious::new(config, args.input)),
+                Box::new(Malicious::new(config, input)),
             )
         }
         "benor" => {
@@ -273,7 +329,7 @@ fn main() -> ExitCode {
                 &args,
                 listener,
                 subscriber,
-                Box::new(BenOrProcess::new(config, args.input)),
+                Box::new(BenOrProcess::new(config, input)),
             )
         }
         other => {
@@ -541,4 +597,157 @@ fn single_node_report(args: &Args, node: &NodeHandle, decided: bool) -> RunRepor
         status.phase,
         metrics,
     )
+}
+
+/// `--proto rsm`: run this node as one replica of the replicated log,
+/// serving the client API on `--client` until `--timeout` elapses (0 =
+/// until killed) or the event loop dies.
+fn run_rsm(args: &Args, listener: TcpListener) -> ExitCode {
+    use netstack::admin::AdminServer;
+    use obs::json::Json;
+    use obs::metrics::Registry;
+    use rsm::{GatewayConfig, LogView, Replica, RsmOptions, RsmService, ServiceOptions};
+
+    let config = match Config::malicious(args.n, args.k) {
+        Ok(c) => c,
+        Err(e) => return config_error(e),
+    };
+    let me = ProcessId::new(args.id);
+    let registry = Arc::new(Registry::new());
+    let view = LogView::new();
+    let replica = Replica::new(
+        config,
+        me,
+        RsmOptions {
+            window: args.window,
+            max_batch: args.max_batch,
+        },
+    )
+    .with_view(view.clone())
+    .with_metrics(&registry);
+
+    let cfg = NodeConfig {
+        id: me,
+        n: args.n,
+        seed: args.seed.wrapping_add(args.id as u64),
+        fault: FaultPlan::reliable(),
+        wal: args.wal.clone(),
+        snapshot_every: args.snapshot_every,
+        metrics: Some(Arc::clone(&registry)),
+    };
+    let mut node = match spawn(cfg, listener, args.peers.clone(), Box::new(replica), None) {
+        Ok(node) => node,
+        Err(err) => {
+            eprintln!("btnode: cannot boot rsm replica: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let client_port = args.client.expect("validated in parse_args");
+    let client_bind = SocketAddr::new(args.listen.ip(), client_port);
+    let client_listener = match TcpListener::bind(client_bind) {
+        Ok(l) => l,
+        Err(err) => {
+            eprintln!("btnode: cannot bind client port {client_bind}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = match RsmService::spawn(
+        client_listener,
+        GatewayConfig {
+            me,
+            node_addr: args.peers[args.id],
+            initial_seq: node.next_expected_from(me),
+        },
+        view.clone(),
+        ServiceOptions {
+            queue_depth: args.queue_depth,
+            submit_batch: args.submit_batch,
+            propose_timeout: Duration::from_secs(10),
+        },
+        &registry,
+    ) {
+        Ok(s) => s,
+        Err(err) => {
+            eprintln!("btnode: cannot start client service: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "btnode: rsm replica p{} serving clients on {}",
+        args.id,
+        service.local_addr()
+    );
+
+    // Admin endpoint with the node's status plus an `rsm` section.
+    let _admin = match args.admin {
+        Some(port) => {
+            let bind = SocketAddr::new(args.listen.ip(), port);
+            let base =
+                netstack::admin::status_source(me, args.n, node.status_cell(), node.metrics());
+            let status_view = view.clone();
+            let admin_listener = match TcpListener::bind(bind) {
+                Ok(l) => l,
+                Err(err) => {
+                    eprintln!("btnode: cannot bind admin endpoint {bind}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let status: netstack::admin::StatusFn = Box::new(move || {
+                let Json::Obj(mut fields) = base() else {
+                    return Json::Null;
+                };
+                let rsm = status_view.with(|a| {
+                    Json::Obj(vec![
+                        ("applied".into(), Json::num(a.next_slot())),
+                        ("digest".into(), Json::str(format!("{:016x}", a.digest()))),
+                        ("applied_commands".into(), Json::num(a.applied_commands)),
+                        ("deduped_commands".into(), Json::num(a.deduped_commands)),
+                        ("kv_len".into(), Json::num(a.kv.len() as u64)),
+                    ])
+                });
+                fields.push(("rsm".into(), rsm));
+                Json::Obj(fields)
+            });
+            match AdminServer::serve(admin_listener, Arc::clone(&registry), status) {
+                Ok(server) => {
+                    eprintln!("btnode: admin endpoint on http://{}/metrics", server.addr());
+                    Some(server)
+                }
+                Err(err) => {
+                    eprintln!("btnode: cannot start admin endpoint: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
+    // Serve until the deadline (0 = forever) or the event loop dies.
+    let deadline = (args.timeout > Duration::ZERO).then(|| Instant::now() + args.timeout);
+    let healthy = loop {
+        if node.died() {
+            eprintln!("btnode: rsm replica p{} event loop died", args.id);
+            break false;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            break true;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+
+    drop(service);
+    node.shutdown();
+    let (applied, digest, commands) =
+        view.with(|a| (a.next_slot(), a.digest(), a.applied_commands));
+    println!(
+        "p{} rsm summary: applied={applied} digest={digest:016x} commands={commands} recovered={}",
+        args.id,
+        node.status().recovered,
+    );
+    if healthy {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -14,6 +14,9 @@
 //!   console narration) for the simulator's subscriber hook;
 //! * [`netstack`] — the threaded TCP runtime running the same protocol
 //!   state machines over real sockets (see `docs/NETWORKING.md`);
+//! * [`rsm`] — the replicated log service: pipelined multi-decree
+//!   consensus with batching, a client-facing TCP API, and WAL-backed
+//!   recovery (see `docs/RSM.md`);
 //! * [`dst`] — deterministic simulation testing: the seeded `btfuzz`
 //!   schedule/fault fuzzer with counterexample shrinking and replayable
 //!   repro artifacts across both runtimes (see `docs/TESTING.md`).
@@ -29,6 +32,7 @@ pub use markov;
 pub use modelcheck;
 pub use netstack;
 pub use obs;
+pub use rsm;
 pub use simnet;
 
 pub use bt_core::{Config, FailStop, InitiallyDead, Malicious, Simple};
