@@ -1,0 +1,188 @@
+//! `netstack_bench` — transport microbench for the netstack runtime.
+//!
+//! Boots an in-process loopback cluster (default n=50, fail-stop protocol,
+//! unanimous inputs), waits for unanimous consensus, and reports the
+//! transport-level numbers the event-loop rewrite is judged on:
+//!
+//! * `frames_per_sec` — protocol frames written to sockets / wall time;
+//! * `threads_peak` — peak thread count of this process during the run,
+//!   sampled from `/proc/self/status` (the O(n) vs O(n²) structural
+//!   check: thread-per-connection runtimes scale this with n², an event
+//!   loop holds it at O(n));
+//! * `write_syscalls_per_frame` — transport write syscalls per frame
+//!   written, when the runtime exports `bt_write_syscalls_total`
+//!   (event-loop runtimes coalesce many frames into one vectored write;
+//!   the threaded runtime performed 2 writes per frame — length prefix +
+//!   body — and exports no counter, reported as `null`).
+//!
+//! ```text
+//! netstack_bench [OUT.json] [--n N] [--k K] [--label NAME] [--timeout SECS]
+//! ```
+//!
+//! Exit 0 with a JSON object on stdout (and in `OUT.json` if given); exit
+//! 1 if the cluster fails to reach unanimous consensus.
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netstack::{sockets_available, Cluster, ClusterOptions, Proto};
+use simnet::{RunStatus, Value};
+
+/// Current thread count of this process, from `/proc/self/status`.
+fn threads_now() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+fn main() -> ExitCode {
+    let mut out_path: Option<String> = None;
+    let mut n = 50usize;
+    let mut k = 0usize;
+    let mut k_set = false;
+    let mut label = String::from("netstack");
+    let mut timeout = Duration::from_secs(120);
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("netstack_bench: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--n" => n = value("--n").parse().expect("--n takes a count"),
+            "--k" => {
+                k = value("--k").parse().expect("--k takes a count");
+                k_set = true;
+            }
+            "--label" => label = value("--label"),
+            "--timeout" => {
+                timeout = Duration::from_secs(value("--timeout").parse().expect("--timeout secs"));
+            }
+            other if !other.starts_with("--") && out_path.is_none() => {
+                out_path = Some(other.to_string());
+            }
+            other => {
+                eprintln!("netstack_bench: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !k_set {
+        k = (n - 1) / 2; // maximal fail-stop resilience
+    }
+
+    if !sockets_available() {
+        eprintln!("netstack_bench: skipping (loopback sockets unavailable)");
+        println!("{{\"skipped\": true}}");
+        return ExitCode::SUCCESS;
+    }
+
+    // Sample the process's thread count while the cluster runs.
+    let stop_sampler = Arc::new(AtomicBool::new(false));
+    let peak = Arc::new(AtomicU64::new(threads_now().unwrap_or(0)));
+    let sampler = {
+        let stop = Arc::clone(&stop_sampler);
+        let peak = Arc::clone(&peak);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(t) = threads_now() {
+                    peak.fetch_max(t, Ordering::Relaxed);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+
+    let options = ClusterOptions {
+        seed: 0x00BE_7C50,
+        inputs: vec![Value::One; n],
+        ..ClusterOptions::default()
+    };
+    let started = Instant::now();
+    let mut cluster = match Cluster::spawn(n, k, Proto::FailStop, options, None) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("netstack_bench: cannot spawn cluster: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spawn_elapsed = started.elapsed();
+    let report = cluster.await_verdict(timeout);
+    let elapsed = started.elapsed();
+
+    let snapshot = cluster.metrics_snapshot();
+    let frames = snapshot.scalar_total("bt_frames_sent_total").unwrap_or(0);
+    let retransmits = snapshot.scalar_total("bt_retransmits_total").unwrap_or(0);
+    let write_syscalls = snapshot.scalar_total("bt_write_syscalls_total");
+    let loop_ticks = snapshot.scalar_total("bt_loop_ticks_total");
+    let wakeups = snapshot.scalar_total("bt_poll_wakeups_total");
+    cluster.shutdown();
+    stop_sampler.store(true, Ordering::Relaxed);
+    let _ = sampler.join();
+
+    let unanimous = report.status == RunStatus::Stopped
+        && report.agreement()
+        && report.decisions.iter().all(|d| *d == Some(Value::One));
+    if !unanimous {
+        eprintln!(
+            "netstack_bench: cluster failed to reach unanimous consensus \
+             (status {:?})",
+            report.status
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let secs = elapsed.as_secs_f64();
+    let frames_per_sec = if secs > 0.0 {
+        frames as f64 / secs
+    } else {
+        0.0
+    };
+    // The threaded runtime wrote the 4-byte length prefix and the body as
+    // separate write(2) calls (2 syscalls/frame, no counter exported);
+    // the event loop counts its actual (vectored) writes.
+    let syscalls_per_frame =
+        write_syscalls.map(|w| w as f64 / (frames + retransmits).max(1) as f64);
+
+    let mut fields = vec![
+        format!("  \"label\": \"{label}\""),
+        format!("  \"n\": {n}"),
+        format!("  \"k\": {k}"),
+        format!("  \"elapsed_secs\": {secs:.3}"),
+        format!("  \"spawn_secs\": {:.3}", spawn_elapsed.as_secs_f64()),
+        format!("  \"frames_sent\": {frames}"),
+        format!("  \"retransmits\": {retransmits}"),
+        format!("  \"frames_per_sec\": {frames_per_sec:.1}"),
+        format!("  \"threads_peak\": {}", peak.load(Ordering::Relaxed)),
+        format!(
+            "  \"messages_delivered\": {}",
+            report.metrics.messages_delivered
+        ),
+    ];
+    match syscalls_per_frame {
+        Some(s) => fields.push(format!("  \"write_syscalls_per_frame\": {s:.3}")),
+        None => fields.push("  \"write_syscalls_per_frame\": null".to_string()),
+    }
+    if let Some(t) = loop_ticks {
+        fields.push(format!("  \"loop_ticks\": {t}"));
+    }
+    if let Some(w) = wakeups {
+        fields.push(format!("  \"poll_wakeups\": {w}"));
+    }
+    let json = format!("{{\n{}\n}}", fields.join(",\n"));
+    println!("{json}");
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("netstack_bench: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject]
 //!        [--no-netstack] [--multislot N] [--out PATH]
+//! btfuzz --netstack-stress [--budget SECS] [--cases N] [--seed SEED] [--out PATH]
 //! btfuzz --replay PATH
 //! ```
 //!
@@ -17,8 +18,12 @@
 //! its scenario JSON. `--inject` is the harness self-test: it plants a
 //! broken fail-stop quorum rule and exits 0 only if the fuzzer finds it,
 //! shrinks it, and the artifact replays. `--replay` re-executes a
-//! previously written artifact and byte-verifies the trace. Seeds accept
-//! decimal or `0x`-prefixed hex.
+//! previously written artifact and byte-verifies the trace.
+//! `--netstack-stress` runs the scale leg instead of the fuzz loop:
+//! loopback clusters up a size ladder to n=50, each under a healing
+//! partition and a seeded crash-restart, held to the decision properties
+//! and zero equivocations; a violating scenario is written to `--out` as
+//! its scenario JSON. Seeds accept decimal or `0x`-prefixed hex.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -31,6 +36,7 @@ struct Args {
     seed: Option<u64>,
     inject: bool,
     netstack: bool,
+    stress: bool,
     multislot: u64,
     out: String,
     replay: Option<String>,
@@ -39,7 +45,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject] \
-         [--no-netstack] [--multislot N] [--out PATH] | btfuzz --replay PATH"
+         [--no-netstack] [--netstack-stress] [--multislot N] [--out PATH] \
+         | btfuzz --replay PATH"
     );
     std::process::exit(2);
 }
@@ -59,6 +66,7 @@ fn parse_args() -> Args {
         seed: None,
         inject: false,
         netstack: true,
+        stress: false,
         multislot: 25,
         out: "btfuzz-repro.jsonl".to_string(),
         replay: None,
@@ -104,6 +112,7 @@ fn parse_args() -> Args {
             }
             "--inject" => args.inject = true,
             "--no-netstack" => args.netstack = false,
+            "--netstack-stress" => args.stress = true,
             "--multislot" => {
                 let raw = value("count");
                 match raw.parse() {
@@ -191,10 +200,61 @@ fn multislot_sweep(args: &Args, master_seed: u64) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The scale leg: loopback clusters up the size ladder to n=50, each
+/// under a healing partition and a seeded crash-restart. Exit 0 on a
+/// clean sweep (or a sandbox skip), exit 1 with the scenario JSON in
+/// `--out` on a violation.
+fn netstack_stress(args: &Args) -> ExitCode {
+    let mut config = dst::StressConfig::default();
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    config.budget = args.budget;
+    if let Some(cases) = args.cases {
+        config.max_cases = cases;
+    } else if args.budget.is_some() {
+        config.max_cases = u64::MAX;
+    }
+    println!(
+        "btfuzz: netstack stress, seed {:#018x}, ladder {:?} (clamp n={}), budget {:?}",
+        config.seed,
+        dst::STRESS_LADDER,
+        config.max_n,
+        config.budget
+    );
+    let Some(outcome) = dst::fuzz_netstack_stress(&config, |line| println!("btfuzz: {line}"))
+    else {
+        println!("btfuzz: skipping netstack stress: loopback sockets unavailable in this sandbox");
+        return ExitCode::SUCCESS;
+    };
+    println!(
+        "btfuzz: {} stress cases, largest n={}, {} supervisor restart(s)",
+        outcome.cases, outcome.largest_n, outcome.restarts
+    );
+    let Some((scenario, violations)) = outcome.finding else {
+        println!("btfuzz: no stress violations");
+        return ExitCode::SUCCESS;
+    };
+    println!("btfuzz: stress violated: {}", scenario.describe());
+    for v in &violations {
+        println!("btfuzz:   {v}");
+    }
+    let artifact = scenario.to_json().render() + "\n";
+    if let Err(e) = std::fs::write(&args.out, artifact) {
+        eprintln!("btfuzz: cannot write artifact {}: {e}", args.out);
+    } else {
+        println!("btfuzz: stress scenario written to {}", args.out);
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some(path) = &args.replay {
         return replay(path);
+    }
+    if args.stress {
+        return netstack_stress(&args);
     }
 
     let mut config = FuzzConfig {

@@ -18,6 +18,9 @@
 //!   scenarios under the same schedule adversaries, held to per-slot
 //!   agreement, gap-freedom, batch provenance, and exactly-once
 //!   invariants;
+//! - [`stress`] — the scale leg: 50-node loopback clusters under healing
+//!   partitions and crash-restarts, affordable only because the
+//!   event-driven netstack runs each node on a single thread;
 //! - [`shrink`] — greedy delta-debugging to a minimal scenario preserving
 //!   the violation classes;
 //! - [`artifact`] — one-file repro: scenario header plus JSONL trace,
@@ -38,6 +41,7 @@ pub mod invariants;
 pub mod multislot;
 pub mod scenario;
 pub mod shrink;
+pub mod stress;
 
 pub use artifact::{parse as parse_artifact, render as render_artifact, verify_replay, Repro};
 pub use exec::{
@@ -52,3 +56,6 @@ pub use multislot::{
 };
 pub use scenario::{FaultSpec, Injection, OrderSpec, ProtoKind, Scenario, SchedSpec};
 pub use shrink::{shrink, Shrunk, DEFAULT_SHRINK_RUNS};
+pub use stress::{
+    fuzz_netstack_stress, stress_scenario, StressConfig, StressOutcome, STRESS_LADDER,
+};

@@ -1,63 +1,57 @@
-//! Per-peer outbound connections: a queue, a dialing thread, and
-//! reconnect-with-backoff.
+//! Per-connection state machines for the event loop: outbound links with
+//! ack-gated backlogs, inbound connections with incremental framing, and
+//! the vectored-write plumbing both share.
 //!
-//! Each node runs one sender thread per remote peer. The thread owns the
-//! link's FIFO queue and the TCP connection to the peer's listener; the
-//! node's event loop only ever enqueues. A connection failure is invisible
-//! to the protocol: the thread redials with exponential backoff (reset on
-//! success) and retransmits its backlog.
+//! Nothing here owns a thread. Each node's single event thread (see
+//! [`crate::node`]) drives these machines from poller readiness events:
+//! the loop is the **single writer** for every socket it owns, so no
+//! lock is ever taken on a connection, and a frame's bytes are written
+//! by exactly one call site.
 //!
-//! Reliability is **ack-gated**. A successful `write` only proves the
-//! bytes reached the local kernel buffer — a connection that dies
-//! afterwards can still lose them — so a frame is retired only when the
-//! receiver's cumulative [`Frame::Ack`] covers its sequence number.
-//! Until then it stays in the unacked backlog, and after every reconnect
-//! the whole backlog is retransmitted in order. The receiver delivers
-//! each sequence number exactly once (duplicates are dropped, acked
-//! again, and never re-delivered), so — sender never gives up, receiver
-//! never double-delivers — the runtime presents a flaky TCP link to the
-//! protocol as the paper's §2.1 reliable channel: arbitrary finite
-//! delay, no loss, no duplication.
+//! Reliability is **ack-gated**, exactly as in the threaded runtime this
+//! replaced. A successful `write` only proves the bytes reached the
+//! local kernel buffer — a connection that dies afterwards can still
+//! lose them — so a frame is retired from [`Link::backlog`] only when
+//! the receiver's cumulative [`Frame::Ack`] covers its sequence number.
+//! Until then it survives reconnects, and after every reconnect the
+//! whole unacked backlog is retransmitted in order. The receiver
+//! delivers each sequence number exactly once, so the runtime presents
+//! a flaky TCP link to the protocol as the paper's §2.1 reliable
+//! channel: arbitrary finite delay, no loss, no duplication.
+//!
+//! Writes are **coalesced**: frames are pre-encoded once into shared
+//! [`Arc`] chunks (length prefix + body in one buffer) and queued; a
+//! flush hands as many queued chunks as possible to one `writev` via
+//! [`Write::write_vectored`], so a burst of protocol messages costs one
+//! syscall per peer per tick instead of two per frame. A chunk retired
+//! by an ack while still sitting in a connection's write queue simply
+//! flushes as a duplicate the receiver drops — harmless, and cheaper
+//! than surgically unqueueing partially-written bytes.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use obs::metrics::{Counter, Gauge, Histogram, Registry};
-use simnet::{ProcessId, Wire};
+use simnet::ProcessId;
 
-use crate::frame::{write_frame, Frame, MAX_FRAME_LEN};
+use crate::frame::{drain_frames, encode_chunk, Frame};
 
 /// Initial redial backoff; doubles per consecutive failure.
-const BACKOFF_INITIAL: Duration = Duration::from_millis(5);
+pub(crate) const BACKOFF_INITIAL: Duration = Duration::from_millis(5);
 /// Backoff ceiling.
-const BACKOFF_MAX: Duration = Duration::from_millis(400);
-/// How often blocked threads re-check the shutdown flag.
-const POLL: Duration = Duration::from_millis(25);
-/// Read timeout for draining acks off the (otherwise write-only) stream.
-const ACK_POLL: Duration = Duration::from_millis(1);
+pub(crate) const BACKOFF_MAX: Duration = Duration::from_millis(400);
+/// Most chunks handed to a single vectored write. Linux's `IOV_MAX` is
+/// 1024; staying far below it keeps the slice array cheap to build.
+const MAX_IOV: usize = 64;
 
-/// One message queued on an outbound link.
-#[derive(Debug)]
-pub(crate) struct OutFrame {
-    /// Per-link sequence number (assigned by the node at enqueue time).
-    pub seq: u64,
-    /// Earliest wall-clock instant the frame may leave (fault injection).
-    pub not_before: Instant,
-    /// The `Wire`-encoded protocol message.
-    pub payload: Vec<u8>,
-}
-
-/// Per-link telemetry a sender thread records, as registry handles with
-/// `{node, peer}` labels. Handles address cells get-or-created in the
-/// node's [`Registry`] — a replacement sender built over the *same*
-/// registry (a supervised restart) lands on the same cells, so long-run
-/// totals survive the teardown of the thread that accumulated them.
+/// Per-link telemetry, as registry handles with `{node, peer}` labels.
+/// Handles address cells get-or-created in the node's [`Registry`] — a
+/// replacement link built over the *same* registry (a supervised
+/// restart) lands on the same cells, so long-run totals survive the
+/// teardown of the incarnation that accumulated them.
 #[derive(Debug)]
 pub(crate) struct LinkStats {
     /// Frames written to the socket for the first time.
@@ -126,63 +120,62 @@ impl LinkStats {
     }
 }
 
-/// Spawns the sender thread for one peer, recording into `stats`; returns
-/// the enqueue handle and the thread handle.
-pub(crate) fn spawn_sender(
-    me: ProcessId,
-    peer_addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    stats: Arc<LinkStats>,
-) -> (mpsc::Sender<OutFrame>, JoinHandle<()>) {
-    let (tx, rx) = mpsc::channel::<OutFrame>();
-    let handle = thread::Builder::new()
-        .name(format!("netstack-send-{}-{peer_addr}", me.index()))
-        .spawn(move || Sender::new(me, peer_addr, stats).run(&rx, &shutdown))
-        .expect("spawning a sender thread");
-    (tx, handle)
+/// Event-loop I/O telemetry for one node, labelled `{node}`: the series
+/// the thread-per-connection → poll-loop rewrite is judged on.
+#[derive(Clone, Debug)]
+pub(crate) struct LoopStats {
+    /// Event-loop iterations (one poller wait each).
+    pub loop_ticks: Counter,
+    /// Readiness events the poller delivered to the loop.
+    pub poll_wakeups: Counter,
+    /// `read(2)`-family syscalls issued by the loop.
+    pub read_syscalls: Counter,
+    /// `write(2)`/`writev(2)` syscalls issued by the loop.
+    pub write_syscalls: Counter,
+    /// Frames offered to a single vectored write (the coalescing win:
+    /// the threaded runtime spent two write syscalls per frame).
+    pub frames_per_writev: Histogram,
 }
 
-/// One live connection plus the high-water mark of what has been written
-/// on *this* connection (reset on reconnect, which replays the backlog).
-#[derive(Debug)]
-struct Link {
-    stream: TcpStream,
-    written: Option<u64>,
-}
-
-/// The state of one outbound link's sender thread.
-#[derive(Debug)]
-struct Sender {
-    me: ProcessId,
-    peer_addr: SocketAddr,
-    stats: Arc<LinkStats>,
-    conn: Option<Link>,
-    /// Frames written (or waiting to be written) but not yet acked, in
-    /// sequence order. The front is the oldest unacked frame.
-    unacked: VecDeque<OutFrame>,
-    /// Bytes read off the stream that do not yet form a complete ack
-    /// frame (a 1 ms read timeout can split one across reads).
-    ack_buf: Vec<u8>,
-    /// Highest seq ever written on any connection; writes at or below it
-    /// count as retransmits.
-    ever_written: Option<u64>,
-    /// First-write instants of frames still awaiting their ack, for the
-    /// round-trip histogram. Populated only when the histogram records.
-    write_times: HashMap<u64, Instant>,
-    /// Running payload-byte total of the unacked backlog.
-    unacked_bytes: u64,
-    backoff: Duration,
-    next_dial: Instant,
-    /// xorshift64 state for redial jitter, seeded per-link so senders
-    /// that fail together do not redial in lockstep.
-    jitter: u64,
+impl LoopStats {
+    pub fn new(registry: &Registry, me: ProcessId) -> Self {
+        let node = me.index().to_string();
+        let labels: &[(&str, &str)] = &[("node", &node)];
+        LoopStats {
+            loop_ticks: registry.counter(
+                "bt_loop_ticks_total",
+                "event-loop iterations (one poller wait each)",
+                labels,
+            ),
+            poll_wakeups: registry.counter(
+                "bt_poll_wakeups_total",
+                "readiness events delivered by the poller",
+                labels,
+            ),
+            read_syscalls: registry.counter(
+                "bt_read_syscalls_total",
+                "read-family syscalls issued by the event loop",
+                labels,
+            ),
+            write_syscalls: registry.counter(
+                "bt_write_syscalls_total",
+                "write/writev syscalls issued by the event loop",
+                labels,
+            ),
+            frames_per_writev: registry.histogram(
+                "bt_frames_per_writev",
+                "frames offered to one vectored write",
+                labels,
+            ),
+        }
+    }
 }
 
 /// The actual wait before a redial: at least half the nominal backoff is
 /// honoured, the rest is uniform — so repeated failures still back off
-/// exponentially, but a cluster of senders whose shared peer died does
+/// exponentially, but a cluster of links whose shared peer died does
 /// not hammer its listener in synchronized waves when it comes back.
-fn jittered(nominal: Duration, draw: u64) -> Duration {
+pub(crate) fn jittered(nominal: Duration, draw: u64) -> Duration {
     let half = nominal / 2;
     let span = u64::try_from(half.as_micros())
         .unwrap_or(u64::MAX)
@@ -190,18 +183,171 @@ fn jittered(nominal: Duration, draw: u64) -> Duration {
     half + Duration::from_micros(draw % span)
 }
 
-impl Sender {
-    fn new(me: ProcessId, peer_addr: SocketAddr, stats: Arc<LinkStats>) -> Self {
-        Sender {
-            me,
+/// A queued wire chunk: owned bytes, or shared bytes out of a backlog.
+trait Chunk {
+    fn bytes(&self) -> &[u8];
+}
+
+impl Chunk for Vec<u8> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Chunk for Arc<Vec<u8>> {
+    fn bytes(&self) -> &[u8] {
+        self
+    }
+}
+
+/// Flushes a queue of byte chunks through one socket with vectored
+/// writes, resuming mid-chunk at `*off`. Returns `true` if the socket
+/// blocked (bytes remain queued), `false` if the queue drained.
+///
+/// # Errors
+///
+/// Propagates write errors; `WriteZero` if the peer stopped accepting.
+fn flush_chunks<B: Chunk>(
+    stream: &mut TcpStream,
+    wq: &mut VecDeque<B>,
+    off: &mut usize,
+    stats: &LoopStats,
+) -> io::Result<bool> {
+    while !wq.is_empty() {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(wq.len().min(MAX_IOV));
+        for (i, chunk) in wq.iter().take(MAX_IOV).enumerate() {
+            let bytes = chunk.bytes();
+            slices.push(IoSlice::new(if i == 0 { &bytes[*off..] } else { bytes }));
+        }
+        match stream.write_vectored(&slices) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(mut wrote) => {
+                stats.write_syscalls.inc();
+                stats.frames_per_writev.record(slices.len() as u64);
+                while wrote > 0 {
+                    let front_left = wq.front().expect("bytes imply a front").bytes().len() - *off;
+                    if wrote >= front_left {
+                        wrote -= front_left;
+                        *off = 0;
+                        wq.pop_front();
+                    } else {
+                        *off += wrote;
+                        wrote = 0;
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(false)
+}
+
+/// Reads everything currently available on a nonblocking socket into an
+/// accumulation buffer. Returns `true` on orderly EOF.
+///
+/// # Errors
+///
+/// Propagates read errors (connection reset and friends).
+fn drain_readable(
+    stream: &mut TcpStream,
+    rbuf: &mut Vec<u8>,
+    stats: &LoopStats,
+) -> io::Result<bool> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(true),
+            Ok(k) => {
+                stats.read_syscalls.inc();
+                rbuf.extend_from_slice(&buf[..k]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One message queued on an outbound link, pre-encoded to wire bytes.
+#[derive(Debug)]
+pub(crate) struct QueuedFrame {
+    /// Per-link sequence number (assigned by the node at enqueue time).
+    pub seq: u64,
+    /// Earliest wall-clock instant the frame may leave (fault injection).
+    /// Later frames on the link wait behind it, like a slow link.
+    pub not_before: Instant,
+    /// Payload byte count (for the backlog-bytes gauge).
+    pub payload_len: usize,
+    /// The full wire chunk: length prefix + encoded [`Frame::Msg`].
+    pub chunk: Arc<Vec<u8>>,
+}
+
+/// One live outbound connection: dialing or established, with its write
+/// queue and ack read buffer. Dropped wholesale on any failure — the
+/// durable state lives in [`Link`].
+#[derive(Debug)]
+pub(crate) struct OutConn {
+    pub stream: TcpStream,
+    /// This connection's poller token (stable per peer).
+    pub token: u64,
+    /// Still waiting for the nonblocking connect to resolve.
+    pub connecting: bool,
+    /// Highest backlog seq handed to this connection's write queue;
+    /// `None` right after (re)connecting, which is what makes the whole
+    /// backlog eligible for replay.
+    pub written: Option<u64>,
+    /// Wire chunks accepted for this connection but not yet fully
+    /// written; front chunk is `wq_off` bytes in.
+    wq: VecDeque<Arc<Vec<u8>>>,
+    wq_off: usize,
+    /// A write returned `WouldBlock`: wait for a writable event before
+    /// flushing again.
+    pub write_blocked: bool,
+    /// Bytes read off the socket that do not yet form a complete frame.
+    rbuf: Vec<u8>,
+}
+
+/// The durable per-peer outbound state: the ack-gated backlog plus
+/// redial bookkeeping. Lives exactly as long as the node, across any
+/// number of connections.
+#[derive(Debug)]
+pub(crate) struct Link {
+    pub peer_addr: SocketAddr,
+    pub stats: Arc<LinkStats>,
+    /// The pre-encoded `Hello` chunk opening every connection.
+    hello: Arc<Vec<u8>>,
+    /// Frames written (or waiting to be written) but not yet acked, in
+    /// sequence order. The front is the oldest unacked frame.
+    backlog: VecDeque<QueuedFrame>,
+    /// Running payload-byte total of the backlog.
+    unacked_bytes: u64,
+    /// Highest seq ever written on any connection; writes at or below it
+    /// count as retransmits.
+    ever_written: Option<u64>,
+    /// First-write instants of frames still awaiting their ack, for the
+    /// round-trip histogram. Populated only when the histogram records.
+    write_times: HashMap<u64, Instant>,
+    pub conn: Option<OutConn>,
+    backoff: Duration,
+    pub next_dial: Instant,
+    /// xorshift64 state for redial jitter, seeded per-link so links
+    /// that fail together do not redial in lockstep.
+    jitter: u64,
+}
+
+impl Link {
+    pub fn new(me: ProcessId, peer: usize, peer_addr: SocketAddr, registry: &Registry) -> Link {
+        Link {
             peer_addr,
-            stats,
-            conn: None,
-            unacked: VecDeque::new(),
-            ack_buf: Vec::new(),
+            stats: LinkStats::new(registry, me, peer),
+            hello: Arc::new(encode_chunk(&Frame::Hello { from: me })),
+            backlog: VecDeque::new(),
+            unacked_bytes: 0,
             ever_written: None,
             write_times: HashMap::new(),
-            unacked_bytes: 0,
+            conn: None,
             backoff: BACKOFF_INITIAL,
             next_dial: Instant::now(),
             jitter: 0x6a69_7474_6572u64 ^ ((me.index() as u64) << 20) ^ u64::from(peer_addr.port()),
@@ -215,166 +361,247 @@ impl Sender {
         self.jitter
     }
 
-    fn run(mut self, rx: &mpsc::Receiver<OutFrame>, shutdown: &AtomicBool) {
-        loop {
-            match rx.recv_timeout(POLL) {
-                Ok(out) => {
-                    // Honour the fault injector's delay. Per-link FIFO is
-                    // preserved: later frames on this link wait behind this
-                    // one, like a slow link.
-                    loop {
-                        let now = Instant::now();
-                        if now >= out.not_before {
-                            break;
-                        }
-                        if shutdown.load(Ordering::Relaxed) {
-                            return;
-                        }
-                        thread::sleep((out.not_before - now).min(POLL));
-                    }
-                    self.unacked_bytes += out.payload.len() as u64;
-                    self.unacked.push_back(out);
-                    self.stats.queue_depth.set(self.unacked.len() as u64);
-                    self.stats.backlog_bytes.set(self.unacked_bytes);
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if shutdown.load(Ordering::Relaxed) {
-                        return;
-                    }
-                }
-                // The node dropped the queue: shutdown, exit.
-                Err(mpsc::RecvTimeoutError::Disconnected) => return,
-            }
-            self.pump();
-        }
+    /// True when the link has something a connection could transmit.
+    pub fn wants_conn(&self) -> bool {
+        self.conn.is_none() && !self.backlog.is_empty()
     }
 
-    /// One maintenance pass: (re)dial if the backlog needs a connection,
-    /// write everything not yet on this connection, drain acks. Never
-    /// blocks longer than a dial attempt plus [`ACK_POLL`].
-    fn pump(&mut self) {
-        if self.conn.is_none() {
-            if self.unacked.is_empty() || Instant::now() < self.next_dial {
-                return; // nothing to send, or still backing off
-            }
-            match dial(self.me, self.peer_addr) {
-                Ok(stream) => {
-                    self.conn = Some(Link {
-                        stream,
-                        written: None, // replay the whole backlog
-                    });
-                    self.backoff = BACKOFF_INITIAL;
-                    self.ack_buf.clear();
-                }
-                Err(_) => {
-                    let draw = self.next_jitter();
-                    self.next_dial = Instant::now() + jittered(self.backoff, draw);
-                    self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
-                    return;
-                }
-            }
-        }
-        if self.flush().is_err() || self.drain_acks().is_err() {
-            // The connection died; the unflushed and unacked frames are
-            // all still in the backlog and will replay on reconnect.
+    /// Queues one frame on the ack-gated backlog.
+    pub fn enqueue(&mut self, frame: QueuedFrame) {
+        self.unacked_bytes += frame.payload_len as u64;
+        self.backlog.push_back(frame);
+        self.stats.queue_depth.set(self.backlog.len() as u64);
+        self.stats.backlog_bytes.set(self.unacked_bytes);
+    }
+
+    /// Adopts a freshly dialed connection (possibly still connecting):
+    /// the handshake chunk is queued and the whole backlog becomes
+    /// eligible for (re)play.
+    pub fn adopt(&mut self, stream: TcpStream, token: u64, connecting: bool) {
+        let mut wq = VecDeque::new();
+        wq.push_back(Arc::clone(&self.hello));
+        self.conn = Some(OutConn {
+            stream,
+            token,
+            connecting,
+            written: None,
+            wq,
+            wq_off: 0,
+            write_blocked: false,
+            rbuf: Vec::new(),
+        });
+    }
+
+    /// Resets the redial backoff — called when a connect actually
+    /// completes (not when an in-flight dial is merely adopted, so a
+    /// dead peer still sees exponential backoff between attempts).
+    pub fn dial_succeeded(&mut self) {
+        self.backoff = BACKOFF_INITIAL;
+    }
+
+    /// Tears down the connection after a failure. `established` marks a
+    /// connection that had completed its dial — those count as
+    /// reconnects and redial immediately; a failed dial backs off
+    /// (jittered, exponential) instead.
+    pub fn conn_failed(&mut self, established: bool) {
+        self.conn = None;
+        if established {
             self.stats.reconnects.inc();
-            self.conn = None;
             self.next_dial = Instant::now();
+        } else {
+            let draw = self.next_jitter();
+            self.next_dial = Instant::now() + jittered(self.backoff, draw);
+            self.backoff = (self.backoff * 2).min(BACKOFF_MAX);
         }
     }
 
-    /// Writes every backlog frame not yet written on this connection.
-    fn flush(&mut self) -> io::Result<()> {
-        let link = self.conn.as_mut().expect("flush requires a connection");
-        for f in &self.unacked {
-            if link.written.is_some_and(|w| f.seq <= w) {
+    /// Moves every transmittable backlog frame onto the connection's
+    /// write queue and flushes with vectored writes. Transmittable means
+    /// past the connection's written watermark and released by the fault
+    /// injector's delay — a delayed frame holds later frames back (FIFO).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors: the caller tears the connection down
+    /// (the backlog keeps every unacked frame for the replay).
+    pub fn pump(&mut self, now: Instant, stats: &LoopStats) -> io::Result<()> {
+        let Some(conn) = &mut self.conn else {
+            return Ok(());
+        };
+        if conn.connecting {
+            return Ok(());
+        }
+        for f in &self.backlog {
+            if conn.written.is_some_and(|w| f.seq <= w) {
                 continue;
             }
-            write_frame(
-                &mut link.stream,
-                &Frame::Msg {
-                    seq: f.seq,
-                    payload: f.payload.clone(),
-                },
-            )?;
-            link.written = Some(f.seq);
+            if f.not_before > now {
+                break;
+            }
+            conn.wq.push_back(Arc::clone(&f.chunk));
+            conn.written = Some(f.seq);
             if self.ever_written.is_some_and(|w| f.seq <= w) {
                 self.stats.retransmits.inc();
             } else {
                 self.ever_written = Some(f.seq);
                 self.stats.frames_sent.inc();
                 if self.stats.ack_rtt_us.enabled() {
-                    self.write_times.insert(f.seq, Instant::now());
+                    self.write_times.insert(f.seq, now);
                 }
             }
+        }
+        if conn.write_blocked {
+            return Ok(()); // wait for the writable event
+        }
+        conn.write_blocked = flush_chunks(&mut conn.stream, &mut conn.wq, &mut conn.wq_off, stats)?;
+        Ok(())
+    }
+
+    /// Handles a writable event: clears the block and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors, as [`Link::pump`].
+    pub fn on_writable(&mut self, now: Instant, stats: &LoopStats) -> io::Result<()> {
+        if let Some(conn) = &mut self.conn {
+            conn.write_blocked = false;
+        }
+        self.pump(now, stats)
+    }
+
+    /// Handles a readable event on the outbound connection: drains the
+    /// socket, parses ack frames, retires covered backlog frames.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors, EOF (`UnexpectedEof`), and unparseable bytes
+    /// (`InvalidData`) — in every case the caller tears down.
+    pub fn on_readable(&mut self, stats: &LoopStats) -> io::Result<()> {
+        let Some(conn) = &mut self.conn else {
+            return Ok(());
+        };
+        let eof = drain_readable(&mut conn.stream, &mut conn.rbuf, stats)?;
+        let mut frames = Vec::new();
+        drain_frames(&mut conn.rbuf, &mut frames)?;
+        for frame in frames {
+            if let Frame::Ack { next } = frame {
+                self.on_ack(next);
+            }
+            // Anything else coming back on an outbound connection is
+            // ignored; the peer's inbound path only ever writes acks.
+        }
+        if eof {
+            return Err(io::ErrorKind::UnexpectedEof.into());
         }
         Ok(())
     }
 
-    /// Reads whatever ack bytes are available (waiting at most
-    /// [`ACK_POLL`]) and retires every frame a cumulative ack covers.
-    fn drain_acks(&mut self) -> io::Result<()> {
-        let link = self.conn.as_mut().expect("drain requires a connection");
-        let mut buf = [0u8; 512];
-        match link.stream.read(&mut buf) {
-            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
-            Ok(k) => self.ack_buf.extend_from_slice(&buf[..k]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(e),
+    /// Retires every backlog frame a cumulative ack covers.
+    pub fn on_ack(&mut self, next: u64) {
+        while self.backlog.front().is_some_and(|f| f.seq < next) {
+            let f = self.backlog.pop_front().expect("front was Some");
+            self.unacked_bytes -= f.payload_len as u64;
+            if let Some(t) = self.write_times.remove(&f.seq) {
+                self.stats.ack_rtt_us.record_us(t.elapsed());
+            }
         }
-        // Parse complete frames out of the accumulation buffer; a partial
-        // frame at the tail stays for the next drain.
-        let mut consumed = 0;
-        while self.ack_buf.len() - consumed >= 4 {
-            let len_bytes: [u8; 4] = self.ack_buf[consumed..consumed + 4]
-                .try_into()
-                .expect("4-byte slice");
-            let len = u32::from_be_bytes(len_bytes) as usize;
-            if len > MAX_FRAME_LEN {
-                return Err(io::ErrorKind::InvalidData.into());
-            }
-            if self.ack_buf.len() - consumed - 4 < len {
-                break;
-            }
-            let body = &self.ack_buf[consumed + 4..consumed + 4 + len];
-            consumed += 4 + len;
-            let Ok(frame) = Frame::from_bytes(body) else {
-                return Err(io::ErrorKind::InvalidData.into());
-            };
-            if let Frame::Ack { next } = frame {
-                while self.unacked.front().is_some_and(|f| f.seq < next) {
-                    let f = self.unacked.pop_front().expect("front was Some");
-                    self.unacked_bytes -= f.payload.len() as u64;
-                    if let Some(t) = self.write_times.remove(&f.seq) {
-                        self.stats.ack_rtt_us.record_us(t.elapsed());
-                    }
-                }
-                self.stats.acked.set_max(next);
-                self.stats.queue_depth.set(self.unacked.len() as u64);
-                self.stats.backlog_bytes.set(self.unacked_bytes);
-            }
-            // Anything else coming back on an outbound connection is
-            // ignored; the peer's reader only ever writes acks.
+        self.stats.acked.set_max(next);
+        self.stats.queue_depth.set(self.backlog.len() as u64);
+        self.stats.backlog_bytes.set(self.unacked_bytes);
+    }
+
+    /// The earliest instant this link needs attention without any
+    /// readiness event: its redial time, or the release of a delayed
+    /// frame at the transmit head. `None` when only readiness matters.
+    pub fn next_deadline(&self, now: Instant) -> Option<Instant> {
+        if self.conn.is_none() {
+            return self.wants_conn().then_some(self.next_dial);
         }
-        self.ack_buf.drain(..consumed);
-        Ok(())
+        let conn = self.conn.as_ref().expect("checked above");
+        if conn.connecting {
+            return None;
+        }
+        for f in &self.backlog {
+            if conn.written.is_some_and(|w| f.seq <= w) {
+                continue;
+            }
+            if f.not_before > now {
+                return Some(f.not_before);
+            }
+            // An undelayed untransmitted frame means pump() should run
+            // now; report it as an immediate deadline.
+            return Some(now);
+        }
+        None
     }
 }
 
-/// Dials the peer, performs the hello handshake, and arms the short read
-/// timeout used to drain acks without blocking the write path.
-fn dial(me: ProcessId, peer_addr: SocketAddr) -> io::Result<TcpStream> {
-    let mut stream = TcpStream::connect(peer_addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(ACK_POLL))?;
-    write_frame(&mut stream, &Frame::Hello { from: me })?;
-    Ok(stream)
+/// One accepted inbound connection: handshake, incremental read
+/// framing, and the (rarely blocking) ack write queue.
+#[derive(Debug)]
+pub(crate) struct InConn {
+    pub stream: TcpStream,
+    /// The peer that said Hello; `None` until the handshake frame.
+    pub peer: Option<ProcessId>,
+    rbuf: Vec<u8>,
+    /// Encoded ack frames not yet fully written.
+    wq: VecDeque<Vec<u8>>,
+    wq_off: usize,
+    pub write_blocked: bool,
+}
+
+impl InConn {
+    pub fn new(stream: TcpStream) -> InConn {
+        InConn {
+            stream,
+            peer: None,
+            rbuf: Vec::new(),
+            wq: VecDeque::new(),
+            wq_off: 0,
+            write_blocked: false,
+        }
+    }
+
+    /// Drains the socket and parses complete frames into `out`.
+    /// Returns `true` on orderly EOF (process `out`, then tear down).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and unparseable bytes; the caller tears down.
+    pub fn read_frames(&mut self, out: &mut Vec<Frame>, stats: &LoopStats) -> io::Result<bool> {
+        let eof = drain_readable(&mut self.stream, &mut self.rbuf, stats)?;
+        drain_frames(&mut self.rbuf, out)?;
+        Ok(eof)
+    }
+
+    /// Queues a cumulative ack for the peer; flushed by
+    /// [`InConn::flush`] at the end of the event batch.
+    pub fn queue_ack(&mut self, next: u64) {
+        self.wq.push_back(encode_chunk(&Frame::Ack { next }));
+    }
+
+    /// Flushes queued acks (vectored, one syscall for a whole batch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; the caller tears down.
+    pub fn flush(&mut self, stats: &LoopStats) -> io::Result<()> {
+        if self.write_blocked {
+            return Ok(());
+        }
+        self.write_blocked = flush_chunks(&mut self.stream, &mut self.wq, &mut self.wq_off, stats)?;
+        Ok(())
+    }
+
+    /// Handles a writable event: clears the block and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; the caller tears down.
+    pub fn on_writable(&mut self, stats: &LoopStats) -> io::Result<()> {
+        self.write_blocked = false;
+        self.flush(stats)
+    }
 }
 
 #[cfg(test)]
@@ -385,18 +612,16 @@ mod tests {
 
     use super::*;
 
-    fn read_msg(conn: &mut TcpStream) -> (u64, Vec<u8>) {
-        match read_frame(conn).unwrap() {
-            Frame::Msg { seq, payload } => (seq, payload),
-            other => panic!("expected a Msg frame, got {other:?}"),
-        }
+    fn test_stats() -> LoopStats {
+        LoopStats::new(&Registry::new(), ProcessId::new(0))
     }
 
-    fn wait_until(what: &str, mut done: impl FnMut() -> bool) {
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while !done() {
-            assert!(Instant::now() < deadline, "timed out waiting for {what}");
-            thread::sleep(Duration::from_millis(5));
+    fn msg_chunk(seq: u64, payload: Vec<u8>) -> QueuedFrame {
+        QueuedFrame {
+            seq,
+            not_before: Instant::now(),
+            payload_len: payload.len(),
+            chunk: Arc::new(encode_chunk(&Frame::Msg { seq, payload })),
         }
     }
 
@@ -417,33 +642,22 @@ mod tests {
     }
 
     #[test]
-    fn sender_retransmits_unacked_backlog_across_reconnects() {
+    fn link_replays_unacked_backlog_across_reconnects() {
         let Ok(listener) = TcpListener::bind(("127.0.0.1", 0)) else {
             eprintln!("skipping: loopback sockets unavailable in this sandbox");
             return;
         };
         let addr = listener.local_addr().unwrap();
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = test_stats();
         let registry = Registry::new();
-        let stats = LinkStats::new(&registry, ProcessId::new(0), 1);
-        let (tx, handle) = spawn_sender(
-            ProcessId::new(0),
-            addr,
-            Arc::clone(&shutdown),
-            Arc::clone(&stats),
-        );
-
+        let mut link = Link::new(ProcessId::new(0), 1, addr, &registry);
         for seq in 0..2 {
-            tx.send(OutFrame {
-                seq,
-                not_before: Instant::now(),
-                payload: vec![seq as u8],
-            })
-            .unwrap();
+            link.enqueue(msg_chunk(seq, vec![seq as u8]));
         }
 
-        // First connection: hello + both frames arrive. No acks are sent,
-        // so nothing is retired.
+        // First connection: hello + both frames arrive in one writev.
+        link.adopt(TcpStream::connect(addr).unwrap(), 1, false);
+        link.pump(Instant::now(), &stats).unwrap();
         let (mut conn, _) = listener.accept().unwrap();
         assert_eq!(
             read_frame(&mut conn).unwrap(),
@@ -451,14 +665,20 @@ mod tests {
                 from: ProcessId::new(0)
             }
         );
-        assert_eq!(read_msg(&mut conn).0, 0);
-        assert_eq!(read_msg(&mut conn).0, 1);
+        for want in 0..2 {
+            match read_frame(&mut conn).unwrap() {
+                Frame::Msg { seq, .. } => assert_eq!(seq, want),
+                other => panic!("expected Msg, got {other:?}"),
+            }
+        }
+        assert_eq!(stats.write_syscalls.get(), 1, "one coalesced writev");
 
-        // Kill the connection. The sender notices (its ack drain hits EOF
-        // or a write fails), redials, and — because no ack ever covered
-        // them — must replay BOTH frames in order, not just the one that
-        // errored mid-write.
+        // The peer dies without acking: both frames must replay, from 0.
         drop(conn);
+        link.conn_failed(true);
+        assert!(link.stats.reconnects.get() >= 1);
+        link.adopt(TcpStream::connect(addr).unwrap(), 1, false);
+        link.pump(Instant::now(), &stats).unwrap();
         let (mut conn, _) = listener.accept().unwrap();
         assert_eq!(
             read_frame(&mut conn).unwrap(),
@@ -466,14 +686,11 @@ mod tests {
                 from: ProcessId::new(0)
             }
         );
-        assert_eq!(read_msg(&mut conn).0, 0, "unacked backlog replays from 0");
-        assert_eq!(read_msg(&mut conn).0, 1);
-        assert!(stats.reconnects.get() >= 1);
-        assert!(stats.retransmits.get() >= 2);
-
-        shutdown.store(true, Ordering::Relaxed);
-        drop(tx);
-        handle.join().unwrap();
+        match read_frame(&mut conn).unwrap() {
+            Frame::Msg { seq, .. } => assert_eq!(seq, 0, "unacked backlog replays from 0"),
+            other => panic!("expected Msg, got {other:?}"),
+        }
+        assert_eq!(link.stats.retransmits.get(), 2);
     }
 
     #[test]
@@ -483,25 +700,24 @@ mod tests {
             return;
         };
         let addr = listener.local_addr().unwrap();
-        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = test_stats();
         let registry = Registry::new();
-        let stats = LinkStats::new(&registry, ProcessId::new(0), 1);
-        let (tx, handle) = spawn_sender(
-            ProcessId::new(0),
-            addr,
-            Arc::clone(&shutdown),
-            Arc::clone(&stats),
-        );
-
+        let mut link = Link::new(ProcessId::new(0), 1, addr, &registry);
         for seq in 0..3 {
-            tx.send(OutFrame {
-                seq,
-                not_before: Instant::now(),
-                payload: vec![seq as u8],
-            })
-            .unwrap();
+            link.enqueue(msg_chunk(seq, vec![seq as u8]));
         }
+        link.adopt(TcpStream::connect(addr).unwrap(), 1, false);
+        link.pump(Instant::now(), &stats).unwrap();
+        let (_conn, _) = listener.accept().unwrap();
+        assert_eq!(link.stats.frames_sent.get(), 3);
 
+        // A cumulative ack retires 0 and 1; a reconnect replays only 2.
+        link.on_ack(2);
+        assert_eq!(link.stats.acked.get(), 2);
+        assert_eq!(link.stats.queue_depth.get(), 1);
+        link.conn_failed(true);
+        link.adopt(TcpStream::connect(addr).unwrap(), 1, false);
+        link.pump(Instant::now(), &stats).unwrap();
         let (mut conn, _) = listener.accept().unwrap();
         assert_eq!(
             read_frame(&mut conn).unwrap(),
@@ -509,30 +725,54 @@ mod tests {
                 from: ProcessId::new(0)
             }
         );
-        for want in 0..3 {
-            assert_eq!(read_msg(&mut conn).0, want);
+        match read_frame(&mut conn).unwrap() {
+            Frame::Msg { seq, .. } => assert_eq!(seq, 2, "acked frames must not replay"),
+            other => panic!("expected Msg, got {other:?}"),
         }
-
-        // Ack frames 0 and 1; wait until the sender has processed it.
-        write_frame(&mut conn, &Frame::Ack { next: 2 }).unwrap();
-        wait_until("ack watermark to reach 2", || stats.acked.get() >= 2);
-
-        // Reconnect: only the unacked frame 2 replays.
-        drop(conn);
-        let (mut conn, _) = listener.accept().unwrap();
-        assert_eq!(
-            read_frame(&mut conn).unwrap(),
-            Frame::Hello {
-                from: ProcessId::new(0)
-            }
-        );
-        assert_eq!(read_msg(&mut conn).0, 2, "acked frames must not replay");
-        assert_eq!(stats.frames_sent.get(), 3);
-        let rtt = stats.ack_rtt_us.snapshot();
+        assert_eq!(link.stats.frames_sent.get(), 3);
+        let rtt = link.stats.ack_rtt_us.snapshot();
         assert_eq!(rtt.count, 2, "both retired frames record a round trip");
+    }
 
-        shutdown.store(true, Ordering::Relaxed);
-        drop(tx);
-        handle.join().unwrap();
+    #[test]
+    fn delayed_frame_holds_later_frames_back() {
+        let Ok(listener) = TcpListener::bind(("127.0.0.1", 0)) else {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        };
+        let addr = listener.local_addr().unwrap();
+        let stats = test_stats();
+        let registry = Registry::new();
+        let mut link = Link::new(ProcessId::new(0), 1, addr, &registry);
+        let now = Instant::now();
+        let release = now + Duration::from_millis(50);
+        link.enqueue(QueuedFrame {
+            not_before: release,
+            ..msg_chunk(0, vec![0])
+        });
+        link.enqueue(msg_chunk(1, vec![1]));
+        link.adopt(TcpStream::connect(addr).unwrap(), 1, false);
+        let (_conn, _) = listener.accept().unwrap();
+
+        // Before the release instant nothing but the hello may leave —
+        // frame 1 is undelayed but FIFO holds it behind frame 0.
+        link.pump(now, &stats).unwrap();
+        assert_eq!(
+            link.stats.frames_sent.get(),
+            0,
+            "delayed head gates the link"
+        );
+        assert_eq!(
+            link.next_deadline(now),
+            Some(release),
+            "timer is the release"
+        );
+
+        link.pump(release, &stats).unwrap();
+        assert_eq!(
+            link.stats.frames_sent.get(),
+            2,
+            "both frames leave at release"
+        );
     }
 }

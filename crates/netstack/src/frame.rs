@@ -124,6 +124,62 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
     w.flush()
 }
 
+/// Encodes one frame to its on-wire bytes — length prefix and body in a
+/// single buffer, ready to be handed to a vectored write (and shared via
+/// `Arc` between a retransmission backlog and an in-flight write queue
+/// without copying).
+///
+/// # Panics
+///
+/// Panics if the frame body exceeds [`MAX_FRAME_LEN`] — protocol
+/// messages are orders of magnitude smaller, so an oversized *outbound*
+/// frame is a bug, not an input.
+#[must_use]
+pub fn encode_chunk(frame: &Frame) -> Vec<u8> {
+    let mut chunk = vec![0u8; 4];
+    frame.encode(&mut chunk);
+    let len = chunk.len() - 4;
+    assert!(len <= MAX_FRAME_LEN, "outbound frame of {len} bytes");
+    chunk[..4].copy_from_slice(&u32::try_from(len).expect("len fits u32").to_be_bytes());
+    chunk
+}
+
+/// Extracts every complete frame from the front of an accumulation
+/// buffer, leaving a partial frame (if any) in place for the next read.
+/// The nonblocking read path's counterpart to [`read_frame`].
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] when the stream is unparseable: a
+/// length prefix above [`MAX_FRAME_LEN`] or a body that is not a valid
+/// [`Frame`]. The connection carrying such bytes is beyond resync and
+/// should be dropped.
+pub fn drain_frames(buf: &mut Vec<u8>, out: &mut Vec<Frame>) -> io::Result<()> {
+    let mut consumed = 0;
+    while buf.len() - consumed >= 4 {
+        let len_bytes: [u8; 4] = buf[consumed..consumed + 4]
+            .try_into()
+            .expect("4-byte slice");
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("peer announced a {len}-byte frame"),
+            ));
+        }
+        if buf.len() - consumed - 4 < len {
+            break;
+        }
+        let body = &buf[consumed + 4..consumed + 4 + len];
+        consumed += 4 + len;
+        let frame = Frame::from_bytes(body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad frame: {e}")))?;
+        out.push(frame);
+    }
+    buf.drain(..consumed);
+    Ok(())
+}
+
 /// Reads one frame, blocking until it is complete.
 ///
 /// # Errors
@@ -181,6 +237,54 @@ mod tests {
         assert_eq!(
             read_frame(&mut r).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn encode_chunk_matches_write_frame_bytes() {
+        let frame = Frame::Msg {
+            seq: 9,
+            payload: vec![4, 5, 6],
+        };
+        let mut via_writer = Vec::new();
+        write_frame(&mut via_writer, &frame).unwrap();
+        assert_eq!(encode_chunk(&frame), via_writer);
+    }
+
+    #[test]
+    fn drain_frames_handles_partials_and_batches() {
+        let frames = [
+            Frame::Ack { next: 3 },
+            Frame::Msg {
+                seq: 1,
+                payload: vec![7; 40],
+            },
+            Frame::Hello {
+                from: ProcessId::new(2),
+            },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_chunk(f));
+        }
+        // Feed the bytes in awkward slices: every prefix length from 0
+        // to the full stream must yield exactly the completed frames.
+        for split in 0..wire.len() {
+            let mut buf = wire[..split].to_vec();
+            let mut out = Vec::new();
+            drain_frames(&mut buf, &mut out).unwrap();
+            let mut rest = wire[split..].to_vec();
+            buf.append(&mut rest);
+            drain_frames(&mut buf, &mut out).unwrap();
+            assert_eq!(out, frames, "split at {split}");
+            assert!(buf.is_empty(), "split at {split} left residue");
+        }
+        // A poisoned length prefix is an error, not a hang.
+        let mut bad = u32::MAX.to_be_bytes().to_vec();
+        let mut out = Vec::new();
+        assert_eq!(
+            drain_frames(&mut bad, &mut out).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
         );
     }
 

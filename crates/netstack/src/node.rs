@@ -1,27 +1,41 @@
-//! One networked consensus node: a [`Process`] state machine, its event
-//! loop, and its socket plumbing.
+//! One networked consensus node: a [`Process`] state machine driven by a
+//! single nonblocking event loop that owns every socket.
 //!
 //! A node runs the *same* state machine the simulator runs — the type is
 //! `Box<dyn Process<Msg = M> + Send>`, unchanged — but the engine around
-//! it is threads and sockets instead of a discrete-event loop:
+//! it is one poll loop instead of a discrete-event scheduler:
 //!
 //! ```text
-//!            ┌────────────────────────────── node ─────────────────────────────┐
-//!  peers ──▶ │ acceptor ─▶ readers ─▶ inbound queue ─▶ event loop ─▶ Process  │
-//!            │                (seq dedup, acks,            │   ▲               │
-//!            │                 wire validation)         outbox  rng (seeded)   │
-//!            │                                             │                   │
-//!            │          WAL (log-before-send) ◀── deliveries                   │
-//!            │            fault injector ─▶ per-peer sender threads ──────────▶│ ──▶ peers
-//!            └──────────────────────────────────────────────────────────────────┘
+//!           ┌───────────────────────── node (ONE thread) ─────────────────────┐
+//! peers ──▶ │ listener ─▶ inbound conns ─▶ seq dedup / acks / wire validation │
+//!           │                  │                          │                   │
+//!           │               poller ◀── readiness ──▶   Process ◀── rng (seeded)
+//!           │                  │                          │                   │
+//!           │        WAL (log-before-send) ◀────── deliveries                 │
+//!           │          fault injector ─▶ per-peer links (ack-gated backlog,   │
+//!           │                            coalesced writev) ──────────────────▶│ ──▶ peers
+//!           └──────────────────────────────────────────────────────────────────┘
 //! ```
 //!
-//! The event loop is the only thread that touches the process, so the
-//! state machine needs no locking and keeps the simulator's atomic-step
-//! semantics: one delivery, one computation, a finite set of sends that
-//! leave before the next delivery is consumed. Self-addressed sends (the
-//! paper's broadcasts include the sender) never touch a socket: they sit
-//! in an event-loop-owned queue, which also makes them checkpointable.
+//! The event thread is the only thread, full stop: it accepts, reads,
+//! frames, dedups, delivers, journals, and writes. The previous runtime
+//! spent `2 + 2(n-1)` threads per node (acceptor, event loop, a reader
+//! and a sender per peer) — `O(n²)` threads per cluster; this one spends
+//! exactly one per node. The process still needs no locking and keeps
+//! the simulator's atomic-step semantics: one delivery, one computation,
+//! a finite set of sends that leave before the next delivery is
+//! consumed. Self-addressed sends (the paper's broadcasts include the
+//! sender) never touch a socket: they sit in a loop-owned queue, which
+//! also makes them checkpointable.
+//!
+//! Per tick the loop waits on the poller (capped at [`POLL`] so shutdown
+//! and timers stay responsive, shortened to the next link deadline —
+//! a redial or a fault-injected delay release), handles each readiness
+//! event by draining the socket until `WouldBlock` (the edge-triggered
+//! contract), and then pumps every outbound link once: eligible backlog
+//! frames are coalesced into a single vectored write per peer. Acks for
+//! a batch of inbound frames are likewise flushed once per event, not
+//! once per frame.
 //!
 //! # Crash recovery
 //!
@@ -33,45 +47,42 @@
 //! replay need not start from genesis.
 //!
 //! The invariant is **log-before-send**: a delivery is durable before any
-//! message it produces reaches a socket. A restarted node replays its log,
-//! re-derives exactly the state it had durably reached, and re-sends
-//! byte-identical frames under the same sequence numbers — pure
-//! retransmission, absorbed by the receivers' seq-dedup. A recovered node
-//! can therefore never emit two different payloads for the same sequence
-//! slot; receivers cross-check this with per-`(peer, seq)` payload hashes
-//! and count violations in [`NetCounters::equivocations`].
+//! message it produces reaches a socket. The event loop appends inside
+//! [`Loop::deliver`] and flushes sockets only afterwards, so the order
+//! holds by construction. A restarted node replays its log, re-derives
+//! exactly the state it had durably reached, and re-sends byte-identical
+//! frames under the same sequence numbers — pure retransmission, absorbed
+//! by the receivers' seq-dedup. A recovered node can therefore never emit
+//! two different payloads for the same sequence slot; receivers
+//! cross-check this with per-`(peer, seq)` payload hashes and count
+//! violations in [`NetCounters::equivocations`].
 //!
-//! When the WAL is on, acks are *durability-gated*: a reader acknowledges
-//! only what the event loop has journalled, never what merely sits in the
-//! inbound queue, so a sender cannot retire a frame this node could still
-//! lose to a crash.
+//! When the WAL is on, acks are *durability-gated*: the loop acknowledges
+//! only what it has journalled, so a sender cannot retire a frame this
+//! node could still lose to a crash. (Because the journal append happens
+//! before the ack is computed, the ack for a just-delivered frame already
+//! covers it — the watermark is never stale, only conservative for
+//! frames that were rejected at the wire.)
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use obs::metrics::{Counter, Histogram, Registry, Snapshot};
 use simnet::{Ctx, Envelope, Event, Process, ProcessId, SharedSubscriber, SimRng, Wire};
 
-use crate::conn::{spawn_sender, LinkStats, OutFrame};
+use crate::conn::{InConn, Link, LinkStats, LoopStats, QueuedFrame};
 use crate::fault::{FaultInjector, FaultPlan, LinkAction};
-use crate::frame::{read_frame, write_frame, Frame};
+use crate::frame::{encode_chunk, Frame};
+use crate::poll::{connect_nonblocking, Dial, PollEvent, Poller};
 use crate::wal::{BootRecord, DeliveryRecord, SnapshotRecord, Wal, WalRecord};
-
-/// Accepted-connection registry: stream clones by token, so shutdown can
-/// unblock readers and each reader can prune its own entry when its
-/// connection dies.
-type StreamRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
-
-/// Per-peer map of delivered sequence number → payload hash, shared by
-/// all reader threads: the receiver-side no-equivocation cross-check.
-type PayloadHashes = Arc<Mutex<Vec<HashMap<u64, u64>>>>;
 
 /// Locks a [`NodeStatus`] mutex, tolerating poisoning: the event loop may
 /// die mid-update (see [`NodeStatus::died`]) and the snapshot must stay
@@ -80,8 +91,17 @@ fn lock_status(status: &Mutex<NodeStatus>) -> MutexGuard<'_, NodeStatus> {
     status.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// How often blocked threads re-check the shutdown flag.
+/// The poller-wait cap: how often the loop re-checks the shutdown flag
+/// even when no socket stirs and no timer is due.
 const POLL: Duration = Duration::from_millis(20);
+
+/// Token of the listening socket in the poller.
+const TOKEN_LISTENER: u64 = 0;
+/// Outbound link tokens: `OUT_BASE + peer_index`, stable for the life of
+/// the node (each peer has at most one outbound connection at a time).
+const OUT_BASE: u64 = 1;
+/// Inbound connection tokens count up from here, never reused.
+const IN_BASE: u64 = 1 << 32;
 
 /// FNV-1a 64-bit hash of a payload — cheap, dependency-free, and plenty
 /// for flagging a restarted sender that re-sends different bytes under a
@@ -327,7 +347,6 @@ pub struct NodeHandle {
     registry: Arc<Registry>,
     next_seq: Arc<Mutex<Vec<u64>>>,
     shutdown: Arc<AtomicBool>,
-    streams: StreamRegistry,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -439,19 +458,11 @@ impl NodeHandle {
         self.next_seq.lock().unwrap_or_else(PoisonError::into_inner)[peer.index()]
     }
 
-    /// Asks every thread to stop, unblocks them, and joins them. Safe to
+    /// Asks the event thread to stop and joins it. The loop re-checks the
+    /// flag at least every [`POLL`], so this returns promptly. Safe to
     /// call more than once.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock reader threads stuck in read_exact.
-        for s in self
-            .streams
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .values()
-        {
-            let _ = s.shutdown(std::net::Shutdown::Both);
-        }
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -495,18 +506,18 @@ enum BootMode {
 /// node dials, so a dial failure is transient, never fatal.
 ///
 /// With [`NodeConfig::wal`] set and prior history on disk, recovery runs
-/// *synchronously here*, before the acceptor starts: the sequence tables
-/// are initialized from the log, the snapshot (if any) is restored, the
-/// logged deliveries are replayed through the state machine, and the
-/// resulting (byte-identical) frames are re-offered to the senders. Only
-/// then do readers begin consulting the tables, so a frame arriving
-/// mid-recovery can never be mistaken for new.
+/// *synchronously here*, before the event thread starts accepting: the
+/// sequence tables are initialized from the log, the snapshot (if any)
+/// is restored, the logged deliveries are replayed through the state
+/// machine, and the resulting (byte-identical) frames are re-queued on
+/// the links. Only then does the loop begin consulting the tables, so a
+/// frame arriving mid-recovery can never be mistaken for new.
 ///
 /// # Errors
 ///
-/// Propagates listener configuration failures and WAL I/O errors, and
-/// rejects a WAL that belongs to a different node/configuration or whose
-/// snapshot is inconsistent with this system (`InvalidData`).
+/// Propagates listener/poller configuration failures and WAL I/O errors,
+/// and rejects a WAL that belongs to a different node/configuration or
+/// whose snapshot is inconsistent with this system (`InvalidData`).
 pub fn spawn<M>(
     cfg: NodeConfig,
     listener: TcpListener,
@@ -528,9 +539,7 @@ where
         .unwrap_or_else(|| Arc::new(Registry::new()));
     let counters = Arc::new(NetCounters::new(&registry, cfg.id));
     let metrics = NodeMetrics::new(&registry, cfg.id);
-    let streams: StreamRegistry = Arc::new(Mutex::new(HashMap::new()));
-    let payload_hashes: PayloadHashes = Arc::new(Mutex::new(vec![HashMap::new(); cfg.n]));
-    let mut threads = Vec::new();
+    let io_stats = LoopStats::new(&registry, cfg.id);
 
     // Open the WAL (if configured) and decide fresh start vs. restart
     // before anything touches a socket.
@@ -590,25 +599,17 @@ where
     let durable_next: Arc<Vec<AtomicU64>> =
         Arc::new(initial_next.iter().map(|&v| AtomicU64::new(v)).collect());
 
-    // Inbound: readers push decoded envelopes, the event loop pops them.
-    let (inbound_tx, inbound_rx) = mpsc::channel::<(ProcessId, u64, M)>();
-
-    // Outbound: one sender thread per remote peer.
-    let mut peer_txs: Vec<Option<mpsc::Sender<OutFrame>>> = Vec::with_capacity(cfg.n);
+    // Outbound: one passive link per remote peer, owned by the loop.
+    let mut links: Vec<Option<Link>> = Vec::with_capacity(cfg.n);
     let mut link_stats = Vec::new();
-    let mut link_stats_by_peer: Vec<Option<Arc<LinkStats>>> = Vec::with_capacity(cfg.n);
     for (i, addr) in peers.iter().enumerate() {
         if i == cfg.id.index() {
-            peer_txs.push(None);
-            link_stats_by_peer.push(None);
+            links.push(None);
             continue;
         }
-        let stats = LinkStats::new(&registry, cfg.id, i);
-        let (tx, handle) = spawn_sender(cfg.id, *addr, Arc::clone(&shutdown), Arc::clone(&stats));
-        peer_txs.push(Some(tx));
-        link_stats_by_peer.push(Some(Arc::clone(&stats)));
-        link_stats.push(stats);
-        threads.push(handle);
+        let link = Link::new(cfg.id, i, *addr, &registry);
+        link_stats.push(Arc::clone(&link.stats));
+        links.push(Some(link));
     }
 
     // The execution state the event loop will own, built (and possibly
@@ -625,14 +626,13 @@ where
         out_seq: vec![0; cfg.n],
         outbox: Vec::new(),
         self_queue: VecDeque::new(),
-        peer_txs,
+        links,
         wal,
         boot,
         snapshot_every: cfg.snapshot_every,
         since_snapshot: 0,
         sent_log: vec![Vec::new(); cfg.n],
         durable_next: Arc::clone(&durable_next),
-        link_stats_by_peer,
         status: Arc::clone(&status),
         counters: Arc::clone(&counters),
         metrics: metrics.clone(),
@@ -664,89 +664,26 @@ where
         }
     }
 
-    // Acceptor: non-blocking accept loop so shutdown can interrupt it.
-    // Started only now — the sequence tables above are final.
+    // The poller and the listener registration happen here so
+    // configuration failures surface as spawn errors, not a dead node.
     listener.set_nonblocking(true)?;
-    {
-        let shutdown = Arc::clone(&shutdown);
-        let streams = Arc::clone(&streams);
-        let inbound_tx = inbound_tx.clone();
-        let next_seq = Arc::clone(&next_seq);
-        let acceptor_counters = Arc::clone(&counters);
-        let decode_us = metrics.msg_decode_us.clone();
-        let hashes = Arc::clone(&payload_hashes);
-        let durable = cfg.wal.is_some().then(|| Arc::clone(&durable_next));
-        let n = cfg.n;
-        let me = cfg.id;
-        let handle = thread::Builder::new()
-            .name(format!("netstack-accept-p{}", me.index()))
-            .spawn(move || {
-                let mut reader_threads: Vec<JoinHandle<()>> = Vec::new();
-                let mut next_token: u64 = 0;
-                while !shutdown.load(Ordering::Relaxed) {
-                    // Reap readers whose connections have closed, so flaky
-                    // links cannot grow the handle list without bound (a
-                    // reader prunes its own stream clone on the way out).
-                    let mut i = 0;
-                    while i < reader_threads.len() {
-                        if reader_threads[i].is_finished() {
-                            let _ = reader_threads.swap_remove(i).join();
-                        } else {
-                            i += 1;
-                        }
-                    }
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            let _ = stream.set_nodelay(true);
-                            if stream.set_nonblocking(false).is_err() {
-                                continue;
-                            }
-                            let token = next_token;
-                            next_token += 1;
-                            if let Ok(clone) = stream.try_clone() {
-                                streams
-                                    .lock()
-                                    .unwrap_or_else(PoisonError::into_inner)
-                                    .insert(token, clone);
-                            }
-                            let reader = Reader {
-                                stream,
-                                token,
-                                n,
-                                tx: inbound_tx.clone(),
-                                seqs: Arc::clone(&next_seq),
-                                durable: durable.clone(),
-                                hashes: Arc::clone(&hashes),
-                                counters: Arc::clone(&acceptor_counters),
-                                decode_us: decode_us.clone(),
-                                shutdown: Arc::clone(&shutdown),
-                                registry: Arc::clone(&streams),
-                            };
-                            if let Ok(h) = thread::Builder::new()
-                                .name(format!("netstack-read-p{}", me.index()))
-                                .spawn(move || reader.run())
-                            {
-                                reader_threads.push(h);
-                            }
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => thread::sleep(Duration::from_millis(5)),
-                    }
-                }
-                for h in reader_threads {
-                    let _ = h.join();
-                }
-            })
-            .expect("spawning the acceptor thread");
-        threads.push(handle);
-    }
+    let mut poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), TOKEN_LISTENER)?;
 
-    // The event loop: owns the (possibly recovered) process.
     let id = cfg.id;
+    let ev = EventLoop {
+        lp,
+        poller,
+        listener,
+        inconns: HashMap::new(),
+        next_in_token: 0,
+        seqs: Arc::clone(&next_seq),
+        hashes: vec![HashMap::new(); cfg.n],
+        io: io_stats,
+        shutdown: Arc::clone(&shutdown),
+    };
+    let mut threads = Vec::new();
     {
-        let shutdown = Arc::clone(&shutdown);
         let status = Arc::clone(&status);
         let handle = thread::Builder::new()
             .name(format!("netstack-loop-p{}", cfg.id.index()))
@@ -759,7 +696,8 @@ where
                 // deliberate — without durability the no-equivocation
                 // guarantee is gone, and fail-stop is the honest mode.
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    event_loop(lp, &inbound_rx, &shutdown);
+                    let mut ev = ev;
+                    ev.run();
                 }));
                 if result.is_err() {
                     let mut st = lock_status(&status);
@@ -779,7 +717,6 @@ where
         registry,
         next_seq,
         shutdown,
-        streams,
         threads,
     })
 }
@@ -796,129 +733,8 @@ enum Disposition {
     Gap,
 }
 
-/// One accepted inbound connection: reads frames until EOF, error, or
-/// shutdown, acking delivered sequence numbers back to the sender.
-struct Reader<M> {
-    stream: TcpStream,
-    /// This connection's key in the stream registry, pruned on exit.
-    token: u64,
-    n: usize,
-    tx: mpsc::Sender<(ProcessId, u64, M)>,
-    seqs: Arc<Mutex<Vec<u64>>>,
-    /// When this node journals to a WAL, acks advance only as the event
-    /// loop logs deliveries (the durable watermark), never as frames
-    /// merely enter the inbound queue — otherwise a sender could retire
-    /// a frame this node would lose by crashing before the append.
-    durable: Option<Arc<Vec<AtomicU64>>>,
-    /// Payload hashes of delivered frames, for the no-equivocation check
-    /// on duplicates.
-    hashes: PayloadHashes,
-    counters: Arc<NetCounters>,
-    /// Decode-latency histogram for payloads that reach the decode step.
-    decode_us: Histogram,
-    shutdown: Arc<AtomicBool>,
-    registry: StreamRegistry,
-}
-
-impl<M: Wire> Reader<M> {
-    fn run(mut self) {
-        self.read_connection();
-        // Dead connections must not accumulate in the registry.
-        self.registry
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .remove(&self.token);
-    }
-
-    fn read_connection(&mut self) {
-        // Handshake: the first frame must identify the peer.
-        let from = match read_frame(&mut self.stream) {
-            Ok(Frame::Hello { from }) if from.index() < self.n => from,
-            _ => return, // not a peer speaking our protocol
-        };
-        while !self.shutdown.load(Ordering::Relaxed) {
-            match read_frame(&mut self.stream) {
-                Ok(Frame::Msg { seq, payload }) => {
-                    let (disposition, speculative) = {
-                        let mut seqs = self.seqs.lock().expect("seq table poisoned");
-                        let next = &mut seqs[from.index()];
-                        let d = if seq > *next {
-                            Disposition::Gap
-                        } else if seq < *next {
-                            Disposition::Duplicate
-                        } else {
-                            *next += 1;
-                            Disposition::Deliver
-                        };
-                        (d, *next)
-                    };
-                    let ack = match &self.durable {
-                        Some(d) => d[from.index()].load(Ordering::Acquire),
-                        None => speculative,
-                    };
-                    // Cumulative ack — re-sent even for duplicates and
-                    // gaps so a reconnected sender can retire its backlog
-                    // and resynchronize.
-                    if write_frame(&mut self.stream, &Frame::Ack { next: ack }).is_err() {
-                        return; // connection died; the sender will redial
-                    }
-                    match disposition {
-                        Disposition::Deliver => {
-                            self.hashes.lock().unwrap_or_else(PoisonError::into_inner)
-                                [from.index()]
-                            .insert(seq, fnv1a64(&payload));
-                        }
-                        Disposition::Duplicate => {
-                            // A retransmission must be byte-identical to
-                            // the frame first delivered under this seq —
-                            // recovered nodes included. Anything else is
-                            // equivocation.
-                            let known = self.hashes.lock().unwrap_or_else(PoisonError::into_inner)
-                                [from.index()]
-                            .get(&seq)
-                            .copied();
-                            if let Some(h) = known {
-                                if h != fnv1a64(&payload) {
-                                    self.counters.equivocations.inc();
-                                }
-                            }
-                            continue;
-                        }
-                        Disposition::Gap => {
-                            self.counters.seq_gaps.inc();
-                            continue;
-                        }
-                    }
-                    // Byzantine bytes: payloads that do not decode, or
-                    // decode to contents out of range for this system,
-                    // are dropped here — they must never reach (and
-                    // possibly kill) the protocol. The link stays up.
-                    let decode_started = self.decode_us.enabled().then(Instant::now);
-                    let decoded = M::from_bytes(&payload);
-                    if let Some(t) = decode_started {
-                        self.decode_us.record_us(t.elapsed());
-                    }
-                    let Ok(msg) = decoded else {
-                        self.counters.wire_rejected.inc();
-                        continue;
-                    };
-                    if !msg.validate(self.n) {
-                        self.counters.wire_rejected.inc();
-                        continue;
-                    }
-                    if self.tx.send((from, seq, msg)).is_err() {
-                        return; // event loop gone
-                    }
-                }
-                Ok(Frame::Hello { .. } | Frame::Ack { .. }) => continue, // not meaningful inbound
-                Err(_) => return, // EOF, reset, or malformed framing
-            }
-        }
-    }
-}
-
 /// The execution state owned by the event loop: the process, its RNG and
-/// step counter, the outbound plumbing, and (optionally) the WAL.
+/// step counter, the outbound links, and (optionally) the WAL.
 struct Loop<M: Wire> {
     me: ProcessId,
     n: usize,
@@ -931,7 +747,10 @@ struct Loop<M: Wire> {
     /// Pending self-deliveries (encoded), oldest first. Owned by the
     /// event loop — not a channel — so a checkpoint can capture it.
     self_queue: VecDeque<Vec<u8>>,
-    peer_txs: Vec<Option<mpsc::Sender<OutFrame>>>,
+    /// Outbound links by peer index (`None` at this node's own slot).
+    /// [`Loop`] only ever *queues* onto them; all socket I/O happens in
+    /// [`EventLoop`], after the delivery (and its WAL append) completes.
+    links: Vec<Option<Link>>,
     wal: Option<Wal>,
     boot: BootRecord,
     snapshot_every: u64,
@@ -942,7 +761,6 @@ struct Loop<M: Wire> {
     sent_log: Vec<Vec<(u64, Vec<u8>)>>,
     /// Durable delivered watermark per peer (what acks may cover).
     durable_next: Arc<Vec<AtomicU64>>,
-    link_stats_by_peer: Vec<Option<Arc<LinkStats>>>,
     status: Arc<Mutex<NodeStatus>>,
     counters: Arc<NetCounters>,
     metrics: NodeMetrics,
@@ -986,7 +804,7 @@ impl<M: Wire> Loop<M> {
     }
 
     /// Restores the snapshot (if any) and replays the logged deliveries,
-    /// returning how many were replayed. Runs before the acceptor starts.
+    /// returning how many were replayed. Runs before the loop starts.
     fn recover(
         &mut self,
         snapshot: Option<SnapshotRecord>,
@@ -1017,14 +835,19 @@ impl<M: Wire> Loop<M> {
                 // have received, byte-identical under their original
                 // sequence numbers.
                 for (i, frames) in self.sent_log.iter().enumerate() {
-                    let Some(tx) = self.peer_txs[i].as_ref() else {
+                    let Some(link) = self.links[i].as_mut() else {
                         continue;
                     };
                     for (seq, payload) in frames {
-                        let _ = tx.send(OutFrame {
+                        let chunk = Arc::new(encode_chunk(&Frame::Msg {
+                            seq: *seq,
+                            payload: payload.clone(),
+                        }));
+                        link.enqueue(QueuedFrame {
                             seq: *seq,
                             not_before: Instant::now(),
-                            payload: payload.clone(),
+                            payload_len: payload.len(),
+                            chunk,
                         });
                     }
                 }
@@ -1065,8 +888,9 @@ impl<M: Wire> Loop<M> {
     /// One delivery step — the WAL append, the process step, the sends it
     /// causes, and the status/telemetry fallout. With `live` false this
     /// is log replay: the append is skipped (the record is the log) and
-    /// nothing is published or counted, but sends still go out — they are
-    /// retransmissions of frames the crashed incarnation already owned.
+    /// nothing is published or counted, but sends still queue on the
+    /// links — they are retransmissions of frames the crashed
+    /// incarnation already owned.
     fn deliver(&mut self, from: ProcessId, seq: Option<u64>, msg: M, payload: &[u8], live: bool) {
         if live {
             if let Some(wal) = &mut self.wal {
@@ -1133,7 +957,7 @@ impl<M: Wire> Loop<M> {
     }
 
     /// Routes one step's outbox: self-sends join the local queue, remote
-    /// sends pass the fault injector and land on the link queues. The
+    /// sends pass the fault injector and queue on the links. The
     /// injector is consulted (and the RNG stream advanced) in replay too
     /// — drop decisions gate sequence-number assignment, so skipping them
     /// would renumber the replayed frames.
@@ -1152,9 +976,14 @@ impl<M: Wire> Loop<M> {
                 self.self_queue.push_back(msg.to_bytes());
                 continue;
             }
-            let Some(tx) = self.peer_txs.get(to.index()).and_then(Option::as_ref) else {
+            if self
+                .links
+                .get(to.index())
+                .and_then(Option::as_ref)
+                .is_none()
+            {
                 continue; // address outside the system: a Byzantine no-op
-            };
+            }
             let not_before = match self.injector.action(self.me, to) {
                 LinkAction::Drop => {
                     if live {
@@ -1175,10 +1004,17 @@ impl<M: Wire> Loop<M> {
             if self.wal.is_some() {
                 self.sent_log[to.index()].push((seq, frame_payload.clone()));
             }
-            let _ = tx.send(OutFrame {
+            let payload_len = frame_payload.len();
+            let chunk = Arc::new(encode_chunk(&Frame::Msg {
+                seq,
+                payload: frame_payload,
+            }));
+            let link = self.links[to.index()].as_mut().expect("checked above");
+            link.enqueue(QueuedFrame {
                 seq,
                 not_before,
-                payload: frame_payload,
+                payload_len,
+                chunk,
             });
         }
         self.outbox = outbox;
@@ -1243,8 +1079,8 @@ impl<M: Wire> Loop<M> {
         // Retire frames the peers have acknowledged; what's left is the
         // unacked backlog a restarted node must re-offer.
         for (i, log) in self.sent_log.iter_mut().enumerate() {
-            if let Some(stats) = &self.link_stats_by_peer[i] {
-                let acked = stats.acked.get();
+            if let Some(link) = &self.links[i] {
+                let acked = link.stats.acked.get();
                 log.retain(|(seq, _)| *seq >= acked);
             }
         }
@@ -1255,10 +1091,9 @@ impl<M: Wire> Loop<M> {
             rng_state: rng_state.to_vec(),
             process: process_bytes,
             out_seq: self.out_seq.clone(),
-            // The durable watermark, not the readers' speculative table:
-            // frames still in the inbound queue are not yet this node's
-            // responsibility — they were never acked, so a post-crash
-            // sender re-offers them.
+            // The durable watermark: what this node has journalled and
+            // therefore acked. Anything beyond it was never acked, so a
+            // post-crash sender re-offers it.
             next_seq: self
                 .durable_next
                 .iter()
@@ -1282,27 +1117,372 @@ impl<M: Wire> Loop<M> {
     }
 }
 
-/// Runs the delivery loop: pending self-deliveries first (they are
-/// already owed to the process), then whatever the readers queued.
-fn event_loop<M: Wire + Send + 'static>(
-    mut lp: Loop<M>,
-    inbound_rx: &mpsc::Receiver<(ProcessId, u64, M)>,
-    shutdown: &AtomicBool,
-) {
-    while !shutdown.load(Ordering::Relaxed) {
-        if let Some(bytes) = lp.self_queue.pop_front() {
-            let msg = M::from_bytes(&bytes).expect("locally encoded self-delivery decodes");
-            let me = lp.me;
-            lp.deliver(me, None, msg, &bytes, true);
-            continue;
-        }
-        match inbound_rx.recv_timeout(POLL) {
-            Ok((from, seq, msg)) => {
-                let payload = msg.to_bytes();
-                lp.deliver(from, Some(seq), msg, &payload, true);
+/// The node's one thread: the poller, every socket, and the [`Loop`].
+struct EventLoop<M: Wire> {
+    lp: Loop<M>,
+    poller: Poller,
+    listener: TcpListener,
+    /// Accepted connections by token.
+    inconns: HashMap<u64, InConn>,
+    next_in_token: u64,
+    /// Receiver-side next-expected table, shared with [`NodeHandle`]
+    /// readers (`next_expected_from`); written only by this thread.
+    seqs: Arc<Mutex<Vec<u64>>>,
+    /// Payload hashes of delivered frames per peer, for the
+    /// no-equivocation check on duplicates. Loop-owned, no locking.
+    hashes: Vec<HashMap<u64, u64>>,
+    io: LoopStats,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl<M: Wire> EventLoop<M> {
+    fn run(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut frames: Vec<Frame> = Vec::new();
+        // Boot work queued by run_start/recover: deliver pending
+        // self-sends, then get the first frames moving.
+        self.drain_self();
+        self.pump_links();
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let timeout = self.next_timeout(Instant::now());
+            self.io.loop_ticks.inc();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A failing poller (fd exhaustion mid-registration) has
+                // no recovery story; back off rather than spin.
+                thread::sleep(POLL);
+                continue;
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            self.io.poll_wakeups.add(events.len() as u64);
+            for ev in events.drain(..) {
+                self.dispatch_event(ev, &mut frames);
+            }
+            // One pass after the batch: dial due links, release delayed
+            // frames, and flush everything the deliveries above queued —
+            // the per-peer coalescing point.
+            self.pump_links();
+        }
+    }
+
+    /// How long the poller may sleep: the [`POLL`] cap, shortened to the
+    /// earliest link deadline (redial or delayed-frame release).
+    fn next_timeout(&self, now: Instant) -> Duration {
+        let mut timeout = POLL;
+        for link in self.lp.links.iter().flatten() {
+            if let Some(at) = link.next_deadline(now) {
+                timeout = timeout.min(at.saturating_duration_since(now));
+            }
+        }
+        timeout
+    }
+
+    /// Delivers pending self-sends, oldest first, until the queue is dry
+    /// (a delivery may enqueue more).
+    fn drain_self(&mut self) {
+        while let Some(bytes) = self.lp.self_queue.pop_front() {
+            let msg = M::from_bytes(&bytes).expect("locally encoded self-delivery decodes");
+            let me = self.lp.me;
+            self.lp.deliver(me, None, msg, &bytes, true);
+        }
+    }
+
+    fn dispatch_event(&mut self, ev: PollEvent, frames: &mut Vec<Frame>) {
+        if ev.token == TOKEN_LISTENER {
+            if ev.readable {
+                self.accept_ready(frames);
+            }
+        } else if ev.token >= IN_BASE {
+            self.inbound_event(ev, frames);
+        } else {
+            let peer = usize::try_from(ev.token - OUT_BASE).expect("peer token fits usize");
+            self.outbound_event(peer, ev);
+        }
+    }
+
+    /// Accepts until `WouldBlock` (the edge-triggered contract) and reads
+    /// each new connection immediately — its first bytes may have landed
+    /// before it was registered, which with epoll's edge semantics would
+    /// otherwise never produce an event.
+    fn accept_ready(&mut self, frames: &mut Vec<Frame>) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = IN_BASE + self.next_in_token;
+                    self.next_in_token += 1;
+                    if self.poller.register(stream.as_raw_fd(), token).is_err() {
+                        continue;
+                    }
+                    self.inconns.insert(token, InConn::new(stream));
+                    self.inbound_readable(token, frames);
+                }
+                Err(_) => return, // WouldBlock, or transient accept noise
+            }
+        }
+    }
+
+    fn inbound_event(&mut self, ev: PollEvent, frames: &mut Vec<Frame>) {
+        if ev.readable {
+            self.inbound_readable(ev.token, frames);
+        }
+        if ev.writable {
+            // Blocked ack writes resume here.
+            let Some(conn) = self.inconns.get_mut(&ev.token) else {
+                return;
+            };
+            if conn.write_blocked {
+                let failed = conn.on_writable(&self.io).is_err();
+                let blocked = conn.write_blocked;
+                if failed {
+                    self.teardown_inbound(ev.token);
+                } else {
+                    self.poller.set_write_interest(ev.token, blocked);
+                }
+            }
+        }
+    }
+
+    /// Drains one inbound connection and processes every complete frame
+    /// it produced, in order: handshake, seq-dedup, ack, delivery.
+    fn inbound_readable(&mut self, token: u64, frames: &mut Vec<Frame>) {
+        let Some(conn) = self.inconns.get_mut(&token) else {
+            return;
+        };
+        frames.clear();
+        // A read error or unparseable stream still yields the complete
+        // frames that preceded it — process them, then tear down, exactly
+        // as the blocking reader did frame by frame.
+        let dead = conn.read_frames(frames, &self.io).unwrap_or(true);
+        let mut hostile = false;
+        for frame in frames.drain(..) {
+            let Some(conn) = self.inconns.get_mut(&token) else {
+                return;
+            };
+            match frame {
+                Frame::Hello { from } => {
+                    if conn.peer.is_none() {
+                        if from.index() < self.lp.n {
+                            conn.peer = Some(from);
+                        } else {
+                            hostile = true; // not a peer of this system
+                            break;
+                        }
+                    }
+                    // A repeated Hello is meaningless but harmless.
+                }
+                Frame::Msg { seq, payload } => {
+                    let Some(from) = conn.peer else {
+                        hostile = true; // the first frame must be Hello
+                        break;
+                    };
+                    self.handle_msg(token, from, seq, &payload);
+                }
+                Frame::Ack { .. } => {} // not meaningful inbound
+            }
+        }
+        // One coalesced flush for the whole batch of acks.
+        if let Some(conn) = self.inconns.get_mut(&token) {
+            if conn.flush(&self.io).is_err() {
+                self.teardown_inbound(token);
+                return;
+            }
+            let blocked = conn.write_blocked;
+            self.poller.set_write_interest(token, blocked);
+        }
+        if dead || hostile {
+            self.teardown_inbound(token);
+        }
+    }
+
+    /// One inbound protocol message: consult the sequence table, apply
+    /// the no-equivocation cross-check, deliver if it is the next
+    /// expected frame, and queue the cumulative ack.
+    fn handle_msg(&mut self, token: u64, from: ProcessId, seq: u64, payload: &[u8]) {
+        let (disposition, speculative) = {
+            let mut seqs = self.seqs.lock().expect("seq table poisoned");
+            let next = &mut seqs[from.index()];
+            let d = if seq > *next {
+                Disposition::Gap
+            } else if seq < *next {
+                Disposition::Duplicate
+            } else {
+                *next += 1;
+                Disposition::Deliver
+            };
+            (d, *next)
+        };
+        match disposition {
+            Disposition::Deliver => {
+                self.hashes[from.index()].insert(seq, fnv1a64(payload));
+                // Byzantine bytes: payloads that do not decode, or decode
+                // to contents out of range for this system, are dropped
+                // here — they must never reach (and possibly kill) the
+                // protocol. The link stays up, the seq stays consumed.
+                let decode_us = &self.lp.metrics.msg_decode_us;
+                let decode_started = decode_us.enabled().then(Instant::now);
+                let decoded = M::from_bytes(payload);
+                if let Some(t) = decode_started {
+                    decode_us.record_us(t.elapsed());
+                }
+                match decoded {
+                    Ok(msg) if msg.validate(self.lp.n) => {
+                        let bytes = msg.to_bytes();
+                        self.lp.deliver(from, Some(seq), msg, &bytes, true);
+                        self.drain_self();
+                    }
+                    _ => self.lp.counters.wire_rejected.inc(),
+                }
+            }
+            Disposition::Duplicate => {
+                // A retransmission must be byte-identical to the frame
+                // first delivered under this seq — recovered nodes
+                // included. Anything else is equivocation.
+                if let Some(&h) = self.hashes[from.index()].get(&seq) {
+                    if h != fnv1a64(payload) {
+                        self.lp.counters.equivocations.inc();
+                    }
+                }
+            }
+            Disposition::Gap => self.lp.counters.seq_gaps.inc(),
+        }
+        // Cumulative ack per Msg — re-sent even for duplicates and gaps
+        // so a reconnected sender can retire its backlog and resync.
+        // With a WAL the ack is the durable watermark, read *after* the
+        // delivery journalled, so it already covers this frame.
+        let ack = if self.lp.wal.is_some() {
+            self.lp.durable_next[from.index()].load(Ordering::Acquire)
+        } else {
+            speculative
+        };
+        if let Some(conn) = self.inconns.get_mut(&token) {
+            conn.queue_ack(ack);
+        }
+    }
+
+    fn teardown_inbound(&mut self, token: u64) {
+        if let Some(conn) = self.inconns.remove(&token) {
+            self.poller.deregister(conn.stream.as_raw_fd(), token);
+            // conn drops here, closing the socket.
+        }
+    }
+
+    /// A readiness event on an outbound link's connection: connect
+    /// completion, inbound acks, or room to resume a blocked write.
+    fn outbound_event(&mut self, peer: usize, ev: PollEvent) {
+        let now = Instant::now();
+        let mut established = true;
+        let failed = {
+            let Some(link) = self.lp.links.get_mut(peer).and_then(Option::as_mut) else {
+                return;
+            };
+            let Some(conn) = link.conn.as_mut() else {
+                return;
+            };
+            if conn.token != ev.token {
+                return; // stale event for a predecessor connection
+            }
+            if conn.connecting {
+                if !ev.writable {
+                    return; // connect still in flight
+                }
+                // The nonblocking connect resolved: writable + no error
+                // is up, anything else failed.
+                match conn.stream.take_error() {
+                    Ok(None) => {
+                        conn.connecting = false;
+                        link.dial_succeeded();
+                    }
+                    _ => {
+                        established = false;
+                    }
+                }
+            }
+            if established {
+                let read_ok = !ev.readable || link.on_readable(&self.io).is_ok();
+                let write_ok = read_ok && (!ev.writable || link.on_writable(now, &self.io).is_ok());
+                !(read_ok && write_ok)
+            } else {
+                true
+            }
+        };
+        if failed {
+            self.teardown_outbound(peer, established);
+        } else {
+            self.sync_out_interest(peer);
+        }
+    }
+
+    /// Drops a link's connection and schedules the redial: immediate for
+    /// an established connection that died, backed off for a failed dial.
+    fn teardown_outbound(&mut self, peer: usize, established: bool) {
+        let Some(link) = self.lp.links.get_mut(peer).and_then(Option::as_mut) else {
+            return;
+        };
+        if let Some(conn) = link.conn.take() {
+            self.poller.deregister(conn.stream.as_raw_fd(), conn.token);
+        }
+        link.conn_failed(established);
+    }
+
+    /// Mirrors a link's write interest into the poll(2) backend (no-op
+    /// under epoll): connecting sockets and blocked writers want
+    /// writable events; anything else would spin on always-writable.
+    fn sync_out_interest(&mut self, peer: usize) {
+        let Some(link) = self.lp.links.get(peer).and_then(Option::as_ref) else {
+            return;
+        };
+        if let Some(conn) = &link.conn {
+            let token = conn.token;
+            let want = conn.connecting || conn.write_blocked;
+            self.poller.set_write_interest(token, want);
+        }
+    }
+
+    /// The once-per-tick outbound pass: dial links that want a connection
+    /// and are past their backoff, then move eligible backlog frames to
+    /// the sockets — one vectored write per peer for the whole batch.
+    fn pump_links(&mut self) {
+        let now = Instant::now();
+        for peer in 0..self.lp.n {
+            {
+                let Some(link) = self.lp.links.get_mut(peer).and_then(Option::as_mut) else {
+                    continue;
+                };
+                if link.wants_conn() && now >= link.next_dial {
+                    let token = OUT_BASE + peer as u64;
+                    match connect_nonblocking(link.peer_addr) {
+                        Ok(dial) => {
+                            let (stream, connecting) = match dial {
+                                Dial::Connected(s) => (s, false),
+                                Dial::InProgress(s) => (s, true),
+                            };
+                            let _ = stream.set_nodelay(true);
+                            if self.poller.register(stream.as_raw_fd(), token).is_ok() {
+                                link.adopt(stream, token, connecting);
+                                if !connecting {
+                                    link.dial_succeeded();
+                                }
+                            } else {
+                                link.conn_failed(false); // stream drops
+                            }
+                        }
+                        Err(_) => link.conn_failed(false),
+                    }
+                }
+            }
+            let failed = {
+                let Some(link) = self.lp.links.get_mut(peer).and_then(Option::as_mut) else {
+                    continue;
+                };
+                link.conn.is_some() && link.pump(now, &self.io).is_err()
+            };
+            if failed {
+                self.teardown_outbound(peer, true);
+            } else {
+                self.sync_out_interest(peer);
+            }
         }
     }
 }

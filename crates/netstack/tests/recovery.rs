@@ -74,6 +74,20 @@ fn capture_msgs(listener: &TcpListener, window: Duration) -> Vec<(u64, Vec<u8>)>
     msgs
 }
 
+/// Like [`capture_msgs`], but tolerant of husks: a crashing incarnation
+/// can die between redialing a peer and writing anything, leaving an
+/// empty connection in the accept queue ahead of the restarted node's
+/// live one. Skip such connections until real frames arrive.
+fn capture_replay(listener: &TcpListener, window: Duration) -> Vec<(u64, Vec<u8>)> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let msgs = capture_msgs(listener, window);
+        if !msgs.is_empty() || std::time::Instant::now() >= deadline {
+            return msgs;
+        }
+    }
+}
+
 /// Satellite (d): kill a WAL-journaling node and restart it from the log;
 /// every frame it re-sends under a previously-used sequence number must
 /// be byte-for-byte identical to the original. The fake peers never ack,
@@ -165,8 +179,10 @@ fn restarted_node_resends_byte_identical_frames() {
         "both logged deliveries (self + peer 1) were replayed"
     );
 
-    let second: Vec<Vec<(u64, Vec<u8>)>> =
-        fake_peers.iter().map(|l| capture_msgs(l, window)).collect();
+    let second: Vec<Vec<(u64, Vec<u8>)>> = fake_peers
+        .iter()
+        .map(|l| capture_replay(l, window))
+        .collect();
     node.shutdown();
 
     // No equivocation, checked at the wire: every seq the first
@@ -188,6 +204,140 @@ fn restarted_node_resends_byte_identical_frames() {
             );
         }
     }
+}
+
+/// The poll-loop ownership handoff: a restarted incarnation inherits the
+/// listening socket via `try_clone`, registers it with a fresh poller in
+/// a new event-loop thread, and must still accept inbound dials and
+/// deliver frames. This is the regression the event-driven rewrite could
+/// have introduced silently — with one thread owning every socket, the
+/// listener's edge-triggered readiness must not be stranded in the dead
+/// incarnation's (closed) poller, and the supervisor restart path leans
+/// on exactly this handoff.
+#[test]
+fn relistened_socket_accepts_dials_in_the_next_event_loop() {
+    require_sockets!();
+    let scratch = ScratchDir::new("handoff");
+    let n = 3;
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .collect();
+    let addrs: Vec<_> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect();
+    let mut listeners = listeners.into_iter();
+    let node_listener = listeners.next().expect("node 0 listener");
+    let relisten = node_listener.try_clone().expect("retain the port");
+    let _fake_peers: Vec<TcpListener> = listeners.collect();
+
+    let config = Config::fail_stop(n, 1).expect("within the fail-stop bound");
+    let cfg = NodeConfig {
+        id: ProcessId::new(0),
+        n,
+        seed: 7,
+        fault: FaultPlan::reliable(),
+        wal: Some(scratch.0.join("node0.wal")),
+        snapshot_every: 0,
+        metrics: None,
+    };
+    let mut node = spawn(
+        cfg.clone(),
+        node_listener,
+        addrs.clone(),
+        Box::new(FailStop::new(config, Value::One)),
+        None,
+    )
+    .expect("boot incarnation one");
+
+    // Incarnation one accepts a dial and delivers a frame, so the
+    // listener's readiness has been consumed inside the first event
+    // loop's poller before the handoff.
+    let baseline = node.status().steps;
+    let mut from_p1 = TcpStream::connect(addrs[0]).expect("dial incarnation one");
+    write_frame(
+        &mut from_p1,
+        &Frame::Hello {
+            from: ProcessId::new(1),
+        },
+    )
+    .expect("hello");
+    let msg = FailStopMsg {
+        phase: 0,
+        value: Value::One,
+        cardinality: 1,
+    };
+    write_frame(
+        &mut from_p1,
+        &Frame::Msg {
+            seq: 0,
+            payload: msg.to_bytes(),
+        },
+    )
+    .expect("deliver from peer 1");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while node.status().steps <= baseline {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "incarnation one never delivered the frame"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    node.shutdown();
+    drop(from_p1);
+
+    // Incarnation two: same file descriptor, fresh poller, fresh thread.
+    let config = Config::fail_stop(n, 1).expect("within the fail-stop bound");
+    let mut node = spawn(
+        cfg,
+        relisten,
+        addrs.clone(),
+        Box::new(FailStop::new(config, Value::One)),
+        None,
+    )
+    .expect("boot incarnation two from the WAL");
+    assert!(
+        node.status().recovered >= 2,
+        "the WAL replayed before the new loop took over"
+    );
+
+    // A fresh dial must be accepted by the new loop, and the cumulative
+    // ack proves the full inbound path — accept, read, dedup against the
+    // recovered seq table, deliver, journal, write back — runs there:
+    // `next = 2` covers seq 0 (delivered by incarnation one, replayed
+    // from the WAL) plus seq 1 (delivered live by incarnation two).
+    let mut from_p1 = TcpStream::connect(addrs[0]).expect("dial incarnation two");
+    write_frame(
+        &mut from_p1,
+        &Frame::Hello {
+            from: ProcessId::new(1),
+        },
+    )
+    .expect("hello to the new loop");
+    let msg = FailStopMsg {
+        phase: 0,
+        value: Value::One,
+        cardinality: 2,
+    };
+    write_frame(
+        &mut from_p1,
+        &Frame::Msg {
+            seq: 1,
+            payload: msg.to_bytes(),
+        },
+    )
+    .expect("deliver to the new loop");
+    from_p1
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    loop {
+        match read_frame(&mut from_p1) {
+            Ok(Frame::Ack { next }) if next >= 2 => break,
+            Ok(_) => {}
+            Err(e) => panic!("no cumulative ack from the restarted event loop: {e}"),
+        }
+    }
+    node.shutdown();
 }
 
 /// The cluster supervisor executes a scheduled crash-restart: node 1 is

@@ -36,6 +36,13 @@ echo "==> btfuzz clean sweep (30s budget)"
 # forbids loopback sockets; the simulated sweep always runs.
 target/release/btfuzz --budget 30 --out "$FUZZTMP/repro.jsonl"
 
+echo "==> btfuzz netstack stress leg (30s budget, clusters up to n=50)"
+# Loopback clusters up the size ladder under healing partitions and
+# seeded crash-restarts — the event-loop scale gate. Skips internally
+# (with a note) where the sandbox forbids loopback sockets.
+target/release/btfuzz --netstack-stress --budget 30 \
+    --out "$FUZZTMP/stress-repro.json"
+
 echo "==> netstack smoke test (release btnode cluster, end to end)"
 # Skips internally (with a note) where the sandbox forbids sockets.
 sh scripts/smoke_netstack.sh
