@@ -1,0 +1,86 @@
+//! Budgeted large-n smoke: one seeded malicious-protocol trial at n = 1024
+//! with a hard step cap, as a wall-clock regression gate for the delivery
+//! engine (`scripts/check.sh` runs it on every gate).
+//!
+//! A full n = 1024 Figure 2 run is ~2.8 × 10⁹ deliveries — minutes even
+//! after the engine rewrite — so the gate runs a fixed slice of one: the
+//! first `cap` deliveries of the seeded trial must complete inside the
+//! time budget, violate no safety property, and report a sane
+//! ns-per-delivery. Catching a 10× hot-path regression needs only the
+//! slice, not the decision.
+//!
+//! Usage: `large_n_smoke [STEP_CAP] [MAX_SECONDS] [SEED]`
+//! (defaults: 1,000,000 steps, 60 s, 42 — the default slice runs in
+//! single-digit seconds on one core, so the budget is several-fold slack).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bench::{malicious_system_capped, split_inputs, sweep_k};
+use bt_core::Config;
+use simnet::RunStatus;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut next = |default: u64| {
+        args.next()
+            .map_or(Ok(default), |t| t.parse::<u64>().map_err(|_| t))
+    };
+    let (cap, max_seconds, seed) = match (next(1_000_000), next(60), next(42)) {
+        (Ok(c), Ok(m), Ok(s)) => (c, m, s),
+        (Err(t), _, _) | (_, Err(t), _) | (_, _, Err(t)) => {
+            eprintln!("large_n_smoke: bad numeric argument {t:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let n = 1024;
+    let k = sweep_k(n);
+    let config = Config::malicious(n, k).expect("k = l·√n/2 is within (n-1)/3");
+    let inputs = split_inputs(n, n / 2);
+
+    let start = Instant::now();
+    let report = malicious_system_capped(config, &inputs, k, seed, cap).run();
+    let elapsed = start.elapsed();
+    let ns_per_delivery = elapsed.as_nanos() as f64 / report.steps.max(1) as f64;
+
+    println!(
+        "{{\"n\":{n},\"k\":{k},\"seed\":{seed},\"step_cap\":{cap},\"steps\":{},\
+         \"messages_sent\":{},\"wall_ms\":{:.1},\"ns_per_delivery\":{:.1},\
+         \"status\":\"{:?}\",\"agreement\":{}}}",
+        report.steps,
+        report.metrics.messages_sent,
+        elapsed.as_secs_f64() * 1e3,
+        ns_per_delivery,
+        report.status,
+        report.agreement(),
+    );
+
+    if !report.agreement() {
+        eprintln!("large_n_smoke: FAIL — agreement violated");
+        return ExitCode::FAILURE;
+    }
+    if report.status == RunStatus::Quiescent && !report.all_correct_decided() {
+        eprintln!("large_n_smoke: FAIL — deadlocked before the step cap");
+        return ExitCode::FAILURE;
+    }
+    if report.steps == 0 || report.metrics.messages_sent == 0 {
+        eprintln!("large_n_smoke: FAIL — no progress made");
+        return ExitCode::FAILURE;
+    }
+    if elapsed.as_secs() > max_seconds {
+        eprintln!(
+            "large_n_smoke: FAIL — {} steps took {:.1}s (budget {max_seconds}s, \
+             {ns_per_delivery:.0} ns/delivery)",
+            report.steps,
+            elapsed.as_secs_f64(),
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "large_n_smoke: ok — {} deliveries at n=1024 in {:.2}s ({ns_per_delivery:.0} ns/delivery)",
+        report.steps,
+        elapsed.as_secs_f64(),
+    );
+    ExitCode::SUCCESS
+}

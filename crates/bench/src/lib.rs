@@ -58,6 +58,32 @@ pub fn failstop_system(
     b.build()
 }
 
+/// The §4.2 sweep's traitor budget for `n` processes: `k = l·√n/2` at the
+/// paper's `l² = 1.5`, clamped to the protocol's `⌊(n−1)/3⌋` ceiling.
+#[must_use]
+pub fn sweep_k(n: usize) -> usize {
+    let ideal = markov::collapsed::paper_l() * (n as f64).sqrt() / 2.0;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let k = ideal.round() as usize;
+    k.min((n - 1) / 3)
+}
+
+/// A step cap for one malicious-protocol run at size `n`: Figure 2 costs
+/// `O(n³)` deliveries per phase-bounded run, so the fixed caps the small-n
+/// benches use starve large configurations. Sized with several-fold
+/// headroom over measured full-run step counts (≈ 2.6·n³ at n = 128).
+#[must_use]
+pub fn malicious_sweep_limit(n: usize) -> u64 {
+    1_000_000 + 8 * (n as u64).pow(3)
+}
+
+/// A step cap for one §4.1 simple-variant run at size `n` (`O(n²)` per
+/// run; measured ≈ 2.3·n² at n = 1024).
+#[must_use]
+pub fn simple_sweep_limit(n: usize) -> u64 {
+    1_000_000 + 16 * (n as u64).pow(2)
+}
+
 /// A malicious-protocol system: `n − byz` correct processes plus `byz`
 /// balancing attackers (the §4.2 worst case).
 #[must_use]
@@ -66,6 +92,19 @@ pub fn malicious_system(
     inputs: &[Value],
     byz: usize,
     seed: u64,
+) -> Sim<MaliciousMsg> {
+    malicious_system_capped(config, inputs, byz, seed, 8_000_000)
+}
+
+/// [`malicious_system`] with an explicit step cap, for sweeps whose run
+/// length scales with `n` (see [`malicious_sweep_limit`]).
+#[must_use]
+pub fn malicious_system_capped(
+    config: Config,
+    inputs: &[Value],
+    byz: usize,
+    seed: u64,
+    step_limit: u64,
 ) -> Sim<MaliciousMsg> {
     assert_eq!(inputs.len(), config.n());
     assert!(byz <= config.k());
@@ -76,7 +115,7 @@ pub fn malicious_system(
     for _ in 0..byz {
         b.process(Box::new(ContrarianMalicious::new(config)), Role::Faulty);
     }
-    b.seed(seed).step_limit(8_000_000);
+    b.seed(seed).step_limit(step_limit);
     b.build()
 }
 
@@ -108,6 +147,19 @@ pub fn simple_system(
     crashes: usize,
     seed: u64,
 ) -> Sim<SimpleMsg> {
+    simple_system_capped(config, inputs, crashes, seed, 4_000_000)
+}
+
+/// [`simple_system`] with an explicit step cap, for sweeps whose run
+/// length scales with `n` (see [`simple_sweep_limit`]).
+#[must_use]
+pub fn simple_system_capped(
+    config: Config,
+    inputs: &[Value],
+    crashes: usize,
+    seed: u64,
+    step_limit: u64,
+) -> Sim<SimpleMsg> {
     assert_eq!(inputs.len(), config.n());
     let mut b = Sim::builder();
     let n = config.n();
@@ -124,7 +176,7 @@ pub fn simple_system(
             Role::Faulty,
         );
     }
-    b.seed(seed).step_limit(4_000_000);
+    b.seed(seed).step_limit(step_limit);
     b.build()
 }
 
@@ -141,6 +193,21 @@ mod tests {
         let alt = alternating_inputs(4);
         assert_eq!(alt[0], Value::One);
         assert_eq!(alt[1], Value::Zero);
+    }
+
+    #[test]
+    fn sweep_parameters_scale_with_n() {
+        // k = l·√n/2 at l² = 1.5: 0.61·√n, always within ⌊(n−1)/3⌋.
+        assert_eq!(sweep_k(32), 3);
+        assert_eq!(sweep_k(1024), 20);
+        assert_eq!(sweep_k(4096), 39);
+        for n in [9usize, 32, 128, 1024, 4096] {
+            assert!(sweep_k(n) <= (n - 1) / 3);
+            assert!(Config::malicious(n, sweep_k(n)).is_ok());
+        }
+        // Step caps grow with the protocol's message complexity.
+        assert!(malicious_sweep_limit(256) > malicious_sweep_limit(128) * 4);
+        assert!(simple_sweep_limit(2048) > simple_sweep_limit(1024) * 2);
     }
 
     #[test]

@@ -24,10 +24,9 @@
 //! keeps its own inlined copy for phase-lifecycle reasons; the unit tests
 //! here cross-check the two).
 
-use std::collections::{HashMap, HashSet};
-
 use simnet::{Ctx, ProcessId, ProtocolEvent, Value};
 
+use crate::tally::BitSet;
 use crate::Config;
 
 /// What [`EchoTracker::record_echo`] concluded about one incoming echo.
@@ -68,46 +67,62 @@ pub enum EchoOutcome {
 #[derive(Clone, Debug)]
 pub struct EchoTracker {
     config: Config,
-    /// `(sender, subject)` pairs already counted — first echo wins.
-    seen: HashSet<(usize, usize)>,
-    /// `echo_count[(subject, value)]`.
-    counts: HashMap<(usize, usize), usize>,
+    /// `(sender, subject)` pairs already counted — first echo wins. One bit
+    /// per pair at index `sender·n + subject`.
+    seen: BitSet,
+    /// `echo_count[subject][value]`.
+    counts: Vec<[usize; 2]>,
     /// Accepted value per subject.
-    accepted: HashMap<usize, Value>,
+    accepted: Vec<Option<Value>>,
+    /// Number of `Some` entries in `accepted`.
+    accepted_total: usize,
 }
 
 impl EchoTracker {
     /// Creates a tracker for one tag under `config`'s quorum rule.
     #[must_use]
     pub fn new(config: Config) -> Self {
+        let n = config.n();
         EchoTracker {
             config,
-            seen: HashSet::new(),
-            counts: HashMap::new(),
-            accepted: HashMap::new(),
+            seen: BitSet::with_bits(n * n),
+            counts: vec![[0; 2]; n],
+            accepted: vec![None; n],
+            accepted_total: 0,
         }
     }
 
     /// Records one echo by `sender` claiming `subject` announced `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sender` or `subject` is outside `0..config.n()` —
+    /// protocols must bounds-check adversary-controlled subject fields
+    /// before tallying (as `Malicious::on_receive` does).
     pub fn record_echo(
         &mut self,
         sender: ProcessId,
         subject: ProcessId,
         value: Value,
     ) -> EchoOutcome {
-        if self.accepted.contains_key(&subject.index()) {
+        assert!(
+            sender.index() < self.config.n() && subject.index() < self.config.n(),
+            "echo ids must be in 0..n"
+        );
+        if self.accepted[subject.index()].is_some() {
             return EchoOutcome::Ignored;
         }
-        if !self.seen.insert((sender.index(), subject.index())) {
+        if !self
+            .seen
+            .insert(sender.index() * self.config.n() + subject.index())
+        {
             return EchoOutcome::Ignored;
         }
-        let count = self
-            .counts
-            .entry((subject.index(), value.index()))
-            .or_insert(0);
+        let count = &mut self.counts[subject.index()][value.index()];
         *count += 1;
         if self.config.accepts(*count) {
-            self.accepted.insert(subject.index(), value);
+            self.accepted[subject.index()] = Some(value);
+            self.accepted_total += 1;
             EchoOutcome::Accepted(value)
         } else {
             EchoOutcome::Counted
@@ -142,22 +157,21 @@ impl EchoTracker {
     /// The value accepted from `subject`, if any.
     #[must_use]
     pub fn accepted(&self, subject: ProcessId) -> Option<Value> {
-        self.accepted.get(&subject.index()).copied()
+        self.accepted.get(subject.index()).copied().flatten()
     }
 
     /// Number of subjects accepted so far.
     #[must_use]
     pub fn accepted_count(&self) -> usize {
-        self.accepted.len()
+        self.accepted_total
     }
 
     /// Echoes counted so far for `(subject, value)`.
     #[must_use]
     pub fn echo_count(&self, subject: ProcessId, value: Value) -> usize {
         self.counts
-            .get(&(subject.index(), value.index()))
-            .copied()
-            .unwrap_or(0)
+            .get(subject.index())
+            .map_or(0, |c| c[value.index()])
     }
 }
 

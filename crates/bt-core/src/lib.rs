@@ -56,6 +56,7 @@ pub mod malicious;
 mod messages;
 pub mod multivalued;
 pub mod simple;
+mod tally;
 mod wire;
 
 pub use config::{Config, ConfigError};

@@ -26,10 +26,9 @@
 //! drops `initial` messages whose claimed subject differs from the envelope
 //! sender — the model's defence against impersonation.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
-
 use simnet::{Ctx, Envelope, Process, ProcessId, ProtocolEvent, Value, Wire, WireReader};
 
+use crate::tally::{BitSet, PairValues, PhaseSubjects};
 use crate::{Config, MaliciousKind, MaliciousMsg, Phase};
 
 /// What a process does after deciding.
@@ -102,16 +101,18 @@ pub struct Malicious {
 
     /// `(subject, phase)` pairs whose initial this process has already
     /// echoed — the Figure 2 first-message filter for initials.
-    echoed: HashSet<(usize, u64)>,
+    echoed: PhaseSubjects,
     /// `(sender, subject, is_wildcard)` triples already counted this phase —
-    /// the Figure 2 first-message filter for echoes. One *concrete* echo per
-    /// sender per subject per phase, whatever its value, so an equivocating
-    /// sender contributes at most one count. A sender's wildcard (`*`) echo
-    /// is a distinct message in the paper's dedup (its `phaseno` differs
-    /// from every concrete phase), so it counts in its own right — without
-    /// this, a laggard that counted a decider's *pre-decision* echo could
-    /// never benefit from its post-decision wildcard and would strand.
-    echo_seen: HashSet<(usize, usize, bool)>,
+    /// the Figure 2 first-message filter for echoes, as a `2n²`-bit set
+    /// indexed `((sender·n + subject) << 1) | wildcard`. One *concrete* echo
+    /// per sender per subject per phase, whatever its value, so an
+    /// equivocating sender contributes at most one count. A sender's
+    /// wildcard (`*`) echo is a distinct message in the paper's dedup (its
+    /// `phaseno` differs from every concrete phase), so it counts in its own
+    /// right — without this, a laggard that counted a decider's
+    /// *pre-decision* echo could never benefit from its post-decision
+    /// wildcard and would strand.
+    echo_seen: BitSet,
     /// `echo_count[subject][value]` for the current phase.
     echo_count: Vec<[usize; 2]>,
     /// Value accepted from each subject this phase, once the echo count
@@ -120,12 +121,13 @@ pub struct Malicious {
     /// Accepted-message counts per value for the current phase.
     message_count: [usize; 2],
 
-    /// Future-phase echoes, replayed on arrival in their phase.
-    deferred: BTreeMap<u64, Vec<(ProcessId, MaliciousMsg)>>,
+    /// Future-phase echoes, replayed on arrival in their phase; batches
+    /// kept sorted by phase, arrival order within a batch.
+    deferred: Vec<(u64, Vec<(ProcessId, MaliciousMsg)>)>,
     /// Wildcard `(echo, subject, v, *)` contributions, by `(sender, subject)`.
-    sticky_echo: HashMap<(usize, usize), Value>,
+    sticky_echo: PairValues,
     /// Wildcard `(initial, subject, v, *)` announcements, by subject.
-    sticky_init: HashMap<usize, Value>,
+    sticky_init: Vec<Option<Value>>,
 }
 
 impl Malicious {
@@ -148,14 +150,22 @@ impl Malicious {
             decided_phase: None,
             halted: false,
             termination,
-            echoed: HashSet::new(),
-            echo_seen: HashSet::new(),
+            echoed: PhaseSubjects::new(n),
+            echo_seen: BitSet::with_bits(2 * n * n),
             echo_count: vec![[0; 2]; n],
             accepted: vec![None; n],
             message_count: [0; 2],
-            deferred: BTreeMap::new(),
-            sticky_echo: HashMap::new(),
-            sticky_init: HashMap::new(),
+            deferred: Vec::new(),
+            sticky_echo: PairValues::new(n),
+            sticky_init: vec![None; n],
+        }
+    }
+
+    /// The deferred batch for exactly `phase`, detached, if any.
+    fn take_deferred(&mut self, phase: u64) -> Option<Vec<(ProcessId, MaliciousMsg)>> {
+        match self.deferred.binary_search_by_key(&phase, |e| e.0) {
+            Ok(i) => Some(self.deferred.remove(i).1),
+            Err(_) => None,
         }
     }
 
@@ -181,10 +191,9 @@ impl Malicious {
         wildcard: bool,
         ctx: &mut Ctx<'_, MaliciousMsg>,
     ) -> bool {
-        if !self
-            .echo_seen
-            .insert((sender.index(), subject.index(), wildcard))
-        {
+        let key =
+            ((sender.index() * self.config.n() + subject.index()) << 1) | usize::from(wildcard);
+        if !self.echo_seen.insert(key) {
             return false; // duplicate (or equivocation) from this sender
         }
         let count = &mut self.echo_count[subject.index()][value.index()];
@@ -252,22 +261,24 @@ impl Malicious {
                 return;
             }
 
-            // Start the next phase.
+            // Start the next phase. The per-phase tables are zeroed in
+            // place — no reallocation on this per-phase path.
             self.phase += 1;
             ctx.emit(ProtocolEvent::PhaseEntered { phase: self.phase });
-            self.echo_seen.clear();
-            self.echo_count = vec![[0; 2]; self.config.n()];
-            self.accepted = vec![None; self.config.n()];
+            self.echo_seen.clear_all();
+            self.echo_count.fill([0; 2]);
+            self.accepted.fill(None);
             self.message_count = [0; 2];
             // Batches for phases we skipped past are unreachable now.
-            self.deferred = self.deferred.split_off(&self.phase);
+            let stale = self.deferred.partition_point(|e| e.0 < self.phase);
+            self.deferred.drain(..stale);
             ctx.broadcast(MaliciousMsg::initial(ctx.me(), self.value, self.phase));
 
             match self.replay_for_current_phase(ctx) {
                 Replay::Incomplete => return,
                 Replay::Completed { sticky_only } => {
                     sticky_fixpoint =
-                        sticky_only && self.deferred.range(self.phase + 1..).next().is_none();
+                        sticky_only && self.deferred.last().is_none_or(|e| e.0 <= self.phase);
                 }
             }
         }
@@ -277,25 +288,34 @@ impl Malicious {
     /// current phase.
     fn replay_for_current_phase(&mut self, ctx: &mut Ctx<'_, MaliciousMsg>) -> Replay {
         // Wildcard initials: echo once per phase, like a fresh initial.
-        let inits: Vec<(usize, Value)> = self.sticky_init.iter().map(|(s, v)| (*s, *v)).collect();
-        for (subject, v) in inits {
-            if self.echoed.insert((subject, self.phase)) {
+        // Ascending subject order, so replay is deterministic by
+        // construction (the map it replaced iterated in hash order).
+        for subject in 0..self.config.n() {
+            let Some(v) = self.sticky_init[subject] else {
+                continue;
+            };
+            if self.echoed.insert(subject, self.phase) {
                 ctx.broadcast(MaliciousMsg::echo(ProcessId::new(subject), v, self.phase));
             }
         }
-        // Wildcard echoes count in every phase.
-        let echoes: Vec<(usize, usize, Value)> = self
-            .sticky_echo
-            .iter()
-            .map(|((s, q), v)| (*s, *q, *v))
-            .collect();
-        for (s, q, v) in echoes {
-            if self.tally_echo(ProcessId::new(s), ProcessId::new(q), v, true, ctx) {
-                return Replay::Completed { sticky_only: true };
+        // Wildcard echoes count in every phase, ascending (sender, subject)
+        // order. `tally_echo` never touches the sticky map, so walking it
+        // one copied presence word at a time is sound and allocation-free.
+        let n = self.config.n();
+        for w in 0..self.sticky_echo.word_count() {
+            let mut bits = self.sticky_echo.presence_word(w);
+            while bits != 0 {
+                let pair = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let v = self.sticky_echo.value_at(pair);
+                let (s, q) = (ProcessId::new(pair / n), ProcessId::new(pair % n));
+                if self.tally_echo(s, q, v, true, ctx) {
+                    return Replay::Completed { sticky_only: true };
+                }
             }
         }
         // Deferred concrete echoes for this phase.
-        if let Some(batch) = self.deferred.remove(&self.phase) {
+        if let Some(batch) = self.take_deferred(self.phase) {
             for (sender, msg) in batch {
                 debug_assert_eq!(msg.kind, MaliciousKind::Echo);
                 if self.tally_echo(sender, msg.subject, msg.value, false, ctx) {
@@ -353,7 +373,7 @@ impl Process for Malicious {
                 }
                 // Echo the first initial per (subject, phase),
                 // unconditionally on our own phase.
-                if self.echoed.insert((msg.subject.index(), t)) {
+                if self.echoed.insert(msg.subject.index(), t) {
                     ctx.broadcast(MaliciousMsg::echo(msg.subject, msg.value, t));
                 }
             }
@@ -362,11 +382,8 @@ impl Process for Malicious {
                     return;
                 }
                 // Record first; applies to this and every later phase.
-                self.sticky_init
-                    .entry(msg.subject.index())
-                    .or_insert(msg.value);
-                let v = self.sticky_init[&msg.subject.index()];
-                if self.echoed.insert((msg.subject.index(), self.phase)) {
+                let v = *self.sticky_init[msg.subject.index()].get_or_insert(msg.value);
+                if self.echoed.insert(msg.subject.index(), self.phase) {
                     ctx.broadcast(MaliciousMsg::echo(msg.subject, v, self.phase));
                 }
             }
@@ -375,7 +392,14 @@ impl Process for Malicious {
                     return; // stale
                 }
                 if t > self.phase {
-                    self.deferred.entry(t).or_default().push((sender, msg));
+                    let slot = match self.deferred.binary_search_by_key(&t, |e| e.0) {
+                        Ok(i) => i,
+                        Err(i) => {
+                            self.deferred.insert(i, (t, Vec::new()));
+                            i
+                        }
+                    };
+                    self.deferred[slot].1.push((sender, msg));
                     return;
                 }
                 if self.tally_echo(sender, msg.subject, msg.value, false, ctx) {
@@ -383,8 +407,9 @@ impl Process for Malicious {
                 }
             }
             (MaliciousKind::Echo, Phase::Any) => {
-                let key = (sender.index(), msg.subject.index());
-                let v = *self.sticky_echo.entry(key).or_insert(msg.value);
+                let v =
+                    self.sticky_echo
+                        .insert_or_get(sender.index(), msg.subject.index(), msg.value);
                 if self.tally_echo(sender, msg.subject, v, true, ctx) {
                     self.advance(ctx);
                 }
@@ -410,8 +435,9 @@ impl Process for Malicious {
 
     fn snapshot(&self) -> Option<Vec<u8>> {
         // Config and termination policy are constructor arguments; only
-        // mutable state is captured. Hash collections are sorted so
-        // identical states always serialize to identical bytes.
+        // mutable state is captured, in the same canonical sorted layout
+        // the hash-table representation serialized to — the flat tables
+        // iterate in key order, so most sections come out sorted for free.
         let mut out = Vec::new();
         self.value.encode(&mut out);
         self.phase.encode(&mut out);
@@ -419,16 +445,21 @@ impl Process for Malicious {
         self.decided_phase.encode(&mut out);
         self.halted.encode(&mut out);
 
-        let mut echoed: Vec<(usize, u64)> = self.echoed.iter().copied().collect();
+        let mut echoed: Vec<(usize, u64)> = self.echoed.pairs();
         echoed.sort_unstable();
         echoed.encode(&mut out);
 
-        let mut echo_seen: Vec<((usize, usize), bool)> = self
+        // Bit index ((s·n + q) << 1) | w iterates exactly in ((s, q), w)
+        // lexicographic order.
+        let echo_seen: Vec<((usize, usize), bool)> = self
             .echo_seen
             .iter()
-            .map(|&(s, q, w)| ((s, q), w))
+            .map(|key| {
+                let pair = key >> 1;
+                let n = self.config.n();
+                ((pair / n, pair % n), key & 1 == 1)
+            })
             .collect();
-        echo_seen.sort_unstable();
         echo_seen.encode(&mut out);
 
         let echo_count: Vec<(usize, usize)> =
@@ -438,21 +469,17 @@ impl Process for Malicious {
         self.message_count[0].encode(&mut out);
         self.message_count[1].encode(&mut out);
 
-        let deferred: Vec<(u64, Vec<(ProcessId, MaliciousMsg)>)> = self
-            .deferred
-            .iter()
-            .map(|(&phase, msgs)| (phase, msgs.clone()))
-            .collect();
-        deferred.encode(&mut out);
+        self.deferred.encode(&mut out);
 
-        let mut sticky_echo: Vec<((usize, usize), Value)> =
-            self.sticky_echo.iter().map(|(&key, &v)| (key, v)).collect();
-        sticky_echo.sort_unstable();
+        let sticky_echo: Vec<((usize, usize), Value)> = self.sticky_echo.iter().collect();
         sticky_echo.encode(&mut out);
 
-        let mut sticky_init: Vec<(usize, Value)> =
-            self.sticky_init.iter().map(|(&s, &v)| (s, v)).collect();
-        sticky_init.sort_unstable();
+        let sticky_init: Vec<(usize, Value)> = self
+            .sticky_init
+            .iter()
+            .enumerate()
+            .filter_map(|(s, v)| v.map(|v| (s, v)))
+            .collect();
         sticky_init.encode(&mut out);
         Some(out)
     }
@@ -504,9 +531,22 @@ impl Process for Malicious {
         if r.finish().is_err() {
             return false;
         }
-        // The per-subject tables are indexed by subject id: wrong lengths
-        // would panic the state machine on the next delivery.
-        if echo_count.len() != self.config.n() || accepted.len() != self.config.n() {
+        let n = self.config.n();
+        // The tables are indexed by process id: wrong lengths or
+        // out-of-range ids would panic the state machine on the next
+        // delivery, so a snapshot from a different `n` is rejected whole.
+        if echo_count.len() != n || accepted.len() != n {
+            return false;
+        }
+        if echoed.iter().any(|&(s, _)| s >= n)
+            || echo_seen.iter().any(|&((s, q), _)| s >= n || q >= n)
+            || sticky_echo.iter().any(|&((s, q), _)| s >= n || q >= n)
+            || sticky_init.iter().any(|&(s, _)| s >= n)
+            || deferred
+                .iter()
+                .flat_map(|(_, batch)| batch)
+                .any(|&(sender, msg)| sender.index() >= n || msg.subject.index() >= n)
+        {
             return false;
         }
         self.value = value;
@@ -514,14 +554,34 @@ impl Process for Malicious {
         self.decision = decision;
         self.decided_phase = decided_phase;
         self.halted = halted;
-        self.echoed = echoed.into_iter().collect();
-        self.echo_seen = echo_seen.into_iter().map(|((s, q), w)| (s, q, w)).collect();
+        self.echoed = PhaseSubjects::new(n);
+        for (s, t) in echoed {
+            self.echoed.insert(s, t);
+        }
+        self.echo_seen = BitSet::with_bits(2 * n * n);
+        for ((s, q), w) in echo_seen {
+            self.echo_seen.insert(((s * n + q) << 1) | usize::from(w));
+        }
         self.echo_count = echo_count.into_iter().map(|(a, b)| [a, b]).collect();
         self.accepted = accepted;
         self.message_count = [mc0, mc1];
-        self.deferred = deferred.into_iter().collect();
-        self.sticky_echo = sticky_echo.into_iter().collect();
-        self.sticky_init = sticky_init.into_iter().collect();
+        // Mirror the BTreeMap collect this replaced: sorted by phase, a
+        // repeated phase keeping the last batch.
+        self.deferred.clear();
+        for (t, batch) in deferred {
+            match self.deferred.binary_search_by_key(&t, |e| e.0) {
+                Ok(i) => self.deferred[i].1 = batch,
+                Err(i) => self.deferred.insert(i, (t, batch)),
+            }
+        }
+        self.sticky_echo = PairValues::new(n);
+        for ((s, q), v) in sticky_echo {
+            self.sticky_echo.insert_or_get(s, q, v);
+        }
+        self.sticky_init = vec![None; n];
+        for (s, v) in sticky_init {
+            self.sticky_init[s] = Some(v);
+        }
         true
     }
 }

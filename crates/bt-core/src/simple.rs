@@ -26,8 +26,6 @@
 //! load finite, which is what makes convergence checkable under hostile
 //! (partition) schedules.
 
-use std::collections::BTreeMap;
-
 use simnet::{Ctx, Envelope, Process, ProtocolEvent, Value, Wire, WireReader};
 
 use crate::{Config, SimpleMsg};
@@ -58,7 +56,8 @@ pub struct Simple {
     value: Value,
     phase: u64,
     message_count: [usize; 2],
-    deferred: BTreeMap<u64, Vec<SimpleMsg>>,
+    /// Future-phase messages, sorted by phase, arrival order per batch.
+    deferred: Vec<(u64, Vec<SimpleMsg>)>,
     decision: Option<Value>,
     decided_phase: Option<u64>,
     halted: bool,
@@ -73,7 +72,7 @@ impl Simple {
             value: input,
             phase: 0,
             message_count: [0; 2],
-            deferred: BTreeMap::new(),
+            deferred: Vec::new(),
             decision: None,
             decided_phase: None,
             halted: false,
@@ -146,9 +145,10 @@ impl Simple {
 
     fn drain_deferred(&mut self, ctx: &mut Ctx<'_, SimpleMsg>) {
         while !self.halted {
-            let Some(mut batch) = self.deferred.remove(&self.phase) else {
+            let Ok(slot) = self.deferred.binary_search_by_key(&self.phase, |e| e.0) else {
                 return;
             };
+            let mut batch = self.deferred.remove(slot).1;
             let mut ended = false;
             while let Some(msg) = batch.pop() {
                 if self.count(msg) {
@@ -183,7 +183,14 @@ impl Process for Simple {
             return;
         }
         if msg.phase > self.phase {
-            self.deferred.entry(msg.phase).or_default().push(msg);
+            let slot = match self.deferred.binary_search_by_key(&msg.phase, |e| e.0) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.deferred.insert(i, (msg.phase, Vec::new()));
+                    i
+                }
+            };
+            self.deferred[slot].1.push(msg);
             return;
         }
         if self.count(msg) {
@@ -214,12 +221,7 @@ impl Process for Simple {
         self.phase.encode(&mut out);
         self.message_count[0].encode(&mut out);
         self.message_count[1].encode(&mut out);
-        let deferred: Vec<(u64, Vec<SimpleMsg>)> = self
-            .deferred
-            .iter()
-            .map(|(&phase, msgs)| (phase, msgs.clone()))
-            .collect();
-        deferred.encode(&mut out);
+        self.deferred.encode(&mut out);
         self.decision.encode(&mut out);
         self.decided_phase.encode(&mut out);
         self.halted.encode(&mut out);
@@ -258,7 +260,15 @@ impl Process for Simple {
         self.value = value;
         self.phase = phase;
         self.message_count = [zeros, ones];
-        self.deferred = deferred.into_iter().collect();
+        // Mirror the BTreeMap collect this replaced: sorted by phase, a
+        // repeated phase keeping the last batch.
+        self.deferred.clear();
+        for (t, batch) in deferred {
+            match self.deferred.binary_search_by_key(&t, |e| e.0) {
+                Ok(i) => self.deferred[i].1 = batch,
+                Err(i) => self.deferred.insert(i, (t, batch)),
+            }
+        }
         self.decision = decision;
         self.decided_phase = decided_phase;
         self.halted = halted;

@@ -1,0 +1,227 @@
+//! Flat, index-addressed tally containers for the hot receive path.
+//!
+//! The Figure 2 receive path runs once per delivered echo — `O(n²)` times
+//! per process per phase at full amplification — so its bookkeeping must
+//! not hash, chase pointers, or allocate. These containers replace the
+//! `HashSet`/`HashMap`/`BTreeMap` tables the protocols used to keep:
+//! membership is one bit at a computed index, iteration is a word scan in
+//! ascending key order (which is exactly the canonical order snapshots
+//! serialize in, so no sort is needed on the hot structures).
+
+use simnet::Value;
+
+/// A fixed-capacity bit set over `0..bits`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub(crate) struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set with room for indices `0..bits`.
+    pub(crate) fn with_bits(bits: usize) -> Self {
+        BitSet {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Whether `i` is in the set.
+    pub(crate) fn contains(&self, i: usize) -> bool {
+        self.words[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    /// Inserts `i`; returns `true` if it was not already present.
+    pub(crate) fn insert(&mut self, i: usize) -> bool {
+        let word = &mut self.words[i >> 6];
+        let bit = 1u64 << (i & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes every element, keeping capacity.
+    pub(crate) fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of 64-bit words backing the set.
+    pub(crate) fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The `w`-th backing word (bits `64w..64w+63`).
+    pub(crate) fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+
+    /// The set elements in ascending order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some((w << 6) | tz)
+            })
+        })
+    }
+}
+
+/// A map from `(a, b)` pairs (`a, b < n`) to a [`Value`]: one presence bit
+/// and one value bit per pair, first insert wins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct PairValues {
+    n: usize,
+    present: BitSet,
+    /// Bit set ⇔ the stored value is [`Value::One`].
+    one: BitSet,
+}
+
+impl PairValues {
+    /// An empty map over pairs drawn from `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        PairValues {
+            n,
+            present: BitSet::with_bits(n * n),
+            one: BitSet::with_bits(n * n),
+        }
+    }
+
+    /// Inserts `(a, b) → v` if absent; returns the stored value either way
+    /// (the first write wins, like `entry(..).or_insert(v)`).
+    pub(crate) fn insert_or_get(&mut self, a: usize, b: usize, v: Value) -> Value {
+        let pair = a * self.n + b;
+        if self.present.insert(pair) {
+            if v == Value::One {
+                self.one.insert(pair);
+            }
+            v
+        } else {
+            Value::from(self.one.contains(pair))
+        }
+    }
+
+    /// Number of 64-bit words backing the presence set.
+    pub(crate) fn word_count(&self) -> usize {
+        self.present.word_count()
+    }
+
+    /// The `w`-th presence word: bit `b` set ⇔ pair `64w + b` is present.
+    pub(crate) fn presence_word(&self, w: usize) -> u64 {
+        self.present.word(w)
+    }
+
+    /// The value stored for a present pair index (`a * n + b`).
+    pub(crate) fn value_at(&self, pair: usize) -> Value {
+        Value::from(self.one.contains(pair))
+    }
+
+    /// The entries as `((a, b), value)` in ascending `(a, b)` order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = ((usize, usize), Value)> + '_ {
+        self.present.iter().map(|pair| {
+            (
+                (pair / self.n, pair % self.n),
+                Value::from(self.one.contains(pair)),
+            )
+        })
+    }
+}
+
+/// A set of `(subject, phase)` pairs with `subject < n` and unbounded
+/// phase: one subject bitmask per phase touched, phases kept sorted.
+///
+/// Membership tests bind to a phase first (a short sorted scan — a run
+/// only ever has a handful of distinct phases in flight), then to one bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct PhaseSubjects {
+    words: usize,
+    phases: Vec<(u64, Vec<u64>)>,
+}
+
+impl PhaseSubjects {
+    /// An empty set over subjects `0..n`.
+    pub(crate) fn new(n: usize) -> Self {
+        PhaseSubjects {
+            words: n.div_ceil(64),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Inserts `(subject, phase)`; returns `true` if it was absent.
+    pub(crate) fn insert(&mut self, subject: usize, phase: u64) -> bool {
+        let slot = match self.phases.binary_search_by_key(&phase, |e| e.0) {
+            Ok(i) => i,
+            Err(i) => {
+                self.phases.insert(i, (phase, vec![0; self.words]));
+                i
+            }
+        };
+        let word = &mut self.phases[slot].1[subject >> 6];
+        let bit = 1u64 << (subject & 63);
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Every `(subject, phase)` pair, grouped by phase ascending (callers
+    /// needing the canonical subject-major order sort the result).
+    pub(crate) fn pairs(&self) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        for (phase, mask) in &self.phases {
+            for (w, &word) in mask.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    out.push(((w << 6) | tz, *phase));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitset_insert_contains_iter() {
+        let mut s = BitSet::with_bits(200);
+        assert!(s.insert(0));
+        assert!(s.insert(199));
+        assert!(s.insert(64));
+        assert!(!s.insert(64), "duplicate");
+        assert!(s.contains(199));
+        assert!(!s.contains(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 199]);
+        s.clear_all();
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn pair_values_first_write_wins_and_iterates_sorted() {
+        let mut m = PairValues::new(5);
+        assert_eq!(m.insert_or_get(3, 1, Value::One), Value::One);
+        assert_eq!(m.insert_or_get(3, 1, Value::Zero), Value::One, "sticky");
+        assert_eq!(m.insert_or_get(0, 4, Value::Zero), Value::Zero);
+        assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            vec![((0, 4), Value::Zero), ((3, 1), Value::One)]
+        );
+    }
+
+    #[test]
+    fn phase_subjects_tracks_pairs_across_phases() {
+        let mut s = PhaseSubjects::new(70);
+        assert!(s.insert(69, 7));
+        assert!(s.insert(0, 3));
+        assert!(s.insert(69, 3));
+        assert!(!s.insert(69, 7), "duplicate");
+        let mut pairs = s.pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 3), (69, 3), (69, 7)]);
+    }
+}

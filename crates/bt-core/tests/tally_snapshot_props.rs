@@ -1,0 +1,242 @@
+//! Properties of the compact tally state: snapshots are canonical under
+//! round-trip, and a process restored mid-phase is behaviourally
+//! indistinguishable from the original — same broadcasts, same decision,
+//! same bytes — under randomized adversarial message workloads.
+//!
+//! These guard the flat bitset/sorted-vec representations that replaced
+//! the hash tables in `malicious`, `broadcast`, and `simple`: the wire
+//! format is the old canonical sorted layout, so any divergence in
+//! serialization order or restore semantics shows up here as a byte diff.
+
+use bt_core::broadcast::{EchoOutcome, EchoTracker};
+use bt_core::{
+    Config, Malicious, MaliciousKind, MaliciousMsg, Phase, Simple, SimpleMsg, Termination,
+};
+use simnet::{Ctx, Envelope, Process, ProcessId, SimRng, Value};
+
+const N: usize = 7;
+const K: usize = 2;
+
+/// A random malicious-protocol envelope biased toward the current phase,
+/// with occasional wildcards, equivocations, and future/past stamps.
+fn random_malicious_env(rng: &mut SimRng, phase: u64) -> Envelope<MaliciousMsg> {
+    let sender = ProcessId::new(rng.index(N));
+    let value = Value::from(rng.index(2) == 1);
+    let subject = ProcessId::new(rng.index(N));
+    let stamp = match rng.index(8) {
+        0 => Phase::Any,
+        1 => Phase::At(phase + 1 + rng.index(3) as u64),
+        2 if phase > 0 => Phase::At(phase - 1),
+        _ => Phase::At(phase),
+    };
+    let kind = if rng.index(4) == 0 {
+        MaliciousKind::Initial
+    } else {
+        MaliciousKind::Echo
+    };
+    let msg = match kind {
+        // Honest initials must come from their subject to pass the §3.1
+        // authenticity check; send a forged one occasionally too.
+        MaliciousKind::Initial if rng.index(5) > 0 => MaliciousMsg {
+            kind,
+            subject: sender,
+            value,
+            phase: stamp,
+        },
+        _ => MaliciousMsg {
+            kind,
+            subject,
+            value,
+            phase: stamp,
+        },
+    };
+    Envelope::new(sender, msg)
+}
+
+fn deliver<P: Process>(
+    p: &mut P,
+    env: Envelope<P::Msg>,
+    rng: &mut SimRng,
+) -> Vec<(ProcessId, P::Msg)> {
+    let mut outbox = Vec::new();
+    let mut ctx = Ctx::new(ProcessId::new(0), N, 0, &mut outbox, rng);
+    p.on_receive(env, &mut ctx);
+    outbox
+}
+
+#[test]
+fn malicious_snapshot_round_trips_canonically_under_random_traffic() {
+    let config = Config::malicious(N, K).unwrap();
+    for seed in 0..30u64 {
+        let mut rng = SimRng::seed(0xC0FFEE ^ seed);
+        let mut p = Malicious::with_termination(config, Value::Zero, Termination::WildcardExit);
+        {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx::new(ProcessId::new(0), N, 0, &mut outbox, &mut rng);
+            p.on_start(&mut ctx);
+        }
+        for step in 0..200 {
+            let env = random_malicious_env(&mut rng, p.phase());
+            let _ = deliver(&mut p, env, &mut rng);
+            if step % 23 != 0 {
+                continue;
+            }
+            let snap = p.snapshot().unwrap();
+            let mut q = Malicious::new(config, Value::One);
+            assert!(q.restore(&snap), "seed {seed} step {step}: restore failed");
+            assert_eq!(
+                q.snapshot().unwrap(),
+                snap,
+                "seed {seed} step {step}: snapshot not canonical after restore"
+            );
+        }
+    }
+}
+
+#[test]
+fn malicious_restored_mid_phase_behaves_identically() {
+    let config = Config::malicious(N, K).unwrap();
+    for seed in 0..30u64 {
+        let mut rng = SimRng::seed(0xBEEF ^ seed);
+        let mut p = Malicious::new(config, Value::Zero);
+        {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx::new(ProcessId::new(0), N, 0, &mut outbox, &mut rng);
+            p.on_start(&mut ctx);
+        }
+        // First act: drive the original partway into a phase.
+        for _ in 0..80 {
+            let env = random_malicious_env(&mut rng, p.phase());
+            let _ = deliver(&mut p, env, &mut rng);
+        }
+        // Clone via the wire, then play the identical second act to both.
+        let snap = p.snapshot().unwrap();
+        let mut q = Malicious::new(config, Value::One);
+        assert!(q.restore(&snap), "seed {seed}: restore failed");
+        let mut rng_q = SimRng::seed(1);
+        for step in 0..120 {
+            let env = random_malicious_env(&mut rng, p.phase());
+            let sent_p = deliver(&mut p, env.clone(), &mut rng);
+            let sent_q = deliver(&mut q, env, &mut rng_q);
+            assert_eq!(
+                sent_p, sent_q,
+                "seed {seed} step {step}: broadcasts diverged"
+            );
+        }
+        assert_eq!(
+            p.decision(),
+            q.decision(),
+            "seed {seed}: decisions diverged"
+        );
+        assert_eq!(p.phase(), q.phase(), "seed {seed}: phases diverged");
+        assert_eq!(p.halted(), q.halted(), "seed {seed}");
+        assert_eq!(
+            p.snapshot(),
+            q.snapshot(),
+            "seed {seed}: end states diverged"
+        );
+    }
+}
+
+#[test]
+fn simple_restored_mid_phase_behaves_identically() {
+    let config = Config::malicious(N, K).unwrap();
+    for seed in 0..30u64 {
+        let mut rng = SimRng::seed(0x51AB ^ seed);
+        let mut p = Simple::new(config, Value::Zero);
+        {
+            let mut outbox = Vec::new();
+            let mut ctx = Ctx::new(ProcessId::new(0), N, 0, &mut outbox, &mut rng);
+            p.on_start(&mut ctx);
+        }
+        let mk = |rng: &mut SimRng, phase: u64| {
+            let from = ProcessId::new(rng.index(N));
+            let t = match rng.index(6) {
+                0 => phase + 1 + rng.index(3) as u64,
+                1 if phase > 0 => phase - 1,
+                _ => phase,
+            };
+            Envelope::new(
+                from,
+                SimpleMsg {
+                    phase: t,
+                    value: Value::from(rng.index(2) == 1),
+                },
+            )
+        };
+        for _ in 0..40 {
+            let env = mk(&mut rng, p.phase());
+            let _ = deliver(&mut p, env, &mut rng);
+        }
+        let snap = p.snapshot().unwrap();
+        let mut q = Simple::new(config, Value::One);
+        assert!(q.restore(&snap), "seed {seed}: restore failed");
+        assert_eq!(q.snapshot().unwrap(), snap, "seed {seed}: not canonical");
+        let mut rng_q = SimRng::seed(2);
+        for step in 0..80 {
+            let env = mk(&mut rng, p.phase());
+            let sent_p = deliver(&mut p, env.clone(), &mut rng);
+            let sent_q = deliver(&mut q, env, &mut rng_q);
+            assert_eq!(
+                sent_p, sent_q,
+                "seed {seed} step {step}: broadcasts diverged"
+            );
+        }
+        assert_eq!(p.decision(), q.decision(), "seed {seed}");
+        assert_eq!(
+            p.snapshot(),
+            q.snapshot(),
+            "seed {seed}: end states diverged"
+        );
+    }
+}
+
+/// Cross-checks the bitset-backed [`EchoTracker`] against a naive
+/// hash-table model under a random echo workload (duplicates,
+/// equivocations, repeated post-acceptance echoes).
+#[test]
+fn echo_tracker_matches_hash_model() {
+    use std::collections::{HashMap, HashSet};
+
+    let config = Config::malicious(N, K).unwrap();
+    for seed in 0..20u64 {
+        let mut rng = SimRng::seed(0xEC40 ^ seed);
+        let mut t = EchoTracker::new(config);
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut accepted: HashMap<usize, Value> = HashMap::new();
+        for _ in 0..300 {
+            let (s, q) = (rng.index(N), rng.index(N));
+            let v = Value::from(rng.index(2) == 1);
+            let got = t.record_echo(ProcessId::new(s), ProcessId::new(q), v);
+            let expect = if accepted.contains_key(&q) || !seen.insert((s, q)) {
+                EchoOutcome::Ignored
+            } else {
+                let c = counts.entry((q, v.index())).or_insert(0);
+                *c += 1;
+                if config.accepts(*c) {
+                    accepted.insert(q, v);
+                    EchoOutcome::Accepted(v)
+                } else {
+                    EchoOutcome::Counted
+                }
+            };
+            assert_eq!(got, expect, "seed {seed}");
+            for subject in 0..N {
+                assert_eq!(
+                    t.accepted(ProcessId::new(subject)),
+                    accepted.get(&subject).copied(),
+                    "seed {seed}"
+                );
+                for value in Value::BOTH {
+                    assert_eq!(
+                        t.echo_count(ProcessId::new(subject), value),
+                        counts.get(&(subject, value.index())).copied().unwrap_or(0),
+                        "seed {seed}"
+                    );
+                }
+            }
+            assert_eq!(t.accepted_count(), accepted.len(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Golden-trace determinism gate.
+//!
+//! One pinned scenario per protocol, run through the simulator with a JSONL
+//! sink attached; the resulting trace must match the committed fixture
+//! **byte for byte**. The fixtures were captured before the large-n engine
+//! rework (compact buffers, incremental scheduler views, flat tallies), so
+//! this suite is the proof that the data-structure swap preserved the
+//! engine's observable behaviour exactly: same seed, same schedule, same
+//! deliveries, same decisions, same bytes.
+//!
+//! To regenerate after an *intentional* semantic change, run with
+//! `BT_UPDATE_GOLDEN=1` and commit the diff — the diff itself is then the
+//! reviewable record of what the change did to the schedule.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dst::{run_sim, FaultSpec, OrderSpec, ProtoKind, Scenario, SchedSpec};
+use simnet::Value;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn check_golden(name: &str, scenario: &Scenario) {
+    let outcome = run_sim(scenario);
+    let path = fixture_path(name);
+    if std::env::var_os("BT_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        fs::write(&path, &outcome.trace).expect("write fixture");
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with BT_UPDATE_GOLDEN=1",
+            name
+        )
+    });
+    // Compare linewise first for a readable failure, then byte-exact.
+    for (lineno, (got, want)) in outcome.trace.lines().zip(golden.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "{name}: trace diverges from fixture at line {}",
+            lineno + 1
+        );
+    }
+    assert_eq!(
+        outcome.trace, golden,
+        "{name}: trace length differs from fixture"
+    );
+}
+
+fn inputs(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| if i % 2 == 0 { Value::One } else { Value::Zero })
+        .collect()
+}
+
+#[test]
+fn failstop_trace_matches_fixture() {
+    let n = 5;
+    let mut faults = vec![FaultSpec::Correct; n];
+    faults[2] = FaultSpec::CrashAfterSends(7);
+    check_golden(
+        "failstop.jsonl",
+        &Scenario {
+            proto: ProtoKind::FailStop,
+            n,
+            k: 1,
+            seed: 0xB7_0001,
+            inputs: inputs(n),
+            faults,
+            sched: SchedSpec::Fair(OrderSpec::Random),
+            step_limit: 100_000,
+            inject: None,
+        },
+    );
+}
+
+#[test]
+fn simple_trace_matches_fixture() {
+    let n = 5;
+    check_golden(
+        "simple.jsonl",
+        &Scenario {
+            proto: ProtoKind::Simple,
+            n,
+            k: 1,
+            seed: 0xB7_0002,
+            inputs: inputs(n),
+            faults: vec![FaultSpec::Correct; n],
+            sched: SchedSpec::Fair(OrderSpec::Random),
+            step_limit: 100_000,
+            inject: None,
+        },
+    );
+}
+
+#[test]
+fn malicious_trace_matches_fixture() {
+    let n = 4;
+    let mut faults = vec![FaultSpec::Correct; n];
+    faults[3] = FaultSpec::TwoFaced;
+    check_golden(
+        "malicious.jsonl",
+        &Scenario {
+            proto: ProtoKind::Malicious,
+            n,
+            k: 1,
+            seed: 0xB7_0003,
+            inputs: inputs(n),
+            faults,
+            sched: SchedSpec::Fair(OrderSpec::Random),
+            step_limit: 100_000,
+            inject: None,
+        },
+    );
+}
+
+/// The adversarial schedulers read the pending-message view (sender
+/// filtering), so pin one partition-scheduled run too: it exercises the
+/// view-iteration path the fair scheduler never touches.
+#[test]
+fn partitioned_malicious_trace_matches_fixture() {
+    let n = 4;
+    check_golden(
+        "malicious_partition.jsonl",
+        &Scenario {
+            proto: ProtoKind::Malicious,
+            n,
+            k: 1,
+            seed: 0xB7_0004,
+            inputs: inputs(n),
+            faults: vec![FaultSpec::Correct; n],
+            sched: SchedSpec::Partition {
+                left: vec![0, 1],
+                epoch_len: 16,
+                heal_every: 3,
+            },
+            step_limit: 100_000,
+            inject: None,
+        },
+    );
+}

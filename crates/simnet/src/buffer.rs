@@ -1,8 +1,112 @@
 //! Per-process message buffers.
+//!
+//! Logically a buffer is still what §2.1 describes: the multiset of messages
+//! sent to a process but not yet received, ordered by arrival so schedulers
+//! can index it deterministically. Physically it is a slab with tombstones —
+//! taking a message marks its slot dead instead of shifting every later
+//! envelope down (`Vec::remove` made each delivery O(pending), which is what
+//! capped simulations near n ≈ 100). A Fenwick tree over 64-slot words turns
+//! a *logical* index (rank among live slots, oldest first) into a physical
+//! slot in O(log pending), and dead space is compacted away amortized O(1)
+//! per take, preserving live order — so the indices schedulers see, and the
+//! `index` recorded in [`Event::Deliver`](crate::Event::Deliver), mean
+//! exactly what they meant before the rewrite.
 
 use core::fmt;
 
 use crate::Envelope;
+
+/// Fenwick (binary indexed) tree of live counts per 64-slot word: prefix
+/// sums and rank-select in O(log words).
+#[derive(Default)]
+struct WordTree {
+    tree: Vec<u32>,
+}
+
+impl WordTree {
+    /// Sum of word counts in `[0, words)`.
+    fn prefix(&self, words: usize) -> usize {
+        let mut i = words;
+        let mut sum = 0usize;
+        while i > 0 {
+            sum += self.tree[i - 1] as usize;
+            i &= i - 1;
+        }
+        sum
+    }
+
+    fn add(&mut self, word: usize, delta: i32) {
+        let mut i = word + 1;
+        while i <= self.tree.len() {
+            self.tree[i - 1] = (self.tree[i - 1] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Appends a word with count 0, keeping the tree consistent.
+    fn push_zero(&mut self) {
+        let i = self.tree.len() + 1; // 1-based position of the new node
+        let lowbit = i & i.wrapping_neg();
+        let value = self.prefix(i - 1) - self.prefix(i - lowbit);
+        self.tree.push(value as u32);
+    }
+
+    /// Finds the word containing the live slot of rank `rank`; returns the
+    /// word index and the remaining rank within it. `rank` must be less
+    /// than the total count.
+    fn select(&self, rank: usize) -> (usize, usize) {
+        let len = self.tree.len();
+        let mut pos = 0usize;
+        let mut rem = rank;
+        let mut pw = len.next_power_of_two();
+        if pw > len {
+            pw >>= 1;
+        }
+        while pw > 0 {
+            let next = pos + pw;
+            if next <= len && (self.tree[next - 1] as usize) <= rem {
+                rem -= self.tree[next - 1] as usize;
+                pos = next;
+            }
+            pw >>= 1;
+        }
+        (pos, rem)
+    }
+
+    /// Rebuilds from per-word counts in O(words).
+    fn rebuild(&mut self, counts: impl Iterator<Item = u32>) {
+        self.tree.clear();
+        self.tree.extend(counts);
+        let len = self.tree.len();
+        for i in 1..=len {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= len {
+                self.tree[parent - 1] += self.tree[i - 1];
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.tree.clear();
+    }
+}
+
+/// Index of the `rank`-th set bit of `word` (rank < popcount).
+fn nth_set_bit(mut word: u64, mut rank: usize) -> usize {
+    loop {
+        let tz = word.trailing_zeros() as usize;
+        if rank == 0 {
+            return tz;
+        }
+        word &= word - 1;
+        rank -= 1;
+    }
+}
+
+/// Compact once the dead fraction dominates and is worth the scan; keeps
+/// iteration O(live + small constant) and take amortized O(1) while never
+/// compacting tiny buffers on every operation.
+const COMPACT_MIN_DEAD: usize = 64;
 
 /// The message buffer the message system maintains for one process: messages
 /// sent to it but not yet received (§2.1).
@@ -13,7 +117,14 @@ use crate::Envelope;
 /// FIFO schedulers can model orderly channels, while random schedulers index
 /// freely.
 pub struct Buffer<M> {
-    items: Vec<Envelope<M>>,
+    /// Arrival-ordered slots; `None` marks an already-taken message.
+    slots: Vec<Option<Envelope<M>>>,
+    /// Live bit per slot, one `u64` per 64 slots.
+    mask: Vec<u64>,
+    /// Fenwick tree of live counts per mask word.
+    tree: WordTree,
+    /// Number of live (pending) messages.
+    live: usize,
     /// Total number of envelopes ever enqueued, for metrics.
     enqueued: u64,
 }
@@ -23,7 +134,10 @@ impl<M> Buffer<M> {
     #[must_use]
     pub fn new() -> Self {
         Buffer {
-            items: Vec::new(),
+            slots: Vec::new(),
+            mask: Vec::new(),
+            tree: WordTree::default(),
+            live: 0,
             enqueued: 0,
         }
     }
@@ -31,13 +145,13 @@ impl<M> Buffer<M> {
     /// Number of messages currently awaiting delivery.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.live
     }
 
     /// Whether the buffer holds no deliverable messages.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.live == 0
     }
 
     /// Total number of envelopes ever placed in this buffer.
@@ -50,7 +164,27 @@ impl<M> Buffer<M> {
     /// instantaneous `send`).
     pub fn push(&mut self, env: Envelope<M>) {
         self.enqueued += 1;
-        self.items.push(env);
+        let phys = self.slots.len();
+        let word = phys >> 6;
+        if word == self.mask.len() {
+            self.mask.push(0);
+            self.tree.push_zero();
+        }
+        self.slots.push(Some(env));
+        self.mask[word] |= 1u64 << (phys & 63);
+        self.tree.add(word, 1);
+        self.live += 1;
+    }
+
+    /// Physical slot of the live message with logical index `index`.
+    fn locate(&self, index: usize) -> usize {
+        assert!(
+            index < self.live,
+            "buffer index {index} out of range (len {})",
+            self.live
+        );
+        let (word, rem) = self.tree.select(index);
+        (word << 6) | nth_set_bit(self.mask[word], rem)
     }
 
     /// Removes and returns the envelope at `index`, preserving the relative
@@ -60,21 +194,59 @@ impl<M> Buffer<M> {
     ///
     /// Panics if `index >= self.len()`.
     pub fn take(&mut self, index: usize) -> Envelope<M> {
-        self.items.remove(index)
+        let phys = self.locate(index);
+        let env = self.slots[phys].take().expect("live bit points at a slot");
+        self.mask[phys >> 6] &= !(1u64 << (phys & 63));
+        self.tree.add(phys >> 6, -1);
+        self.live -= 1;
+        let dead = self.slots.len() - self.live;
+        if dead > self.live && dead >= COMPACT_MIN_DEAD {
+            self.compact();
+        }
+        env
     }
 
-    /// A view of the pending envelopes, oldest first. Schedulers use this to
+    /// Drops tombstones, preserving live order. Amortized against the takes
+    /// that created the dead slots.
+    fn compact(&mut self) {
+        self.slots.retain(Option::is_some);
+        debug_assert_eq!(self.slots.len(), self.live);
+        let words = self.slots.len().div_ceil(64);
+        self.mask.clear();
+        self.mask.resize(words, 0);
+        for word in 0..words {
+            let bits = (self.slots.len() - (word << 6)).min(64);
+            self.mask[word] = if bits == 64 { !0 } else { (1u64 << bits) - 1 };
+        }
+        self.tree.rebuild(self.mask.iter().map(|w| w.count_ones()));
+    }
+
+    /// The live message at logical `index` (0 = oldest), without removal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> &Envelope<M> {
+        self.slots[self.locate(index)]
+            .as_ref()
+            .expect("live bit points at a slot")
+    }
+
+    /// Iterates the pending envelopes, oldest first. Schedulers use this to
     /// pick a delivery index; they must not rely on payload contents of
     /// Byzantine senders.
-    #[must_use]
-    pub fn pending(&self) -> &[Envelope<M>] {
-        &self.items
+    pub fn iter(&self) -> impl Iterator<Item = &Envelope<M>> {
+        self.slots.iter().filter_map(Option::as_ref)
     }
 
     /// Drops all pending messages (used when a process halts: deliveries to
     /// it can never affect the run again).
     pub fn clear(&mut self) {
-        self.items.clear();
+        self.slots.clear();
+        self.mask.clear();
+        self.tree.clear();
+        self.live = 0;
     }
 }
 
@@ -87,7 +259,7 @@ impl<M> Default for Buffer<M> {
 impl<M: fmt::Debug> fmt::Debug for Buffer<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Buffer")
-            .field("pending", &self.items)
+            .field("pending", &self.iter().collect::<Vec<_>>())
             .field("enqueued", &self.enqueued)
             .finish()
     }
@@ -112,8 +284,9 @@ mod tests {
 
         let middle = b.take(1);
         assert_eq!(middle.msg, 11);
-        assert_eq!(b.pending()[0].msg, 10);
-        assert_eq!(b.pending()[1].msg, 12);
+        assert_eq!(b.get(0).msg, 10);
+        assert_eq!(b.get(1).msg, 12);
+        assert_eq!(b.iter().map(|e| e.msg).collect::<Vec<_>>(), vec![10, 12]);
     }
 
     #[test]
@@ -144,5 +317,49 @@ mod tests {
     fn take_out_of_bounds_panics() {
         let mut b: Buffer<u32> = Buffer::new();
         b.take(0);
+    }
+
+    /// Cross-checks the slab against the obviously correct `Vec::remove`
+    /// model across a long randomized push/take interleaving — including
+    /// runs long enough to trigger compaction many times over.
+    #[test]
+    fn matches_vec_remove_model_under_random_workload() {
+        let mut rng = crate::SimRng::seed(0xB0FF);
+        let mut b = Buffer::new();
+        let mut model: Vec<u32> = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..20_000 {
+            let push = model.is_empty() || rng.index(3) > 0;
+            if push {
+                b.push(env(0, next));
+                model.push(next);
+                next += 1;
+            } else {
+                let i = rng.index(model.len());
+                assert_eq!(b.take(i).msg, model.remove(i));
+            }
+            assert_eq!(b.len(), model.len());
+            if !model.is_empty() {
+                let probe = rng.index(model.len());
+                assert_eq!(b.get(probe).msg, model[probe]);
+            }
+        }
+        assert_eq!(b.iter().map(|e| e.msg).collect::<Vec<_>>(), model);
+        assert_eq!(b.total_enqueued(), u64::from(next));
+    }
+
+    #[test]
+    fn interleaved_takes_hit_every_logical_position() {
+        let mut b = Buffer::new();
+        for i in 0..300 {
+            b.push(env(0, i));
+        }
+        // Take from the middle repeatedly: ranks shift exactly like remove.
+        let mut model: Vec<u32> = (0..300).collect();
+        for step in 0..250 {
+            let i = (step * 7) % model.len();
+            assert_eq!(b.take(i).msg, model.remove(i), "step {step}");
+        }
+        assert_eq!(b.iter().map(|e| e.msg).collect::<Vec<_>>(), model);
     }
 }

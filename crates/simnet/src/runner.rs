@@ -34,6 +34,9 @@ pub struct TrialStats {
     pub steps: Summary,
     /// Per-trial messages sent.
     pub messages: Summary,
+    /// Total scheduler steps (deliveries) executed across **all** trials,
+    /// decided or not — the denominator for per-delivery cost metrics.
+    pub total_steps: u64,
     /// How often the common decision was `1` (over decided trials).
     pub ones_decided: usize,
     /// Seeds of trials that violated a property, for replay.
@@ -245,9 +248,11 @@ fn aggregate(reports: &[(u64, RunReport)]) -> TrialStats {
     let mut steps = Vec::new();
     let mut messages = Vec::new();
     let mut violation_seeds = Vec::new();
+    let mut total_steps = 0u64;
 
     for (seed, r) in reports {
         messages.push(r.metrics.messages_sent as f64);
+        total_steps += r.steps;
         if !r.agreement() {
             disagreements += 1;
             violation_seeds.push(*seed);
@@ -284,6 +289,7 @@ fn aggregate(reports: &[(u64, RunReport)]) -> TrialStats {
         phases: Summary::of(phases),
         steps: Summary::of(steps),
         messages: Summary::of(messages),
+        total_steps,
         ones_decided,
         violation_seeds,
     }
@@ -346,6 +352,8 @@ mod tests {
         assert_eq!(a.decided, b.decided);
         assert_eq!(a.phases.mean, b.phases.mean);
         assert_eq!(a.messages.mean, b.messages.mean);
+        // The step total is a plain sum, so worker scheduling cannot move it.
+        assert_eq!(a.total_steps, b.total_steps);
     }
 
     #[test]

@@ -66,8 +66,8 @@ impl<M> Scheduler<M> for DelayingScheduler {
         // Gather deliveries whose sender is NOT delayed.
         let mut fresh: Vec<Selection> = Vec::new();
         for to in view.deliverable() {
-            for (index, env) in view.pending(to).iter().enumerate() {
-                if !self.delayed_from[env.from.index()] {
+            for (index, from) in view.pending_senders(to) {
+                if !self.delayed_from[from.index()] {
                     fresh.push(Selection { to, index });
                 }
             }

@@ -78,23 +78,29 @@ impl FairScheduler {
     }
 
     fn pick_receiver<M>(&self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<ProcessId> {
-        let candidates: Vec<ProcessId> = view.deliverable().collect();
-        if candidates.is_empty() {
+        // Count-then-rank-select over the view's deliverable bitmask: the
+        // same uniform choice (and the same RNG draw sequence) the old
+        // collect-into-a-Vec implementation made, without the per-delivery
+        // allocation — this is the engine's hottest scheduler path.
+        let count = view.deliverable_count();
+        if count == 0 {
             return None;
         }
         match &self.weights {
-            None => Some(candidates[rng.index(candidates.len())]),
+            None => Some(view.deliverable_nth(rng.index(count))),
             Some(w) => {
-                let total: f64 = candidates.iter().map(|p| w[p.index()]).sum();
+                let total: f64 = view.deliverable().map(|p| w[p.index()]).sum();
                 // Inverse-CDF sampling over the candidate weights.
                 let mut x = (rng.next_u64() as f64 / u64::MAX as f64) * total;
-                for p in &candidates {
+                let mut last = None;
+                for p in view.deliverable() {
                     x -= w[p.index()];
                     if x <= 0.0 {
-                        return Some(*p);
+                        return Some(p);
                     }
+                    last = Some(p);
                 }
-                Some(*candidates.last().expect("candidates is non-empty"))
+                last
             }
         }
     }
@@ -118,7 +124,7 @@ impl fmt::Debug for FairScheduler {
 impl<M> Scheduler<M> for FairScheduler {
     fn select(&mut self, view: &SystemView<'_, M>, rng: &mut SimRng) -> Option<Selection> {
         let to = self.pick_receiver(view, rng)?;
-        let len = view.pending(to).len();
+        let len = view.pending_len(to);
         let index = match self.order {
             DeliveryOrder::Random => rng.index(len),
             DeliveryOrder::Fifo => 0,

@@ -30,14 +30,23 @@ pub use round_robin::RoundRobinScheduler;
 pub use scripted::ScriptedScheduler;
 
 use core::fmt;
+use std::borrow::Cow;
 
-use crate::{Buffer, Envelope, ProcessId, SimRng};
+use crate::{Buffer, ProcessId, SimRng};
 
 /// A read-only view of the system the scheduler may base its choice on:
 /// which processes can still take steps, and what is pending in each buffer.
+///
+/// The deliverable set (runnable processes with a non-empty buffer) is
+/// materialized as a bitmask so schedulers can count and rank-select
+/// candidates in O(n/64) instead of collecting a fresh `Vec` per delivery.
+/// The engine maintains the mask incrementally across steps and lends it
+/// via [`SystemView::with_ready`]; the public [`SystemView::new`] builds it
+/// by scanning, which is fine for tests and one-shot callers.
 pub struct SystemView<'a, M> {
     buffers: &'a [Buffer<M>],
     runnable: &'a [bool],
+    ready: Cow<'a, [u64]>,
     step: u64,
 }
 
@@ -50,9 +59,33 @@ impl<'a, M> SystemView<'a, M> {
             runnable.len(),
             "buffers and runnable mask must have the same length"
         );
+        let mut ready = vec![0u64; buffers.len().div_ceil(64)];
+        for (i, b) in buffers.iter().enumerate() {
+            if runnable[i] && !b.is_empty() {
+                ready[i >> 6] |= 1u64 << (i & 63);
+            }
+        }
         SystemView {
             buffers,
             runnable,
+            ready: Cow::Owned(ready),
+            step,
+        }
+    }
+
+    /// Creates a view around an engine-maintained deliverable mask (bit `i`
+    /// set iff process `i` is runnable with a non-empty buffer). The caller
+    /// guarantees the mask is consistent with `buffers`/`runnable`.
+    pub(crate) fn with_ready(
+        buffers: &'a [Buffer<M>],
+        runnable: &'a [bool],
+        ready: &'a [u64],
+        step: u64,
+    ) -> Self {
+        SystemView {
+            buffers,
+            runnable,
+            ready: Cow::Borrowed(ready),
             step,
         }
     }
@@ -75,17 +108,67 @@ impl<'a, M> SystemView<'a, M> {
         self.runnable[pid.index()]
     }
 
-    /// The pending messages of `pid`, oldest first.
+    /// Number of messages pending at `pid`, oldest-first indexed; the valid
+    /// delivery indices for `pid` are `0..pending_len(pid)`.
     #[must_use]
-    pub fn pending(&self, pid: ProcessId) -> &[Envelope<M>] {
-        self.buffers[pid.index()].pending()
+    pub fn pending_len(&self, pid: ProcessId) -> usize {
+        self.buffers[pid.index()].len()
+    }
+
+    /// The senders of `pid`'s pending messages, as `(index, from)` pairs in
+    /// oldest-first order. Adversarial schedulers (delay, partition) filter
+    /// on provenance through this; payload contents stay invisible so no
+    /// scheduler can depend on what a Byzantine sender wrote.
+    pub fn pending_senders(&self, pid: ProcessId) -> impl Iterator<Item = (usize, ProcessId)> + '_ {
+        self.buffers[pid.index()]
+            .iter()
+            .enumerate()
+            .map(|(i, env)| (i, env.from))
     }
 
     /// Processes that are runnable and have at least one pending message —
-    /// the candidates for the next delivery.
+    /// the candidates for the next delivery, in ascending id order.
     pub fn deliverable(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        ProcessId::all(self.n())
-            .filter(move |p| self.is_runnable(*p) && !self.buffers[p.index()].is_empty())
+        self.ready.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(ProcessId::new((w << 6) | tz))
+            })
+        })
+    }
+
+    /// Number of deliverable processes (the length of
+    /// [`SystemView::deliverable`]).
+    #[must_use]
+    pub fn deliverable_count(&self) -> usize {
+        self.ready.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The `rank`-th deliverable process in ascending id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.deliverable_count()`.
+    #[must_use]
+    pub fn deliverable_nth(&self, rank: usize) -> ProcessId {
+        let mut rem = rank;
+        for (w, &word) in self.ready.iter().enumerate() {
+            let count = word.count_ones() as usize;
+            if rem < count {
+                let mut bits = word;
+                for _ in 0..rem {
+                    bits &= bits - 1;
+                }
+                return ProcessId::new((w << 6) | bits.trailing_zeros() as usize);
+            }
+            rem -= count;
+        }
+        panic!("deliverable rank {rank} out of range");
     }
 
     /// Total number of pending messages across runnable processes.
@@ -130,6 +213,7 @@ pub trait Scheduler<M>: fmt::Debug {
 #[cfg(test)]
 pub(crate) mod test_util {
     use super::*;
+    use crate::Envelope;
 
     /// Builds buffers where process `i` holds `counts[i]` dummy messages
     /// (all from p0), plus a runnable mask.

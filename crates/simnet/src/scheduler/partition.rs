@@ -76,8 +76,8 @@ impl<M> Scheduler<M> for PartitionScheduler {
         if !self.is_healed_at(view.step()) {
             let mut intra: Vec<Selection> = Vec::new();
             for to in view.deliverable() {
-                for (index, env) in view.pending(to).iter().enumerate() {
-                    if self.same_side(env.from, to) {
+                for (index, from) in view.pending_senders(to) {
+                    if self.same_side(from, to) {
                         intra.push(Selection { to, index });
                     }
                 }

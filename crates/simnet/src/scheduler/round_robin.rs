@@ -32,7 +32,7 @@ impl<M> Scheduler<M> for RoundRobinScheduler {
         for offset in 0..n {
             let idx = (self.cursor + offset) % n;
             let pid = ProcessId::new(idx);
-            if view.is_runnable(pid) && !view.pending(pid).is_empty() {
+            if view.is_runnable(pid) && view.pending_len(pid) > 0 {
                 self.cursor = (idx + 1) % n;
                 return Some(Selection { to: pid, index: 0 });
             }

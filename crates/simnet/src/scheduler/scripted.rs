@@ -79,7 +79,7 @@ impl<M> Scheduler<M> for ScriptedScheduler {
             self.cursor += 1;
             let valid = sel.to.index() < view.n()
                 && view.is_runnable(sel.to)
-                && sel.index < view.pending(sel.to).len();
+                && sel.index < view.pending_len(sel.to);
             if valid {
                 return Some(sel);
             }

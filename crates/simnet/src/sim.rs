@@ -213,6 +213,11 @@ impl<M: 'static> SimBuilder<M> {
             decision_steps: vec![None; n],
             decision_phases: vec![None; n],
             halt_recorded: vec![false; n],
+            runnable: Vec::new(),
+            ready: Vec::new(),
+            decided_seen: Vec::new(),
+            undecided_correct: 0,
+            unhalted_correct: 0,
             step: 0,
         }
     }
@@ -236,6 +241,21 @@ pub struct Sim<M> {
     decision_steps: Vec<Option<u64>>,
     decision_phases: Vec<Option<u64>>,
     halt_recorded: Vec<bool>,
+    // Incrementally maintained run state. `Process::halted`/`decision` can
+    // only change during the process's own atomic step, and every step is
+    // followed by `observe`, so these stay exact mirrors of the O(n) scans
+    // the engine used to redo on every delivery.
+    /// `!procs[i].halted()`, kept current by [`Sim::observe`].
+    runnable: Vec<bool>,
+    /// Bit `i` set iff process `i` is runnable with a non-empty buffer —
+    /// the scheduler's candidate set, maintained across deliveries.
+    ready: Vec<u64>,
+    /// Whether a decision by process `i` has been counted.
+    decided_seen: Vec<bool>,
+    /// Correct processes that have not yet decided (stop condition).
+    undecided_correct: usize,
+    /// Correct processes that have not yet halted (stop condition).
+    unhalted_correct: usize,
     step: u64,
 }
 
@@ -271,6 +291,12 @@ impl<M: 'static> Sim<M> {
     fn deliver_outbox(&mut self, from: ProcessId, outbox: &mut Vec<(ProcessId, M)>) {
         // Sends are attributed to the sender's phase when the step commits.
         let phase = self.procs[from.index()].phase();
+        // The sender may have halted during the very step being committed
+        // (a crash wrapper truncating mid-broadcast); refresh its flag so
+        // self-addressed sends are dropped exactly as a fresh `halted()`
+        // query would have. No other process can have changed state since
+        // its own last observed step.
+        self.runnable[from.index()] = !self.procs[from.index()].halted();
         for (to, msg) in outbox.drain(..) {
             self.metrics.record_send(from.index(), phase);
             self.publish(Event::Send {
@@ -278,12 +304,14 @@ impl<M: 'static> Sim<M> {
                 from,
                 to,
             });
-            if self.procs[to.index()].halted() {
+            let ti = to.index();
+            if !self.runnable[ti] {
                 self.metrics.messages_dropped += 1;
             } else {
-                self.buffers[to.index()].push(Envelope::new(from, msg));
-                let occupancy = self.buffers[to.index()].len();
+                self.buffers[ti].push(Envelope::new(from, msg));
+                let occupancy = self.buffers[ti].len();
                 self.metrics.observe_occupancy(occupancy);
+                self.ready[ti >> 6] |= 1u64 << (ti & 63);
             }
         }
     }
@@ -302,8 +330,19 @@ impl<M: 'static> Sim<M> {
                 });
             }
         }
+        if !self.decided_seen[i] && self.procs[i].decision().is_some() {
+            self.decided_seen[i] = true;
+            if self.roles[i] == Role::Correct {
+                self.undecided_correct -= 1;
+            }
+        }
         if self.procs[i].halted() && !self.halt_recorded[i] {
             self.halt_recorded[i] = true;
+            self.runnable[i] = false;
+            self.ready[i >> 6] &= !(1u64 << (i & 63));
+            if self.roles[i] == Role::Correct {
+                self.unhalted_correct -= 1;
+            }
             let dropped = self.buffers[i].len() as u64;
             self.metrics.messages_dropped += dropped;
             self.buffers[i].clear();
@@ -316,16 +355,8 @@ impl<M: 'static> Sim<M> {
 
     fn stop_condition_met(&self) -> bool {
         match self.stop_when {
-            StopWhen::AllCorrectDecided => self
-                .roles
-                .iter()
-                .zip(&self.procs)
-                .all(|(r, p)| *r == Role::Faulty || p.decision().is_some()),
-            StopWhen::AllCorrectHalted => self
-                .roles
-                .iter()
-                .zip(&self.procs)
-                .all(|(r, p)| *r == Role::Faulty || p.halted()),
+            StopWhen::AllCorrectDecided => self.undecided_correct == 0,
+            StopWhen::AllCorrectHalted => self.unhalted_correct == 0,
             StopWhen::Never => false,
         }
     }
@@ -334,7 +365,21 @@ impl<M: 'static> Sim<M> {
     pub fn run(mut self) -> RunReport {
         let n = self.n();
         let observed = self.observed();
+        // One outbox reused for every step of the run: `deliver_outbox`
+        // drains it in place, so after warm-up no step allocates.
         let mut outbox: Vec<(ProcessId, M)> = Vec::new();
+
+        // Seed the incremental mirrors from the processes' build-time state
+        // (a restored checkpoint may arrive already decided or halted).
+        self.runnable = self.procs.iter().map(|p| !p.halted()).collect();
+        self.ready = vec![0u64; n.div_ceil(64)];
+        self.decided_seen = self.procs.iter().map(|p| p.decision().is_some()).collect();
+        self.undecided_correct = (0..n)
+            .filter(|&i| self.roles[i] == Role::Correct && !self.decided_seen[i])
+            .count();
+        self.unhalted_correct = (0..n)
+            .filter(|&i| self.roles[i] == Role::Correct && self.runnable[i])
+            .count();
 
         if let Some(s) = &self.subscriber {
             let seed = self.rng.initial_seed();
@@ -345,7 +390,7 @@ impl<M: 'static> Sim<M> {
 
         // Initial atomic steps, in index order.
         for pid in ProcessId::all(n) {
-            if self.procs[pid.index()].halted() {
+            if !self.runnable[pid.index()] {
                 continue;
             }
             self.publish(Event::Start { pid });
@@ -373,16 +418,20 @@ impl<M: 'static> Sim<M> {
                 break RunStatus::StepLimitReached;
             }
 
-            let runnable: Vec<bool> = self.procs.iter().map(|p| !p.halted()).collect();
             let selection = {
-                let view = SystemView::new(&self.buffers, &runnable, self.step);
+                let view =
+                    SystemView::with_ready(&self.buffers, &self.runnable, &self.ready, self.step);
                 self.scheduler.select(&view, &mut self.rng)
             };
             let Some(sel) = selection else {
                 break RunStatus::Quiescent;
             };
 
-            let env = self.buffers[sel.to.index()].take(sel.index);
+            let ti = sel.to.index();
+            let env = self.buffers[ti].take(sel.index);
+            if self.buffers[ti].is_empty() {
+                self.ready[ti >> 6] &= !(1u64 << (ti & 63));
+            }
             self.step += 1;
             self.metrics.messages_delivered += 1;
             self.metrics.steps_by[sel.to.index()] += 1;

@@ -140,7 +140,7 @@ proptest! {
             None => prop_assert_eq!(deliverable, 0, "must deliver when possible"),
             Some(sel) => {
                 prop_assert!(view.is_runnable(sel.to), "selected a halted process");
-                prop_assert!(sel.index < view.pending(sel.to).len(), "index out of range");
+                prop_assert!(sel.index < view.pending_len(sel.to), "index out of range");
             }
         }
     }

@@ -28,6 +28,33 @@ echo "==> metrics overhead bench (fast config, 5% budget)"
 target/release/metrics_overhead "$FUZZTMP/BENCH_metrics.json" \
     --frames 300000 --rounds 3 --max-overhead 5
 
+echo "==> large-n smoke (n=1024 malicious slice, budgeted)"
+# One seeded Figure 2 trial at n=1024 with a 1M-delivery cap: must stay
+# safe and finish inside the wall budget — the delivery-engine perf gate.
+target/release/large_n_smoke 1000000 60
+
+echo "==> phases sweep smoke (--quick) + BENCH_phases.json schema check"
+# A shrunken sweep exercises the full harness path; the schema check then
+# runs against both the fresh output and the committed artifact.
+target/release/phases --quick "$FUZZTMP/BENCH_phases_quick.json"
+if ! command -v jq > /dev/null 2>&1; then
+    echo "    (jq not installed; schema check skipped)"
+fi
+for f in "$FUZZTMP/BENCH_phases_quick.json" BENCH_phases.json; do
+    command -v jq > /dev/null 2>&1 || break
+    jq -e '
+        (.e3_simple_phases | length) >= 2
+        and (.e4_malicious_phases | length) >= 2
+        and (.e8_decision_lag | length) >= 2
+        and (.large_n_sweep.malicious | length) >= 1
+        and (.large_n_sweep.simple | length) >= 1
+        and ([.large_n_sweep.malicious[], .large_n_sweep.simple[]
+              | has("n") and has("k") and has("l") and has("wall_ms")
+              and has("ns_per_delivery") and has("phases")
+              and has("eq13_bound") and .disagreements == 0] | all)
+    ' "$f" > /dev/null || { echo "schema check failed: $f"; exit 1; }
+done
+
 echo "==> btfuzz self-test (injected defect: find, shrink, replay)"
 target/release/btfuzz --inject --out "$FUZZTMP/inject-repro.jsonl"
 
