@@ -4,6 +4,7 @@
 //! btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject]
 //!        [--no-netstack] [--multislot N] [--out PATH]
 //! btfuzz --netstack-stress [--budget SECS] [--cases N] [--seed SEED] [--out PATH]
+//! btfuzz --storage [--budget SECS] [--cases N] [--seed SEED] [--out PATH]
 //! btfuzz --replay PATH
 //! ```
 //!
@@ -23,7 +24,11 @@
 //! loopback clusters up a size ladder to n=50, each under a healing
 //! partition and a seeded crash-restart, held to the decision properties
 //! and zero equivocations; a violating scenario is written to `--out` as
-//! its scenario JSON. Seeds accept decimal or `0x`-prefixed hex.
+//! its scenario JSON. `--storage` runs the amnesia leg: small clusters
+//! whose seeded crash victim reopens a byte-flipped WAL, held to
+//! corruption detection, quorum state transfer, zero equivocations, and
+//! the decision properties; findings are reported the same way. Seeds
+//! accept decimal or `0x`-prefixed hex.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -37,6 +42,7 @@ struct Args {
     inject: bool,
     netstack: bool,
     stress: bool,
+    storage: bool,
     multislot: u64,
     out: String,
     replay: Option<String>,
@@ -45,7 +51,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: btfuzz [--budget SECS] [--cases N] [--seed SEED] [--inject] \
-         [--no-netstack] [--netstack-stress] [--multislot N] [--out PATH] \
+         [--no-netstack] [--netstack-stress] [--storage] [--multislot N] [--out PATH] \
          | btfuzz --replay PATH"
     );
     std::process::exit(2);
@@ -67,6 +73,7 @@ fn parse_args() -> Args {
         inject: false,
         netstack: true,
         stress: false,
+        storage: false,
         multislot: 25,
         out: "btfuzz-repro.jsonl".to_string(),
         replay: None,
@@ -113,6 +120,7 @@ fn parse_args() -> Args {
             "--inject" => args.inject = true,
             "--no-netstack" => args.netstack = false,
             "--netstack-stress" => args.stress = true,
+            "--storage" => args.storage = true,
             "--multislot" => {
                 let raw = value("count");
                 match raw.parse() {
@@ -248,6 +256,54 @@ fn netstack_stress(args: &Args) -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// The amnesia leg: small clusters whose seeded crash victim reopens a
+/// byte-flipped WAL, held to corruption detection, quorum state
+/// transfer, zero equivocations, and the decision properties. Exit 0 on
+/// a clean sweep (or a sandbox skip), exit 1 with the scenario JSON in
+/// `--out` on a violation.
+fn storage(args: &Args) -> ExitCode {
+    let mut config = dst::StorageConfig::default();
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    config.budget = args.budget;
+    if let Some(cases) = args.cases {
+        config.max_cases = cases;
+    } else if args.budget.is_some() {
+        config.max_cases = u64::MAX;
+    }
+    println!(
+        "btfuzz: storage faults, seed {:#018x}, sizes {:?}, budget {:?}",
+        config.seed,
+        dst::STORAGE_SIZES,
+        config.budget
+    );
+    let Some(outcome) = dst::fuzz_netstack_storage(&config, |line| println!("btfuzz: {line}"))
+    else {
+        println!("btfuzz: skipping storage faults: loopback sockets unavailable in this sandbox");
+        return ExitCode::SUCCESS;
+    };
+    println!(
+        "btfuzz: {} storage cases, {} corruption(s) detected, {} state transfer(s)",
+        outcome.cases, outcome.corruptions, outcome.transfers
+    );
+    let Some((scenario, violations)) = outcome.finding else {
+        println!("btfuzz: no storage violations");
+        return ExitCode::SUCCESS;
+    };
+    println!("btfuzz: storage violated: {}", scenario.describe());
+    for v in &violations {
+        println!("btfuzz:   {v}");
+    }
+    let artifact = scenario.to_json().render() + "\n";
+    if let Err(e) = std::fs::write(&args.out, artifact) {
+        eprintln!("btfuzz: cannot write artifact {}: {e}", args.out);
+    } else {
+        println!("btfuzz: storage scenario written to {}", args.out);
+    }
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some(path) = &args.replay {
@@ -255,6 +311,9 @@ fn main() -> ExitCode {
     }
     if args.stress {
         return netstack_stress(&args);
+    }
+    if args.storage {
+        return storage(&args);
     }
 
     let mut config = FuzzConfig {

@@ -16,7 +16,7 @@ use adversary::{Crashing, Silent, TwoFacedMalicious};
 use bt_core::ablation::{AblatedFailStop, ThresholdRule};
 use bt_core::{Config, FailStop, Malicious, Simple, Termination};
 use netstack::{
-    sockets_available, Cluster, ClusterOptions, CrashPlan, FaultPlan, NodeFault, Proto,
+    sockets_available, Cluster, ClusterOptions, CrashPlan, DiskFault, FaultPlan, NodeFault, Proto,
     RecoveryOptions,
 };
 use obs::JsonlSink;
@@ -260,10 +260,7 @@ pub struct NetOutcome {
 /// timing comes from the seed so a CI finding replays on a laptop.
 #[must_use]
 pub fn netstack_crash_plan(scenario: &Scenario) -> FaultPlan {
-    let correct: Vec<usize> = (0..scenario.n)
-        .filter(|&i| !scenario.faults[i].is_faulty())
-        .collect();
-    let victim = correct[(scenario.seed as usize) % correct.len()];
+    let victim = pick_crash_victim(scenario);
     let kill = Duration::from_millis(20 + (scenario.seed >> 8) % 20);
     let restart = kill + Duration::from_millis(40 + (scenario.seed >> 16) % 40);
     netstack_fault_plan(scenario).with_crash(victim, kill, restart)
@@ -320,6 +317,108 @@ pub fn run_netstack_recovering(
         report,
         equivocations,
         restarts,
+    })
+}
+
+/// A netstack run's results under an injected storage fault: the usual
+/// crash-recovery observables plus the amnesia path's counters and the
+/// seed-chosen victim they are judged against.
+#[derive(Debug)]
+pub struct StorageRun {
+    /// The cluster's synthesized run report.
+    pub report: RunReport,
+    /// Per-node equivocation counters (must be all-zero: an amnesiac
+    /// node is muzzled precisely so it cannot contradict its own
+    /// forgotten sends).
+    pub equivocations: Vec<u64>,
+    /// Supervisor restarts performed per node.
+    pub restarts: Vec<u32>,
+    /// Cluster-lifetime `bt_wal_corruptions_total`: boots that found the
+    /// WAL unsafely damaged.
+    pub corruptions: u64,
+    /// Cluster-lifetime `bt_state_transfers_total`: quorum state
+    /// transfers completed by an amnesiac node.
+    pub transfers: u64,
+    /// The node whose WAL carried the injected fault.
+    pub victim: usize,
+}
+
+/// The deterministic storage-fault schedule for a scenario: the same
+/// seed-chosen correct node and kill/restart timing as
+/// [`netstack_crash_plan`], plus a byte flip at offset 8 armed in that
+/// node's WAL storage. Offset 8 is the first body byte of the WAL's first
+/// record, so the flip lands mid-log — unsafely damaged, never a torn
+/// tail — and, because flips apply at open, the fresh boot writes a clean
+/// log and only the post-kill reopen sees the damage. Returns the plan
+/// and the victim index.
+#[must_use]
+pub fn netstack_storage_plan(scenario: &Scenario) -> (FaultPlan, usize) {
+    let victim = pick_crash_victim(scenario);
+    let plan = netstack_crash_plan(scenario).with_disk(victim, DiskFault::Flip { offset: 8 });
+    (plan, victim)
+}
+
+fn pick_crash_victim(scenario: &Scenario) -> usize {
+    let correct: Vec<usize> = (0..scenario.n)
+        .filter(|&i| !scenario.faults[i].is_faulty())
+        .collect();
+    correct[(scenario.seed as usize) % correct.len()]
+}
+
+/// Runs the scenario over loopback TCP with the seed-derived
+/// crash-restart schedule *and* a storage fault armed in the victim's
+/// WAL: the restarted node reopens a corrupted log, must detect it, boot
+/// amnesiac, and recover real state by quorum transfer. `None` under the
+/// same conditions as [`run_netstack`]. The caller owns `wal_dir`.
+#[must_use]
+pub fn run_netstack_storage(
+    scenario: &Scenario,
+    timeout: Duration,
+    wal_dir: &Path,
+) -> Option<StorageRun> {
+    if !sockets_available() || scenario.inject.is_some() {
+        return None;
+    }
+    let proto = match scenario.proto {
+        ProtoKind::FailStop => Proto::FailStop,
+        ProtoKind::Simple => Proto::Simple,
+        ProtoKind::Malicious => Proto::Malicious,
+    };
+    let (link_fault, victim) = netstack_storage_plan(scenario);
+    let options = ClusterOptions {
+        seed: scenario.seed,
+        inputs: scenario.inputs.clone(),
+        faults: scenario.faults.iter().map(|&f| node_fault(f)).collect(),
+        link_fault,
+        recovery: Some(RecoveryOptions {
+            wal_dir: wal_dir.to_path_buf(),
+            // No snapshots: the flip must hit protocol records, and the
+            // victim's post-transfer WAL should read as a plain adopted
+            // boot when inspected by hand.
+            snapshot_every: 0,
+            max_restarts: 4,
+            backoff: Duration::from_millis(5),
+        }),
+        admin: false,
+    };
+    let mut cluster = Cluster::spawn(scenario.n, scenario.k, proto, options, None).ok()?;
+    let report = cluster.await_verdict(timeout);
+    let equivocations = cluster
+        .nodes()
+        .iter()
+        .map(|node| node.equivocations())
+        .collect();
+    let restarts = cluster.restarts().to_vec();
+    let corruptions = cluster.wal_corruptions();
+    let transfers = cluster.state_transfers();
+    cluster.shutdown();
+    Some(StorageRun {
+        report,
+        equivocations,
+        restarts,
+        corruptions,
+        transfers,
+        victim,
     })
 }
 
@@ -390,6 +489,51 @@ mod tests {
         assert!(
             out.restarts.iter().sum::<u32>() >= 1,
             "the schedule actually restarted someone: {:?}",
+            out.restarts
+        );
+    }
+
+    #[test]
+    fn storage_fault_cross_check_detects_and_transfers() {
+        if !sockets_available() {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        }
+        let s = Scenario {
+            proto: ProtoKind::FailStop,
+            n: 4,
+            k: 1,
+            seed: 0x0570_4A6E,
+            inputs: vec![simnet::Value::One; 4],
+            faults: vec![FaultSpec::Correct; 4],
+            sched: crate::scenario::SchedSpec::Fair(crate::scenario::OrderSpec::Random),
+            step_limit: 100_000,
+            inject: None,
+        };
+        let wal_dir = std::env::temp_dir().join(format!("btdst-storage-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let out = run_netstack_storage(&s, Duration::from_secs(30), &wal_dir)
+            .expect("sockets probed available");
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        assert_eq!(out.report.status, RunStatus::Stopped, "all decided");
+        assert!(
+            crate::invariants::check(&s, &out.report, &[]).is_empty(),
+            "decision properties hold across the corrupt-WAL restart"
+        );
+        assert!(
+            crate::invariants::check_equivocations(&out.equivocations).is_empty(),
+            "no equivocation observed: {:?}",
+            out.equivocations
+        );
+        assert!(
+            crate::invariants::check_storage(out.corruptions, out.transfers, out.victim).is_empty(),
+            "flip detected ({} corruption(s)) and healed ({} transfer(s))",
+            out.corruptions,
+            out.transfers
+        );
+        assert!(
+            out.restarts.iter().sum::<u32>() >= 1,
+            "the schedule actually restarted the victim: {:?}",
             out.restarts
         );
     }

@@ -75,6 +75,20 @@ pub enum Violation {
         /// How many conflicting re-sends it saw.
         count: u64,
     },
+    /// A storage fault was injected into a node's WAL but no boot ever
+    /// reported the log as unsafely damaged — the corruption detector
+    /// replayed poisoned state as if it were clean.
+    CorruptionUndetected {
+        /// The node whose WAL carried the injected fault.
+        node: usize,
+    },
+    /// A node detected its WAL as unsafely damaged (so it booted
+    /// amnesiac) but never completed a quorum state transfer — the run
+    /// ended with the victim still outside the cluster.
+    TransferIncomplete {
+        /// The amnesiac node.
+        node: usize,
+    },
 }
 
 impl Violation {
@@ -89,6 +103,8 @@ impl Violation {
             Violation::WitnessBelowMajority { .. } => "witness-threshold",
             Violation::EchoBelowQuorum { .. } => "echo-threshold",
             Violation::Equivocation { .. } => "equivocation",
+            Violation::CorruptionUndetected { .. } => "corruption-undetected",
+            Violation::TransferIncomplete { .. } => "transfer-incomplete",
         }
     }
 }
@@ -129,6 +145,16 @@ impl fmt::Display for Violation {
                 "equivocation: p{pid} observed {count} conflicting re-send(s) — a restarted \
                  node broke the log-before-send invariant"
             ),
+            Violation::CorruptionUndetected { node } => write!(
+                f,
+                "corruption undetected: p{node}'s WAL carried an injected storage fault but \
+                 no boot flagged the log as unsafely damaged"
+            ),
+            Violation::TransferIncomplete { node } => write!(
+                f,
+                "transfer incomplete: p{node} booted amnesiac but never completed a quorum \
+                 state transfer"
+            ),
         }
     }
 }
@@ -145,6 +171,24 @@ pub fn check_equivocations(observed: &[u64]) -> Vec<Violation> {
         .filter(|(_, &count)| count > 0)
         .map(|(pid, &count)| Violation::Equivocation { pid, count })
         .collect()
+}
+
+/// Checks a storage-fault run's recovery observables: the injected WAL
+/// fault must have been *detected* (at least one boot counted an unsafely
+/// damaged log) and *healed* (at least one quorum state transfer
+/// completed). Both counters are cluster-lifetime sums across node
+/// incarnations, so a clean first boot followed by a corrupt reopen still
+/// registers.
+#[must_use]
+pub fn check_storage(corruptions: u64, transfers: u64, victim: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if corruptions == 0 {
+        out.push(Violation::CorruptionUndetected { node: victim });
+    }
+    if transfers == 0 {
+        out.push(Violation::TransferIncomplete { node: victim });
+    }
+    out
 }
 
 /// Sorted, deduplicated class names — the shrinker's equivalence key.

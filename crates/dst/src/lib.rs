@@ -21,6 +21,9 @@
 //! - [`stress`] — the scale leg: 50-node loopback clusters under healing
 //!   partitions and crash-restarts, affordable only because the
 //!   event-driven netstack runs each node on a single thread;
+//! - [`storage`] — the amnesia leg: seeded byte flips armed in a crashed
+//!   node's WAL, held to corruption detection, quorum state transfer,
+//!   zero equivocations, and the decision properties;
 //! - [`shrink`] — greedy delta-debugging to a minimal scenario preserving
 //!   the violation classes;
 //! - [`artifact`] — one-file repro: scenario header plus JSONL trace,
@@ -41,21 +44,26 @@ pub mod invariants;
 pub mod multislot;
 pub mod scenario;
 pub mod shrink;
+pub mod storage;
 pub mod stress;
 
 pub use artifact::{parse as parse_artifact, render as render_artifact, verify_replay, Repro};
 pub use exec::{
-    netstack_crash_plan, netstack_fault_plan, run_netstack, run_netstack_recovering, run_sim,
-    run_sim_scheduled, NetOutcome, SimOutcome,
+    netstack_crash_plan, netstack_fault_plan, netstack_storage_plan, run_netstack,
+    run_netstack_recovering, run_netstack_storage, run_sim, run_sim_scheduled, NetOutcome,
+    SimOutcome, StorageRun,
 };
 pub use fuzz::{fuzz, Finding, FindingKind, FuzzConfig, FuzzOutcome};
-pub use invariants::{check, check_equivocations, classes, Violation};
+pub use invariants::{check, check_equivocations, check_storage, classes, Violation};
 pub use multislot::{
     check_multislot, fuzz_multislot, run_multislot, MultiSlotOutcome, MultiSlotScenario,
     MultiSlotSweep, MultiSlotViolation,
 };
 pub use scenario::{FaultSpec, Injection, OrderSpec, ProtoKind, Scenario, SchedSpec};
 pub use shrink::{shrink, Shrunk, DEFAULT_SHRINK_RUNS};
+pub use storage::{
+    fuzz_netstack_storage, storage_scenario, StorageConfig, StorageOutcome, STORAGE_SIZES,
+};
 pub use stress::{
     fuzz_netstack_stress, stress_scenario, StressConfig, StressOutcome, STRESS_LADDER,
 };

@@ -175,6 +175,8 @@ pub fn status_source(
             ("halted".into(), Json::Bool(st.halted)),
             ("died".into(), Json::Bool(st.died)),
             ("recovered".into(), Json::num(st.recovered)),
+            ("amnesiac".into(), Json::Bool(st.amnesiac)),
+            ("state_transferred".into(), Json::Bool(st.state_transferred)),
             ("peers".into(), Json::Arr(peers)),
         ])
     })

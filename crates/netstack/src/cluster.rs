@@ -266,6 +266,11 @@ impl Cluster {
             "crash-restart faults require ClusterOptions::recovery: \
              a node restarted without its WAL could equivocate"
         );
+        assert!(
+            options.link_fault.disk().is_empty() || options.recovery.is_some(),
+            "disk faults require ClusterOptions::recovery: \
+             without a WAL there is no storage to corrupt"
+        );
         if let Some(rec) = &options.recovery {
             std::fs::create_dir_all(&rec.wal_dir)?;
         }
@@ -316,6 +321,7 @@ impl Cluster {
                     respawners.push(respawner(
                         i,
                         n,
+                        k,
                         &options,
                         &addrs,
                         make,
@@ -340,6 +346,7 @@ impl Cluster {
                     respawners.push(respawner(
                         i,
                         n,
+                        k,
                         &options,
                         &addrs,
                         make,
@@ -365,6 +372,7 @@ impl Cluster {
                     respawners.push(respawner(
                         i,
                         n,
+                        k,
                         &options,
                         &addrs,
                         make,
@@ -390,6 +398,7 @@ impl Cluster {
                     respawners.push(respawner(
                         i,
                         n,
+                        k,
                         &options,
                         &addrs,
                         make,
@@ -482,6 +491,39 @@ impl Cluster {
             merged.merge(&r.snapshot());
         }
         merged
+    }
+
+    /// Sums one counter across every node's registry. `Registry::counter`
+    /// returns the same cell every incarnation of a node used, so this
+    /// reads lifetime totals even after restarts.
+    fn counter_sum(&self, name: &str, help: &str) -> u64 {
+        self.registries
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let node = i.to_string();
+                r.counter(name, help, &[("node", &node)]).get()
+            })
+            .sum()
+    }
+
+    /// Boots across the cluster that found a WAL unsafely damaged
+    /// (mid-log corruption or a lost log), over all incarnations.
+    #[must_use]
+    pub fn wal_corruptions(&self) -> u64 {
+        self.counter_sum(
+            "bt_wal_corruptions_total",
+            "boots that found the WAL unsafely damaged (mid-log corruption or lost log)",
+        )
+    }
+
+    /// Quorum state transfers completed by amnesiac nodes, cluster-wide.
+    #[must_use]
+    pub fn state_transfers(&self) -> u64 {
+        self.counter_sum(
+            "bt_state_transfers_total",
+            "quorum state transfers completed by an amnesiac node",
+        )
     }
 
     /// The admin endpoints' addresses, indexed by process id — empty when
@@ -748,9 +790,11 @@ impl Drop for Cluster {
 
 /// Builds the respawn closure for node `i`: everything needed to boot (or
 /// re-boot) it from configuration, WAL path included.
+#[allow(clippy::too_many_arguments)]
 fn respawner<M: Wire + Send + 'static>(
     i: usize,
     n: usize,
+    k: usize,
     options: &ClusterOptions,
     addrs: &[SocketAddr],
     make: impl Fn() -> Box<dyn Process<Msg = M> + Send> + Send + 'static,
@@ -763,18 +807,25 @@ fn respawner<M: Wire + Send + 'static>(
     let snapshot_every = options.recovery.as_ref().map_or(0, |r| r.snapshot_every);
     let addrs = addrs.to_vec();
     let subscriber = subscriber.clone();
+    let mut incarnation: u32 = 0;
     Box::new(move |listener: TcpListener| {
         let cfg = NodeConfig {
             id: ProcessId::new(i),
             n,
             seed,
+            k,
             fault: link_fault.clone(),
+            // Every respawn is a restart of a node that journalled at
+            // least its boot record, so an empty WAL on incarnation ≥ 1
+            // is a lost log — amnesia, not a fresh start.
+            expect_history: incarnation > 0,
             wal: wal.clone(),
             snapshot_every,
             // Every incarnation records into the same registry, so the
             // node's counters survive its own restarts.
             metrics: Some(Arc::clone(&registry)),
         };
+        incarnation += 1;
         spawn(cfg, listener, addrs.clone(), make(), subscriber.clone())
     })
 }

@@ -329,6 +329,11 @@ pub(crate) struct Link {
     /// First-write instants of frames still awaiting their ack, for the
     /// round-trip histogram. Populated only when the histogram records.
     write_times: HashMap<u64, Instant>,
+    /// Control chunks (state-transfer probes) awaiting a connection.
+    /// Unlike the backlog these are neither sequenced nor ack-gated:
+    /// they are written once on the next live connection and dropped —
+    /// the sender re-probes on a timer, so a lost probe heals itself.
+    control: Vec<Arc<Vec<u8>>>,
     pub conn: Option<OutConn>,
     backoff: Duration,
     pub next_dial: Instant,
@@ -347,6 +352,7 @@ impl Link {
             unacked_bytes: 0,
             ever_written: None,
             write_times: HashMap::new(),
+            control: Vec::new(),
             conn: None,
             backoff: BACKOFF_INITIAL,
             next_dial: Instant::now(),
@@ -363,7 +369,7 @@ impl Link {
 
     /// True when the link has something a connection could transmit.
     pub fn wants_conn(&self) -> bool {
-        self.conn.is_none() && !self.backlog.is_empty()
+        self.conn.is_none() && (!self.backlog.is_empty() || !self.control.is_empty())
     }
 
     /// Queues one frame on the ack-gated backlog.
@@ -372,6 +378,19 @@ impl Link {
         self.backlog.push_back(frame);
         self.stats.queue_depth.set(self.backlog.len() as u64);
         self.stats.backlog_bytes.set(self.unacked_bytes);
+    }
+
+    /// Queues one fire-and-forget control chunk (see [`Link::control`]):
+    /// written ahead of the backlog on the next pump, never replayed.
+    pub fn enqueue_control(&mut self, chunk: Arc<Vec<u8>>) {
+        self.control.push(chunk);
+    }
+
+    /// Drops control chunks not yet handed to a connection — the probe
+    /// path calls this before each re-probe so a dead link does not
+    /// accumulate an unbounded pile of identical requests.
+    pub fn clear_control(&mut self) {
+        self.control.clear();
     }
 
     /// Adopts a freshly dialed connection (possibly still connecting):
@@ -431,6 +450,12 @@ impl Link {
         if conn.connecting {
             return Ok(());
         }
+        // Control chunks jump the queue: they are not sequenced, so
+        // ordering them against protocol frames is meaningless, and a
+        // state-transfer probe should not wait behind a delayed backlog.
+        for chunk in self.control.drain(..) {
+            conn.wq.push_back(chunk);
+        }
         for f in &self.backlog {
             if conn.written.is_some_and(|w| f.seq <= w) {
                 continue;
@@ -470,13 +495,15 @@ impl Link {
     }
 
     /// Handles a readable event on the outbound connection: drains the
-    /// socket, parses ack frames, retires covered backlog frames.
+    /// socket, parses frames, retires backlog frames covered by acks.
+    /// Non-ack frames (a peer answering a state-transfer probe with
+    /// [`Frame::StateChunk`]) are pushed to `out` for the caller.
     ///
     /// # Errors
     ///
     /// Socket errors, EOF (`UnexpectedEof`), and unparseable bytes
     /// (`InvalidData`) — in every case the caller tears down.
-    pub fn on_readable(&mut self, stats: &LoopStats) -> io::Result<()> {
+    pub fn on_readable(&mut self, stats: &LoopStats, out: &mut Vec<Frame>) -> io::Result<()> {
         let Some(conn) = &mut self.conn else {
             return Ok(());
         };
@@ -486,9 +513,9 @@ impl Link {
         for frame in frames {
             if let Frame::Ack { next } = frame {
                 self.on_ack(next);
+            } else {
+                out.push(frame);
             }
-            // Anything else coming back on an outbound connection is
-            // ignored; the peer's inbound path only ever writes acks.
         }
         if eof {
             return Err(io::ErrorKind::UnexpectedEof.into());
@@ -577,7 +604,14 @@ impl InConn {
     /// Queues a cumulative ack for the peer; flushed by
     /// [`InConn::flush`] at the end of the event batch.
     pub fn queue_ack(&mut self, next: u64) {
-        self.wq.push_back(encode_chunk(&Frame::Ack { next }));
+        self.queue_frame(&Frame::Ack { next });
+    }
+
+    /// Queues an arbitrary frame for the peer — the reply path for
+    /// state-transfer chunks, which travel on the connection the
+    /// request arrived on. Flushed with the acks.
+    pub fn queue_frame(&mut self, frame: &Frame) {
+        self.wq.push_back(encode_chunk(frame));
     }
 
     /// Flushes queued acks (vectored, one syscall for a whole batch).
@@ -732,6 +766,69 @@ mod tests {
         assert_eq!(link.stats.frames_sent.get(), 3);
         let rtt = link.stats.ack_rtt_us.snapshot();
         assert_eq!(rtt.count, 2, "both retired frames record a round trip");
+    }
+
+    #[test]
+    fn control_chunks_bypass_delay_and_never_replay() {
+        let Ok(listener) = TcpListener::bind(("127.0.0.1", 0)) else {
+            eprintln!("skipping: loopback sockets unavailable in this sandbox");
+            return;
+        };
+        let addr = listener.local_addr().unwrap();
+        let stats = test_stats();
+        let registry = Registry::new();
+        let mut link = Link::new(ProcessId::new(0), 1, addr, &registry);
+        let now = Instant::now();
+        // A far-future delayed head gates the whole backlog...
+        link.enqueue(QueuedFrame {
+            not_before: now + Duration::from_secs(60),
+            ..msg_chunk(0, vec![0])
+        });
+        let probe = Frame::StateRequest {
+            from: ProcessId::new(0),
+        };
+        link.enqueue_control(Arc::new(encode_chunk(&probe)));
+        assert!(link.wants_conn(), "pending control alone justifies a dial");
+        link.adopt(TcpStream::connect(addr).unwrap(), 1, false);
+        link.pump(now, &stats).unwrap();
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap(),
+            Frame::Hello {
+                from: ProcessId::new(0)
+            }
+        );
+        // ...but the control chunk leaves anyway.
+        assert_eq!(read_frame(&mut conn).unwrap(), probe);
+
+        // A reconnect replays the backlog machinery only: the control
+        // chunk was fire-and-forget and must not reappear.
+        drop(conn);
+        link.conn_failed(true);
+        link.adopt(TcpStream::connect(addr).unwrap(), 1, false);
+        link.pump(now, &stats).unwrap();
+        let (mut conn, _) = listener.accept().unwrap();
+        assert_eq!(
+            read_frame(&mut conn).unwrap(),
+            Frame::Hello {
+                from: ProcessId::new(0)
+            }
+        );
+        conn.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        assert!(
+            read_frame(&mut conn).is_err(),
+            "control chunk must not replay"
+        );
+
+        // Cleared control chunks never leave at all.
+        link.enqueue_control(Arc::new(encode_chunk(&probe)));
+        link.clear_control();
+        link.pump(now, &stats).unwrap();
+        assert!(
+            read_frame(&mut conn).is_err(),
+            "cleared control chunk must not transmit"
+        );
     }
 
     #[test]

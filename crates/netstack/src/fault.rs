@@ -33,6 +33,8 @@ use std::time::{Duration, Instant};
 use prng::Prng;
 use simnet::ProcessId;
 
+use crate::storage::DiskFault;
+
 /// Declarative description of the faults to inject on outbound links.
 ///
 /// The default plan is a perfectly reliable network: no delay, no drops,
@@ -58,6 +60,7 @@ pub struct FaultPlan {
     drop_per_mille: u16,
     partition: Option<Partition>,
     crashes: Vec<CrashRestart>,
+    disk: Vec<(usize, DiskFault)>,
 }
 
 /// A scheduled process crash with a later restart: kill node `node` at
@@ -163,10 +166,38 @@ impl FaultPlan {
         self
     }
 
+    /// Injects `fault` into node `node`'s write-ahead-log storage layer
+    /// (executed by the node's [`FaultyStorage`](crate::storage::FaultyStorage)
+    /// wrapper, not by the per-link injector). Operation counts restart
+    /// with each node incarnation, and a `flip` only bites once the log
+    /// is long enough — so a fresh boot is unaffected and a *restart*
+    /// observes the damage, which is the interesting case.
+    #[must_use]
+    pub fn with_disk(mut self, node: usize, fault: DiskFault) -> Self {
+        self.disk.push((node, fault));
+        self
+    }
+
     /// The scheduled crash-restart faults, in the order added.
     #[must_use]
     pub fn crashes(&self) -> &[CrashRestart] {
         &self.crashes
+    }
+
+    /// Every `(node, fault)` storage-fault clause, in the order added.
+    #[must_use]
+    pub fn disk(&self) -> &[(usize, DiskFault)] {
+        &self.disk
+    }
+
+    /// The storage faults aimed at node `node`, in the order added.
+    #[must_use]
+    pub fn disk_for(&self, node: usize) -> Vec<DiskFault> {
+        self.disk
+            .iter()
+            .filter(|(i, _)| *i == node)
+            .map(|&(_, f)| f)
+            .collect()
     }
 
     /// Whether this plan can lose messages (and therefore void the
@@ -203,7 +234,8 @@ impl FaultPlan {
 /// plan, otherwise `;`-separated clauses with durations in integer
 /// nanoseconds: `delay=0..20000000;drop=5;partition=0,1/4@50000000;`
 /// `crash=2@50000000..120000000` (kill node 2 at 50 ms, restart at
-/// 120 ms).
+/// 120 ms); `disk=2:flip@8` (node 2 reads the log byte at offset 8
+/// flipped on every open — see [`DiskFault`] for the fault grammar).
 impl fmt::Display for FaultPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut clauses = Vec::new();
@@ -229,6 +261,9 @@ impl fmt::Display for FaultPlan {
                 c.kill_after.as_nanos(),
                 c.restart_after.as_nanos()
             ));
+        }
+        for (node, fault) in &self.disk {
+            clauses.push(format!("disk={node}:{fault}"));
         }
         if clauses.is_empty() {
             write!(f, "reliable")
@@ -312,6 +347,15 @@ impl std::str::FromStr for FaultPlan {
                         return Err(format!("crash must restart after the kill, got {val:?}"));
                     }
                     plan = plan.with_crash(node, kill, restart);
+                }
+                "disk" => {
+                    let (node, fault) = val
+                        .split_once(':')
+                        .ok_or_else(|| format!("disk needs 'node:fault', got {val:?}"))?;
+                    let node = node
+                        .parse::<usize>()
+                        .map_err(|_| format!("disk node must be an index, got {node:?}"))?;
+                    plan = plan.with_disk(node, fault.parse::<DiskFault>()?);
                 }
                 other => return Err(format!("unknown fault clause {other:?}")),
             }
@@ -511,6 +555,14 @@ mod tests {
                 .with_drop(3)
                 .with_crash(0, Duration::from_millis(10), Duration::from_millis(10))
                 .with_crash(4, Duration::from_millis(20), Duration::from_secs(1)),
+            FaultPlan::reliable().with_disk(2, DiskFault::Flip { offset: 8 }),
+            FaultPlan::reliable()
+                .with_crash(1, Duration::from_millis(15), Duration::from_millis(60))
+                .with_disk(1, DiskFault::Flip { offset: 8 })
+                .with_disk(1, DiskFault::ShortWrite { nth: 3 })
+                .with_disk(0, DiskFault::FsyncErr { nth: 1 })
+                .with_disk(3, DiskFault::Enospc { nth: 2 })
+                .with_disk(4, DiskFault::LostRename),
         ];
         for plan in plans {
             let spec = plan.to_string();
@@ -541,6 +593,12 @@ mod tests {
             "crash=1@500",
             "crash=x@1..2",
             "crash=1@9..3",
+            "disk=1",
+            "disk=x:flip@8",
+            "disk=1:flip",
+            "disk=1:flip@tail",
+            "disk=1:lostrename@2",
+            "disk=1:melt@3",
             "turtles=all-the-way",
         ] {
             assert!(bad.parse::<FaultPlan>().is_err(), "accepted {bad:?}");

@@ -23,7 +23,7 @@
 
 use std::io::{self, Read, Write};
 
-use simnet::{ProcessId, Wire, WireError, WireReader};
+use simnet::{ProcessId, Value, Wire, WireError, WireReader};
 
 /// Hard cap on a frame body, far above any real protocol message; a peer
 /// announcing more is treated as malformed rather than allocated for.
@@ -53,6 +53,33 @@ pub enum Frame {
         /// The receiver's next expected sequence number.
         next: u64,
     },
+    /// An amnesiac node asking a peer for its durable state (see
+    /// `docs/RECOVERY.md`). Sent on the amnesiac's ordinary outbound
+    /// connection; the peer answers with [`Frame::StateChunk`] on the
+    /// same connection.
+    StateRequest {
+        /// The requesting (amnesiac) node's identity.
+        from: ProcessId,
+    },
+    /// One peer's answer to a [`Frame::StateRequest`]: its decision (if
+    /// any) plus a digest — and optionally the bytes — of its replicated
+    /// application state. An amnesiac adopts state only once `k + 1`
+    /// peers answered with *matching* `(decision, app_digest)`, so no
+    /// coalition of `k` faulty peers can feed it a forged state.
+    StateChunk {
+        /// The answering peer's identity.
+        from: ProcessId,
+        /// The peer's irrevocable decision, if it has made one.
+        decision: Option<Value>,
+        /// The peer's current phase (diagnostic, not matched).
+        phase: u64,
+        /// FNV-1a digest of the peer's replicated application state
+        /// (0 when the protocol has no transferable state).
+        app_digest: u64,
+        /// The replicated application state itself, when the protocol
+        /// serves one (see `Process::transfer_state`).
+        app: Option<Vec<u8>>,
+    },
 }
 
 impl Wire for Frame {
@@ -71,6 +98,24 @@ impl Wire for Frame {
                 out.push(2);
                 next.encode(out);
             }
+            Frame::StateRequest { from } => {
+                out.push(3);
+                from.encode(out);
+            }
+            Frame::StateChunk {
+                from,
+                decision,
+                phase,
+                app_digest,
+                app,
+            } => {
+                out.push(4);
+                from.encode(out);
+                decision.encode(out);
+                phase.encode(out);
+                app_digest.encode(out);
+                app.encode(out);
+            }
         }
     }
 
@@ -87,6 +132,16 @@ impl Wire for Frame {
             2 => Ok(Frame::Ack {
                 next: Wire::decode(r)?,
             }),
+            3 => Ok(Frame::StateRequest {
+                from: Wire::decode(r)?,
+            }),
+            4 => Ok(Frame::StateChunk {
+                from: Wire::decode(r)?,
+                decision: Wire::decode(r)?,
+                phase: Wire::decode(r)?,
+                app_digest: Wire::decode(r)?,
+                app: Wire::decode(r)?,
+            }),
             _ => Err(WireError::Invalid {
                 what: "frame tag",
                 offset,
@@ -100,6 +155,8 @@ impl Wire for Frame {
             // Payloads are validated after their own decode; seq numbers
             // are bounded by the dedup table, not the system size.
             Frame::Msg { .. } | Frame::Ack { .. } => true,
+            Frame::StateRequest { from } => from.validate(n),
+            Frame::StateChunk { from, .. } => from.validate(n),
         }
     }
 }
@@ -224,6 +281,23 @@ mod tests {
             },
             Frame::Ack { next: 0 },
             Frame::Ack { next: u64::MAX },
+            Frame::StateRequest {
+                from: ProcessId::new(1),
+            },
+            Frame::StateChunk {
+                from: ProcessId::new(2),
+                decision: Some(Value::One),
+                phase: 7,
+                app_digest: 0xdead_beef,
+                app: Some(vec![1, 2, 3]),
+            },
+            Frame::StateChunk {
+                from: ProcessId::new(0),
+                decision: None,
+                phase: 0,
+                app_digest: 0,
+                app: None,
+            },
         ];
         let mut buf = Vec::new();
         for f in &frames {
@@ -286,6 +360,27 @@ mod tests {
             drain_frames(&mut bad, &mut out).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    fn state_frames_validate_their_sender() {
+        assert!(Frame::StateRequest {
+            from: ProcessId::new(3)
+        }
+        .validate(4));
+        assert!(!Frame::StateRequest {
+            from: ProcessId::new(4)
+        }
+        .validate(4));
+        let chunk = Frame::StateChunk {
+            from: ProcessId::new(5),
+            decision: None,
+            phase: 0,
+            app_digest: 0,
+            app: None,
+        };
+        assert!(chunk.validate(6));
+        assert!(!chunk.validate(5));
     }
 
     #[test]

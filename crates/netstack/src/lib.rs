@@ -55,6 +55,7 @@ pub mod node;
 // crate stays under the deny above.
 #[allow(unsafe_code)]
 mod poll;
+pub mod storage;
 pub mod wal;
 
 pub use admin::{http_get, scrape_all, AdminServer};
@@ -63,5 +64,6 @@ pub use cluster::{
 };
 pub use fault::{CrashRestart, FaultInjector, FaultPlan, LinkAction};
 pub use frame::{drain_frames, encode_chunk, read_frame, write_frame, Frame, MAX_FRAME_LEN};
-pub use node::{spawn, NetCounters, NodeConfig, NodeHandle, NodeStatus};
-pub use wal::{BootRecord, DeliveryRecord, Recovered, SnapshotRecord, Wal, WalRecord};
+pub use node::{fnv1a64, spawn, NetCounters, NodeConfig, NodeHandle, NodeStatus};
+pub use storage::{DiskFault, FaultyStorage, RealStorage, Storage};
+pub use wal::{BootRecord, DeliveryRecord, Recovered, SnapshotRecord, Wal, WalDamage, WalRecord};

@@ -82,7 +82,12 @@ use crate::conn::{InConn, Link, LinkStats, LoopStats, QueuedFrame};
 use crate::fault::{FaultInjector, FaultPlan, LinkAction};
 use crate::frame::{encode_chunk, Frame};
 use crate::poll::{connect_nonblocking, Dial, PollEvent, Poller};
+use crate::storage::FaultyStorage;
 use crate::wal::{BootRecord, DeliveryRecord, SnapshotRecord, Wal, WalRecord};
+
+/// How often an amnesiac node re-probes its peers with
+/// [`Frame::StateRequest`] until `k + 1` matching answers arrive.
+const PROBE_EVERY: Duration = Duration::from_millis(25);
 
 /// Locks a [`NodeStatus`] mutex, tolerating poisoning: the event loop may
 /// die mid-update (see [`NodeStatus::died`]) and the snapshot must stay
@@ -126,8 +131,18 @@ pub struct NodeConfig {
     /// Seed for this node's deterministic random stream (randomized
     /// protocols draw coins from it, exactly as in the simulator).
     pub seed: u64,
-    /// Faults to inject on this node's outbound links.
+    /// Resilience parameter: up to `k` peers may be faulty. Quorum state
+    /// transfer accepts state only once `k + 1` peers agree on it, so no
+    /// coalition of faulty peers can feed an amnesiac a forged state.
+    pub k: usize,
+    /// Faults to inject on this node's outbound links (and, via the
+    /// `disk=` clauses, on this node's WAL storage).
     pub fault: FaultPlan,
+    /// This boot is expected to find durable history on disk — set by a
+    /// supervisor respawning a crashed incarnation. An empty or missing
+    /// WAL is then a *lost log* (the node marks itself amnesiac and
+    /// requests quorum state transfer) rather than a fresh start.
+    pub expect_history: bool,
     /// Path of this node's write-ahead log. `None` (the default for a
     /// plain cluster) runs without durability; `Some` journals every
     /// delivery under the log-before-send invariant and recovers from
@@ -154,7 +169,9 @@ impl NodeConfig {
             id,
             n,
             seed,
+            k: 0,
             fault,
+            expect_history: false,
             wal: None,
             snapshot_every: 0,
             metrics: None,
@@ -186,6 +203,14 @@ pub struct NodeStatus {
     /// Deliveries replayed from the WAL when this incarnation booted
     /// (0 for a fresh start).
     pub recovered: u64,
+    /// The node found its WAL unsafely damaged (mid-log corruption or a
+    /// lost log) at boot and is refusing to send protocol messages until
+    /// quorum state transfer completes. See `docs/RECOVERY.md`.
+    pub amnesiac: bool,
+    /// This incarnation (or a predecessor sharing its WAL) rebuilt its
+    /// state from `k + 1` matching peer responses rather than from its
+    /// own log. The node participates as a learner from then on.
+    pub state_transferred: bool,
 }
 
 /// Message-level counters for one node, as registry handles labelled
@@ -217,6 +242,16 @@ pub struct NetCounters {
     /// byte-identical frames, so any count here is a recovery bug or a
     /// hostile peer caught red-handed.
     pub equivocations: Counter,
+    /// Boots that found the WAL unsafely damaged: mid-log corruption, a
+    /// hostile record, or a log that should exist but does not. Each one
+    /// put the node into amnesiac refusal instead of a silent rejoin.
+    pub wal_corruptions: Counter,
+    /// Quorum state transfers completed: an amnesiac incarnation adopted
+    /// state confirmed by `k + 1` matching peer responses and rejoined.
+    pub state_transfers: Counter,
+    /// [`Frame::StateRequest`] probes this node answered with a
+    /// [`Frame::StateChunk`].
+    pub state_requests_served: Counter,
 }
 
 impl NetCounters {
@@ -259,6 +294,21 @@ impl NetCounters {
             equivocations: registry.counter(
                 "bt_equivocations_total",
                 "re-sent frames whose payload differed under the same seq",
+                labels,
+            ),
+            wal_corruptions: registry.counter(
+                "bt_wal_corruptions_total",
+                "boots that found the WAL unsafely damaged (mid-log corruption or lost log)",
+                labels,
+            ),
+            state_transfers: registry.counter(
+                "bt_state_transfers_total",
+                "quorum state transfers completed by an amnesiac node",
+                labels,
+            ),
+            state_requests_served: registry.counter(
+                "bt_state_requests_served_total",
+                "state-transfer probes answered with a StateChunk",
                 labels,
             ),
         }
@@ -447,6 +497,20 @@ impl NodeHandle {
         self.counters.equivocations.get()
     }
 
+    /// Boots that found this node's WAL unsafely damaged (see
+    /// [`NetCounters::wal_corruptions`]).
+    #[must_use]
+    pub fn wal_corruptions(&self) -> u64 {
+        self.counters.wal_corruptions.get()
+    }
+
+    /// Quorum state transfers this node completed (see
+    /// [`NetCounters::state_transfers`]).
+    #[must_use]
+    pub fn state_transfers(&self) -> u64 {
+        self.counters.state_transfers.get()
+    }
+
     /// The next sequence number this node expects from `peer` — i.e. one
     /// past the highest frame it has accepted under that peer slot,
     /// including frames recovered from the WAL. A client gateway that
@@ -495,6 +559,12 @@ enum BootMode {
         snapshot: Box<Option<SnapshotRecord>>,
         deliveries: Vec<DeliveryRecord>,
     },
+    /// The log is unsafely damaged (mid-log corruption) or missing when
+    /// the supervisor says it must exist: the node cannot trust any
+    /// re-derived state. It boots *amnesiac* — silent on the protocol
+    /// plane, probing peers for quorum state transfer — and the damaged
+    /// log is preserved untouched as evidence until adoption replaces it.
+    Amnesiac,
 }
 
 /// Boots a node: takes ownership of its (already bound) listener, dials
@@ -551,9 +621,27 @@ where
     let mut wal = None;
     let mut mode = BootMode::Fresh;
     if let Some(path) = &cfg.wal {
-        let (mut w, recovered) = Wal::open(path)?;
-        if recovered.records.is_empty() {
-            w.append(&WalRecord::Boot(boot.clone()))?;
+        let disk = cfg.fault.disk_for(cfg.id.index());
+        let (mut w, recovered) = if disk.is_empty() {
+            Wal::open(path)?
+        } else {
+            Wal::open_with(path, Box::new(FaultyStorage::new(disk)))?
+        };
+        if recovered.damage.is_unsafe() {
+            // Mid-log damage: the durable prefix cannot be trusted (the
+            // records after the damage are gone, so replay would regress
+            // the watermark peers saw acked). Refuse to rejoin on it.
+            counters.wal_corruptions.inc();
+            mode = BootMode::Amnesiac;
+        } else if recovered.records.is_empty() {
+            if cfg.expect_history {
+                // A supervisor restarted us, so the log must exist; an
+                // empty one means it was lost (or torn back to nothing).
+                counters.wal_corruptions.inc();
+                mode = BootMode::Amnesiac;
+            } else {
+                w.append(&WalRecord::Boot(boot.clone()))?;
+            }
         } else {
             let on_disk = recovered
                 .boot()
@@ -619,6 +707,7 @@ where
     let mut lp = Loop {
         me: cfg.id,
         n: cfg.n,
+        k: cfg.k,
         process,
         rng: SimRng::seed(cfg.seed),
         injector: FaultInjector::new(cfg.fault.clone(), cfg.seed ^ 0x6e65_7473), // distinct stream from the protocol's
@@ -640,6 +729,11 @@ where
         observed,
         decided: false,
         halt_published: false,
+        amnesiac: false,
+        adopted: false,
+        adopted_decision: None,
+        transfer_probe_at: None,
+        transfer_offers: HashMap::new(),
     };
 
     match mode {
@@ -661,6 +755,15 @@ where
                 pid: cfg.id,
                 replayed,
             });
+        }
+        BootMode::Amnesiac => {
+            // No `on_start`, no replay, no WAL appends: the node joins
+            // the network silently and probes for quorum state transfer.
+            lp.amnesiac = true;
+            lp.transfer_probe_at = Some(Instant::now());
+            let mut st = lock_status(&status);
+            st.amnesiac = true;
+            st.steps = 1;
         }
     }
 
@@ -733,11 +836,21 @@ enum Disposition {
     Gap,
 }
 
+/// One peer's answer to a state-transfer probe, held until `k + 1` of
+/// them match on `(decision, app_digest)`.
+#[derive(Clone, Debug)]
+struct TransferOffer {
+    decision: Option<simnet::Value>,
+    app_digest: u64,
+    app: Option<Vec<u8>>,
+}
+
 /// The execution state owned by the event loop: the process, its RNG and
 /// step counter, the outbound links, and (optionally) the WAL.
 struct Loop<M: Wire> {
     me: ProcessId,
     n: usize,
+    k: usize,
     process: Box<dyn Process<Msg = M> + Send>,
     rng: SimRng,
     injector: FaultInjector,
@@ -768,6 +881,22 @@ struct Loop<M: Wire> {
     observed: bool,
     decided: bool,
     halt_published: bool,
+    /// Booted on an unsafely damaged (or missing) WAL: refuse to send
+    /// protocol messages or append to the log until state transfer.
+    amnesiac: bool,
+    /// Rebuilt from quorum state transfer (this incarnation or one it
+    /// restored from). An adopted node stays a learner: its pre-crash
+    /// send history is unknowable, so a fresh `on_start` could emit a
+    /// second, different INITIAL under new sequence numbers — exactly
+    /// the protocol-level equivocation amnesia detection exists to stop.
+    adopted: bool,
+    /// The decision adopted from the quorum, if the peers had one.
+    adopted_decision: Option<simnet::Value>,
+    /// When the next state-transfer probe is due (`None` unless
+    /// amnesiac).
+    transfer_probe_at: Option<Instant>,
+    /// Peer answers collected so far, keyed by peer index.
+    transfer_offers: HashMap<usize, TransferOffer>,
 }
 
 impl<M: Wire> Loop<M> {
@@ -825,7 +954,17 @@ impl<M: Wire> Loop<M> {
                     cfg.fault.clone(),
                     words4(&s.injector_state, "injector state")?,
                 );
-                if !self.process.restore(&s.process) {
+                self.adopted = s.adopted;
+                self.adopted_decision = s.adopted_decision;
+                if s.adopted {
+                    // A learner's checkpoint may carry no process bytes
+                    // (protocols without snapshot support adopt decisions
+                    // only); the state machine then stays fresh — safe,
+                    // because a learner never sends.
+                    if !s.process.is_empty() && !self.process.restore(&s.process) {
+                        return Err(bad("protocol state machine rejected its snapshot"));
+                    }
+                } else if !self.process.restore(&s.process) {
                     return Err(bad("protocol state machine rejected its snapshot"));
                 }
                 self.out_seq = s.out_seq;
@@ -882,6 +1021,19 @@ impl<M: Wire> Loop<M> {
         // decision restored from the checkpoint alone must still be
         // reported (silently: it belongs to the crashed incarnation).
         self.observe(false);
+        if self.adopted {
+            let adopted_decision = self.adopted_decision;
+            let mut st = lock_status(&self.status);
+            st.state_transferred = true;
+            if let Some(v) = adopted_decision {
+                if st.decision.is_none() {
+                    st.decision = Some(v);
+                    st.decision_step = Some(self.step);
+                }
+                drop(st);
+                self.decided = true;
+            }
+        }
         Ok(deliveries.len() as u64)
     }
 
@@ -892,7 +1044,11 @@ impl<M: Wire> Loop<M> {
     /// links — they are retransmissions of frames the crashed
     /// incarnation already owned.
     fn deliver(&mut self, from: ProcessId, seq: Option<u64>, msg: M, payload: &[u8], live: bool) {
-        if live {
+        // An amnesiac has no trustworthy log to append to (the damaged
+        // file is evidence, not a journal). Its deliveries feed the
+        // process as a passive learner only — `dispatch` stays silent —
+        // so skipping durability here cannot cause equivocation.
+        if live && !self.amnesiac {
             if let Some(wal) = &mut self.wal {
                 // Log-before-send: the record must be durable before any
                 // message this delivery produces reaches a socket. A
@@ -962,6 +1118,16 @@ impl<M: Wire> Loop<M> {
     /// — drop decisions gate sequence-number assignment, so skipping them
     /// would renumber the replayed frames.
     fn dispatch(&mut self, live: bool) {
+        // A node without a trusted durable history must stay silent on
+        // the protocol plane, forever: its pre-damage send history is
+        // unknowable, and any fresh send could contradict it. This is
+        // the "treat a state-lossy process as faulty until re-validated"
+        // rule — and after adoption the node stays a learner, because
+        // re-validation recovers *state*, not the right to re-send.
+        if self.amnesiac || self.adopted {
+            self.outbox.clear();
+            return;
+        }
         let mut outbox = std::mem::take(&mut self.outbox);
         for (to, msg) in outbox.drain(..) {
             if live {
@@ -1065,7 +1231,7 @@ impl<M: Wire> Loop<M> {
     /// Compacts the WAL to boot + snapshot every `snapshot_every`
     /// processed deliveries, if the protocol supports checkpointing.
     fn maybe_snapshot(&mut self) {
-        if self.snapshot_every == 0 || self.wal.is_none() {
+        if self.snapshot_every == 0 || self.wal.is_none() || self.amnesiac {
             return;
         }
         self.since_snapshot += 1;
@@ -1102,6 +1268,8 @@ impl<M: Wire> Loop<M> {
             backlogs: self.sent_log.clone(),
             self_queue: self.self_queue.iter().cloned().collect(),
             injector_state: self.injector.rng_state().to_vec(),
+            adopted: self.adopted,
+            adopted_decision: self.adopted_decision,
         };
         if let Some(wal) = &mut self.wal {
             // A failed compaction is not fatal — the log just stays long
@@ -1114,6 +1282,93 @@ impl<M: Wire> Loop<M> {
                     .record_us(compact_started.elapsed());
             }
         }
+    }
+
+    /// This node's answer to a peer's [`Frame::StateRequest`].
+    fn state_chunk(&self) -> Frame {
+        Frame::StateChunk {
+            from: self.me,
+            // The status cell's decision, not the process's: an adopted
+            // learner's decision lives there, and it is just as
+            // quorum-backed as one the process derived itself.
+            decision: lock_status(&self.status).decision,
+            phase: self.process.phase(),
+            app_digest: self.process.transfer_digest(),
+            app: self.process.transfer_state(),
+        }
+    }
+
+    /// Adopts quorum-confirmed state: installs the replicated bytes (if
+    /// the protocol transfers any), writes a fresh Boot + Snapshot WAL
+    /// marked `adopted`, and leaves amnesia — as a learner. Returns
+    /// `false` when adoption could not complete (garbled bytes or a
+    /// still-failing disk); the caller keeps probing.
+    fn adopt(
+        &mut self,
+        decision: Option<simnet::Value>,
+        digest: u64,
+        app: Option<Vec<u8>>,
+        next_seq: &[u64],
+    ) -> bool {
+        if digest != 0 {
+            let Some(bytes) = app.as_deref() else {
+                return false; // matching digests but nobody sent the bytes
+            };
+            if fnv1a64(bytes) != digest || !self.process.adopt_transfer(bytes) {
+                return false;
+            }
+        }
+        let (rng_seed, rng_state) = self.rng.save();
+        let snapshot = SnapshotRecord {
+            step: self.step,
+            rng_seed,
+            rng_state: rng_state.to_vec(),
+            process: self.process.snapshot().unwrap_or_default(),
+            out_seq: self.out_seq.clone(),
+            // The speculative acks this amnesiac already sent become
+            // durable here: the snapshot pins the same watermark, so a
+            // future restart dedups exactly what was acked.
+            next_seq: next_seq.to_vec(),
+            backlogs: vec![Vec::new(); self.n],
+            self_queue: Vec::new(),
+            injector_state: self.injector.rng_state().to_vec(),
+            adopted: true,
+            adopted_decision: decision,
+        };
+        if let Some(wal) = &mut self.wal {
+            if wal.compact(&self.boot, &snapshot).is_err() {
+                return false; // disk still sick; stay amnesiac
+            }
+        }
+        for (slot, &s) in self.durable_next.iter().zip(next_seq) {
+            slot.store(s, Ordering::Release);
+        }
+        self.amnesiac = false;
+        self.adopted = true;
+        self.adopted_decision = decision;
+        self.transfer_probe_at = None;
+        self.transfer_offers.clear();
+        self.counters.state_transfers.inc();
+        {
+            let mut st = lock_status(&self.status);
+            st.amnesiac = false;
+            st.state_transferred = true;
+            if let Some(v) = decision {
+                if st.decision.is_none() {
+                    st.decision = Some(v);
+                    st.decision_step = Some(self.step);
+                }
+            }
+        }
+        if decision.is_some() {
+            self.decided = true;
+        }
+        self.publish(Event::Recover {
+            step: self.step,
+            pid: self.me,
+            replayed: 0,
+        });
+        true
     }
 }
 
@@ -1142,6 +1397,7 @@ impl<M: Wire> EventLoop<M> {
         // Boot work queued by run_start/recover: deliver pending
         // self-sends, then get the first frames moving.
         self.drain_self();
+        self.maybe_probe(Instant::now());
         self.pump_links();
         while !self.shutdown.load(Ordering::Relaxed) {
             let timeout = self.next_timeout(Instant::now());
@@ -1158,8 +1414,31 @@ impl<M: Wire> EventLoop<M> {
             }
             // One pass after the batch: dial due links, release delayed
             // frames, and flush everything the deliveries above queued —
-            // the per-peer coalescing point.
+            // the per-peer coalescing point. An amnesiac refreshes its
+            // state-transfer probes first so they ride the same flush.
+            self.maybe_probe(Instant::now());
             self.pump_links();
+        }
+    }
+
+    /// While amnesiac, (re)issues a [`Frame::StateRequest`] to every
+    /// peer each [`PROBE_EVERY`]. Pending unsent probes are cleared
+    /// first so a dead link never accumulates duplicates; answered or
+    /// lost probes are simply superseded by the next round. The [`POLL`]
+    /// cap bounds how late a probe can fire.
+    fn maybe_probe(&mut self, now: Instant) {
+        if !self.lp.amnesiac {
+            return;
+        }
+        match self.lp.transfer_probe_at {
+            Some(at) if at > now => return,
+            _ => {}
+        }
+        self.lp.transfer_probe_at = Some(now + PROBE_EVERY);
+        let probe = Arc::new(encode_chunk(&Frame::StateRequest { from: self.lp.me }));
+        for link in self.lp.links.iter_mut().flatten() {
+            link.clear_control();
+            link.enqueue_control(Arc::clone(&probe));
         }
     }
 
@@ -1280,6 +1559,23 @@ impl<M: Wire> EventLoop<M> {
                     self.handle_msg(token, from, seq, &payload);
                 }
                 Frame::Ack { .. } => {} // not meaningful inbound
+                Frame::StateRequest { from } => {
+                    if from.index() >= self.lp.n {
+                        hostile = true; // not a peer of this system
+                        break;
+                    }
+                    // Serve our durable state on the connection the
+                    // probe arrived on. An amnesiac has nothing
+                    // trustworthy to serve and stays silent.
+                    if !self.lp.amnesiac {
+                        let chunk = self.lp.state_chunk();
+                        conn.queue_frame(&chunk);
+                        self.lp.counters.state_requests_served.inc();
+                    }
+                }
+                // A state chunk is a *reply*; it belongs on the probing
+                // node's outbound connection, not here. Harmless noise.
+                Frame::StateChunk { .. } => {}
             }
         }
         // One coalesced flush for the whole batch of acks.
@@ -1350,8 +1646,12 @@ impl<M: Wire> EventLoop<M> {
         // Cumulative ack per Msg — re-sent even for duplicates and gaps
         // so a reconnected sender can retire its backlog and resync.
         // With a WAL the ack is the durable watermark, read *after* the
-        // delivery journalled, so it already covers this frame.
-        let ack = if self.lp.wal.is_some() {
+        // delivery journalled, so it already covers this frame. An
+        // amnesiac journals nothing but may still ack speculatively: a
+        // learner never sends protocol messages, so the replay-
+        // equivocation hazard durable acks exist to prevent cannot
+        // arise, and adoption pins this same watermark durably.
+        let ack = if self.lp.wal.is_some() && !self.lp.amnesiac {
             self.lp.durable_next[from.index()].load(Ordering::Acquire)
         } else {
             speculative
@@ -1373,6 +1673,9 @@ impl<M: Wire> EventLoop<M> {
     fn outbound_event(&mut self, peer: usize, ev: PollEvent) {
         let now = Instant::now();
         let mut established = true;
+        // Non-ack frames read off the outbound connection: peers answer
+        // our state-transfer probes here.
+        let mut ctrl: Vec<Frame> = Vec::new();
         let failed = {
             let Some(link) = self.lp.links.get_mut(peer).and_then(Option::as_mut) else {
                 return;
@@ -1400,7 +1703,7 @@ impl<M: Wire> EventLoop<M> {
                 }
             }
             if established {
-                let read_ok = !ev.readable || link.on_readable(&self.io).is_ok();
+                let read_ok = !ev.readable || link.on_readable(&self.io, &mut ctrl).is_ok();
                 let write_ok = read_ok && (!ev.writable || link.on_writable(now, &self.io).is_ok());
                 !(read_ok && write_ok)
             } else {
@@ -1411,6 +1714,79 @@ impl<M: Wire> EventLoop<M> {
             self.teardown_outbound(peer, established);
         } else {
             self.sync_out_interest(peer);
+        }
+        for frame in ctrl {
+            self.handle_state_chunk(peer, frame);
+        }
+    }
+
+    /// One peer's answer to a state-transfer probe. The offer is held
+    /// until `k + 1` peers agree on `(decision, app_digest)` — only then
+    /// is the state adopted, so up to `k` faulty peers can neither forge
+    /// a state nor block transfer (there are `n - k - 1` other peers).
+    fn handle_state_chunk(&mut self, peer: usize, frame: Frame) {
+        let Frame::StateChunk {
+            from,
+            decision,
+            phase: _,
+            app_digest,
+            app,
+        } = frame
+        else {
+            return; // outbound connections carry nothing else of note
+        };
+        if !self.lp.amnesiac || from.index() != peer {
+            return;
+        }
+        // An empty offer (undecided, no app state) attests nothing;
+        // matching k+1 of them would adopt a vacuous state. Wait for
+        // peers that actually have something.
+        if decision.is_none() && app_digest == 0 {
+            return;
+        }
+        // Bytes that do not hash to their own digest are forged; drop
+        // the offer before it can poison a quorum.
+        if let Some(bytes) = &app {
+            if fnv1a64(bytes) != app_digest {
+                return;
+            }
+        }
+        self.lp.transfer_offers.insert(
+            peer,
+            TransferOffer {
+                decision,
+                app_digest,
+                app,
+            },
+        );
+        let needed = self.lp.k + 1;
+        let offers = &self.lp.transfer_offers;
+        let Some(winner) = offers
+            .values()
+            .find(|o| {
+                offers
+                    .values()
+                    .filter(|p| p.decision == o.decision && p.app_digest == o.app_digest)
+                    .count()
+                    >= needed
+            })
+            .cloned()
+        else {
+            return;
+        };
+        // Any offer in the winning class may carry the bytes.
+        let app = offers
+            .values()
+            .filter(|p| p.decision == winner.decision && p.app_digest == winner.app_digest)
+            .find_map(|p| p.app.clone());
+        let seqs = self.seqs.lock().expect("seq table poisoned").clone();
+        if !self
+            .lp
+            .adopt(winner.decision, winner.app_digest, app, &seqs)
+        {
+            // Adoption failed (no usable bytes, or the disk is still
+            // sick): discard the round and keep probing fresh.
+            self.lp.transfer_offers.clear();
         }
     }
 

@@ -28,18 +28,47 @@
 //! where the checksum (CRC-32/ISO-HDLC, the zlib polynomial) covers the
 //! body, and the body is the [`Wire`] encoding of a [`WalRecord`]. Records
 //! are appended with a single `write(2)` each, so a SIGKILL can leave at
-//! most one torn record at the tail. [`Wal::open`] scans until the first
-//! torn or corrupt record, reports how many bytes it discarded, and
-//! truncates the file there so subsequent appends extend a clean prefix.
-//! Durability is against *process* death (the kernel holds the page cache
-//! once `write` returns); deployments that must survive power loss would
-//! add an `fdatasync` per append at the same call site.
+//! most one torn record at the tail. Durability is against *process*
+//! death (the kernel holds the page cache once `write` returns);
+//! deployments that must survive power loss would add an `fdatasync` per
+//! append at the same call site.
+//!
+//! # Damage classification
+//!
+//! [`Wal::open`] scans until the first bad record and *classifies* the
+//! damage ([`WalDamage`]) instead of blindly truncating:
+//!
+//! * **torn tail** — the bad region is an *incomplete* final record (a
+//!   header shorter than 8 bytes, or a plausible length whose body runs
+//!   past end-of-file). This is the only shape a crash mid-append can
+//!   produce; the record never reached durability, so truncating it and
+//!   replaying the clean prefix is safe. [`Wal::open`] does exactly that.
+//! * **mid-log damage** — a *fully framed* record fails its checksum,
+//!   decodes to garbage, or announces a hostile length. A single
+//!   `write(2)` cannot leave this behind: it is bit rot, a short write
+//!   that later appends buried, or tampering. Everything from the damage
+//!   onward is untrusted **and the prefix watermark is a lie** — the node
+//!   durably acknowledged deliveries the surviving prefix does not
+//!   contain, so replaying the prefix and rejoining would re-send
+//!   different bytes under used sequence numbers (equivocation). The log
+//!   is left untouched as evidence and the caller must refuse to rejoin
+//!   from it (see `node`'s amnesiac mode).
+//!
+//! A *missing* log (the third unsafe shape: lost rename, deleted file) is
+//! indistinguishable from a fresh boot down here; the node layer detects
+//! it by being told to expect history.
+//!
+//! All file I/O goes through the [`Storage`] trait so the fuzzer can
+//! inject the damage above deterministically; see the [`storage`] module.
+//!
+//! [`storage`]: crate::storage
 
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
-use simnet::{ProcessId, Wire, WireError, WireReader};
+use simnet::{ProcessId, Value, Wire, WireError, WireReader};
+
+use crate::storage::{RealStorage, Storage};
 
 /// Hard cap on one record body; far above any frame the runtime produces
 /// (snapshots of big systems included), so a corrupt length prefix is
@@ -166,6 +195,18 @@ pub struct SnapshotRecord {
     /// wire-level equivocation. Restoring the stream keeps replayed
     /// frames byte-identical.
     pub injector_state: Vec<u64>,
+    /// Whether this checkpoint was installed by quorum state transfer
+    /// rather than derived from the node's own history. An adopted node
+    /// is a *learner*: it reports `adopted_decision` and serves state,
+    /// but never sends protocol messages again (its own history is gone,
+    /// so a fresh `on_start` could equivocate at the protocol level).
+    /// The flag survives further restarts so the node resumes as a
+    /// learner instead of replaying adopted state as if it were its own.
+    pub adopted: bool,
+    /// The decision confirmed by `f + 1` matching peers at adoption time
+    /// (`None` when the quorum had not decided a one-shot value, e.g.
+    /// for long-lived replicated-log processes).
+    pub adopted_decision: Option<Value>,
 }
 
 impl Wire for SnapshotRecord {
@@ -179,6 +220,8 @@ impl Wire for SnapshotRecord {
         self.backlogs.encode(out);
         self.self_queue.encode(out);
         self.injector_state.encode(out);
+        self.adopted.encode(out);
+        self.adopted_decision.encode(out);
     }
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -192,6 +235,8 @@ impl Wire for SnapshotRecord {
             backlogs: Wire::decode(r)?,
             self_queue: Wire::decode(r)?,
             injector_state: Wire::decode(r)?,
+            adopted: Wire::decode(r)?,
+            adopted_decision: Wire::decode(r)?,
         })
     }
 }
@@ -239,13 +284,49 @@ impl Wire for WalRecord {
     }
 }
 
+/// How the log's intact prefix ended — the recovery-safety judgement.
+/// See the module docs for why the distinction matters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WalDamage {
+    /// The log is clean: every byte belongs to an intact record.
+    #[default]
+    None,
+    /// The final record is incomplete — the only shape a crash
+    /// mid-append leaves. Safe: the torn bytes were truncated and the
+    /// prefix replays.
+    TornTail {
+        /// Bytes truncated from the torn tail.
+        lost: u64,
+    },
+    /// A fully framed record is corrupt (bad checksum, hostile length,
+    /// or undecodable body). Unsafe: the durable watermark cannot be
+    /// trusted, the file is left untouched as evidence, and the caller
+    /// must not rejoin from this log.
+    MidLog {
+        /// Byte offset of the first corrupt record.
+        offset: u64,
+    },
+}
+
+impl WalDamage {
+    /// Whether recovering from this log would risk equivocation — i.e.
+    /// the node must declare amnesia instead of replaying.
+    #[must_use]
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, WalDamage::MidLog { .. })
+    }
+}
+
 /// What [`Wal::open`] found on disk.
 #[derive(Debug, Default)]
 pub struct Recovered {
-    /// Every intact record, in log order.
+    /// Every intact record before the first damage, in log order.
     pub records: Vec<WalRecord>,
-    /// Bytes discarded from a torn or corrupt tail (0 for a clean log).
+    /// Bytes discarded from a torn tail (0 otherwise; mid-log damage is
+    /// never discarded).
     pub tail_lost: u64,
+    /// How the intact prefix ended.
+    pub damage: WalDamage,
 }
 
 impl Recovered {
@@ -282,10 +363,12 @@ impl Recovered {
     }
 }
 
-/// An open write-ahead log, positioned for appending.
+/// An open write-ahead log, positioned for appending. All I/O is routed
+/// through a [`Storage`] implementation ([`RealStorage`] unless
+/// [`Wal::open_with`] injects another).
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    storage: Box<dyn Storage>,
     path: PathBuf,
 }
 
@@ -323,31 +406,67 @@ fn scan(bytes: &[u8]) -> (Vec<WalRecord>, usize) {
     (records, pos)
 }
 
+/// Classifies the bad region starting at `pos`: an incomplete final
+/// record is a torn tail (the only shape a crash mid-append produces — a
+/// partial `write(2)` persists a strict prefix of one record); anything
+/// fully framed but invalid is mid-log corruption, wherever it sits.
+fn classify(bytes: &[u8], pos: usize) -> WalDamage {
+    let avail = bytes.len() - pos;
+    if avail == 0 {
+        return WalDamage::None;
+    }
+    if avail < 8 {
+        return WalDamage::TornTail { lost: avail as u64 };
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    if len <= MAX_RECORD_LEN && avail - 8 < len {
+        return WalDamage::TornTail { lost: avail as u64 };
+    }
+    WalDamage::MidLog { offset: pos as u64 }
+}
+
 impl Wal {
-    /// Opens (creating if absent) the log at `path`, recovering every
-    /// intact record and truncating any torn or corrupt tail so the log
-    /// ends on a record boundary.
+    /// Opens (creating if absent) the log at `path` through the real
+    /// filesystem, recovering every intact record. A torn tail is
+    /// truncated so appends extend a clean prefix; mid-log corruption is
+    /// preserved and reported via [`Recovered::damage`] — the caller
+    /// must check it before trusting the records.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn open(path: impl AsRef<Path>) -> io::Result<(Wal, Recovered)> {
+        Wal::open_with(path, Box::new(RealStorage::new()))
+    }
+
+    /// [`Wal::open`] through an arbitrary [`Storage`] layer — the fault
+    /// injection seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        mut storage: Box<dyn Storage>,
+    ) -> io::Result<(Wal, Recovered)> {
         let path = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+        let bytes = storage.open(&path)?;
         let (records, good) = scan(&bytes);
-        let tail_lost = (bytes.len() - good) as u64;
-        if tail_lost > 0 {
-            file.set_len(good as u64)?;
+        let damage = classify(&bytes, good);
+        let mut tail_lost = 0;
+        if let WalDamage::TornTail { lost } = damage {
+            // Safe to repair: the torn record never reached durability.
+            storage.truncate(good as u64)?;
+            tail_lost = lost;
         }
-        file.seek(SeekFrom::Start(good as u64))?;
-        Ok((Wal { file, path }, Recovered { records, tail_lost }))
+        Ok((
+            Wal { storage, path },
+            Recovered {
+                records,
+                tail_lost,
+                damage,
+            },
+        ))
     }
 
     /// Appends one record. A single `write(2)` makes the append atomic
@@ -358,29 +477,26 @@ impl Wal {
     ///
     /// Propagates I/O errors.
     pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
-        self.file.write_all(&frame_record(record))
+        self.storage.append(&frame_record(record))
     }
 
-    /// Rewrites the log as `boot` + `snapshot` atomically (write to a
-    /// sibling temp file, rename over), discarding the replayed history
-    /// the snapshot supersedes.
+    /// Rewrites the log as `boot` + `snapshot` atomically: stage to a
+    /// sibling temp file, data-sync it, rename over the log, then sync
+    /// the parent directory so the rename itself is durable (without the
+    /// directory sync a compaction that survived `sync_data` can still
+    /// vanish wholesale on power loss — leaving exactly the missing-log
+    /// amnesia case).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn compact(&mut self, boot: &BootRecord, snapshot: &SnapshotRecord) -> io::Result<()> {
-        let tmp = self.path.with_extension("tmp");
         let mut out = Vec::new();
         out.extend_from_slice(&frame_record(&WalRecord::Boot(boot.clone())));
         out.extend_from_slice(&frame_record(&WalRecord::Snapshot(snapshot.clone())));
-        let mut f = File::create(&tmp)?;
-        f.write_all(&out)?;
-        f.sync_data()?;
-        std::fs::rename(&tmp, &self.path)?;
-        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
-        file.seek(SeekFrom::End(0))?;
-        self.file = file;
-        Ok(())
+        self.storage.stage_replacement(&out)?;
+        self.storage.commit_replacement()?;
+        self.storage.sync_dir()
     }
 
     /// The log's path.
@@ -421,6 +537,8 @@ mod tests {
             backlogs: vec![vec![(2, vec![8])], vec![], vec![(4, vec![])]],
             self_queue: vec![vec![1, 2], vec![]],
             injector_state: vec![5, 6, 7, 8],
+            adopted: true,
+            adopted_decision: Some(Value::One),
         })
     }
 
@@ -498,6 +616,13 @@ mod tests {
             "replay stops at the last intact record"
         );
         assert!(recovered.tail_lost > 0);
+        assert_eq!(
+            recovered.damage,
+            WalDamage::TornTail {
+                lost: recovered.tail_lost
+            }
+        );
+        assert!(!recovered.damage.is_unsafe(), "a torn tail is repairable");
 
         // The torn tail was truncated: new appends extend a clean log.
         wal.append(&delivery(4, Some(0), b"after repair")).unwrap();
@@ -505,11 +630,12 @@ mod tests {
         let (_, recovered) = Wal::open(&path).unwrap();
         assert_eq!(recovered.records.len(), 3);
         assert_eq!(recovered.tail_lost, 0);
+        assert_eq!(recovered.damage, WalDamage::None);
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn bit_flipped_checksum_stops_replay_without_panic() {
+    fn bit_flip_is_classified_midlog_and_preserved() {
         let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("flipped.wal");
@@ -525,6 +651,7 @@ mod tests {
 
         // Flip one bit inside the third record's body.
         let mut bytes = std::fs::read(&path).unwrap();
+        let full_len = bytes.len() as u64;
         let target = good_len as usize + 10;
         bytes[target] ^= 0x40;
         std::fs::write(&path, &bytes).unwrap();
@@ -535,27 +662,96 @@ mod tests {
             vec![boot(), delivery(1, Some(0), b"good")],
             "nothing at or past the corruption is replayed"
         );
+        assert_eq!(recovered.damage, WalDamage::MidLog { offset: good_len });
+        assert!(
+            recovered.damage.is_unsafe(),
+            "a flipped record is not a torn tail"
+        );
+        assert_eq!(recovered.tail_lost, 0, "nothing was discarded");
         assert_eq!(
             std::fs::metadata(&path).unwrap().len(),
-            good_len,
-            "the corrupt suffix is truncated away"
+            full_len,
+            "the damaged log is preserved as evidence, not truncated"
         );
         std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
-    fn hostile_length_prefix_is_rejected() {
+    fn corrupt_final_record_is_midlog_not_torn() {
+        // A fully framed record with a bad checksum at the very tail:
+        // a crash mid-append cannot produce this (partial writes leave
+        // an incomplete record), so it must classify as mid-log damage
+        // even with nothing after it.
+        let mut record = frame_record(&delivery(1, Some(0), b"rotted"));
+        let last = record.len() - 1;
+        record[last] ^= 0x01;
+        let mut bytes = frame_record(&boot());
+        let offset = bytes.len() as u64;
+        bytes.extend_from_slice(&record);
+
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail-rot.wal");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.records, vec![boot()]);
+        assert_eq!(recovered.damage, WalDamage::MidLog { offset });
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            bytes.len() as u64,
+            "preserved, not repaired"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_midlog() {
         let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("hostile.wal");
         let mut bytes = frame_record(&boot());
+        let offset = bytes.len() as u64;
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(&[0; 64]);
         std::fs::write(&path, &bytes).unwrap();
 
         let (_, recovered) = Wal::open(&path).unwrap();
         assert_eq!(recovered.records, vec![boot()]);
-        assert!(recovered.tail_lost > 0);
+        // A length field can only be hostile if it was fully written —
+        // a torn append persists a strict prefix — so this is corruption.
+        assert_eq!(recovered.damage, WalDamage::MidLog { offset });
+        assert_eq!(recovered.tail_lost, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flipping_storage_surfaces_midlog_without_touching_disk() {
+        use crate::storage::{DiskFault, FaultyStorage};
+
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inject.wal");
+        let _ = std::fs::remove_file(&path);
+
+        // Offset 8 is the first body byte of the Boot record, so the
+        // flip lands inside Boot on any non-empty log — including a
+        // freshly compacted Boot+Snapshot one.
+        let faulty = || Box::new(FaultyStorage::new(vec![DiskFault::Flip { offset: 8 }]));
+        let (mut wal, recovered) = Wal::open_with(&path, faulty()).unwrap();
+        assert_eq!(recovered.damage, WalDamage::None, "fresh log: no-op");
+        wal.append(&boot()).unwrap();
+        wal.append(&delivery(1, Some(0), b"x")).unwrap();
+        drop(wal);
+
+        let (_, recovered) = Wal::open_with(&path, faulty()).unwrap();
+        assert_eq!(recovered.damage, WalDamage::MidLog { offset: 0 });
+        assert!(recovered.records.is_empty(), "boot itself is untrusted");
+
+        // The same log through honest storage is perfectly clean.
+        let (_, recovered) = Wal::open(&path).unwrap();
+        assert_eq!(recovered.damage, WalDamage::None);
+        assert_eq!(recovered.records.len(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -571,6 +767,7 @@ mod tests {
         let recovered = Recovered {
             records,
             tail_lost: 0,
+            damage: WalDamage::None,
         };
         let (snap, deliveries) = recovered.replay_plan();
         assert_eq!(snap.unwrap().step, 42);
@@ -582,6 +779,7 @@ mod tests {
         let recovered = Recovered {
             records: vec![boot(), delivery(1, Some(0), b"a")],
             tail_lost: 0,
+            damage: WalDamage::None,
         };
         let (snap, deliveries) = recovered.replay_plan();
         assert!(snap.is_none());
@@ -619,6 +817,76 @@ mod tests {
         let (snap, deliveries) = recovered.replay_plan();
         assert_eq!(snap.unwrap(), &s);
         assert_eq!(deliveries.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Records every [`Storage`] call, delegating to the real thing.
+    #[derive(Debug)]
+    struct SpyStorage {
+        inner: RealStorage,
+        ops: std::sync::Arc<std::sync::Mutex<Vec<&'static str>>>,
+    }
+
+    impl Storage for SpyStorage {
+        fn open(&mut self, path: &Path) -> io::Result<Vec<u8>> {
+            self.ops.lock().unwrap().push("open");
+            self.inner.open(path)
+        }
+        fn truncate(&mut self, len: u64) -> io::Result<()> {
+            self.ops.lock().unwrap().push("truncate");
+            self.inner.truncate(len)
+        }
+        fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+            self.ops.lock().unwrap().push("append");
+            self.inner.append(bytes)
+        }
+        fn stage_replacement(&mut self, bytes: &[u8]) -> io::Result<()> {
+            self.ops.lock().unwrap().push("stage_replacement");
+            self.inner.stage_replacement(bytes)
+        }
+        fn commit_replacement(&mut self) -> io::Result<()> {
+            self.ops.lock().unwrap().push("commit_replacement");
+            self.inner.commit_replacement()
+        }
+        fn sync_dir(&mut self) -> io::Result<()> {
+            self.ops.lock().unwrap().push("sync_dir");
+            self.inner.sync_dir()
+        }
+    }
+
+    #[test]
+    fn compact_syncs_the_parent_directory_after_the_rename() {
+        let dir = std::env::temp_dir().join(format!("wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirsync.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let ops = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let spy = SpyStorage {
+            inner: RealStorage::new(),
+            ops: ops.clone(),
+        };
+        let (mut wal, _) = Wal::open_with(&path, Box::new(spy)).unwrap();
+        wal.append(&boot()).unwrap();
+        let WalRecord::Boot(b) = boot() else {
+            unreachable!()
+        };
+        let WalRecord::Snapshot(s) = snapshot() else {
+            unreachable!()
+        };
+        wal.compact(&b, &s).unwrap();
+        assert_eq!(
+            *ops.lock().unwrap(),
+            vec![
+                "open",
+                "append",
+                "stage_replacement",
+                "commit_replacement",
+                "sync_dir"
+            ],
+            "the directory sync must follow the rename — a rename that \
+             survives sync_data can still vanish with an unsynced dir entry"
+        );
         std::fs::remove_file(&path).unwrap();
     }
 }

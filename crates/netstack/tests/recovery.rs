@@ -114,7 +114,9 @@ fn restarted_node_resends_byte_identical_frames() {
         id: ProcessId::new(0),
         n,
         seed: 42,
+        k: 1,
         fault: FaultPlan::reliable(),
+        expect_history: false,
         wal: Some(scratch.0.join("node0.wal")),
         snapshot_every: 0, // replay from genesis: the hardest replay path
         metrics: None,
@@ -236,7 +238,9 @@ fn relistened_socket_accepts_dials_in_the_next_event_loop() {
         id: ProcessId::new(0),
         n,
         seed: 7,
+        k: 1,
         fault: FaultPlan::reliable(),
+        expect_history: false,
         wal: Some(scratch.0.join("node0.wal")),
         snapshot_every: 0,
         metrics: None,

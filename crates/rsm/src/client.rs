@@ -9,7 +9,9 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use prng::Prng;
 
 use crate::command::Op;
 use crate::service::{read_client_msg, write_client_msg, ClientReq, ClientResp};
@@ -62,6 +64,14 @@ impl RsmClient {
         self.next_request
     }
 
+    /// Repositions the id stream so the next proposal uses `request` —
+    /// for callers resuming a client id on a *fresh* connection (a
+    /// reconnect after transport loss), where a new `RsmClient` would
+    /// otherwise restart at 1 and collide with already-used ids.
+    pub fn seek_request(&mut self, request: u64) {
+        self.next_request = request;
+    }
+
     fn call(&mut self, req: &ClientReq) -> io::Result<ClientResp> {
         write_client_msg(&mut self.stream, req)?;
         read_client_msg(&mut self.stream)
@@ -95,6 +105,48 @@ impl RsmClient {
             request,
             op,
         })
+    }
+
+    /// Proposes `op` and keeps resubmitting it — same request id, so the
+    /// service's watermark dedup makes every retry idempotent — through
+    /// [`ClientResp::Busy`] and [`ClientResp::Timeout`] verdicts until it
+    /// commits or `deadline` elapses. Retries back off exponentially
+    /// (2 ms nominal doubling to a 200 ms cap, at least half honoured,
+    /// the rest uniform jitter) so a busy service sees a thinning retry
+    /// stream instead of a synchronized hammer.
+    ///
+    /// Returns the last verdict when the deadline expires — `Busy` or
+    /// `Timeout`, never silently dropped — so callers can distinguish an
+    /// overloaded service from an unreachable one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures (the proposal may still commit).
+    pub fn propose_with_retry(&mut self, op: Op, deadline: Duration) -> io::Result<ClientResp> {
+        let give_up = Instant::now() + deadline;
+        let request = self.next_request;
+        let mut jitter =
+            Prng::seed_from_u64(self.client.wrapping_mul(0x9E37_79B9).rotate_left(17) ^ request);
+        let mut resp = self.propose(op.clone())?;
+        let mut attempt = 0u32;
+        while matches!(resp, ClientResp::Busy | ClientResp::Timeout) {
+            let now = Instant::now();
+            if now >= give_up {
+                break;
+            }
+            let nominal = Duration::from_millis(2)
+                .saturating_mul(2u32.saturating_pow(attempt))
+                .min(Duration::from_millis(200));
+            let half = nominal / 2;
+            let span = u64::try_from(half.as_micros())
+                .unwrap_or(u64::MAX)
+                .saturating_add(1);
+            let wait = (half + Duration::from_micros(jitter.next_u64() % span)).min(give_up - now);
+            std::thread::sleep(wait);
+            attempt += 1;
+            resp = self.retry(request, op.clone())?;
+        }
+        Ok(resp)
     }
 
     /// Proposes `Put(key, value)`.

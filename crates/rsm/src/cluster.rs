@@ -72,6 +72,7 @@ struct NodeSlot {
     node_listener: TcpListener,
     client_listener: TcpListener,
     wal: PathBuf,
+    incarnation: u32,
 }
 
 /// A running loopback cluster. Shuts everything down on drop.
@@ -125,6 +126,7 @@ impl RsmCluster {
                 node_listener: nl,
                 client_listener: cl,
                 wal: opts.wal_dir.join(format!("rsm{i}.wal")),
+                incarnation: 0,
             });
         }
 
@@ -162,11 +164,16 @@ impl RsmCluster {
             id,
             n: self.opts.n,
             seed: self.opts.seed.wrapping_add(i as u64),
+            k: self.config.k(),
             fault: FaultPlan::default(),
+            // A restart follows a kill whose WAL journaled at least the
+            // boot record — an empty file then means the log was lost.
+            expect_history: slot.incarnation > 0,
             wal: Some(slot.wal.clone()),
             snapshot_every: self.opts.snapshot_every,
             metrics: Some(Arc::clone(&slot.registry)),
         };
+        slot.incarnation += 1;
         let node = spawn(
             cfg,
             slot.node_listener.try_clone()?,

@@ -577,6 +577,15 @@ impl Replica {
         }
         self.progress(ctx, work);
     }
+
+    /// Canonical encoding of the applied log — the bytes behind the
+    /// state-transfer hooks. Entries encode in slot order, so identical
+    /// applied prefixes produce identical bytes on every replica.
+    fn transfer_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.view.with(|a| a.log.clone()).encode(&mut out);
+        out
+    }
 }
 
 impl Process for Replica {
@@ -707,6 +716,59 @@ impl Process for Replica {
         self.instances = restored;
         self.deferred_len = deferred.iter().map(|(_, m)| m.len() as u64).sum();
         self.deferred = deferred.into_iter().collect();
+        self.preload.clear();
+        self.opened_at.clear();
+        self.refresh_gauges();
+        true
+    }
+
+    /// The replicated portion of a replica's state is exactly the applied
+    /// log: every correct replica holding the same prefix encodes the
+    /// same bytes, unlike [`Process::snapshot`], whose bytes carry
+    /// process-local state (announce floor, open instances, pending
+    /// queue) that legitimately differs across replicas.
+    fn transfer_digest(&self) -> u64 {
+        netstack::fnv1a64(&self.transfer_bytes())
+    }
+
+    fn transfer_state(&self) -> Option<Vec<u8>> {
+        Some(self.transfer_bytes())
+    }
+
+    /// Installs a quorum-confirmed applied log onto a fresh (amnesiac)
+    /// replica. Everything process-local restarts from scratch: open
+    /// instances, batches and queued commands are rebuilt by the live
+    /// protocol, and the announce floor resumes at this replica's first
+    /// owned slot at or past the adopted prefix — so the rejoiner can
+    /// never re-announce a slot the quorum already filled.
+    fn adopt_transfer(&mut self, bytes: &[u8]) -> bool {
+        let mut r = WireReader::new(bytes);
+        let Ok(log) = Vec::<LogEntry>::decode(&mut r) else {
+            return false;
+        };
+        if r.finish().is_err() {
+            return false;
+        }
+        if log.iter().enumerate().any(|(i, e)| e.slot != i as u64) {
+            return false;
+        }
+        let applied = log.len() as u64;
+        self.view.update(|a| {
+            *a = crate::state::AppliedState::default();
+            for entry in log {
+                a.apply(entry);
+            }
+        });
+        self.applied = applied;
+        let n = self.n() as u64;
+        let me = self.me.index() as u64;
+        self.announce_floor = applied + ((me + n - applied % n) % n);
+        self.pending.clear();
+        self.decided.clear();
+        self.batches.clear();
+        self.instances.clear();
+        self.deferred.clear();
+        self.deferred_len = 0;
         self.preload.clear();
         self.opened_at.clear();
         self.refresh_gauges();

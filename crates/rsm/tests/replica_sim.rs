@@ -233,3 +233,54 @@ fn pipelining_keeps_multiple_slots_in_flight() {
     // Same commands, same KV — regardless of window-induced slot layout.
     assert_eq!(narrow[0].kv, wide[0].kv);
 }
+
+#[test]
+fn transfer_hooks_round_trip_the_applied_log() {
+    use simnet::{Process, Wire};
+
+    let n = 4;
+    let config = bt_core::Config::malicious(n, 1).expect("valid config");
+    // A donor log: five applied slots, two carrying commands.
+    let log: Vec<rsm::LogEntry> = (0..5u64)
+        .map(|slot| rsm::LogEntry {
+            slot,
+            winner: slot % n as u64,
+            commands: if slot == 1 || slot == 3 {
+                vec![put(7, slot, b"k", b"v")]
+            } else {
+                Vec::new()
+            },
+        })
+        .collect();
+    let mut bytes = Vec::new();
+    log.encode(&mut bytes);
+
+    let mut amnesiac =
+        Replica::new(config, ProcessId::new(2), RsmOptions::default()).with_view(LogView::new());
+    assert!(amnesiac.adopt_transfer(&bytes), "canonical bytes adopt");
+    assert_eq!(amnesiac.phase(), 5, "applied prefix installed");
+    // The digest contract the transfer layer verifies generically:
+    // fnv1a64(transfer_state()) must equal transfer_digest().
+    let served = amnesiac.transfer_state().expect("replicas serve state");
+    assert_eq!(served, bytes, "adopted state re-serves byte-identically");
+    assert_eq!(
+        amnesiac.transfer_digest(),
+        netstack::fnv1a64(&served),
+        "digest contract"
+    );
+
+    // Malformed and non-canonical bytes are rejected without effect.
+    let mut fresh =
+        Replica::new(config, ProcessId::new(0), RsmOptions::default()).with_view(LogView::new());
+    assert!(!fresh.adopt_transfer(b"garbage"));
+    let mut gapped = log.clone();
+    gapped[2].slot = 9; // a hole
+    let mut bad = Vec::new();
+    gapped.encode(&mut bad);
+    assert!(!fresh.adopt_transfer(&bad));
+    assert_eq!(
+        fresh.phase(),
+        0,
+        "rejected bytes leave the replica unchanged"
+    );
+}

@@ -89,6 +89,37 @@ pub trait Process: fmt::Debug {
         let _ = bytes;
         false
     }
+
+    /// A digest of the *replicated* portion of this process's state — the
+    /// part every correct replica agrees on (an applied-log hash, say),
+    /// excluding anything process-local. An amnesiac node compares these
+    /// digests across peers during quorum state transfer; two correct
+    /// peers serving the same replicated prefix must return the same
+    /// digest, which is exactly where [`Process::snapshot`] (whose bytes
+    /// include process-local state) cannot be reused.
+    ///
+    /// Returns 0 when the protocol has no transferable replicated state;
+    /// the transfer layer then matches on decisions alone.
+    fn transfer_digest(&self) -> u64 {
+        0
+    }
+
+    /// The replicated state behind [`Process::transfer_digest`], encoded
+    /// canonically (identical replicated state ⇒ identical bytes), or
+    /// `None` when the protocol has nothing to transfer.
+    fn transfer_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Installs replicated state received from a quorum of peers onto a
+    /// freshly constructed process (the state-transfer counterpart of
+    /// [`Process::restore`]). Returns `false` — leaving the process
+    /// unchanged — when the bytes are malformed or transfer is
+    /// unsupported.
+    fn adopt_transfer(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
 }
 
 /// The engine-provided context for one atomic step: identity, system size,

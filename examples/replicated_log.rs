@@ -21,7 +21,7 @@
 
 use std::time::Duration;
 
-use resilient_consensus::rsm::{ClientResp, RsmClient, RsmCluster, RsmClusterOptions};
+use resilient_consensus::rsm::{ClientResp, Op, RsmClient, RsmCluster, RsmClusterOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 4;
@@ -38,7 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut alice = RsmClient::connect(cluster.client_addr(0), 1)?;
     alice.set_timeout(Some(Duration::from_secs(60)))?;
     for (key, value) in [(&b"x"[..], &b"1"[..]), (b"y", b"2"), (b"x", b"3")] {
-        match alice.put(key, value)? {
+        // propose_with_retry rides out Busy shedding and service timeouts
+        // with jittered backoff; each retry reuses the same request id,
+        // so the command still applies exactly once.
+        let op = Op::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        };
+        match alice.propose_with_retry(op, Duration::from_secs(30))? {
             ClientResp::Committed { log_len, .. } => println!(
                 "put {}={} committed (log length {log_len})",
                 String::from_utf8_lossy(key),
@@ -63,8 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let mut c = RsmClient::connect(addr, 2 + w)?;
                 c.set_timeout(Some(Duration::from_secs(60)))?;
                 for i in 0..8u32 {
-                    let key = format!("w{w}.k{i}");
-                    c.put(key.as_bytes(), &i.to_be_bytes())?;
+                    let op = Op::Put {
+                        key: format!("w{w}.k{i}").into_bytes(),
+                        value: i.to_be_bytes().to_vec(),
+                    };
+                    c.propose_with_retry(op, Duration::from_secs(30))?;
                 }
                 Ok(())
             })

@@ -70,12 +70,20 @@ echo "==> btfuzz netstack stress leg (30s budget, clusters up to n=50)"
 target/release/btfuzz --netstack-stress --budget 30 \
     --out "$FUZZTMP/stress-repro.json"
 
+echo "==> btfuzz storage-fault leg (15s budget, corrupt-WAL recovery)"
+# Seeded byte flips armed in a crashed node's WAL: every case must
+# detect the corruption, boot amnesiac, and recover by quorum state
+# transfer with zero equivocations. Skips internally (with a note) where
+# the sandbox forbids loopback sockets.
+target/release/btfuzz --storage --budget 15 \
+    --out "$FUZZTMP/storage-repro.json"
+
 echo "==> netstack smoke test (release btnode cluster, end to end)"
 # Skips internally (with a note) where the sandbox forbids sockets.
 sh scripts/smoke_netstack.sh
 
-echo "==> crash-recovery smoke test (SIGKILL workers, restart from WAL)"
-# Skips internally where the sandbox forbids sockets or lacks pgrep.
+echo "==> crash-recovery smoke test (SIGKILL workers, restart from WAL; corrupt-WAL leg)"
+# Skips internally where the sandbox forbids sockets or lacks pgrep/dd.
 sh scripts/smoke_recovery.sh
 
 echo "==> replicated-log smoke test (btnode rsm cluster, btload, btstat)"

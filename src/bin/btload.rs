@@ -147,7 +147,10 @@ struct LoadStats {
 
 /// One client thread: `ops` puts through `addr`, each retried by request
 /// id until its `Committed` arrives, whatever Busy shedding, service
-/// timeouts, or connection loss happen on the way.
+/// timeouts, or connection loss happen on the way. Busy/Timeout verdicts
+/// are consumed inside [`RsmClient::propose_with_retry`] (jittered
+/// exponential backoff); this loop only handles reconnects, reseating the
+/// id stream on each fresh connection so retries stay idempotent.
 #[allow(clippy::needless_pass_by_value)]
 fn run_client(
     addr: SocketAddr,
@@ -175,15 +178,15 @@ fn run_client(
                     }
                 },
             };
-            match c.retry(request, op.clone()) {
+            c.seek_request(request);
+            match c.propose_with_retry(op.clone(), Duration::from_secs(5)) {
                 Ok(ClientResp::Committed { .. }) => {
                     let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
                     stats.latencies_us.lock().expect("latency lock").push(us);
                     stats.committed.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
-                Ok(ClientResp::Busy) => std::thread::sleep(Duration::from_millis(2)),
-                Ok(_) => {}            // Timeout (or unexpected): retry the same id
+                Ok(_) => {}            // deadline ran out Busy/Timeout: go again
                 Err(_) => conn = None, // reconnect and retry the same id
             }
         }

@@ -107,6 +107,10 @@ struct Args {
     /// Internal (set by the supervisor on the worker it spawns): the
     /// listening socket is inherited on stdin instead of bound fresh.
     listen_stdin: bool,
+    /// Internal (set by the supervisor on respawns): this boot follows a
+    /// crash that journaled at least a boot record, so an empty WAL means
+    /// the log was lost — boot amnesiac instead of starting fresh.
+    expect_wal: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -131,6 +135,7 @@ fn parse_args() -> Result<Args, String> {
     let mut supervise = false;
     let mut max_restarts = 4u32;
     let mut listen_stdin = false;
+    let mut expect_wal = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -167,6 +172,7 @@ fn parse_args() -> Result<Args, String> {
             "--supervise" => supervise = true,
             "--max-restarts" => max_restarts = parse(&value("--max-restarts")?, "--max-restarts")?,
             "--listen-stdin" => listen_stdin = true,
+            "--expect-wal" => expect_wal = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -193,6 +199,7 @@ fn parse_args() -> Result<Args, String> {
         supervise,
         max_restarts,
         listen_stdin,
+        expect_wal,
     };
     if args.proto == "rsm" {
         if args.client.is_none() {
@@ -366,8 +373,25 @@ fn main() -> ExitCode {
 
     // Wait for this node's decision (or the deadline).
     let deadline = Instant::now() + args.timeout;
+    let mut reported_amnesiac = false;
+    let mut reported_transfer = false;
     let decided = loop {
         let status = node.status();
+        if status.amnesiac && !reported_amnesiac {
+            reported_amnesiac = true;
+            eprintln!(
+                "btnode: p{} booted amnesiac (WAL unsafe or missing); \
+                 requesting quorum state transfer",
+                args.id
+            );
+        }
+        if status.state_transferred && !reported_transfer {
+            reported_transfer = true;
+            eprintln!(
+                "btnode: p{} completed quorum state transfer; rejoined as learner",
+                args.id
+            );
+        }
         if let Some(value) = status.decision {
             println!(
                 "p{} decided {:?} in phase {} after {} steps",
@@ -397,13 +421,16 @@ fn main() -> ExitCode {
     // process.
     let status = node.status();
     println!(
-        "p{} summary: recovered={} equivocations={} retransmits={} reconnects={} seq_gaps={}",
+        "p{} summary: recovered={} equivocations={} retransmits={} reconnects={} \
+         seq_gaps={} wal_corruptions={} state_transferred={}",
         args.id,
         status.recovered,
         node.equivocations(),
         node.retransmits(),
         node.reconnects(),
         node.seq_gaps(),
+        node.wal_corruptions(),
+        status.state_transferred,
     );
 
     if let Some(path) = &args.jsonl {
@@ -490,8 +517,15 @@ fn run_supervisor(args: &Args) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // From the first restart on, the worker follows a crash whose WAL
+        // journaled at least the boot record: an empty or vanished log is
+        // then amnesia, not a fresh start.
+        let mut incarnation_args = worker_args.clone();
+        if restarts > 0 && !incarnation_args.iter().any(|a| a == "--expect-wal") {
+            incarnation_args.push("--expect-wal".to_string());
+        }
         let status = Command::new(&exe)
-            .args(&worker_args)
+            .args(&incarnation_args)
             .stdin(Stdio::from(socket))
             .status();
         match status {
@@ -553,7 +587,9 @@ fn boot<M: Wire + Send + 'static>(
         id: ProcessId::new(args.id),
         n: args.n,
         seed: args.seed.wrapping_add(args.id as u64),
+        k: args.k,
         fault: FaultPlan::reliable(),
+        expect_history: args.expect_wal,
         wal: args.wal.clone(),
         snapshot_every: args.snapshot_every,
         // Each worker incarnation gets a fresh registry; under
@@ -630,7 +666,9 @@ fn run_rsm(args: &Args, listener: TcpListener) -> ExitCode {
         id: me,
         n: args.n,
         seed: args.seed.wrapping_add(args.id as u64),
+        k: args.k,
         fault: FaultPlan::reliable(),
+        expect_history: args.expect_wal,
         wal: args.wal.clone(),
         snapshot_every: args.snapshot_every,
         metrics: Some(Arc::clone(&registry)),

@@ -58,7 +58,9 @@ fn spawn_probe_node(n: usize, seed: u64) -> (NodeHandle, Vec<TcpListener>, Socke
         id: ProcessId::new(0),
         n,
         seed,
+        k: (n - 1) / 2,
         fault: FaultPlan::reliable(),
+        expect_history: false,
         wal: None,
         snapshot_every: 0,
         metrics: None,
